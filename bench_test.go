@@ -1,0 +1,547 @@
+// Benchmarks regenerating every experiment of the reproduction (DESIGN.md
+// per-experiment index E1–E8) plus the design-choice ablations and core
+// micro-benchmarks. cmd/rpsbench prints the corresponding full tables;
+// EXPERIMENTS.md records paper-vs-measured for each artifact.
+package rps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/discovery"
+	"repro/internal/federation"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/simnet"
+	"repro/internal/sparql"
+	"repro/internal/tgd"
+	"repro/internal/turtle"
+	"repro/internal/workload"
+)
+
+// BenchmarkE1_Listing1 chases the Figure 1 system and computes the Listing 1
+// certain answers (Figures 1–2, Listing 1).
+func BenchmarkE1_Listing1(b *testing.B) {
+	q := workload.Example1Query()
+	for i := 0; i < b.N; i++ {
+		sys := workload.Figure1System()
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if u.CertainAnswers(q).Len() != 6 {
+			b.Fatal("Listing 1 mismatch")
+		}
+	}
+}
+
+// BenchmarkE2_Listing2 rewrites and verifies the Listing 2 boolean query.
+func BenchmarkE2_Listing2(b *testing.B) {
+	sys := workload.Figure1System()
+	stored := sys.StoredDatabase()
+	q := workload.Example1Query()
+	bq, err := q.Substitute(pattern.Tuple{
+		rdf.IRI(workload.NSDB1 + "Toby_Maguire"), rdf.Literal("39"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rewrite.Rewrite(bq, sys, rewrite.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Ask(stored) {
+			b.Fatal("Listing 2 mismatch")
+		}
+	}
+}
+
+// BenchmarkE3_ChaseScaling measures Theorem 1's PTIME data complexity:
+// chase time across doubling stored-database sizes.
+func BenchmarkE3_ChaseScaling(b *testing.B) {
+	for _, films := range []int{25, 50, 100, 200} {
+		cfg := workload.FilmConfig{Films: films, ActorsPerFilm: 3, SameAsFraction: 0.5, Seed: 7}
+		stored := workload.ScaledFilmSystem(cfg).StoredDatabase().Len()
+		b.Run(fmt.Sprintf("films=%d/triples=%d", films, stored), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := workload.ScaledFilmSystem(cfg)
+				b.StartTimer()
+				u, err := chase.Run(sys, chase.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(u.Stats.TriplesAdded), "inferred")
+			}
+		})
+	}
+}
+
+// BenchmarkE4_Rewriting compares the Proposition 2 strategies as |E| grows:
+// full UCQ rewriting vs the combined approach vs materialisation.
+func BenchmarkE4_Rewriting(b *testing.B) {
+	build := func(k int) *core.System {
+		sys := workload.LODSystem(workload.LODConfig{
+			Peers: 2, Topology: workload.Chain, FactsPerPeer: 30,
+			EntitiesPerPeer: k + 2, EquivFraction: 0, Shape: workload.Rename, Seed: 13,
+		})
+		for e := 0; e < k; e++ {
+			_ = sys.AddEquivalence(workload.LODEntity(0, e), workload.LODEntity(1, e))
+		}
+		return sys
+	}
+	q := workload.CoreQuery(1)
+	for _, k := range []int{0, 4, 8} {
+		sys := build(k)
+		b.Run(fmt.Sprintf("full-rewrite/E=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := rewrite.Rewrite(q, sys, rewrite.Options{MaxQueries: 2000000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Evaluate(sys.StoredDatabase())
+				b.ReportMetric(float64(res.Size()), "disjuncts")
+			}
+		})
+		b.Run(fmt.Sprintf("combined/E=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comb := rewrite.NewCombined(sys)
+				if _, _, err := comb.Answer(q, rewrite.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("materialize/E=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Materialize(sys, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_NonFORewritability measures Proposition 3: UCQ growth of the
+// depth-bounded rewriting under the transitive-closure mapping vs the
+// always-complete chase.
+func BenchmarkE5_NonFORewritability(b *testing.B) {
+	A := rdf.IRI("http://e/A")
+	sigma := []rewrite.TripleTGD{{
+		Body: pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(A), pattern.V("z")),
+			pattern.TP(pattern.V("z"), pattern.C(A), pattern.V("y")),
+		},
+		Head: pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(A), pattern.V("y"))},
+	}}
+	ask := pattern.Query{GP: pattern.GraphPattern{
+		pattern.TP(pattern.C(rdf.IRI("http://e/n0")), pattern.C(A), pattern.C(rdf.IRI("http://e/n8"))),
+	}}
+	for _, depth := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("rewrite-depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := rewrite.RewriteTGDs(ask, sigma, rewrite.Options{MaxDepth: depth, MaxQueries: 2000000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Size()), "disjuncts")
+			}
+		})
+	}
+	for _, L := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("chase-chain=%d", L), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := transitiveChainSystem(L)
+				b.StartTimer()
+				if _, err := chase.Run(sys, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func transitiveChainSystem(n int) *core.System {
+	sys := core.NewSystem()
+	p := sys.AddPeer("p")
+	A := rdf.IRI("http://e/A")
+	for i := 0; i < n; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://e/n%d", i))
+		o := rdf.IRI(fmt.Sprintf("http://e/n%d", i+1))
+		if err := p.Add(rdf.Triple{S: s, P: A, O: o}); err != nil {
+			panic(err)
+		}
+	}
+	from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(A), pattern.V("z")),
+		pattern.TP(pattern.V("z"), pattern.C(A), pattern.V("y")),
+	})
+	to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(A), pattern.V("y")),
+	})
+	if err := sys.AddMapping(core.GraphMappingAssertion{From: from, To: to, SrcPeer: "p", DstPeer: "p"}); err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// BenchmarkE6_Stickiness runs the Definition 4 marking procedure on the
+// paper's dependency sets.
+func BenchmarkE6_Stickiness(b *testing.B) {
+	sys := workload.Figure1System()
+	var sigma []tgd.TGD
+	for _, e := range sys.E {
+		sigma = append(sigma, core.EquivalenceTGDs(e)...)
+	}
+	sigma = append(sigma, core.MappingTGD(workload.FilmGMA()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := tgd.Classify(sigma)
+		if c.Linear {
+			b.Fatal("full encoding must not be linear")
+		}
+	}
+}
+
+// BenchmarkE7_Federation measures the Section 5 prototype across peer
+// counts and topologies.
+func BenchmarkE7_Federation(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		for _, top := range []workload.Topology{workload.Chain, workload.Star, workload.Cycle} {
+			b.Run(fmt.Sprintf("peers=%d/%s", k, top), func(b *testing.B) {
+				sys := workload.LODSystem(workload.LODConfig{
+					Peers: k, Topology: top, FactsPerPeer: 10, EntitiesPerPeer: 8,
+					Shape: workload.Rename, Seed: 21,
+				})
+				net := simnet.New()
+				reg := peer.NewRegistry()
+				peer.Deploy(sys, net, reg)
+				net.Register("mediator", nil)
+				eng := federation.New(sys, reg, peer.NewClient(net, "mediator"), federation.Options{})
+				q := workload.CoreQuery(k - 1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := eng.Answer(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(net.Stats().Calls)/float64(b.N), "calls/op")
+			})
+		}
+	}
+}
+
+// BenchmarkE8_Baselines measures the completeness strategies across hop
+// distances (the related-work gap).
+func BenchmarkE8_Baselines(b *testing.B) {
+	for _, hops := range []int{1, 2, 4} {
+		sys := workload.HopSystem(hops, 6, 3)
+		q := workload.CoreQuery(hops)
+		b.Run(fmt.Sprintf("chase/hops=%d", hops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Materialize(sys, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("two-tier/hops=%d", hops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.TwoTier(sys, q)
+			}
+		})
+		b.Run(fmt.Sprintf("full-rewrite/hops=%d", hops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.FullRewrite(sys, q, rewrite.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Equiv compares the chase's equivalence strategies
+// (copy vs canonical representative).
+func BenchmarkAblation_Equiv(b *testing.B) {
+	cfg := workload.FilmConfig{Films: 40, ActorsPerFilm: 3, SameAsFraction: 1.0, Seed: 5}
+	for _, mode := range []struct {
+		name string
+		eq   chase.EquivStrategy
+	}{{"copy", chase.EquivCopy}, {"canonical", chase.EquivCanonical}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := workload.ScaledFilmSystem(cfg)
+				b.StartTimer()
+				u, err := chase.Run(sys, chase.Options{Equiv: mode.eq})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(u.Graph.Len()), "triples")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ChaseDelta compares naive fixpoint scheduling with the
+// delta work-list.
+func BenchmarkAblation_ChaseDelta(b *testing.B) {
+	cfg := workload.FilmConfig{Films: 40, ActorsPerFilm: 3, SameAsFraction: 0.5, Seed: 7}
+	for _, mode := range []struct {
+		name string
+		m    chase.Mode
+	}{{"naive", chase.ModeNaive}, {"delta", chase.ModeDelta}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := workload.ScaledFilmSystem(cfg)
+				b.StartTimer()
+				if _, err := chase.Run(sys, chase.Options{Mode: mode.m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_JoinOrder compares greedy vs textual BGP join ordering
+// on an adversarial pattern order.
+func BenchmarkAblation_JoinOrder(b *testing.B) {
+	g := rdf.NewGraph()
+	common := rdf.IRI("http://e/common")
+	rare := rdf.IRI("http://e/rare")
+	for i := 0; i < 50000; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: common,
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i%17)),
+		})
+	}
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s1"), P: rare, O: rdf.Literal("target")})
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(common), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(rare), pattern.C(rdf.Literal("target"))),
+	}
+	b.Run("textual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.EvalTextualOrder(g, gp)
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.Eval(g, gp)
+		}
+	})
+}
+
+// BenchmarkAblation_FederationJoin compares the two federated join
+// strategies on a selective query against a bulky source.
+func BenchmarkAblation_FederationJoin(b *testing.B) {
+	for _, join := range []struct {
+		name string
+		j    federation.JoinStrategy
+	}{{"hash", federation.HashJoin}, {"bind", federation.BindJoin}} {
+		b.Run(join.name, func(b *testing.B) {
+			sys := bulkFederationSystem(5000)
+			net := simnet.New()
+			reg := peer.NewRegistry()
+			peer.Deploy(sys, net, reg)
+			net.Register("mediator", nil)
+			eng := federation.New(sys, reg, peer.NewClient(net, "mediator"),
+				federation.Options{Join: join.j})
+			q := pattern.MustQuery([]string{"n"}, pattern.GraphPattern{
+				pattern.TP(pattern.C(rdf.IRI("http://e/alice")), pattern.C(rdf.IRI("http://e/likes")), pattern.V("x")),
+				pattern.TP(pattern.V("x"), pattern.C(rdf.IRI("http://e/name")), pattern.V("n")),
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Answer(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(net.Stats().BytesSent+net.Stats().BytesRecv)/float64(b.N), "bytes/op")
+		})
+	}
+}
+
+// --- micro-benchmarks of the substrates ---
+
+func BenchmarkMicro_GraphAdd(b *testing.B) {
+	terms := make([]rdf.Term, 256)
+	for i := range terms {
+		terms[i] = rdf.IRI(fmt.Sprintf("http://e/t%d", i))
+	}
+	b.ResetTimer()
+	g := rdf.NewGraph()
+	for i := 0; i < b.N; i++ {
+		g.Add(rdf.Triple{S: terms[i%256], P: terms[(i/256)%256], O: terms[(i/65536)%256]})
+	}
+}
+
+func BenchmarkMicro_GraphMatch(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 10000; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i%100)),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", i%10)),
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i)),
+		})
+	}
+	p := rdf.IRI("http://e/p3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.Match(nil, &p, nil, func(rdf.Triple) bool { n++; return true })
+	}
+}
+
+func BenchmarkMicro_BGPEval(b *testing.B) {
+	sys := workload.ScaledFilmSystem(workload.FilmConfig{Films: 100, ActorsPerFilm: 3, SameAsFraction: 0.5, Seed: 7})
+	g := sys.StoredDatabase()
+	q := workload.ScaledFilmQuery(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pattern.EvalQuery(g, q)
+	}
+}
+
+func BenchmarkMicro_TurtleParse(b *testing.B) {
+	sys := workload.ScaledFilmSystem(workload.FilmConfig{Films: 50, ActorsPerFilm: 3, SameAsFraction: 0.5, Seed: 7})
+	text := turtle.FormatNTriples(sys.StoredDatabase())
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := turtle.NewParser(text, nil).Parse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_SPARQLParse(b *testing.B) {
+	const q = `PREFIX DB1: <http://db1.example.org/>
+PREFIX ex: <http://example.org/>
+SELECT ?x ?y WHERE { DB1:Spiderman ex:starring ?z . ?z ex:artist ?x . ?x ex:age ?y }`
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// bulkFederationSystem builds the selective-query-vs-bulky-source scenario
+// of the A4 ablation.
+func bulkFederationSystem(bulk int) *core.System {
+	sys := core.NewSystem()
+	facts := sys.AddPeer("facts")
+	names := sys.AddPeer("names")
+	likes := rdf.IRI("http://e/likes")
+	name := rdf.IRI("http://e/name")
+	if err := facts.Add(rdf.Triple{S: rdf.IRI("http://e/alice"), P: likes, O: rdf.IRI("http://e/bob")}); err != nil {
+		panic(err)
+	}
+	for i := 0; i < bulk; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://e/person%d", i))
+		if err := names.Add(rdf.Triple{S: s, P: name, O: rdf.Literal(fmt.Sprintf("person %d", i))}); err != nil {
+			panic(err)
+		}
+	}
+	if err := names.Add(rdf.Triple{S: rdf.IRI("http://e/bob"), P: name, O: rdf.Literal("Bob")}); err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// BenchmarkE9_Datalog measures the Datalog rewriting (future-work item 1)
+// on the Proposition 3 workload, against the chase.
+func BenchmarkE9_Datalog(b *testing.B) {
+	for _, L := range []int{16, 64} {
+		sys := transitiveChainSystem(L)
+		q := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(rdf.IRI("http://e/A")), pattern.V("y")),
+		})
+		b.Run(fmt.Sprintf("datalog/L=%d", L), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := datalog.CertainAnswers(sys, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chase/L=%d", L), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := transitiveChainSystem(L)
+				b.StartTimer()
+				if _, err := chase.Run(fresh, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_Discovery measures automatic mapping discovery on twin
+// workloads (future-work item 3).
+func BenchmarkE10_Discovery(b *testing.B) {
+	for _, n := range []int{25, 100} {
+		sys, _ := workload.TwinSystem(workload.TwinConfig{
+			Entities: n, LiteralsPerEntity: 4, Facts: 2 * n, Noise: 0.2, Seed: 17,
+		})
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report := discovery.Discover(sys, discovery.Config{})
+				if report.Total() == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Incremental measures absorbing one update into a
+// materialised solution vs re-chasing from scratch.
+func BenchmarkAblation_Incremental(b *testing.B) {
+	cfg := workload.FilmConfig{Films: 100, ActorsPerFilm: 3, SameAsFraction: 0.5, Seed: 7}
+	b.Run("incremental", func(b *testing.B) {
+		sys := workload.ScaledFilmSystem(cfg)
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://db2.example.org/Bench%d", i)),
+				P: workload.Actor,
+				O: rdf.IRI(fmt.Sprintf("http://db2.example.org/BenchActor%d", i)),
+			}
+			if err := u.AddTriple("source2", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rechase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys := workload.ScaledFilmSystem(cfg)
+			t := rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://db2.example.org/Bench%d", i)),
+				P: workload.Actor,
+				O: rdf.IRI(fmt.Sprintf("http://db2.example.org/BenchActor%d", i)),
+			}
+			if err := sys.Peer("source2").Add(t); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := chase.Run(sys, chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Command rpsd serves the peers of an RDF Peer System as SPARQL-over-HTTP
+// endpoints — the "SPARQL access points" of the Section 5 prototype:
+//
+//	rpsd -system ./fig1/system.rps -listen :8080
+//
+// Each peer is mounted at /peer/<name> and accepts queries as
+// application/sparql-query POST bodies, "query" form fields, or ?query=
+// URL parameters; results are application/sparql-results+json. An index of
+// peers (name, endpoint, schema size, triples) is served at /peers.
+//
+// The mediator of the prototype is mounted at /federated: a conjunctive
+// SPARQL query posed there is rewritten under the system's mappings and
+// executed by federating sub-queries over the per-peer endpoints, returning
+// the certain answers. This is the complete architecture of Section 5 as a
+// single deployable process (in production each peer endpoint would live on
+// its own host; the mediator only needs their URLs in the registry).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/mapfile"
+	"repro/internal/peer"
+	"repro/internal/pattern"
+	"repro/internal/sparql"
+)
+
+// localClient answers the mediator's sub-queries against co-hosted peers
+// without a network round trip. It satisfies federation.Client; a remote
+// deployment substitutes peer.HTTPClient and endpoint URLs in the registry.
+type localClient struct {
+	peers map[string]*core.Peer
+}
+
+// Query implements federation.Client.
+func (c localClient) Query(addr, queryText string) (*sparql.Result, error) {
+	p, ok := c.peers[addr]
+	if !ok {
+		return nil, fmt.Errorf("rpsd: unknown peer %q", addr)
+	}
+	q, err := sparql.Parse(queryText, nil)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(p.Data()), nil
+}
+
+func main() {
+	var (
+		systemPath = flag.String("system", "", "path to the system.rps file (required)")
+		listen     = flag.String("listen", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *systemPath == "" {
+		fmt.Fprintln(os.Stderr, "rpsd: -system is required")
+		os.Exit(1)
+	}
+	mux, n, err := buildMux(*systemPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpsd:", err)
+		os.Exit(1)
+	}
+	log.Printf("rpsd: serving %d peers on %s", n, *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// peerInfo is one row of the /peers index.
+type peerInfo struct {
+	Name     string `json:"name"`
+	Endpoint string `json:"endpoint"`
+	Triples  int    `json:"triples"`
+	Schema   int    `json:"schemaIRIs"`
+}
+
+// buildMux mounts every peer of the system file on a fresh mux.
+func buildMux(systemPath string) (*http.ServeMux, int, error) {
+	sys, _, err := mapfile.Load(systemPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	mux := http.NewServeMux()
+	var index []peerInfo
+	for _, p := range sys.Peers() {
+		endpoint := "/peer/" + p.Name()
+		mux.Handle(endpoint, peer.NewHTTPService(p))
+		index = append(index, peerInfo{
+			Name: p.Name(), Endpoint: endpoint,
+			Triples: p.Data().Len(), Schema: p.Schema().Len(),
+		})
+	}
+	mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(index)
+	})
+
+	// the mediator: the registry routes sub-queries by peer schema; here
+	// the peers are co-hosted so the client evaluates in-process, but the
+	// same engine runs against peer.HTTPClient when the registry holds
+	// remote endpoint URLs
+	reg := peer.NewRegistry()
+	local := localClient{peers: make(map[string]*core.Peer)}
+	for _, p := range sys.Peers() {
+		reg.Add(peer.Entry{Name: p.Name(), Addr: p.Name(), Schema: p.Schema()})
+		local.peers[p.Name()] = p
+	}
+	eng := federation.New(sys, reg, local, federation.Options{})
+	mux.HandleFunc("/federated", func(w http.ResponseWriter, r *http.Request) {
+		serveFederated(w, r, eng)
+	})
+	return mux, len(index), nil
+}
+
+// serveFederated answers a conjunctive SPARQL query with certain answers.
+func serveFederated(w http.ResponseWriter, r *http.Request, eng *federation.Engine) {
+	queryText, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sq, err := sparql.Parse(queryText, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := sq.ToPatternQuery()
+	if err != nil {
+		http.Error(w, "the federated endpoint answers conjunctive queries: "+err.Error(),
+			http.StatusBadRequest)
+		return
+	}
+	answers, _, err := eng.Answer(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	res := &sparql.Result{Form: sparql.FormSelect, Vars: q.Free}
+	if q.IsBoolean() {
+		res = &sparql.Result{Form: sparql.FormAsk, True: answers.Len() > 0}
+	} else {
+		for _, t := range answers.Sorted() {
+			res.Rows = append(res.Rows, pattern.Tuple(t))
+		}
+	}
+	payload, err := peer.EncodeResult(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	_, _ = w.Write(payload)
+}
+
+// extractQuery mirrors peer.HTTPService's request handling.
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		if err := r.ParseForm(); err == nil {
+			if q := r.PostForm.Get("query"); q != "" {
+				return q, nil
+			}
+		}
+		buf := make([]byte, 1<<20)
+		n, _ := r.Body.Read(buf)
+		if n == 0 {
+			return "", fmt.Errorf("empty query body")
+		}
+		return string(buf[:n]), nil
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}

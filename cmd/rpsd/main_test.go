@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/mapfile"
+	"repro/internal/peer"
+	"repro/internal/workload"
+)
+
+func TestBuildMuxServesPeers(t *testing.T) {
+	dir := t.TempDir()
+	path, err := mapfile.Save(workload.Figure1System(), workload.FilmNamespaces(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, n, err := buildMux(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("peers = %d", n)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// the index
+	resp, err := srv.Client().Get(srv.URL + "/peers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var index []peerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != 3 || index[0].Triples == 0 {
+		t.Errorf("index = %+v", index)
+	}
+
+	// a SPARQL query against one peer
+	c := &peer.HTTPClient{Client: srv.Client()}
+	res, err := c.Query(srv.URL+"/peer/source3",
+		`SELECT ?x ?y WHERE { ?x <http://example.org/age> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+
+	// unknown peer is a 404
+	resp2, err := srv.Client().Post(srv.URL+"/peer/nope", "application/sparql-query",
+		strings.NewReader("ASK { ?s ?p ?o }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	_, _ = io.ReadAll(resp2.Body)
+	if resp2.StatusCode != 404 {
+		t.Errorf("unknown peer status = %d", resp2.StatusCode)
+	}
+}
+
+func TestBuildMuxMissingSystem(t *testing.T) {
+	if _, _, err := buildMux("/nonexistent/system.rps"); err == nil {
+		t.Error("missing system accepted")
+	}
+}
+
+func TestFederatedEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path, err := mapfile.Save(workload.Figure1System(), workload.FilmNamespaces(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, _, err := buildMux(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := &peer.HTTPClient{Client: srv.Client()}
+	res, err := c.Query(srv.URL+"/federated", `
+		PREFIX DB1: <http://db1.example.org/>
+		PREFIX ex: <http://example.org/>
+		SELECT ?x ?y WHERE { DB1:Spiderman ex:starring ?z . ?z ex:artist ?x . ?x ex:age ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Errorf("federated endpoint returned %d rows, want 6 (Listing 1)", len(res.Rows))
+	}
+	// the same query against a single peer endpoint stays empty
+	res, err = c.Query(srv.URL+"/peer/source1", `
+		PREFIX DB1: <http://db1.example.org/>
+		PREFIX ex: <http://example.org/>
+		SELECT ?x ?y WHERE { DB1:Spiderman ex:starring ?z . ?z ex:artist ?x . ?x ex:age ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("single-peer query should be empty, got %d rows", len(res.Rows))
+	}
+	// boolean federated query
+	res, err = c.Query(srv.URL+"/federated", `
+		PREFIX DB1: <http://db1.example.org/>
+		PREFIX ex: <http://example.org/>
+		ASK { DB1:Toby_Maguire ex:age "39" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.True {
+		t.Error("federated ASK should be true")
+	}
+	// non-conjunctive query is a 400
+	if _, err := c.Query(srv.URL+"/federated",
+		`SELECT ?x WHERE { { ?x ?p ?o } UNION { ?o ?p ?x } }`); err == nil {
+		t.Error("non-conjunctive query accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command rpsgen generates synthetic RDF Peer Systems and writes them in
+// the on-disk format cmd/rpsquery and cmd/rpsd consume:
+//
+//	rpsgen -workload figure1 -out ./fig1
+//	rpsgen -workload film -films 100 -actors 3 -sameas 0.5 -out ./films
+//	rpsgen -workload lod -peers 8 -topology cycle -shape rename -out ./cloud
+//	rpsgen -workload hops -hops 4 -facts 10 -out ./chain
+//
+// Workloads: figure1 (the paper's running example), film (Figure 1 scaled),
+// lod (generic k-peer cloud with chain/star/cycle/random mapping
+// topologies), hops (the E8 baseline chain).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mapfile"
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("workload", "figure1", "figure1 | film | lod | hops")
+		out      = flag.String("out", ".", "output directory")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		films    = flag.Int("films", 20, "film workload: number of films")
+		actors   = flag.Int("actors", 3, "film workload: actors per film")
+		sameas   = flag.Float64("sameas", 0.5, "film workload: sameAs link fraction")
+		peers    = flag.Int("peers", 4, "lod workload: number of peers")
+		topology = flag.String("topology", "chain", "lod workload: chain | star | cycle | random")
+		shape    = flag.String("shape", "rename", "lod workload: rename | edge-to-path | path-to-edge")
+		facts    = flag.Int("facts", 10, "lod/hops workload: facts per peer / seed facts")
+		entities = flag.Int("entities", 8, "lod workload: entities per peer")
+		equiv    = flag.Float64("equiv", 0.3, "lod workload: equivalence fraction")
+		hops     = flag.Int("hops", 3, "hops workload: mapping hop distance")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *out, *seed, *films, *actors, *sameas, *peers, *topology, *shape,
+		*facts, *entities, *equiv, *hops); err != nil {
+		fmt.Fprintln(os.Stderr, "rpsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind, out string, seed int64, films, actors int, sameas float64,
+	peers int, topology, shape string, facts, entities int, equiv float64, hops int) error {
+	var sys *core.System
+	ns := workload.FilmNamespaces()
+	switch kind {
+	case "figure1":
+		sys = workload.Figure1System()
+	case "film":
+		sys = workload.ScaledFilmSystem(workload.FilmConfig{
+			Films: films, ActorsPerFilm: actors, SameAsFraction: sameas, Seed: seed,
+		})
+	case "lod":
+		top, err := parseTopology(topology)
+		if err != nil {
+			return err
+		}
+		shp, err := parseShape(shape)
+		if err != nil {
+			return err
+		}
+		sys = workload.LODSystem(workload.LODConfig{
+			Peers: peers, Topology: top, Shape: shp, FactsPerPeer: facts,
+			EntitiesPerPeer: entities, EquivFraction: equiv, Seed: seed,
+		})
+		ns = lodNamespaces(peers)
+	case "hops":
+		sys = workload.HopSystem(hops, facts, seed)
+		ns = lodNamespaces(hops + 1)
+	default:
+		return fmt.Errorf("unknown workload %q", kind)
+	}
+	path, err := mapfile.Save(sys, ns, out)
+	if err != nil {
+		return err
+	}
+	st := sys.Stats()
+	fmt.Fprintf(w, "wrote %s: %d peers, %d triples, %d GMAs, %d equivalences\n",
+		path, st.Peers, st.Triples, st.GMappings, st.Equivalences)
+	return nil
+}
+
+func parseTopology(s string) (workload.Topology, error) {
+	switch s {
+	case "chain":
+		return workload.Chain, nil
+	case "star":
+		return workload.Star, nil
+	case "cycle":
+		return workload.Cycle, nil
+	case "random":
+		return workload.Random, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+func parseShape(s string) (workload.GMAShape, error) {
+	switch s {
+	case "rename":
+		return workload.Rename, nil
+	case "edge-to-path":
+		return workload.EdgeToPath, nil
+	case "path-to-edge":
+		return workload.PathToEdge, nil
+	default:
+		return 0, fmt.Errorf("unknown mapping shape %q", s)
+	}
+}
+
+func lodNamespaces(peers int) *rdf.Namespaces {
+	ns := rdf.NewNamespaces()
+	for i := 0; i < peers; i++ {
+		ns.Bind(fmt.Sprintf("p%d", i), workload.LODNamespace(i))
+	}
+	return ns
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mapfile"
+)
+
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, kind := range []string{"figure1", "film", "lod", "hops"} {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			var out bytes.Buffer
+			err := run(&out, kind, dir, 1, 4, 2, 0.5, 3, "cycle", "rename", 5, 6, 0.3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "wrote") {
+				t.Errorf("output = %q", out.String())
+			}
+			sys, _, err := mapfile.Load(filepath.Join(dir, "system.rps"))
+			if err != nil {
+				t.Fatalf("generated system does not load: %v", err)
+			}
+			if len(sys.Peers()) == 0 || sys.StoredDatabase().Len() == 0 {
+				t.Error("generated system is empty")
+			}
+		})
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "bogus", t.TempDir(), 1, 1, 1, 0, 2, "chain", "rename", 1, 1, 0, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&out, "lod", t.TempDir(), 1, 1, 1, 0, 2, "pentagon", "rename", 1, 1, 0, 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run(&out, "lod", t.TempDir(), 1, 1, 1, 0, 2, "chain", "zigzag", 1, 1, 0, 1); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}

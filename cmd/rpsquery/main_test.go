@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mapfile"
+	"repro/internal/workload"
+)
+
+func figure1OnDisk(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path, err := mapfile.Save(workload.Figure1System(), workload.FilmNamespaces(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const example1SPARQL = `
+PREFIX DB1: <http://db1.example.org/>
+PREFIX ex: <http://example.org/>
+SELECT ?x ?y WHERE { DB1:Spiderman ex:starring ?z . ?z ex:artist ?x . ?x ex:age ?y }`
+
+func TestModesProduceListing1(t *testing.T) {
+	path := figure1OnDisk(t)
+	for _, mode := range []string{"chase", "rewrite", "combined"} {
+		t.Run(mode, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(&out, path, example1SPARQL, "", mode, true, false, 0); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
+			if lines != 6 {
+				t.Errorf("mode %s: %d rows, want 6:\n%s", mode, lines, out.String())
+			}
+		})
+	}
+	// direct mode: empty (Example 1)
+	var out bytes.Buffer
+	if err := run(&out, path, example1SPARQL, "", "direct", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Errorf("direct mode should be empty, got %q", out.String())
+	}
+}
+
+func TestNoRedundancy(t *testing.T) {
+	path := figure1OnDisk(t)
+	var out bytes.Buffer
+	if err := run(&out, path, example1SPARQL, "", "chase", false, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
+	if lines != 3 {
+		t.Errorf("no-redundancy rows = %d, want 3:\n%s", lines, out.String())
+	}
+}
+
+func TestQueryFile(t *testing.T) {
+	path := figure1OnDisk(t)
+	qf := filepath.Join(t.TempDir(), "q.rq")
+	if err := os.WriteFile(qf, []byte(example1SPARQL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, path, "", qf, "chase", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("no output from query file")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := figure1OnDisk(t)
+	var out bytes.Buffer
+	if err := run(&out, "", example1SPARQL, "", "chase", false, false, 0); err == nil {
+		t.Error("missing system accepted")
+	}
+	if err := run(&out, path, "", "", "chase", false, false, 0); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := run(&out, path, example1SPARQL, "", "warp", false, false, 0); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(&out, path, "NOT SPARQL", "", "chase", false, false, 0); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run(&out, path, "SELECT ?x WHERE { { ?x ?p ?o } UNION { ?o ?p ?x } }", "", "chase", false, false, 0); err == nil {
+		t.Error("non-conjunctive query accepted")
+	}
+	if err := run(&out, "/nonexistent/system.rps", example1SPARQL, "", "chase", false, false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// The lodcloud example exercises the framework on a synthetic Linked Open
+// Data cloud: eight peers whose mappings form a cycle — the arbitrary
+// topology the paper argues existing two-tier rewriters cannot handle. It
+// compares what each answering strategy sees (no integration, two-tier
+// pairwise rewriting, full RPS chase) and shows the effect of the hop
+// distance between where data lives and where the query is posed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/chase"
+	"repro/internal/workload"
+)
+
+func main() {
+	const peers = 8
+	sys := workload.LODSystem(workload.LODConfig{
+		Peers:           peers,
+		Topology:        workload.Cycle,
+		FactsPerPeer:    12,
+		EntitiesPerPeer: 10,
+		EquivFraction:   0.25,
+		Shape:           workload.Rename,
+		Seed:            2026,
+	})
+	st := sys.Stats()
+	fmt.Printf("synthetic LOD cloud: %d peers in a mapping cycle, %d stored triples, %d GMAs, %d equivalences\n\n",
+		st.Peers, st.Triples, st.GMappings, st.Equivalences)
+
+	// the chase terminates despite the cycle (Theorem 1)
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chase: %d triples materialised (%d inferred) in %d rounds, %v\n",
+		u.Graph.Len(), u.Stats.TriplesAdded, u.Stats.Rounds, u.Stats.Duration.Round(1000))
+	fmt.Printf("solution check (Definition 2): %v\n\n", sys.IsSolution(u.Graph))
+
+	// what each strategy sees at peer 0's vocabulary
+	q := workload.CoreQuery(0)
+	ref := u.CertainAnswers(q)
+	none := baseline.NoIntegration(sys, q)
+	two := baseline.TwoTier(sys, q)
+	fmt.Printf("query: all core edges in peer0's vocabulary\n")
+	fmt.Printf("  certain answers (RPS chase):   %4d  (100%%)\n", ref.Len())
+	fmt.Printf("  two-tier pairwise rewriting:   %4d  (%3.0f%%)\n",
+		two.Answers.Len(), 100*two.Completeness(ref))
+	fmt.Printf("  no integration (plain SPARQL): %4d  (%3.0f%%)\n\n",
+		none.Answers.Len(), 100*none.Completeness(ref))
+
+	// hop-distance decay: facts at peer 0 queried from ever-farther peers
+	fmt.Println("hop distance vs completeness of two-tier rewriting (facts at peer0):")
+	for _, h := range []int{1, 2, 3, 5} {
+		hopSys := workload.HopSystem(h, 8, 4)
+		hq := workload.CoreQuery(h)
+		hopRef, err := baseline.Materialize(hopSys, hq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hopTwo := baseline.TwoTier(hopSys, hq)
+		fmt.Printf("  %d hop(s): chase %d/%d, two-tier %3.0f%%\n",
+			h, hopRef.Answers.Len(), 8, 100*hopTwo.Completeness(hopRef.Answers))
+	}
+	fmt.Println("\nthe RPS semantics composes mappings over arbitrary topologies —")
+	fmt.Println("the gap to two-tier systems widens with every hop (paper §1, related work).")
+}

@@ -1,0 +1,116 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/chase"
+	"repro/internal/rewrite"
+	"repro/internal/workload"
+)
+
+// The Example 1 story, quantified: no integration finds nothing, two-tier
+// finds something on a one-hop scenario, materialisation finds everything.
+func TestStrategiesOnFigure1(t *testing.T) {
+	sys := workload.Figure1System()
+	q := workload.Example1Query()
+
+	ref, err := baseline.Materialize(sys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Answers.Len() != 6 {
+		t.Fatalf("materialize answers = %d, want 6", ref.Answers.Len())
+	}
+	if ref.MaterializedTriples == 0 {
+		t.Error("materialize should report inferred triples")
+	}
+
+	none := baseline.NoIntegration(sys, q)
+	if none.Answers.Len() != 0 {
+		t.Errorf("no-integration should be empty, got %v", none.Answers.Sorted())
+	}
+	if got := none.Completeness(ref.Answers); got != 0 {
+		t.Errorf("no-integration completeness = %v", got)
+	}
+
+	// Figure 1 needs mapping compositions (GMA then equivalences); a
+	// single rewriting round cannot reach all six answers
+	two := baseline.TwoTier(sys, q)
+	if two.Completeness(ref.Answers) >= 1 {
+		t.Errorf("two-tier should be incomplete on Figure 1: %v", two.Answers.Sorted())
+	}
+
+	full, err := baseline.FullRewrite(sys, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Answers.Equal(ref.Answers) {
+		t.Errorf("full rewrite differs from materialization")
+	}
+	if full.Disjuncts == 0 || full.Truncated {
+		t.Errorf("full rewrite report = %+v", full)
+	}
+
+	comb, err := baseline.Combined(sys, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comb.Answers.Equal(ref.Answers) {
+		t.Error("combined differs from materialization")
+	}
+	if comb.Disjuncts >= full.Disjuncts {
+		t.Errorf("combined UCQ (%d) should be smaller than full UCQ (%d)", comb.Disjuncts, full.Disjuncts)
+	}
+}
+
+// Hop-distance decay: two-tier completeness drops to zero beyond one hop;
+// materialisation stays complete (the E8 shape).
+func TestTwoTierDecaysWithHops(t *testing.T) {
+	for _, hops := range []int{1, 2, 4} {
+		sys := workload.HopSystem(hops, 5, 1)
+		q := workload.CoreQuery(hops)
+		ref, err := baseline.Materialize(sys, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Answers.Len() != 5 {
+			t.Fatalf("hops=%d: reference = %d answers", hops, ref.Answers.Len())
+		}
+		two := baseline.TwoTier(sys, q)
+		comp := two.Completeness(ref.Answers)
+		if hops == 1 && comp != 1 {
+			t.Errorf("hops=1: two-tier should be complete, got %v", comp)
+		}
+		if hops > 1 && comp != 0 {
+			t.Errorf("hops=%d: two-tier completeness = %v, want 0", hops, comp)
+		}
+		none := baseline.NoIntegration(sys, q)
+		if none.Answers.Len() != 0 {
+			t.Errorf("hops=%d: no-integration found answers", hops)
+		}
+	}
+}
+
+// Amortised materialisation: one chase, many queries.
+func TestMaterializeWithAmortised(t *testing.T) {
+	sys := workload.HopSystem(2, 4, 3)
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 2; i++ {
+		rep := baseline.MaterializeWith(u, workload.CoreQuery(i))
+		if rep.Answers.Len() != 4 {
+			t.Errorf("peer %d: answers = %d", i, rep.Answers.Len())
+		}
+	}
+}
+
+func TestCompletenessEmptyReference(t *testing.T) {
+	sys := workload.HopSystem(1, 0, 1)
+	rep := baseline.NoIntegration(sys, workload.CoreQuery(0))
+	if got := rep.Completeness(rep.Answers); got != 1 {
+		t.Errorf("empty reference completeness = %v, want 1", got)
+	}
+}

@@ -1,0 +1,579 @@
+// Package chase implements Algorithm 1 of the paper: chasing the stored
+// database of an RDF Peer System with its mapping dependencies to produce a
+// universal solution, and computing certain answers (Definition 3) by
+// evaluating graph pattern queries over it. Theorem 1's PTIME data
+// complexity follows from the chase's termination; the benchmark harness
+// measures it empirically.
+//
+// Two scheduling modes are provided: ModeNaive is the executable
+// specification of Algorithm 1 (re-examine every mapping each round until
+// fixpoint), while ModeDelta propagates equivalence copies through a
+// work-list and re-evaluates graph mapping assertions only when a new
+// triple can match one of their body patterns. Both produce universal
+// solutions with identical certain answers.
+//
+// Two equivalence strategies are provided: EquivCopy materialises the
+// copy rules of Section 3 exactly (producing the redundancy visible in
+// Listing 1), while EquivCanonical collapses each ≡ₑ-class to a canonical
+// representative and re-expands answers, an ablation that trades
+// materialisation size for post-processing.
+package chase
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Mode selects the chase scheduling strategy.
+type Mode int
+
+const (
+	// ModeDelta is work-list driven scheduling (default).
+	ModeDelta Mode = iota
+	// ModeNaive re-examines every mapping each round (Algorithm 1 as
+	// written).
+	ModeNaive
+)
+
+// EquivStrategy selects how equivalence mappings are materialised.
+type EquivStrategy int
+
+const (
+	// EquivCopy materialises the six copy dependencies per mapping.
+	EquivCopy EquivStrategy = iota
+	// EquivCanonical rewrites each ≡ₑ-class to a canonical representative
+	// and expands answers at query time.
+	EquivCanonical
+)
+
+// Options configures a chase run. The zero value is the default
+// configuration (delta scheduling, copy equivalences, generous limits).
+type Options struct {
+	Mode  Mode
+	Equiv EquivStrategy
+	// MaxRounds bounds fixpoint rounds as a safety net; 0 means 1<<20.
+	// The chase of an RPS always terminates (Theorem 1), so hitting the
+	// bound indicates a bug and returns an error.
+	MaxRounds int
+	// MaxTriples aborts if the universal solution exceeds this size;
+	// 0 means unlimited.
+	MaxTriples int
+}
+
+// Stats records what a chase run did.
+type Stats struct {
+	// Rounds is the number of fixpoint rounds (naive) or work-list drains
+	// (delta).
+	Rounds int
+	// GMAFirings counts graph-mapping-assertion chase steps.
+	GMAFirings int
+	// EquivCopies counts triples added by equivalence copy rules.
+	EquivCopies int
+	// FreshBlanks counts labelled nulls (blank nodes) created.
+	FreshBlanks int
+	// TriplesAdded is the number of inferred triples (beyond the stored
+	// database).
+	TriplesAdded int
+	// Duration is the wall-clock time of the chase.
+	Duration time.Duration
+}
+
+// Universal is a universal solution for an RPS: the chased database plus
+// everything needed to answer queries over it.
+type Universal struct {
+	// Graph is the materialised universal solution J.
+	Graph *rdf.Graph
+	// Stats describes the run.
+	Stats Stats
+
+	sys   *core.System
+	equiv EquivStrategy
+	opts  Options
+	// canonical maps each term in a ≡ₑ-class to its representative; nil
+	// unless EquivCanonical.
+	canonical map[rdf.Term]rdf.Term
+	// classes maps a representative to all members of its class.
+	classes map[rdf.Term][]rdf.Term
+
+	// propagation state, kept for incremental maintenance: the symmetric
+	// ≡ₑ adjacency (copy strategy) and the canonicalised GMA bodies.
+	adj       map[rdf.Term][]rdf.Term
+	gmaBodies []pattern.GraphPattern
+}
+
+// Run chases the system's stored database and returns a universal solution.
+func Run(sys *core.System, opts Options) (*Universal, error) {
+	start := time.Now()
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 1 << 20
+	}
+	u := &Universal{
+		Graph: rdf.NewGraph(),
+		sys:   sys,
+		equiv: opts.Equiv,
+		opts:  opts,
+	}
+	if opts.Equiv == EquivCanonical {
+		u.buildClasses()
+	}
+	u.adj = map[rdf.Term][]rdf.Term{}
+	if opts.Equiv == EquivCopy {
+		u.adj = u.equivNeighbors()
+	}
+	u.gmaBodies = make([]pattern.GraphPattern, len(sys.G))
+	for i, m := range sys.G {
+		u.gmaBodies[i] = u.canonicalQuery(m.From).GP
+	}
+
+	// step 0: copy the stored database (the source-to-target dependencies)
+	sys.StoredDatabase().ForEach(func(t rdf.Triple) bool {
+		u.Graph.Add(u.canonicalTriple(t))
+		return true
+	})
+	base := u.Graph.Len()
+
+	var err error
+	switch opts.Mode {
+	case ModeNaive:
+		err = u.runNaive(opts)
+	default:
+		err = u.runDelta(opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	u.Stats.TriplesAdded = u.Graph.Len() - base
+	u.Stats.Duration = time.Since(start)
+	return u, nil
+}
+
+// buildClasses prepares the canonical maps from the system's equivalence
+// classes; the representative is the least member.
+func (u *Universal) buildClasses() {
+	u.canonical = make(map[rdf.Term]rdf.Term)
+	u.classes = make(map[rdf.Term][]rdf.Term)
+	for _, class := range u.sys.EquivalenceClasses() {
+		rep := class[0]
+		u.classes[rep] = class
+		for _, m := range class {
+			u.canonical[m] = rep
+		}
+	}
+}
+
+// canonicalTerm maps a term to its class representative under
+// EquivCanonical; the identity otherwise.
+func (u *Universal) canonicalTerm(t rdf.Term) rdf.Term {
+	if u.canonical == nil {
+		return t
+	}
+	if rep, ok := u.canonical[t]; ok {
+		return rep
+	}
+	return t
+}
+
+func (u *Universal) canonicalTriple(t rdf.Triple) rdf.Triple {
+	if u.canonical == nil {
+		return t
+	}
+	return rdf.Triple{S: u.canonicalTerm(t.S), P: u.canonicalTerm(t.P), O: u.canonicalTerm(t.O)}
+}
+
+// canonicalQuery rewrites a query's constants to representatives.
+func (u *Universal) canonicalQuery(q pattern.Query) pattern.Query {
+	if u.canonical == nil {
+		return q
+	}
+	gp := make(pattern.GraphPattern, len(q.GP))
+	for i, tp := range q.GP {
+		gp[i] = pattern.TP(u.canonicalElem(tp.S), u.canonicalElem(tp.P), u.canonicalElem(tp.O))
+	}
+	return pattern.Query{Free: q.Free, GP: gp}
+}
+
+func (u *Universal) canonicalElem(e pattern.Elem) pattern.Elem {
+	if e.IsVar() {
+		return e
+	}
+	return pattern.C(u.canonicalTerm(e.Term()))
+}
+
+// freshBlank allocates a new labelled null.
+func (u *Universal) freshBlank() rdf.Term {
+	u.Stats.FreshBlanks++
+	return rdf.Blank(fmt.Sprintf("chase%d", u.Stats.FreshBlanks))
+}
+
+// applyGMA performs every applicable chase step for one graph mapping
+// assertion: for each tuple in Q_J \ Q'_J, instantiate Q' with the tuple
+// and fresh blanks. Returns the triples added.
+func (u *Universal) applyGMA(m core.GraphMappingAssertion) []rdf.Triple {
+	from := u.canonicalQuery(m.From)
+	to := u.canonicalQuery(m.To)
+	qj := pattern.EvalQuery(u.Graph, from)
+	qpj := pattern.EvalQuery(u.Graph, to)
+	missing := qj.Minus(qpj)
+	var added []rdf.Triple
+	for _, t := range missing {
+		bq, err := to.Substitute(t)
+		if err != nil {
+			// arities were validated at AddMapping time; this is unreachable
+			panic(fmt.Sprintf("chase: GMA %s: %v", m.Label, err))
+		}
+		u.Stats.GMAFirings++
+		// one fresh blank per existential variable of Q'
+		mu := make(pattern.Binding)
+		for _, v := range bq.GP.Vars() {
+			mu[v] = u.freshBlank()
+		}
+		for _, tp := range bq.GP {
+			tr, ok := tp.Ground(mu)
+			if !ok {
+				panic("chase: ungrounded head pattern")
+			}
+			if u.Graph.Add(tr) {
+				added = append(added, tr)
+			}
+		}
+	}
+	return added
+}
+
+// equivNeighbors returns the symmetric adjacency of E (copy strategy only).
+func (u *Universal) equivNeighbors() map[rdf.Term][]rdf.Term {
+	adj := make(map[rdf.Term][]rdf.Term)
+	for _, e := range u.sys.E {
+		adj[e.C] = append(adj[e.C], e.CPrime)
+		adj[e.CPrime] = append(adj[e.CPrime], e.C)
+	}
+	return adj
+}
+
+// copyForEquiv returns the copies of t induced by one adjacency map: for
+// each position whose term has equivalents, the triple with that position
+// replaced.
+func copiesOf(t rdf.Triple, adj map[rdf.Term][]rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	for _, c := range adj[t.S] {
+		out = append(out, rdf.Triple{S: c, P: t.P, O: t.O})
+	}
+	for _, c := range adj[t.P] {
+		out = append(out, rdf.Triple{S: t.S, P: c, O: t.O})
+	}
+	for _, c := range adj[t.O] {
+		out = append(out, rdf.Triple{S: t.S, P: t.P, O: c})
+	}
+	return out
+}
+
+// runNaive is Algorithm 1 as written: loop over all mappings until all are
+// satisfied.
+func (u *Universal) runNaive(opts Options) error {
+	adj := u.adj
+	for round := 0; ; round++ {
+		if round >= opts.MaxRounds {
+			return fmt.Errorf("chase: exceeded %d rounds (non-terminating chase indicates a bug)", opts.MaxRounds)
+		}
+		u.Stats.Rounds++
+		changed := false
+		for _, m := range u.sys.G {
+			if len(u.applyGMA(m)) > 0 {
+				changed = true
+			}
+		}
+		if u.equiv == EquivCopy {
+			// the equivalence cases of Algorithm 1: copy missing triples in
+			// all six directions until the star-semantics sets agree
+			var pending []rdf.Triple
+			u.Graph.ForEach(func(t rdf.Triple) bool {
+				for _, c := range copiesOf(t, adj) {
+					if !u.Graph.Has(c) {
+						pending = append(pending, c)
+					}
+				}
+				return true
+			})
+			for _, c := range pending {
+				if u.Graph.Add(c) {
+					u.Stats.EquivCopies++
+					changed = true
+				}
+			}
+		}
+		if opts.MaxTriples > 0 && u.Graph.Len() > opts.MaxTriples {
+			return fmt.Errorf("chase: universal solution exceeded %d triples", opts.MaxTriples)
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// runDelta drives the chase with a work-list: equivalence copies are
+// propagated per new triple, and a graph mapping assertion is re-evaluated
+// only when a new triple matches one of its body patterns.
+func (u *Universal) runDelta(opts Options) error {
+	// seed: all current triples are new, and every GMA is dirty
+	var work []rdf.Triple
+	u.Graph.ForEach(func(t rdf.Triple) bool {
+		work = append(work, t)
+		return true
+	})
+	return u.propagate(work, true)
+}
+
+// propagate runs the delta work-list to fixpoint from the given seed
+// triples. With allDirty, every mapping assertion is (re-)evaluated in
+// full at least once — the initial-chase mode. Without it, mapping
+// assertions fire semi-naively: only body matches involving a work-list
+// triple are evaluated, which keeps incremental updates proportional to
+// the delta rather than to the solution.
+func (u *Universal) propagate(work []rdf.Triple, allDirty bool) error {
+	gmas := u.sys.G
+	dirty := make([]bool, len(gmas))
+	if allDirty {
+		for i := range dirty {
+			dirty[i] = true
+		}
+	}
+	for len(work) > 0 || anyTrue(dirty) {
+		u.Stats.Rounds++
+		if u.Stats.Rounds > u.opts.MaxRounds {
+			return fmt.Errorf("chase: exceeded %d rounds (non-terminating chase indicates a bug)", u.opts.MaxRounds)
+		}
+		// drain equivalence copies first (cheap, linear rules); in
+		// incremental mode, fire matching GMAs semi-naively per triple
+		var gmaAdded []rdf.Triple
+		for len(work) > 0 {
+			t := work[len(work)-1]
+			work = work[:len(work)-1]
+			for i := range u.gmaBodies {
+				if allDirty {
+					if !dirty[i] && matchesAnyPattern(u.gmaBodies[i], t) {
+						dirty[i] = true
+					}
+					continue
+				}
+				if matchesAnyPattern(u.gmaBodies[i], t) {
+					gmaAdded = append(gmaAdded, u.applyGMADelta(gmas[i], t)...)
+				}
+			}
+			if u.equiv != EquivCopy {
+				continue
+			}
+			for _, c := range copiesOf(t, u.adj) {
+				if u.Graph.Add(c) {
+					u.Stats.EquivCopies++
+					work = append(work, c)
+				}
+			}
+			if u.opts.MaxTriples > 0 && u.Graph.Len() > u.opts.MaxTriples {
+				return fmt.Errorf("chase: universal solution exceeded %d triples", u.opts.MaxTriples)
+			}
+		}
+		work = append(work, gmaAdded...)
+		// fire dirty GMAs in full; their additions go back on the work-list
+		for i, m := range gmas {
+			if !dirty[i] {
+				continue
+			}
+			dirty[i] = false
+			added := u.applyGMA(m)
+			work = append(work, added...)
+		}
+	}
+	return nil
+}
+
+// applyGMADelta fires one mapping assertion semi-naively: only for body
+// matches in which the given triple plays the role of one body pattern.
+// Tuples already satisfied in Q′ are skipped, as in the standard chase.
+func (u *Universal) applyGMADelta(m core.GraphMappingAssertion, t rdf.Triple) []rdf.Triple {
+	from := u.canonicalQuery(m.From)
+	to := u.canonicalQuery(m.To)
+	var added []rdf.Triple
+	fired := pattern.NewTupleSet()
+	for i, tp := range from.GP {
+		seed, ok := bindTriplePattern(tp, t)
+		if !ok {
+			continue
+		}
+		rest := make(pattern.GraphPattern, 0, len(from.GP)-1)
+		rest = append(rest, from.GP[:i]...)
+		rest = append(rest, from.GP[i+1:]...)
+		for _, mu := range pattern.Eval(u.Graph, rest.Apply(seed)) {
+			full := pattern.Union(seed, mu)
+			tuple := make(pattern.Tuple, len(from.Free))
+			okTuple := true
+			for k, f := range from.Free {
+				v, bound := full[f]
+				if !bound || v.IsBlank() {
+					okTuple = false
+					break
+				}
+				tuple[k] = v
+			}
+			if !okTuple || !fired.Add(tuple) {
+				continue
+			}
+			bq, err := to.Substitute(tuple)
+			if err != nil {
+				panic(fmt.Sprintf("chase: GMA %s: %v", m.Label, err))
+			}
+			if pattern.Ask(u.Graph, bq) {
+				continue // already satisfied
+			}
+			u.Stats.GMAFirings++
+			ren := make(pattern.Binding)
+			for _, v := range bq.GP.Vars() {
+				ren[v] = u.freshBlank()
+			}
+			for _, htp := range bq.GP {
+				tr, ok := htp.Ground(ren)
+				if !ok {
+					panic("chase: ungrounded head pattern")
+				}
+				if u.Graph.Add(tr) {
+					added = append(added, tr)
+				}
+			}
+		}
+	}
+	return added
+}
+
+// bindTriplePattern unifies a triple pattern with a concrete triple,
+// returning the variable binding (or false on constant mismatch or
+// repeated-variable conflict).
+func bindTriplePattern(tp pattern.TriplePattern, t rdf.Triple) (pattern.Binding, bool) {
+	mu := make(pattern.Binding, 3)
+	bind := func(e pattern.Elem, val rdf.Term) bool {
+		if !e.IsVar() {
+			return e.Term() == val
+		}
+		if prev, ok := mu[e.Var()]; ok {
+			return prev == val
+		}
+		mu[e.Var()] = val
+		return true
+	}
+	if !bind(tp.S, t.S) || !bind(tp.P, t.P) || !bind(tp.O, t.O) {
+		return nil, false
+	}
+	return mu, true
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesAnyPattern reports whether the triple matches some triple pattern
+// of the body (constants compared positionally; variables match anything).
+func matchesAnyPattern(gp pattern.GraphPattern, t rdf.Triple) bool {
+	for _, tp := range gp {
+		if elemMatches(tp.S, t.S) && elemMatches(tp.P, t.P) && elemMatches(tp.O, t.O) {
+			return true
+		}
+	}
+	return false
+}
+
+func elemMatches(e pattern.Elem, t rdf.Term) bool {
+	return e.IsVar() || e.Term() == t
+}
+
+// CertainAnswers evaluates q over the universal solution and returns the
+// certain answers ans(q, P, D): tuples of names only (blank-node tuples are
+// dropped by the Q_D semantics). Under EquivCanonical the query constants
+// are canonicalised first and each answer is expanded across its
+// equivalence classes, matching the copy strategy's output exactly.
+func (u *Universal) CertainAnswers(q pattern.Query) *pattern.TupleSet {
+	res := pattern.EvalQuery(u.Graph, u.canonicalQuery(q))
+	if u.canonical == nil {
+		return res
+	}
+	// expand each component across its class
+	out := pattern.NewTupleSet()
+	for _, t := range res.Sorted() {
+		expandTuple(t, 0, make(pattern.Tuple, len(t)), u.classes, u.canonical, out)
+	}
+	return out
+}
+
+func expandTuple(t pattern.Tuple, i int, acc pattern.Tuple, classes map[rdf.Term][]rdf.Term, canonical map[rdf.Term]rdf.Term, out *pattern.TupleSet) {
+	if i == len(t) {
+		cp := make(pattern.Tuple, len(acc))
+		copy(cp, acc)
+		out.Add(cp)
+		return
+	}
+	if members, ok := classes[t[i]]; ok {
+		for _, m := range members {
+			acc[i] = m
+			expandTuple(t, i+1, acc, classes, canonical, out)
+		}
+		return
+	}
+	acc[i] = t[i]
+	expandTuple(t, i+1, acc, classes, canonical, out)
+}
+
+// CertainAnswersNoRedundancy returns the certain answers with at most one
+// representative per ≡ₑ-class in each tuple position — the "result without
+// redundancy" of Listing 1. The representative chosen is the least class
+// member, which for the paper's data keeps the DB1/DB2 names.
+func (u *Universal) CertainAnswersNoRedundancy(q pattern.Query) []pattern.Tuple {
+	canonical := u.canonical
+	if canonical == nil {
+		canonical = make(map[rdf.Term]rdf.Term)
+		for _, class := range u.sys.EquivalenceClasses() {
+			for _, m := range class {
+				canonical[m] = class[0]
+			}
+		}
+	}
+	seen := pattern.NewTupleSet()
+	var out []pattern.Tuple
+	for _, t := range u.CertainAnswers(q).Sorted() {
+		c := make(pattern.Tuple, len(t))
+		for i, x := range t {
+			if rep, ok := canonical[x]; ok {
+				c[i] = rep
+			} else {
+				c[i] = x
+			}
+		}
+		if seen.Add(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Ask evaluates a boolean query over the universal solution.
+func (u *Universal) Ask(q pattern.Query) bool {
+	if !q.IsBoolean() {
+		return u.CertainAnswers(q).Len() > 0
+	}
+	return pattern.Ask(u.Graph, u.canonicalQuery(q))
+}
+
+// CertainAnswers is a convenience helper: chase sys with default options
+// and evaluate q.
+func CertainAnswers(sys *core.System, q pattern.Query) (*pattern.TupleSet, error) {
+	u, err := Run(sys, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return u.CertainAnswers(q), nil
+}

@@ -1,0 +1,237 @@
+package chase_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+// freshEquivalent chases the current state of sys from scratch and checks
+// that the incrementally maintained u gives the same certain answers.
+func assertEquivalent(t *testing.T, u *chase.Universal, sys *core.System, queries []pattern.Query, label string) {
+	t.Helper()
+	fresh, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatalf("%s: fresh chase: %v", label, err)
+	}
+	for i, q := range queries {
+		got := u.CertainAnswers(q)
+		want := fresh.CertainAnswers(q)
+		if !got.Equal(want) {
+			t.Errorf("%s query %d: incremental %v != fresh %v", label, i, got.Sorted(), want.Sorted())
+		}
+	}
+	if viol := u.Recheck(); len(viol) != 0 {
+		t.Errorf("%s: maintained graph violates Definition 2: %v", label, viol)
+	}
+}
+
+func TestIncrementalAddTriple(t *testing.T) {
+	sys := workload.Figure1System()
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a new actor appears in Source 2: the GMA and equivalences must fire
+	newActor := rdf.IRI(workload.NSDB2 + "James_Franco")
+	if err := u.AddTriple("source2", rdf.Triple{
+		S: rdf.IRI(workload.NSDB2 + "Spiderman2002"), P: workload.Actor, O: newActor,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddTriple("source3", rdf.Triple{
+		S: newActor, P: workload.Age, O: rdf.Literal("45"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Example1Query()
+	got := u.CertainAnswers(q)
+	if !got.Has(pattern.Tuple{newActor, rdf.Literal("45")}) {
+		t.Errorf("new actor not integrated: %v", got.Sorted())
+	}
+	if got.Len() != 7 {
+		t.Errorf("answers = %d, want 7", got.Len())
+	}
+	assertEquivalent(t, u, sys, []pattern.Query{q}, "add-triple")
+}
+
+func TestIncrementalAddPeer(t *testing.T) {
+	sys := workload.Figure1System()
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a fourth source appears with more ages and a sameAs link
+	g := rdf.NewGraph()
+	kiki := rdf.IRI("http://db4.example.org/KirstenDunst")
+	g.Add(rdf.Triple{S: kiki, P: workload.Age, O: rdf.Literal("32")})
+	g.Add(rdf.Triple{S: kiki, P: workload.SameAs, O: rdf.IRI(workload.NSDB1 + "Kirsten_Dunst")})
+	if err := u.AddPeer("source4", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.HarvestSameAs(); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Example1Query()
+	got := u.CertainAnswers(q)
+	if !got.Has(pattern.Tuple{kiki, rdf.Literal("32")}) {
+		t.Errorf("new source's name not integrated: %v", got.Sorted())
+	}
+	assertEquivalent(t, u, sys, []pattern.Query{q}, "add-peer")
+}
+
+func TestIncrementalAddEquivalence(t *testing.T) {
+	sys := workload.Figure1System()
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a new sameAs alignment arrives after materialisation
+	other := rdf.IRI("http://db9.example.org/TobyM")
+	if err := u.AddEquivalence(rdf.IRI(workload.NSDB1+"Toby_Maguire"), other); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Example1Query()
+	got := u.CertainAnswers(q)
+	if !got.Has(pattern.Tuple{other, rdf.Literal("39")}) {
+		t.Errorf("equivalence not propagated: %v", got.Sorted())
+	}
+	// duplicates are no-ops
+	if err := u.AddEquivalence(other, rdf.IRI(workload.NSDB1+"Toby_Maguire")); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, u, sys, []pattern.Query{q}, "add-equivalence")
+}
+
+func TestIncrementalAddMapping(t *testing.T) {
+	sys := workload.HopSystem(2, 4, 1)
+	// start WITHOUT the second mapping: remove it by rebuilding
+	partial := core.NewSystem()
+	for _, p := range sys.Peers() {
+		np := partial.AddPeer(p.Name())
+		if err := np.Load(p.Data()); err != nil {
+			t.Fatal(err)
+		}
+		for _, term := range p.Schema().Terms() {
+			np.Schema().Add(term)
+		}
+	}
+	if err := partial.AddMapping(sys.G[0]); err != nil {
+		t.Fatal(err)
+	}
+	u, err := chase.Run(partial, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.CoreQuery(2)
+	if u.CertainAnswers(q).Len() != 0 {
+		t.Fatal("second hop should be empty before the mapping arrives")
+	}
+	// the second mapping arrives: peer1 -> peer2
+	if err := u.AddMapping(sys.G[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.CertainAnswers(q); got.Len() != 4 {
+		t.Errorf("after mapping arrival: %d answers, want 4", got.Len())
+	}
+	assertEquivalent(t, u, partial, []pattern.Query{q}, "add-mapping")
+}
+
+func TestIncrementalCanonicalRejected(t *testing.T) {
+	sys := workload.Figure1System()
+	u, err := chase.Run(sys, chase.Options{Equiv: chase.EquivCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddTriple("source1", rdf.Triple{
+		S: rdf.IRI("http://e/x"), P: workload.Age, O: rdf.Literal("1"),
+	}); err == nil {
+		t.Error("canonical-mode incremental update should be rejected")
+	}
+	if err := u.AddEquivalence(rdf.IRI("http://e/a"), rdf.IRI("http://e/b")); err == nil {
+		t.Error("canonical-mode AddEquivalence should be rejected")
+	}
+}
+
+func TestIncrementalUnknownPeer(t *testing.T) {
+	sys := workload.Figure1System()
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddTriple("nope", rdf.Triple{
+		S: rdf.IRI("http://e/x"), P: workload.Age, O: rdf.Literal("1"),
+	}); err == nil {
+		t.Error("unknown peer accepted")
+	}
+	if err := u.AddTriple("source1", rdf.Triple{S: rdf.Literal("bad"), P: workload.Age, O: rdf.Literal("1")}); err == nil {
+		t.Error("invalid triple accepted")
+	}
+}
+
+// Property: any random interleaving of incremental updates ends answer-
+// equivalent to a fresh chase of the final system.
+func TestIncrementalRandomSequences(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sys := core.NewSystem()
+		nPeers := 2 + rng.Intn(2)
+		pred := func(p int) rdf.Term { return rdf.IRI(fmt.Sprintf("http://p%d.e/pred", p)) }
+		ent := func(p, i int) rdf.Term { return rdf.IRI(fmt.Sprintf("http://p%d.e/ent%d", p, i)) }
+		for p := 0; p < nPeers; p++ {
+			pr := sys.AddPeer(fmt.Sprintf("p%d", p))
+			pr.Schema().Add(pred(p))
+			if err := pr.Add(rdf.Triple{S: ent(p, 0), P: pred(p), O: ent(p, 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 12; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				p := rng.Intn(nPeers)
+				err = u.AddTriple(fmt.Sprintf("p%d", p), rdf.Triple{
+					S: ent(p, rng.Intn(4)), P: pred(p), O: ent(p, rng.Intn(4)),
+				})
+			case 1:
+				a := ent(rng.Intn(nPeers), rng.Intn(4))
+				b := ent(rng.Intn(nPeers), rng.Intn(4))
+				err = u.AddEquivalence(a, b)
+			default:
+				src, dst := rng.Intn(nPeers), rng.Intn(nPeers)
+				if src == dst {
+					continue
+				}
+				from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+					pattern.TP(pattern.V("x"), pattern.C(pred(src)), pattern.V("y")),
+				})
+				to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+					pattern.TP(pattern.V("x"), pattern.C(pred(dst)), pattern.V("y")),
+				})
+				err = u.AddMapping(core.GraphMappingAssertion{
+					From: from, To: to,
+					SrcPeer: fmt.Sprintf("p%d", src), DstPeer: fmt.Sprintf("p%d", dst),
+				})
+			}
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+		var queries []pattern.Query
+		for p := 0; p < nPeers; p++ {
+			queries = append(queries, pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+				pattern.TP(pattern.V("x"), pattern.C(pred(p)), pattern.V("y")),
+			}))
+		}
+		assertEquivalent(t, u, sys, queries, fmt.Sprintf("trial %d", trial))
+	}
+}

@@ -1,0 +1,314 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+	"repro/internal/tgd"
+	"repro/internal/workload"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := core.NewSchema("p1", rdf.IRI("http://e/a"), rdf.IRI("http://e/b"))
+	if s.Name() != "p1" || s.Len() != 2 {
+		t.Fatalf("schema init wrong: %v", s)
+	}
+	s.Add(rdf.Literal("not-an-iri"))
+	s.Add(rdf.Blank("b"))
+	if s.Len() != 2 {
+		t.Error("non-IRI terms must be ignored")
+	}
+	if !s.Has(rdf.IRI("http://e/a")) || s.Has(rdf.IRI("http://e/z")) {
+		t.Error("Has wrong")
+	}
+	ts := s.Terms()
+	if len(ts) != 2 || ts[0].Compare(ts[1]) >= 0 {
+		t.Errorf("Terms = %v", ts)
+	}
+}
+
+func TestPeerAddExtendsSchema(t *testing.T) {
+	p := core.NewPeer("p")
+	tr := rdf.Triple{S: rdf.IRI("http://e/s"), P: rdf.IRI("http://e/p"), O: rdf.Literal("v")}
+	if err := p.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Schema().Has(rdf.IRI("http://e/s")) || !p.Schema().Has(rdf.IRI("http://e/p")) {
+		t.Error("schema not extended with triple IRIs")
+	}
+	if p.Schema().Len() != 2 {
+		t.Errorf("literal leaked into schema: %v", p.Schema().Terms())
+	}
+	if err := p.Add(rdf.Triple{S: rdf.Literal("bad"), P: rdf.IRI("http://e/p"), O: rdf.Literal("v")}); err == nil {
+		t.Error("invalid triple should be rejected")
+	}
+}
+
+func TestPeerLoad(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: rdf.IRI("http://e/p"), O: rdf.IRI("http://e/b")})
+	p := core.NewPeer("p")
+	if err := p.Load(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.Data().Len() != 1 || p.Schema().Len() != 3 {
+		t.Error("Load incomplete")
+	}
+}
+
+func TestSystemPeersOrder(t *testing.T) {
+	sys := core.NewSystem()
+	sys.AddPeer("b")
+	sys.AddPeer("a")
+	again := sys.AddPeer("b")
+	if again != sys.Peer("b") {
+		t.Error("AddPeer should be idempotent")
+	}
+	names := sys.PeerNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("PeerNames = %v", names)
+	}
+	if sys.Peer("zzz") != nil {
+		t.Error("unknown peer should be nil")
+	}
+}
+
+func TestAddMappingValidation(t *testing.T) {
+	sys := core.NewSystem()
+	p1 := sys.AddPeer("p1")
+	p2 := sys.AddPeer("p2")
+	a := rdf.IRI("http://e/a")
+	b := rdf.IRI("http://e/b")
+	_ = p1.Add(rdf.Triple{S: a, P: a, O: a})
+	_ = p2.Add(rdf.Triple{S: b, P: b, O: b})
+
+	q1 := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(a), pattern.V("y"))})
+	q2 := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(b), pattern.V("y"))})
+	if err := sys.AddMapping(core.GraphMappingAssertion{From: q1, To: q2, SrcPeer: "p1", DstPeer: "p2"}); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+	// arity mismatch
+	q0 := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(a), pattern.V("y"))})
+	if err := sys.AddMapping(core.GraphMappingAssertion{From: q0, To: q2}); err == nil {
+		t.Error("arity mismatch should be rejected")
+	}
+	// vocabulary violation: q2's IRI b is not in p1's schema
+	if err := sys.AddMapping(core.GraphMappingAssertion{From: q2, To: q1, SrcPeer: "p1", DstPeer: "p2"}); err == nil {
+		t.Error("vocabulary violation should be rejected")
+	}
+	// unknown peer
+	if err := sys.AddMapping(core.GraphMappingAssertion{From: q1, To: q2, SrcPeer: "nope"}); err == nil {
+		t.Error("unknown peer should be rejected")
+	}
+	// unvalidated when peers unnamed
+	if err := sys.AddMapping(core.GraphMappingAssertion{From: q2, To: q1}); err != nil {
+		t.Errorf("unnamed peers should skip vocabulary checks: %v", err)
+	}
+}
+
+func TestAddEquivalence(t *testing.T) {
+	sys := core.NewSystem()
+	a, b := rdf.IRI("http://e/a"), rdf.IRI("http://e/b")
+	if err := sys.AddEquivalence(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddEquivalence(a, b); err != nil || len(sys.E) != 1 {
+		t.Error("duplicate equivalence should be ignored")
+	}
+	if err := sys.AddEquivalence(b, a); err != nil || len(sys.E) != 1 {
+		t.Error("symmetric duplicate should be ignored")
+	}
+	if err := sys.AddEquivalence(a, a); err != nil || len(sys.E) != 1 {
+		t.Error("self equivalence should be ignored")
+	}
+	if err := sys.AddEquivalence(a, rdf.Literal("x")); err == nil {
+		t.Error("literal equivalence should be rejected")
+	}
+}
+
+func TestHarvestSameAs(t *testing.T) {
+	sys := workload.Figure1System()
+	// 4 sameAs triples in the data -> 4 equivalence mappings
+	if len(sys.E) != 4 {
+		t.Errorf("harvested %d equivalences, want 4: %v", len(sys.E), sys.E)
+	}
+	// harvesting again adds nothing
+	if n := sys.HarvestSameAs(); n != 0 {
+		t.Errorf("re-harvest added %d", n)
+	}
+}
+
+func TestStoredDatabaseUnion(t *testing.T) {
+	sys := workload.Figure1System()
+	d := sys.StoredDatabase()
+	total := 0
+	for _, p := range sys.Peers() {
+		total += p.Data().Len()
+	}
+	if d.Len() != total {
+		t.Errorf("stored database %d triples, want %d", d.Len(), total)
+	}
+	st := sys.Stats()
+	if st.Peers != 3 || st.Triples != total || st.GMappings != 1 || st.Equivalences != 4 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestCheckSolutionStoredViolation(t *testing.T) {
+	sys := workload.Figure1System()
+	empty := rdf.NewGraph()
+	viol := sys.CheckSolution(empty)
+	if len(viol) == 0 {
+		t.Fatal("empty graph cannot be a solution")
+	}
+	foundStored := false
+	for _, v := range viol {
+		if v.Kind == "stored" {
+			foundStored = true
+		}
+		if v.String() == "" {
+			t.Error("violation should render")
+		}
+	}
+	if !foundStored {
+		t.Errorf("expected stored violations, got %v", viol)
+	}
+	// the stored database alone is not a solution either (mappings unmet)
+	viol = sys.CheckSolution(sys.StoredDatabase())
+	kinds := map[string]bool{}
+	for _, v := range viol {
+		kinds[v.Kind] = true
+	}
+	if !kinds["mapping"] && !kinds["equivalence"] {
+		t.Errorf("expected mapping/equivalence violations, got %v", viol)
+	}
+}
+
+func TestMappingTGDEncoding(t *testing.T) {
+	m := workload.FilmGMA()
+	dep := core.MappingTGD(m)
+	// body: one tt atom for (x actor y) plus rt(x), rt(y)
+	if len(dep.Body) != 3 {
+		t.Fatalf("body = %v", dep.Body)
+	}
+	ttAtoms, rtAtoms := 0, 0
+	for _, a := range dep.Body {
+		switch a.Pred {
+		case tgd.PredTT:
+			ttAtoms++
+		case tgd.PredRT:
+			rtAtoms++
+		}
+	}
+	if ttAtoms != 1 || rtAtoms != 2 {
+		t.Errorf("body atoms = %v", dep.Body)
+	}
+	// head: two tt atoms sharing an existential z
+	if len(dep.Head) != 2 {
+		t.Fatalf("head = %v", dep.Head)
+	}
+	ex := dep.ExistentialVars()
+	if len(ex) != 1 {
+		t.Errorf("existential vars = %v", ex)
+	}
+	// frontier: both free variables
+	if len(dep.FrontierVars()) != 2 {
+		t.Errorf("frontier = %v", dep.FrontierVars())
+	}
+}
+
+func TestMappingTGDNoVariableCapture(t *testing.T) {
+	// Q and Q' both use variable z for different purposes; renaming must
+	// keep them apart.
+	a := rdf.IRI("http://e/A")
+	b := rdf.IRI("http://e/B")
+	from := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(a), pattern.V("z")),
+	})
+	to := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(b), pattern.V("z")),
+	})
+	dep := core.MappingTGD(core.GraphMappingAssertion{From: from, To: to})
+	// body z is universally quantified (b_z); head z is existential (h_z)
+	ex := dep.ExistentialVars()
+	if len(ex) != 1 || !strings.HasPrefix(ex[0], "h_") {
+		t.Errorf("existential vars = %v", ex)
+	}
+	for _, v := range dep.BodyVars() {
+		if strings.HasPrefix(v, "h_") {
+			t.Errorf("head existential leaked into body: %v", dep)
+		}
+	}
+}
+
+func TestEquivalenceTGDs(t *testing.T) {
+	e := core.EquivalenceMapping{C: rdf.IRI("http://e/c"), CPrime: rdf.IRI("http://e/d")}
+	deps := core.EquivalenceTGDs(e)
+	if len(deps) != 6 {
+		t.Fatalf("want 6 dependencies, got %d", len(deps))
+	}
+	cls := tgd.Classify(deps)
+	if !cls.Linear || !cls.Sticky {
+		t.Errorf("equivalence TGDs must be linear+sticky: %v", cls)
+	}
+}
+
+func TestTargetTGDsCount(t *testing.T) {
+	sys := workload.Figure1System()
+	deps := sys.TargetTGDs()
+	want := len(sys.G) + 6*len(sys.E)
+	if len(deps) != want {
+		t.Errorf("TargetTGDs = %d, want %d", len(deps), want)
+	}
+	if len(sys.GMappingTGDs()) != len(sys.G) {
+		t.Error("GMappingTGDs size wrong")
+	}
+	st := core.SourceToTargetTGDs()
+	if len(st) != 2 || !tgd.IsLinear(st) {
+		t.Errorf("source-to-target TGDs = %v", st)
+	}
+}
+
+func TestEquivalenceClasses(t *testing.T) {
+	sys := core.NewSystem()
+	a, b, c, d, e := rdf.IRI("http://e/a"), rdf.IRI("http://e/b"), rdf.IRI("http://e/c"), rdf.IRI("http://e/d"), rdf.IRI("http://e/e")
+	_ = sys.AddEquivalence(a, b)
+	_ = sys.AddEquivalence(b, c)
+	_ = sys.AddEquivalence(d, e)
+	classes := sys.EquivalenceClasses()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if len(classes[0]) != 3 || len(classes[1]) != 2 {
+		t.Errorf("class sizes wrong: %v", classes)
+	}
+	// sorted: class containing a first, members sorted
+	if classes[0][0] != a || classes[1][0] != d {
+		t.Errorf("ordering wrong: %v", classes)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	sys := workload.Figure1System()
+	out := sys.Describe(workload.FilmNamespaces())
+	if !strings.Contains(out, "3 peers") || !strings.Contains(out, "Q2~>Q1") {
+		t.Errorf("Describe output:\n%s", out)
+	}
+	if !strings.Contains(out, "DB1:") {
+		t.Errorf("namespaces not applied:\n%s", out)
+	}
+}
+
+func TestGMAString(t *testing.T) {
+	m := workload.FilmGMA()
+	if !strings.Contains(m.String(), "~>") || !strings.Contains(m.String(), "[Q2~>Q1]") {
+		t.Errorf("String = %q", m.String())
+	}
+	e := core.EquivalenceMapping{C: rdf.IRI("http://e/a"), CPrime: rdf.IRI("http://e/b")}
+	if !strings.Contains(e.String(), "≡") {
+		t.Errorf("String = %q", e.String())
+	}
+}

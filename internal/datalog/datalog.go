@@ -1,0 +1,624 @@
+// Package datalog implements the paper's future-work item 1 (Section 5): a
+// rewriting of RPS query answering into "a language more expressive than
+// FO-queries, for instance Datalog". Where Proposition 3 shows that no
+// finite union of conjunctive queries answers general RPSs (they encode
+// transitive closure), the Datalog program produced here is finite,
+// data-independent, and computes exactly the certain answers when evaluated
+// bottom-up over the stored database.
+//
+// The translation maps RDF triples to a ternary relation t/3, names
+// (IRIs and literals — the rt relation of Section 3) to a unary relation
+// name/1, each equivalence mapping to six copy rules, and each graph
+// mapping assertion to one rule per head atom. Existential variables in
+// mapping heads are skolemised: a fresh blank node is derived
+// deterministically from the rule and its frontier values, which mirrors
+// the chase's labelled nulls. Because frontier variables are guarded by
+// name/1 (skolem terms are blanks, never names), skolems cannot
+// parameterise further skolems and the evaluation terminates — the same
+// argument as Theorem 1.
+//
+// Evaluation is semi-naive: each iteration joins the per-predicate deltas
+// against the full relations, with hash indexes on bound argument columns.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Predicate names used by the translation.
+const (
+	// PredTriple is the ternary triple relation t(s, p, o).
+	PredTriple = "t"
+	// PredName is the unary relation of identified resources (IRIs and
+	// literals) — the rt relation of the paper's encoding.
+	PredName = "name"
+	// PredAnswer is the head predicate of the translated query rule.
+	PredAnswer = "ans"
+)
+
+// Atom is a Datalog atom: predicate applied to variables and constants.
+type Atom struct {
+	Pred string
+	Args []pattern.Elem
+}
+
+// NewAtom constructs an atom.
+func NewAtom(pred string, args ...pattern.Elem) Atom { return Atom{Pred: pred, Args: args} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = e.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Vars returns the atom's variable names (with duplicates).
+func (a Atom) vars() []string {
+	var out []string
+	for _, e := range a.Args {
+		if e.IsVar() {
+			out = append(out, e.Var())
+		}
+	}
+	return out
+}
+
+// Rule is a single-head Datalog rule Head :- Body. Head variables that do
+// not occur in the body must be declared in Skolems: they are materialised
+// as skolem blank nodes parameterised by the rule's frontier variables.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	// Skolems lists head variables to skolemise, in a fixed order.
+	Skolems []string
+	// SkolemKeyVars lists the body variables whose values parameterise the
+	// skolem terms (the rule's frontier). Rules split from one mapping
+	// assertion share the same label and key variables, so a shared
+	// existential receives the same skolem blank in every head atom. Empty
+	// means all bound variables.
+	SkolemKeyVars []string
+	// Label names the rule in diagnostics and skolem terms.
+	Label string
+}
+
+// Validate checks the safety condition: every head variable occurs in the
+// body or is declared as a skolem.
+func (r Rule) Validate() error {
+	body := make(map[string]bool)
+	for _, a := range r.Body {
+		for _, v := range a.vars() {
+			body[v] = true
+		}
+	}
+	sk := make(map[string]bool, len(r.Skolems))
+	for _, v := range r.Skolems {
+		if body[v] {
+			return fmt.Errorf("datalog: rule %s: skolem variable %s occurs in the body", r.Label, v)
+		}
+		sk[v] = true
+	}
+	for _, v := range r.Head.vars() {
+		if !body[v] && !sk[v] {
+			return fmt.Errorf("datalog: rule %s: unsafe head variable %s", r.Label, v)
+		}
+	}
+	if len(r.Body) == 0 {
+		return fmt.Errorf("datalog: rule %s: empty body", r.Label)
+	}
+	return nil
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	s := r.Head.String() + " :- " + strings.Join(parts, ", ")
+	if len(r.Skolems) > 0 {
+		s += "  [skolem: " + strings.Join(r.Skolems, ",") + "]"
+	}
+	if r.Label != "" {
+		s = "[" + r.Label + "] " + s
+	}
+	return s
+}
+
+// Program is a set of rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Validate checks every rule.
+func (p *Program) Validate() error {
+	for _, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// relation stores the extension of one predicate with per-column hash
+// indexes for bound-argument lookups.
+type relation struct {
+	rows []pattern.Tuple
+	seen map[string]bool
+	// index[col][valueKey] lists row indices with that value in col.
+	index []map[string][]int
+	arity int
+}
+
+func newRelation(arity int) *relation {
+	idx := make([]map[string][]int, arity)
+	for i := range idx {
+		idx[i] = make(map[string][]int)
+	}
+	return &relation{seen: make(map[string]bool), index: idx, arity: arity}
+}
+
+func (r *relation) insert(t pattern.Tuple) bool {
+	k := t.Key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	i := len(r.rows)
+	r.rows = append(r.rows, t)
+	for col, v := range t {
+		vk := v.String()
+		r.index[col][vk] = append(r.index[col][vk], i)
+	}
+	return true
+}
+
+// candidates returns row indices matching the bound positions of args under
+// the binding, using the most selective column index available.
+func (r *relation) candidates(args []pattern.Elem, mu pattern.Binding) []int {
+	bestCol, bestLen := -1, 0
+	for col, e := range args {
+		var val rdf.Term
+		switch {
+		case !e.IsVar():
+			val = e.Term()
+		default:
+			t, ok := mu[e.Var()]
+			if !ok {
+				continue
+			}
+			val = t
+		}
+		ids := r.index[col][val.String()]
+		if bestCol == -1 || len(ids) < bestLen {
+			bestCol, bestLen = col, len(ids)
+		}
+		if bestLen == 0 {
+			return nil
+		}
+	}
+	if bestCol == -1 {
+		all := make([]int, len(r.rows))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	e := args[bestCol]
+	var val rdf.Term
+	if !e.IsVar() {
+		val = e.Term()
+	} else {
+		val = mu[e.Var()]
+	}
+	return r.index[bestCol][val.String()]
+}
+
+// Store holds the materialised relations of an evaluation.
+type Store struct {
+	rels map[string]*relation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rels: make(map[string]*relation)} }
+
+// Insert adds a fact, reporting whether it was new.
+func (s *Store) Insert(pred string, t pattern.Tuple) bool {
+	r, ok := s.rels[pred]
+	if !ok {
+		r = newRelation(len(t))
+		s.rels[pred] = r
+	}
+	return r.insert(t)
+}
+
+// Facts returns the extension of a predicate as a tuple set.
+func (s *Store) Facts(pred string) *pattern.TupleSet {
+	out := pattern.NewTupleSet()
+	if r, ok := s.rels[pred]; ok {
+		for _, t := range r.rows {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Len returns the total number of facts.
+func (s *Store) Len() int {
+	n := 0
+	for _, r := range s.rels {
+		n += len(r.rows)
+	}
+	return n
+}
+
+// Stats describes an evaluation run.
+type Stats struct {
+	// Iterations is the number of semi-naive rounds until fixpoint.
+	Iterations int
+	// FactsDerived counts facts added beyond the EDB.
+	FactsDerived int
+	// SkolemsCreated counts skolem blank nodes minted.
+	SkolemsCreated int
+}
+
+// Eval runs the program bottom-up over the EDB facts in store (mutating the
+// store) until fixpoint, using semi-naive iteration.
+func Eval(p *Program, store *Store) (Stats, error) {
+	if err := p.Validate(); err != nil {
+		return Stats{}, err
+	}
+	var stats Stats
+	skolems := make(map[string]rdf.Term)
+
+	// Constants in rule heads (equivalence terms, mapping-constant IRIs)
+	// are identified resources even when no stored triple mentions them:
+	// copy rules can introduce them into derived triples, so they belong
+	// in name/1. Skolems, by contrast, are blanks and never names.
+	for _, rule := range p.Rules {
+		for _, e := range rule.Head.Args {
+			if !e.IsVar() && e.Term().IsName() {
+				store.Insert(PredName, pattern.Tuple{e.Term()})
+			}
+		}
+	}
+
+	// delta initialised to everything present
+	delta := make(map[string]map[string]bool) // pred -> tuple keys in delta
+	for pred, r := range store.rels {
+		m := make(map[string]bool, len(r.rows))
+		for _, t := range r.rows {
+			m[t.Key()] = true
+		}
+		delta[pred] = m
+	}
+
+	for {
+		stats.Iterations++
+		next := make(map[string]map[string]bool)
+		derived := 0
+		for _, rule := range p.Rules {
+			// semi-naive: at least one body atom must be matched in the
+			// delta; try each atom as the delta atom
+			for di := range rule.Body {
+				if len(delta[rule.Body[di].Pred]) == 0 {
+					continue
+				}
+				for _, mu := range matchBody(store, rule.Body, di, delta) {
+					fact, created, err := instantiateHead(rule, mu, skolems, &stats)
+					if err != nil {
+						return stats, err
+					}
+					_ = created
+					if store.Insert(rule.Head.Pred, fact) {
+						derived++
+						stats.FactsDerived++
+						m, ok := next[rule.Head.Pred]
+						if !ok {
+							m = make(map[string]bool)
+							next[rule.Head.Pred] = m
+						}
+						m[fact.Key()] = true
+					}
+				}
+			}
+		}
+		if derived == 0 {
+			return stats, nil
+		}
+		delta = next
+	}
+}
+
+// matchBody enumerates bindings of the body where atom deltaIdx matches a
+// delta fact and the rest match the full store.
+func matchBody(store *Store, body []Atom, deltaIdx int, delta map[string]map[string]bool) []pattern.Binding {
+	// order atoms: delta atom first, the rest in given order
+	order := make([]int, 0, len(body))
+	order = append(order, deltaIdx)
+	for i := range body {
+		if i != deltaIdx {
+			order = append(order, i)
+		}
+	}
+	results := []pattern.Binding{{}}
+	for pos, bi := range order {
+		atom := body[bi]
+		rel, ok := store.rels[atom.Pred]
+		if !ok {
+			return nil
+		}
+		var next []pattern.Binding
+		for _, mu := range results {
+			for _, ri := range rel.candidates(atom.Args, mu) {
+				row := rel.rows[ri]
+				if pos == 0 && !delta[atom.Pred][row.Key()] {
+					continue // the designated atom must come from the delta
+				}
+				if ext, ok := unifyRow(atom.Args, row, mu); ok {
+					next = append(next, ext)
+				}
+			}
+		}
+		results = next
+		if len(results) == 0 {
+			return nil
+		}
+	}
+	return results
+}
+
+// unifyRow extends mu by matching args against a stored row.
+func unifyRow(args []pattern.Elem, row pattern.Tuple, mu pattern.Binding) (pattern.Binding, bool) {
+	out := mu
+	cloned := false
+	for i, e := range args {
+		if !e.IsVar() {
+			if e.Term() != row[i] {
+				return nil, false
+			}
+			continue
+		}
+		v := e.Var()
+		if cur, ok := out[v]; ok {
+			if cur != row[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !cloned {
+			out = mu.Clone()
+			cloned = true
+		}
+		out[v] = row[i]
+	}
+	return out, true
+}
+
+// instantiateHead grounds the rule head under mu, minting skolem blanks for
+// declared skolem variables (deterministic in the rule and frontier values).
+func instantiateHead(rule Rule, mu pattern.Binding, skolems map[string]rdf.Term, stats *Stats) (pattern.Tuple, bool, error) {
+	var skBinding pattern.Binding
+	if len(rule.Skolems) > 0 {
+		// skolem key: rule label + frontier values in sorted variable order
+		frontier := rule.SkolemKeyVars
+		if len(frontier) == 0 {
+			frontier = make([]string, 0, len(mu))
+			for v := range mu {
+				frontier = append(frontier, v)
+			}
+			sort.Strings(frontier)
+		}
+		var key strings.Builder
+		key.WriteString(rule.Label)
+		for _, v := range frontier {
+			key.WriteByte('|')
+			key.WriteString(v)
+			key.WriteByte('=')
+			key.WriteString(mu[v].String())
+		}
+		skBinding = make(pattern.Binding, len(rule.Skolems))
+		for _, v := range rule.Skolems {
+			k := key.String() + "!" + v
+			t, ok := skolems[k]
+			if !ok {
+				stats.SkolemsCreated++
+				t = rdf.Blank(fmt.Sprintf("sk%d", stats.SkolemsCreated))
+				skolems[k] = t
+			}
+			skBinding[v] = t
+		}
+	}
+	out := make(pattern.Tuple, len(rule.Head.Args))
+	for i, e := range rule.Head.Args {
+		if !e.IsVar() {
+			out[i] = e.Term()
+			continue
+		}
+		if t, ok := mu[e.Var()]; ok {
+			out[i] = t
+			continue
+		}
+		if t, ok := skBinding[e.Var()]; ok {
+			out[i] = t
+			continue
+		}
+		return nil, false, fmt.Errorf("datalog: rule %s: unbound head variable %s", rule.Label, e.Var())
+	}
+	return out, true, nil
+}
+
+// FromSystem translates an RPS into a Datalog program over t/3 and name/1:
+// six copy rules per equivalence mapping and one rule per head atom of each
+// graph mapping assertion, with frontier variables guarded by name/1 and
+// head existentials skolemised. The program is independent of the data —
+// the "Datalog rewriting" of the system.
+func FromSystem(sys *core.System) *Program {
+	p := &Program{}
+	y, z := pattern.V("y"), pattern.V("z")
+	for i, e := range sys.E {
+		c, cp := pattern.C(e.C), pattern.C(e.CPrime)
+		mk := func(h, b Atom, dir string) Rule {
+			return Rule{Head: h, Body: []Atom{b}, Label: fmt.Sprintf("eq%d-%s", i, dir)}
+		}
+		p.Rules = append(p.Rules,
+			mk(NewAtom(PredTriple, cp, y, z), NewAtom(PredTriple, c, y, z), "s-fw"),
+			mk(NewAtom(PredTriple, c, y, z), NewAtom(PredTriple, cp, y, z), "s-bw"),
+			mk(NewAtom(PredTriple, y, cp, z), NewAtom(PredTriple, y, c, z), "p-fw"),
+			mk(NewAtom(PredTriple, y, c, z), NewAtom(PredTriple, y, cp, z), "p-bw"),
+			mk(NewAtom(PredTriple, y, z, cp), NewAtom(PredTriple, y, z, c), "o-fw"),
+			mk(NewAtom(PredTriple, y, z, c), NewAtom(PredTriple, y, z, cp), "o-bw"),
+		)
+	}
+	for i, m := range sys.G {
+		p.Rules = append(p.Rules, gmaRules(m, i)...)
+	}
+	return p
+}
+
+// gmaRules translates one graph mapping assertion into Datalog rules.
+func gmaRules(m core.GraphMappingAssertion, idx int) []Rule {
+	from := m.From.Rename("b_")
+	// body: t-atoms of Q plus name guards on the free variables
+	var body []Atom
+	for _, tp := range from.GP {
+		body = append(body, NewAtom(PredTriple, tp.S, tp.P, tp.O))
+	}
+	for _, f := range from.Free {
+		body = append(body, NewAtom(PredName, pattern.V(f)))
+	}
+	// head: identify Q' free vars with Q's positionally; rename the rest
+	headFree := make(map[string]string, len(m.To.Free))
+	for i, f := range m.To.Free {
+		headFree[f] = from.Free[i]
+	}
+	exist := make(map[string]bool)
+	ren := func(e pattern.Elem) pattern.Elem {
+		if !e.IsVar() {
+			return e
+		}
+		if mapped, ok := headFree[e.Var()]; ok {
+			return pattern.V(mapped)
+		}
+		exist["h_"+e.Var()] = true
+		return pattern.V("h_" + e.Var())
+	}
+	label := m.Label
+	if label == "" {
+		label = fmt.Sprintf("gma%d", idx)
+	}
+	var skolems []string
+	headAtoms := make([]Atom, 0, len(m.To.GP))
+	for _, tp := range m.To.GP {
+		headAtoms = append(headAtoms, NewAtom(PredTriple, ren(tp.S), ren(tp.P), ren(tp.O)))
+	}
+	for v := range exist {
+		skolems = append(skolems, v)
+	}
+	sort.Strings(skolems)
+	rules := make([]Rule, 0, len(headAtoms))
+	for _, h := range headAtoms {
+		// each head atom becomes one rule; they share the same skolem
+		// binding because the skolem key is (label, frontier values) and
+		// both are shared across the split
+		var sk []string
+		for _, v := range skolems {
+			for _, hv := range h.vars() {
+				if hv == v {
+					sk = append(sk, v)
+					break
+				}
+			}
+		}
+		rules = append(rules, Rule{
+			Head: h, Body: body, Skolems: sk,
+			SkolemKeyVars: append([]string(nil), from.Free...),
+			Label:         label, // shared across the split so skolems align
+		})
+	}
+	return rules
+}
+
+// EDBFromGraph loads an RDF graph as t/3 and name/1 facts.
+func EDBFromGraph(g *rdf.Graph) *Store {
+	store := NewStore()
+	g.ForEach(func(t rdf.Triple) bool {
+		store.Insert(PredTriple, pattern.Tuple{t.S, t.P, t.O})
+		for _, x := range t.Terms() {
+			if x.IsName() {
+				store.Insert(PredName, pattern.Tuple{x})
+			}
+		}
+		return true
+	})
+	return store
+}
+
+// QueryRules translates a graph pattern query into an ans/n rule with name
+// guards on the free variables (certain-answer semantics).
+func QueryRules(q pattern.Query) Rule {
+	var body []Atom
+	for _, tp := range q.GP {
+		body = append(body, NewAtom(PredTriple, tp.S, tp.P, tp.O))
+	}
+	args := make([]pattern.Elem, len(q.Free))
+	for i, f := range q.Free {
+		args[i] = pattern.V(f)
+		body = append(body, NewAtom(PredName, pattern.V(f)))
+	}
+	return Rule{Head: NewAtom(PredAnswer, args...), Body: body, Label: "query"}
+}
+
+// CertainAnswers computes ans(q, P, D) by Datalog evaluation: translate the
+// system and query, load the stored database, run to fixpoint, and read the
+// answer relation. Equivalent to the chase (both are skolem-free on names),
+// but the program — unlike a UCQ — exists for every RPS, including the
+// transitive-closure mappings of Proposition 3.
+func CertainAnswers(sys *core.System, q pattern.Query) (*pattern.TupleSet, Stats, error) {
+	p := FromSystem(sys)
+	p.Rules = append(p.Rules, QueryRules(q))
+	store := EDBFromGraph(sys.StoredDatabase())
+	stats, err := Eval(p, store)
+	if err != nil {
+		return nil, stats, err
+	}
+	return store.Facts(PredAnswer), stats, nil
+}
+
+// SkolemChaseGraph exposes the derived t/3 relation as an RDF graph — the
+// skolem-chase counterpart of the universal solution, useful for
+// inspection and for answering further queries without re-evaluation.
+func SkolemChaseGraph(store *Store) *rdf.Graph {
+	g := rdf.NewGraph()
+	if r, ok := store.rels[PredTriple]; ok {
+		for _, t := range r.rows {
+			if len(t) == 3 {
+				g.Add(rdf.Triple{S: t[0], P: t[1], O: t[2]})
+			}
+		}
+	}
+	return g
+}
+
+// BooleanQuery answers a boolean graph pattern query over an evaluated
+// store (ans/0 non-empty).
+func BooleanQuery(store *Store) bool {
+	return store.Facts(PredAnswer).Len() > 0
+}

@@ -1,0 +1,468 @@
+// Package discovery implements the paper's future-work item 3 (Section 5):
+// discovering mappings between peers automatically. Two instance-based
+// alignment passes are provided, in the spirit of the schema/ontology
+// alignment literature the paper points to:
+//
+//  1. Entity alignment: entities (IRIs in subject position) are fingerprinted
+//     by the literal values attached to them; pairs across peers are scored
+//     by weighted-Jaccard similarity, with rare literals weighted higher
+//     (an inverse-frequency weighting). High-confidence pairs become
+//     candidate equivalence mappings c ≡ₑ c′.
+//  2. Predicate alignment: predicates are compared by the overlap of their
+//     (subject, object) extensions modulo the entity alignment from pass 1
+//     (plus any equivalences already in the system). Directed containment
+//     ratios decide the mapping direction; high-confidence pairs become
+//     candidate rename graph mapping assertions (x, p, y) ⤳ (x, q, y).
+//
+// Candidates carry confidence scores and support counts; Apply registers
+// those above a threshold into the system, after which query answering
+// proceeds exactly as with hand-written mappings.
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Kind distinguishes candidate types.
+type Kind int
+
+const (
+	// KindEquivalence is a candidate c ≡ₑ c′.
+	KindEquivalence Kind = iota
+	// KindPredicateMapping is a candidate rename GMA (x,p,y) ⤳ (x,q,y).
+	KindPredicateMapping
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == KindEquivalence {
+		return "equivalence"
+	}
+	return "predicate-mapping"
+}
+
+// Candidate is one discovered mapping with its evidence.
+type Candidate struct {
+	Kind Kind
+	// A and B are the aligned terms. For predicate mappings the direction
+	// is A ⤳ B (peerA's facts become visible under peerB's predicate...
+	// strictly: every (s,o) under A is asserted under B).
+	A, B rdf.Term
+	// PeerA and PeerB name the peers the terms belong to.
+	PeerA, PeerB string
+	// Confidence is the similarity score in (0, 1].
+	Confidence float64
+	// Support is the number of shared evidence items.
+	Support int
+}
+
+// String renders the candidate.
+func (c Candidate) String() string {
+	op := "≡"
+	if c.Kind == KindPredicateMapping {
+		op = "~>"
+	}
+	return fmt.Sprintf("%s %s %s  (confidence %.2f, support %d)", c.A, op, c.B, c.Confidence, c.Support)
+}
+
+// Config tunes the discovery passes. The zero value uses sensible defaults.
+type Config struct {
+	// MinEntityConfidence gates equivalence candidates; default 0.5.
+	MinEntityConfidence float64
+	// MinPredicateConfidence gates predicate candidates; default 0.5.
+	MinPredicateConfidence float64
+	// MinSupport is the minimum number of shared evidence items; default 1.
+	MinSupport int
+	// EvidenceDamping shrinks confidence when the shared evidence weight is
+	// small: confidence = similarity · w/(w + EvidenceDamping). Default 0.5.
+	EvidenceDamping float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinEntityConfidence == 0 {
+		c.MinEntityConfidence = 0.5
+	}
+	if c.MinPredicateConfidence == 0 {
+		c.MinPredicateConfidence = 0.5
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 1
+	}
+	if c.EvidenceDamping == 0 {
+		c.EvidenceDamping = 0.5
+	}
+	return c
+}
+
+// fingerprint maps an entity to its weighted literal set.
+type fingerprint map[rdf.Term]struct{}
+
+// entityFingerprints collects, per subject IRI, the set of literal objects.
+func entityFingerprints(p *core.Peer) map[rdf.Term]fingerprint {
+	out := make(map[rdf.Term]fingerprint)
+	p.Data().ForEach(func(t rdf.Triple) bool {
+		if !t.S.IsIRI() || !t.O.IsLiteral() {
+			return true
+		}
+		fp, ok := out[t.S]
+		if !ok {
+			fp = make(fingerprint)
+			out[t.S] = fp
+		}
+		fp[t.O] = struct{}{}
+		return true
+	})
+	return out
+}
+
+// literalWeights computes inverse-frequency weights over both peers: a
+// literal carried by exactly two entities (one per peer — the ideal
+// alignment witness) has weight 1; a literal carried by n entities has
+// weight 1/(n-1), so generic values ("yes", country names, …) contribute
+// almost nothing.
+func literalWeights(fps ...map[rdf.Term]fingerprint) map[rdf.Term]float64 {
+	freq := make(map[rdf.Term]int)
+	for _, m := range fps {
+		for _, fp := range m {
+			for lit := range fp {
+				freq[lit]++
+			}
+		}
+	}
+	out := make(map[rdf.Term]float64, len(freq))
+	for lit, n := range freq {
+		out[lit] = 1 / math.Max(1, float64(n-1))
+	}
+	return out
+}
+
+// DiscoverEquivalences aligns the entities of two peers by weighted-Jaccard
+// similarity of their literal fingerprints. Each entity is matched to at
+// most one partner (greedy best-first), and self-pairs (shared IRIs) are
+// skipped.
+func DiscoverEquivalences(pa, pb *core.Peer, cfg Config) []Candidate {
+	cfg = cfg.withDefaults()
+	fpa := entityFingerprints(pa)
+	fpb := entityFingerprints(pb)
+	weights := literalWeights(fpa, fpb)
+
+	// index peer B entities by literal for candidate generation
+	byLit := make(map[rdf.Term][]rdf.Term)
+	for e, fp := range fpb {
+		for lit := range fp {
+			byLit[lit] = append(byLit[lit], e)
+		}
+	}
+
+	type pairKey struct{ a, b rdf.Term }
+	scored := make(map[pairKey]*Candidate)
+	for ea, fa := range fpa {
+		seen := make(map[rdf.Term]bool)
+		for lit := range fa {
+			for _, eb := range byLit[lit] {
+				if eb == ea || seen[eb] {
+					continue
+				}
+				seen[eb] = true
+				fb := fpb[eb]
+				var inter, uni float64
+				support := 0
+				for l := range fa {
+					w := weights[l]
+					uni += w
+					if _, ok := fb[l]; ok {
+						inter += w
+						support++
+					}
+				}
+				for l := range fb {
+					if _, ok := fa[l]; !ok {
+						uni += weights[l]
+					}
+				}
+				if uni == 0 {
+					continue
+				}
+				// similarity damped by absolute shared evidence: a perfect
+				// ratio on worthless evidence must not score high
+				conf := (inter / uni) * (inter / (inter + cfg.EvidenceDamping))
+				if conf < cfg.MinEntityConfidence || support < cfg.MinSupport {
+					continue
+				}
+				scored[pairKey{ea, eb}] = &Candidate{
+					Kind: KindEquivalence, A: ea, B: eb,
+					PeerA: pa.Name(), PeerB: pb.Name(),
+					Confidence: conf, Support: support,
+				}
+			}
+		}
+	}
+
+	// greedy one-to-one matching, best confidence first
+	all := make([]*Candidate, 0, len(scored))
+	for _, c := range scored {
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Confidence != all[j].Confidence {
+			return all[i].Confidence > all[j].Confidence
+		}
+		return all[i].A.Compare(all[j].A) < 0 || all[i].A == all[j].A && all[i].B.Compare(all[j].B) < 0
+	})
+	usedA := make(map[rdf.Term]bool)
+	usedB := make(map[rdf.Term]bool)
+	var out []Candidate
+	for _, c := range all {
+		if usedA[c.A] || usedB[c.B] {
+			continue
+		}
+		usedA[c.A] = true
+		usedB[c.B] = true
+		out = append(out, *c)
+	}
+	return out
+}
+
+// DiscoverPredicateMappings aligns the predicates of two peers by the
+// overlap of their entity-pair extensions, where subjects and objects are
+// first normalised through the given alignment (a term-to-term map built
+// from discovered equivalences and the system's existing ≡ₑ). The mapping
+// direction A ⤳ B is emitted when ext(A) is (mostly) contained in the
+// aligned ext(B); a symmetric pair yields both directions.
+func DiscoverPredicateMappings(pa, pb *core.Peer, alignment map[rdf.Term]rdf.Term, cfg Config) []Candidate {
+	cfg = cfg.withDefaults()
+	extA := predicateExtensions(pa, alignment)
+	extB := predicateExtensions(pb, alignment)
+
+	var out []Candidate
+	for predA, ea := range extA {
+		for predB, eb := range extB {
+			if predA == predB {
+				continue
+			}
+			inter := 0
+			for pair := range ea {
+				if _, ok := eb[pair]; ok {
+					inter++
+				}
+			}
+			if inter < cfg.MinSupport {
+				continue
+			}
+			// containment of A's extension in B's decides A ⤳ B
+			confAB := float64(inter) / float64(len(ea))
+			if confAB >= cfg.MinPredicateConfidence {
+				out = append(out, Candidate{
+					Kind: KindPredicateMapping, A: predA, B: predB,
+					PeerA: pa.Name(), PeerB: pb.Name(),
+					Confidence: confAB, Support: inter,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].A.Compare(out[j].A) < 0
+	})
+	return out
+}
+
+// predicateExtensions returns, per predicate, the set of aligned
+// (subject, object) pair keys. Blank nodes are skipped (they are
+// peer-local).
+func predicateExtensions(p *core.Peer, alignment map[rdf.Term]rdf.Term) map[rdf.Term]map[string]struct{} {
+	norm := func(t rdf.Term) rdf.Term {
+		if rep, ok := alignment[t]; ok {
+			return rep
+		}
+		return t
+	}
+	out := make(map[rdf.Term]map[string]struct{})
+	p.Data().ForEach(func(t rdf.Triple) bool {
+		if t.S.IsBlank() || t.O.IsBlank() {
+			return true
+		}
+		m, ok := out[t.P]
+		if !ok {
+			m = make(map[string]struct{})
+			out[t.P] = m
+		}
+		m[norm(t.S).String()+"|"+norm(t.O).String()] = struct{}{}
+		return true
+	})
+	return out
+}
+
+// Report is the outcome of a full-system discovery run.
+type Report struct {
+	Equivalences []Candidate
+	Predicates   []Candidate
+}
+
+// Total returns the number of candidates.
+func (r *Report) Total() int { return len(r.Equivalences) + len(r.Predicates) }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "discovered %d equivalence and %d predicate candidates\n",
+		len(r.Equivalences), len(r.Predicates))
+	for _, c := range r.Equivalences {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	for _, c := range r.Predicates {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}
+
+// Discover runs both passes over every ordered pair of peers in the system.
+// Existing equivalence mappings seed the alignment used by the predicate
+// pass.
+func Discover(sys *core.System, cfg Config) *Report {
+	report := &Report{}
+	peers := sys.Peers()
+
+	// pass 1: entity equivalences per unordered pair
+	for i := 0; i < len(peers); i++ {
+		for j := i + 1; j < len(peers); j++ {
+			report.Equivalences = append(report.Equivalences,
+				DiscoverEquivalences(peers[i], peers[j], cfg)...)
+		}
+	}
+
+	// the alignment: class representatives from existing + discovered
+	alignment := buildAlignment(sys, report.Equivalences)
+
+	// pass 2: predicate mappings per ordered pair
+	for i := 0; i < len(peers); i++ {
+		for j := 0; j < len(peers); j++ {
+			if i == j {
+				continue
+			}
+			report.Predicates = append(report.Predicates,
+				DiscoverPredicateMappings(peers[i], peers[j], alignment, cfg)...)
+		}
+	}
+	return report
+}
+
+// buildAlignment unions existing ≡ₑ classes with discovered candidates and
+// maps every member to its class representative.
+func buildAlignment(sys *core.System, discovered []Candidate) map[rdf.Term]rdf.Term {
+	parent := make(map[rdf.Term]rdf.Term)
+	var find func(rdf.Term) rdf.Term
+	find = func(x rdf.Term) rdf.Term {
+		p, ok := parent[x]
+		if !ok || p == x {
+			if !ok {
+				parent[x] = x
+			}
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b rdf.Term) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb.Compare(ra) < 0 {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, e := range sys.E {
+		union(e.C, e.CPrime)
+	}
+	for _, c := range discovered {
+		union(c.A, c.B)
+	}
+	out := make(map[rdf.Term]rdf.Term, len(parent))
+	for x := range parent {
+		out[x] = find(x)
+	}
+	return out
+}
+
+// Apply registers every candidate at or above the confidence threshold into
+// the system: equivalences via AddEquivalence, predicate mappings as rename
+// graph mapping assertions. It returns the number of mappings added.
+func Apply(sys *core.System, report *Report, minConfidence float64) (int, error) {
+	added := 0
+	for _, c := range report.Equivalences {
+		if c.Confidence < minConfidence {
+			continue
+		}
+		before := len(sys.E)
+		if err := sys.AddEquivalence(c.A, c.B); err != nil {
+			return added, err
+		}
+		if len(sys.E) > before {
+			added++
+		}
+	}
+	for _, c := range report.Predicates {
+		if c.Confidence < minConfidence {
+			continue
+		}
+		from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(c.A), pattern.V("y")),
+		})
+		to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(c.B), pattern.V("y")),
+		})
+		m := core.GraphMappingAssertion{
+			From: from, To: to, SrcPeer: c.PeerA, DstPeer: c.PeerB,
+			Label: fmt.Sprintf("discovered:%.2f", c.Confidence),
+		}
+		if err := sys.AddMapping(m); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}
+
+// PrecisionRecall scores candidates against a ground-truth set of pairs
+// (order-insensitive for equivalences, order-sensitive for predicate
+// mappings).
+func PrecisionRecall(candidates []Candidate, truth map[[2]rdf.Term]bool) (precision, recall float64) {
+	if len(candidates) == 0 {
+		if len(truth) == 0 {
+			return 1, 1
+		}
+		return 1, 0
+	}
+	tp := 0
+	for _, c := range candidates {
+		if truth[[2]rdf.Term{c.A, c.B}] || c.Kind == KindEquivalence && truth[[2]rdf.Term{c.B, c.A}] {
+			tp++
+		}
+	}
+	precision = float64(tp) / float64(len(candidates))
+	if len(truth) == 0 {
+		return precision, 1
+	}
+	// recall counts distinct truths found
+	found := make(map[[2]rdf.Term]bool)
+	for _, c := range candidates {
+		if truth[[2]rdf.Term{c.A, c.B}] {
+			found[[2]rdf.Term{c.A, c.B}] = true
+		} else if c.Kind == KindEquivalence && truth[[2]rdf.Term{c.B, c.A}] {
+			found[[2]rdf.Term{c.B, c.A}] = true
+		}
+	}
+	recall = float64(len(found)) / float64(len(truth))
+	return precision, recall
+}

@@ -1,0 +1,222 @@
+package discovery_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+// On a clean twin system, discovery recovers the full ground truth.
+func TestDiscoveryCleanTwins(t *testing.T) {
+	sys, truth := workload.TwinSystem(workload.TwinConfig{
+		Entities: 12, LiteralsPerEntity: 3, Facts: 20, Noise: 0, Seed: 1,
+	})
+	report := discovery.Discover(sys, discovery.Config{})
+	p, r := discovery.PrecisionRecall(report.Equivalences, truth.Entities)
+	if p != 1 || r != 1 {
+		t.Errorf("entity alignment P=%.2f R=%.2f, want 1/1\n%s", p, r, report)
+	}
+	p, r = discovery.PrecisionRecall(report.Predicates, truth.Predicates)
+	if p != 1 || r != 1 {
+		t.Errorf("predicate alignment P=%.2f R=%.2f, want 1/1\n%s", p, r, report)
+	}
+}
+
+// Noise lowers recall gracefully but precision stays high (rare-literal
+// weighting and one-to-one matching suppress false positives).
+func TestDiscoveryUnderNoise(t *testing.T) {
+	sys, truth := workload.TwinSystem(workload.TwinConfig{
+		Entities: 30, LiteralsPerEntity: 4, Facts: 60, Noise: 0.3, Seed: 7,
+	})
+	report := discovery.Discover(sys, discovery.Config{})
+	p, r := discovery.PrecisionRecall(report.Equivalences, truth.Entities)
+	if p < 0.9 {
+		t.Errorf("entity precision %.2f under noise, want >= 0.9", p)
+	}
+	if r < 0.5 {
+		t.Errorf("entity recall %.2f under noise, want >= 0.5", r)
+	}
+}
+
+// The end-to-end promise: answers with discovered mappings equal answers
+// with the hand-written ground truth.
+func TestDiscoveredMappingsAnswerQueries(t *testing.T) {
+	build := func() (*core.System, *workload.TwinTruth) {
+		return workload.TwinSystem(workload.TwinConfig{
+			Entities: 10, LiteralsPerEntity: 3, Facts: 15, Noise: 0, Seed: 3,
+		})
+	}
+	// ground-truth system: hand-register everything
+	sysTruth, truth := build()
+	for pair := range truth.Entities {
+		if err := sysTruth.AddEquivalence(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pair := range truth.Predicates {
+		from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(pair[0]), pattern.V("y")),
+		})
+		to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(pair[1]), pattern.V("y")),
+		})
+		if err := sysTruth.AddMapping(core.GraphMappingAssertion{From: from, To: to}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// discovered system
+	sysDisc, _ := build()
+	report := discovery.Discover(sysDisc, discovery.Config{})
+	added, err := discovery.Apply(sysDisc, report, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("nothing applied")
+	}
+	// compare certain answers in peer B's vocabulary
+	q := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(workload.TwinPredicate("b")), pattern.V("y")),
+	})
+	wantAns, err := chase.CertainAnswers(sysTruth, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAns, err := chase.CertainAnswers(sysDisc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotAns.Equal(wantAns) {
+		t.Errorf("discovered mappings answer differently: %d vs %d tuples",
+			gotAns.Len(), wantAns.Len())
+	}
+	if gotAns.Len() == 0 {
+		t.Error("no integrated answers at all")
+	}
+}
+
+// Entities with generic (high-frequency) literals must not align.
+func TestRareLiteralWeighting(t *testing.T) {
+	sys := core.NewSystem()
+	pa := sys.AddPeer("a")
+	pb := sys.AddPeer("b")
+	attrA := rdf.IRI("http://a.e/attr")
+	attrB := rdf.IRI("http://b.e/attr")
+	common := rdf.Literal("yes") // attached to everything
+	add := func(p *core.Peer, s rdf.Term, pr rdf.Term, o rdf.Term) {
+		t.Helper()
+		if err := p.Add(rdf.Triple{S: s, P: pr, O: o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		add(pa, rdf.IRI(rdf.IRI("http://a.e/x").Value()+string(rune('0'+i))), attrA, common)
+		add(pb, rdf.IRI(rdf.IRI("http://b.e/y").Value()+string(rune('0'+i))), attrB, common)
+	}
+	// one genuinely matching pair with a rare literal
+	add(pa, rdf.IRI("http://a.e/special"), attrA, rdf.Literal("unicorn-42"))
+	add(pb, rdf.IRI("http://b.e/special"), attrB, rdf.Literal("unicorn-42"))
+
+	cands := discovery.DiscoverEquivalences(pa, pb, discovery.Config{MinEntityConfidence: 0.5})
+	for _, c := range cands {
+		if c.A != rdf.IRI("http://a.e/special") {
+			t.Errorf("generic-literal pair wrongly aligned: %s", c)
+		}
+	}
+	found := false
+	for _, c := range cands {
+		if c.A == rdf.IRI("http://a.e/special") && c.B == rdf.IRI("http://b.e/special") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rare-literal pair not found: %v", cands)
+	}
+}
+
+// One-to-one matching: an entity cannot align to two partners.
+func TestGreedyOneToOne(t *testing.T) {
+	sys, _ := workload.TwinSystem(workload.TwinConfig{Entities: 8, LiteralsPerEntity: 2, Seed: 5})
+	report := discovery.Discover(sys, discovery.Config{})
+	seenA := make(map[rdf.Term]bool)
+	seenB := make(map[rdf.Term]bool)
+	for _, c := range report.Equivalences {
+		if seenA[c.A] || seenB[c.B] {
+			t.Errorf("duplicate alignment involving %s / %s", c.A, c.B)
+		}
+		seenA[c.A] = true
+		seenB[c.B] = true
+	}
+}
+
+// Predicate discovery uses existing equivalences as the alignment bridge.
+func TestPredicateDiscoveryWithExistingEquivalences(t *testing.T) {
+	sys := core.NewSystem()
+	pa := sys.AddPeer("a")
+	pb := sys.AddPeer("b")
+	relA := rdf.IRI("http://a.e/knows")
+	relB := rdf.IRI("http://b.e/contact")
+	add := func(p *core.Peer, s, pr, o rdf.Term) {
+		t.Helper()
+		if err := p.Add(rdf.Triple{S: s, P: pr, O: o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		sa := rdf.IRI(rdf.IRI("http://a.e/p").Value() + string(rune('0'+i)))
+		sb := rdf.IRI(rdf.IRI("http://b.e/q").Value() + string(rune('0'+i)))
+		oa := rdf.IRI(rdf.IRI("http://a.e/p").Value() + string(rune('0'+(i+1)%6)))
+		ob := rdf.IRI(rdf.IRI("http://b.e/q").Value() + string(rune('0'+(i+1)%6)))
+		add(pa, sa, relA, oa)
+		add(pb, sb, relB, ob)
+		_ = sys.AddEquivalence(sa, sb) // pre-existing sameAs knowledge
+	}
+	report := discovery.Discover(sys, discovery.Config{})
+	found := false
+	for _, c := range report.Predicates {
+		if c.A == relA && c.B == relB && c.Confidence == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relA ~> relB not discovered via existing equivalences:\n%s", report)
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	p, r := discovery.PrecisionRecall(nil, nil)
+	if p != 1 || r != 1 {
+		t.Errorf("empty/empty = %v/%v", p, r)
+	}
+	truth := map[[2]rdf.Term]bool{{rdf.IRI("a"), rdf.IRI("b")}: true}
+	p, r = discovery.PrecisionRecall(nil, truth)
+	if p != 1 || r != 0 {
+		t.Errorf("empty candidates = %v/%v", p, r)
+	}
+	cands := []discovery.Candidate{{Kind: discovery.KindEquivalence, A: rdf.IRI("b"), B: rdf.IRI("a")}}
+	p, r = discovery.PrecisionRecall(cands, truth)
+	if p != 1 || r != 1 {
+		t.Errorf("symmetric equivalence not credited: %v/%v", p, r)
+	}
+}
+
+func TestReportAndCandidateRendering(t *testing.T) {
+	sys, _ := workload.TwinSystem(workload.TwinConfig{Entities: 3, Seed: 2})
+	report := discovery.Discover(sys, discovery.Config{})
+	out := report.String()
+	if !strings.Contains(out, "equivalence") && report.Total() > 0 {
+		t.Errorf("report rendering:\n%s", out)
+	}
+	if report.Total() != len(report.Equivalences)+len(report.Predicates) {
+		t.Error("Total inconsistent")
+	}
+	if discovery.KindEquivalence.String() == discovery.KindPredicateMapping.String() {
+		t.Error("kind names collide")
+	}
+}

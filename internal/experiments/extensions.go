@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/discovery"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/workload"
+)
+
+// E9Datalog evaluates the future-work item 1 extension: the Datalog
+// rewriting answers the Proposition 3 transitive-closure workload — where
+// no finite UCQ exists — with a fixed-size recursive program, matching the
+// chase at every scale.
+func E9Datalog(lengths []int) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Future work 1 — Datalog rewriting: fixed program vs unbounded UCQ (Prop. 3 workload)",
+		Columns: []string{"chain L", "program rules", "datalog time", "datalog answers",
+			"chase time", "agree", "UCQ@depth-L size"},
+	}
+	for _, L := range lengths {
+		sys := transitiveChain(L)
+		q := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(chainPredicate()), pattern.V("y")),
+		})
+
+		startD := time.Now()
+		dAns, _, err := datalog.CertainAnswers(sys, q)
+		if err != nil {
+			return nil, err
+		}
+		durD := time.Since(startD)
+		program := datalog.FromSystem(sys)
+
+		startC := time.Now()
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			return nil, err
+		}
+		durC := time.Since(startC)
+		cAns := u.CertainAnswers(q)
+
+		// the best the FO approach can do at depth L (often truncated)
+		ask := pattern.Query{GP: pattern.GraphPattern{
+			pattern.TP(pattern.C(chainNode(0)), pattern.C(chainPredicate()), pattern.C(chainNode(L))),
+		}}
+		ucqSize := "-"
+		if L <= 10 {
+			res, err := rewrite.RewriteTGDs(ask, transitiveTGDs(), rewrite.Options{MaxDepth: L, MaxQueries: 2000000})
+			if err != nil {
+				return nil, err
+			}
+			ucqSize = fmt.Sprintf("%d", res.Size())
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", L),
+			fmt.Sprintf("%d", len(program.Rules)),
+			ms(durD),
+			fmt.Sprintf("%d", dAns.Len()),
+			ms(durC),
+			fmt.Sprintf("%v", dAns.Equal(cAns)),
+			ucqSize,
+		})
+		if !dAns.Equal(cAns) {
+			t.Notes = append(t.Notes, fmt.Sprintf("L=%d: DATALOG/CHASE DISAGREEMENT", L))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shape check: the Datalog program is constant-size and complete for every L,",
+		"while the UCQ needed by the FO approach grows without bound (Prop. 3)")
+	return t, nil
+}
+
+// chainPredicate is the edge predicate of the transitive-chain workload.
+func chainPredicate() rdf.Term { return rdf.IRI("http://e/A") }
+
+// transitiveTGDs is the Proposition 3 dependency as a TripleTGD set.
+func transitiveTGDs() []rewrite.TripleTGD {
+	A := pattern.C(chainPredicate())
+	return []rewrite.TripleTGD{{
+		Body: pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), A, pattern.V("z")),
+			pattern.TP(pattern.V("z"), A, pattern.V("y")),
+		},
+		Head:  pattern.GraphPattern{pattern.TP(pattern.V("x"), A, pattern.V("y"))},
+		Label: "transitive",
+	}}
+}
+
+// E10Discovery evaluates the future-work item 3 extension: precision and
+// recall of automatic mapping discovery on twin workloads across noise
+// levels, and the end-to-end answer agreement after applying the
+// discovered mappings.
+func E10Discovery(noiseLevels []float64) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Future work 3 — automatic mapping discovery on twin peers",
+		Columns: []string{"noise", "entity P", "entity R", "predicate P", "predicate R",
+			"applied", "answer agreement"},
+	}
+	for _, noise := range noiseLevels {
+		cfg := workload.TwinConfig{Entities: 25, LiteralsPerEntity: 4, Facts: 50, Noise: noise, Seed: 17}
+		sys, truth := workload.TwinSystem(cfg)
+		report := discovery.Discover(sys, discovery.Config{})
+		pe, re := discovery.PrecisionRecall(report.Equivalences, truth.Entities)
+		pp, rp := discovery.PrecisionRecall(report.Predicates, truth.Predicates)
+
+		// end-to-end: answers with discovered vs hand-written mappings
+		sysDisc, _ := workload.TwinSystem(cfg)
+		applied, err := discovery.Apply(sysDisc, report, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		sysTruth, _ := workload.TwinSystem(cfg)
+		for pair := range truth.Entities {
+			if err := sysTruth.AddEquivalence(pair[0], pair[1]); err != nil {
+				return nil, err
+			}
+		}
+		q := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(workload.TwinPredicate("b")), pattern.V("y")),
+		})
+		wantAns, err := chase.CertainAnswers(sysTruth, q)
+		if err != nil {
+			return nil, err
+		}
+		gotAns, err := chase.CertainAnswers(sysDisc, q)
+		if err != nil {
+			return nil, err
+		}
+		agreement := 0.0
+		if wantAns.Len() > 0 {
+			found := 0
+			for _, tu := range wantAns.Sorted() {
+				if gotAns.Has(tu) {
+					found++
+				}
+			}
+			agreement = float64(found) / float64(wantAns.Len())
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", noise),
+			fmt.Sprintf("%.2f", pe), fmt.Sprintf("%.2f", re),
+			fmt.Sprintf("%.2f", pp), fmt.Sprintf("%.2f", rp),
+			fmt.Sprintf("%d", applied),
+			fmt.Sprintf("%.0f%%", 100*agreement),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"shape check: precision stays high as noise grows; recall and answer",
+		"agreement degrade gracefully — the uncertain-mapping regime the paper",
+		"flags for probabilistic treatment")
+	return t, nil
+}

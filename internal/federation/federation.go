@@ -1,0 +1,357 @@
+// Package federation implements the prototype architecture of Section 5 of
+// the paper: a SPARQL query engine that provides unified access to the
+// mapped sources of an RDF Peer System. A query posed in any vocabulary
+// known to the system is (a) rewritten by the query rewriting module so
+// that all certain answers are retrievable, and (b) executed by the
+// federated query module, which selects the relevant sources per triple
+// pattern (via the registry's schema routing), poses sub-queries to the
+// peers' SPARQL services, and joins the sub-query results at the mediator.
+//
+// Two join strategies are provided: HashJoin ships each triple pattern's
+// full extension once per relevant source and joins locally; BindJoin ships
+// bindings source-ward, trading more (smaller) messages for less data
+// transfer on selective queries.
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/sparql"
+)
+
+// JoinStrategy selects how distributed joins are executed.
+type JoinStrategy int
+
+const (
+	// HashJoin fetches each pattern's extension and joins at the mediator.
+	HashJoin JoinStrategy = iota
+	// BindJoin ships current bindings to instantiate the next pattern.
+	BindJoin
+)
+
+// Options configures the engine.
+type Options struct {
+	Join JoinStrategy
+	// Rewrite bounds the rewriting module.
+	Rewrite rewrite.Options
+}
+
+// Metrics describes one federated query execution.
+type Metrics struct {
+	// Disjuncts is the size of the UCQ produced by the rewriting module.
+	Disjuncts int
+	// RewriteTruncated reports an incomplete (bounded) rewriting.
+	RewriteTruncated bool
+	// RemoteCalls counts sub-queries sent to peers.
+	RemoteCalls int
+	// RowsFetched counts result rows shipped back from peers.
+	RowsFetched int
+	// SourcesContacted is the number of distinct peers queried.
+	SourcesContacted int
+	// CacheHits counts sub-queries answered from the per-execution fetch
+	// cache instead of the network (identical patterns recur across the
+	// disjuncts of large rewritings).
+	CacheHits int
+}
+
+// Client abstracts how the mediator reaches a peer's SPARQL service: the
+// simulated network client (peer.Client), the HTTP client (peer.HTTPClient)
+// or anything else that can answer a query at an address.
+type Client interface {
+	Query(addr, queryText string) (*sparql.Result, error)
+}
+
+// Engine is the mediator.
+type Engine struct {
+	sys    *core.System
+	reg    *peer.Registry
+	client Client
+	opts   Options
+}
+
+// New creates an engine over a system (the mediator's knowledge of schemas
+// and mappings), a registry of peer services, and a query client.
+func New(sys *core.System, reg *peer.Registry, client Client, opts Options) *Engine {
+	return &Engine{sys: sys, reg: reg, client: client, opts: opts}
+}
+
+// Answer computes the certain answers of q by rewriting and federated
+// evaluation. When the rewriting saturates (Proposition 2 conditions) the
+// result is exactly ans(q, P, D).
+func (e *Engine) Answer(q pattern.Query) (*pattern.TupleSet, *Metrics, error) {
+	res, err := rewrite.Rewrite(q, e.sys, e.opts.Rewrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.answerUCQ(res)
+}
+
+// AnswerWithTGDs is Answer with an explicit dependency set (used by the
+// baselines to restrict or disable the rewriting module).
+func (e *Engine) AnswerWithTGDs(q pattern.Query, sigma []rewrite.TripleTGD) (*pattern.TupleSet, *Metrics, error) {
+	res, err := rewrite.RewriteTGDs(q, sigma, e.opts.Rewrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.answerUCQ(res)
+}
+
+func (e *Engine) answerUCQ(res *rewrite.Result) (*pattern.TupleSet, *Metrics, error) {
+	m := &Metrics{Disjuncts: res.Size(), RewriteTruncated: res.Truncated}
+	sources := make(map[string]bool)
+	cache := make(map[string][]pattern.Binding)
+	out := pattern.NewTupleSet()
+	for _, d := range res.Disjuncts {
+		bindings, err := e.evalDistributed(d.Query.GP, m, sources, cache)
+		if err != nil {
+			return nil, m, err
+		}
+		projectDisjunct(d, bindings, out)
+	}
+	m.SourcesContacted = len(sources)
+	return out, m, nil
+}
+
+// projectDisjunct turns solution mappings into certain-answer tuples
+// (names only), splicing constants bound to answer variables.
+func projectDisjunct(d rewrite.Disjunct, bindings []pattern.Binding, out *pattern.TupleSet) {
+	for _, mu := range bindings {
+		tuple := make(pattern.Tuple, len(d.Query.Free))
+		ok := true
+		for i, f := range d.Query.Free {
+			if c, bound := d.Bound[f]; bound {
+				tuple[i] = c
+				continue
+			}
+			t, has := mu[f]
+			if !has || t.IsBlank() {
+				ok = false
+				break
+			}
+			tuple[i] = t
+		}
+		if ok {
+			out.Add(tuple)
+		}
+	}
+}
+
+// evalDistributed evaluates one conjunctive body across the peers.
+func (e *Engine) evalDistributed(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
+	if len(gp) == 0 {
+		return []pattern.Binding{{}}, nil
+	}
+	switch e.opts.Join {
+	case BindJoin:
+		return e.bindJoin(gp, m, sources, cache)
+	default:
+		return e.hashJoin(gp, m, sources, cache)
+	}
+}
+
+// hashJoin fetches every pattern's extension, then joins smallest-first.
+func (e *Engine) hashJoin(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
+	exts := make([][]pattern.Binding, len(gp))
+	for i, tp := range gp {
+		ext, err := e.fetchPattern(tp, m, sources, cache)
+		if err != nil {
+			return nil, err
+		}
+		exts[i] = ext
+	}
+	sort.Slice(exts, func(i, j int) bool { return len(exts[i]) < len(exts[j]) })
+	acc := exts[0]
+	for _, ext := range exts[1:] {
+		if len(acc) == 0 {
+			return nil, nil
+		}
+		acc = pattern.Join(acc, ext)
+	}
+	return acc, nil
+}
+
+// bindJoin evaluates patterns most-selective-first, instantiating each
+// subsequent pattern with the current bindings.
+func (e *Engine) bindJoin(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
+	ordered := append(pattern.GraphPattern(nil), gp...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return countVars(ordered[i]) < countVars(ordered[j])
+	})
+	acc, err := e.fetchPattern(ordered[0], m, sources, cache)
+	if err != nil {
+		return nil, err
+	}
+	for _, tp := range ordered[1:] {
+		var next []pattern.Binding
+		seen := make(map[string][]pattern.Binding)
+		for _, mu := range acc {
+			// blank-node values cannot be shipped as constants (a blank in
+			// a remote query would act as a fresh variable); keep those
+			// positions as variables and let the compatibility check join
+			// on the returned labels
+			inst := tp.Apply(withoutBlanks(mu))
+			key := inst.String()
+			ext, ok := seen[key]
+			if !ok {
+				ext, err = e.fetchPattern(inst, m, sources, cache)
+				if err != nil {
+					return nil, err
+				}
+				seen[key] = ext
+			}
+			for _, ext1 := range ext {
+				if pattern.Compatible(mu, ext1) {
+					next = append(next, pattern.Union(mu, ext1))
+				}
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// withoutBlanks filters blank-node values out of a binding.
+func withoutBlanks(mu pattern.Binding) pattern.Binding {
+	clean := true
+	for _, t := range mu {
+		if t.IsBlank() {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return mu
+	}
+	out := make(pattern.Binding, len(mu))
+	for v, t := range mu {
+		if !t.IsBlank() {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+func countVars(tp pattern.TriplePattern) int {
+	n := 0
+	for _, e := range tp.Elems() {
+		if e.IsVar() {
+			n++
+		}
+	}
+	return n
+}
+
+// fetchPattern retrieves the extension of one triple pattern from every
+// candidate source and merges the bindings (set semantics).
+func (e *Engine) fetchPattern(tp pattern.TriplePattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
+	// a pattern with a literal subject or a non-IRI predicate violates the
+	// RDF typing discipline and can never match: no need to ask anyone
+	// (bind joins produce such instantiations when a join variable ranges
+	// over literals)
+	if !tp.S.IsVar() && tp.S.Term().IsLiteral() {
+		return nil, nil
+	}
+	if !tp.P.IsVar() && !tp.P.Term().IsIRI() {
+		return nil, nil
+	}
+	iris := patternIRIs(tp)
+	candidates := e.reg.SelectSources(iris)
+	queryText, vars, err := renderPatternQuery(tp)
+	if err != nil {
+		return nil, err
+	}
+	// the cache key must be variable-name independent only if renderings
+	// collide; identical renderings are exactly re-usable
+	if cached, ok := cache[queryText]; ok {
+		m.CacheHits++
+		return cached, nil
+	}
+	seen := make(map[string]bool)
+	var out []pattern.Binding
+	for _, src := range candidates {
+		res, err := e.client.Query(src.Addr, queryText)
+		if err != nil {
+			return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
+		}
+		m.RemoteCalls++
+		sources[src.Name] = true
+		if res.Form == sparql.FormAsk {
+			if res.True {
+				m.RowsFetched++
+				if !seen["ask"] {
+					seen["ask"] = true
+					out = append(out, pattern.Binding{})
+				}
+			}
+			continue
+		}
+		for _, row := range res.Rows {
+			m.RowsFetched++
+			mu := make(pattern.Binding, len(vars))
+			ok := true
+			for i, v := range vars {
+				if row[i].IsZero() {
+					ok = false
+					break
+				}
+				mu[v] = row[i]
+			}
+			if !ok {
+				continue
+			}
+			key := bindingKey(mu, vars)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, mu)
+			}
+		}
+	}
+	cache[queryText] = out
+	return out, nil
+}
+
+func bindingKey(mu pattern.Binding, vars []string) string {
+	s := ""
+	for _, v := range vars {
+		s += mu[v].String() + "|"
+	}
+	return s
+}
+
+// patternIRIs returns the constant IRIs of a pattern (for source selection).
+func patternIRIs(tp pattern.TriplePattern) []rdf.Term {
+	var out []rdf.Term
+	for _, e := range tp.Elems() {
+		if !e.IsVar() && e.Term().IsIRI() {
+			out = append(out, e.Term())
+		}
+	}
+	return out
+}
+
+// renderPatternQuery renders a single triple pattern as a SPARQL query:
+// SELECT over its variables, or ASK if fully ground. It returns the
+// projected variable order.
+func renderPatternQuery(tp pattern.TriplePattern) (string, []string, error) {
+	vars := tp.Vars()
+	for _, e := range tp.Elems() {
+		if !e.IsVar() && e.Term().IsBlank() {
+			return "", nil, fmt.Errorf("federation: blank node constant in query pattern %v", tp)
+		}
+	}
+	pq := pattern.Query{Free: vars, GP: pattern.GraphPattern{tp}}
+	sq := sparql.FromPatternQuery(pq, nil)
+	if len(vars) == 0 {
+		sq.Form = sparql.FormAsk
+	}
+	return sq.String(), vars, nil
+}

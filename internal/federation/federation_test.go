@@ -1,0 +1,205 @@
+package federation_test
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+func deploy(sys *core.System, opts federation.Options) (*federation.Engine, *simnet.Network) {
+	net := simnet.New()
+	reg := peer.NewRegistry()
+	peer.Deploy(sys, net, reg)
+	net.Register("mediator", func(string, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, nil
+	})
+	client := peer.NewClient(net, "mediator")
+	return federation.New(sys, reg, client, opts), net
+}
+
+// The federated engine must return exactly the Listing 1 certain answers —
+// the prototype's promise: "the user poses a query ... and retrieves
+// additional information ... in a transparent way".
+func TestFederatedListing1(t *testing.T) {
+	for _, join := range []federation.JoinStrategy{federation.HashJoin, federation.BindJoin} {
+		sys := workload.Figure1System()
+		eng, net := deploy(sys, federation.Options{Join: join})
+		got, m, err := eng.Answer(workload.Example1Query())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pattern.NewTupleSet()
+		for _, tu := range workload.Listing1Expected() {
+			want.Add(tu)
+		}
+		if !got.Equal(want) {
+			t.Errorf("join %v: answers\n got %v\nwant %v", join, got.Sorted(), want.Sorted())
+		}
+		if m.RemoteCalls == 0 || m.SourcesContacted == 0 || m.Disjuncts == 0 {
+			t.Errorf("join %v: metrics = %+v", join, m)
+		}
+		if net.Stats().Calls != m.RemoteCalls {
+			t.Errorf("join %v: network calls %d != metric %d", join, net.Stats().Calls, m.RemoteCalls)
+		}
+	}
+}
+
+// Federated answers equal chase answers on the scaled workload (both join
+// strategies).
+func TestFederationMatchesChase(t *testing.T) {
+	cfg := workload.FilmConfig{Films: 2, ActorsPerFilm: 2, SameAsFraction: 0.5, Seed: 11}
+	for _, join := range []federation.JoinStrategy{federation.HashJoin, federation.BindJoin} {
+		sys := workload.ScaledFilmSystem(cfg)
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, _ := deploy(sys, federation.Options{Join: join, Rewrite: rewrite.Options{MaxQueries: 500000}})
+		for f := 0; f < 2; f++ {
+			q := workload.ScaledFilmQuery(f)
+			got, m, err := eng.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.RewriteTruncated {
+				t.Fatalf("join %v film %d: rewriting truncated", join, f)
+			}
+			want := u.CertainAnswers(q)
+			if !got.Equal(want) {
+				t.Errorf("join %v film %d:\n got %v\nwant %v", join, f, got.Sorted(), want.Sorted())
+			}
+		}
+	}
+}
+
+// BindJoin ships bindings instead of extensions: more calls, fewer rows on
+// selective queries against a bulky source.
+func TestJoinStrategyTradeoff(t *testing.T) {
+	sys := core.NewSystem()
+	p1 := sys.AddPeer("facts")
+	p2 := sys.AddPeer("bulk")
+	likes := rdf.IRI("http://e/likes")
+	name := rdf.IRI("http://e/name")
+	alice := rdf.IRI("http://e/alice")
+	// facts: one triple; bulk: many names
+	if err := p1.Add(rdf.Triple{S: alice, P: likes, O: rdf.IRI("http://e/bob")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s := rdf.IRI(rdf.IRI("http://e/p").Value() + string(rune('a'+i%26)) + string(rune('0'+i%10)))
+		if err := p2.Add(rdf.Triple{S: s, P: name, O: rdf.Literal("n")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p2.Add(rdf.Triple{S: rdf.IRI("http://e/bob"), P: name, O: rdf.Literal("Bob")}); err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.MustQuery([]string{"n"}, pattern.GraphPattern{
+		pattern.TP(pattern.C(alice), pattern.C(likes), pattern.V("x")),
+		pattern.TP(pattern.V("x"), pattern.C(name), pattern.V("n")),
+	})
+
+	engHash, _ := deploy(sys, federation.Options{Join: federation.HashJoin})
+	gotHash, mHash, err := engHash.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engBind, _ := deploy(sys, federation.Options{Join: federation.BindJoin})
+	gotBind, mBind, err := engBind.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotHash.Equal(gotBind) {
+		t.Fatalf("strategies disagree: %v vs %v", gotHash.Sorted(), gotBind.Sorted())
+	}
+	if gotHash.Len() != 1 {
+		t.Fatalf("answers = %v", gotHash.Sorted())
+	}
+	if mBind.RowsFetched >= mHash.RowsFetched {
+		t.Errorf("bind join should fetch fewer rows: bind %d vs hash %d",
+			mBind.RowsFetched, mHash.RowsFetched)
+	}
+}
+
+// Source selection must keep irrelevant peers out of the conversation.
+func TestSourceSelectionSkipsIrrelevantPeers(t *testing.T) {
+	sys := workload.Figure1System()
+	eng, net := deploy(sys, federation.Options{})
+	// a query purely in source3's vocabulary
+	q := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(workload.Age), pattern.C(rdf.Literal("59"))),
+	})
+	_, m, err := eng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	// source2 must never be contacted: age is not in its schema and no
+	// rewriting maps age into source2's vocabulary
+	if link := net.Link("mediator", "peer:source2"); link.Calls != 0 {
+		t.Errorf("source2 contacted %d times", link.Calls)
+	}
+}
+
+// A failed peer surfaces as an error rather than silent answer loss.
+func TestFederationFailedPeer(t *testing.T) {
+	sys := workload.Figure1System()
+	eng, net := deploy(sys, federation.Options{})
+	q := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(workload.Age), pattern.C(rdf.Literal("59"))),
+	})
+	net.Fail("peer:source3")
+	if _, _, err := eng.Answer(q); err == nil {
+		t.Error("expected error for failed peer")
+	}
+	net.Heal("peer:source3")
+	if _, _, err := eng.Answer(q); err != nil {
+		t.Errorf("healed federation failed: %v", err)
+	}
+}
+
+// AnswerWithTGDs with an empty set degrades to plain federated evaluation
+// (no integration) — the E8 baseline.
+func TestAnswerWithoutMappings(t *testing.T) {
+	sys := workload.Figure1System()
+	eng, _ := deploy(sys, federation.Options{})
+	got, m, err := eng.AnswerWithTGDs(workload.Example1Query(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("no-mapping evaluation should be empty (Example 1), got %v", got.Sorted())
+	}
+	if m.Disjuncts != 1 {
+		t.Errorf("disjuncts = %d", m.Disjuncts)
+	}
+}
+
+// Boolean (ASK-style) federated queries work end to end.
+func TestFederatedBooleanQuery(t *testing.T) {
+	sys := workload.Figure1System()
+	eng, _ := deploy(sys, federation.Options{})
+	q := workload.Example1Query()
+	bq, err := q.Substitute(pattern.Tuple{
+		rdf.IRI(workload.NSDB1 + "Toby_Maguire"), rdf.Literal("39"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Answer(bq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boolean query: one empty tuple means true
+	if got.Len() != 1 {
+		t.Errorf("boolean federated query should hold: %v", got.Sorted())
+	}
+}

@@ -1,0 +1,230 @@
+// Package mapfile loads and saves RDF Peer Systems as plain-text system
+// files plus per-peer Turtle data files, the on-disk format used by the
+// command-line tools (cmd/rpsgen writes it, cmd/rpsquery and cmd/rpsd read
+// it).
+//
+// The system file format is line oriented:
+//
+//	# comment
+//	prefix ex: <http://example.org/>
+//	peer source1 source1.ttl
+//	gma source2 source1 : SELECT ?x ?y WHERE { ?x ex:actor ?y } ~> SELECT ?x ?y WHERE { ?x ex:starring ?z . ?z ex:artist ?y }
+//	eq <http://db1.example.org/Spiderman> <http://db2.example.org/Spiderman2002>
+//	schema source1 <http://example.org/starring>
+//	sameas harvest
+//
+// Data file paths are resolved relative to the system file's directory.
+// "sameas harvest" registers an equivalence mapping for every owl:sameAs
+// triple found in the stored data (Example 2's convention).
+package mapfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/turtle"
+)
+
+// Load reads a system file and its referenced Turtle data files.
+func Load(path string) (*core.System, *rdf.Namespaces, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapfile: %w", err)
+	}
+	dir := filepath.Dir(path)
+	sys := core.NewSystem()
+	ns := rdf.NewNamespaces()
+	harvest := false
+
+	for lineNo, raw := range strings.Split(string(text), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("mapfile: %s:%d: %s", path, lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "prefix":
+			if len(fields) != 3 {
+				return nil, nil, errf("prefix needs: prefix name: <iri>")
+			}
+			name := strings.TrimSuffix(fields[1], ":")
+			iri := strings.TrimSuffix(strings.TrimPrefix(fields[2], "<"), ">")
+			ns.Bind(name, iri)
+		case "peer":
+			if len(fields) != 3 {
+				return nil, nil, errf("peer needs: peer name data.ttl")
+			}
+			name, dataPath := fields[1], fields[2]
+			if !filepath.IsAbs(dataPath) {
+				dataPath = filepath.Join(dir, dataPath)
+			}
+			data, err := os.ReadFile(dataPath)
+			if err != nil {
+				return nil, nil, errf("peer %s: %v", name, err)
+			}
+			g, err := turtle.NewParser(string(data), ns.Clone()).ParseGraph()
+			if err != nil {
+				return nil, nil, errf("peer %s: %v", name, err)
+			}
+			p := sys.AddPeer(name)
+			if err := p.Load(g); err != nil {
+				return nil, nil, errf("peer %s: %v", name, err)
+			}
+		case "gma":
+			rest := strings.TrimSpace(line[len("gma"):])
+			colon := strings.Index(rest, ":")
+			if colon < 0 {
+				return nil, nil, errf("gma needs: gma src dst : SELECT … ~> SELECT …")
+			}
+			peers := strings.Fields(rest[:colon])
+			if len(peers) != 2 {
+				return nil, nil, errf("gma needs two peer names before ':'")
+			}
+			parts := strings.SplitN(rest[colon+1:], "~>", 2)
+			if len(parts) != 2 {
+				return nil, nil, errf("gma needs '~>' between the two queries")
+			}
+			from, err := parseMappingQuery(parts[0], ns)
+			if err != nil {
+				return nil, nil, errf("source query: %v", err)
+			}
+			to, err := parseMappingQuery(parts[1], ns)
+			if err != nil {
+				return nil, nil, errf("target query: %v", err)
+			}
+			m := core.GraphMappingAssertion{
+				From: from, To: to, SrcPeer: peers[0], DstPeer: peers[1],
+				Label: fmt.Sprintf("%s~>%s", peers[0], peers[1]),
+			}
+			if err := sys.AddMapping(m); err != nil {
+				return nil, nil, errf("%v", err)
+			}
+		case "schema":
+			if len(fields) < 3 {
+				return nil, nil, errf("schema needs: schema peer <iri>...")
+			}
+			p := sys.Peer(fields[1])
+			if p == nil {
+				return nil, nil, errf("schema for unknown peer %q (declare the peer first)", fields[1])
+			}
+			for _, f := range fields[2:] {
+				t, err := parseIRIField(f, ns)
+				if err != nil {
+					return nil, nil, errf("%v", err)
+				}
+				p.Schema().Add(t)
+			}
+		case "eq":
+			if len(fields) != 3 {
+				return nil, nil, errf("eq needs two IRIs")
+			}
+			a, err := parseIRIField(fields[1], ns)
+			if err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			b, err := parseIRIField(fields[2], ns)
+			if err != nil {
+				return nil, nil, errf("%v", err)
+			}
+			if err := sys.AddEquivalence(a, b); err != nil {
+				return nil, nil, errf("%v", err)
+			}
+		case "sameas":
+			if len(fields) != 2 || fields[1] != "harvest" {
+				return nil, nil, errf("expected: sameas harvest")
+			}
+			harvest = true
+		default:
+			return nil, nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if harvest {
+		sys.HarvestSameAs()
+	}
+	return sys, ns, nil
+}
+
+func parseMappingQuery(text string, ns *rdf.Namespaces) (pattern.Query, error) {
+	sq, err := sparql.Parse(strings.TrimSpace(text), ns)
+	if err != nil {
+		return pattern.Query{}, err
+	}
+	return sq.ToPatternQuery()
+}
+
+func parseIRIField(s string, ns *rdf.Namespaces) (rdf.Term, error) {
+	if strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">") {
+		return rdf.IRI(s[1 : len(s)-1]), nil
+	}
+	full, err := ns.Expand(s)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return rdf.IRI(full), nil
+}
+
+// Save writes the system to dir: one Turtle file per peer plus system.rps.
+// Graph mapping assertions and explicit equivalences are serialised;
+// the file also requests sameAs harvesting so owl:sameAs links in the data
+// are honoured on load.
+func Save(sys *core.System, ns *rdf.Namespaces, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("mapfile: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("# RDF Peer System saved by mapfile.Save\n")
+	for _, prefix := range ns.Prefixes() {
+		nsIRI, _ := ns.Lookup(prefix)
+		fmt.Fprintf(&b, "prefix %s: <%s>\n", prefix, nsIRI)
+	}
+	for _, p := range sys.Peers() {
+		file := p.Name() + ".ttl"
+		if err := os.WriteFile(filepath.Join(dir, file),
+			[]byte(turtle.FormatTurtle(p.Data(), ns)), 0o644); err != nil {
+			return "", fmt.Errorf("mapfile: %w", err)
+		}
+		fmt.Fprintf(&b, "peer %s %s\n", p.Name(), file)
+		// schema IRIs that no stored triple mentions would be lost on
+		// reload; record them explicitly
+		inData := make(map[rdf.Term]bool)
+		for _, t := range p.Data().IRIs() {
+			inData[t] = true
+		}
+		for _, t := range p.Schema().Terms() {
+			if !inData[t] {
+				fmt.Fprintf(&b, "schema %s <%s>\n", p.Name(), t.Value())
+			}
+		}
+	}
+	for _, m := range sys.G {
+		from := sparql.FromPatternQuery(m.From, ns)
+		to := sparql.FromPatternQuery(m.To, ns)
+		fmt.Fprintf(&b, "gma %s %s : %s ~> %s\n", m.SrcPeer, m.DstPeer, from.String(), to.String())
+	}
+	b.WriteString("sameas harvest\n")
+	sameAs := rdf.IRI(core.OWLSameAs)
+	stored := sys.StoredDatabase()
+	for _, e := range sys.E {
+		// equivalences that came from owl:sameAs triples are re-harvested;
+		// only explicit ones need an eq line
+		if stored.Has(rdf.Triple{S: e.C, P: sameAs, O: e.CPrime}) ||
+			stored.Has(rdf.Triple{S: e.CPrime, P: sameAs, O: e.C}) {
+			continue
+		}
+		fmt.Fprintf(&b, "eq <%s> <%s>\n", e.C.Value(), e.CPrime.Value())
+	}
+	sysPath := filepath.Join(dir, "system.rps")
+	if err := os.WriteFile(sysPath, []byte(b.String()), 0o644); err != nil {
+		return "", fmt.Errorf("mapfile: %w", err)
+	}
+	return sysPath, nil
+}

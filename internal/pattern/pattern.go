@@ -1,0 +1,277 @@
+// Package pattern implements the graph pattern query language of Section 2.1
+// of the paper: triple patterns over (I ∪ L ∪ V) × (I ∪ V) × (I ∪ L ∪ V),
+// conjunction (AND), mappings µ from variables to terms, compatibility and
+// joins of mapping sets, the evaluation function ⟦GP⟧_D (Definition 1), and
+// the two query semantics Q_D (certain-answer style, dropping blank nodes)
+// and Q*_D (including blank nodes).
+//
+// Graph pattern queries are the "conjunctive fragment" of SPARQL; package
+// sparql translates between the concrete syntax and this representation.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Elem is one position of a triple pattern: either a variable or a constant
+// RDF term. Elem is comparable.
+type Elem struct {
+	varName string
+	term    rdf.Term
+}
+
+// V returns a variable element. Names do not carry the leading "?".
+func V(name string) Elem { return Elem{varName: name} }
+
+// C returns a constant element wrapping an RDF term.
+func C(t rdf.Term) Elem { return Elem{term: t} }
+
+// IsVar reports whether the element is a variable.
+func (e Elem) IsVar() bool { return e.varName != "" }
+
+// Var returns the variable name, or "" for constants.
+func (e Elem) Var() string { return e.varName }
+
+// Term returns the constant term; it is the zero Term for variables.
+func (e Elem) Term() rdf.Term { return e.term }
+
+// String renders the element in SPARQL-like syntax.
+func (e Elem) String() string {
+	if e.IsVar() {
+		return "?" + e.varName
+	}
+	return e.term.String()
+}
+
+// TriplePattern is a tuple from (I ∪ L ∪ V) × (I ∪ V) × (I ∪ L ∪ V).
+type TriplePattern struct {
+	S, P, O Elem
+}
+
+// TP constructs a triple pattern.
+func TP(s, p, o Elem) TriplePattern { return TriplePattern{S: s, P: p, O: o} }
+
+// String renders the pattern in SPARQL-like syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// Elems returns the three positions in S, P, O order.
+func (tp TriplePattern) Elems() [3]Elem { return [3]Elem{tp.S, tp.P, tp.O} }
+
+// Vars returns the set of variable names in the pattern, sorted.
+func (tp TriplePattern) Vars() []string {
+	set := make(map[string]struct{}, 3)
+	for _, e := range tp.Elems() {
+		if e.IsVar() {
+			set[e.varName] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Apply substitutes bound variables from µ, leaving unbound ones in place.
+func (tp TriplePattern) Apply(mu Binding) TriplePattern {
+	sub := func(e Elem) Elem {
+		if e.IsVar() {
+			if t, ok := mu[e.varName]; ok {
+				return C(t)
+			}
+		}
+		return e
+	}
+	return TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)}
+}
+
+// Ground instantiates the pattern under µ into a concrete triple. It returns
+// false if any position remains a variable.
+func (tp TriplePattern) Ground(mu Binding) (rdf.Triple, bool) {
+	g := tp.Apply(mu)
+	if g.S.IsVar() || g.P.IsVar() || g.O.IsVar() {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: g.S.term, P: g.P.term, O: g.O.term}, true
+}
+
+// GraphPattern is a conjunction (AND) of triple patterns. The paper defines
+// graph patterns recursively; since AND is associative and commutative on
+// mapping sets, the flattened form is equivalent.
+type GraphPattern []TriplePattern
+
+// Vars returns var(GP): all variable names, sorted.
+func (gp GraphPattern) Vars() []string {
+	set := make(map[string]struct{})
+	for _, tp := range gp {
+		for _, e := range tp.Elems() {
+			if e.IsVar() {
+				set[e.varName] = struct{}{}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Constants returns every constant term occurring in the pattern, sorted.
+func (gp GraphPattern) Constants() []rdf.Term {
+	set := make(map[rdf.Term]struct{})
+	for _, tp := range gp {
+		for _, e := range tp.Elems() {
+			if !e.IsVar() {
+				set[e.term] = struct{}{}
+			}
+		}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the pattern as a SPARQL-style basic graph pattern.
+func (gp GraphPattern) String() string {
+	parts := make([]string, len(gp))
+	for i, tp := range gp {
+		parts[i] = tp.String()
+	}
+	return strings.Join(parts, " . ")
+}
+
+// Apply substitutes µ into every triple pattern.
+func (gp GraphPattern) Apply(mu Binding) GraphPattern {
+	out := make(GraphPattern, len(gp))
+	for i, tp := range gp {
+		out[i] = tp.Apply(mu)
+	}
+	return out
+}
+
+// Query is a graph pattern query q(x) ← GP of arity len(Free). Variables of
+// GP not listed in Free are existentially quantified.
+type Query struct {
+	// Free lists the free (answer) variables x₁…xₙ in order.
+	Free []string
+	// GP is the query body.
+	GP GraphPattern
+}
+
+// NewQuery constructs a query, validating that every free variable occurs in
+// the body as the definition in Section 2.1 requires.
+func NewQuery(free []string, gp GraphPattern) (Query, error) {
+	vars := make(map[string]struct{})
+	for _, v := range gp.Vars() {
+		vars[v] = struct{}{}
+	}
+	for _, f := range free {
+		if _, ok := vars[f]; !ok {
+			return Query{}, fmt.Errorf("pattern: free variable ?%s does not appear in the graph pattern", f)
+		}
+	}
+	return Query{Free: free, GP: gp}, nil
+}
+
+// MustQuery is NewQuery but panics on error; for tests and fixtures.
+func MustQuery(free []string, gp GraphPattern) Query {
+	q, err := NewQuery(free, gp)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Arity returns the number of free variables.
+func (q Query) Arity() int { return len(q.Free) }
+
+// IsBoolean reports whether the query has no free variables.
+func (q Query) IsBoolean() bool { return len(q.Free) == 0 }
+
+// ExistVars returns the existentially quantified variables, sorted.
+func (q Query) ExistVars() []string {
+	free := make(map[string]struct{}, len(q.Free))
+	for _, f := range q.Free {
+		free[f] = struct{}{}
+	}
+	var out []string
+	for _, v := range q.GP.Vars() {
+		if _, ok := free[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the query in rule notation, e.g. "q(?x,?y) <- ?x p ?y".
+func (q Query) String() string {
+	vars := make([]string, len(q.Free))
+	for i, f := range q.Free {
+		vars[i] = "?" + f
+	}
+	return "q(" + strings.Join(vars, ",") + ") <- " + q.GP.String()
+}
+
+// Substitute binds the i-th free variable to tuple[i] throughout the body,
+// producing a boolean query (Example 3's reduction of answer checking to
+// boolean query answering). The tuple length must equal the arity.
+func (q Query) Substitute(tuple Tuple) (Query, error) {
+	if len(tuple) != q.Arity() {
+		return Query{}, fmt.Errorf("pattern: tuple arity %d does not match query arity %d", len(tuple), q.Arity())
+	}
+	mu := make(Binding, len(tuple))
+	for i, f := range q.Free {
+		mu[f] = tuple[i]
+	}
+	return Query{Free: nil, GP: q.GP.Apply(mu)}, nil
+}
+
+// Rename returns a copy of the query with every variable v renamed to
+// prefix+v. Used to avoid capture when composing queries from different
+// mapping assertions.
+func (q Query) Rename(prefix string) Query {
+	ren := func(e Elem) Elem {
+		if e.IsVar() {
+			return V(prefix + e.varName)
+		}
+		return e
+	}
+	gp := make(GraphPattern, len(q.GP))
+	for i, tp := range q.GP {
+		gp[i] = TriplePattern{S: ren(tp.S), P: ren(tp.P), O: ren(tp.O)}
+	}
+	free := make([]string, len(q.Free))
+	for i, f := range q.Free {
+		free[i] = prefix + f
+	}
+	return Query{Free: free, GP: gp}
+}
+
+// SubjQ returns subjQ(c) := q(xpred, xobj) ← (c, ?xpred, ?xobj).
+func SubjQ(c rdf.Term) Query {
+	return Query{Free: []string{"xpred", "xobj"},
+		GP: GraphPattern{TP(C(c), V("xpred"), V("xobj"))}}
+}
+
+// PredQ returns predQ(c) := q(xsubj, xobj) ← (?xsubj, c, ?xobj).
+func PredQ(c rdf.Term) Query {
+	return Query{Free: []string{"xsubj", "xobj"},
+		GP: GraphPattern{TP(V("xsubj"), C(c), V("xobj"))}}
+}
+
+// ObjQ returns objQ(c) := q(xsubj, xpred) ← (?xsubj, ?xpred, c).
+func ObjQ(c rdf.Term) Query {
+	return Query{Free: []string{"xsubj", "xpred"},
+		GP: GraphPattern{TP(V("xsubj"), V("xpred"), C(c))}}
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,102 @@
+package peer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sparql"
+)
+
+// HTTPService exposes a peer's stored database as a SPARQL endpoint over
+// HTTP: POST a query as application/sparql-query, or as the "query" form
+// field / URL parameter; results are returned as SPARQL JSON
+// (application/sparql-results+json). This is the "SPARQL access point" of
+// the prototype architecture in Section 5.
+type HTTPService struct {
+	peer *core.Peer
+}
+
+// NewHTTPService wraps a peer.
+func NewHTTPService(p *core.Peer) *HTTPService { return &HTTPService{peer: p} }
+
+// ServeHTTP implements http.Handler.
+func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	queryText, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := sparql.Parse(queryText, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res := q.Eval(s.peer.Data())
+	payload, err := EncodeResult(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	_, _ = w.Write(payload)
+}
+
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				return "", err
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", err
+		}
+		q := r.PostForm.Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query form field")
+		}
+		return q, nil
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// HTTPClient queries remote SPARQL endpoints over HTTP.
+type HTTPClient struct {
+	// Client is the underlying HTTP client; http.DefaultClient if nil.
+	Client *http.Client
+}
+
+// Query POSTs the query to the endpoint URL and decodes the JSON results.
+func (c *HTTPClient) Query(endpoint, queryText string) (*sparql.Result, error) {
+	hc := c.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Post(endpoint, "application/sparql-query", strings.NewReader(queryText))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer: endpoint %s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return DecodeResult(body)
+}

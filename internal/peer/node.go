@@ -1,0 +1,187 @@
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/simnet"
+	"repro/internal/sparql"
+)
+
+// MsgSPARQL is the message type of a SPARQL query request; the payload is
+// the query text and the response payload a SPARQL JSON results document.
+const MsgSPARQL = "sparql"
+
+// Node serves one peer's stored database on a simulated network address.
+type Node struct {
+	name string
+	addr string
+	peer *core.Peer
+	net  *simnet.Network
+
+	mu      sync.RWMutex
+	queries int
+}
+
+// NewNode registers a service for p at addr on the network.
+func NewNode(p *core.Peer, net *simnet.Network, addr string) *Node {
+	n := &Node{name: p.Name(), addr: addr, peer: p, net: net}
+	net.Register(addr, n.handle)
+	return n
+}
+
+// Name returns the peer name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the network address.
+func (n *Node) Addr() string { return n.addr }
+
+// Peer returns the underlying peer.
+func (n *Node) Peer() *core.Peer { return n.peer }
+
+// QueriesServed reports how many queries the node has answered.
+func (n *Node) QueriesServed() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.queries
+}
+
+func (n *Node) handle(from string, req simnet.Message) (simnet.Message, error) {
+	if req.Type != MsgSPARQL {
+		return simnet.Message{}, fmt.Errorf("peer %s: unsupported message type %q", n.name, req.Type)
+	}
+	res, err := n.Answer(string(req.Payload))
+	if err != nil {
+		return simnet.Message{}, fmt.Errorf("peer %s: %w", n.name, err)
+	}
+	payload, err := EncodeResult(res)
+	if err != nil {
+		return simnet.Message{}, err
+	}
+	return simnet.Message{Type: MsgSPARQL, Payload: payload}, nil
+}
+
+// Answer evaluates a SPARQL query text over the node's local database.
+func (n *Node) Answer(queryText string) (*sparql.Result, error) {
+	q, err := sparql.Parse(queryText, nil)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.queries++
+	n.mu.Unlock()
+	return q.Eval(n.peer.Data()), nil
+}
+
+// Client issues SPARQL queries to nodes over the network.
+type Client struct {
+	net  *simnet.Network
+	from string
+}
+
+// NewClient returns a client that calls from the given source address.
+func NewClient(net *simnet.Network, from string) *Client {
+	return &Client{net: net, from: from}
+}
+
+// Query sends the query text to addr and decodes the result.
+func (c *Client) Query(addr, queryText string) (*sparql.Result, error) {
+	resp, err := c.net.Call(c.from, addr, simnet.Message{Type: MsgSPARQL, Payload: []byte(queryText)})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResult(resp.Payload)
+}
+
+// Entry describes one peer known to the registry.
+type Entry struct {
+	Name string
+	Addr string
+	// Schema is the peer's schema, used for source selection: a triple
+	// pattern can only match at peers whose schema contains all of the
+	// pattern's IRIs.
+	Schema *core.Schema
+}
+
+// Registry is the super-peer routing table: it knows every peer's address
+// and schema. (The paper's related work discusses super-peer routing for
+// RDF P2P networks; the registry plays that role for the prototype.)
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]Entry)}
+}
+
+// Add registers a peer.
+func (r *Registry) Add(e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[e.Name] = e
+}
+
+// AddNode registers a served node.
+func (r *Registry) AddNode(n *Node) {
+	r.Add(Entry{Name: n.Name(), Addr: n.Addr(), Schema: n.Peer().Schema()})
+}
+
+// Lookup returns the entry for a peer name.
+func (r *Registry) Lookup(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Entries returns all entries sorted by name.
+func (r *Registry) Entries() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SelectSources returns the peers whose schema contains every given IRI —
+// the candidate sources for a triple pattern mentioning those IRIs. With no
+// IRIs (an all-variable pattern), every peer is a candidate.
+func (r *Registry) SelectSources(iris []rdf.Term) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Entry
+	for _, e := range r.entries {
+		ok := true
+		for _, t := range iris {
+			if t.IsIRI() && !e.Schema.Has(t) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Deploy registers a node for every peer of the system on the network with
+// addresses "peer:<name>", populates the registry, and returns the nodes.
+func Deploy(sys *core.System, net *simnet.Network, reg *Registry) []*Node {
+	var out []*Node
+	for _, p := range sys.Peers() {
+		n := NewNode(p, net, "peer:"+p.Name())
+		reg.AddNode(n)
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,427 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// id is a dictionary-encoded term identifier local to one Graph.
+type id uint32
+
+// Graph is an in-memory, dictionary-encoded RDF graph with three full
+// indexes (SPO, POS, OSP). It supports exact membership tests, wildcard
+// matching on any combination of bound positions, and cheap iteration.
+//
+// Graph is not safe for concurrent mutation; concurrent readers are safe
+// provided no writer is active.
+type Graph struct {
+	dict  map[Term]id
+	terms []Term
+
+	spo index
+	pos index
+	osp index
+
+	size int
+}
+
+// index is a two-level map from (a, b) to a set of c, where (a, b, c) is a
+// permutation of (s, p, o).
+type index map[id]map[id]map[id]struct{}
+
+func (ix index) add(a, b, c id) bool {
+	m, ok := ix[a]
+	if !ok {
+		m = make(map[id]map[id]struct{})
+		ix[a] = m
+	}
+	s, ok := m[b]
+	if !ok {
+		s = make(map[id]struct{})
+		m[b] = s
+	}
+	if _, ok := s[c]; ok {
+		return false
+	}
+	s[c] = struct{}{}
+	return true
+}
+
+func (ix index) has(a, b, c id) bool {
+	m, ok := ix[a]
+	if !ok {
+		return false
+	}
+	s, ok := m[b]
+	if !ok {
+		return false
+	}
+	_, ok = s[c]
+	return ok
+}
+
+func (ix index) remove(a, b, c id) bool {
+	m, ok := ix[a]
+	if !ok {
+		return false
+	}
+	s, ok := m[b]
+	if !ok {
+		return false
+	}
+	if _, ok := s[c]; !ok {
+		return false
+	}
+	delete(s, c)
+	if len(s) == 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		dict: make(map[Term]id),
+		spo:  make(index),
+		pos:  make(index),
+		osp:  make(index),
+	}
+}
+
+// intern returns the id for t, allocating one if needed.
+func (g *Graph) intern(t Term) id {
+	if i, ok := g.dict[t]; ok {
+		return i
+	}
+	i := id(len(g.terms))
+	g.dict[t] = i
+	g.terms = append(g.terms, t)
+	return i
+}
+
+// lookup returns the id for t and whether it is known to the graph.
+func (g *Graph) lookup(t Term) (id, bool) {
+	i, ok := g.dict[t]
+	return i, ok
+}
+
+// Add inserts the triple and reports whether it was not already present.
+func (g *Graph) Add(t Triple) bool {
+	s, p, o := g.intern(t.S), g.intern(t.P), g.intern(t.O)
+	if !g.spo.add(s, p, o) {
+		return false
+	}
+	g.pos.add(p, o, s)
+	g.osp.add(o, s, p)
+	g.size++
+	return true
+}
+
+// AddAll inserts all triples and returns the number newly added.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes the triple and reports whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	s, ok := g.lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := g.lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.lookup(t.O)
+	if !ok {
+		return false
+	}
+	if !g.spo.remove(s, p, o) {
+		return false
+	}
+	g.pos.remove(p, o, s)
+	g.osp.remove(o, s, p)
+	g.size--
+	return true
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(t Triple) bool {
+	s, ok := g.lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := g.lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.lookup(t.O)
+	if !ok {
+		return false
+	}
+	return g.spo.has(s, p, o)
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.size }
+
+// TermCount returns the number of distinct terms interned by the graph.
+// Terms remain interned even if all triples mentioning them are removed.
+func (g *Graph) TermCount() int { return len(g.terms) }
+
+// ForEach calls fn for every triple until fn returns false. Iteration order
+// is unspecified.
+func (g *Graph) ForEach(fn func(Triple) bool) {
+	for s, pm := range g.spo {
+		for p, om := range pm {
+			for o := range om {
+				if !fn(Triple{S: g.terms[s], P: g.terms[p], O: g.terms[o]}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Triples returns all triples sorted in (S, P, O) order. The slice is fresh
+// and owned by the caller.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.size)
+	g.ForEach(func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Match calls fn for every triple matching the given pattern, where a nil
+// position is a wildcard, until fn returns false. The best index for the
+// bound positions is chosen automatically.
+func (g *Graph) Match(s, p, o *Term, fn func(Triple) bool) {
+	var sid, pid, oid id
+	var sok, pok, ook bool
+	if s != nil {
+		if sid, sok = g.lookup(*s); !sok {
+			return
+		}
+	}
+	if p != nil {
+		if pid, pok = g.lookup(*p); !pok {
+			return
+		}
+	}
+	if o != nil {
+		if oid, ook = g.lookup(*o); !ook {
+			return
+		}
+	}
+	switch {
+	case s != nil && p != nil && o != nil:
+		if g.spo.has(sid, pid, oid) {
+			fn(Triple{S: *s, P: *p, O: *o})
+		}
+	case s != nil && p != nil:
+		for o2 := range g.spo[sid][pid] {
+			if !fn(Triple{S: *s, P: *p, O: g.terms[o2]}) {
+				return
+			}
+		}
+	case p != nil && o != nil:
+		for s2 := range g.pos[pid][oid] {
+			if !fn(Triple{S: g.terms[s2], P: *p, O: *o}) {
+				return
+			}
+		}
+	case s != nil && o != nil:
+		for p2 := range g.osp[oid][sid] {
+			if !fn(Triple{S: *s, P: g.terms[p2], O: *o}) {
+				return
+			}
+		}
+	case s != nil:
+		for p2, om := range g.spo[sid] {
+			for o2 := range om {
+				if !fn(Triple{S: *s, P: g.terms[p2], O: g.terms[o2]}) {
+					return
+				}
+			}
+		}
+	case p != nil:
+		for o2, sm := range g.pos[pid] {
+			for s2 := range sm {
+				if !fn(Triple{S: g.terms[s2], P: *p, O: g.terms[o2]}) {
+					return
+				}
+			}
+		}
+	case o != nil:
+		for s2, pm := range g.osp[oid] {
+			for p2 := range pm {
+				if !fn(Triple{S: g.terms[s2], P: g.terms[p2], O: *o}) {
+					return
+				}
+			}
+		}
+	default:
+		g.ForEach(fn)
+	}
+}
+
+// MatchCount returns the number of triples matching the pattern without
+// materialising them. Used by the query planner for cardinality estimates.
+func (g *Graph) MatchCount(s, p, o *Term) int {
+	var sid, pid, oid id
+	var ok bool
+	if s != nil {
+		if sid, ok = g.lookup(*s); !ok {
+			return 0
+		}
+	}
+	if p != nil {
+		if pid, ok = g.lookup(*p); !ok {
+			return 0
+		}
+	}
+	if o != nil {
+		if oid, ok = g.lookup(*o); !ok {
+			return 0
+		}
+	}
+	switch {
+	case s != nil && p != nil && o != nil:
+		if g.spo.has(sid, pid, oid) {
+			return 1
+		}
+		return 0
+	case s != nil && p != nil:
+		return len(g.spo[sid][pid])
+	case p != nil && o != nil:
+		return len(g.pos[pid][oid])
+	case s != nil && o != nil:
+		return len(g.osp[oid][sid])
+	case s != nil:
+		n := 0
+		for _, om := range g.spo[sid] {
+			n += len(om)
+		}
+		return n
+	case p != nil:
+		n := 0
+		for _, sm := range g.pos[pid] {
+			n += len(sm)
+		}
+		return n
+	case o != nil:
+		n := 0
+		for _, pm := range g.osp[oid] {
+			n += len(pm)
+		}
+		return n
+	default:
+		return g.size
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	g.ForEach(func(t Triple) bool {
+		out.Add(t)
+		return true
+	})
+	return out
+}
+
+// Merge adds every triple of other into g and returns the number added.
+func (g *Graph) Merge(other *Graph) int {
+	n := 0
+	other.ForEach(func(t Triple) bool {
+		if g.Add(t) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// ContainsGraph reports whether every triple of other is present in g.
+func (g *Graph) ContainsGraph(other *Graph) bool {
+	ok := true
+	other.ForEach(func(t Triple) bool {
+		if !g.Has(t) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Equal reports whether g and other contain exactly the same triples.
+func (g *Graph) Equal(other *Graph) bool {
+	return g.size == other.size && g.ContainsGraph(other)
+}
+
+// Subjects returns the set of distinct subject terms.
+func (g *Graph) Subjects() []Term {
+	out := make([]Term, 0, len(g.spo))
+	for s := range g.spo {
+		out = append(out, g.terms[s])
+	}
+	sortTerms(out)
+	return out
+}
+
+// Predicates returns the set of distinct predicate terms.
+func (g *Graph) Predicates() []Term {
+	out := make([]Term, 0, len(g.pos))
+	for p := range g.pos {
+		out = append(out, g.terms[p])
+	}
+	sortTerms(out)
+	return out
+}
+
+// Objects returns the set of distinct object terms.
+func (g *Graph) Objects() []Term {
+	out := make([]Term, 0, len(g.osp))
+	for o := range g.osp {
+		out = append(out, g.terms[o])
+	}
+	sortTerms(out)
+	return out
+}
+
+// IRIs returns every distinct IRI occurring in any position of any triple.
+// This is the "peer schema" of a data source in the sense of Section 2.2.
+func (g *Graph) IRIs() []Term {
+	seen := make(map[Term]struct{})
+	g.ForEach(func(t Triple) bool {
+		for _, x := range t.Terms() {
+			if x.IsIRI() {
+				seen[x] = struct{}{}
+			}
+		}
+		return true
+	})
+	out := make([]Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sortTerms(out)
+	return out
+}
+
+func sortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

@@ -1,0 +1,320 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple {
+	return Triple{S: IRI("http://e/" + s), P: IRI("http://e/" + p), O: IRI("http://e/" + o)}
+}
+
+func TestGraphAddHasLen(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 0 {
+		t.Fatalf("empty graph Len = %d", g.Len())
+	}
+	if !g.Add(tr("a", "p", "b")) {
+		t.Error("first Add should report true")
+	}
+	if g.Add(tr("a", "p", "b")) {
+		t.Error("duplicate Add should report false")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if !g.Has(tr("a", "p", "b")) {
+		t.Error("Has should find added triple")
+	}
+	if g.Has(tr("a", "p", "c")) {
+		t.Error("Has found absent triple")
+	}
+}
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("a", "p", "b"))
+	g.Add(tr("a", "p", "c"))
+	if !g.Remove(tr("a", "p", "b")) {
+		t.Error("Remove of present triple should be true")
+	}
+	if g.Remove(tr("a", "p", "b")) {
+		t.Error("second Remove should be false")
+	}
+	if g.Remove(tr("x", "y", "z")) {
+		t.Error("Remove of unknown terms should be false")
+	}
+	if g.Len() != 1 || !g.Has(tr("a", "p", "c")) {
+		t.Error("Remove damaged sibling triple")
+	}
+	// indexes must agree after removal
+	got := 0
+	g.Match(nil, termPtr(IRI("http://e/p")), nil, func(Triple) bool { got++; return true })
+	if got != 1 {
+		t.Errorf("POS index returned %d matches, want 1", got)
+	}
+}
+
+func termPtr(t Term) *Term { return &t }
+
+func TestGraphMatchAllCombinations(t *testing.T) {
+	g := NewGraph()
+	triples := []Triple{
+		tr("a", "p", "b"), tr("a", "p", "c"), tr("a", "q", "b"),
+		tr("d", "p", "b"), tr("d", "q", "c"),
+	}
+	g.AddAll(triples)
+	a, p, b := IRI("http://e/a"), IRI("http://e/p"), IRI("http://e/b")
+
+	count := func(s, pp, o *Term) int {
+		n := 0
+		g.Match(s, pp, o, func(Triple) bool { n++; return true })
+		return n
+	}
+	tests := []struct {
+		name    string
+		s, p, o *Term
+		want    int
+	}{
+		{"spo", &a, &p, &b, 1},
+		{"sp?", &a, &p, nil, 2},
+		{"?po", nil, &p, &b, 2},
+		{"s?o", &a, nil, &b, 2},
+		{"s??", &a, nil, nil, 3},
+		{"?p?", nil, &p, nil, 3},
+		{"??o", nil, nil, &b, 3},
+		{"???", nil, nil, nil, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := count(tc.s, tc.p, tc.o); got != tc.want {
+				t.Errorf("Match %s = %d, want %d", tc.name, got, tc.want)
+			}
+			if got := g.MatchCount(tc.s, tc.p, tc.o); got != tc.want {
+				t.Errorf("MatchCount %s = %d, want %d", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGraphMatchUnknownTerm(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("a", "p", "b"))
+	z := IRI("http://e/zzz")
+	n := 0
+	g.Match(&z, nil, nil, func(Triple) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("match on unknown term returned %d results", n)
+	}
+	if g.MatchCount(nil, nil, &z) != 0 {
+		t.Error("MatchCount on unknown term should be 0")
+	}
+}
+
+func TestGraphMatchEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.Add(tr("a", "p", fmt.Sprintf("o%d", i)))
+	}
+	n := 0
+	g.Match(nil, nil, nil, func(Triple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("iteration did not stop early: %d", n)
+	}
+}
+
+func TestGraphTriplesSorted(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("b", "p", "x"))
+	g.Add(tr("a", "q", "x"))
+	g.Add(tr("a", "p", "x"))
+	ts := g.Triples()
+	if len(ts) != 3 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Compare(ts[i]) >= 0 {
+			t.Errorf("Triples not sorted at %d: %v >= %v", i, ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestGraphCloneMergeEqual(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{tr("a", "p", "b"), tr("c", "q", "d")})
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.Add(tr("e", "r", "f"))
+	if g.Equal(c) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if !c.ContainsGraph(g) {
+		t.Error("superset should contain subset")
+	}
+	if g.ContainsGraph(c) {
+		t.Error("subset should not contain superset")
+	}
+	h := NewGraph()
+	if n := h.Merge(c); n != 3 {
+		t.Errorf("Merge added %d, want 3", n)
+	}
+	if n := h.Merge(c); n != 0 {
+		t.Errorf("re-Merge added %d, want 0", n)
+	}
+	if !h.Equal(c) {
+		t.Error("merged graph should equal source")
+	}
+}
+
+func TestGraphProjections(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("http://e/s"), IRI("http://e/p"), Literal("lit")})
+	g.Add(Triple{Blank("b"), IRI("http://e/p2"), IRI("http://e/o")})
+	if got := len(g.Subjects()); got != 2 {
+		t.Errorf("Subjects = %d, want 2", got)
+	}
+	if got := len(g.Predicates()); got != 2 {
+		t.Errorf("Predicates = %d, want 2", got)
+	}
+	if got := len(g.Objects()); got != 2 {
+		t.Errorf("Objects = %d, want 2", got)
+	}
+	iris := g.IRIs()
+	want := []Term{IRI("http://e/o"), IRI("http://e/p"), IRI("http://e/p2"), IRI("http://e/s")}
+	if !reflect.DeepEqual(iris, want) {
+		t.Errorf("IRIs = %v, want %v", iris, want)
+	}
+}
+
+func TestGraphLiteralAndBlankTerms(t *testing.T) {
+	g := NewGraph()
+	lit39 := Literal("39")
+	litEn := LangLiteral("39", "en")
+	g.Add(Triple{IRI("http://e/x"), IRI("http://e/age"), lit39})
+	g.Add(Triple{IRI("http://e/x"), IRI("http://e/age"), litEn})
+	if g.Len() != 2 {
+		t.Fatalf("distinct literals should produce 2 triples, got %d", g.Len())
+	}
+	n := 0
+	g.Match(nil, nil, &lit39, func(Triple) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("exact literal match = %d, want 1", n)
+	}
+}
+
+// Property: a graph behaves as a set of triples — Add/Has agree with a
+// reference map implementation under random operation sequences.
+func TestGraphSetSemanticsQuick(t *testing.T) {
+	type op struct {
+		add bool
+		t   Triple
+	}
+	gen := func(vals []reflect.Value, r *rand.Rand) {
+		n := 1 + r.Intn(50)
+		ops := make([]op, n)
+		for i := range ops {
+			ops[i] = op{
+				add: r.Intn(4) != 0, // bias toward adds
+				t: Triple{
+					S: IRI(fmt.Sprintf("http://e/s%d", r.Intn(5))),
+					P: IRI(fmt.Sprintf("http://e/p%d", r.Intn(3))),
+					O: IRI(fmt.Sprintf("http://e/o%d", r.Intn(5))),
+				},
+			}
+		}
+		vals[0] = reflect.ValueOf(ops)
+	}
+	f := func(ops []op) bool {
+		g := NewGraph()
+		ref := make(map[Triple]bool)
+		for _, o := range ops {
+			if o.add {
+				g.Add(o.t)
+				ref[o.t] = true
+			} else {
+				g.Remove(o.t)
+				delete(ref, o.t)
+			}
+		}
+		if g.Len() != len(ref) {
+			return false
+		}
+		for tt := range ref {
+			if !g.Has(tt) {
+				return false
+			}
+		}
+		seen := 0
+		ok := true
+		g.ForEach(func(tt Triple) bool {
+			seen++
+			if !ref[tt] {
+				ok = false
+			}
+			return true
+		})
+		return ok && seen == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{Values: gen, MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamespacesExpandShorten(t *testing.T) {
+	ns := CommonNamespaces()
+	got, err := ns.Expand("DB1:Spiderman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "http://db1.example.org/Spiderman" {
+		t.Errorf("Expand = %q", got)
+	}
+	if s := ns.Shorten(got); s != "DB1:Spiderman" {
+		t.Errorf("Shorten = %q", s)
+	}
+	if _, err := ns.Expand("nope:x"); err == nil {
+		t.Error("unbound prefix should error")
+	}
+	if _, err := ns.Expand("nocolon"); err == nil {
+		t.Error("non-prefixed name should error")
+	}
+	// absolute IRIs pass through
+	if got, _ := ns.Expand("http://other.org/x"); got != "http://other.org/x" {
+		t.Errorf("absolute IRI mangled: %q", got)
+	}
+	// unknown namespace stays long
+	if s := ns.Shorten("http://unknown.org/x"); s != "http://unknown.org/x" {
+		t.Errorf("Shorten of unknown = %q", s)
+	}
+}
+
+func TestNamespacesShortenTermAndClone(t *testing.T) {
+	ns := CommonNamespaces()
+	if got := ns.ShortenTerm(ns.MustIRI("foaf:age")); got != "foaf:age" {
+		t.Errorf("ShortenTerm = %q", got)
+	}
+	if got := ns.ShortenTerm(Literal("39")); got != `"39"` {
+		t.Errorf("ShortenTerm literal = %q", got)
+	}
+	c := ns.Clone()
+	c.Bind("zzz", "http://zzz.org/")
+	if _, ok := ns.Lookup("zzz"); ok {
+		t.Error("Clone is not independent")
+	}
+	if len(c.Prefixes()) != len(ns.Prefixes())+1 {
+		t.Error("Prefixes length mismatch after clone+bind")
+	}
+}
+
+func TestNamespacesAmbiguousLocalNotShortened(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("e", "http://e/")
+	if got := ns.Shorten("http://e/a/b"); got != "http://e/a/b" {
+		t.Errorf("ambiguous local part should not shorten, got %q", got)
+	}
+}

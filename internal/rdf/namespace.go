@@ -1,0 +1,127 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespaces maps prefixes to namespace IRIs, supporting CURIE expansion
+// ("DB1:Spiderman" -> full IRI) and shortening for display. The zero value
+// is not usable; construct with NewNamespaces.
+type Namespaces struct {
+	byPrefix map[string]string
+}
+
+// NewNamespaces returns an empty prefix table.
+func NewNamespaces() *Namespaces {
+	return &Namespaces{byPrefix: make(map[string]string)}
+}
+
+// CommonNamespaces returns a table preloaded with the prefixes used by the
+// paper's examples (DB1, DB2, DB3, foaf, owl, rdf, xsd) plus an empty
+// default prefix for example.org.
+func CommonNamespaces() *Namespaces {
+	ns := NewNamespaces()
+	ns.Bind("", "http://example.org/")
+	ns.Bind("DB1", "http://db1.example.org/")
+	ns.Bind("DB2", "http://db2.example.org/")
+	ns.Bind("DB3", "http://db3.example.org/")
+	ns.Bind("foaf", "http://xmlns.com/foaf/0.1/")
+	ns.Bind("owl", "http://www.w3.org/2002/07/owl#")
+	ns.Bind("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+	ns.Bind("rdfs", "http://www.w3.org/2000/01/rdf-schema#")
+	ns.Bind("xsd", "http://www.w3.org/2001/XMLSchema#")
+	return ns
+}
+
+// Bind associates prefix with the namespace IRI ns, replacing any previous
+// binding.
+func (n *Namespaces) Bind(prefix, ns string) { n.byPrefix[prefix] = ns }
+
+// Lookup returns the namespace bound to prefix.
+func (n *Namespaces) Lookup(prefix string) (string, bool) {
+	ns, ok := n.byPrefix[prefix]
+	return ns, ok
+}
+
+// Expand resolves a prefixed name ("foaf:age") to a full IRI string. If the
+// input has no colon, or the prefix is unbound, an error is returned. Inputs
+// already shaped like absolute IRIs (containing "://" or starting with
+// "urn:") are returned unchanged.
+func (n *Namespaces) Expand(curie string) (string, error) {
+	if strings.Contains(curie, "://") || strings.HasPrefix(curie, "urn:") {
+		return curie, nil
+	}
+	i := strings.IndexByte(curie, ':')
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is not a prefixed name", curie)
+	}
+	prefix, local := curie[:i], curie[i+1:]
+	ns, ok := n.byPrefix[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unbound prefix %q in %q", prefix, curie)
+	}
+	return ns + local, nil
+}
+
+// MustExpand is Expand but panics on error; intended for tests and examples
+// with statically known prefixes.
+func (n *Namespaces) MustExpand(curie string) string {
+	s, err := n.Expand(curie)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustIRI expands a prefixed name and returns it as an IRI term, panicking
+// on unbound prefixes. Intended for tests and examples.
+func (n *Namespaces) MustIRI(curie string) Term { return IRI(n.MustExpand(curie)) }
+
+// Shorten rewrites a full IRI to a prefixed name using the longest matching
+// namespace, or returns the input unchanged if no namespace matches.
+func (n *Namespaces) Shorten(iri string) string {
+	best, bestPrefix := "", ""
+	for prefix, ns := range n.byPrefix {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(best) {
+			best, bestPrefix = ns, prefix
+		}
+	}
+	if best == "" {
+		return iri
+	}
+	local := iri[len(best):]
+	if strings.ContainsAny(local, "/#") {
+		return iri // local part would be ambiguous when re-expanded
+	}
+	return bestPrefix + ":" + local
+}
+
+// ShortenTerm renders a term compactly: IRIs are shortened via the prefix
+// table, other terms use their N-Triples form.
+func (n *Namespaces) ShortenTerm(t Term) string {
+	if t.IsIRI() {
+		return n.Shorten(t.Value())
+	}
+	return t.String()
+}
+
+// Prefixes returns the bound prefixes in sorted order.
+func (n *Namespaces) Prefixes() []string {
+	out := make([]string, 0, len(n.byPrefix))
+	for p := range n.byPrefix {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (n *Namespaces) Clone() *Namespaces {
+	out := NewNamespaces()
+	for p, ns := range n.byPrefix {
+		out.byPrefix[p] = ns
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package rdf implements the RDF data model used throughout the library:
+// terms (IRIs, blank nodes and literals), triples, and an indexed,
+// dictionary-encoded triple store (Graph).
+//
+// The model follows the formalisation in Section 2.1 of Dimartino et al.,
+// "Peer-to-Peer Semantic Integration of Linked Data" (EDBT/ICDT 2015
+// workshops): pairwise disjoint sets I (IRIs), B (blank nodes) and L
+// (literals), and RDF triples (s, p, o) ∈ (I ∪ B) × I × (I ∪ B ∪ L).
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies which of the three disjoint term sets a Term belongs to.
+type Kind uint8
+
+const (
+	// KindInvalid is the kind of the zero Term.
+	KindInvalid Kind = iota
+	// KindIRI identifies terms in I.
+	KindIRI
+	// KindBlank identifies terms in B (blank nodes / labelled nulls).
+	KindBlank
+	// KindLiteral identifies terms in L.
+	KindLiteral
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	default:
+		return "invalid"
+	}
+}
+
+// XSDString is the datatype IRI implicitly carried by plain literals.
+const XSDString = "http://www.w3.org/2001/XMLSchema#string"
+
+// RDFLangString is the datatype IRI of language-tagged literals.
+const RDFLangString = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+
+// Term is an RDF term: an IRI, a blank node, or a literal.
+//
+// Term is an immutable value type and is comparable, so it can be used
+// directly as a map key. The zero Term is invalid and reports
+// Kind() == KindInvalid.
+type Term struct {
+	kind     Kind
+	value    string // IRI string, blank node label, or literal lexical form
+	datatype string // literals only; "" means xsd:string
+	lang     string // literals only; non-empty implies rdf:langString
+}
+
+// IRI returns the IRI term for s. The string is used verbatim; callers
+// resolve prefixed names before constructing terms (see Namespaces).
+func IRI(s string) Term { return Term{kind: KindIRI, value: s} }
+
+// Blank returns the blank-node term with the given label (without the
+// leading "_:").
+func Blank(label string) Term { return Term{kind: KindBlank, value: label} }
+
+// Literal returns a plain literal (datatype xsd:string).
+func Literal(lexical string) Term { return Term{kind: KindLiteral, value: lexical} }
+
+// LangLiteral returns a language-tagged literal. The tag is normalised to
+// lower case as RDF 1.1 literal equality is case-insensitive on tags.
+func LangLiteral(lexical, lang string) Term {
+	return Term{kind: KindLiteral, value: lexical, lang: strings.ToLower(lang)}
+}
+
+// TypedLiteral returns a literal with an explicit datatype IRI. A datatype
+// of xsd:string (or "") yields a plain literal.
+func TypedLiteral(lexical, datatype string) Term {
+	if datatype == "" || datatype == XSDString {
+		return Literal(lexical)
+	}
+	return Term{kind: KindLiteral, value: lexical, datatype: datatype}
+}
+
+// Integer returns a literal of datatype xsd:integer for n.
+func Integer(n int) Term {
+	return TypedLiteral(fmt.Sprintf("%d", n), "http://www.w3.org/2001/XMLSchema#integer")
+}
+
+// Kind reports which disjoint set the term belongs to.
+func (t Term) Kind() Kind { return t.kind }
+
+// Value returns the IRI string, blank label, or literal lexical form.
+func (t Term) Value() string { return t.value }
+
+// Datatype returns the datatype IRI of a literal. Plain literals report
+// xsd:string and language-tagged literals report rdf:langString. Non-literal
+// terms report "".
+func (t Term) Datatype() string {
+	if t.kind != KindLiteral {
+		return ""
+	}
+	if t.lang != "" {
+		return RDFLangString
+	}
+	if t.datatype == "" {
+		return XSDString
+	}
+	return t.datatype
+}
+
+// Lang returns the language tag of a language-tagged literal, or "".
+func (t Term) Lang() string { return t.lang }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.kind == KindIRI }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.kind == KindBlank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.kind == KindLiteral }
+
+// IsZero reports whether the term is the invalid zero value.
+func (t Term) IsZero() bool { return t.kind == KindInvalid }
+
+// IsName reports whether the term is in I ∪ L, i.e. it is neither a blank
+// node nor invalid. Certain answers contain only names (Definition 3).
+func (t Term) IsName() bool { return t.kind == KindIRI || t.kind == KindLiteral }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.kind {
+	case KindIRI:
+		return "<" + t.value + ">"
+	case KindBlank:
+		return "_:" + t.value
+	case KindLiteral:
+		s := `"` + EscapeLiteral(t.value) + `"`
+		if t.lang != "" {
+			return s + "@" + t.lang
+		}
+		if t.datatype != "" {
+			return s + "^^<" + t.datatype + ">"
+		}
+		return s
+	default:
+		return "<invalid>"
+	}
+}
+
+// Compare orders terms: by kind (IRI < blank < literal), then by value,
+// then by datatype, then by language tag. It returns -1, 0 or +1.
+func (t Term) Compare(u Term) int {
+	if t.kind != u.kind {
+		if t.kind < u.kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.value, u.value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.datatype, u.datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.lang, u.lang)
+}
+
+// EscapeLiteral escapes a literal lexical form for N-Triples/Turtle output.
+func EscapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLiteral reverses EscapeLiteral. Unknown escapes are kept verbatim.
+func UnescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	esc := false
+	for _, r := range s {
+		if !esc {
+			if r == '\\' {
+				esc = true
+			} else {
+				b.WriteRune(r)
+			}
+			continue
+		}
+		esc = false
+		switch r {
+		case 'n':
+			b.WriteRune('\n')
+		case 'r':
+			b.WriteRune('\r')
+		case 't':
+			b.WriteRune('\t')
+		case '"':
+			b.WriteRune('"')
+		case '\\':
+			b.WriteRune('\\')
+		default:
+			b.WriteRune('\\')
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Triple is an RDF triple (s, p, o).
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple constructs a triple from its components.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax (with trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Valid reports whether the triple respects the RDF typing discipline:
+// subject ∈ I ∪ B, predicate ∈ I, object ∈ I ∪ B ∪ L.
+func (t Triple) Valid() bool {
+	if !(t.S.IsIRI() || t.S.IsBlank()) {
+		return false
+	}
+	if !t.P.IsIRI() {
+		return false
+	}
+	return t.O.IsIRI() || t.O.IsBlank() || t.O.IsLiteral()
+}
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// HasBlank reports whether any position of the triple is a blank node.
+func (t Triple) HasBlank() bool {
+	return t.S.IsBlank() || t.P.IsBlank() || t.O.IsBlank()
+}
+
+// Terms returns the three components as a slice in S, P, O order.
+func (t Triple) Terms() [3]Term { return [3]Term{t.S, t.P, t.O} }

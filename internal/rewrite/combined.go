@@ -1,0 +1,127 @@
+package rewrite
+
+import (
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Combined implements the "combined approach" the paper proposes as future
+// work (Section 5, item 1): instead of rewriting under every dependency —
+// which explodes combinatorially in the number of equivalence mappings —
+// the equivalence mappings are compiled away by canonicalising each
+// ≡ₑ-class to a representative (in the query, the mapping assertions and
+// the stored database), and only the graph mapping assertions are used for
+// rewriting. Answers are re-expanded across the equivalence classes.
+//
+// Whenever the GMA set is FO-rewritable (linear/sticky, Proposition 2) the
+// combined approach computes exactly the certain answers, with a UCQ whose
+// size depends only on the mapping assertions, not on |E|.
+type Combined struct {
+	sys       *core.System
+	canonical map[rdf.Term]rdf.Term
+	classes   map[rdf.Term][]rdf.Term
+	gmaTGDs   []TripleTGD
+}
+
+// NewCombined prepares the combined rewriter for a system.
+func NewCombined(sys *core.System) *Combined {
+	c := &Combined{
+		sys:       sys,
+		canonical: make(map[rdf.Term]rdf.Term),
+		classes:   make(map[rdf.Term][]rdf.Term),
+	}
+	for _, class := range sys.EquivalenceClasses() {
+		rep := class[0]
+		c.classes[rep] = class
+		for _, m := range class {
+			c.canonical[m] = rep
+		}
+	}
+	for _, m := range sys.G {
+		t := GMATGD(m)
+		t.Body = c.canonicalGP(t.Body)
+		t.Head = c.canonicalGP(t.Head)
+		c.gmaTGDs = append(c.gmaTGDs, t)
+	}
+	return c
+}
+
+func (c *Combined) canonicalTerm(t rdf.Term) rdf.Term {
+	if rep, ok := c.canonical[t]; ok {
+		return rep
+	}
+	return t
+}
+
+func (c *Combined) canonicalElem(e pattern.Elem) pattern.Elem {
+	if e.IsVar() {
+		return e
+	}
+	return pattern.C(c.canonicalTerm(e.Term()))
+}
+
+func (c *Combined) canonicalGP(gp pattern.GraphPattern) pattern.GraphPattern {
+	out := make(pattern.GraphPattern, len(gp))
+	for i, tp := range gp {
+		out[i] = pattern.TP(c.canonicalElem(tp.S), c.canonicalElem(tp.P), c.canonicalElem(tp.O))
+	}
+	return out
+}
+
+// CanonicalDatabase returns the stored database with every term replaced by
+// its class representative. This is the only materialisation the combined
+// approach performs; its size never exceeds the stored database.
+func (c *Combined) CanonicalDatabase() *rdf.Graph {
+	out := rdf.NewGraph()
+	c.sys.StoredDatabase().ForEach(func(t rdf.Triple) bool {
+		out.Add(rdf.Triple{
+			S: c.canonicalTerm(t.S),
+			P: c.canonicalTerm(t.P),
+			O: c.canonicalTerm(t.O),
+		})
+		return true
+	})
+	return out
+}
+
+// Rewrite computes the GMA-only rewriting of the canonicalised query.
+func (c *Combined) Rewrite(q pattern.Query, opts Options) (*Result, error) {
+	cq := pattern.Query{Free: q.Free, GP: c.canonicalGP(q.GP)}
+	return RewriteTGDs(cq, c.gmaTGDs, opts)
+}
+
+// Answer runs the full combined pipeline: canonicalise, rewrite under the
+// GMAs, evaluate over the canonical database, and expand each answer
+// component across its equivalence class. The result equals the certain
+// answers whenever the rewriting saturates.
+func (c *Combined) Answer(q pattern.Query, opts Options) (*pattern.TupleSet, *Result, error) {
+	res, err := c.Rewrite(q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	canonical := res.Evaluate(c.CanonicalDatabase())
+	out := pattern.NewTupleSet()
+	for _, t := range canonical.Sorted() {
+		c.expand(t, 0, make(pattern.Tuple, len(t)), out)
+	}
+	return out, res, nil
+}
+
+func (c *Combined) expand(t pattern.Tuple, i int, acc pattern.Tuple, out *pattern.TupleSet) {
+	if i == len(t) {
+		cp := make(pattern.Tuple, len(acc))
+		copy(cp, acc)
+		out.Add(cp)
+		return
+	}
+	if members, ok := c.classes[t[i]]; ok {
+		for _, m := range members {
+			acc[i] = m
+			c.expand(t, i+1, acc, out)
+		}
+		return
+	}
+	acc[i] = t[i]
+	c.expand(t, i+1, acc, out)
+}

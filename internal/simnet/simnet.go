@@ -1,0 +1,212 @@
+// Package simnet provides an in-process simulated peer-to-peer network used
+// by the federation prototype (Section 5 of the paper) and its experiments.
+// Nodes register request handlers under string addresses; calls between
+// nodes are accounted (message and byte counters, per-link and global),
+// optionally delayed by a configurable latency model, and can be failed and
+// healed to exercise partition behaviour.
+//
+// The same peer/query code also runs over real HTTP endpoints (package
+// peer); simnet exists so experiments are reproducible and traffic is
+// measurable without sockets.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is a request or response payload with a type tag.
+type Message struct {
+	// Type names the protocol operation (e.g. "sparql").
+	Type string
+	// Payload is the operation body (e.g. a query text or encoded result).
+	Payload []byte
+}
+
+// Handler processes a request message at a node.
+type Handler func(from string, req Message) (Message, error)
+
+// ErrUnreachable is returned for calls to failed or unknown nodes.
+var ErrUnreachable = errors.New("simnet: node unreachable")
+
+// LinkStats counts traffic over one directed link.
+type LinkStats struct {
+	Calls     int
+	BytesSent int
+	BytesRecv int
+}
+
+// Stats aggregates network-wide traffic.
+type Stats struct {
+	Calls     int
+	BytesSent int
+	BytesRecv int
+	// Failures counts calls rejected due to failed nodes.
+	Failures int
+	// SimulatedLatency is the accumulated per-call latency the configured
+	// model charged (virtual time; calls are not actually delayed unless
+	// RealDelay is set).
+	SimulatedLatency time.Duration
+}
+
+// Network is an in-process message fabric.
+type Network struct {
+	mu       sync.Mutex
+	nodes    map[string]Handler
+	down     map[string]bool
+	links    map[string]*LinkStats
+	stats    Stats
+	latency  time.Duration
+	perByte  time.Duration
+	realWait bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency charges a fixed latency per call (virtual by default).
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.latency = d }
+}
+
+// WithBandwidthCost charges additional latency per payload byte.
+func WithBandwidthCost(perByte time.Duration) Option {
+	return func(n *Network) { n.perByte = perByte }
+}
+
+// WithRealDelay makes calls actually sleep for the charged latency.
+func WithRealDelay() Option {
+	return func(n *Network) { n.realWait = true }
+}
+
+// New returns an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		nodes: make(map[string]Handler),
+		down:  make(map[string]bool),
+		links: make(map[string]*LinkStats),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Register attaches a handler at addr, replacing any previous handler.
+func (n *Network) Register(addr string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = h
+}
+
+// Unregister removes a node entirely.
+func (n *Network) Unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+	delete(n.down, addr)
+}
+
+// Fail marks a node as unreachable.
+func (n *Network) Fail(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[addr] = true
+}
+
+// Heal restores a failed node.
+func (n *Network) Heal(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.down, addr)
+}
+
+// Nodes returns the registered addresses.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Call sends req from one node to another and returns the response. Traffic
+// is accounted on the from→to link; latency is charged per the configured
+// model.
+func (n *Network) Call(from, to string, req Message) (Message, error) {
+	n.mu.Lock()
+	h, ok := n.nodes[to]
+	if !ok || n.down[to] || n.down[from] {
+		n.stats.Failures++
+		n.mu.Unlock()
+		return Message{}, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	link := n.linkLocked(from, to)
+	link.Calls++
+	link.BytesSent += len(req.Payload)
+	n.stats.Calls++
+	n.stats.BytesSent += len(req.Payload)
+	delay := n.latency + time.Duration(len(req.Payload))*n.perByte
+	n.stats.SimulatedLatency += delay
+	real := n.realWait
+	n.mu.Unlock()
+
+	if real && delay > 0 {
+		time.Sleep(delay)
+	}
+	resp, err := h(from, req)
+	if err != nil {
+		return Message{}, err
+	}
+
+	n.mu.Lock()
+	link.BytesRecv += len(resp.Payload)
+	n.stats.BytesRecv += len(resp.Payload)
+	respDelay := n.latency + time.Duration(len(resp.Payload))*n.perByte
+	n.stats.SimulatedLatency += respDelay
+	n.mu.Unlock()
+	if real && respDelay > 0 {
+		time.Sleep(respDelay)
+	}
+	return resp, nil
+}
+
+func (n *Network) linkLocked(from, to string) *LinkStats {
+	key := from + "→" + to
+	l, ok := n.links[key]
+	if !ok {
+		l = &LinkStats{}
+		n.links[key] = l
+	}
+	return l
+}
+
+// Link returns a copy of the stats for the from→to link.
+func (n *Network) Link(from, to string) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[from+"→"+to]
+	if !ok {
+		return LinkStats{}
+	}
+	return *l
+}
+
+// Stats returns a snapshot of the global counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes all counters (global and per-link).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+	n.links = make(map[string]*LinkStats)
+}

@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(from string, req Message) (Message, error) {
+	return Message{Type: req.Type, Payload: append([]byte("echo:"), req.Payload...)}, nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	resp, err := n.Call("a", "b", Message{Type: "t", Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "echo:hi" {
+		t.Errorf("payload = %q", resp.Payload)
+	}
+	st := n.Stats()
+	if st.Calls != 1 || st.BytesSent != 2 || st.BytesRecv != 7 {
+		t.Errorf("stats = %+v", st)
+	}
+	link := n.Link("a", "b")
+	if link.Calls != 1 || link.BytesSent != 2 || link.BytesRecv != 7 {
+		t.Errorf("link = %+v", link)
+	}
+	if n.Link("b", "a").Calls != 0 {
+		t.Error("reverse link should be empty")
+	}
+}
+
+func TestUnknownAndFailedNodes(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	if _, err := n.Call("a", "nope", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+	n.Register("b", echoHandler)
+	n.Fail("b")
+	if _, err := n.Call("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+	// a failed caller cannot call either
+	n.Heal("b")
+	n.Fail("a")
+	if _, err := n.Call("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+	n.Heal("a")
+	if _, err := n.Call("a", "b", Message{}); err != nil {
+		t.Errorf("healed call failed: %v", err)
+	}
+	if n.Stats().Failures != 3 {
+		t.Errorf("failures = %d, want 3", n.Stats().Failures)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	n := New()
+	n.Register("bad", func(from string, req Message) (Message, error) {
+		return Message{}, fmt.Errorf("boom")
+	})
+	n.Register("a", echoHandler)
+	if _, err := n.Call("a", "bad", Message{}); err == nil || err.Error() != "boom" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	n := New(WithLatency(time.Millisecond), WithBandwidthCost(time.Microsecond))
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	if _, err := n.Call("a", "b", Message{Payload: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	// request: 1ms + 100µs; response: 1ms + 105µs
+	want := 2*time.Millisecond + 205*time.Microsecond
+	if st.SimulatedLatency != want {
+		t.Errorf("simulated latency = %v, want %v", st.SimulatedLatency, want)
+	}
+}
+
+func TestUnregisterAndNodes(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	if len(n.Nodes()) != 2 {
+		t.Errorf("nodes = %v", n.Nodes())
+	}
+	n.Unregister("b")
+	if len(n.Nodes()) != 1 {
+		t.Errorf("nodes after unregister = %v", n.Nodes())
+	}
+	if _, err := n.Call("a", "b", Message{}); err == nil {
+		t.Error("call to unregistered node should fail")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	_, _ = n.Call("a", "b", Message{Payload: []byte("x")})
+	n.ResetStats()
+	if st := n.Stats(); st.Calls != 0 || st.BytesSent != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+	if n.Link("a", "b").Calls != 0 {
+		t.Error("link stats not reset")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New()
+	n.Register("srv", echoHandler)
+	for i := 0; i < 8; i++ {
+		n.Register(fmt.Sprintf("c%d", i), echoHandler)
+	}
+	var wg sync.WaitGroup
+	const perClient = 50
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			from := fmt.Sprintf("c%d", i)
+			for j := 0; j < perClient; j++ {
+				if _, err := n.Call(from, "srv", Message{Payload: []byte("x")}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := n.Stats(); st.Calls != 8*perClient {
+		t.Errorf("calls = %d, want %d", st.Calls, 8*perClient)
+	}
+}

@@ -1,0 +1,229 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Result holds the outcome of evaluating a query.
+type Result struct {
+	// Form echoes the query form.
+	Form Form
+	// Vars is the projection (SELECT only), in order.
+	Vars []string
+	// Rows holds one tuple per solution, aligned with Vars (SELECT only).
+	Rows []pattern.Tuple
+	// True is the ASK verdict (ASK only).
+	True bool
+}
+
+// Eval evaluates the query over a graph under the fragment's semantics:
+// BGPs per Definition 1, UNION as set union of solution multisets, filters
+// as post-selection, SELECT as projection (bag; set under DISTINCT).
+func (q *Query) Eval(g *rdf.Graph) *Result {
+	sols := evalExpr(g, q.Where)
+	if q.Form == FormAsk {
+		return &Result{Form: FormAsk, True: len(sols) > 0}
+	}
+	vars := q.ProjectedVars()
+	res := &Result{Form: FormSelect, Vars: vars}
+	seen := make(map[string]struct{})
+	for _, mu := range sols {
+		row := make(pattern.Tuple, len(vars))
+		for i, v := range vars {
+			row[i] = mu[v] // unbound stays the zero Term
+		}
+		if q.Distinct {
+			k := row.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Key() < res.Rows[j].Key() })
+	return res
+}
+
+// evalExpr returns the solution mappings of the expression.
+func evalExpr(g *rdf.Graph, e Expr) []pattern.Binding {
+	switch x := e.(type) {
+	case *Group:
+		sols := pattern.Eval(g, x.BGP)
+		for _, child := range x.Children {
+			if opt, ok := child.(*Optional); ok {
+				sols = leftJoin(sols, evalExpr(g, opt.Inner))
+				continue
+			}
+			if len(sols) == 0 {
+				return nil
+			}
+			sols = pattern.Join(sols, evalExpr(g, child))
+		}
+		if len(x.Filters) > 0 {
+			kept := sols[:0:0]
+			for _, mu := range sols {
+				ok := true
+				for _, f := range x.Filters {
+					if !f.Holds(mu) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, mu)
+				}
+			}
+			sols = kept
+		}
+		return sols
+	case *Union:
+		var out []pattern.Binding
+		for _, alt := range x.Alternatives {
+			out = append(out, evalExpr(g, alt)...)
+		}
+		return out
+	case *Optional:
+		// a bare OPTIONAL at the top level behaves like its inner pattern
+		// left-joined with the empty solution
+		return leftJoin([]pattern.Binding{{}}, evalExpr(g, x.Inner))
+	default:
+		return nil
+	}
+}
+
+// leftJoin implements SPARQL's OPTIONAL: every left solution survives,
+// extended by each compatible right solution when any exists.
+func leftJoin(left, right []pattern.Binding) []pattern.Binding {
+	var out []pattern.Binding
+	for _, l := range left {
+		matched := false
+		for _, r := range right {
+			if pattern.Compatible(l, r) {
+				out = append(out, pattern.Union(l, r))
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Format renders a result table using the namespace table for compact IRIs.
+// SELECT results are printed one row per line with tab-separated columns;
+// ASK results print "true" or "false".
+func (r *Result) Format(ns *rdf.Namespaces) string {
+	if ns == nil {
+		ns = rdf.NewNamespaces()
+	}
+	if r.Form == FormAsk {
+		if r.True {
+			return "true"
+		}
+		return "false"
+	}
+	var b strings.Builder
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, t := range row {
+			if t.IsZero() {
+				parts[i] = "UNDEF"
+				continue
+			}
+			parts[i] = ns.ShortenTerm(t)
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TupleSet returns the distinct SELECT rows as a tuple set.
+func (r *Result) TupleSet() *pattern.TupleSet {
+	s := pattern.NewTupleSet()
+	for _, row := range r.Rows {
+		s.Add(row)
+	}
+	return s
+}
+
+// Len returns the number of rows (SELECT) or 1/0 for true/false (ASK).
+func (r *Result) Len() int {
+	if r.Form == FormAsk {
+		if r.True {
+			return 1
+		}
+		return 0
+	}
+	return len(r.Rows)
+}
+
+// ToUCQ decomposes the query into a union of conjunctive graph-pattern
+// queries, the inverse of FromUCQ. It fails on filters or unions nested
+// below the top level in ways that do not flatten to a UCQ.
+func (q *Query) ToUCQ() ([]pattern.Query, error) {
+	vars := q.ProjectedVars()
+	bodies, err := flattenExpr(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]pattern.Query, 0, len(bodies))
+	for _, gp := range bodies {
+		// a disjunct must bind every projected variable
+		pq, err := pattern.NewQuery(vars, gp)
+		if err != nil {
+			return nil, fmt.Errorf("sparql: disjunct %q: %w", gp.String(), err)
+		}
+		out = append(out, pq)
+	}
+	return out, nil
+}
+
+// flattenExpr converts an expression tree to disjunctive normal form as a
+// list of conjunctive bodies.
+func flattenExpr(e Expr) ([]pattern.GraphPattern, error) {
+	switch x := e.(type) {
+	case *Group:
+		if len(x.Filters) > 0 {
+			return nil, fmt.Errorf("sparql: FILTER is outside the UCQ fragment")
+		}
+		acc := []pattern.GraphPattern{append(pattern.GraphPattern(nil), x.BGP...)}
+		for _, child := range x.Children {
+			sub, err := flattenExpr(child)
+			if err != nil {
+				return nil, err
+			}
+			// distribute: acc × sub
+			next := make([]pattern.GraphPattern, 0, len(acc)*len(sub))
+			for _, a := range acc {
+				for _, s := range sub {
+					merged := append(append(pattern.GraphPattern(nil), a...), s...)
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	case *Union:
+		var out []pattern.GraphPattern
+		for _, alt := range x.Alternatives {
+			sub, err := flattenExpr(alt)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case *Optional:
+		return nil, fmt.Errorf("sparql: OPTIONAL is outside the UCQ fragment")
+	default:
+		return nil, fmt.Errorf("sparql: unsupported expression type %T", e)
+	}
+}

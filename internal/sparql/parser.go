@@ -1,0 +1,425 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Parser parses the supported SPARQL fragment.
+type Parser struct {
+	lex *lexer
+	tok tok
+	ns  *rdf.Namespaces
+}
+
+// NewParser returns a parser over the query text. ns provides preloaded
+// prefix bindings (pass nil for none); PREFIX declarations in the prologue
+// are added to a private copy so the input table is not mutated.
+func NewParser(input string, ns *rdf.Namespaces) *Parser {
+	if ns == nil {
+		ns = rdf.NewNamespaces()
+	} else {
+		ns = ns.Clone()
+	}
+	return &Parser{lex: newLexer(input), ns: ns}
+}
+
+// Parse parses a complete query.
+func Parse(input string, ns *rdf.Namespaces) (*Query, error) {
+	return NewParser(input, ns).Parse()
+}
+
+// MustParse parses with the common namespaces preloaded, panicking on error.
+// Intended for tests and examples.
+func MustParse(input string) *Query {
+	q, err := Parse(input, rdf.CommonNamespaces())
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sparql: line %d col %d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errorf("expected %v, got %v %q", k, p.tok.kind, p.tok.text)
+	}
+	return p.next()
+}
+
+// Parse parses: prologue (SELECT ... | ASK ...) EOF.
+func (p *Parser) Parse() (*Query, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tKeyword && p.tok.text == "PREFIX" {
+		if err := p.parsePrefix(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tKeyword {
+		return nil, p.errorf("expected SELECT or ASK, got %v %q", p.tok.kind, p.tok.text)
+	}
+	var q *Query
+	var err error
+	switch p.tok.text {
+	case "SELECT":
+		q, err = p.parseSelect()
+	case "ASK":
+		q, err = p.parseAsk()
+	default:
+		return nil, p.errorf("unsupported query form %q (fragment supports SELECT and ASK)", p.tok.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errorf("trailing input after query: %q", p.tok.text)
+	}
+	q.Ns = p.ns
+	return q, nil
+}
+
+func (p *Parser) parsePrefix() error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if p.tok.kind != tPName {
+		return p.errorf("expected prefix name after PREFIX")
+	}
+	name := p.tok.text
+	if name[len(name)-1] != ':' {
+		return p.errorf("prefix %q must end with ':'", name)
+	}
+	prefix := name[:len(name)-1]
+	if err := p.next(); err != nil {
+		return err
+	}
+	if p.tok.kind != tIRI {
+		return p.errorf("expected IRI after PREFIX %s:", prefix)
+	}
+	p.ns.Bind(prefix, p.tok.text)
+	return p.next()
+}
+
+func (p *Parser) parseSelect() (*Query, error) {
+	q := &Query{Form: FormSelect}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tKeyword && (p.tok.text == "DISTINCT" || p.tok.text == "REDUCED") {
+		q.Distinct = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.tok.kind == tStar:
+		q.Star = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	case p.tok.kind == tVar:
+		for p.tok.kind == tVar {
+			q.Vars = append(q.Vars, p.tok.text)
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, p.errorf("expected projection variables or '*'")
+	}
+	if p.tok.kind == tKeyword && p.tok.text == "WHERE" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	where, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	// validate projection against pattern variables
+	if !q.Star {
+		inScope := make(map[string]struct{})
+		for _, v := range where.Vars() {
+			inScope[v] = struct{}{}
+		}
+		for _, v := range q.Vars {
+			if _, ok := inScope[v]; !ok {
+				return nil, fmt.Errorf("sparql: projected variable ?%s does not occur in the query pattern", v)
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *Parser) parseAsk() (*Query, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	where, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Form: FormAsk, Where: where}, nil
+}
+
+// parseGroup parses a group graph pattern delimited by braces. A group
+// directly containing UNION branches (e.g. "{ {...} UNION {...} }") yields a
+// Union expression nested in the group.
+func (p *Parser) parseGroup() (Expr, error) {
+	if err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		switch {
+		case p.tok.kind == tRBrace:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			// a group that is exactly one union collapses to the union
+			if len(g.BGP) == 0 && len(g.Filters) == 0 && len(g.Children) == 1 {
+				if u, ok := g.Children[0].(*Union); ok {
+					return u, nil
+				}
+			}
+			return g, nil
+		case p.tok.kind == tEOF:
+			return nil, p.errorf("unexpected end of query inside group pattern")
+		case p.tok.kind == tLBrace:
+			sub, err := p.parseGroupOrUnion()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, sub)
+			// optional dot between elements
+			if p.tok.kind == tDot {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		case p.tok.kind == tKeyword && p.tok.text == "OPTIONAL":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, &Optional{Inner: inner})
+			if p.tok.kind == tDot {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		case p.tok.kind == tKeyword && p.tok.text == "FILTER":
+			cond, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, cond)
+			if p.tok.kind == tDot {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if err := p.parseTriplesSameSubject(g); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tDot {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+}
+
+// parseGroupOrUnion parses "{...} (UNION {...})*".
+func (p *Parser) parseGroupOrUnion() (Expr, error) {
+	first, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if !(p.tok.kind == tKeyword && p.tok.text == "UNION") {
+		return first, nil
+	}
+	u := &Union{Alternatives: []Expr{first}}
+	for p.tok.kind == tKeyword && p.tok.text == "UNION" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		alt, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		// flatten nested unions for a normalised tree
+		if nested, ok := alt.(*Union); ok {
+			u.Alternatives = append(u.Alternatives, nested.Alternatives...)
+		} else {
+			u.Alternatives = append(u.Alternatives, alt)
+		}
+	}
+	return u, nil
+}
+
+func (p *Parser) parseFilter() (Cond, error) {
+	if err := p.next(); err != nil { // consume FILTER
+		return Cond{}, err
+	}
+	if err := p.expect(tLParen); err != nil {
+		return Cond{}, err
+	}
+	left, err := p.parseElem()
+	if err != nil {
+		return Cond{}, err
+	}
+	var neq bool
+	switch p.tok.kind {
+	case tEq:
+	case tNeq:
+		neq = true
+	default:
+		return Cond{}, p.errorf("expected '=' or '!=' in FILTER")
+	}
+	if err := p.next(); err != nil {
+		return Cond{}, err
+	}
+	right, err := p.parseElem()
+	if err != nil {
+		return Cond{}, err
+	}
+	if err := p.expect(tRParen); err != nil {
+		return Cond{}, err
+	}
+	return Cond{Left: left, Right: right, Neq: neq}, nil
+}
+
+// parseTriplesSameSubject parses "subject predObjList" with ';' and ','.
+func (p *Parser) parseTriplesSameSubject(g *Group) error {
+	subj, err := p.parseElem()
+	if err != nil {
+		return err
+	}
+	if !subj.IsVar() && subj.Term().IsLiteral() {
+		return p.errorf("literal in subject position")
+	}
+	for {
+		pred, err := p.parseElem()
+		if err != nil {
+			return err
+		}
+		if !pred.IsVar() && !pred.Term().IsIRI() {
+			return p.errorf("predicate must be an IRI or variable")
+		}
+		for {
+			obj, err := p.parseElem()
+			if err != nil {
+				return err
+			}
+			g.BGP = append(g.BGP, pattern.TP(subj, pred, obj))
+			if p.tok.kind != tComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind != tSemicolon {
+			return nil
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+		// allow dangling ';' before '.' or '}'
+		if p.tok.kind == tDot || p.tok.kind == tRBrace {
+			return nil
+		}
+	}
+}
+
+// parseElem parses a variable or RDF term.
+func (p *Parser) parseElem() (pattern.Elem, error) {
+	switch p.tok.kind {
+	case tVar:
+		name := p.tok.text
+		return pattern.V(name), p.next()
+	case tIRI:
+		iri := p.tok.text
+		return pattern.C(rdf.IRI(iri)), p.next()
+	case tPName:
+		full, err := p.ns.Expand(p.tok.text)
+		if err != nil {
+			return pattern.Elem{}, p.errorf("%v", err)
+		}
+		return pattern.C(rdf.IRI(full)), p.next()
+	case tKeyword:
+		switch p.tok.text {
+		case "A":
+			return pattern.C(rdf.IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")), p.next()
+		case "TRUE", "FALSE":
+			val := "true"
+			if p.tok.text == "FALSE" {
+				val = "false"
+			}
+			return pattern.C(rdf.TypedLiteral(val, "http://www.w3.org/2001/XMLSchema#boolean")), p.next()
+		}
+		return pattern.Elem{}, p.errorf("unexpected keyword %q in pattern", p.tok.text)
+	case tLiteral:
+		lex := p.tok.text
+		if err := p.next(); err != nil {
+			return pattern.Elem{}, err
+		}
+		switch p.tok.kind {
+		case tLangTag:
+			lang := p.tok.text
+			return pattern.C(rdf.LangLiteral(lex, lang)), p.next()
+		case tDTCaret:
+			if err := p.next(); err != nil {
+				return pattern.Elem{}, err
+			}
+			dt, err := p.parseElem()
+			if err != nil {
+				return pattern.Elem{}, err
+			}
+			if dt.IsVar() || !dt.Term().IsIRI() {
+				return pattern.Elem{}, p.errorf("datatype must be an IRI")
+			}
+			return pattern.C(rdf.TypedLiteral(lex, dt.Term().Value())), nil
+		default:
+			return pattern.C(rdf.Literal(lex)), nil
+		}
+	case tNumber:
+		text := p.tok.text
+		if err := p.next(); err != nil {
+			return pattern.Elem{}, err
+		}
+		dt := "http://www.w3.org/2001/XMLSchema#integer"
+		for _, c := range text {
+			if c == '.' {
+				dt = "http://www.w3.org/2001/XMLSchema#decimal"
+				break
+			}
+		}
+		return pattern.C(rdf.TypedLiteral(text, dt)), nil
+	default:
+		return pattern.Elem{}, p.errorf("expected term or variable, got %v %q", p.tok.kind, p.tok.text)
+	}
+}

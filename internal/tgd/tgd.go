@@ -1,0 +1,527 @@
+// Package tgd implements tuple-generating dependencies over a relational
+// alphabet, together with the syntactic classification tests used in
+// Section 4 of the paper: linearity, guardedness, weak acyclicity, the
+// variable-marking stickiness test of Definition 4, and a sticky-join
+// approximation. It also fixes the data-exchange alphabet of Section 3
+// (ts/rs source relations and tt/rt target relations) used to encode RDF
+// Peer Systems as relational data exchange settings.
+package tgd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Relation symbols of the data exchange setting of Section 3. TS/TT are the
+// ternary triple relations of the stored and peer-to-peer databases; RS/RT
+// are the unary relations of identified resources.
+const (
+	PredTS = "ts"
+	PredTT = "tt"
+	PredRS = "rs"
+	PredRT = "rt"
+)
+
+// Atom is a relational atom: a predicate applied to arguments, each of which
+// is a variable or a constant RDF term (pattern.Elem).
+type Atom struct {
+	Pred string
+	Args []pattern.Elem
+}
+
+// NewAtom constructs an atom.
+func NewAtom(pred string, args ...pattern.Elem) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// TTAtom returns a tt/3 atom for the triple pattern positions s, p, o.
+func TTAtom(s, p, o pattern.Elem) Atom { return NewAtom(PredTT, s, p, o) }
+
+// RTAtom returns an rt/1 atom for x.
+func RTAtom(x pattern.Elem) Atom { return NewAtom(PredRT, x) }
+
+// Vars returns the variable names of the atom, sorted and de-duplicated.
+func (a Atom) Vars() []string {
+	set := make(map[string]struct{}, len(a.Args))
+	for _, e := range a.Args {
+		if e.IsVar() {
+			set[e.Var()] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// HasVar reports whether the variable occurs in the atom.
+func (a Atom) HasVar(v string) bool {
+	for _, e := range a.Args {
+		if e.IsVar() && e.Var() == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the atom, e.g. "tt(?x, <A>, ?z)".
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = e.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports structural equality of atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply substitutes bound variables of µ into the atom.
+func (a Atom) Apply(mu pattern.Binding) Atom {
+	args := make([]pattern.Elem, len(a.Args))
+	for i, e := range a.Args {
+		if e.IsVar() {
+			if t, ok := mu[e.Var()]; ok {
+				args[i] = pattern.C(t)
+				continue
+			}
+		}
+		args[i] = e
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// TGD is a tuple-generating dependency ∀x φ(x) → ∃z ψ(x, z): Body is φ,
+// Head is ψ, and head variables not occurring in the body are existentially
+// quantified.
+type TGD struct {
+	Body []Atom
+	Head []Atom
+	// Label is an optional human-readable name used in diagnostics.
+	Label string
+}
+
+// New constructs a TGD.
+func New(body, head []Atom) TGD { return TGD{Body: body, Head: head} }
+
+// BodyVars returns the universally quantified variables, sorted.
+func (t TGD) BodyVars() []string {
+	set := make(map[string]struct{})
+	for _, a := range t.Body {
+		for _, v := range a.Vars() {
+			set[v] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// HeadVars returns all variables of the head, sorted.
+func (t TGD) HeadVars() []string {
+	set := make(map[string]struct{})
+	for _, a := range t.Head {
+		for _, v := range a.Vars() {
+			set[v] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// ExistentialVars returns head variables that do not occur in the body.
+func (t TGD) ExistentialVars() []string {
+	body := make(map[string]struct{})
+	for _, v := range t.BodyVars() {
+		body[v] = struct{}{}
+	}
+	set := make(map[string]struct{})
+	for _, a := range t.Head {
+		for _, v := range a.Vars() {
+			if _, ok := body[v]; !ok {
+				set[v] = struct{}{}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// FrontierVars returns body variables that also occur in the head.
+func (t TGD) FrontierVars() []string {
+	head := make(map[string]struct{})
+	for _, v := range t.HeadVars() {
+		head[v] = struct{}{}
+	}
+	var out []string
+	for _, v := range t.BodyVars() {
+		if _, ok := head[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the TGD in rule syntax.
+func (t TGD) String() string {
+	b := make([]string, len(t.Body))
+	for i, a := range t.Body {
+		b[i] = a.String()
+	}
+	h := make([]string, len(t.Head))
+	for i, a := range t.Head {
+		h[i] = a.String()
+	}
+	s := strings.Join(b, " ∧ ") + " → " + strings.Join(h, " ∧ ")
+	if t.Label != "" {
+		s = "[" + t.Label + "] " + s
+	}
+	return s
+}
+
+// Position identifies an argument slot r[i] of a predicate.
+type Position struct {
+	Pred string
+	Idx  int
+}
+
+// String renders the position as "r[i]".
+func (p Position) String() string { return fmt.Sprintf("%s[%d]", p.Pred, p.Idx) }
+
+// IsLinear reports whether every TGD has exactly one body atom.
+func IsLinear(sigma []TGD) bool {
+	for _, t := range sigma {
+		if len(t.Body) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGuarded reports whether every TGD has a body atom containing all of the
+// TGD's universally quantified variables.
+func IsGuarded(sigma []TGD) bool {
+	for _, t := range sigma {
+		vars := t.BodyVars()
+		guarded := false
+		for _, a := range t.Body {
+			all := true
+			for _, v := range vars {
+				if !a.HasVar(v) {
+					all = false
+					break
+				}
+			}
+			if all {
+				guarded = true
+				break
+			}
+		}
+		if !guarded && len(t.Body) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Marking is the result of the Definition 4 variable-marking procedure.
+type Marking struct {
+	// MarkedVars[i] is the set of marked body variables of sigma[i].
+	MarkedVars []map[string]bool
+	// MarkedPositions is the set of positions at which a marked variable
+	// occurs in some TGD body (the propagation frontier).
+	MarkedPositions map[Position]bool
+	// Rounds is the number of fixpoint iterations performed.
+	Rounds int
+}
+
+// Mark runs the variable-marking procedure of Definition 4 on sigma.
+//
+// Initial step: for each TGD σ and each variable V in body(σ), if some head
+// atom of σ does not contain V, every occurrence of V in body(σ) is marked.
+// Propagation step (to fixpoint): if a marked variable occurs in some body
+// at position π, then for every TGD σ′, every body variable of σ′ that
+// occurs in head(σ′) at position π becomes marked.
+func Mark(sigma []TGD) *Marking {
+	m := &Marking{
+		MarkedVars:      make([]map[string]bool, len(sigma)),
+		MarkedPositions: make(map[Position]bool),
+	}
+	for i := range sigma {
+		m.MarkedVars[i] = make(map[string]bool)
+	}
+	// initial marking
+	for i, t := range sigma {
+		for _, v := range t.BodyVars() {
+			missing := false
+			for _, h := range t.Head {
+				if !h.HasVar(v) {
+					missing = true
+					break
+				}
+			}
+			if len(t.Head) == 0 {
+				missing = true
+			}
+			if missing {
+				m.MarkedVars[i][v] = true
+			}
+		}
+	}
+	m.recomputePositions(sigma)
+	// propagation to fixpoint
+	for {
+		m.Rounds++
+		changed := false
+		for i, t := range sigma {
+			for _, h := range t.Head {
+				for idx, e := range h.Args {
+					if !e.IsVar() {
+						continue
+					}
+					v := e.Var()
+					if m.MarkedVars[i][v] {
+						continue
+					}
+					if !isBodyVar(t, v) {
+						continue // existential variables are never marked
+					}
+					if m.MarkedPositions[Position{Pred: h.Pred, Idx: idx}] {
+						m.MarkedVars[i][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return m
+		}
+		m.recomputePositions(sigma)
+	}
+}
+
+func (m *Marking) recomputePositions(sigma []TGD) {
+	for i, t := range sigma {
+		for _, a := range t.Body {
+			for idx, e := range a.Args {
+				if e.IsVar() && m.MarkedVars[i][e.Var()] {
+					m.MarkedPositions[Position{Pred: a.Pred, Idx: idx}] = true
+				}
+			}
+		}
+	}
+}
+
+func isBodyVar(t TGD, v string) bool {
+	for _, a := range t.Body {
+		if a.HasVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyOccurrences counts total occurrences of v across the body atoms of t,
+// counting repeats within a single atom.
+func bodyOccurrences(t TGD, v string) int {
+	n := 0
+	for _, a := range t.Body {
+		for _, e := range a.Args {
+			if e.IsVar() && e.Var() == v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// IsSticky runs the Definition 4 test: sigma is sticky iff no TGD has a
+// marked variable occurring more than once in its body.
+func IsSticky(sigma []TGD) bool {
+	_, offender := StickyWitness(sigma)
+	return offender == -1
+}
+
+// StickyWitness returns the marking together with the index of the first
+// TGD violating stickiness (or -1 if sigma is sticky).
+func StickyWitness(sigma []TGD) (*Marking, int) {
+	m := Mark(sigma)
+	for i, t := range sigma {
+		for v := range m.MarkedVars[i] {
+			if bodyOccurrences(t, v) > 1 {
+				return m, i
+			}
+		}
+	}
+	return m, -1
+}
+
+// IsStickyJoin reports whether sigma is accepted by this library's
+// sticky-join test. Sticky-join sets (Calì, Gottlob, Pieris 2010) generalise
+// both sticky and linear sets; the full definition involves query expansion,
+// so this implementation uses a sound approximation: sigma passes if it is
+// sticky, or linear, or if every marked variable occurring more than once in
+// a body is confined to a single body atom (an intra-atom join, which the
+// expansion-based definition tolerates). A false result therefore does not
+// prove sigma is outside the sticky-join class, but a true result guarantees
+// the rewriting engine terminates.
+func IsStickyJoin(sigma []TGD) bool {
+	if IsLinear(sigma) || IsSticky(sigma) {
+		return true
+	}
+	m := Mark(sigma)
+	for i, t := range sigma {
+		for v := range m.MarkedVars[i] {
+			if bodyOccurrences(t, v) <= 1 {
+				continue
+			}
+			atomsWith := 0
+			for _, a := range t.Body {
+				if a.HasVar(v) {
+					atomsWith++
+				}
+			}
+			if atomsWith > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsWeaklyAcyclic reports whether sigma is weakly acyclic: the position
+// dependency graph (normal edges from body positions of a frontier variable
+// to its head positions, special edges from body positions of a frontier
+// variable to positions of existential variables in the head) has no cycle
+// through a special edge.
+func IsWeaklyAcyclic(sigma []TGD) bool {
+	type edge struct {
+		to      Position
+		special bool
+	}
+	adj := make(map[Position][]edge)
+	addEdge := func(from, to Position, special bool) {
+		adj[from] = append(adj[from], edge{to: to, special: special})
+	}
+	for _, t := range sigma {
+		exist := make(map[string]bool)
+		for _, v := range t.ExistentialVars() {
+			exist[v] = true
+		}
+		for _, v := range t.BodyVars() {
+			var fromPositions []Position
+			for _, a := range t.Body {
+				for idx, e := range a.Args {
+					if e.IsVar() && e.Var() == v {
+						fromPositions = append(fromPositions, Position{a.Pred, idx})
+					}
+				}
+			}
+			for _, h := range t.Head {
+				for idx, e := range h.Args {
+					if !e.IsVar() {
+						continue
+					}
+					hv := e.Var()
+					to := Position{h.Pred, idx}
+					if hv == v {
+						for _, from := range fromPositions {
+							addEdge(from, to, false)
+						}
+					} else if exist[hv] {
+						for _, from := range fromPositions {
+							addEdge(from, to, true)
+						}
+					}
+				}
+			}
+		}
+	}
+	// detect a cycle containing a special edge: for each special edge u->v,
+	// check whether v reaches u.
+	reaches := func(from, target Position) bool {
+		seen := map[Position]bool{from: true}
+		stack := []Position{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == target {
+				return true
+			}
+			for _, e := range adj[cur] {
+				if !seen[e.to] {
+					seen[e.to] = true
+					stack = append(stack, e.to)
+				}
+			}
+		}
+		return false
+	}
+	for from, edges := range adj {
+		for _, e := range edges {
+			if e.special && reaches(e.to, from) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Class summarises the classification of a dependency set.
+type Class struct {
+	Linear        bool
+	Guarded       bool
+	Sticky        bool
+	StickyJoin    bool
+	WeaklyAcyclic bool
+}
+
+// Classify runs every classification test on sigma.
+func Classify(sigma []TGD) Class {
+	return Class{
+		Linear:        IsLinear(sigma),
+		Guarded:       IsGuarded(sigma),
+		Sticky:        IsSticky(sigma),
+		StickyJoin:    IsStickyJoin(sigma),
+		WeaklyAcyclic: IsWeaklyAcyclic(sigma),
+	}
+}
+
+// FORewritable reports whether the classification guarantees first-order
+// rewritability via TGD-rewrite (Proposition 2: linear, sticky or
+// sticky-join suffices).
+func (c Class) FORewritable() bool { return c.Linear || c.Sticky || c.StickyJoin }
+
+// String renders the classification compactly.
+func (c Class) String() string {
+	flag := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	return fmt.Sprintf("linear=%s guarded=%s sticky=%s sticky-join=%s weakly-acyclic=%s",
+		flag(c.Linear), flag(c.Guarded), flag(c.Sticky), flag(c.StickyJoin), flag(c.WeaklyAcyclic))
+}
+
+// V is a shorthand for a variable argument.
+func V(name string) pattern.Elem { return pattern.V(name) }
+
+// C is a shorthand for a constant argument.
+func C(t rdf.Term) pattern.Elem { return pattern.C(t) }
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

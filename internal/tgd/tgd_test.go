@@ -1,0 +1,361 @@
+package tgd
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+var (
+	iriA        = rdf.IRI("http://e/A")
+	iriB        = rdf.IRI("http://e/B")
+	iriCc       = rdf.IRI("http://e/C")
+	starring    = rdf.IRI("http://e/starring")
+	artist      = rdf.IRI("http://e/artist")
+	actor       = rdf.IRI("http://e/actor")
+	constC      = rdf.IRI("http://e/c")
+	constCPrime = rdf.IRI("http://e/cPrime")
+)
+
+// equivalenceTGDs returns the six dependencies for c ≡ₑ c′ (Section 3).
+func equivalenceTGDs() []TGD {
+	mk := func(body, head Atom) TGD { return TGD{Body: []Atom{body}, Head: []Atom{head}} }
+	return []TGD{
+		mk(TTAtom(C(constC), V("y"), V("z")), TTAtom(C(constCPrime), V("y"), V("z"))),
+		mk(TTAtom(C(constCPrime), V("y"), V("z")), TTAtom(C(constC), V("y"), V("z"))),
+		mk(TTAtom(V("x"), C(constC), V("z")), TTAtom(V("x"), C(constCPrime), V("z"))),
+		mk(TTAtom(V("x"), C(constCPrime), V("z")), TTAtom(V("x"), C(constC), V("z"))),
+		mk(TTAtom(V("x"), V("y"), C(constC)), TTAtom(V("x"), V("y"), C(constCPrime))),
+		mk(TTAtom(V("x"), V("y"), C(constCPrime)), TTAtom(V("x"), V("y"), C(constC))),
+	}
+}
+
+// pathToEdgeGMA is the paper's Section 4 example of a non-sticky graph
+// mapping assertion: tt(x,A,z) ∧ tt(z,B,y) ∧ rt(x) ∧ rt(y) → tt(x,C,y).
+func pathToEdgeGMA() TGD {
+	return TGD{
+		Body: []Atom{
+			TTAtom(V("x"), C(iriA), V("z")),
+			TTAtom(V("z"), C(iriB), V("y")),
+			RTAtom(V("x")),
+			RTAtom(V("y")),
+		},
+		Head: []Atom{TTAtom(V("x"), C(iriCc), V("y"))},
+	}
+}
+
+// transitiveGMA is the Proposition 3 transitive-closure mapping:
+// tt(x,A,z) ∧ tt(z,A,y) ∧ rt(x) ∧ rt(y) → tt(x,A,y).
+func transitiveGMA() TGD {
+	return TGD{
+		Body: []Atom{
+			TTAtom(V("x"), C(iriA), V("z")),
+			TTAtom(V("z"), C(iriA), V("y")),
+			RTAtom(V("x")),
+			RTAtom(V("y")),
+		},
+		Head: []Atom{TTAtom(V("x"), C(iriA), V("y"))},
+	}
+}
+
+// edgeToPathGMA is Example 2's Q2 ⤳ Q1 as a TGD:
+// tt(x,actor,y) ∧ rt(x) ∧ rt(y) → ∃z tt(x,starring,z) ∧ tt(z,artist,y).
+func edgeToPathGMA() TGD {
+	return TGD{
+		Body: []Atom{
+			TTAtom(V("x"), C(actor), V("y")),
+			RTAtom(V("x")),
+			RTAtom(V("y")),
+		},
+		Head: []Atom{
+			TTAtom(V("x"), C(starring), V("z")),
+			TTAtom(V("z"), C(artist), V("y")),
+		},
+	}
+}
+
+func TestTGDVarsAccounting(t *testing.T) {
+	g := edgeToPathGMA()
+	if got := g.BodyVars(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("BodyVars = %v", got)
+	}
+	if got := g.HeadVars(); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("HeadVars = %v", got)
+	}
+	if got := g.ExistentialVars(); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Errorf("ExistentialVars = %v", got)
+	}
+	if got := g.FrontierVars(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("FrontierVars = %v", got)
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	a := TTAtom(V("x"), C(iriA), V("x"))
+	if got := a.Vars(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("Vars dedup = %v", got)
+	}
+	if !a.HasVar("x") || a.HasVar("y") {
+		t.Error("HasVar wrong")
+	}
+	b := a.Apply(pattern.Binding{"x": rdf.IRI("http://e/v")})
+	if b.Args[0].IsVar() || b.Args[2].IsVar() {
+		t.Errorf("Apply did not substitute: %v", b)
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+	if !strings.Contains(a.String(), "tt(?x") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+// Paper claim (Section 4): equivalence-mapping TGDs are linear and sticky.
+func TestEquivalenceMappingsAreLinearAndSticky(t *testing.T) {
+	sigma := equivalenceTGDs()
+	c := Classify(sigma)
+	if !c.Linear {
+		t.Error("equivalence TGDs must be linear")
+	}
+	if !c.Sticky {
+		t.Error("equivalence TGDs must be sticky")
+	}
+	if !c.FORewritable() {
+		t.Error("equivalence TGDs must be FO-rewritable")
+	}
+}
+
+// Paper claim (Section 4): the path-to-edge GMA violates stickiness because
+// the marking marks z, which occurs twice in the body.
+func TestPathToEdgeGMAIsNotSticky(t *testing.T) {
+	sigma := []TGD{pathToEdgeGMA()}
+	m, offender := StickyWitness(sigma)
+	if offender != 0 {
+		t.Fatalf("expected TGD 0 to violate stickiness, got %d", offender)
+	}
+	if !m.MarkedVars[0]["z"] {
+		t.Error("z must be marked (absent from the head)")
+	}
+	if IsSticky(sigma) {
+		t.Error("IsSticky must be false")
+	}
+	if IsLinear(sigma) {
+		t.Error("multi-atom body is not linear")
+	}
+	if IsGuarded(sigma) {
+		t.Error("no body atom contains x, y and z together")
+	}
+}
+
+// Paper claim (Section 4 / Prop 3): the transitive-closure GMA is neither
+// sticky nor linear.
+func TestTransitiveGMAClassification(t *testing.T) {
+	sigma := []TGD{transitiveGMA()}
+	c := Classify(sigma)
+	if c.Sticky || c.Linear {
+		t.Errorf("transitive GMA wrongly classified: %v", c)
+	}
+	// no existential variables: weak acyclicity holds (chase terminates),
+	// which is consistent with Theorem 1's PTIME result
+	if !c.WeaklyAcyclic {
+		t.Error("rule without existentials must be weakly acyclic")
+	}
+}
+
+// The Example 2 mapping Q2 ⤳ Q1 has an existential z appearing at subject
+// and object tt positions, creating a special self-loop: not weakly acyclic.
+func TestEdgeToPathGMANotWeaklyAcyclic(t *testing.T) {
+	sigma := []TGD{edgeToPathGMA()}
+	if IsWeaklyAcyclic(sigma) {
+		t.Error("edge-to-path GMA must not be weakly acyclic (special self-loop on tt positions)")
+	}
+	// it is guarded: tt(x,actor,y) contains all body variables
+	if !IsGuarded(sigma) {
+		t.Error("tt(x,actor,y) guards the body")
+	}
+	// and linear? no: body has three atoms
+	if IsLinear(sigma) {
+		t.Error("three body atoms are not linear")
+	}
+}
+
+// Marking on the abstract transitivity example from Section 4:
+// A(x,z) ∧ A(z,y) → A(x,y). After propagation all of x, y, z are marked and
+// z occurs twice: not sticky.
+func TestMarkingPropagation(t *testing.T) {
+	a := func(args ...pattern.Elem) Atom { return NewAtom("A", args...) }
+	sigma := []TGD{{
+		Body: []Atom{a(V("x"), V("z")), a(V("z"), V("y"))},
+		Head: []Atom{a(V("x"), V("y"))},
+	}}
+	m := Mark(sigma)
+	for _, v := range []string{"x", "y", "z"} {
+		if !m.MarkedVars[0][v] {
+			t.Errorf("variable %s should be marked after propagation", v)
+		}
+	}
+	if !m.MarkedPositions[Position{"A", 0}] || !m.MarkedPositions[Position{"A", 1}] {
+		t.Errorf("both A positions should be marked: %v", m.MarkedPositions)
+	}
+	if IsSticky(sigma) {
+		t.Error("transitivity is not sticky")
+	}
+}
+
+// Classic sticky example: R(x,y) → ∃z R(y,z) is linear and sticky even
+// though x is marked, because x occurs only once.
+func TestLinearExistentialIsSticky(t *testing.T) {
+	r := func(args ...pattern.Elem) Atom { return NewAtom("R", args...) }
+	sigma := []TGD{{
+		Body: []Atom{r(V("x"), V("y"))},
+		Head: []Atom{r(V("y"), V("z"))},
+	}}
+	c := Classify(sigma)
+	if !c.Linear || !c.Sticky || !c.StickyJoin {
+		t.Errorf("classification = %v", c)
+	}
+	// but it is not weakly acyclic: R[1] --special--> R[1] via z after y
+	// feeds R[0]: R[0] -> ... check: y at body R[1] -> head R[0] normal;
+	// z existential at head R[1]: special edges from x,y positions.
+	if c.WeaklyAcyclic {
+		t.Error("R(x,y) -> ∃z R(y,z) must not be weakly acyclic")
+	}
+}
+
+// Cartesian-product rule: S(x) ∧ T(y) → U(x,y) has no marked variables and
+// is sticky despite the join-free two-atom body.
+func TestProductRuleSticky(t *testing.T) {
+	sigma := []TGD{{
+		Body: []Atom{NewAtom("S", V("x")), NewAtom("T", V("y"))},
+		Head: []Atom{NewAtom("U", V("x"), V("y"))},
+	}}
+	if !IsSticky(sigma) {
+		t.Error("product rule should be sticky (no marked variable repeats)")
+	}
+	if IsLinear(sigma) || IsGuarded(sigma) {
+		t.Error("product rule is neither linear nor guarded")
+	}
+}
+
+// Cross-TGD propagation: marking must flow through head positions of other
+// TGDs in the set.
+func TestMarkingCrossTGDPropagation(t *testing.T) {
+	r := func(args ...pattern.Elem) Atom { return NewAtom("R", args...) }
+	s := func(args ...pattern.Elem) Atom { return NewAtom("S", args...) }
+	sigma := []TGD{
+		// σ1: R(x,y) → S(x): y marked; y occurs at R[1]
+		{Body: []Atom{r(V("x"), V("y"))}, Head: []Atom{s(V("x"))}},
+		// σ2: S(u) ∧ S(v) → R(u,v): u,v appear in head at R[0], R[1].
+		// R[1] is marked by σ1, so v becomes marked; v occurs once — still
+		// sticky overall.
+		{Body: []Atom{s(V("u")), s(V("v"))}, Head: []Atom{r(V("u"), V("v"))}},
+	}
+	m := Mark(sigma)
+	if !m.MarkedVars[0]["y"] {
+		t.Error("y should be marked in σ1")
+	}
+	if !m.MarkedVars[1]["v"] {
+		t.Error("v should be marked in σ2 via propagation from R[1]")
+	}
+	// the cascade continues: v marked ⇒ S[0] marked ⇒ x marked in σ1 ⇒
+	// R[0] marked ⇒ u marked in σ2
+	if !m.MarkedVars[0]["x"] {
+		t.Error("x should be marked in σ1 via S[0]")
+	}
+	if !m.MarkedVars[1]["u"] {
+		t.Error("u should be marked in σ2 via R[0]")
+	}
+	if !IsSticky(sigma) {
+		t.Error("set should be sticky: no marked variable repeats in a body")
+	}
+	// Now make v occur twice in σ2's body: sticky breaks.
+	sigma2 := []TGD{
+		sigma[0],
+		{Body: []Atom{s(V("v")), s(V("v"))}, Head: []Atom{r(V("u"), V("v"))}},
+	}
+	// u appears in head but not body: existential; v marked via R[1], twice
+	// in body -> not sticky.
+	if IsSticky(sigma2) {
+		t.Error("set with repeated marked v should not be sticky")
+	}
+}
+
+func TestStickyJoinApproximation(t *testing.T) {
+	// linear sets pass trivially
+	if !IsStickyJoin(equivalenceTGDs()) {
+		t.Error("linear sets are sticky-join")
+	}
+	// intra-atom repeated marked variable passes the relaxation:
+	// R(x,x,y) → S(y)  (x marked, repeated, but within one atom)
+	sigma := []TGD{{
+		Body: []Atom{NewAtom("R", V("x"), V("x"), V("y")), NewAtom("T", V("w"))},
+		Head: []Atom{NewAtom("S", V("y"))},
+	}}
+	if IsSticky(sigma) {
+		t.Error("repeated marked x is not sticky")
+	}
+	if !IsStickyJoin(sigma) {
+		t.Error("intra-atom join should pass the sticky-join approximation")
+	}
+	// cross-atom marked join fails
+	if IsStickyJoin([]TGD{transitiveGMA()}) {
+		t.Error("transitive closure must fail sticky-join")
+	}
+}
+
+func TestWeaklyAcyclicCopyRules(t *testing.T) {
+	// source-to-target copy rules of Section 3 are weakly acyclic
+	sigma := []TGD{
+		{Body: []Atom{NewAtom(PredTS, V("x"), V("y"), V("z"))}, Head: []Atom{TTAtom(V("x"), V("y"), V("z"))}},
+		{Body: []Atom{NewAtom(PredRS, V("x"))}, Head: []Atom{RTAtom(V("x"))}},
+	}
+	if !IsWeaklyAcyclic(sigma) {
+		t.Error("copy rules must be weakly acyclic")
+	}
+	if !IsSticky(sigma) || !IsLinear(sigma) {
+		t.Error("copy rules are linear and sticky")
+	}
+}
+
+func TestClassifyStringAndFORewritable(t *testing.T) {
+	c := Classify(equivalenceTGDs())
+	s := c.String()
+	if !strings.Contains(s, "linear=yes") || !strings.Contains(s, "sticky=yes") {
+		t.Errorf("String = %q", s)
+	}
+	bad := Classify([]TGD{transitiveGMA()})
+	if bad.FORewritable() {
+		t.Error("transitive closure must not be certified FO-rewritable")
+	}
+}
+
+func TestTGDString(t *testing.T) {
+	g := pathToEdgeGMA()
+	g.Label = "gma1"
+	s := g.String()
+	if !strings.Contains(s, "→") || !strings.Contains(s, "[gma1]") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(Position{"tt", 2}.String(), "tt[2]") {
+		t.Error("Position.String wrong")
+	}
+}
+
+// Property-style: marking is monotone — adding a TGD can only grow the set
+// of marked (tgd, var) pairs for the original TGDs... not in general (it is
+// monotone in positions). We check the weaker invariant that re-running Mark
+// is deterministic and idempotent.
+func TestMarkDeterministic(t *testing.T) {
+	sigma := []TGD{pathToEdgeGMA(), edgeToPathGMA(), transitiveGMA()}
+	m1 := Mark(sigma)
+	m2 := Mark(sigma)
+	if !reflect.DeepEqual(m1.MarkedVars, m2.MarkedVars) {
+		t.Error("marking not deterministic")
+	}
+	if !reflect.DeepEqual(m1.MarkedPositions, m2.MarkedPositions) {
+		t.Error("marked positions not deterministic")
+	}
+}

@@ -1,0 +1,341 @@
+package turtle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parser parses Turtle (and its N-Triples subset) into rdf.Triple values.
+type Parser struct {
+	lex  *lexer
+	tok  token
+	ns   *rdf.Namespaces
+	base string
+
+	anonCount int
+}
+
+// NewParser returns a parser over the given input. The namespace table ns
+// provides initial prefix bindings and accumulates @prefix directives found
+// in the input; pass nil for an empty table.
+func NewParser(input string, ns *rdf.Namespaces) *Parser {
+	if ns == nil {
+		ns = rdf.NewNamespaces()
+	}
+	return &Parser{lex: newLexer(input), ns: ns}
+}
+
+// Parse parses the complete input and returns all triples.
+func (p *Parser) Parse() ([]rdf.Triple, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	var out []rdf.Triple
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokPrefixDirective:
+			if err := p.parsePrefix(); err != nil {
+				return nil, err
+			}
+		case tokBaseDirective:
+			if err := p.parseBase(); err != nil {
+				return nil, err
+			}
+		default:
+			ts, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts...)
+		}
+	}
+	return out, nil
+}
+
+// ParseGraph parses the input directly into a new graph.
+func (p *Parser) ParseGraph() (*rdf.Graph, error) {
+	ts, err := p.Parse()
+	if err != nil {
+		return nil, err
+	}
+	g := rdf.NewGraph()
+	g.AddAll(ts)
+	return g, nil
+}
+
+// Namespaces returns the prefix table, including directives seen so far.
+func (p *Parser) Namespaces() *rdf.Namespaces { return p.ns }
+
+func (p *Parser) next() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d col %d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expect(k tokenKind) error {
+	if p.tok.kind != k {
+		return p.errorf("expected %v, got %v %q", k, p.tok.kind, p.tok.text)
+	}
+	return p.next()
+}
+
+func (p *Parser) parsePrefix() error {
+	sparqlForm := !strings.HasPrefix(p.tok.text, "@")
+	if err := p.next(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokPName {
+		return p.errorf("expected prefix declaration, got %v", p.tok.kind)
+	}
+	name := p.tok.text
+	if !strings.HasSuffix(name, ":") {
+		return p.errorf("prefix %q must end with ':'", name)
+	}
+	prefix := strings.TrimSuffix(name, ":")
+	if err := p.next(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokIRIRef {
+		return p.errorf("expected namespace IRI after prefix %q", prefix)
+	}
+	p.ns.Bind(prefix, p.resolve(p.tok.text))
+	if err := p.next(); err != nil {
+		return err
+	}
+	if !sparqlForm {
+		return p.expect(tokDot)
+	}
+	// SPARQL-style PREFIX has no trailing dot, but tolerate one.
+	if p.tok.kind == tokDot {
+		return p.next()
+	}
+	return nil
+}
+
+func (p *Parser) parseBase() error {
+	sparqlForm := !strings.HasPrefix(p.tok.text, "@")
+	if err := p.next(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokIRIRef {
+		return p.errorf("expected IRI after base directive")
+	}
+	p.base = p.tok.text
+	if err := p.next(); err != nil {
+		return err
+	}
+	if !sparqlForm {
+		return p.expect(tokDot)
+	}
+	if p.tok.kind == tokDot {
+		return p.next()
+	}
+	return nil
+}
+
+// resolve applies the base IRI to relative IRI references.
+func (p *Parser) resolve(iri string) string {
+	if p.base == "" || strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") {
+		return iri
+	}
+	return p.base + iri
+}
+
+// parseStatement parses one "subject predicateObjectList ." statement.
+func (p *Parser) parseStatement() ([]rdf.Triple, error) {
+	var acc []rdf.Triple
+	subj, err := p.parseSubject(&acc)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.parsePredicateObjectList(subj, &acc); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+func (p *Parser) parseSubject(acc *[]rdf.Triple) (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokIRIRef, tokPName:
+		return p.parseIRITerm()
+	case tokBlank:
+		t := rdf.Blank(p.tok.text)
+		return t, p.next()
+	case tokLBracket:
+		return p.parseAnon(acc)
+	default:
+		return rdf.Term{}, p.errorf("expected subject, got %v %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// parseAnon parses "[ predicateObjectList ]" returning the fresh blank node.
+func (p *Parser) parseAnon(acc *[]rdf.Triple) (rdf.Term, error) {
+	if err := p.next(); err != nil { // consume '['
+		return rdf.Term{}, err
+	}
+	p.anonCount++
+	node := rdf.Blank(fmt.Sprintf("anon%d", p.anonCount))
+	if p.tok.kind == tokRBracket {
+		return node, p.next()
+	}
+	if err := p.parsePredicateObjectList(node, acc); err != nil {
+		return rdf.Term{}, err
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return rdf.Term{}, err
+	}
+	return node, nil
+}
+
+func (p *Parser) parsePredicateObjectList(subj rdf.Term, acc *[]rdf.Triple) error {
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseObject(acc)
+			if err != nil {
+				return err
+			}
+			*acc = append(*acc, rdf.Triple{S: subj, P: pred, O: obj})
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind != tokSemicolon {
+			return nil
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+		// allow trailing semicolon before '.' or ']'
+		if p.tok.kind == tokDot || p.tok.kind == tokRBracket {
+			return nil
+		}
+	}
+}
+
+const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+func (p *Parser) parsePredicate() (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokA:
+		if err := p.next(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.IRI(rdfType), nil
+	case tokIRIRef, tokPName:
+		return p.parseIRITerm()
+	default:
+		return rdf.Term{}, p.errorf("expected predicate, got %v %q", p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *Parser) parseObject(acc *[]rdf.Triple) (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokIRIRef, tokPName:
+		return p.parseIRITerm()
+	case tokBlank:
+		t := rdf.Blank(p.tok.text)
+		return t, p.next()
+	case tokLBracket:
+		return p.parseAnon(acc)
+	case tokLiteral:
+		return p.parseLiteral()
+	case tokNumber:
+		text := p.tok.text
+		if err := p.next(); err != nil {
+			return rdf.Term{}, err
+		}
+		dt := "http://www.w3.org/2001/XMLSchema#integer"
+		if strings.ContainsAny(text, ".eE") {
+			dt = "http://www.w3.org/2001/XMLSchema#decimal"
+			if strings.ContainsAny(text, "eE") {
+				dt = "http://www.w3.org/2001/XMLSchema#double"
+			}
+		}
+		return rdf.TypedLiteral(text, dt), nil
+	case tokBoolean:
+		text := p.tok.text
+		if err := p.next(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.TypedLiteral(text, "http://www.w3.org/2001/XMLSchema#boolean"), nil
+	default:
+		return rdf.Term{}, p.errorf("expected object, got %v %q", p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *Parser) parseIRITerm() (rdf.Term, error) {
+	switch p.tok.kind {
+	case tokIRIRef:
+		iri := p.resolve(p.tok.text)
+		return rdf.IRI(iri), p.next()
+	case tokPName:
+		full, err := p.ns.Expand(p.tok.text)
+		if err != nil {
+			return rdf.Term{}, p.errorf("%v", err)
+		}
+		return rdf.IRI(full), p.next()
+	default:
+		return rdf.Term{}, p.errorf("expected IRI, got %v", p.tok.kind)
+	}
+}
+
+func (p *Parser) parseLiteral() (rdf.Term, error) {
+	lex := p.tok.text
+	if err := p.next(); err != nil {
+		return rdf.Term{}, err
+	}
+	switch p.tok.kind {
+	case tokLangTag:
+		lang := p.tok.text
+		if err := p.next(); err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.LangLiteral(lex, lang), nil
+	case tokDoubleCaret:
+		if err := p.next(); err != nil {
+			return rdf.Term{}, err
+		}
+		dt, err := p.parseIRITerm()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.TypedLiteral(lex, dt.Value()), nil
+	default:
+		return rdf.Literal(lex), nil
+	}
+}
+
+// ParseString is a convenience wrapper parsing input with the common
+// namespace table preloaded (see rdf.CommonNamespaces).
+func ParseString(input string) ([]rdf.Triple, error) {
+	return NewParser(input, rdf.CommonNamespaces()).Parse()
+}
+
+// MustParseGraph parses input into a graph using the common namespaces and
+// panics on error. Intended for tests, examples and workload fixtures.
+func MustParseGraph(input string) *rdf.Graph {
+	g, err := NewParser(input, rdf.CommonNamespaces()).ParseGraph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

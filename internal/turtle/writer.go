@@ -1,0 +1,142 @@
+package turtle
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// WriteNTriples serialises the graph in canonical (sorted) N-Triples form.
+func WriteNTriples(w io.Writer, g *rdf.Graph) error {
+	for _, t := range g.Triples() {
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatNTriples returns the canonical N-Triples serialisation as a string.
+func FormatNTriples(g *rdf.Graph) string {
+	var b strings.Builder
+	_ = WriteNTriples(&b, g)
+	return b.String()
+}
+
+// WriteTurtle serialises the graph as Turtle with @prefix directives for
+// every prefix in ns that is actually used, grouping triples by subject and
+// predicate.
+func WriteTurtle(w io.Writer, g *rdf.Graph, ns *rdf.Namespaces) error {
+	if ns == nil {
+		ns = rdf.NewNamespaces()
+	}
+	used := usedPrefixes(g, ns)
+	for _, p := range used {
+		nsIRI, _ := ns.Lookup(p)
+		if _, err := fmt.Fprintf(w, "@prefix %s: <%s> .\n", p, nsIRI); err != nil {
+			return err
+		}
+	}
+	if len(used) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+
+	triples := g.Triples()
+	for i := 0; i < len(triples); {
+		subj := triples[i].S
+		j := i
+		for j < len(triples) && triples[j].S == subj {
+			j++
+		}
+		if err := writeSubjectBlock(w, ns, triples[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// FormatTurtle returns the Turtle serialisation as a string.
+func FormatTurtle(g *rdf.Graph, ns *rdf.Namespaces) string {
+	var b strings.Builder
+	_ = WriteTurtle(&b, g, ns)
+	return b.String()
+}
+
+func writeSubjectBlock(w io.Writer, ns *rdf.Namespaces, ts []rdf.Triple) error {
+	subj := renderTerm(ts[0].S, ns)
+	if _, err := fmt.Fprintf(w, "%s ", subj); err != nil {
+		return err
+	}
+	indent := strings.Repeat(" ", len(subj)+1)
+	for i := 0; i < len(ts); {
+		pred := ts[i].P
+		j := i
+		for j < len(ts) && ts[j].P == pred {
+			j++
+		}
+		if i > 0 {
+			if _, err := fmt.Fprintf(w, " ;\n%s", indent); err != nil {
+				return err
+			}
+		}
+		objs := make([]string, 0, j-i)
+		for _, t := range ts[i:j] {
+			objs = append(objs, renderTerm(t.O, ns))
+		}
+		if _, err := fmt.Fprintf(w, "%s %s", renderPredicate(pred, ns), strings.Join(objs, ", ")); err != nil {
+			return err
+		}
+		i = j
+	}
+	_, err := fmt.Fprintln(w, " .")
+	return err
+}
+
+func renderPredicate(t rdf.Term, ns *rdf.Namespaces) string {
+	if t.Value() == rdfType {
+		return "a"
+	}
+	return renderTerm(t, ns)
+}
+
+func renderTerm(t rdf.Term, ns *rdf.Namespaces) string {
+	if t.IsIRI() {
+		short := ns.Shorten(t.Value())
+		if short != t.Value() {
+			return short
+		}
+		return t.String()
+	}
+	return t.String()
+}
+
+func usedPrefixes(g *rdf.Graph, ns *rdf.Namespaces) []string {
+	set := make(map[string]struct{})
+	g.ForEach(func(t rdf.Triple) bool {
+		for _, x := range t.Terms() {
+			if !x.IsIRI() {
+				continue
+			}
+			short := ns.Shorten(x.Value())
+			if short == x.Value() {
+				continue
+			}
+			if i := strings.IndexByte(short, ':'); i >= 0 {
+				set[short[:i]] = struct{}{}
+			}
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

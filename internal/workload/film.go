@@ -1,0 +1,241 @@
+// Package workload builds the datasets, peer systems and query workloads
+// used by the tests, examples and benchmark harness: the paper's Figure 1
+// film scenario (exact and scaled), generic multi-peer Linked-Data clouds
+// with configurable mapping topologies, and query generators.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Namespace IRIs of the Figure 1 scenario.
+const (
+	NSDB1  = "http://db1.example.org/"
+	NSDB2  = "http://db2.example.org/"
+	NSFoaf = "http://xmlns.com/foaf/0.1/"
+	NSEx   = "http://example.org/"
+)
+
+// Shared property IRIs of the film domain (the paper writes them without a
+// prefix; we place them in a common example namespace).
+var (
+	Starring = rdf.IRI(NSEx + "starring")
+	Artist   = rdf.IRI(NSEx + "artist")
+	Actor    = rdf.IRI(NSEx + "actor")
+	Age      = rdf.IRI(NSEx + "age")
+	SameAs   = rdf.IRI(core.OWLSameAs)
+)
+
+// FilmNamespaces returns a prefix table for the film scenario.
+func FilmNamespaces() *rdf.Namespaces {
+	ns := rdf.NewNamespaces()
+	ns.Bind("DB1", NSDB1)
+	ns.Bind("DB2", NSDB2)
+	ns.Bind("foaf", NSFoaf)
+	ns.Bind("ex", NSEx)
+	ns.Bind("owl", "http://www.w3.org/2002/07/owl#")
+	return ns
+}
+
+func db1(local string) rdf.Term  { return rdf.IRI(NSDB1 + local) }
+func db2(local string) rdf.Term  { return rdf.IRI(NSDB2 + local) }
+func foaf(local string) rdf.Term { return rdf.IRI(NSFoaf + local) }
+
+// Figure1System builds the RPS of Examples 1 and 2: three sources about
+// films and people, owl:sameAs links harvested as equivalence mappings, and
+// the single graph mapping assertion Q2 ⤳ Q1.
+//
+// Source 1 stores the starring/artist representation of Spiderman's cast and
+// the sameAs links for its URIs; Source 2 stores the actor representation
+// (including Willem Dafoe, missing from Source 1); Source 3 stores people's
+// ages and the sameAs link for Willem Dafoe.
+func Figure1System() *core.System {
+	sys := core.NewSystem()
+
+	s1 := sys.AddPeer("source1")
+	n1, n2 := rdf.Blank("n1"), rdf.Blank("n2")
+	mustAdd(s1,
+		rdf.Triple{S: db1("Spiderman"), P: Starring, O: n1},
+		rdf.Triple{S: n1, P: Artist, O: db1("Toby_Maguire")},
+		rdf.Triple{S: db1("Spiderman"), P: Starring, O: n2},
+		rdf.Triple{S: n2, P: Artist, O: db1("Kirsten_Dunst")},
+		rdf.Triple{S: db1("Spiderman"), P: SameAs, O: db2("Spiderman2002")},
+		rdf.Triple{S: db1("Toby_Maguire"), P: SameAs, O: foaf("Toby_Maguire")},
+		rdf.Triple{S: db1("Kirsten_Dunst"), P: SameAs, O: foaf("Kirsten_Dunst")},
+	)
+
+	s2 := sys.AddPeer("source2")
+	mustAdd(s2,
+		rdf.Triple{S: db2("Spiderman2002"), P: Actor, O: db2("Willem_Dafoe")},
+		rdf.Triple{S: db2("Pleasantville"), P: Actor, O: db2("Willem_Dafoe")},
+	)
+
+	s3 := sys.AddPeer("source3")
+	mustAdd(s3,
+		rdf.Triple{S: foaf("Toby_Maguire"), P: Age, O: rdf.Literal("39")},
+		rdf.Triple{S: foaf("Kirsten_Dunst"), P: Age, O: rdf.Literal("32")},
+		rdf.Triple{S: foaf("Willem_Dafoe"), P: Age, O: rdf.Literal("59")},
+		rdf.Triple{S: foaf("Willem_Dafoe"), P: SameAs, O: db2("Willem_Dafoe")},
+	)
+
+	sys.HarvestSameAs()
+
+	if err := sys.AddMapping(FilmGMA()); err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// FilmGMA returns the Example 2 graph mapping assertion Q2 ⤳ Q1, where
+// Q1 := q(x,y) ← (x, starring, z) AND (z, artist, y) over Source 1 and
+// Q2 := q(x,y) ← (x, actor, y) over Source 2.
+func FilmGMA() core.GraphMappingAssertion {
+	q1 := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(Starring), pattern.V("z")),
+		pattern.TP(pattern.V("z"), pattern.C(Artist), pattern.V("y")),
+	})
+	q2 := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(Actor), pattern.V("y")),
+	})
+	return core.GraphMappingAssertion{
+		From: q2, To: q1,
+		SrcPeer: "source2", DstPeer: "source1",
+		Label: "Q2~>Q1",
+	}
+}
+
+// Example1Query returns the running SPARQL query of Examples 1–3 as a
+// formal graph pattern query:
+//
+//	SELECT ?x ?y WHERE { DB1:Spiderman starring ?z . ?z artist ?x . ?x age ?y }
+func Example1Query() pattern.Query {
+	return pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.C(db1("Spiderman")), pattern.C(Starring), pattern.V("z")),
+		pattern.TP(pattern.V("z"), pattern.C(Artist), pattern.V("x")),
+		pattern.TP(pattern.V("x"), pattern.C(Age), pattern.V("y")),
+	})
+}
+
+// Listing1Expected returns the six expected answer tuples of Listing 1.
+func Listing1Expected() []pattern.Tuple {
+	return []pattern.Tuple{
+		{db1("Toby_Maguire"), rdf.Literal("39")},
+		{foaf("Toby_Maguire"), rdf.Literal("39")},
+		{db1("Kirsten_Dunst"), rdf.Literal("32")},
+		{foaf("Kirsten_Dunst"), rdf.Literal("32")},
+		{db2("Willem_Dafoe"), rdf.Literal("59")},
+		{foaf("Willem_Dafoe"), rdf.Literal("59")},
+	}
+}
+
+// Listing1ExpectedNoRedundancy returns the three tuples of the
+// redundancy-free result of Listing 1 (one representative per sameAs
+// class: the paper keeps the DB1/DB2 names).
+func Listing1ExpectedNoRedundancy() []pattern.Tuple {
+	return []pattern.Tuple{
+		{db1("Toby_Maguire"), rdf.Literal("39")},
+		{db1("Kirsten_Dunst"), rdf.Literal("32")},
+		{db2("Willem_Dafoe"), rdf.Literal("59")},
+	}
+}
+
+// FilmConfig parameterises the scaled film workload.
+type FilmConfig struct {
+	// Films is the number of films in each film source.
+	Films int
+	// ActorsPerFilm is the cast size of every film.
+	ActorsPerFilm int
+	// SameAsFraction is the fraction of actors with cross-source sameAs
+	// links (0..1).
+	SameAsFraction float64
+	// Seed drives deterministic pseudo-random generation.
+	Seed int64
+}
+
+// ScaledFilmSystem generates a three-source film RPS shaped exactly like
+// Figure 1 but with cfg.Films films: Source 1 uses starring/artist paths,
+// Source 2 uses actor edges for a (shifted) half of the films, Source 3
+// holds every actor's age. Equivalences link actors across sources for a
+// fraction of the population; the single GMA is Q2 ⤳ Q1.
+//
+// The total number of stored triples grows linearly in Films*ActorsPerFilm,
+// making this the workload for the Theorem 1 data-complexity experiment.
+func ScaledFilmSystem(cfg FilmConfig) *core.System {
+	if cfg.Films <= 0 {
+		cfg.Films = 1
+	}
+	if cfg.ActorsPerFilm <= 0 {
+		cfg.ActorsPerFilm = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys := core.NewSystem()
+	s1 := sys.AddPeer("source1")
+	s2 := sys.AddPeer("source2")
+	s3 := sys.AddPeer("source3")
+
+	for f := 0; f < cfg.Films; f++ {
+		film1 := db1(fmt.Sprintf("Film%d", f))
+		film2 := db2(fmt.Sprintf("Film%d_r", f))
+		// half of the films exist in both sources and are linked sameAs
+		linked := f%2 == 0
+		if linked {
+			mustAdd(s1, rdf.Triple{S: film1, P: SameAs, O: film2})
+		}
+		for a := 0; a < cfg.ActorsPerFilm; a++ {
+			actor1 := db1(fmt.Sprintf("Actor%d_%d", f, a))
+			actorF := foaf(fmt.Sprintf("Actor%d_%d", f, a))
+			node := rdf.Blank(fmt.Sprintf("cast%d_%d", f, a))
+			mustAdd(s1,
+				rdf.Triple{S: film1, P: Starring, O: node},
+				rdf.Triple{S: node, P: Artist, O: actor1},
+			)
+			mustAdd(s3,
+				rdf.Triple{S: actorF, P: Age, O: rdf.Literal(fmt.Sprintf("%d", 20+rng.Intn(60)))},
+			)
+			if rng.Float64() < cfg.SameAsFraction {
+				mustAdd(s1, rdf.Triple{S: actor1, P: SameAs, O: actorF})
+			}
+			if linked {
+				// Source 2 has an extra actor per film, unseen by Source 1,
+				// so the GMA genuinely contributes answers.
+				if a == 0 {
+					extra := db2(fmt.Sprintf("Extra%d", f))
+					extraF := foaf(fmt.Sprintf("Extra%d", f))
+					mustAdd(s2, rdf.Triple{S: film2, P: Actor, O: extra})
+					mustAdd(s3,
+						rdf.Triple{S: extraF, P: Age, O: rdf.Literal(fmt.Sprintf("%d", 20+rng.Intn(60)))},
+						rdf.Triple{S: extraF, P: SameAs, O: extra},
+					)
+				}
+			}
+		}
+	}
+	sys.HarvestSameAs()
+	if err := sys.AddMapping(FilmGMA()); err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// ScaledFilmQuery returns the Example 1 query against film f of the scaled
+// workload.
+func ScaledFilmQuery(f int) pattern.Query {
+	return pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.C(db1(fmt.Sprintf("Film%d", f))), pattern.C(Starring), pattern.V("z")),
+		pattern.TP(pattern.V("z"), pattern.C(Artist), pattern.V("x")),
+		pattern.TP(pattern.V("x"), pattern.C(Age), pattern.V("y")),
+	})
+}
+
+func mustAdd(p *core.Peer, ts ...rdf.Triple) {
+	for _, t := range ts {
+		if err := p.Add(t); err != nil {
+			panic(err)
+		}
+	}
+}

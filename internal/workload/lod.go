@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Topology shapes the mapping graph between peers.
+type Topology int
+
+const (
+	// Chain maps peer i to peer i+1.
+	Chain Topology = iota
+	// Star maps every satellite peer to peer 0 (the hub).
+	Star
+	// Cycle is Chain plus a closing edge from the last peer to the first —
+	// the mapping-cycle case the paper says defeats existing rewriters.
+	Cycle
+	// Random draws each directed pair with probability EdgeProb.
+	Random
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Cycle:
+		return "cycle"
+	case Random:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// GMAShape selects the form of generated graph mapping assertions.
+type GMAShape int
+
+const (
+	// Rename maps (x, p_i, y) to (x, p_j, y): single-atom (linear) GMAs.
+	Rename GMAShape = iota
+	// EdgeToPath maps (x, p_i, y) to (x, q_j, z) AND (z, r_j, y): linear
+	// body, two-atom head with an existential (like Example 2's Q2 ⤳ Q1).
+	EdgeToPath
+	// PathToEdge maps (x, q_i, z) AND (z, r_i, y) to (x, p_j, y): the
+	// non-sticky shape of Section 4.
+	PathToEdge
+)
+
+// String names the shape.
+func (s GMAShape) String() string {
+	switch s {
+	case Rename:
+		return "rename"
+	case EdgeToPath:
+		return "edge-to-path"
+	case PathToEdge:
+		return "path-to-edge"
+	default:
+		return "unknown"
+	}
+}
+
+// LODConfig parameterises the synthetic Linked Data cloud.
+type LODConfig struct {
+	// Peers is the number of peers (≥ 2).
+	Peers int
+	// Topology of the mapping graph.
+	Topology Topology
+	// EdgeProb is the edge probability for Random topology.
+	EdgeProb float64
+	// FactsPerPeer is the number of core edge facts stored at each peer.
+	FactsPerPeer int
+	// EntitiesPerPeer is the entity pool size per peer.
+	EntitiesPerPeer int
+	// EquivFraction links this fraction of same-index entities of adjacent
+	// peers with ≡ₑ.
+	EquivFraction float64
+	// Shape of the generated mapping assertions.
+	Shape GMAShape
+	// Seed drives deterministic generation.
+	Seed int64
+}
+
+// LODNamespace returns the namespace IRI of peer i.
+func LODNamespace(i int) string { return fmt.Sprintf("http://peer%d.example.org/", i) }
+
+// LODEntity returns entity e of peer i.
+func LODEntity(i, e int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sent%d", LODNamespace(i), e)) }
+
+// LODPredicate returns predicate p of peer i.
+func LODPredicate(i int, name string) rdf.Term {
+	return rdf.IRI(LODNamespace(i) + name)
+}
+
+// LODSystem generates a k-peer RPS shaped by cfg. Every peer stores
+// FactsPerPeer "core" edges over its own vocabulary plus one literal
+// attribute per entity; mapping assertions follow the topology with the
+// configured shape, and equivalence mappings link adjacent peers' entities.
+func LODSystem(cfg LODConfig) *core.System {
+	if cfg.Peers < 2 {
+		cfg.Peers = 2
+	}
+	if cfg.EntitiesPerPeer <= 0 {
+		cfg.EntitiesPerPeer = 8
+	}
+	if cfg.FactsPerPeer < 0 {
+		cfg.FactsPerPeer = 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys := core.NewSystem()
+
+	for i := 0; i < cfg.Peers; i++ {
+		p := sys.AddPeer(fmt.Sprintf("peer%d", i))
+		pCore := LODPredicate(i, "core")
+		pVia := LODPredicate(i, "via")
+		pHop := LODPredicate(i, "hop")
+		pLabel := LODPredicate(i, "label")
+		for e := 0; e < cfg.EntitiesPerPeer; e++ {
+			mustAdd(p, rdf.Triple{S: LODEntity(i, e), P: pLabel,
+				O: rdf.Literal(fmt.Sprintf("entity %d of peer %d", e, i))})
+		}
+		for f := 0; f < cfg.FactsPerPeer; f++ {
+			a := LODEntity(i, rng.Intn(cfg.EntitiesPerPeer))
+			b := LODEntity(i, rng.Intn(cfg.EntitiesPerPeer))
+			mustAdd(p, rdf.Triple{S: a, P: pCore, O: b})
+		}
+		// make the full vocabulary known to the peer so mappings validate
+		// against the schema even when no facts use a predicate yet
+		p.Schema().Add(pCore)
+		p.Schema().Add(pVia)
+		p.Schema().Add(pHop)
+	}
+
+	for _, edge := range topologyEdges(cfg, rng) {
+		m := shapeGMA(cfg.Shape, edge[0], edge[1])
+		if err := sys.AddMapping(m); err != nil {
+			panic(err)
+		}
+	}
+
+	// equivalences between same-index entities of adjacent peers
+	for _, edge := range topologyEdges(cfg, rand.New(rand.NewSource(cfg.Seed))) {
+		for e := 0; e < cfg.EntitiesPerPeer; e++ {
+			if rng.Float64() < cfg.EquivFraction {
+				_ = sys.AddEquivalence(LODEntity(edge[0], e), LODEntity(edge[1], e))
+			}
+		}
+	}
+	return sys
+}
+
+// topologyEdges returns the directed mapping edges of the topology.
+func topologyEdges(cfg LODConfig, rng *rand.Rand) [][2]int {
+	var out [][2]int
+	switch cfg.Topology {
+	case Chain:
+		for i := 0; i+1 < cfg.Peers; i++ {
+			out = append(out, [2]int{i, i + 1})
+		}
+	case Star:
+		for i := 1; i < cfg.Peers; i++ {
+			out = append(out, [2]int{i, 0})
+		}
+	case Cycle:
+		for i := 0; i < cfg.Peers; i++ {
+			out = append(out, [2]int{i, (i + 1) % cfg.Peers})
+		}
+	case Random:
+		p := cfg.EdgeProb
+		if p <= 0 {
+			p = 0.3
+		}
+		for i := 0; i < cfg.Peers; i++ {
+			for j := 0; j < cfg.Peers; j++ {
+				if i != j && rng.Float64() < p {
+					out = append(out, [2]int{i, j})
+				}
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, [2]int{0, cfg.Peers - 1})
+		}
+	}
+	return out
+}
+
+// shapeGMA builds the mapping assertion for edge src→dst in the given shape.
+func shapeGMA(shape GMAShape, src, dst int) core.GraphMappingAssertion {
+	label := fmt.Sprintf("%s:%d->%d", shape, src, dst)
+	switch shape {
+	case EdgeToPath:
+		from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(LODPredicate(src, "core")), pattern.V("y")),
+		})
+		to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(LODPredicate(dst, "via")), pattern.V("z")),
+			pattern.TP(pattern.V("z"), pattern.C(LODPredicate(dst, "hop")), pattern.V("y")),
+		})
+		return core.GraphMappingAssertion{From: from, To: to,
+			SrcPeer: fmt.Sprintf("peer%d", src), DstPeer: fmt.Sprintf("peer%d", dst), Label: label}
+	case PathToEdge:
+		from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(LODPredicate(src, "via")), pattern.V("z")),
+			pattern.TP(pattern.V("z"), pattern.C(LODPredicate(src, "hop")), pattern.V("y")),
+		})
+		to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(LODPredicate(dst, "core")), pattern.V("y")),
+		})
+		return core.GraphMappingAssertion{From: from, To: to,
+			SrcPeer: fmt.Sprintf("peer%d", src), DstPeer: fmt.Sprintf("peer%d", dst), Label: label}
+	default: // Rename
+		from := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(LODPredicate(src, "core")), pattern.V("y")),
+		})
+		to := pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(LODPredicate(dst, "core")), pattern.V("y")),
+		})
+		return core.GraphMappingAssertion{From: from, To: to,
+			SrcPeer: fmt.Sprintf("peer%d", src), DstPeer: fmt.Sprintf("peer%d", dst), Label: label}
+	}
+}
+
+// CoreQuery returns q(x,y) ← (x, core_i, y): all core edges visible in peer
+// i's vocabulary.
+func CoreQuery(i int) pattern.Query {
+	return pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(LODPredicate(i, "core")), pattern.V("y")),
+	})
+}
+
+// HopSystem builds the E8 baseline scenario: h+1 peers in a chain with
+// rename mappings, and facts stored ONLY at peer 0. Answering CoreQuery(h)
+// requires composing h mapping hops.
+func HopSystem(hops, facts int, seed int64) *core.System {
+	cfg := LODConfig{
+		Peers:           hops + 1,
+		Topology:        Chain,
+		FactsPerPeer:    0,
+		EntitiesPerPeer: facts + 1,
+		Shape:           Rename,
+		Seed:            seed,
+	}
+	sys := LODSystem(cfg)
+	p0 := sys.Peer("peer0")
+	for f := 0; f < facts; f++ {
+		mustAdd(p0, rdf.Triple{S: LODEntity(0, f), P: LODPredicate(0, "core"), O: LODEntity(0, f+1)})
+	}
+	return sys
+}
+
+// PathQuery returns a path-shaped query of length n over peer i's core
+// predicate: q(x0, xn) ← (x0,core,x1) AND … AND (x(n-1),core,xn).
+func PathQuery(i, n int) pattern.Query {
+	gp := make(pattern.GraphPattern, n)
+	for k := 0; k < n; k++ {
+		gp[k] = pattern.TP(
+			pattern.V(fmt.Sprintf("x%d", k)),
+			pattern.C(LODPredicate(i, "core")),
+			pattern.V(fmt.Sprintf("x%d", k+1)),
+		)
+	}
+	return pattern.MustQuery([]string{"x0", fmt.Sprintf("x%d", n)}, gp)
+}
+
+// StarQuery returns a star-shaped query over peer i: a subject with its
+// label and n core neighbours.
+func StarQuery(i, n int) pattern.Query {
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(LODPredicate(i, "label")), pattern.V("l")),
+	}
+	free := []string{"x", "l"}
+	for k := 0; k < n; k++ {
+		v := fmt.Sprintf("y%d", k)
+		gp = append(gp, pattern.TP(pattern.V("x"), pattern.C(LODPredicate(i, "core")), pattern.V(v)))
+		free = append(free, v)
+	}
+	return pattern.MustQuery(free, gp)
+}

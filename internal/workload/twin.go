@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+)
+
+// TwinConfig parameterises the mapping-discovery workload: two peers
+// describing the same entities under different IRIs, with shared literal
+// values as alignment evidence.
+type TwinConfig struct {
+	// Entities per peer.
+	Entities int
+	// LiteralsPerEntity is the number of distinctive literal attributes.
+	LiteralsPerEntity int
+	// Facts is the number of relational edges among entities (mirrored in
+	// both peers under different predicate IRIs).
+	Facts int
+	// Noise is the probability that a literal of peer B is perturbed and a
+	// mirrored fact is dropped — the knob for precision/recall curves.
+	Noise float64
+	// Seed drives deterministic generation.
+	Seed int64
+}
+
+// TwinTruth is the ground truth of a twin system.
+type TwinTruth struct {
+	// Entities holds the (a, b) entity pairs.
+	Entities map[[2]rdf.Term]bool
+	// Predicates holds the directed predicate pairs (both directions).
+	Predicates map[[2]rdf.Term]bool
+}
+
+// TwinEntity returns entity i of twin peer side ("a" or "b").
+func TwinEntity(side string, i int) rdf.Term {
+	return rdf.IRI(fmt.Sprintf("http://%s.twin.example.org/ent%d", side, i))
+}
+
+// TwinPredicate returns the relational predicate of a twin side.
+func TwinPredicate(side string) rdf.Term {
+	return rdf.IRI(fmt.Sprintf("http://%s.twin.example.org/rel", side))
+}
+
+// TwinSystem builds a two-peer system where peerB mirrors peerA's entities
+// and facts under its own vocabulary, sharing literal attribute values.
+// It returns the system together with the ground-truth alignment, for
+// scoring discovery output.
+func TwinSystem(cfg TwinConfig) (*core.System, *TwinTruth) {
+	if cfg.Entities <= 0 {
+		cfg.Entities = 10
+	}
+	if cfg.LiteralsPerEntity <= 0 {
+		cfg.LiteralsPerEntity = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys := core.NewSystem()
+	pa := sys.AddPeer("twinA")
+	pb := sys.AddPeer("twinB")
+
+	labelA := rdf.IRI("http://a.twin.example.org/attr")
+	labelB := rdf.IRI("http://b.twin.example.org/attr")
+	truth := &TwinTruth{
+		Entities:   make(map[[2]rdf.Term]bool),
+		Predicates: make(map[[2]rdf.Term]bool),
+	}
+
+	for i := 0; i < cfg.Entities; i++ {
+		ea, eb := TwinEntity("a", i), TwinEntity("b", i)
+		truth.Entities[[2]rdf.Term{ea, eb}] = true
+		for j := 0; j < cfg.LiteralsPerEntity; j++ {
+			lit := rdf.Literal(fmt.Sprintf("value-%d-%d", i, j))
+			mustAdd(pa, rdf.Triple{S: ea, P: labelA, O: lit})
+			if rng.Float64() < cfg.Noise {
+				lit = rdf.Literal(fmt.Sprintf("noise-%d-%d-%d", i, j, rng.Int()))
+			}
+			mustAdd(pb, rdf.Triple{S: eb, P: labelB, O: lit})
+		}
+	}
+
+	// both the relational and the attribute predicates are mirrored, so
+	// both pairs (in both directions) belong to the ground truth
+	relA, relB := TwinPredicate("a"), TwinPredicate("b")
+	truth.Predicates[[2]rdf.Term{relA, relB}] = true
+	truth.Predicates[[2]rdf.Term{relB, relA}] = true
+	truth.Predicates[[2]rdf.Term{labelA, labelB}] = true
+	truth.Predicates[[2]rdf.Term{labelB, labelA}] = true
+	for f := 0; f < cfg.Facts; f++ {
+		i, k := rng.Intn(cfg.Entities), rng.Intn(cfg.Entities)
+		mustAdd(pa, rdf.Triple{S: TwinEntity("a", i), P: relA, O: TwinEntity("a", k)})
+		if rng.Float64() >= cfg.Noise {
+			mustAdd(pb, rdf.Triple{S: TwinEntity("b", i), P: relB, O: TwinEntity("b", k)})
+		}
+	}
+	return sys, truth
+}

@@ -1,0 +1,288 @@
+// Package rps is a peer-to-peer semantic integration framework for Linked
+// Data, reproducing Dimartino, Calì, Poulovassilis and Wood, "Peer-to-Peer
+// Semantic Integration of Linked Data" (EDBT/ICDT 2015 workshops).
+//
+// An RDF Peer System (RPS) integrates heterogeneous RDF sources without a
+// centralised schema: each peer is described by the set of IRIs it uses,
+// and the semantic relationships between peers are expressed by graph
+// mapping assertions (Q ⤳ Q′, containment of graph pattern queries) and
+// equivalence mappings (c ≡ₑ c′, the semantics of owl:sameAs). Query
+// answering returns the certain answers: the tuples true in every database
+// closed under the mappings.
+//
+// The package offers three answering strategies:
+//
+//   - Materialisation (Algorithm 1): chase the stored data to a universal
+//     solution and evaluate queries over it. Always complete, PTIME in the
+//     data (Theorem 1). See Materialize and CertainAnswers.
+//   - First-order rewriting (Section 4): compile the query and mappings
+//     into a union of conjunctive queries evaluated directly on the stored
+//     data. Perfect when the mapping assertions are linear or sticky
+//     (Proposition 2); impossible in general (Proposition 3). See Rewrite.
+//   - The combined approach: canonicalise equivalence classes and rewrite
+//     only the mapping assertions — the practical middle ground sketched in
+//     the paper's future work. See NewCombined.
+//
+// A federated execution engine (package internal/federation, re-exported
+// here as NewFederation) implements the Section 5 prototype: sub-queries
+// are routed to per-peer SPARQL services by schema and joined at the
+// mediator.
+//
+// Quick start:
+//
+//	sys := rps.NewSystem()
+//	src := sys.AddPeer("films")
+//	_ = src.Add(rps.NewTriple(
+//		rps.IRI("http://db1.example.org/Spiderman"),
+//		rps.IRI("http://example.org/starring"),
+//		rps.IRI("http://db1.example.org/Toby_Maguire")))
+//	// … more peers, owl:sameAs links, mappings …
+//	sys.HarvestSameAs()
+//	q := rps.MustParseQuery(`SELECT ?x WHERE { ?x <http://example.org/starring> ?y }`)
+//	answers, _ := rps.CertainAnswersSPARQL(sys, q)
+package rps
+
+import (
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/discovery"
+	"repro/internal/federation"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/simnet"
+	"repro/internal/sparql"
+	"repro/internal/turtle"
+)
+
+// RDF data model (package internal/rdf).
+type (
+	// Term is an RDF term: IRI, blank node or literal.
+	Term = rdf.Term
+	// Triple is an RDF triple.
+	Triple = rdf.Triple
+	// Graph is an indexed in-memory RDF graph.
+	Graph = rdf.Graph
+	// Namespaces maps prefixes to namespace IRIs.
+	Namespaces = rdf.Namespaces
+)
+
+// Term constructors.
+var (
+	// IRI returns an IRI term.
+	IRI = rdf.IRI
+	// Blank returns a blank-node term.
+	Blank = rdf.Blank
+	// Literal returns a plain literal term.
+	Literal = rdf.Literal
+	// LangLiteral returns a language-tagged literal term.
+	LangLiteral = rdf.LangLiteral
+	// TypedLiteral returns a datatyped literal term.
+	TypedLiteral = rdf.TypedLiteral
+	// NewTriple assembles a triple.
+	NewTriple = rdf.NewTriple
+	// NewGraph returns an empty graph.
+	NewGraph = rdf.NewGraph
+	// NewNamespaces returns an empty prefix table.
+	NewNamespaces = rdf.NewNamespaces
+	// CommonNamespaces returns a prefix table with common bindings.
+	CommonNamespaces = rdf.CommonNamespaces
+)
+
+// Graph pattern queries (package internal/pattern, Section 2.1).
+type (
+	// Query is a graph pattern query q(x) ← GP.
+	Query = pattern.Query
+	// GraphPattern is a conjunction of triple patterns.
+	GraphPattern = pattern.GraphPattern
+	// TriplePattern is one triple pattern.
+	TriplePattern = pattern.TriplePattern
+	// Elem is a variable or constant in a pattern position.
+	Elem = pattern.Elem
+	// Tuple is an answer tuple.
+	Tuple = pattern.Tuple
+	// TupleSet is a set of answer tuples.
+	TupleSet = pattern.TupleSet
+	// Binding is a mapping µ from variables to terms.
+	Binding = pattern.Binding
+)
+
+// Pattern constructors and evaluators.
+var (
+	// V returns a variable element.
+	V = pattern.V
+	// C returns a constant element.
+	C = pattern.C
+	// TP assembles a triple pattern.
+	TP = pattern.TP
+	// NewQuery validates and builds a graph pattern query.
+	NewQuery = pattern.NewQuery
+	// MustQuery is NewQuery, panicking on error.
+	MustQuery = pattern.MustQuery
+	// EvalQuery computes Q_D (certain-answer semantics, names only).
+	EvalQuery = pattern.EvalQuery
+	// EvalQueryStar computes Q*_D (blank nodes included).
+	EvalQueryStar = pattern.EvalQueryStar
+)
+
+// RDF Peer Systems (package internal/core, Section 2.2).
+type (
+	// System is an RPS P = (S, G, E).
+	System = core.System
+	// Peer couples a schema with a stored database.
+	Peer = core.Peer
+	// Schema is the set of IRIs a peer uses.
+	Schema = core.Schema
+	// GraphMappingAssertion is Q ⤳ Q′.
+	GraphMappingAssertion = core.GraphMappingAssertion
+	// EquivalenceMapping is c ≡ₑ c′.
+	EquivalenceMapping = core.EquivalenceMapping
+)
+
+// NewSystem returns an empty RDF Peer System.
+var NewSystem = core.NewSystem
+
+// OWLSameAs is the owl:sameAs IRI harvested into equivalence mappings.
+const OWLSameAs = core.OWLSameAs
+
+// Chase-based query answering (package internal/chase, Section 3).
+type (
+	// Universal is a materialised universal solution.
+	Universal = chase.Universal
+	// ChaseOptions configures a chase run.
+	ChaseOptions = chase.Options
+	// ChaseStats reports what a chase run did.
+	ChaseStats = chase.Stats
+)
+
+// Chase entry points.
+var (
+	// Materialize chases a system to a universal solution.
+	Materialize = chase.Run
+	// CertainAnswers chases and evaluates a graph pattern query.
+	CertainAnswers = chase.CertainAnswers
+)
+
+// Query rewriting (package internal/rewrite, Section 4).
+type (
+	// RewriteOptions bounds the rewriting expansion.
+	RewriteOptions = rewrite.Options
+	// RewriteResult is a computed UCQ rewriting.
+	RewriteResult = rewrite.Result
+	// Combined is the combined (canonicalise + rewrite) answering engine.
+	Combined = rewrite.Combined
+)
+
+// Rewriting entry points.
+var (
+	// Rewrite computes the UCQ rewriting of a query under a system.
+	Rewrite = rewrite.Rewrite
+	// NewCombined prepares the combined rewriter for a system.
+	NewCombined = rewrite.NewCombined
+)
+
+// SPARQL fragment (package internal/sparql).
+type (
+	// SPARQLQuery is a parsed SPARQL query.
+	SPARQLQuery = sparql.Query
+	// SPARQLResult is a SELECT/ASK evaluation result.
+	SPARQLResult = sparql.Result
+)
+
+// SPARQL entry points.
+var (
+	// ParseQuery parses a SPARQL query (SELECT/ASK fragment).
+	ParseQuery = sparql.Parse
+	// MustParseQuery parses with common namespaces, panicking on error.
+	MustParseQuery = sparql.MustParse
+)
+
+// Turtle / N-Triples (package internal/turtle).
+var (
+	// ParseTurtle parses Turtle text with the common namespace bindings.
+	ParseTurtle = turtle.ParseString
+	// FormatNTriples serialises a graph canonically.
+	FormatNTriples = turtle.FormatNTriples
+	// FormatTurtle serialises a graph as Turtle.
+	FormatTurtle = turtle.FormatTurtle
+)
+
+// Federation (packages internal/simnet, internal/peer,
+// internal/federation — the Section 5 prototype).
+type (
+	// Network is the simulated P2P network.
+	Network = simnet.Network
+	// Node serves one peer's data on the network.
+	Node = peer.Node
+	// Registry is the super-peer routing table.
+	Registry = peer.Registry
+	// FederationEngine is the mediator.
+	FederationEngine = federation.Engine
+	// FederationOptions configures the mediator.
+	FederationOptions = federation.Options
+	// FederationMetrics describes one federated execution.
+	FederationMetrics = federation.Metrics
+)
+
+// Federation constructors.
+var (
+	// NewNetwork returns a simulated network.
+	NewNetwork = simnet.New
+	// NewRegistry returns an empty routing table.
+	NewRegistry = peer.NewRegistry
+	// DeployPeers registers a node per peer on a network.
+	DeployPeers = peer.Deploy
+	// NewPeerClient returns a network SPARQL client.
+	NewPeerClient = peer.NewClient
+	// NewFederation builds the mediator engine.
+	NewFederation = federation.New
+)
+
+// Join strategies for federated execution.
+const (
+	// HashJoinStrategy ships pattern extensions and joins at the mediator.
+	HashJoinStrategy = federation.HashJoin
+	// BindJoinStrategy ships bindings to instantiate remote sub-queries.
+	BindJoinStrategy = federation.BindJoin
+)
+
+// CertainAnswersSPARQL answers a conjunctive SPARQL query against a system
+// using the chase (complete for every RPS). The query must be in the
+// conjunctive fragment (no UNION/FILTER).
+func CertainAnswersSPARQL(sys *System, q *SPARQLQuery) (*TupleSet, error) {
+	pq, err := q.ToPatternQuery()
+	if err != nil {
+		return nil, err
+	}
+	return CertainAnswers(sys, pq)
+}
+
+// ---- future-work extensions (Section 5 of the paper) ----
+
+// DiscoveryConfig tunes automatic mapping discovery (future-work item 3).
+type DiscoveryConfig = discovery.Config
+
+// DiscoveryReport holds discovered mapping candidates.
+type DiscoveryReport = discovery.Report
+
+// Discovery entry points.
+var (
+	// DiscoverMappings aligns entities and predicates across all peers.
+	DiscoverMappings = discovery.Discover
+	// ApplyDiscovered registers candidates above a confidence threshold.
+	ApplyDiscovered = discovery.Apply
+)
+
+// DatalogProgram is a recursive rewriting of an RPS (future-work item 1):
+// data-independent and complete even where Proposition 3 rules out UCQs.
+type DatalogProgram = datalog.Program
+
+// Datalog entry points.
+var (
+	// DatalogFromSystem translates a system into its Datalog rewriting.
+	DatalogFromSystem = datalog.FromSystem
+	// DatalogCertainAnswers answers a query by bottom-up evaluation.
+	DatalogCertainAnswers = datalog.CertainAnswers
+)
