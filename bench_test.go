@@ -16,6 +16,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/pattern"
 	"repro/internal/peer"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/rewrite"
 	"repro/internal/simnet"
@@ -336,9 +337,131 @@ func BenchmarkAblation_JoinOrder(b *testing.B) {
 	})
 	b.Run("greedy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pattern.Eval(g, gp)
+			pattern.EvalGreedy(g, gp)
 		}
 	})
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan.Execute(g, gp)
+		}
+	})
+}
+
+// BenchmarkPlanVsNaive tracks the streaming cost-based planner against the
+// Definition 1 oracle on the canonical join shapes (star and chain, with a
+// selective pattern the planner must schedule first), and the parallel
+// Union against serial evaluation on the UCQ shape internal/rewrite
+// produces. These pin the planner's perf trajectory from the PR that
+// introduced it onward.
+func BenchmarkPlanVsNaive(b *testing.B) {
+	shapes := []struct {
+		name  string
+		build func() (*rdf.Graph, pattern.GraphPattern)
+	}{
+		{"star", starShape}, {"chain", chainShape},
+	}
+	for _, shape := range shapes {
+		g, gp := shape.build()
+		rows := len(pattern.EvalNaive(g, gp))
+		check := func(b *testing.B, got []pattern.Binding) {
+			if len(got) != rows {
+				b.Fatalf("rows = %d, want %d", len(got), rows)
+			}
+		}
+		b.Run(shape.name+"/naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				check(b, pattern.EvalNaive(g, gp))
+			}
+		})
+		b.Run(shape.name+"/plan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				check(b, plan.Execute(g, gp))
+			}
+		})
+	}
+	for _, branches := range []int{2, 8} {
+		g, qs := ucqShape(branches)
+		b.Run(fmt.Sprintf("ucq/branches=%d/serial", branches), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := pattern.NewTupleSet()
+				for _, q := range qs {
+					out.Merge(plan.ExecuteQuery(g, q))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ucq/branches=%d/parallel", branches), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan.UnionQueries(g, qs, false)
+			}
+		})
+	}
+}
+
+// starShape: a hub query {?x p1 ?y1 . ?x p2 ?y2 . ?x p3 ?y3} where p1 is
+// bulky, p2 medium and p3 rare; textual-order naive evaluation materialises
+// the bulky extension first.
+func starShape() (*rdf.Graph, pattern.GraphPattern) {
+	g := rdf.NewGraph()
+	p1, p2, p3 := rdf.IRI("http://e/p1"), rdf.IRI("http://e/p2"), rdf.IRI("http://e/p3")
+	for i := 0; i < 3000; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://e/s%d", i))
+		g.Add(rdf.Triple{S: s, P: p1, O: rdf.IRI(fmt.Sprintf("http://e/a%d", i))})
+		if i%10 == 0 {
+			g.Add(rdf.Triple{S: s, P: p2, O: rdf.IRI(fmt.Sprintf("http://e/b%d", i))})
+		}
+		if i%1000 == 0 {
+			g.Add(rdf.Triple{S: s, P: p3, O: rdf.IRI(fmt.Sprintf("http://e/c%d", i))})
+		}
+	}
+	return g, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p1), pattern.V("y1")),
+		pattern.TP(pattern.V("x"), pattern.C(p2), pattern.V("y2")),
+		pattern.TP(pattern.V("x"), pattern.C(p3), pattern.V("y3")),
+	}
+}
+
+// chainShape: a path query {?a p ?b . ?b q ?c . ?c r ?d} whose selective
+// final hop the planner schedules first, walking the chain backwards
+// through the POS index.
+func chainShape() (*rdf.Graph, pattern.GraphPattern) {
+	g := rdf.NewGraph()
+	p, q, r := rdf.IRI("http://e/p"), rdf.IRI("http://e/q"), rdf.IRI("http://e/r")
+	for i := 0; i < 3000; i++ {
+		a := rdf.IRI(fmt.Sprintf("http://e/a%d", i))
+		bn := rdf.IRI(fmt.Sprintf("http://e/b%d", i))
+		cn := rdf.IRI(fmt.Sprintf("http://e/c%d", i%50))
+		g.Add(rdf.Triple{S: a, P: p, O: bn})
+		g.Add(rdf.Triple{S: bn, P: q, O: cn})
+	}
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/c0"), P: r, O: rdf.Literal("end")})
+	return g, pattern.GraphPattern{
+		pattern.TP(pattern.V("a"), pattern.C(p), pattern.V("b")),
+		pattern.TP(pattern.V("b"), pattern.C(q), pattern.V("c")),
+		pattern.TP(pattern.V("c"), pattern.C(r), pattern.V("d")),
+	}
+}
+
+// ucqShape: a union of per-branch two-pattern conjunctive queries — the
+// shape a saturated rewriting hands to the executor — with enough work per
+// branch for the parallel union's fan-out to matter.
+func ucqShape(branches int) (*rdf.Graph, []pattern.Query) {
+	g := rdf.NewGraph()
+	var qs []pattern.Query
+	for k := 0; k < branches; k++ {
+		p := rdf.IRI(fmt.Sprintf("http://e/p%d", k))
+		q := rdf.IRI(fmt.Sprintf("http://e/q%d", k))
+		for i := 0; i < 2000; i++ {
+			s := rdf.IRI(fmt.Sprintf("http://e/b%d_s%d", k, i))
+			m := rdf.IRI(fmt.Sprintf("http://e/b%d_m%d", k, i%100))
+			g.Add(rdf.Triple{S: s, P: p, O: m})
+			g.Add(rdf.Triple{S: m, P: q, O: rdf.Literal(fmt.Sprintf("v%d", i%100))})
+		}
+		qs = append(qs, pattern.MustQuery([]string{"x", "v"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("m")),
+			pattern.TP(pattern.V("m"), pattern.C(q), pattern.V("v")),
+		}))
+	}
+	return g, qs
 }
 
 // BenchmarkAblation_FederationJoin compares the two federated join

@@ -4,10 +4,15 @@
 //
 //	rpsquery -system testdata/system.rps -query 'SELECT ?x WHERE { ... }'
 //	rpsquery -system system.rps -queryfile q.rq -mode rewrite -stats
+//	rpsquery -system system.rps -queryfile q.rq -mode rewrite -explain
 //
 // Modes: chase (materialise the universal solution, always complete),
 // rewrite (full UCQ rewriting evaluated over the stored data), combined
 // (canonicalised equivalences + GMA rewriting), direct (no integration).
+//
+// With -explain the query is not answered; instead the streaming execution
+// plan (internal/plan) of each conjunctive body the strategy would run is
+// printed — for rewrite/combined, one plan per UCQ disjunct.
 package main
 
 import (
@@ -19,8 +24,11 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/chase"
+	"repro/internal/core"
 	"repro/internal/mapfile"
 	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/rdf"
 	"repro/internal/rewrite"
 	"repro/internal/sparql"
 )
@@ -34,40 +42,60 @@ func main() {
 		stats      = flag.Bool("stats", false, "print strategy statistics")
 		noRedund   = flag.Bool("no-redundancy", false, "collapse sameAs-equivalent answers (chase mode)")
 		maxDepth   = flag.Int("max-depth", 0, "bound rewriting depth (0 = library default)")
+		explain    = flag.Bool("explain", false, "print the execution plan(s) instead of answering")
 	)
 	flag.Parse()
+	if *explain {
+		if *stats || *noRedund {
+			fmt.Fprintln(os.Stderr, "rpsquery: -stats and -no-redundancy are ignored with -explain")
+		}
+		if err := runExplain(os.Stdout, *systemPath, *queryText, *queryFile, *mode, *maxDepth); err != nil {
+			fmt.Fprintln(os.Stderr, "rpsquery:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *systemPath, *queryText, *queryFile, *mode, *stats, *noRedund, *maxDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "rpsquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRedund bool, maxDepth int) error {
+// loadQuery loads the system file and parses the query into the
+// conjunctive fragment; shared by run and runExplain.
+func loadQuery(systemPath, queryText, queryFile string) (*core.System, *rdf.Namespaces, pattern.Query, error) {
 	if systemPath == "" {
-		return fmt.Errorf("-system is required")
+		return nil, nil, pattern.Query{}, fmt.Errorf("-system is required")
 	}
 	if queryFile != "" {
 		data, err := os.ReadFile(queryFile)
 		if err != nil {
-			return err
+			return nil, nil, pattern.Query{}, err
 		}
 		queryText = string(data)
 	}
 	if queryText == "" {
-		return fmt.Errorf("one of -query or -queryfile is required")
+		return nil, nil, pattern.Query{}, fmt.Errorf("one of -query or -queryfile is required")
 	}
-
 	sys, ns, err := mapfile.Load(systemPath)
 	if err != nil {
-		return err
+		return nil, nil, pattern.Query{}, err
 	}
 	sq, err := sparql.Parse(queryText, ns)
 	if err != nil {
-		return err
+		return nil, nil, pattern.Query{}, err
 	}
 	q, err := sq.ToPatternQuery()
 	if err != nil {
-		return fmt.Errorf("the query must be in the conjunctive fragment: %w", err)
+		return nil, nil, pattern.Query{}, fmt.Errorf("the query must be in the conjunctive fragment: %w", err)
+	}
+	return sys, ns, q, nil
+}
+
+func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRedund bool, maxDepth int) error {
+	sys, ns, q, err := loadQuery(systemPath, queryText, queryFile)
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()
@@ -130,6 +158,62 @@ func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRe
 			st.Peers, st.Triples, st.GMappings, st.Equivalences)
 		fmt.Fprintf(os.Stderr, "%s\n", extra)
 		fmt.Fprintf(os.Stderr, "answers: %d in %v\n", answers.Len(), dur)
+	}
+	return nil
+}
+
+// explainDisjunctCap bounds how many UCQ disjunct plans -explain prints.
+const explainDisjunctCap = 16
+
+// runExplain prints the execution plans the chosen strategy would run,
+// without answering the query.
+func runExplain(w io.Writer, systemPath, queryText, queryFile, mode string, maxDepth int) error {
+	sys, _, q, err := loadQuery(systemPath, queryText, queryFile)
+	if err != nil {
+		return err
+	}
+	explainUCQ := func(db *rdf.Graph, qs []pattern.Query) {
+		n := len(qs)
+		if n > explainDisjunctCap {
+			n = explainDisjunctCap
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "-- disjunct %d/%d: %s\n", i+1, len(qs), qs[i])
+			fmt.Fprint(w, plan.ExplainQuery(db, qs[i]))
+		}
+		if len(qs) > n {
+			fmt.Fprintf(w, "-- … %d more disjuncts elided\n", len(qs)-n)
+		}
+	}
+	switch mode {
+	case "chase":
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- over the universal solution (%d triples):\n", u.Graph.Len())
+		fmt.Fprint(w, plan.ExplainQuery(u.Graph, q))
+	case "rewrite":
+		res, err := rewrite.Rewrite(q, sys, rewrite.Options{MaxDepth: maxDepth})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- UCQ of %d disjuncts over the stored database, evaluated as a parallel union:\n", res.Size())
+		explainUCQ(sys.StoredDatabase(), res.UCQ())
+	case "combined":
+		comb := rewrite.NewCombined(sys)
+		res, err := comb.Rewrite(q, rewrite.Options{MaxDepth: maxDepth})
+		if err != nil {
+			return err
+		}
+		db := comb.CanonicalDatabase()
+		fmt.Fprintf(w, "-- GMA-only UCQ of %d disjuncts over the canonical database, evaluated as a parallel union:\n", res.Size())
+		explainUCQ(db, res.UCQ())
+	case "direct":
+		fmt.Fprintln(w, "-- over the stored database (mappings ignored):")
+		fmt.Fprint(w, plan.ExplainQuery(sys.StoredDatabase(), q))
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
 	}
 	return nil
 }

@@ -62,6 +62,32 @@ func TestNoRedundancy(t *testing.T) {
 	}
 }
 
+func TestExplain(t *testing.T) {
+	path := figure1OnDisk(t)
+	for _, mode := range []string{"chase", "rewrite", "combined", "direct"} {
+		t.Run(mode, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := runExplain(&out, path, example1SPARQL, "", mode, 0); err != nil {
+				t.Fatal(err)
+			}
+			s := out.String()
+			if !strings.Contains(s, "IndexScan") {
+				t.Errorf("mode %s: no IndexScan in plan:\n%s", mode, s)
+			}
+			if !strings.Contains(s, "Project[?x ?y]") {
+				t.Errorf("mode %s: missing projection:\n%s", mode, s)
+			}
+			if mode == "rewrite" && !strings.Contains(s, "parallel union") {
+				t.Errorf("rewrite explain should mention the parallel union:\n%s", s)
+			}
+		})
+	}
+	var out bytes.Buffer
+	if err := runExplain(&out, path, example1SPARQL, "", "warp", 0); err == nil {
+		t.Error("unknown mode accepted by -explain")
+	}
+}
+
 func TestQueryFile(t *testing.T) {
 	path := figure1OnDisk(t)
 	qf := filepath.Join(t.TempDir(), "q.rq")

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pattern"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 )
 
@@ -215,8 +216,8 @@ func (u *Universal) freshBlank() rdf.Term {
 func (u *Universal) applyGMA(m core.GraphMappingAssertion) []rdf.Triple {
 	from := u.canonicalQuery(m.From)
 	to := u.canonicalQuery(m.To)
-	qj := pattern.EvalQuery(u.Graph, from)
-	qpj := pattern.EvalQuery(u.Graph, to)
+	qj := plan.ExecuteQuery(u.Graph, from)
+	qpj := plan.ExecuteQuery(u.Graph, to)
 	missing := qj.Minus(qpj)
 	var added []rdf.Triple
 	for _, t := range missing {
@@ -399,14 +400,14 @@ func (u *Universal) applyGMADelta(m core.GraphMappingAssertion, t rdf.Triple) []
 	var added []rdf.Triple
 	fired := pattern.NewTupleSet()
 	for i, tp := range from.GP {
-		seed, ok := bindTriplePattern(tp, t)
+		seed, ok := pattern.BindTriple(tp, t)
 		if !ok {
 			continue
 		}
 		rest := make(pattern.GraphPattern, 0, len(from.GP)-1)
 		rest = append(rest, from.GP[:i]...)
 		rest = append(rest, from.GP[i+1:]...)
-		for _, mu := range pattern.Eval(u.Graph, rest.Apply(seed)) {
+		for _, mu := range plan.Execute(u.Graph, rest.Apply(seed)) {
 			full := pattern.Union(seed, mu)
 			tuple := make(pattern.Tuple, len(from.Free))
 			okTuple := true
@@ -425,8 +426,9 @@ func (u *Universal) applyGMADelta(m core.GraphMappingAssertion, t rdf.Triple) []
 			if err != nil {
 				panic(fmt.Sprintf("chase: GMA %s: %v", m.Label, err))
 			}
-			if pattern.Ask(u.Graph, bq) {
-				continue // already satisfied
+			if plan.Ask(u.Graph, bq.GP) {
+				continue // already satisfied; the plan streams, so this
+				// stops at the first witnessing row
 			}
 			u.Stats.GMAFirings++
 			ren := make(pattern.Binding)
@@ -445,27 +447,6 @@ func (u *Universal) applyGMADelta(m core.GraphMappingAssertion, t rdf.Triple) []
 		}
 	}
 	return added
-}
-
-// bindTriplePattern unifies a triple pattern with a concrete triple,
-// returning the variable binding (or false on constant mismatch or
-// repeated-variable conflict).
-func bindTriplePattern(tp pattern.TriplePattern, t rdf.Triple) (pattern.Binding, bool) {
-	mu := make(pattern.Binding, 3)
-	bind := func(e pattern.Elem, val rdf.Term) bool {
-		if !e.IsVar() {
-			return e.Term() == val
-		}
-		if prev, ok := mu[e.Var()]; ok {
-			return prev == val
-		}
-		mu[e.Var()] = val
-		return true
-	}
-	if !bind(tp.S, t.S) || !bind(tp.P, t.P) || !bind(tp.O, t.O) {
-		return nil, false
-	}
-	return mu, true
 }
 
 func anyTrue(bs []bool) bool {
@@ -498,7 +479,7 @@ func elemMatches(e pattern.Elem, t rdf.Term) bool {
 // are canonicalised first and each answer is expanded across its
 // equivalence classes, matching the copy strategy's output exactly.
 func (u *Universal) CertainAnswers(q pattern.Query) *pattern.TupleSet {
-	res := pattern.EvalQuery(u.Graph, u.canonicalQuery(q))
+	res := plan.ExecuteQuery(u.Graph, u.canonicalQuery(q))
 	if u.canonical == nil {
 		return res
 	}
@@ -565,7 +546,7 @@ func (u *Universal) Ask(q pattern.Query) bool {
 	if !q.IsBoolean() {
 		return u.CertainAnswers(q).Len() > 0
 	}
-	return pattern.Ask(u.Graph, u.canonicalQuery(q))
+	return plan.Ask(u.Graph, u.canonicalQuery(q).GP)
 }
 
 // CertainAnswers is a convenience helper: chase sys with default options

@@ -118,7 +118,7 @@ func AblationJoinOrder(sizes []int) (*Table, error) {
 		resT := pattern.EvalTextualOrder(g, gp)
 		durT := time.Since(startT)
 		startG := time.Now()
-		resG := pattern.Eval(g, gp)
+		resG := pattern.EvalGreedy(g, gp)
 		durG := time.Since(startG)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", g.Len()), ms(durT), ms(durG),

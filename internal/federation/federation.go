@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pattern"
 	"repro/internal/peer"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/rewrite"
 	"repro/internal/sparql"
@@ -155,7 +156,9 @@ func (e *Engine) evalDistributed(gp pattern.GraphPattern, m *Metrics, sources ma
 	}
 }
 
-// hashJoin fetches every pattern's extension, then joins smallest-first.
+// hashJoin fetches every pattern's extension, then joins smallest-first
+// with the algebra's streaming hash join (the probe side streams; only the
+// build side is hashed).
 func (e *Engine) hashJoin(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
 	exts := make([][]pattern.Binding, len(gp))
 	for i, tp := range gp {
@@ -171,7 +174,7 @@ func (e *Engine) hashJoin(gp pattern.GraphPattern, m *Metrics, sources map[strin
 		if len(acc) == 0 {
 			return nil, nil
 		}
-		acc = pattern.Join(acc, ext)
+		acc = plan.HashJoinBindings(acc, ext)
 	}
 	return acc, nil
 }
@@ -308,7 +311,7 @@ func (e *Engine) fetchPattern(tp pattern.TriplePattern, m *Metrics, sources map[
 			if !ok {
 				continue
 			}
-			key := bindingKey(mu, vars)
+			key := pattern.BindingKey(mu, vars)
 			if !seen[key] {
 				seen[key] = true
 				out = append(out, mu)
@@ -317,14 +320,6 @@ func (e *Engine) fetchPattern(tp pattern.TriplePattern, m *Metrics, sources map[
 	}
 	cache[queryText] = out
 	return out, nil
-}
-
-func bindingKey(mu pattern.Binding, vars []string) string {
-	s := ""
-	for _, v := range vars {
-		s += mu[v].String() + "|"
-	}
-	return s
 }
 
 // patternIRIs returns the constant IRIs of a pattern (for source selection).

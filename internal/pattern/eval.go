@@ -2,7 +2,9 @@ package pattern
 
 import (
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 )
@@ -57,7 +59,7 @@ func Join(om1, om2 []Binding) []Binding {
 	// A hash join on the shared variables is only sound when every binding
 	// in a set has the same domain (true for ⟦·⟧ evaluation, where
 	// dom(µ) = var(GP)); otherwise fall back to a nested loop.
-	if !uniformDomain(om1) || !uniformDomain(om2) {
+	if !UniformDomain(om1) || !UniformDomain(om2) {
 		var out []Binding
 		for _, a := range om1 {
 			for _, b := range om2 {
@@ -68,7 +70,7 @@ func Join(om1, om2 []Binding) []Binding {
 		}
 		return out
 	}
-	shared := sharedVars(om1[0], om2[0])
+	shared := SharedVars(om1[0], om2[0])
 	if len(shared) == 0 {
 		out := make([]Binding, 0, len(om1)*len(om2))
 		for _, a := range om1 {
@@ -94,7 +96,10 @@ func Join(om1, om2 []Binding) []Binding {
 	return out
 }
 
-func uniformDomain(om []Binding) bool {
+// UniformDomain reports whether every binding in the set has the same
+// domain — the soundness condition for hashing on shared variables. Shared
+// with internal/plan's hash join so the guard cannot diverge from Join's.
+func UniformDomain(om []Binding) bool {
 	for _, b := range om[1:] {
 		if len(b) != len(om[0]) {
 			return false
@@ -108,7 +113,8 @@ func uniformDomain(om []Binding) bool {
 	return true
 }
 
-func sharedVars(a, b Binding) []string {
+// SharedVars returns the sorted variables bound by both µ₁ and µ₂.
+func SharedVars(a, b Binding) []string {
 	var out []string
 	for k := range a {
 		if _, ok := b[k]; ok {
@@ -119,15 +125,70 @@ func sharedVars(a, b Binding) []string {
 	return out
 }
 
-func joinKey(mu Binding, vars []string) string {
+// BindingKey returns a canonical key for µ restricted to vars. Every
+// component is length-prefixed, so separator characters occurring inside
+// IRIs or literals cannot make distinct bindings collide. An unbound
+// variable encodes as "-:" (no digit ever precedes the colon of a bound
+// component's prefix, so the marker is unambiguous).
+func BindingKey(mu Binding, vars []string) string {
 	var b strings.Builder
 	for _, v := range vars {
 		if t, ok := mu[v]; ok {
-			b.WriteString(t.String())
+			appendLenPrefixed(&b, t.String())
+		} else {
+			b.WriteString("-:")
 		}
-		b.WriteByte('|')
 	}
 	return b.String()
+}
+
+func appendLenPrefixed(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+// DomainKey returns a canonical key for µ covering both its domain and its
+// values (variable names and terms, all length-prefixed), so bindings with
+// different domains cannot collide. Used for duplicate elimination over
+// streams whose rows may bind different variable sets.
+func DomainKey(mu Binding) string {
+	vars := make([]string, 0, len(mu))
+	for v := range mu {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		appendLenPrefixed(&b, v)
+		appendLenPrefixed(&b, mu[v].String())
+	}
+	return b.String()
+}
+
+func joinKey(mu Binding, vars []string) string { return BindingKey(mu, vars) }
+
+// BindTriple unifies a triple pattern with a concrete triple, returning
+// the mapping µ with µ(tp) = t, or false on a constant mismatch or a
+// repeated-variable disagreement. It is the single implementation of this
+// invariant, shared by the evaluators here, the chase's semi-naive
+// matching, and the plan operators' index probes.
+func BindTriple(tp TriplePattern, t rdf.Triple) (Binding, bool) {
+	mu := make(Binding, 3)
+	bind := func(e Elem, val rdf.Term) bool {
+		if !e.IsVar() {
+			return e.term == val
+		}
+		if prev, ok := mu[e.varName]; ok {
+			return prev == val
+		}
+		mu[e.varName] = val
+		return true
+	}
+	if !bind(tp.S, t.S) || !bind(tp.P, t.P) || !bind(tp.O, t.O) {
+		return nil, false
+	}
+	return mu, true
 }
 
 // EvalTriplePattern computes ⟦t⟧_D for a single triple pattern: the set of
@@ -148,24 +209,7 @@ func EvalTriplePattern(g *rdf.Graph, tp TriplePattern) []Binding {
 	}
 	var out []Binding
 	g.Match(sp, pp, op, func(t rdf.Triple) bool {
-		mu := make(Binding, 3)
-		ok := true
-		bind := func(e Elem, val rdf.Term) {
-			if !e.IsVar() {
-				return
-			}
-			if prev, bound := mu[e.Var()]; bound {
-				if prev != val {
-					ok = false
-				}
-				return
-			}
-			mu[e.Var()] = val
-		}
-		bind(tp.S, t.S)
-		bind(tp.P, t.P)
-		bind(tp.O, t.O)
-		if ok {
+		if mu, ok := BindTriple(tp, t); ok {
 			out = append(out, mu)
 		}
 		return true
@@ -191,11 +235,39 @@ func EvalNaive(g *rdf.Graph, gp GraphPattern) []Binding {
 	return om
 }
 
-// Eval computes ⟦GP⟧_D using index nested-loop evaluation with greedy
-// selectivity-based join ordering: at each step the pattern with the fewest
-// estimated matches under the current bindings is evaluated next. The result
-// is set-equivalent to EvalNaive.
+// planned, when non-nil, is the evaluator Eval delegates to. The streaming,
+// cost-based executor of internal/plan installs itself here at init time
+// (it cannot be imported from this package, which its operators depend on),
+// so every program linking internal/plan — the library root, the commands,
+// and all answering strategies — routes Eval through the planner. Held in
+// an atomic so a (test-time) swap cannot race with parallel evaluation.
+var planned atomic.Pointer[func(*rdf.Graph, GraphPattern) []Binding]
+
+// SetPlannedEval installs the optimised evaluator used by Eval. Passing nil
+// restores the built-in greedy strategy (EvalGreedy).
+func SetPlannedEval(f func(*rdf.Graph, GraphPattern) []Binding) {
+	if f == nil {
+		planned.Store(nil)
+		return
+	}
+	planned.Store(&f)
+}
+
+// Eval computes ⟦GP⟧_D. When the plan-based executor is linked it is the
+// default path (see SetPlannedEval); otherwise evaluation falls back to
+// EvalGreedy. The result is set-equivalent to EvalNaive either way.
 func Eval(g *rdf.Graph, gp GraphPattern) []Binding {
+	if f := planned.Load(); f != nil {
+		return (*f)(g, gp)
+	}
+	return evalOrdered(g, gp, true)
+}
+
+// EvalGreedy computes ⟦GP⟧_D using index nested-loop evaluation with greedy
+// selectivity-based join ordering: at each step the pattern with the fewest
+// estimated matches under the current bindings is evaluated next. Kept as
+// the pre-planner strategy for the join-ordering ablation.
+func EvalGreedy(g *rdf.Graph, gp GraphPattern) []Binding {
 	return evalOrdered(g, gp, true)
 }
 
@@ -271,14 +343,32 @@ func estimate(g *rdf.Graph, tp TriplePattern, bound Binding) int {
 // Tuple is an answer tuple of RDF terms.
 type Tuple []rdf.Term
 
-// Key returns a canonical string key for set membership of tuples.
+// Key returns a canonical string key for set membership of tuples. Each
+// component is length-prefixed so terms containing separator characters
+// cannot make distinct tuples collide.
 func (t Tuple) Key() string {
 	var b strings.Builder
 	for _, x := range t {
-		b.WriteString(x.String())
-		b.WriteByte(' ')
+		appendLenPrefixed(&b, x.String())
 	}
 	return b.String()
+}
+
+// Compare orders tuples component-wise by Term.Compare, shorter tuples
+// first on a common prefix. Sorted output everywhere uses this ordering.
+func (t Tuple) Compare(u Tuple) int {
+	for i := range t {
+		if i >= len(u) {
+			return 1
+		}
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	if len(t) < len(u) {
+		return -1
+	}
+	return 0
 }
 
 // Equal reports component-wise equality.
@@ -340,6 +430,14 @@ func (s *TupleSet) Has(t Tuple) bool {
 // Len returns the number of tuples.
 func (s *TupleSet) Len() int { return len(s.m) }
 
+// Merge adds every tuple of other into s. Used to combine the per-branch
+// results of a parallel UCQ union deterministically.
+func (s *TupleSet) Merge(other *TupleSet) {
+	for k, t := range other.m {
+		s.m[k] = t
+	}
+}
+
 // Minus returns the tuples of s not present in other, sorted.
 func (s *TupleSet) Minus(other *TupleSet) []Tuple {
 	var out []Tuple
@@ -378,7 +476,7 @@ func (s *TupleSet) Sorted() []Tuple {
 }
 
 func sortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
 }
 
 // EvalQuery computes Q_D: the answer tuples whose components are all in

@@ -1,0 +1,57 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestTupleKeyCollisionFree: under the old space-separated encoding both
+// tuples rendered as "<a> <b> "; the length prefix keeps them apart.
+func TestTupleKeyCollisionFree(t *testing.T) {
+	t1 := Tuple{rdf.IRI("a"), rdf.IRI("b")}
+	t2 := Tuple{rdf.IRI("a> <b")}
+	if t1.Key() == t2.Key() {
+		t.Fatalf("tuple keys collide: %q", t1.Key())
+	}
+	s := NewTupleSet()
+	s.Add(t1)
+	s.Add(t2)
+	if s.Len() != 2 {
+		t.Fatalf("tuple set conflated distinct tuples: %v", s.Sorted())
+	}
+}
+
+// TestBindingKeyCollisionFree: under the old "|"-separated encoding, a
+// single IRI containing ">|<" collided with two separate IRIs.
+func TestBindingKeyCollisionFree(t *testing.T) {
+	vars := []string{"x", "y"}
+	mu1 := Binding{"x": rdf.IRI("a>|<b")}
+	mu2 := Binding{"x": rdf.IRI("a"), "y": rdf.IRI("b")}
+	if BindingKey(mu1, vars) == BindingKey(mu2, vars) {
+		t.Fatalf("binding keys collide: %q", BindingKey(mu1, vars))
+	}
+}
+
+func TestBindingKeyFormat(t *testing.T) {
+	mu := Binding{"x": rdf.IRI("a")}
+	if got, want := BindingKey(mu, []string{"x", "y"}), "3:<a>-:"; got != want {
+		t.Errorf("BindingKey = %q, want %q", got, want)
+	}
+}
+
+// TestJoinKeyedCorrectly exercises the hash-join path of Join with values
+// that would have collided under the old separator scheme.
+func TestJoinKeyedCorrectly(t *testing.T) {
+	a := rdf.IRI("a>|<b")
+	om1 := []Binding{{"x": a, "y": rdf.IRI("c")}}
+	om2 := []Binding{{"x": a, "z": rdf.IRI("d")}}
+	got := Join(om1, om2)
+	if len(got) != 1 {
+		t.Fatalf("join size = %d, want 1: %v", len(got), got)
+	}
+	om3 := []Binding{{"x": rdf.IRI("other"), "z": rdf.IRI("d")}}
+	if res := Join(om1, om3); len(res) != 0 {
+		t.Fatalf("join of incompatible bindings = %v, want empty", res)
+	}
+}

@@ -1,0 +1,68 @@
+// Package plan is the streaming, cost-based query planner and executor that
+// underlies every answering strategy of the reproduction. Graph patterns
+// (the conjunctive fragment of Section 2.1) are compiled into a tree of
+// classical relational-algebra operators realised as pull iterators, in the
+// style of Janus-Datalog's "Datalog as relational algebra": specialised
+// pattern evaluation is replaced by π, σ, ⋈ over the triple store.
+//
+// # Operator algebra
+//
+// Every operator implements Node (plan-time) and produces an Iterator
+// (run time) whose Next() (pattern.Binding, bool) streams solution mappings
+// without materialising intermediate Ω sets:
+//
+//   - IndexScan      leaf access path: one triple pattern matched against
+//     the best of the graph's SPO/POS/OSP indexes.
+//   - IndexNestedLoopJoin    ⋈ of a child stream with a triple pattern:
+//     each child binding instantiates the pattern and probes the index.
+//     Only the matches of one instantiated pattern are buffered at a time.
+//   - HashJoin       ⋈ of two streams on their shared variables: the right
+//     (build) side is hashed once, the left (probe) side streams. Chosen by
+//     the planner when the next pattern shares no variable with the rows
+//     produced so far (a cross product, where re-scanning per row would be
+//     quadratic), and by the federation mediator to join remote extensions.
+//   - Project        π onto a variable list.
+//   - Distinct       δ by a collision-free (length-prefixed) binding key.
+//   - Filter         σ by an arbitrary predicate on bindings.
+//   - Union          ∪ of subplans, either sequential or parallel: the
+//     parallel form fans the branches out across GOMAXPROCS-bounded
+//     goroutines and merges deterministically in branch order.
+//
+// # Cost model
+//
+// The planner orders the triple patterns of a BGP greedily by estimated
+// output cardinality. The estimate for a pattern given the set of already
+// bound variables is
+//
+//	est(tp) = MatchCount(constants of tp) / Π distinct(position)
+//
+// where the product ranges over the pattern's variable positions already
+// bound by earlier operators, and distinct(position) is the corresponding
+// field of rdf.Stats (distinct subjects, predicates or objects). The
+// MatchCount numerator is exact — it is read off the index without
+// materialisation — and the denominator approximates per-value fan-out.
+// A pattern that can never match (count 0) is scheduled first so execution
+// short-circuits. Ties break on textual order, keeping plans deterministic.
+//
+// # How the answering strategies map onto the algebra
+//
+//   - Materialisation (internal/chase): applicability checks of Algorithm 1
+//     — "does Q' already hold for this tuple?" — run as Ask, which stops at
+//     the first streamed row; GMA body evaluation runs as Execute.
+//   - FO-rewriting (internal/rewrite): the UCQ produced by TGD-rewrite is a
+//     parallel Union of per-disjunct plans; answers merge into a TupleSet,
+//     giving the deduplicated, deterministic certain-answer set.
+//   - Combined approach: same as rewriting, over the canonical database.
+//   - Federation (internal/federation): the mediator joins per-pattern
+//     remote extensions with HashJoinBindings, the algebra's hash join
+//     applied to already-fetched binding sets.
+//   - SPARQL (internal/sparql): BGPs execute via Execute, FILTER via the
+//     Filter operator, and UNION alternatives fan out in parallel.
+//
+// pattern.Eval cannot import this package (plan depends on pattern's
+// types), so pattern exposes a pluggable evaluator hook that plan installs
+// in its init; any program linking plan — the library root, every command
+// and every consumer package — therefore routes pattern.Eval through the
+// planner, while pattern.EvalNaive remains the executable specification
+// and equivalence oracle.
+package plan

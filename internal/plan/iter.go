@@ -1,0 +1,583 @@
+package plan
+
+import (
+	"fmt"
+	"iter"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Iterator streams solution mappings. Next returns the next binding, or
+// false once the stream is exhausted. Close releases resources held by an
+// iterator abandoned before exhaustion; it is idempotent and must be called
+// (directly or via Drain) on every opened iterator.
+type Iterator interface {
+	Next() (pattern.Binding, bool)
+	Close()
+}
+
+// Node is a relational-algebra operator at plan time. Opening a node yields
+// a fresh iterator; a node may be opened many times.
+type Node interface {
+	Open(g *rdf.Graph) Iterator
+	// Vars returns the sorted variable names the operator's rows bind.
+	Vars() []string
+	format(b *strings.Builder, depth int)
+}
+
+// Drain exhausts an iterator into a slice and closes it.
+func Drain(it Iterator) []pattern.Binding {
+	defer it.Close()
+	var out []pattern.Binding
+	for {
+		mu, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, mu)
+	}
+}
+
+func matchArgs(tp pattern.TriplePattern) (sp, pp, op *rdf.Term) {
+	if !tp.S.IsVar() {
+		t := tp.S.Term()
+		sp = &t
+	}
+	if !tp.P.IsVar() {
+		t := tp.P.Term()
+		pp = &t
+	}
+	if !tp.O.IsVar() {
+		t := tp.O.Term()
+		op = &t
+	}
+	return sp, pp, op
+}
+
+// appendMatches appends the bindings of one (possibly instantiated) triple
+// pattern to dst. This is the per-row micro-buffer of the index nested-loop
+// join: it holds the matches of a single instantiated pattern, never a full
+// intermediate Ω.
+func appendMatches(dst []pattern.Binding, g *rdf.Graph, tp pattern.TriplePattern) []pattern.Binding {
+	sp, pp, op := matchArgs(tp)
+	g.Match(sp, pp, op, func(t rdf.Triple) bool {
+		if mu, ok := pattern.BindTriple(tp, t); ok {
+			dst = append(dst, mu)
+		}
+		return true
+	})
+	return dst
+}
+
+// ---------------------------------------------------------------- IndexScan
+
+// IndexScan is the leaf access path: one triple pattern matched against the
+// best of the graph's SPO/POS/OSP indexes, streamed without materialising
+// the extension.
+type IndexScan struct {
+	TP pattern.TriplePattern
+	// Est is the planner's cardinality estimate, kept for EXPLAIN output.
+	Est float64
+}
+
+func (s *IndexScan) Vars() []string { return s.TP.Vars() }
+
+func (s *IndexScan) Open(g *rdf.Graph) Iterator {
+	seq := func(yield func(pattern.Binding) bool) {
+		sp, pp, op := matchArgs(s.TP)
+		g.Match(sp, pp, op, func(t rdf.Triple) bool {
+			mu, ok := pattern.BindTriple(s.TP, t)
+			if !ok {
+				return true
+			}
+			return yield(mu)
+		})
+	}
+	next, stop := iter.Pull(iter.Seq[pattern.Binding](seq))
+	return &scanIter{next: next, stop: stop}
+}
+
+type scanIter struct {
+	next func() (pattern.Binding, bool)
+	stop func()
+}
+
+func (it *scanIter) Next() (pattern.Binding, bool) { return it.next() }
+func (it *scanIter) Close()                        { it.stop() }
+
+func (s *IndexScan) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "IndexScan[%s] idx=%s est=%s\n", s.TP, accessPath(s.TP, nil), fmtEst(s.Est))
+}
+
+// ---------------------------------------------------- IndexNestedLoopJoin
+
+// IndexNestedLoopJoin joins a child stream with one triple pattern: each
+// child binding instantiates the pattern's bound variables and probes the
+// graph index, emitting the child binding extended by each match.
+type IndexNestedLoopJoin struct {
+	Left Node
+	TP   pattern.TriplePattern
+	// Est is the planner's per-plan output estimate, kept for EXPLAIN.
+	Est float64
+}
+
+func (j *IndexNestedLoopJoin) Vars() []string {
+	return unionVars(j.Left.Vars(), j.TP.Vars())
+}
+
+func (j *IndexNestedLoopJoin) Open(g *rdf.Graph) Iterator {
+	return &inljIter{g: g, left: j.Left.Open(g), tp: j.TP}
+}
+
+type inljIter struct {
+	g    *rdf.Graph
+	left Iterator
+	tp   pattern.TriplePattern
+	cur  pattern.Binding
+	buf  []pattern.Binding
+	i    int
+}
+
+func (it *inljIter) Next() (pattern.Binding, bool) {
+	for {
+		if it.i < len(it.buf) {
+			mu := pattern.Union(it.cur, it.buf[it.i])
+			it.i++
+			return mu, true
+		}
+		lmu, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		it.cur = lmu
+		it.buf = appendMatches(it.buf[:0], it.g, it.tp.Apply(lmu))
+		it.i = 0
+	}
+}
+
+func (it *inljIter) Close() { it.left.Close() }
+
+func (j *IndexNestedLoopJoin) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	bound := make(map[string]bool)
+	for _, v := range j.Left.Vars() {
+		bound[v] = true
+	}
+	fmt.Fprintf(b, "IndexNestedLoopJoin[%s] idx=%s est=%s\n", j.TP, accessPath(j.TP, bound), fmtEst(j.Est))
+	j.Left.format(b, depth+1)
+}
+
+// ------------------------------------------------------------------ HashJoin
+
+// HashJoin joins two streams on their shared variables: the right (build)
+// side is drained into a hash table keyed by the collision-free
+// pattern.BindingKey, then the left (probe) side streams. With no shared
+// variables it degenerates to a buffered cross product, which is why the
+// planner picks it over an index nested loop when the next pattern is
+// disconnected from the rows produced so far.
+type HashJoin struct {
+	Left, Right Node
+	// Shared is the sorted list of join variables (empty: cross product).
+	Shared []string
+}
+
+func (j *HashJoin) Vars() []string {
+	return unionVars(j.Left.Vars(), j.Right.Vars())
+}
+
+func (j *HashJoin) Open(g *rdf.Graph) Iterator {
+	table := make(map[string][]pattern.Binding)
+	rit := j.Right.Open(g)
+	for {
+		mu, ok := rit.Next()
+		if !ok {
+			break
+		}
+		k := pattern.BindingKey(mu, j.Shared)
+		table[k] = append(table[k], mu)
+	}
+	rit.Close()
+	return &hashJoinIter{left: j.Left.Open(g), table: table, shared: j.Shared}
+}
+
+type hashJoinIter struct {
+	left   Iterator
+	table  map[string][]pattern.Binding
+	shared []string
+	cur    pattern.Binding
+	bucket []pattern.Binding
+	i      int
+}
+
+func (it *hashJoinIter) Next() (pattern.Binding, bool) {
+	for {
+		for it.i < len(it.bucket) {
+			b := it.bucket[it.i]
+			it.i++
+			if pattern.Compatible(it.cur, b) {
+				return pattern.Union(it.cur, b), true
+			}
+		}
+		lmu, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		it.cur = lmu
+		it.bucket = it.table[pattern.BindingKey(lmu, it.shared)]
+		it.i = 0
+	}
+}
+
+func (it *hashJoinIter) Close() { it.left.Close() }
+
+func (j *HashJoin) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	on := strings.Join(j.Shared, ",")
+	if on == "" {
+		on = "×"
+	}
+	fmt.Fprintf(b, "HashJoin[on %s]\n", on)
+	j.Left.format(b, depth+1)
+	j.Right.format(b, depth+1)
+}
+
+// ------------------------------------------------------------------- Project
+
+// Project restricts each binding to the listed variables (π).
+type Project struct {
+	Child Node
+	Cols  []string
+}
+
+func (p *Project) Vars() []string {
+	out := append([]string(nil), p.Cols...)
+	sort.Strings(out)
+	return out
+}
+
+func (p *Project) Open(g *rdf.Graph) Iterator {
+	return &projectIter{child: p.Child.Open(g), cols: p.Cols}
+}
+
+type projectIter struct {
+	child Iterator
+	cols  []string
+}
+
+func (it *projectIter) Next() (pattern.Binding, bool) {
+	mu, ok := it.child.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(pattern.Binding, len(it.cols))
+	for _, c := range it.cols {
+		if t, bound := mu[c]; bound {
+			out[c] = t
+		}
+	}
+	return out, true
+}
+
+func (it *projectIter) Close() { it.child.Close() }
+
+func (p *Project) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	cols := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		cols[i] = "?" + c
+	}
+	fmt.Fprintf(b, "Project[%s]\n", strings.Join(cols, " "))
+	p.Child.format(b, depth+1)
+}
+
+// ------------------------------------------------------------------ Distinct
+
+// Distinct removes duplicate bindings (δ). The key covers variable names
+// and values, each length-prefixed, so bindings with different domains
+// cannot collide.
+type Distinct struct {
+	Child Node
+}
+
+func (d *Distinct) Vars() []string { return d.Child.Vars() }
+
+func (d *Distinct) Open(g *rdf.Graph) Iterator {
+	return &distinctIter{child: d.Child.Open(g), seen: make(map[string]struct{})}
+}
+
+type distinctIter struct {
+	child Iterator
+	seen  map[string]struct{}
+}
+
+func (it *distinctIter) Next() (pattern.Binding, bool) {
+	for {
+		mu, ok := it.child.Next()
+		if !ok {
+			return nil, false
+		}
+		k := pattern.DomainKey(mu)
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		return mu, true
+	}
+}
+
+func (it *distinctIter) Close() { it.child.Close() }
+
+func (d *Distinct) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Distinct\n")
+	d.Child.format(b, depth+1)
+}
+
+// -------------------------------------------------------------------- Filter
+
+// Filter keeps the bindings satisfying a predicate (σ). Label names the
+// condition in EXPLAIN output.
+type Filter struct {
+	Child Node
+	Pred  func(pattern.Binding) bool
+	Label string
+}
+
+func (f *Filter) Vars() []string { return f.Child.Vars() }
+
+func (f *Filter) Open(g *rdf.Graph) Iterator {
+	return &filterIter{child: f.Child.Open(g), pred: f.Pred}
+}
+
+type filterIter struct {
+	child Iterator
+	pred  func(pattern.Binding) bool
+}
+
+func (it *filterIter) Next() (pattern.Binding, bool) {
+	for {
+		mu, ok := it.child.Next()
+		if !ok {
+			return nil, false
+		}
+		if it.pred(mu) {
+			return mu, true
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.child.Close() }
+
+func (f *Filter) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	label := f.Label
+	if label == "" {
+		label = "pred"
+	}
+	fmt.Fprintf(b, "Filter[%s]\n", label)
+	f.Child.format(b, depth+1)
+}
+
+// ------------------------------------------------------------------ Bindings
+
+// Bindings is a leaf over an in-memory relation, letting already
+// materialised solution sets (remote extensions, UNION arms) participate in
+// the algebra.
+type Bindings struct {
+	Rows  []pattern.Binding
+	Label string
+}
+
+func (n *Bindings) Vars() []string {
+	set := make(map[string]struct{})
+	for _, mu := range n.Rows {
+		for v := range mu {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (n *Bindings) Open(*rdf.Graph) Iterator { return &sliceIter{rows: n.Rows} }
+
+type sliceIter struct {
+	rows []pattern.Binding
+	i    int
+}
+
+func (it *sliceIter) Next() (pattern.Binding, bool) {
+	if it.i >= len(it.rows) {
+		return nil, false
+	}
+	mu := it.rows[it.i]
+	it.i++
+	return mu, true
+}
+
+func (it *sliceIter) Close() {}
+
+func (n *Bindings) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	label := n.Label
+	if label == "" {
+		label = "mem"
+	}
+	fmt.Fprintf(b, "Bindings[%s] rows=%d\n", label, len(n.Rows))
+}
+
+// ---------------------------------------------------------------------- Unit
+
+// Unit emits a single empty binding: the identity of ⋈, and the plan of the
+// empty graph pattern.
+type Unit struct{}
+
+func (Unit) Vars() []string           { return nil }
+func (Unit) Open(*rdf.Graph) Iterator { return &sliceIter{rows: []pattern.Binding{{}}} }
+func (Unit) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Unit\n")
+}
+
+// --------------------------------------------------------------------- Union
+
+// Union concatenates the streams of its children (∪, bag semantics; wrap in
+// Distinct for set semantics). The sequential form opens children lazily in
+// order; the parallel form drains every child concurrently across a
+// GOMAXPROCS-bounded worker pool and then replays the buffered branch
+// results in child order, so output order is deterministic either way.
+type Union struct {
+	Children []Node
+	Parallel bool
+}
+
+func (u *Union) Vars() []string {
+	var out []string
+	for _, c := range u.Children {
+		out = unionVars(out, c.Vars())
+	}
+	return out
+}
+
+func (u *Union) Open(g *rdf.Graph) Iterator {
+	if !u.Parallel {
+		return &unionIter{g: g, children: u.Children}
+	}
+	bufs := make([][]pattern.Binding, len(u.Children))
+	Fanout(len(u.Children), func(i int) {
+		bufs[i] = Drain(u.Children[i].Open(g))
+	})
+	var rows []pattern.Binding
+	for _, b := range bufs {
+		rows = append(rows, b...)
+	}
+	return &sliceIter{rows: rows}
+}
+
+type unionIter struct {
+	g        *rdf.Graph
+	children []Node
+	cur      Iterator
+	i        int
+}
+
+func (it *unionIter) Next() (pattern.Binding, bool) {
+	for {
+		if it.cur == nil {
+			if it.i >= len(it.children) {
+				return nil, false
+			}
+			it.cur = it.children[it.i].Open(it.g)
+			it.i++
+		}
+		mu, ok := it.cur.Next()
+		if ok {
+			return mu, true
+		}
+		it.cur.Close()
+		it.cur = nil
+	}
+}
+
+func (it *unionIter) Close() {
+	if it.cur != nil {
+		it.cur.Close()
+		it.cur = nil
+	}
+}
+
+func (u *Union) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	if u.Parallel {
+		fmt.Fprintf(b, "Union[parallel branches=%d]\n", len(u.Children))
+	} else {
+		fmt.Fprintf(b, "Union[branches=%d]\n", len(u.Children))
+	}
+	for _, c := range u.Children {
+		c.format(b, depth+1)
+	}
+}
+
+// ------------------------------------------------------------------- helpers
+
+func unionVars(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, v := range a {
+		set[v] = struct{}{}
+	}
+	for _, v := range b {
+		set[v] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func fmtEst(e float64) string {
+	return strconv.FormatFloat(e, 'f', -1, 64)
+}
+
+// accessPath names the graph index a pattern probes, given which variables
+// are bound upstream (nil for a leaf scan).
+func accessPath(tp pattern.TriplePattern, bound map[string]bool) string {
+	fixed := func(e pattern.Elem) bool {
+		return !e.IsVar() || bound[e.Var()]
+	}
+	s, p, o := fixed(tp.S), fixed(tp.P), fixed(tp.O)
+	switch {
+	case s && p && o:
+		return "spo(point)"
+	case s && p:
+		return "spo"
+	case p && o:
+		return "pos"
+	case s && o:
+		return "osp"
+	case s:
+		return "spo(prefix)"
+	case p:
+		return "pos(prefix)"
+	case o:
+		return "osp(prefix)"
+	default:
+		return "full"
+	}
+}

@@ -1,0 +1,210 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// Plan compiles a graph pattern into an operator tree using greedy
+// cost-based join ordering: at each step the remaining pattern with the
+// lowest estimated cardinality (given the variables bound so far) is joined
+// next — by index nested loop when it shares a variable with the rows
+// produced so far, by hash join (buffered cross product) when it does not.
+// Ties break on textual order, so plans are deterministic.
+func Plan(g *rdf.Graph, gp pattern.GraphPattern) Node {
+	if len(gp) == 0 {
+		return Unit{}
+	}
+	st := g.Stats()
+	remaining := make([]pattern.TriplePattern, len(gp))
+	copy(remaining, gp)
+	// The MatchCount base of each pattern depends only on its constants,
+	// not on the bound set, so count once up front: re-counting per pick
+	// round would walk index prefixes O(n²) times, which matters on the
+	// chase's per-triple re-planning path.
+	bases := make([]float64, len(remaining))
+	for i, tp := range remaining {
+		bases[i] = float64(g.MatchCount(matchArgs(tp)))
+	}
+	bound := make(map[string]bool)
+
+	pick := func() (pattern.TriplePattern, float64) {
+		best, bestEst := 0, estimateRows(st, remaining[0], bases[0], bound)
+		for i := 1; i < len(remaining); i++ {
+			if est := estimateRows(st, remaining[i], bases[i], bound); est < bestEst {
+				best, bestEst = i, est
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		bases = append(bases[:best], bases[best+1:]...)
+		for _, v := range tp.Vars() {
+			bound[v] = true
+		}
+		return tp, bestEst
+	}
+
+	tp, est := pick()
+	var root Node = &IndexScan{TP: tp, Est: est}
+	for len(remaining) > 0 {
+		before := snapshot(bound)
+		tp, est := pick()
+		if sharesVar(tp, before) {
+			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
+		} else {
+			root = &HashJoin{Left: root, Right: &IndexScan{TP: tp, Est: est}}
+		}
+	}
+	return root
+}
+
+// QueryPlan wraps the body plan of a graph pattern query with projection
+// onto its free variables and duplicate elimination — the full π·δ·⋈ shape
+// a SELECT DISTINCT compiles to.
+func QueryPlan(g *rdf.Graph, q pattern.Query) Node {
+	return &Distinct{Child: &Project{Child: Plan(g, q.GP), Cols: q.Free}}
+}
+
+func snapshot(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sharesVar(tp pattern.TriplePattern, bound map[string]bool) bool {
+	for _, v := range tp.Vars() {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// estimateRows implements the cost model described in the package
+// documentation: base is the exact index count over the pattern's
+// constants, divided by the distinct-count of every variable position
+// already bound.
+func estimateRows(st rdf.Stats, tp pattern.TriplePattern, base float64, bound map[string]bool) float64 {
+	if base == 0 {
+		return 0
+	}
+	div := 1.0
+	if tp.S.IsVar() && bound[tp.S.Var()] && st.DistinctSubjects > 0 {
+		div *= float64(st.DistinctSubjects)
+	}
+	if tp.P.IsVar() && bound[tp.P.Var()] && st.DistinctPredicates > 0 {
+		div *= float64(st.DistinctPredicates)
+	}
+	if tp.O.IsVar() && bound[tp.O.Var()] && st.DistinctObjects > 0 {
+		div *= float64(st.DistinctObjects)
+	}
+	if est := base / div; est > 1 {
+		return est
+	}
+	return 1
+}
+
+// Execute computes ⟦GP⟧_D through the planner: the result is set-equivalent
+// to pattern.EvalNaive with dom(µ) = var(GP) for every µ. This is the
+// facade every answering strategy evaluates graph patterns through.
+func Execute(g *rdf.Graph, gp pattern.GraphPattern) []pattern.Binding {
+	return Drain(Plan(g, gp).Open(g))
+}
+
+// Ask reports whether the pattern has at least one solution, stopping at
+// the first streamed row.
+func Ask(g *rdf.Graph, gp pattern.GraphPattern) bool {
+	it := Plan(g, gp).Open(g)
+	defer it.Close()
+	_, ok := it.Next()
+	return ok
+}
+
+// ExecuteQuery computes Q_D (certain-answer semantics: tuples containing
+// blank nodes are dropped) through the planner.
+func ExecuteQuery(g *rdf.Graph, q pattern.Query) *pattern.TupleSet {
+	return executeQuery(g, q, false)
+}
+
+// ExecuteQueryStar computes Q*_D (blank nodes included) through the planner.
+func ExecuteQueryStar(g *rdf.Graph, q pattern.Query) *pattern.TupleSet {
+	return executeQuery(g, q, true)
+}
+
+func executeQuery(g *rdf.Graph, q pattern.Query, star bool) *pattern.TupleSet {
+	out := pattern.NewTupleSet()
+	it := Plan(g, q.GP).Open(g)
+	defer it.Close()
+	for {
+		mu, more := it.Next()
+		if !more {
+			return out
+		}
+		tuple := make(pattern.Tuple, len(q.Free))
+		ok := true
+		for i, f := range q.Free {
+			t, isBound := mu[f]
+			if !isBound || (!star && t.IsBlank()) {
+				ok = false
+				break
+			}
+			tuple[i] = t
+		}
+		if ok {
+			out.Add(tuple)
+		}
+	}
+}
+
+// Explain renders the execution plan of a graph pattern.
+func Explain(g *rdf.Graph, gp pattern.GraphPattern) string {
+	var b strings.Builder
+	Plan(g, gp).format(&b, 0)
+	return b.String()
+}
+
+// ExplainQuery renders the execution plan of a graph pattern query,
+// including the projection and duplicate-elimination operators.
+func ExplainQuery(g *rdf.Graph, q pattern.Query) string {
+	var b strings.Builder
+	QueryPlan(g, q).format(&b, 0)
+	return b.String()
+}
+
+// Format renders an already built plan (for tests and tooling).
+func Format(n Node) string {
+	var b strings.Builder
+	n.format(&b, 0)
+	return b.String()
+}
+
+// HashJoinBindings joins two in-memory binding sets with the algebra's
+// HashJoin operator, mirroring the semantics of Ω₁ ⋈ Ω₂: the build side is
+// hashed on the collision-free key of the shared variables and the probe
+// side streams. When either set has bindings with differing domains the
+// hash key is unsound, so it delegates to pattern.Join's nested-loop
+// fallback. Used by the federation mediator to join remote extensions.
+func HashJoinBindings(left, right []pattern.Binding) []pattern.Binding {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	if !pattern.UniformDomain(left) || !pattern.UniformDomain(right) {
+		return pattern.Join(left, right)
+	}
+	j := &HashJoin{
+		Left:   &Bindings{Rows: left, Label: "probe"},
+		Right:  &Bindings{Rows: right, Label: "build"},
+		Shared: pattern.SharedVars(left[0], right[0]),
+	}
+	return Drain(j.Open(nil))
+}
+
+// init installs the planner as pattern.Eval's evaluator, making
+// plan.Execute the default path for every program linking this package.
+func init() {
+	pattern.SetPlannedEval(Execute)
+}

@@ -1,0 +1,392 @@
+package plan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+)
+
+// canonical renders a binding multiset order-independently, domains
+// included, so plan and naive results can be compared exactly.
+func canonical(om []pattern.Binding) []string {
+	out := make([]string, len(om))
+	for i, mu := range om {
+		vars := make([]string, 0, len(mu))
+		for v := range mu {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var b strings.Builder
+		for _, v := range vars {
+			fmt.Fprintf(&b, "%s=%s;", v, mu[v])
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameBindings(a, b []pattern.Binding) bool {
+	ca, cb := canonical(a), canonical(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomCase builds a small random graph and graph pattern over a shared
+// constant pool, so patterns frequently (but not always) match.
+func randomCase(rng *rand.Rand) (*rdf.Graph, pattern.GraphPattern) {
+	subjects := make([]rdf.Term, 6)
+	for i := range subjects {
+		subjects[i] = rdf.IRI(fmt.Sprintf("http://e/s%d", i))
+	}
+	preds := make([]rdf.Term, 3)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("http://e/p%d", i))
+	}
+	objects := []rdf.Term{
+		rdf.IRI("http://e/o0"), rdf.IRI("http://e/o1"), rdf.IRI("http://e/s0"),
+		rdf.Literal("a"), rdf.Literal("b|c"), rdf.Blank("n1"),
+	}
+	g := rdf.NewGraph()
+	for n := rng.Intn(40); n > 0; n-- {
+		g.Add(rdf.Triple{
+			S: subjects[rng.Intn(len(subjects))],
+			P: preds[rng.Intn(len(preds))],
+			O: objects[rng.Intn(len(objects))],
+		})
+	}
+	vars := []string{"x", "y", "z", "w"}
+	elem := func(pool []rdf.Term) pattern.Elem {
+		if rng.Intn(2) == 0 {
+			return pattern.V(vars[rng.Intn(len(vars))])
+		}
+		return pattern.C(pool[rng.Intn(len(pool))])
+	}
+	gp := make(pattern.GraphPattern, 1+rng.Intn(4))
+	for i := range gp {
+		gp[i] = pattern.TP(elem(subjects), elem(preds), elem(objects))
+	}
+	return g, gp
+}
+
+// TestExecuteMatchesNaive is the planner/executor equivalence property:
+// plan.Execute returns the same binding multiset as the Definition 1 oracle
+// pattern.EvalNaive on random graphs and patterns.
+func TestExecuteMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, gp := randomCase(rng)
+		return sameBindings(plan.Execute(g, gp), pattern.EvalNaive(g, gp))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashJoinBindingsMatchesJoin checks the mediator-facing hash join
+// against the Ω₁ ⋈ Ω₂ oracle on random binding sets, including
+// non-uniform domains (the nested-loop fallback).
+func TestHashJoinBindingsMatchesJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		terms := []rdf.Term{rdf.IRI("http://e/a"), rdf.IRI("http://e/b"), rdf.Literal("c")}
+		vars := []string{"x", "y", "z"}
+		side := func() []pattern.Binding {
+			var out []pattern.Binding
+			for n := rng.Intn(8); n > 0; n-- {
+				mu := make(pattern.Binding)
+				for _, v := range vars {
+					if rng.Intn(3) > 0 {
+						mu[v] = terms[rng.Intn(len(terms))]
+					}
+				}
+				out = append(out, mu)
+			}
+			return out
+		}
+		l, r := side(), side()
+		return sameBindings(plan.HashJoinBindings(l, r), pattern.Join(l, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	g := rdf.NewGraph()
+	got := plan.Execute(g, nil)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty pattern = %v, want one empty binding", got)
+	}
+}
+
+// TestGoldenJoinOrderSelective pins the planner's join-order choice: the
+// selective pattern must become the leaf scan even though it is textually
+// second, and the common pattern probes the SPO index with its subject
+// bound.
+func TestGoldenJoinOrderSelective(t *testing.T) {
+	g := rdf.NewGraph()
+	common := rdf.IRI("http://e/common")
+	rare := rdf.IRI("http://e/rare")
+	for i := 0; i < 1000; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: common,
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i%17)),
+		})
+	}
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s1"), P: rare, O: rdf.Literal("target")})
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(common), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(rare), pattern.C(rdf.Literal("target"))),
+	}
+	want := `IndexNestedLoopJoin[?x <http://e/common> ?y] idx=spo est=1
+  IndexScan[?x <http://e/rare> "target"] idx=pos est=1
+`
+	if got := plan.Explain(g, gp); got != want {
+		t.Errorf("explain mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if n := len(plan.Execute(g, gp)); n != 1 {
+		t.Errorf("result rows = %d, want 1", n)
+	}
+}
+
+// TestGoldenCrossProductUsesHashJoin pins the operator choice for a
+// disconnected pattern: no shared variable means a buffered hash join, not
+// a per-row rescan.
+func TestGoldenCrossProductUsesHashJoin(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	q := rdf.IRI("http://e/q")
+	for i := 0; i < 5; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)), P: p, O: rdf.Literal("v")})
+	}
+	for i := 0; i < 2; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/t%d", i)), P: q, O: rdf.Literal("w")})
+	}
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("a"), pattern.C(q), pattern.V("b")),
+	}
+	want := `HashJoin[on ×]
+  IndexScan[?a <http://e/q> ?b] idx=pos(prefix) est=2
+  IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=5
+`
+	if got := plan.Explain(g, gp); got != want {
+		t.Errorf("explain mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if n := len(plan.Execute(g, gp)); n != 10 {
+		t.Errorf("cross product rows = %d, want 10", n)
+	}
+}
+
+// TestGoldenQueryPlan pins the π·δ wrapper of a graph pattern query.
+func TestGoldenQueryPlan(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s"), P: p, O: rdf.Literal("v")})
+	q := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+	})
+	want := `Distinct
+  Project[?x]
+    IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=1
+`
+	if got := plan.ExplainQuery(g, q); got != want {
+		t.Errorf("explain mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestAskStopsEarlyAndAgrees(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	for i := 0; i < 100; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)), P: p, O: rdf.Literal("v")})
+	}
+	gp := pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y"))}
+	if !plan.Ask(g, gp) {
+		t.Error("Ask = false on satisfiable pattern")
+	}
+	miss := pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(rdf.IRI("http://e/none")), pattern.V("y"))}
+	if plan.Ask(g, miss) {
+		t.Error("Ask = true on unsatisfiable pattern")
+	}
+}
+
+func TestExecuteQuerySemantics(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s"), P: p, O: rdf.Literal("v")})
+	g.Add(rdf.Triple{S: rdf.Blank("n"), P: p, O: rdf.Literal("w")})
+	q := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+	})
+	if got := plan.ExecuteQuery(g, q).Len(); got != 1 {
+		t.Errorf("Q_D answers = %d, want 1 (blank dropped)", got)
+	}
+	if got := plan.ExecuteQueryStar(g, q).Len(); got != 2 {
+		t.Errorf("Q*_D answers = %d, want 2", got)
+	}
+	want := pattern.EvalQuery(g, q)
+	if !plan.ExecuteQuery(g, q).Equal(want) {
+		t.Error("ExecuteQuery disagrees with pattern.EvalQuery")
+	}
+}
+
+// TestUnionQueriesParallel checks the parallel UCQ union against serial
+// per-branch evaluation, and that repeated runs are deterministic.
+func TestUnionQueriesParallel(t *testing.T) {
+	g := rdf.NewGraph()
+	for i := 0; i < 50; i++ {
+		for b := 0; b < 8; b++ {
+			g.Add(rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+				P: rdf.IRI(fmt.Sprintf("http://e/p%d", b)),
+				O: rdf.IRI(fmt.Sprintf("http://e/o%d", i%5)),
+			})
+		}
+	}
+	var qs []pattern.Query
+	for b := 0; b < 8; b++ {
+		qs = append(qs, pattern.MustQuery([]string{"x", "y"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(rdf.IRI(fmt.Sprintf("http://e/p%d", b))), pattern.V("y")),
+		}))
+	}
+	serial := pattern.NewTupleSet()
+	for _, q := range qs {
+		serial.Merge(plan.ExecuteQuery(g, q))
+	}
+	got := plan.UnionQueries(g, qs, false)
+	if !got.Equal(serial) {
+		t.Fatalf("parallel union = %d tuples, serial = %d", got.Len(), serial.Len())
+	}
+	again := plan.UnionQueries(g, qs, false)
+	if !again.Equal(got) {
+		t.Error("parallel union is not deterministic")
+	}
+}
+
+// TestUnionPlanFormat exercises the node-level UCQ union and the plan
+// formatter: the parallel Union wraps each branch's π·δ plan.
+func TestUnionPlanFormat(t *testing.T) {
+	g := rdf.NewGraph()
+	p0, p1 := rdf.IRI("http://e/p0"), rdf.IRI("http://e/p1")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: p0, O: rdf.Literal("1")})
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: p1, O: rdf.Literal("1")})
+	qs := []pattern.Query{
+		pattern.MustQuery([]string{"x"}, pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(p0), pattern.V("y"))}),
+		pattern.MustQuery([]string{"x"}, pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(p1), pattern.V("y"))}),
+	}
+	n := plan.UnionPlan(g, qs)
+	want := `Distinct
+  Union[parallel branches=2]
+    Distinct
+      Project[?x]
+        IndexScan[?x <http://e/p0> ?y] idx=pos(prefix) est=1
+    Distinct
+      Project[?x]
+        IndexScan[?x <http://e/p1> ?y] idx=pos(prefix) est=1
+`
+	if got := plan.Format(n); got != want {
+		t.Errorf("format mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	// both branches bind the same ?x, so the outer Distinct merges them
+	if rows := plan.Drain(n.Open(g)); len(rows) != 1 {
+		t.Errorf("union rows = %d, want 1", len(rows))
+	}
+}
+
+// TestUnionNode exercises the sequential and parallel Union operators
+// directly, including deterministic branch ordering of the parallel form.
+func TestUnionNode(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	q := rdf.IRI("http://e/q")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: p, O: rdf.Literal("1")})
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/b"), P: q, O: rdf.Literal("2")})
+	children := []plan.Node{
+		&plan.IndexScan{TP: pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y"))},
+		&plan.IndexScan{TP: pattern.TP(pattern.V("x"), pattern.C(q), pattern.V("y"))},
+	}
+	seq := plan.Drain((&plan.Union{Children: children}).Open(g))
+	par := plan.Drain((&plan.Union{Children: children, Parallel: true}).Open(g))
+	if len(seq) != 2 || len(par) != 2 {
+		t.Fatalf("union sizes: seq=%d par=%d, want 2", len(seq), len(par))
+	}
+	for i := range seq {
+		if !sameBindings(seq[i:i+1], par[i:i+1]) {
+			t.Fatalf("parallel union order differs at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestFilterProjectDistinct exercises the σ, π, δ operators composed.
+func TestFilterProjectDistinct(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	for i := 0; i < 6; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: p,
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i%2)),
+		})
+	}
+	keepO0 := func(mu pattern.Binding) bool {
+		return mu["y"] == rdf.IRI("http://e/o0")
+	}
+	n := &plan.Distinct{Child: &plan.Project{
+		Child: &plan.Filter{
+			Child: &plan.IndexScan{TP: pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y"))},
+			Pred:  keepO0, Label: "?y = o0",
+		},
+		Cols: []string{"y"},
+	}}
+	rows := plan.Drain(n.Open(g))
+	if len(rows) != 1 {
+		t.Fatalf("distinct projected rows = %d, want 1: %v", len(rows), rows)
+	}
+	if rows[0]["y"] != rdf.IRI("http://e/o0") {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+// TestPlannedEvalHook verifies the init-time registration: with this
+// package linked, pattern.Eval routes through the installed evaluator.
+func TestPlannedEvalHook(t *testing.T) {
+	marker := []pattern.Binding{{"hook": rdf.Literal("hit")}}
+	pattern.SetPlannedEval(func(*rdf.Graph, pattern.GraphPattern) []pattern.Binding {
+		return marker
+	})
+	defer pattern.SetPlannedEval(plan.Execute)
+	got := pattern.Eval(rdf.NewGraph(), nil)
+	if len(got) != 1 || got[0]["hook"] != rdf.Literal("hit") {
+		t.Fatalf("pattern.Eval did not route through the installed evaluator: %v", got)
+	}
+}
+
+// TestEvalDefaultIsPlanner checks that, as linked in this binary,
+// pattern.Eval and plan.Execute produce identical results (the hook is
+// installed by plan's init).
+func TestEvalDefaultIsPlanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		g, gp := randomCase(rng)
+		if !sameBindings(pattern.Eval(g, gp), plan.Execute(g, gp)) {
+			t.Fatalf("pattern.Eval diverges from plan.Execute on case %d", i)
+		}
+	}
+}

@@ -277,6 +277,31 @@ func (g *Graph) Match(s, p, o *Term, fn func(Triple) bool) {
 	}
 }
 
+// Stats summarises the cardinalities held by the graph's SPO/POS/OSP
+// indexes. The query planner (internal/plan) uses it to estimate how many
+// rows a triple pattern produces once some of its variables are bound: the
+// distinct-count of a position approximates the fan-out per bound value.
+// All fields are maintained incrementally by the indexes, so Stats is O(1).
+type Stats struct {
+	// Triples is the total number of triples (same as Len).
+	Triples int
+	// DistinctSubjects, DistinctPredicates and DistinctObjects count the
+	// distinct terms occurring in each position.
+	DistinctSubjects   int
+	DistinctPredicates int
+	DistinctObjects    int
+}
+
+// Stats returns the graph's cardinality statistics.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Triples:            g.size,
+		DistinctSubjects:   len(g.spo),
+		DistinctPredicates: len(g.pos),
+		DistinctObjects:    len(g.osp),
+	}
+}
+
 // MatchCount returns the number of triples matching the pattern without
 // materialising them. Used by the query planner for cardinality estimates.
 func (g *Graph) MatchCount(s, p, o *Term) int {

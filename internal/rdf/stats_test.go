@@ -1,0 +1,25 @@
+package rdf
+
+import "testing"
+
+func TestStats(t *testing.T) {
+	g := NewGraph()
+	if got := g.Stats(); got != (Stats{}) {
+		t.Fatalf("empty graph stats = %+v", got)
+	}
+	s1, s2 := IRI("http://e/s1"), IRI("http://e/s2")
+	p := IRI("http://e/p")
+	o1, o2 := Literal("a"), Literal("b")
+	g.Add(Triple{S: s1, P: p, O: o1})
+	g.Add(Triple{S: s1, P: p, O: o2})
+	g.Add(Triple{S: s2, P: p, O: o1})
+	want := Stats{Triples: 3, DistinctSubjects: 2, DistinctPredicates: 1, DistinctObjects: 2}
+	if got := g.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	g.Remove(Triple{S: s2, P: p, O: o1})
+	want = Stats{Triples: 2, DistinctSubjects: 1, DistinctPredicates: 1, DistinctObjects: 2}
+	if got := g.Stats(); got != want {
+		t.Fatalf("stats after remove = %+v, want %+v", got, want)
+	}
+}

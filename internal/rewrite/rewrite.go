@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pattern"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 )
 
@@ -96,19 +97,26 @@ func (r *Result) UCQ() []pattern.Query {
 
 // Evaluate evaluates the rewriting over a database (normally the stored
 // database) and returns the union of the disjuncts' certain-answer tuples.
+// The disjuncts are the branches of plan's parallel Union: each is planned
+// and executed on its own goroutine (bounded by GOMAXPROCS) and the
+// per-branch tuple sets merge deterministically in branch order.
 func (r *Result) Evaluate(g *rdf.Graph) *pattern.TupleSet {
+	sets := make([]*pattern.TupleSet, len(r.Disjuncts))
+	plan.Fanout(len(r.Disjuncts), func(i int) {
+		s := pattern.NewTupleSet()
+		evalDisjunct(g, r.Disjuncts[i], s)
+		sets[i] = s
+	})
 	out := pattern.NewTupleSet()
-	for _, d := range r.Disjuncts {
-		evalDisjunct(g, d, out)
+	for _, s := range sets {
+		out.Merge(s)
 	}
 	return out
 }
 
 func evalDisjunct(g *rdf.Graph, d Disjunct, out *pattern.TupleSet) {
 	if len(d.Bound) == 0 {
-		for _, t := range pattern.EvalQuery(g, d.Query).Sorted() {
-			out.Add(t)
-		}
+		out.Merge(plan.ExecuteQuery(g, d.Query))
 		return
 	}
 	// evaluate with the unbound answer variables only, then splice the
@@ -120,7 +128,7 @@ func evalDisjunct(g *rdf.Graph, d Disjunct, out *pattern.TupleSet) {
 		}
 	}
 	inner := pattern.Query{Free: unbound, GP: d.Query.GP}
-	for _, t := range pattern.EvalQuery(g, inner).Sorted() {
+	for _, t := range plan.ExecuteQuery(g, inner).Sorted() {
 		full := make(pattern.Tuple, len(d.Query.Free))
 		j := 0
 		for i, f := range d.Query.Free {
@@ -135,10 +143,12 @@ func evalDisjunct(g *rdf.Graph, d Disjunct, out *pattern.TupleSet) {
 	}
 }
 
-// Ask evaluates a boolean rewriting over a database.
+// Ask evaluates a boolean rewriting over a database. Each disjunct's plan
+// streams, so evaluation stops at the first row of the first satisfiable
+// branch.
 func (r *Result) Ask(g *rdf.Graph) bool {
 	for _, d := range r.Disjuncts {
-		if pattern.Ask(g, d.Query) {
+		if plan.Ask(g, d.Query.GP) {
 			return true
 		}
 	}

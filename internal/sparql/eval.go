@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/pattern"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 )
 
@@ -46,15 +47,17 @@ func (q *Query) Eval(g *rdf.Graph) *Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Key() < res.Rows[j].Key() })
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Compare(res.Rows[j]) < 0 })
 	return res
 }
 
-// evalExpr returns the solution mappings of the expression.
+// evalExpr returns the solution mappings of the expression. BGPs run
+// through the streaming planner, joins between sub-expressions through the
+// algebra's hash join, and FILTER through its σ operator.
 func evalExpr(g *rdf.Graph, e Expr) []pattern.Binding {
 	switch x := e.(type) {
 	case *Group:
-		sols := pattern.Eval(g, x.BGP)
+		sols := plan.Execute(g, x.BGP)
 		for _, child := range x.Children {
 			if opt, ok := child.(*Optional); ok {
 				sols = leftJoin(sols, evalExpr(g, opt.Inner))
@@ -63,29 +66,35 @@ func evalExpr(g *rdf.Graph, e Expr) []pattern.Binding {
 			if len(sols) == 0 {
 				return nil
 			}
-			sols = pattern.Join(sols, evalExpr(g, child))
+			sols = plan.HashJoinBindings(sols, evalExpr(g, child))
 		}
 		if len(x.Filters) > 0 {
-			kept := sols[:0:0]
-			for _, mu := range sols {
-				ok := true
-				for _, f := range x.Filters {
-					if !f.Holds(mu) {
-						ok = false
-						break
+			filters := x.Filters
+			f := &plan.Filter{
+				Child: &plan.Bindings{Rows: sols, Label: "group"},
+				Pred: func(mu pattern.Binding) bool {
+					for _, f := range filters {
+						if !f.Holds(mu) {
+							return false
+						}
 					}
-				}
-				if ok {
-					kept = append(kept, mu)
-				}
+					return true
+				},
+				Label: "FILTER",
 			}
-			sols = kept
+			sols = plan.Drain(f.Open(g))
 		}
 		return sols
 	case *Union:
+		// fan the alternatives out in parallel; appending branch results in
+		// alternative order keeps the bag deterministic
+		results := make([][]pattern.Binding, len(x.Alternatives))
+		plan.Fanout(len(x.Alternatives), func(i int) {
+			results[i] = evalExpr(g, x.Alternatives[i])
+		})
 		var out []pattern.Binding
-		for _, alt := range x.Alternatives {
-			out = append(out, evalExpr(g, alt)...)
+		for _, r := range results {
+			out = append(out, r...)
 		}
 		return out
 	case *Optional:

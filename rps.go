@@ -28,6 +28,18 @@
 // are routed to per-peer SPARQL services by schema and joined at the
 // mediator.
 //
+// Underneath all three strategies and the federated engine sits a single
+// streaming, cost-based query planner and executor (package internal/plan):
+// graph patterns compile into relational-algebra operator trees — index
+// scans, index nested-loop and hash joins, projection, duplicate
+// elimination, filters and (parallel) unions — realised as pull iterators
+// over the graph's SPO/POS/OSP indexes, with join orders chosen from the
+// indexes' cardinality statistics (Graph.Stats). The UCQ branches a
+// rewriting produces evaluate as a parallel union across goroutines with a
+// deterministic, deduplicated merge. ExplainQuery (and rpsquery -explain)
+// renders the chosen plan; see internal/plan's package documentation for
+// the operator algebra and the cost model.
+//
 // Quick start:
 //
 //	sys := rps.NewSystem()
@@ -50,6 +62,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/pattern"
 	"repro/internal/peer"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/rewrite"
 	"repro/internal/simnet"
@@ -125,6 +138,21 @@ var (
 	EvalQuery = pattern.EvalQuery
 	// EvalQueryStar computes Q*_D (blank nodes included).
 	EvalQueryStar = pattern.EvalQueryStar
+)
+
+// Query planning and execution (package internal/plan). Linking this
+// package installs the planner as the default evaluator behind EvalQuery
+// and every answering strategy.
+var (
+	// ExecutePattern evaluates ⟦GP⟧_D through the streaming planner.
+	ExecutePattern = plan.Execute
+	// ExplainPattern renders the execution plan of a graph pattern.
+	ExplainPattern = plan.Explain
+	// ExplainQuery renders the execution plan of a graph pattern query,
+	// including projection and duplicate elimination.
+	ExplainQuery = plan.ExplainQuery
+	// UnionQueries evaluates a UCQ as a parallel union of per-branch plans.
+	UnionQueries = plan.UnionQueries
 )
 
 // RDF Peer Systems (package internal/core, Section 2.2).
