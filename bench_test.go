@@ -6,6 +6,8 @@ package rps_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -390,6 +392,9 @@ func BenchmarkPlanVsNaive(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("ucq/branches=%d/parallel", branches), func(b *testing.B) {
+			if runtime.GOMAXPROCS(0) <= 1 {
+				b.Skip("parallel union degrades to serial with GOMAXPROCS=1; the numbers would be misleading (re-run with -cpu 4)")
+			}
 			for i := 0; i < b.N; i++ {
 				plan.UnionQueries(g, qs, false)
 			}
@@ -667,4 +672,132 @@ func BenchmarkAblation_Incremental(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchSink defeats dead-code elimination in the read benchmarks.
+var benchSink int
+
+// shardedReadGraph loads n triples over 3000 subjects and 7 predicates
+// into a store with the given shard count.
+func shardedReadGraph(shards, n int) (*rdf.Graph, []rdf.Term) {
+	g := rdf.NewGraphSharded(shards)
+	ts := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i%3000)),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", i%7)),
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i)),
+		})
+	}
+	g.AddAll(ts)
+	subjects := make([]rdf.Term, 3000)
+	for i := range subjects {
+		subjects[i] = rdf.IRI(fmt.Sprintf("http://e/s%d", i))
+	}
+	return g, subjects
+}
+
+// BenchmarkShardedRead measures concurrent read throughput on the sharded
+// store: every benchmark goroutine issues subject-bound index probes (the
+// executor's hot path). Run with -cpu 1,4 to see read scaling; the
+// shards=1 variant is the contention baseline.
+func BenchmarkShardedRead(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			g, subjects := shardedReadGraph(shards, 30000)
+			var rows atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i, n := 0, 0
+				for pb.Next() {
+					s := subjects[i%len(subjects)]
+					i++
+					g.Match(&s, nil, nil, func(rdf.Triple) bool { n++; return true })
+				}
+				rows.Add(int64(n))
+			})
+			benchSink += int(rows.Load())
+		})
+	}
+}
+
+// BenchmarkConcurrentLoad measures bulk-load throughput: AddAll fans the
+// batch out across the shards when more than one CPU is available, so
+// -cpu 1,4 shows write scaling. shards=1 pins the serial baseline.
+func BenchmarkConcurrentLoad(b *testing.B) {
+	const n = 50000
+	ts := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i%10000)),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", i%17)),
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i%5000)),
+		})
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := rdf.NewGraphSharded(shards)
+				if g.AddAll(ts) != n {
+					b.Fatal("short load")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFanoutScan compares the sequential and cross-shard parallel
+// forms of a big object-bound scan — the access path whose OSP partition
+// spans every shard.
+func BenchmarkFanoutScan(b *testing.B) {
+	g := rdf.NewGraphSharded(8)
+	hub := rdf.IRI("http://e/hub")
+	ts := make([]rdf.Triple, 0, 80000)
+	for i := 0; i < 80000; i++ {
+		ts = append(ts, rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", i%11)),
+			O: hub,
+		})
+	}
+	g.AddAll(ts)
+	tp := pattern.TP(pattern.V("s"), pattern.V("p"), pattern.C(hub))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rows := len(plan.Drain((&plan.IndexScan{TP: tp}).Open(g))); rows != 80000 {
+				b.Fatalf("rows = %d", rows)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		if runtime.GOMAXPROCS(0) <= 1 {
+			b.Skip("fan-out scan degrades to serial with GOMAXPROCS=1; the numbers would be misleading (re-run with -cpu 4)")
+		}
+		sc := &plan.IndexScan{TP: tp, Fanout: g.ShardCount()}
+		for i := 0; i < b.N; i++ {
+			if rows := len(plan.Drain(sc.Open(g))); rows != 80000 {
+				b.Fatalf("rows = %d", rows)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCache pins the win of the shape-keyed plan cache on the
+// chase-style workload: re-planning the same 3-pattern shape repeatedly.
+func BenchmarkPlanCache(b *testing.B) {
+	g, gp := chainShape()
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			plan.SetCacheEnabled(enabled)
+			defer plan.SetCacheEnabled(true)
+			plan.FlushCache()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(plan.Execute(g, gp))
+			}
+		})
+	}
 }

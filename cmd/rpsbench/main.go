@@ -23,15 +23,18 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/rdf"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		which = flag.String("e", "all", "comma-separated experiment ids (e1..e8, a1..a4) or 'all'")
-		quick = flag.Bool("quick", false, "use smaller problem sizes")
+		which  = flag.String("e", "all", "comma-separated experiment ids (e1..e8, a1..a4) or 'all'")
+		quick  = flag.Bool("quick", false, "use smaller problem sizes")
+		shards = flag.Int("shards", 0, "graph store shard count (0 = one per CPU)")
 	)
 	flag.Parse()
+	rdf.SetDefaultShardCount(*shards)
 	if err := run(os.Stdout, *which, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "rpsbench:", err)
 		os.Exit(1)

@@ -27,8 +27,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/mapfile"
-	"repro/internal/peer"
 	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
@@ -56,18 +57,20 @@ func main() {
 	var (
 		systemPath = flag.String("system", "", "path to the system.rps file (required)")
 		listen     = flag.String("listen", ":8080", "listen address")
+		shards     = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
 	)
 	flag.Parse()
 	if *systemPath == "" {
 		fmt.Fprintln(os.Stderr, "rpsd: -system is required")
 		os.Exit(1)
 	}
+	rdf.SetDefaultShardCount(*shards)
 	mux, n, err := buildMux(*systemPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpsd:", err)
 		os.Exit(1)
 	}
-	log.Printf("rpsd: serving %d peers on %s", n, *listen)
+	log.Printf("rpsd: serving %d peers on %s (%d-shard graph stores)", n, *listen, rdf.DefaultShardCount())
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }
 

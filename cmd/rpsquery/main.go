@@ -43,8 +43,10 @@ func main() {
 		noRedund   = flag.Bool("no-redundancy", false, "collapse sameAs-equivalent answers (chase mode)")
 		maxDepth   = flag.Int("max-depth", 0, "bound rewriting depth (0 = library default)")
 		explain    = flag.Bool("explain", false, "print the execution plan(s) instead of answering")
+		shards     = flag.Int("shards", 0, "graph store shard count (0 = one per CPU)")
 	)
 	flag.Parse()
+	rdf.SetDefaultShardCount(*shards)
 	if *explain {
 		if *stats || *noRedund {
 			fmt.Fprintln(os.Stderr, "rpsquery: -stats and -no-redundancy are ignored with -explain")

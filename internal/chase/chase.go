@@ -12,6 +12,11 @@
 // triple can match one of their body patterns. Both produce universal
 // solutions with identical certain answers.
 //
+// With Options.Parallel the read phase of each round — the applicability
+// queries of every graph mapping assertion — fans out across goroutines
+// over the sharded, concurrency-safe store (internal/rdf), while triple
+// instantiation stays serial; certain answers are unchanged.
+//
 // Two equivalence strategies are provided: EquivCopy materialises the
 // copy rules of Section 3 exactly (producing the redundancy visible in
 // Listing 1), while EquivCanonical collapses each ≡ₑ-class to a canonical
@@ -56,6 +61,15 @@ const (
 type Options struct {
 	Mode  Mode
 	Equiv EquivStrategy
+	// Parallel evaluates the read phase of each chase round concurrently:
+	// the applicability queries of all graph mapping assertions run as a
+	// fan-out over the (concurrency-safe, sharded) universal solution, and
+	// only the instantiation of missing tuples is serialised. The certain
+	// answers are identical to a serial run; the firing statistics and the
+	// labelled nulls allocated may differ, because mappings no longer
+	// observe the triples added by earlier mappings of the same round
+	// (Jacobi- rather than Gauss-Seidel-style rounds).
+	Parallel bool
 	// MaxRounds bounds fixpoint rounds as a safety net; 0 means 1<<20.
 	// The chase of an RPS always terminates (Theorem 1), so hitting the
 	// bound indicates a bug and returns an error.
@@ -214,11 +228,38 @@ func (u *Universal) freshBlank() rdf.Term {
 // assertion: for each tuple in Q_J \ Q'_J, instantiate Q' with the tuple
 // and fresh blanks. Returns the triples added.
 func (u *Universal) applyGMA(m core.GraphMappingAssertion) []rdf.Triple {
+	to, missing := u.gmaMissing(m, u.opts.Parallel)
+	return u.fireGMA(m, to, missing)
+}
+
+// gmaMissing is the read phase of a chase step: it evaluates Q_J and Q'_J
+// (concurrently when concurrentEval is set) and returns the canonicalised
+// target query with the tuples whose Q' instances are missing. It does not
+// mutate the universal solution, so it is safe to fan out across mappings;
+// callers already fanning out across mappings pass concurrentEval=false to
+// avoid oversubscribing the worker pool with nested fan-outs.
+func (u *Universal) gmaMissing(m core.GraphMappingAssertion, concurrentEval bool) (pattern.Query, []pattern.Tuple) {
 	from := u.canonicalQuery(m.From)
 	to := u.canonicalQuery(m.To)
-	qj := plan.ExecuteQuery(u.Graph, from)
-	qpj := plan.ExecuteQuery(u.Graph, to)
-	missing := qj.Minus(qpj)
+	var qj, qpj *pattern.TupleSet
+	if concurrentEval {
+		plan.Fanout(2, func(i int) {
+			if i == 0 {
+				qj = plan.ExecuteQuery(u.Graph, from)
+			} else {
+				qpj = plan.ExecuteQuery(u.Graph, to)
+			}
+		})
+	} else {
+		qj = plan.ExecuteQuery(u.Graph, from)
+		qpj = plan.ExecuteQuery(u.Graph, to)
+	}
+	return to, qj.Minus(qpj)
+}
+
+// fireGMA is the write phase: it instantiates Q' with each missing tuple
+// and fresh labelled nulls. Always serial.
+func (u *Universal) fireGMA(m core.GraphMappingAssertion, to pattern.Query, missing []pattern.Tuple) []rdf.Triple {
 	var added []rdf.Triple
 	for _, t := range missing {
 		bq, err := to.Substitute(t)
@@ -282,9 +323,26 @@ func (u *Universal) runNaive(opts Options) error {
 		}
 		u.Stats.Rounds++
 		changed := false
-		for _, m := range u.sys.G {
-			if len(u.applyGMA(m)) > 0 {
-				changed = true
+		if u.opts.Parallel && len(u.sys.G) > 1 {
+			// Jacobi-style round: every mapping's applicability queries run
+			// against the round-start state concurrently, then the missing
+			// tuples are instantiated serially in mapping order (keeping
+			// null allocation deterministic for a given round state).
+			tos := make([]pattern.Query, len(u.sys.G))
+			missing := make([][]pattern.Tuple, len(u.sys.G))
+			plan.Fanout(len(u.sys.G), func(i int) {
+				tos[i], missing[i] = u.gmaMissing(u.sys.G[i], false)
+			})
+			for i, m := range u.sys.G {
+				if len(u.fireGMA(m, tos[i], missing[i])) > 0 {
+					changed = true
+				}
+			}
+		} else {
+			for _, m := range u.sys.G {
+				if len(u.applyGMA(m)) > 0 {
+					changed = true
+				}
 			}
 		}
 		if u.equiv == EquivCopy {

@@ -56,6 +56,37 @@ func TestListing1Reproduction(t *testing.T) {
 	}
 }
 
+// TestParallelChaseMatchesSerial: with Options.Parallel the applicability
+// queries of each round fan out over the sharded store; the certain answers
+// (and the solution property) must be identical to a serial run in every
+// scheduling mode and equivalence strategy.
+func TestParallelChaseMatchesSerial(t *testing.T) {
+	q := workload.Example1Query()
+	for _, opts := range allModes() {
+		t.Run(modeName(opts), func(t *testing.T) {
+			serial, err := chase.Run(workload.Figure1System(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := opts
+			par.Parallel = true
+			sys := workload.Figure1System()
+			parallel, err := chase.Run(sys, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := parallel.CertainAnswers(q), serial.CertainAnswers(q); !got.Equal(want) {
+				t.Errorf("parallel chase answers:\n got %v\nwant %v", got.Sorted(), want.Sorted())
+			}
+			if par.Equiv == chase.EquivCopy {
+				if viol := sys.CheckSolution(parallel.Graph); len(viol) != 0 {
+					t.Errorf("parallel universal solution violates Definition 2: %v", viol)
+				}
+			}
+		})
+	}
+}
+
 // Listing 1's "result without redundancy": one representative per sameAs
 // class.
 func TestListing1NoRedundancy(t *testing.T) {

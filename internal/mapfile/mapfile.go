@@ -22,7 +22,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/pattern"
@@ -31,7 +34,62 @@ import (
 	"repro/internal/turtle"
 )
 
-// Load reads a system file and its referenced Turtle data files.
+// pendingLoad is one peer data file queued for parallel reading and
+// parsing. The namespace table is snapshotted at the peer's line, so
+// prefix directives keep their line-ordered semantics.
+type pendingLoad struct {
+	name, path string
+	lineNo     int
+	ns         *rdf.Namespaces
+	g          *rdf.Graph
+	err        error
+}
+
+func (pl *pendingLoad) load() {
+	data, err := os.ReadFile(pl.path)
+	if err != nil {
+		pl.err = err
+		return
+	}
+	pl.g, pl.err = turtle.NewParser(string(data), pl.ns).ParseGraph()
+}
+
+// loadPeerGraphs reads and parses the queued data files across a
+// GOMAXPROCS-bounded worker pool. Turtle parsing dominates system load
+// time and is embarrassingly parallel per peer.
+func loadPeerGraphs(pending []*pendingLoad) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for _, pl := range pending {
+			pl.load()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pending) {
+					return
+				}
+				pending[i].load()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Load reads a system file and its referenced Turtle data files. Peer data
+// files are parsed in parallel; every directive that can observe peer data
+// (gma, schema, eq, sameas) still sees all previously declared peers fully
+// loaded, in declaration order.
 func Load(path string) (*core.System, *rdf.Namespaces, error) {
 	text, err := os.ReadFile(path)
 	if err != nil {
@@ -41,6 +99,24 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 	sys := core.NewSystem()
 	ns := rdf.NewNamespaces()
 	harvest := false
+
+	var pending []*pendingLoad
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		loadPeerGraphs(pending)
+		for _, pl := range pending {
+			if pl.err != nil {
+				return fmt.Errorf("mapfile: %s:%d: peer %s: %v", path, pl.lineNo, pl.name, pl.err)
+			}
+			if err := sys.AddPeer(pl.name).Load(pl.g); err != nil {
+				return fmt.Errorf("mapfile: %s:%d: peer %s: %v", path, pl.lineNo, pl.name, err)
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
 
 	for lineNo, raw := range strings.Split(string(text), "\n") {
 		line := strings.TrimSpace(raw)
@@ -67,19 +143,13 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 			if !filepath.IsAbs(dataPath) {
 				dataPath = filepath.Join(dir, dataPath)
 			}
-			data, err := os.ReadFile(dataPath)
-			if err != nil {
-				return nil, nil, errf("peer %s: %v", name, err)
-			}
-			g, err := turtle.NewParser(string(data), ns.Clone()).ParseGraph()
-			if err != nil {
-				return nil, nil, errf("peer %s: %v", name, err)
-			}
-			p := sys.AddPeer(name)
-			if err := p.Load(g); err != nil {
-				return nil, nil, errf("peer %s: %v", name, err)
-			}
+			pending = append(pending, &pendingLoad{
+				name: name, path: dataPath, lineNo: lineNo + 1, ns: ns.Clone(),
+			})
 		case "gma":
+			if err := flush(); err != nil {
+				return nil, nil, err
+			}
 			rest := strings.TrimSpace(line[len("gma"):])
 			colon := strings.Index(rest, ":")
 			if colon < 0 {
@@ -109,6 +179,9 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 				return nil, nil, errf("%v", err)
 			}
 		case "schema":
+			if err := flush(); err != nil {
+				return nil, nil, err
+			}
 			if len(fields) < 3 {
 				return nil, nil, errf("schema needs: schema peer <iri>...")
 			}
@@ -124,6 +197,9 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 				p.Schema().Add(t)
 			}
 		case "eq":
+			if err := flush(); err != nil {
+				return nil, nil, err
+			}
 			if len(fields) != 3 {
 				return nil, nil, errf("eq needs two IRIs")
 			}
@@ -146,6 +222,9 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 		default:
 			return nil, nil, errf("unknown directive %q", fields[0])
 		}
+	}
+	if err := flush(); err != nil {
+		return nil, nil, err
 	}
 	if harvest {
 		sys.HarvestSameAs()

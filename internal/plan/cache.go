@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// The plan cache memoises join orders by pattern *shape*: the structure of
+// a graph pattern with every constant abstracted away, plus the identity
+// and size bucket of the graph it was planned against. The chase
+// re-evaluates the same mapping bodies (and per-delta instantiations of
+// them, which differ only in constants) thousands of times per run; a
+// shape hit skips the MatchCount probes and the O(n²) greedy pick loop and
+// replays the recorded order over the concrete patterns.
+//
+// Caching an *order* rather than an operator tree keeps hits sound: the
+// rebuilt tree carries the actual constants of the pattern at hand, and
+// operator choice (index nested loop vs hash join) is re-derived from the
+// variable-sharing structure, which the shape fully determines. The size
+// bucket (log₂ of the triple count) expires entries as the graph grows, so
+// join orders re-optimise once the data roughly doubles.
+
+// cacheMaxEntries bounds the cache; on overflow the whole map is dropped
+// (shapes are few and cheap to recompute, so LRU bookkeeping isn't worth
+// it).
+const cacheMaxEntries = 4096
+
+// cacheMinPatterns skips caching for patterns with no ordering decision.
+const cacheMinPatterns = 2
+
+type cacheEntry struct {
+	// order is the leaf-to-root sequence of pattern indexes the greedy
+	// planner chose.
+	order []int
+	// ests are the cardinality estimates recorded per step, reused for
+	// EXPLAIN output on hits.
+	ests []float64
+}
+
+var planCache = struct {
+	sync.Mutex
+	m map[string]cacheEntry
+}{m: make(map[string]cacheEntry)}
+
+var (
+	cacheEnabled atomic.Bool
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+)
+
+func init() { cacheEnabled.Store(true) }
+
+// SetCacheEnabled toggles the plan cache (for benchmarks and ablations).
+func SetCacheEnabled(on bool) { cacheEnabled.Store(on) }
+
+// CacheStats returns the plan cache's cumulative hit and miss counters.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// FlushCache empties the plan cache and resets its counters.
+func FlushCache() {
+	planCache.Lock()
+	planCache.m = make(map[string]cacheEntry)
+	planCache.Unlock()
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}
+
+// cacheKey renders the shape of gp scoped to the graph's identity and size
+// bucket. Variables keep their names (they determine join structure);
+// constants collapse to a placeholder.
+func cacheKey(g *rdf.Graph, gp pattern.GraphPattern) string {
+	var b strings.Builder
+	b.Grow(16 + len(gp)*12)
+	writeUint(&b, g.ID())
+	b.WriteByte('/')
+	writeUint(&b, uint64(bits.Len(uint(g.Len()))))
+	for _, tp := range gp {
+		b.WriteByte('|')
+		for _, e := range tp.Elems() {
+			if e.IsVar() {
+				b.WriteByte('?')
+				b.WriteString(e.Var())
+			} else {
+				b.WriteByte('#')
+			}
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func writeUint(b *strings.Builder, v uint64) {
+	if v >= 10 {
+		writeUint(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}
+
+func cacheLookup(key string) (cacheEntry, bool) {
+	planCache.Lock()
+	ent, ok := planCache.m[key]
+	planCache.Unlock()
+	if ok {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
+	return ent, ok
+}
+
+func cacheStore(key string, ent cacheEntry) {
+	planCache.Lock()
+	if len(planCache.m) >= cacheMaxEntries {
+		planCache.m = make(map[string]cacheEntry)
+	}
+	planCache.m[key] = ent
+	planCache.Unlock()
+}

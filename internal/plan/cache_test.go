@@ -1,0 +1,162 @@
+package plan_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+)
+
+func cacheDelta(f func()) (hits, misses uint64) {
+	h0, m0 := plan.CacheStats()
+	f()
+	h1, m1 := plan.CacheStats()
+	return h1 - h0, m1 - m0
+}
+
+// TestPlanCacheHitsAndCorrectness: re-planning the same shape hits the
+// cache, same-shape patterns with different constants share the join order,
+// and cached executions agree with the naive oracle.
+func TestPlanCacheHitsAndCorrectness(t *testing.T) {
+	plan.FlushCache()
+	g := rdf.NewGraph()
+	common, rare := rdf.IRI("http://e/common"), rdf.IRI("http://e/rare")
+	for i := 0; i < 300; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: common,
+			O: rdf.IRI(fmt.Sprintf("http://e/o%d", i%7)),
+		})
+	}
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s1"), P: rare, O: rdf.Literal("t")})
+
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(common), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(rare), pattern.V("z")),
+	}
+	var first, second []pattern.Binding
+	if h, m := cacheDelta(func() { first = plan.Execute(g, gp) }); h != 0 || m != 1 {
+		t.Fatalf("first plan: hits=%d misses=%d, want 0/1", h, m)
+	}
+	if h, m := cacheDelta(func() { second = plan.Execute(g, gp) }); h != 1 || m != 0 {
+		t.Fatalf("second plan: hits=%d misses=%d, want 1/0", h, m)
+	}
+	if !sameBindings(first, second) {
+		t.Fatal("cached plan changed the result")
+	}
+	if !sameBindings(second, pattern.EvalNaive(g, gp)) {
+		t.Fatal("cached plan disagrees with the naive oracle")
+	}
+
+	// same shape, different constants (the chase's per-delta instantiation
+	// pattern): hits the shape entry and stays correct
+	gp2 := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(rare), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(common), pattern.V("z")),
+	}
+	var got []pattern.Binding
+	if h, m := cacheDelta(func() { got = plan.Execute(g, gp2) }); h != 1 || m != 0 {
+		t.Fatalf("same-shape plan: hits=%d misses=%d, want 1/0", h, m)
+	}
+	if !sameBindings(got, pattern.EvalNaive(g, gp2)) {
+		t.Fatal("shape-shared plan disagrees with the naive oracle")
+	}
+}
+
+// TestPlanCacheSizeBucketInvalidation: once the graph roughly doubles, the
+// cached order expires and the shape is re-planned.
+func TestPlanCacheSizeBucketInvalidation(t *testing.T) {
+	plan.FlushCache()
+	g := rdf.NewGraph()
+	p, q := rdf.IRI("http://e/p"), rdf.IRI("http://e/q")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: p, O: rdf.Literal("1")})
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: q, O: rdf.Literal("1")})
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(q), pattern.V("z")),
+	}
+	if h, m := cacheDelta(func() { plan.Execute(g, gp) }); h != 0 || m != 1 {
+		t.Fatalf("initial: hits=%d misses=%d", h, m)
+	}
+	for i := 0; i < 40; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/b%d", i)), P: p, O: rdf.Literal("2")})
+	}
+	if h, m := cacheDelta(func() { plan.Execute(g, gp) }); h != 0 || m != 1 {
+		t.Fatalf("after growth: hits=%d misses=%d, want a fresh plan (0/1)", h, m)
+	}
+}
+
+// TestPlanCacheDisabled: with the cache off the counters do not move.
+func TestPlanCacheDisabled(t *testing.T) {
+	plan.SetCacheEnabled(false)
+	defer plan.SetCacheEnabled(true)
+	g := rdf.NewGraph()
+	p, q := rdf.IRI("http://e/p"), rdf.IRI("http://e/q")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: p, O: rdf.Literal("1")})
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: q, O: rdf.Literal("1")})
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(q), pattern.V("z")),
+	}
+	if h, m := cacheDelta(func() { plan.Execute(g, gp); plan.Execute(g, gp) }); h != 0 || m != 0 {
+		t.Fatalf("disabled cache moved counters: hits=%d misses=%d", h, m)
+	}
+}
+
+// TestExplainNotesCachedPlan: the second EXPLAIN of a shape carries the
+// cached-plan marker line (the -explain satellite of the plan cache).
+func TestExplainNotesCachedPlan(t *testing.T) {
+	plan.FlushCache()
+	g := rdf.NewGraph()
+	p, q := rdf.IRI("http://e/p"), rdf.IRI("http://e/q")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: p, O: rdf.Literal("1")})
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/a"), P: q, O: rdf.Literal("1")})
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(q), pattern.V("z")),
+	}
+	if out := plan.Explain(g, gp); strings.Contains(out, "cached") {
+		t.Fatalf("first explain should not be cached:\n%s", out)
+	}
+	out := plan.Explain(g, gp)
+	if !strings.HasPrefix(out, "-- plan: cached (shape hit)\n") {
+		t.Fatalf("second explain lacks the cached marker:\n%s", out)
+	}
+	// single-pattern plans have no ordering decision and skip the cache
+	single := pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y"))}
+	plan.Explain(g, single)
+	if out := plan.Explain(g, single); strings.Contains(out, "cached") {
+		t.Fatalf("single-pattern plan should not be cached:\n%s", out)
+	}
+}
+
+// TestFanoutScanMatchesSequential: a cross-shard fan-out scan produces the
+// same binding multiset as the sequential scan of the same pattern.
+func TestFanoutScanMatchesSequential(t *testing.T) {
+	g := rdf.NewGraphSharded(8)
+	hub := rdf.IRI("http://e/hub")
+	for i := 0; i < 5000; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", i%11)),
+			O: hub,
+		})
+	}
+	tp := pattern.TP(pattern.V("s"), pattern.V("p"), pattern.C(hub))
+	seq := plan.Drain((&plan.IndexScan{TP: tp}).Open(g))
+	par := plan.Drain((&plan.IndexScan{TP: tp, Fanout: g.ShardCount()}).Open(g))
+	if len(seq) != 5000 || !sameBindings(seq, par) {
+		t.Fatalf("fanout scan: %d rows vs %d sequential", len(par), len(seq))
+	}
+	// the planner marks big cross-shard scans for fan-out (needs >1 CPU)
+	if runtime.GOMAXPROCS(0) > 1 {
+		out := plan.Explain(g, pattern.GraphPattern{tp})
+		if !strings.Contains(out, "fanout=8") {
+			t.Fatalf("planner did not mark the scan for fan-out:\n%s", out)
+		}
+	}
+}

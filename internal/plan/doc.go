@@ -12,7 +12,11 @@
 // without materialising intermediate Ω sets:
 //
 //   - IndexScan      leaf access path: one triple pattern matched against
-//     the best of the graph's SPO/POS/OSP indexes.
+//     the best of the graph's SPO/POS/OSP indexes. When the chosen index
+//     partition spans the store's shards (object-only and unconstrained
+//     scans over a sharded graph) and the estimated extension is large, the
+//     planner marks the scan for fan-out: the shards drain concurrently
+//     through rdf.Graph.MatchShard and merge in shard order.
 //   - IndexNestedLoopJoin    ⋈ of a child stream with a triple pattern:
 //     each child binding instantiates the pattern and probes the index.
 //     Only the matches of one instantiated pattern are buffered at a time.
@@ -37,12 +41,33 @@
 //	est(tp) = MatchCount(constants of tp) / Π distinct(position)
 //
 // where the product ranges over the pattern's variable positions already
-// bound by earlier operators, and distinct(position) is the corresponding
-// field of rdf.Stats (distinct subjects, predicates or objects). The
+// bound by earlier operators. For a pattern with a constant predicate,
+// distinct(position) comes from that predicate's own statistics
+// (rdf.Graph.PredStats: distinct subjects and objects of its extension,
+// maintained incrementally in its POS shard); the global distinct counts of
+// rdf.Stats remain the fallback when the predicate is a variable. The
 // MatchCount numerator is exact — it is read off the index without
 // materialisation — and the denominator approximates per-value fan-out.
 // A pattern that can never match (count 0) is scheduled first so execution
 // short-circuits. Ties break on textual order, keeping plans deterministic.
+//
+// # Sharded store and plan cache
+//
+// The store underneath (internal/rdf) partitions its SPO/OSP indexes by
+// subject hash and its POS index by predicate hash, each shard behind its
+// own read-write lock, so scans, chase rounds and bulk loads proceed in
+// parallel. The planner is shard-aware at two points: leaf scans whose
+// access path spans shards fan out (above), and per-predicate cardinalities
+// are read from the POS shards (the cost model, above).
+//
+// Join orders are memoised in a process-wide plan cache keyed by pattern
+// *shape* — the pattern structure with constants abstracted — plus the
+// graph's identity and log₂-size bucket. The chase re-plans the same
+// mapping bodies (and per-delta instantiations differing only in constants)
+// thousands of times; a shape hit replays the recorded join order over the
+// concrete patterns, skipping the index probes and the greedy pick loop.
+// Entries expire when the graph roughly doubles. CacheStats exposes the
+// hit/miss counters and Explain prefixes cached plans with a marker line.
 //
 // # How the answering strategies map onto the algebra
 //

@@ -77,16 +77,26 @@ func appendMatches(dst []pattern.Binding, g *rdf.Graph, tp pattern.TriplePattern
 
 // IndexScan is the leaf access path: one triple pattern matched against the
 // best of the graph's SPO/POS/OSP indexes, streamed without materialising
-// the extension.
+// the extension. When the planner marks Fanout > 0 the pattern's index
+// partition spans every shard (object-only or unconstrained scans) and the
+// scan drains the shards concurrently instead, merging buffered per-shard
+// results in shard order — deterministic up to the store's (unspecified)
+// within-shard iteration order, exactly like the sequential scan.
 type IndexScan struct {
 	TP pattern.TriplePattern
 	// Est is the planner's cardinality estimate, kept for EXPLAIN output.
 	Est float64
+	// Fanout is the shard count to scan in parallel; 0 streams
+	// sequentially through rdf.Graph.Match.
+	Fanout int
 }
 
 func (s *IndexScan) Vars() []string { return s.TP.Vars() }
 
 func (s *IndexScan) Open(g *rdf.Graph) Iterator {
+	if s.Fanout > 1 && g.ShardCount() > 1 {
+		return s.openFanout(g)
+	}
 	seq := func(yield func(pattern.Binding) bool) {
 		sp, pp, op := matchArgs(s.TP)
 		g.Match(sp, pp, op, func(t rdf.Triple) bool {
@@ -101,6 +111,28 @@ func (s *IndexScan) Open(g *rdf.Graph) Iterator {
 	return &scanIter{next: next, stop: stop}
 }
 
+// openFanout drains every shard's partition of the scan concurrently
+// (bounded by Fanout, the parallel-union worker machinery underneath) and
+// replays the buffers in shard order.
+func (s *IndexScan) openFanout(g *rdf.Graph) Iterator {
+	n := g.ShardCount()
+	bufs := make([][]pattern.Binding, n)
+	sp, pp, op := matchArgs(s.TP)
+	Fanout(n, func(i int) {
+		g.MatchShard(i, sp, pp, op, func(t rdf.Triple) bool {
+			if mu, ok := pattern.BindTriple(s.TP, t); ok {
+				bufs[i] = append(bufs[i], mu)
+			}
+			return true
+		})
+	})
+	var rows []pattern.Binding
+	for _, b := range bufs {
+		rows = append(rows, b...)
+	}
+	return &sliceIter{rows: rows}
+}
+
 type scanIter struct {
 	next func() (pattern.Binding, bool)
 	stop func()
@@ -111,7 +143,11 @@ func (it *scanIter) Close()                        { it.stop() }
 
 func (s *IndexScan) format(b *strings.Builder, depth int) {
 	indent(b, depth)
-	fmt.Fprintf(b, "IndexScan[%s] idx=%s est=%s\n", s.TP, accessPath(s.TP, nil), fmtEst(s.Est))
+	fmt.Fprintf(b, "IndexScan[%s] idx=%s est=%s", s.TP, accessPath(s.TP, nil), fmtEst(s.Est))
+	if s.Fanout > 1 {
+		fmt.Fprintf(b, " fanout=%d", s.Fanout)
+	}
+	b.WriteByte('\n')
 }
 
 // ---------------------------------------------------- IndexNestedLoopJoin

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"runtime"
 	"strings"
 
 	"repro/internal/pattern"
@@ -13,22 +14,46 @@ import (
 // next — by index nested loop when it shares a variable with the rows
 // produced so far, by hash join (buffered cross product) when it does not.
 // Ties break on textual order, so plans are deterministic.
+//
+// Join orders are memoised in a shape-keyed plan cache (see cache.go); a
+// hit replays the recorded order over the concrete patterns without
+// re-probing the indexes.
 func Plan(g *rdf.Graph, gp pattern.GraphPattern) Node {
+	n, _ := planWithInfo(g, gp)
+	return n
+}
+
+// planWithInfo is Plan, additionally reporting whether the join order came
+// from the plan cache.
+func planWithInfo(g *rdf.Graph, gp pattern.GraphPattern) (Node, bool) {
 	if len(gp) == 0 {
-		return Unit{}
+		return Unit{}, false
 	}
-	st := g.Stats()
+	useCache := cacheEnabled.Load() && len(gp) >= cacheMinPatterns
+	var key string
+	if useCache {
+		key = cacheKey(g, gp)
+		if ent, ok := cacheLookup(key); ok {
+			return rebuild(g, gp, ent), true
+		}
+	}
+
+	st := newStatsCtx(g)
 	remaining := make([]pattern.TriplePattern, len(gp))
 	copy(remaining, gp)
+	idx := make([]int, len(gp))
 	// The MatchCount base of each pattern depends only on its constants,
 	// not on the bound set, so count once up front: re-counting per pick
 	// round would walk index prefixes O(n²) times, which matters on the
 	// chase's per-triple re-planning path.
 	bases := make([]float64, len(remaining))
 	for i, tp := range remaining {
+		idx[i] = i
 		bases[i] = float64(g.MatchCount(matchArgs(tp)))
 	}
 	bound := make(map[string]bool)
+	var order []int
+	var ests []float64
 
 	pick := func() (pattern.TriplePattern, float64) {
 		best, bestEst := 0, estimateRows(st, remaining[0], bases[0], bound)
@@ -38,8 +63,11 @@ func Plan(g *rdf.Graph, gp pattern.GraphPattern) Node {
 			}
 		}
 		tp := remaining[best]
+		order = append(order, idx[best])
+		ests = append(ests, bestEst)
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		bases = append(bases[:best], bases[best+1:]...)
+		idx = append(idx[:best], idx[best+1:]...)
 		for _, v := range tp.Vars() {
 			bound[v] = true
 		}
@@ -47,17 +75,67 @@ func Plan(g *rdf.Graph, gp pattern.GraphPattern) Node {
 	}
 
 	tp, est := pick()
-	var root Node = &IndexScan{TP: tp, Est: est}
+	var root Node = leafScan(g, tp, est)
 	for len(remaining) > 0 {
 		before := snapshot(bound)
 		tp, est := pick()
 		if sharesVar(tp, before) {
 			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
 		} else {
-			root = &HashJoin{Left: root, Right: &IndexScan{TP: tp, Est: est}}
+			root = &HashJoin{Left: root, Right: leafScan(g, tp, est)}
+		}
+	}
+	if useCache {
+		cacheStore(key, cacheEntry{order: order, ests: ests})
+	}
+	return root, false
+}
+
+// rebuild replays a cached join order over the concrete patterns of gp.
+// Operator choice is re-derived from the variable-sharing structure (which
+// the shape key fully determines), so the resulting tree is exactly what
+// the greedy planner would build given that order.
+func rebuild(g *rdf.Graph, gp pattern.GraphPattern, ent cacheEntry) Node {
+	bound := make(map[string]bool)
+	tp := gp[ent.order[0]]
+	var root Node = leafScan(g, tp, ent.ests[0])
+	for _, v := range tp.Vars() {
+		bound[v] = true
+	}
+	for k := 1; k < len(ent.order); k++ {
+		tp := gp[ent.order[k]]
+		est := ent.ests[k]
+		if sharesVar(tp, bound) {
+			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
+		} else {
+			root = &HashJoin{Left: root, Right: leafScan(g, tp, est)}
+		}
+		for _, v := range tp.Vars() {
+			bound[v] = true
 		}
 	}
 	return root
+}
+
+// fanoutMinRows is the estimated leaf cardinality above which a cross-shard
+// scan is worth parallelising: below it, goroutine fan-out costs more than
+// the scan.
+const fanoutMinRows = 4096
+
+// leafScan builds the leaf access path for a pattern, marking it for
+// cross-shard fan-out when the pattern's index partition spans shards
+// (object-only or unconstrained scans), the graph is sharded, more than one
+// CPU is available, and the scan is big enough to amortise the goroutines.
+func leafScan(g *rdf.Graph, tp pattern.TriplePattern, est float64) *IndexScan {
+	s := &IndexScan{TP: tp, Est: est}
+	if g == nil {
+		return s
+	}
+	sp, pp, op := matchArgs(tp)
+	if w := g.FanoutWidth(sp, pp, op); w > 1 && est >= fanoutMinRows && runtime.GOMAXPROCS(0) > 1 {
+		s.Fanout = w
+	}
+	return s
 }
 
 // QueryPlan wraps the body plan of a graph pattern query with projection
@@ -84,23 +162,67 @@ func sharesVar(tp pattern.TriplePattern, bound map[string]bool) bool {
 	return false
 }
 
+// statsCtx carries the global graph statistics plus a lazily filled
+// per-predicate cache, so each constant predicate of a pattern is looked up
+// in its POS shard at most once per planning call.
+type statsCtx struct {
+	g      *rdf.Graph
+	global rdf.Stats
+	pred   map[rdf.Term]rdf.PredStats
+}
+
+func newStatsCtx(g *rdf.Graph) *statsCtx {
+	return &statsCtx{g: g, global: g.Stats()}
+}
+
+func (st *statsCtx) predStats(p rdf.Term) (rdf.PredStats, bool) {
+	if ps, ok := st.pred[p]; ok {
+		return ps, ps.Triples > 0
+	}
+	ps, ok := st.g.PredStats(p)
+	if st.pred == nil {
+		st.pred = make(map[rdf.Term]rdf.PredStats, 4)
+	}
+	st.pred[p] = ps
+	return ps, ok
+}
+
 // estimateRows implements the cost model described in the package
 // documentation: base is the exact index count over the pattern's
 // constants, divided by the distinct-count of every variable position
-// already bound.
-func estimateRows(st rdf.Stats, tp pattern.TriplePattern, base float64, bound map[string]bool) float64 {
+// already bound. For patterns with a constant predicate the divisors are
+// that predicate's own distinct subject/object counts (PredStats); the
+// global distinct counts remain the fallback when the predicate is a
+// variable or unknown.
+func estimateRows(st *statsCtx, tp pattern.TriplePattern, base float64, bound map[string]bool) float64 {
 	if base == 0 {
 		return 0
 	}
 	div := 1.0
-	if tp.S.IsVar() && bound[tp.S.Var()] && st.DistinctSubjects > 0 {
-		div *= float64(st.DistinctSubjects)
+	sBound := tp.S.IsVar() && bound[tp.S.Var()]
+	oBound := tp.O.IsVar() && bound[tp.O.Var()]
+	if !tp.P.IsVar() {
+		if ps, ok := st.predStats(tp.P.Term()); ok {
+			if sBound && ps.DistinctSubjects > 0 {
+				div *= float64(ps.DistinctSubjects)
+			}
+			if oBound && ps.DistinctObjects > 0 {
+				div *= float64(ps.DistinctObjects)
+			}
+			if est := base / div; est > 1 {
+				return est
+			}
+			return 1
+		}
 	}
-	if tp.P.IsVar() && bound[tp.P.Var()] && st.DistinctPredicates > 0 {
-		div *= float64(st.DistinctPredicates)
+	if sBound && st.global.DistinctSubjects > 0 {
+		div *= float64(st.global.DistinctSubjects)
 	}
-	if tp.O.IsVar() && bound[tp.O.Var()] && st.DistinctObjects > 0 {
-		div *= float64(st.DistinctObjects)
+	if tp.P.IsVar() && bound[tp.P.Var()] && st.global.DistinctPredicates > 0 {
+		div *= float64(st.global.DistinctPredicates)
+	}
+	if oBound && st.global.DistinctObjects > 0 {
+		div *= float64(st.global.DistinctObjects)
 	}
 	if est := base / div; est > 1 {
 		return est
@@ -116,12 +238,41 @@ func Execute(g *rdf.Graph, gp pattern.GraphPattern) []pattern.Binding {
 }
 
 // Ask reports whether the pattern has at least one solution, stopping at
-// the first streamed row.
+// the first streamed row. Fan-out markers are stripped from the plan
+// first: a parallel scan buffers every shard's matches at Open time, which
+// is exactly wrong for a query that needs one row.
 func Ask(g *rdf.Graph, gp pattern.GraphPattern) bool {
-	it := Plan(g, gp).Open(g)
+	n := Plan(g, gp)
+	disableFanout(n)
+	it := n.Open(g)
 	defer it.Close()
 	_, ok := it.Next()
 	return ok
+}
+
+// disableFanout clears the parallel-scan markers of a plan so every leaf
+// streams. Plan returns freshly built nodes on every call (cached entries
+// store join orders, not trees), so mutating them is safe.
+func disableFanout(n Node) {
+	switch x := n.(type) {
+	case *IndexScan:
+		x.Fanout = 0
+	case *IndexNestedLoopJoin:
+		disableFanout(x.Left)
+	case *HashJoin:
+		disableFanout(x.Left)
+		disableFanout(x.Right)
+	case *Project:
+		disableFanout(x.Child)
+	case *Distinct:
+		disableFanout(x.Child)
+	case *Filter:
+		disableFanout(x.Child)
+	case *Union:
+		for _, c := range x.Children {
+			disableFanout(c)
+		}
+	}
 }
 
 // ExecuteQuery computes Q_D (certain-answer semantics: tuples containing
@@ -160,18 +311,29 @@ func executeQuery(g *rdf.Graph, q pattern.Query, star bool) *pattern.TupleSet {
 	}
 }
 
-// Explain renders the execution plan of a graph pattern.
+// Explain renders the execution plan of a graph pattern. A leading comment
+// line marks plans whose join order was served from the plan cache.
 func Explain(g *rdf.Graph, gp pattern.GraphPattern) string {
 	var b strings.Builder
-	Plan(g, gp).format(&b, 0)
+	n, cached := planWithInfo(g, gp)
+	if cached {
+		b.WriteString("-- plan: cached (shape hit)\n")
+	}
+	n.format(&b, 0)
 	return b.String()
 }
 
 // ExplainQuery renders the execution plan of a graph pattern query,
-// including the projection and duplicate-elimination operators.
+// including the projection and duplicate-elimination operators. Like
+// Explain, it marks cached join orders.
 func ExplainQuery(g *rdf.Graph, q pattern.Query) string {
 	var b strings.Builder
-	QueryPlan(g, q).format(&b, 0)
+	n, cached := planWithInfo(g, q.GP)
+	if cached {
+		b.WriteString("-- plan: cached (shape hit)\n")
+	}
+	wrapped := &Distinct{Child: &Project{Child: n, Cols: q.Free}}
+	wrapped.format(&b, 0)
 	return b.String()
 }
 

@@ -49,6 +49,12 @@ func sameBindings(a, b []pattern.Binding) bool {
 // randomCase builds a small random graph and graph pattern over a shared
 // constant pool, so patterns frequently (but not always) match.
 func randomCase(rng *rand.Rand) (*rdf.Graph, pattern.GraphPattern) {
+	return randomCaseSharded(rng, 0)
+}
+
+// randomCaseSharded is randomCase over a store with a fixed shard count
+// (0 = the default).
+func randomCaseSharded(rng *rand.Rand, shards int) (*rdf.Graph, pattern.GraphPattern) {
 	subjects := make([]rdf.Term, 6)
 	for i := range subjects {
 		subjects[i] = rdf.IRI(fmt.Sprintf("http://e/s%d", i))
@@ -61,7 +67,12 @@ func randomCase(rng *rand.Rand) (*rdf.Graph, pattern.GraphPattern) {
 		rdf.IRI("http://e/o0"), rdf.IRI("http://e/o1"), rdf.IRI("http://e/s0"),
 		rdf.Literal("a"), rdf.Literal("b|c"), rdf.Blank("n1"),
 	}
-	g := rdf.NewGraph()
+	var g *rdf.Graph
+	if shards > 0 {
+		g = rdf.NewGraphSharded(shards)
+	} else {
+		g = rdf.NewGraph()
+	}
 	for n := rng.Intn(40); n > 0; n-- {
 		g.Add(rdf.Triple{
 			S: subjects[rng.Intn(len(subjects))],
@@ -94,6 +105,24 @@ func TestExecuteMatchesNaive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExecuteMatchesNaiveSharded re-runs the planner≡naive property over
+// stores with explicit shard counts: sharding must be invisible to query
+// results.
+func TestExecuteMatchesNaiveSharded(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				g, gp := randomCaseSharded(rng, shards)
+				return sameBindings(plan.Execute(g, gp), pattern.EvalNaive(g, gp))
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

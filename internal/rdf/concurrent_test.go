@@ -1,0 +1,270 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// randTriple draws from a small universe so concurrent writers collide on
+// terms, shards and whole triples.
+func randTriple(rng *rand.Rand) Triple {
+	return Triple{
+		S: IRI(fmt.Sprintf("http://e/s%d", rng.Intn(97))),
+		P: IRI(fmt.Sprintf("http://e/p%d", rng.Intn(13))),
+		O: IRI(fmt.Sprintf("http://e/o%d", rng.Intn(61))),
+	}
+}
+
+// TestConcurrentAddMatchStats hammers a sharded graph with parallel
+// writers, readers and stat readers — the shape `go test -race` is meant to
+// catch regressions in. Writers insert disjoint slices of one triple set so
+// the final contents are known exactly.
+func TestConcurrentAddMatchStats(t *testing.T) {
+	const perWorker = 400
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	rng := rand.New(rand.NewSource(1))
+	all := make([]Triple, workers*perWorker)
+	for i := range all {
+		all[i] = randTriple(rng)
+	}
+	want := NewGraphSharded(1)
+	want.AddAll(all)
+
+	g := NewGraphSharded(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// readers: Match on every access path plus Stats/PredStats/Has, racing
+	// the writers
+	p0 := IRI("http://e/p0")
+	o0 := IRI("http://e/o0")
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 0
+				g.Match(nil, &p0, nil, func(Triple) bool { n++; return true })
+				g.Match(nil, nil, &o0, func(Triple) bool { n++; return true })
+				_ = g.Stats()
+				_, _ = g.PredStats(p0)
+				_ = g.Has(Triple{S: IRI("http://e/s0"), P: p0, O: o0})
+				_ = g.MatchCount(nil, &p0, nil)
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(chunk []Triple) {
+			defer writers.Done()
+			for _, tr := range chunk {
+				g.Add(tr)
+			}
+		}(all[w*perWorker : (w+1)*perWorker])
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if !g.Equal(want) {
+		t.Fatalf("concurrent load: %d triples, want %d", g.Len(), want.Len())
+	}
+	if gs, ws := g.Stats(), want.Stats(); gs != ws {
+		t.Fatalf("stats after concurrent load = %+v, want %+v", gs, ws)
+	}
+}
+
+// TestConcurrentAddRemove races writers and removers over a shared triple
+// universe; the reference answer is the same operation sequence applied
+// serially per worker (each worker owns a disjoint key range, so the final
+// state is deterministic).
+func TestConcurrentAddRemove(t *testing.T) {
+	const ops = 600
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	type op struct {
+		add bool
+		t   Triple
+	}
+	plans := make([][]op, workers)
+	for w := range plans {
+		rng := rand.New(rand.NewSource(int64(w)))
+		plans[w] = make([]op, ops)
+		for i := range plans[w] {
+			// subjects are namespaced per worker so workers never undo each
+			// other's operations
+			plans[w][i] = op{
+				add: rng.Intn(3) != 0,
+				t: Triple{
+					S: IRI(fmt.Sprintf("http://e/w%d-s%d", w, rng.Intn(20))),
+					P: IRI(fmt.Sprintf("http://e/p%d", rng.Intn(5))),
+					O: IRI(fmt.Sprintf("http://e/o%d", rng.Intn(20))),
+				},
+			}
+		}
+	}
+	want := NewGraphSharded(1)
+	for _, pl := range plans {
+		for _, o := range pl {
+			if o.add {
+				want.Add(o.t)
+			} else {
+				want.Remove(o.t)
+			}
+		}
+	}
+	g := NewGraphSharded(16)
+	var wg sync.WaitGroup
+	for _, pl := range plans {
+		wg.Add(1)
+		go func(pl []op) {
+			defer wg.Done()
+			for _, o := range pl {
+				if o.add {
+					g.Add(o.t)
+				} else {
+					g.Remove(o.t)
+				}
+			}
+		}(pl)
+	}
+	wg.Wait()
+	if !g.Equal(want) {
+		t.Fatalf("concurrent add/remove: %d triples, want %d", g.Len(), want.Len())
+	}
+	if gs, ws := g.Stats(), want.Stats(); gs != ws {
+		t.Fatalf("stats = %+v, want %+v", gs, ws)
+	}
+}
+
+// TestShardCountsEquivalent is the sharding property: the same triples
+// loaded into 1-, 4- and 16-shard graphs produce Equal graphs with
+// identical statistics, match counts and sorted triple lists.
+func TestShardCountsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := make([]Triple, 3000)
+	for i := range ts {
+		ts[i] = randTriple(rng)
+	}
+	ref := NewGraphSharded(1)
+	ref.AddAll(ts)
+	for _, n := range []int{4, 16} {
+		g := NewGraphSharded(n)
+		if got := g.ShardCount(); got != n {
+			t.Fatalf("ShardCount = %d, want %d", got, n)
+		}
+		g.AddAll(ts)
+		if !g.Equal(ref) || !ref.Equal(g) {
+			t.Fatalf("%d-shard graph differs from 1-shard graph", n)
+		}
+		if gs, rs := g.Stats(), ref.Stats(); gs != rs {
+			t.Fatalf("%d-shard stats = %+v, want %+v", n, gs, rs)
+		}
+		for p := 0; p < 13; p++ {
+			pt := IRI(fmt.Sprintf("http://e/p%d", p))
+			gp, gok := g.PredStats(pt)
+			rp, rok := ref.PredStats(pt)
+			if gok != rok || gp != rp {
+				t.Fatalf("%d-shard PredStats(p%d) = %+v,%v want %+v,%v", n, p, gp, gok, rp, rok)
+			}
+		}
+		gt, rt := g.Triples(), ref.Triples()
+		for i := range gt {
+			if gt[i] != rt[i] {
+				t.Fatalf("%d-shard Triples()[%d] = %v, want %v", n, i, gt[i], rt[i])
+			}
+		}
+		// fan-out partition property: MatchShard unions to Match with no
+		// overlap, on a cross-shard access path (object-only)
+		o := IRI("http://e/o1")
+		whole := 0
+		g.Match(nil, nil, &o, func(Triple) bool { whole++; return true })
+		parts := 0
+		for i := 0; i < g.ShardCount(); i++ {
+			g.MatchShard(i, nil, nil, &o, func(Triple) bool { parts++; return true })
+		}
+		if whole != parts {
+			t.Fatalf("%d-shard MatchShard union = %d matches, Match = %d", n, parts, whole)
+		}
+	}
+}
+
+// TestParallelAddAll checks the adaptive parallel bulk load against serial
+// insertion: same added-count, same graph.
+func TestParallelAddAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ts := make([]Triple, 3*parallelAddThreshold)
+	for i := range ts {
+		ts[i] = randTriple(rng)
+	}
+	serial := NewGraphSharded(1)
+	wantAdded := 0
+	for _, tr := range ts {
+		if serial.Add(tr) {
+			wantAdded++
+		}
+	}
+	g := NewGraphSharded(8)
+	if got := g.AddAll(ts); got != wantAdded {
+		t.Fatalf("AddAll added %d, want %d", got, wantAdded)
+	}
+	if !g.Equal(serial) {
+		t.Fatal("parallel AddAll result differs from serial insertion")
+	}
+	// a second bulk load of the same triples adds nothing
+	if got := g.AddAll(ts); got != 0 {
+		t.Fatalf("re-AddAll added %d, want 0", got)
+	}
+}
+
+// TestShardCountDefaults pins the rounding/clamping of shard counts and the
+// default override used by the -shards command flags.
+func TestShardCountDefaults(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {3, 4}, {4, 4}, {5, 8}, {1 << 20, maxShards},
+	} {
+		if got := NewGraphSharded(tc.in).ShardCount(); got != tc.want {
+			t.Errorf("NewGraphSharded(%d).ShardCount() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	defer SetDefaultShardCount(0)
+	SetDefaultShardCount(3)
+	if got := DefaultShardCount(); got != 4 {
+		t.Errorf("DefaultShardCount after SetDefaultShardCount(3) = %d, want 4", got)
+	}
+	if got := NewGraph().ShardCount(); got != 4 {
+		t.Errorf("NewGraph().ShardCount() = %d, want 4", got)
+	}
+	SetDefaultShardCount(0)
+	if got := NewGraph().ShardCount(); got != ceilPow2(runtime.GOMAXPROCS(0)) {
+		t.Errorf("automatic shard count = %d", got)
+	}
+}
+
+// TestGraphIDAndVersion: identities are unique; versions count mutations.
+func TestGraphIDAndVersion(t *testing.T) {
+	a, b := NewGraph(), NewGraph()
+	if a.ID() == b.ID() {
+		t.Error("graph IDs not unique")
+	}
+	v0 := a.Version()
+	a.Add(tr("a", "p", "b"))
+	a.Add(tr("a", "p", "b")) // duplicate: no version bump
+	a.Remove(tr("a", "p", "b"))
+	if got := a.Version() - v0; got != 2 {
+		t.Errorf("version delta = %d, want 2 (duplicate add must not bump)", got)
+	}
+}

@@ -1,0 +1,133 @@
+package rdf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// termStripes is the number of lock stripes of the intern table. A power of
+// two so stripe selection is a mask.
+const termStripes = 64
+
+// termBlockShift sizes the append-only blocks of the id→Term store: 4096
+// terms per block keeps growth cheap without large up-front allocation.
+const (
+	termBlockShift = 12
+	termBlockSize  = 1 << termBlockShift
+	termBlockMask  = termBlockSize - 1
+)
+
+type termBlock [termBlockSize]Term
+
+// termTable is the graph's concurrent dictionary: a striped Term→id map for
+// interning plus an append-only, lock-free-for-readers id→Term store.
+//
+// Interning takes one stripe lock; resolving an id back to its term takes no
+// lock at all. That is safe because ids are published only after the term is
+// written into its block slot (the happens-before edge runs through the
+// stripe or shard lock the id was read under, plus the atomic blocks
+// pointer), and published slots are never rewritten.
+type termTable struct {
+	stripes [termStripes]termStripe
+
+	// appendMu serialises writers of the id→Term store.
+	appendMu sync.Mutex
+	// blocks is a copy-on-write slice of block pointers; readers load it
+	// atomically and index without locking.
+	blocks atomic.Pointer[[]*termBlock]
+	// n is the number of interned terms (the next id to allocate).
+	n atomic.Uint32
+}
+
+type termStripe struct {
+	mu sync.RWMutex
+	m  map[Term]id
+}
+
+func newTermTable() *termTable {
+	t := &termTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[Term]id)
+	}
+	empty := []*termBlock{}
+	t.blocks.Store(&empty)
+	return t
+}
+
+// hashTerm is FNV-1a over the term's fields, with separators so that field
+// boundaries cannot collide. Used only for stripe selection.
+func hashTerm(t Term) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	h = (h ^ uint32(t.kind)) * prime
+	for i := 0; i < len(t.value); i++ {
+		h = (h ^ uint32(t.value[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(t.datatype); i++ {
+		h = (h ^ uint32(t.datatype[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(t.lang); i++ {
+		h = (h ^ uint32(t.lang[i])) * prime
+	}
+	return h
+}
+
+// lookup returns the id for t and whether it has been interned.
+func (tt *termTable) lookup(t Term) (id, bool) {
+	st := &tt.stripes[hashTerm(t)&(termStripes-1)]
+	st.mu.RLock()
+	i, ok := st.m[t]
+	st.mu.RUnlock()
+	return i, ok
+}
+
+// intern returns the id for t, allocating one if needed. Safe for
+// concurrent use.
+func (tt *termTable) intern(t Term) id {
+	st := &tt.stripes[hashTerm(t)&(termStripes-1)]
+	st.mu.RLock()
+	i, ok := st.m[t]
+	st.mu.RUnlock()
+	if ok {
+		return i
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i, ok = st.m[t]; ok {
+		return i
+	}
+	i = tt.append(t)
+	st.m[t] = i
+	return i
+}
+
+// append writes t into the next slot of the id→Term store and returns its
+// id. The new id is not visible to readers until the caller publishes it.
+func (tt *termTable) append(t Term) id {
+	tt.appendMu.Lock()
+	defer tt.appendMu.Unlock()
+	n := tt.n.Load()
+	blocks := *tt.blocks.Load()
+	if int(n>>termBlockShift) == len(blocks) {
+		grown := make([]*termBlock, len(blocks)+1)
+		copy(grown, blocks)
+		grown[len(blocks)] = new(termBlock)
+		tt.blocks.Store(&grown)
+		blocks = grown
+	}
+	blocks[n>>termBlockShift][n&termBlockMask] = t
+	tt.n.Store(n + 1)
+	return id(n)
+}
+
+// term resolves an interned id. Lock-free; the id must have been obtained
+// from lookup, intern, or an index read.
+func (tt *termTable) term(i id) Term {
+	blocks := *tt.blocks.Load()
+	return blocks[i>>termBlockShift][i&termBlockMask]
+}
+
+// count returns the number of interned terms.
+func (tt *termTable) count() int { return int(tt.n.Load()) }

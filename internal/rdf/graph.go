@@ -1,49 +1,94 @@
 package rdf
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // id is a dictionary-encoded term identifier local to one Graph.
 type id uint32
 
 // Graph is an in-memory, dictionary-encoded RDF graph with three full
-// indexes (SPO, POS, OSP). It supports exact membership tests, wildcard
-// matching on any combination of bound positions, and cheap iteration.
+// indexes (SPO, POS, OSP), partitioned into shards for concurrency: SPO and
+// OSP are subject-hash partitioned and POS is predicate-hash partitioned,
+// each shard guarded by its own read-write lock. It supports exact
+// membership tests, wildcard matching on any combination of bound
+// positions, and cheap iteration.
 //
-// Graph is not safe for concurrent mutation; concurrent readers are safe
-// provided no writer is active.
+// Graph is safe for concurrent use: writers lock only the (at most two)
+// shards a triple touches, so loads and chase rounds proceed in parallel
+// with each other and with readers. Iteration callbacks (Match, ForEach,
+// MatchShard) run under a shard read lock: they may read the same graph
+// (nested read locks are safe while no writer is blocked) but must not
+// mutate it — collect and apply mutations after iteration, as the chase
+// does.
 type Graph struct {
-	dict  map[Term]id
-	terms []Term
+	gid  uint64
+	dict *termTable
 
+	shards []*shard
+	mask   uint32 // len(shards)-1; shard of an id is id&mask
+
+	size    atomic.Int64
+	version atomic.Uint64
+
+	distinctS atomic.Int64
+	distinctP atomic.Int64
+	distinctO atomic.Int64
+
+	objects objTable
+}
+
+// shard is one partition of the graph's indexes. Its spo and osp maps hold
+// the triples whose subject id hashes here; its pos map (and the
+// per-predicate statistics) hold the triples whose predicate id hashes
+// here. A triple therefore lives in one or two shards, and Add/Remove lock
+// both in ascending order.
+type shard struct {
+	mu  sync.RWMutex
 	spo index
-	pos index
 	osp index
+	pos index
+	// pred carries per-predicate cardinalities for the predicates owned by
+	// this shard, maintained incrementally under the shard lock.
+	pred map[id]*predStat
+}
 
-	size int
+// predStat is the per-predicate statistics record behind PredStats.
+// Distinct objects need no counter: they are len(pos[p]) directly.
+type predStat struct {
+	triples  int
+	subjects int
 }
 
 // index is a two-level map from (a, b) to a set of c, where (a, b, c) is a
 // permutation of (s, p, o).
 type index map[id]map[id]map[id]struct{}
 
-func (ix index) add(a, b, c id) bool {
+// add inserts and reports (inserted, createdA, createdB): whether the
+// triple was new, whether its top-level a-bucket was created, and whether
+// its (a, b) bucket was created. The bucket signals drive the incremental
+// distinct counts.
+func (ix index) add(a, b, c id) (added, newA, newB bool) {
 	m, ok := ix[a]
 	if !ok {
 		m = make(map[id]map[id]struct{})
 		ix[a] = m
+		newA = true
 	}
 	s, ok := m[b]
 	if !ok {
 		s = make(map[id]struct{})
 		m[b] = s
+		newB = true
 	}
 	if _, ok := s[c]; ok {
-		return false
+		return false, newA, newB
 	}
 	s[c] = struct{}{}
-	return true
+	return true, newA, newB
 }
 
 func (ix index) has(a, b, c id) bool {
@@ -59,79 +104,280 @@ func (ix index) has(a, b, c id) bool {
 	return ok
 }
 
-func (ix index) remove(a, b, c id) bool {
+// remove deletes and reports (removed, droppedA, droppedB), mirroring add.
+func (ix index) remove(a, b, c id) (removed, goneA, goneB bool) {
 	m, ok := ix[a]
 	if !ok {
-		return false
+		return false, false, false
 	}
 	s, ok := m[b]
 	if !ok {
-		return false
+		return false, false, false
 	}
 	if _, ok := s[c]; !ok {
-		return false
+		return false, false, false
 	}
 	delete(s, c)
 	if len(s) == 0 {
 		delete(m, b)
+		goneB = true
 		if len(m) == 0 {
 			delete(ix, a)
+			goneA = true
 		}
 	}
-	return true
+	return true, goneA, goneB
 }
 
-// NewGraph returns an empty graph.
+// objTable tracks the reference count of every object term across shards.
+// OSP is subject-partitioned, so the same object may appear in many shards;
+// the striped refcounts keep the global distinct-object count exact without
+// a global lock.
+type objTable struct {
+	stripes [termStripes]objStripe
+}
+
+type objStripe struct {
+	mu sync.Mutex
+	m  map[id]int32
+}
+
+// addRef reports whether o became referenced (count 0 → 1).
+func (ot *objTable) addRef(o id) bool {
+	st := &ot.stripes[o&(termStripes-1)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.m == nil {
+		st.m = make(map[id]int32)
+	}
+	st.m[o]++
+	return st.m[o] == 1
+}
+
+// decRef reports whether o became unreferenced (count 1 → 0).
+func (ot *objTable) decRef(o id) bool {
+	st := &ot.stripes[o&(termStripes-1)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.m[o]--
+	if st.m[o] == 0 {
+		delete(st.m, o)
+		return true
+	}
+	return false
+}
+
+// forEach calls fn for every referenced object id, stripe by stripe.
+func (ot *objTable) forEach(fn func(id)) {
+	for i := range ot.stripes {
+		st := &ot.stripes[i]
+		st.mu.Lock()
+		for o := range st.m {
+			fn(o)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// graphIDs issues the process-unique graph identities behind Graph.ID.
+var graphIDs atomic.Uint64
+
+// defaultShards overrides the automatic shard count when positive; set via
+// SetDefaultShardCount (the -shards flag of the commands).
+var defaultShards atomic.Int32
+
+// maxShards bounds the shard count; beyond this, per-shard fixed costs
+// outweigh added parallelism.
+const maxShards = 256
+
+// SetDefaultShardCount fixes the shard count NewGraph uses, rounded up to a
+// power of two and clamped to [1, 256]. n <= 0 restores the automatic
+// default (the next power of two ≥ GOMAXPROCS).
+func SetDefaultShardCount(n int) {
+	if n <= 0 {
+		defaultShards.Store(0)
+		return
+	}
+	defaultShards.Store(int32(ceilPow2(n)))
+}
+
+// DefaultShardCount reports the shard count NewGraph currently uses.
+func DefaultShardCount() int {
+	if n := defaultShards.Load(); n > 0 {
+		return int(n)
+	}
+	return ceilPow2(runtime.GOMAXPROCS(0))
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// NewGraph returns an empty graph with the default shard count.
 func NewGraph() *Graph {
-	return &Graph{
-		dict: make(map[Term]id),
-		spo:  make(index),
-		pos:  make(index),
-		osp:  make(index),
-	}
+	return NewGraphSharded(DefaultShardCount())
 }
 
-// intern returns the id for t, allocating one if needed.
-func (g *Graph) intern(t Term) id {
-	if i, ok := g.dict[t]; ok {
-		return i
+// NewGraphSharded returns an empty graph with the given shard count,
+// rounded up to a power of two and clamped to [1, 256]. Shard count is a
+// concurrency knob only: graphs with different shard counts hold identical
+// triple sets and statistics.
+func NewGraphSharded(n int) *Graph {
+	n = ceilPow2(n)
+	g := &Graph{
+		gid:    graphIDs.Add(1),
+		dict:   newTermTable(),
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
 	}
-	i := id(len(g.terms))
-	g.dict[t] = i
-	g.terms = append(g.terms, t)
-	return i
+	for i := range g.shards {
+		g.shards[i] = &shard{
+			spo:  make(index),
+			osp:  make(index),
+			pos:  make(index),
+			pred: make(map[id]*predStat),
+		}
+	}
+	return g
+}
+
+// ID returns a process-unique identity for the graph, used by the query
+// planner's plan cache to key cached join orders.
+func (g *Graph) ID() uint64 { return g.gid }
+
+// Version returns a counter incremented by every successful Add or Remove.
+func (g *Graph) Version() uint64 { return g.version.Load() }
+
+// ShardCount returns the number of index shards.
+func (g *Graph) ShardCount() int { return len(g.shards) }
+
+// subjectShard and predicateShard locate an id's owning partition.
+func (g *Graph) subjectShard(s id) *shard   { return g.shards[uint32(s)&g.mask] }
+func (g *Graph) predicateShard(p id) *shard { return g.shards[uint32(p)&g.mask] }
+
+// lockPair write-locks the subject and predicate shards in ascending order
+// (deadlock-free) and returns the matching unlock.
+func (g *Graph) lockPair(s, p id) func() {
+	i, j := uint32(s)&g.mask, uint32(p)&g.mask
+	if i == j {
+		sh := g.shards[i]
+		sh.mu.Lock()
+		return sh.mu.Unlock
+	}
+	if i > j {
+		i, j = j, i
+	}
+	a, b := g.shards[i], g.shards[j]
+	a.mu.Lock()
+	b.mu.Lock()
+	return func() { b.mu.Unlock(); a.mu.Unlock() }
 }
 
 // lookup returns the id for t and whether it is known to the graph.
-func (g *Graph) lookup(t Term) (id, bool) {
-	i, ok := g.dict[t]
-	return i, ok
-}
+func (g *Graph) lookup(t Term) (id, bool) { return g.dict.lookup(t) }
+
+// term resolves an interned id to its term.
+func (g *Graph) term(i id) Term { return g.dict.term(i) }
 
 // Add inserts the triple and reports whether it was not already present.
+// Safe for concurrent use.
 func (g *Graph) Add(t Triple) bool {
-	s, p, o := g.intern(t.S), g.intern(t.P), g.intern(t.O)
-	if !g.spo.add(s, p, o) {
+	s, p, o := g.dict.intern(t.S), g.dict.intern(t.P), g.dict.intern(t.O)
+	sh, ph := g.subjectShard(s), g.predicateShard(p)
+	unlock := g.lockPair(s, p)
+	added, newS, newSP := sh.spo.add(s, p, o)
+	if !added {
+		unlock()
 		return false
 	}
-	g.pos.add(p, o, s)
-	g.osp.add(o, s, p)
-	g.size++
+	sh.osp.add(o, s, p)
+	_, newP, _ := ph.pos.add(p, o, s)
+	ps := ph.pred[p]
+	if ps == nil {
+		ps = &predStat{}
+		ph.pred[p] = ps
+	}
+	ps.triples++
+	if newSP {
+		ps.subjects++
+	}
+	unlock()
+
+	g.size.Add(1)
+	g.version.Add(1)
+	if newS {
+		g.distinctS.Add(1)
+	}
+	if newP {
+		g.distinctP.Add(1)
+	}
+	if g.objects.addRef(o) {
+		g.distinctO.Add(1)
+	}
 	return true
 }
 
-// AddAll inserts all triples and returns the number newly added.
+// parallelAddThreshold is the batch size above which AddAll fans the load
+// out across goroutines.
+const parallelAddThreshold = 2048
+
+// AddAll inserts all triples and returns the number newly added. Large
+// batches load in parallel across the shards when more than one CPU is
+// available; the resulting graph is identical either way.
 func (g *Graph) AddAll(ts []Triple) int {
-	n := 0
-	for _, t := range ts {
-		if g.Add(t) {
-			n++
+	workers := runtime.GOMAXPROCS(0)
+	if len(ts) < parallelAddThreshold || workers < 2 || len(g.shards) < 2 {
+		n := 0
+		for _, t := range ts {
+			if g.Add(t) {
+				n++
+			}
 		}
+		return n
 	}
-	return n
+	if workers > len(g.shards) {
+		workers = len(g.shards)
+	}
+	var added atomic.Int64
+	var next atomic.Int64
+	const chunk = 256
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(ts) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(ts) {
+					hi = len(ts)
+				}
+				n := 0
+				for _, t := range ts[lo:hi] {
+					if g.Add(t) {
+						n++
+					}
+				}
+				added.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	return int(added.Load())
 }
 
-// Remove deletes the triple and reports whether it was present.
+// Remove deletes the triple and reports whether it was present. Safe for
+// concurrent use.
 func (g *Graph) Remove(t Triple) bool {
 	s, ok := g.lookup(t.S)
 	if !ok {
@@ -145,12 +391,37 @@ func (g *Graph) Remove(t Triple) bool {
 	if !ok {
 		return false
 	}
-	if !g.spo.remove(s, p, o) {
+	sh, ph := g.subjectShard(s), g.predicateShard(p)
+	unlock := g.lockPair(s, p)
+	removed, goneS, goneSP := sh.spo.remove(s, p, o)
+	if !removed {
+		unlock()
 		return false
 	}
-	g.pos.remove(p, o, s)
-	g.osp.remove(o, s, p)
-	g.size--
+	sh.osp.remove(o, s, p)
+	_, goneP, _ := ph.pos.remove(p, o, s)
+	if ps := ph.pred[p]; ps != nil {
+		ps.triples--
+		if goneSP {
+			ps.subjects--
+		}
+		if ps.triples == 0 {
+			delete(ph.pred, p)
+		}
+	}
+	unlock()
+
+	g.size.Add(-1)
+	g.version.Add(1)
+	if goneS {
+		g.distinctS.Add(-1)
+	}
+	if goneP {
+		g.distinctP.Add(-1)
+	}
+	if g.objects.decRef(o) {
+		g.distinctO.Add(-1)
+	}
 	return true
 }
 
@@ -168,34 +439,50 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	return g.spo.has(s, p, o)
+	sh := g.subjectShard(s)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.spo.has(s, p, o)
 }
 
 // Len returns the number of triples in the graph.
-func (g *Graph) Len() int { return g.size }
+func (g *Graph) Len() int { return int(g.size.Load()) }
 
 // TermCount returns the number of distinct terms interned by the graph.
 // Terms remain interned even if all triples mentioning them are removed.
-func (g *Graph) TermCount() int { return len(g.terms) }
+func (g *Graph) TermCount() int { return g.dict.count() }
 
 // ForEach calls fn for every triple until fn returns false. Iteration order
-// is unspecified.
+// is unspecified. fn runs under a shard read lock and must not mutate g.
 func (g *Graph) ForEach(fn func(Triple) bool) {
-	for s, pm := range g.spo {
+	for _, sh := range g.shards {
+		if !sh.forEachSPO(g, fn) {
+			return
+		}
+	}
+}
+
+// forEachSPO walks one shard's subject-owned triples, reporting false if fn
+// stopped the iteration.
+func (sh *shard) forEachSPO(g *Graph, fn func(Triple) bool) bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for s, pm := range sh.spo {
 		for p, om := range pm {
 			for o := range om {
-				if !fn(Triple{S: g.terms[s], P: g.terms[p], O: g.terms[o]}) {
-					return
+				if !fn(Triple{S: g.term(s), P: g.term(p), O: g.term(o)}) {
+					return false
 				}
 			}
 		}
 	}
+	return true
 }
 
 // Triples returns all triples sorted in (S, P, O) order. The slice is fresh
 // and owned by the caller.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, 0, g.size)
+	out := make([]Triple, 0, g.Len())
 	g.ForEach(func(t Triple) bool {
 		out = append(out, t)
 		return true
@@ -206,82 +493,165 @@ func (g *Graph) Triples() []Triple {
 
 // Match calls fn for every triple matching the given pattern, where a nil
 // position is a wildcard, until fn returns false. The best index for the
-// bound positions is chosen automatically.
+// bound positions is chosen automatically: subject-bound patterns probe one
+// SPO/OSP shard, predicate-bound patterns one POS shard, and object-only or
+// unconstrained patterns visit every shard in order (see MatchShard for the
+// per-shard form the executor fans out over). fn runs under a shard read
+// lock and must not mutate g.
 func (g *Graph) Match(s, p, o *Term, fn func(Triple) bool) {
-	var sid, pid, oid id
-	var sok, pok, ook bool
-	if s != nil {
-		if sid, sok = g.lookup(*s); !sok {
+	sid, pid, oid, ok := g.lookupPattern(s, p, o)
+	if !ok {
+		return
+	}
+	if s != nil || p != nil {
+		g.matchOwned(ownerShard(g, s, sid, pid), s, p, o, sid, pid, oid, fn)
+		return
+	}
+	for _, sh := range g.shards {
+		if !g.matchOwned(sh, s, p, o, sid, pid, oid, fn) {
 			return
+		}
+	}
+}
+
+// MatchShard is Match restricted to one shard: the union of
+// MatchShard(i, …) over all i is exactly Match(…), with no overlap. For
+// single-shard access paths only the owning shard yields matches; for
+// object-only and unconstrained patterns every shard owns a partition. The
+// query planner's fan-out scans drain shards concurrently through this.
+func (g *Graph) MatchShard(i int, s, p, o *Term, fn func(Triple) bool) {
+	if i < 0 || i >= len(g.shards) {
+		return
+	}
+	sid, pid, oid, ok := g.lookupPattern(s, p, o)
+	if !ok {
+		return
+	}
+	sh := g.shards[i]
+	if s != nil || p != nil {
+		if ownerShard(g, s, sid, pid) != sh {
+			return
+		}
+	}
+	g.matchOwned(sh, s, p, o, sid, pid, oid, fn)
+}
+
+// FanoutWidth returns the number of shard partitions Match visits for the
+// pattern: 1 for subject- or predicate-bound access paths, the shard count
+// for object-only and unconstrained scans.
+func (g *Graph) FanoutWidth(s, p, o *Term) int {
+	if s != nil || p != nil {
+		return 1
+	}
+	return len(g.shards)
+}
+
+// lookupPattern resolves the bound positions; ok is false when any bound
+// term is unknown to the graph (no triple can match).
+func (g *Graph) lookupPattern(s, p, o *Term) (sid, pid, oid id, ok bool) {
+	if s != nil {
+		if sid, ok = g.lookup(*s); !ok {
+			return 0, 0, 0, false
 		}
 	}
 	if p != nil {
-		if pid, pok = g.lookup(*p); !pok {
-			return
+		if pid, ok = g.lookup(*p); !ok {
+			return 0, 0, 0, false
 		}
 	}
 	if o != nil {
-		if oid, ook = g.lookup(*o); !ook {
-			return
+		if oid, ok = g.lookup(*o); !ok {
+			return 0, 0, 0, false
 		}
 	}
+	return sid, pid, oid, true
+}
+
+// ownerShard picks the single shard a subject- or predicate-bound pattern
+// lives in: the subject shard when the subject is bound, else the
+// predicate shard.
+func ownerShard(g *Graph, s *Term, sid, pid id) *shard {
+	if s != nil {
+		return g.subjectShard(sid)
+	}
+	return g.predicateShard(pid)
+}
+
+// matchOwned matches the pattern against one shard's portion, returning
+// false if fn stopped the iteration. The caller has already routed the
+// pattern to the right shard (or is fanning out).
+func (g *Graph) matchOwned(sh *shard, s, p, o *Term, sid, pid, oid id, fn func(Triple) bool) bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	switch {
 	case s != nil && p != nil && o != nil:
-		if g.spo.has(sid, pid, oid) {
-			fn(Triple{S: *s, P: *p, O: *o})
+		if sh.spo.has(sid, pid, oid) {
+			return fn(Triple{S: *s, P: *p, O: *o})
 		}
 	case s != nil && p != nil:
-		for o2 := range g.spo[sid][pid] {
-			if !fn(Triple{S: *s, P: *p, O: g.terms[o2]}) {
-				return
+		for o2 := range sh.spo[sid][pid] {
+			if !fn(Triple{S: *s, P: *p, O: g.term(o2)}) {
+				return false
 			}
 		}
 	case p != nil && o != nil:
-		for s2 := range g.pos[pid][oid] {
-			if !fn(Triple{S: g.terms[s2], P: *p, O: *o}) {
-				return
+		for s2 := range sh.pos[pid][oid] {
+			if !fn(Triple{S: g.term(s2), P: *p, O: *o}) {
+				return false
 			}
 		}
 	case s != nil && o != nil:
-		for p2 := range g.osp[oid][sid] {
-			if !fn(Triple{S: *s, P: g.terms[p2], O: *o}) {
-				return
+		for p2 := range sh.osp[oid][sid] {
+			if !fn(Triple{S: *s, P: g.term(p2), O: *o}) {
+				return false
 			}
 		}
 	case s != nil:
-		for p2, om := range g.spo[sid] {
+		for p2, om := range sh.spo[sid] {
 			for o2 := range om {
-				if !fn(Triple{S: *s, P: g.terms[p2], O: g.terms[o2]}) {
-					return
+				if !fn(Triple{S: *s, P: g.term(p2), O: g.term(o2)}) {
+					return false
 				}
 			}
 		}
 	case p != nil:
-		for o2, sm := range g.pos[pid] {
+		for o2, sm := range sh.pos[pid] {
 			for s2 := range sm {
-				if !fn(Triple{S: g.terms[s2], P: *p, O: g.terms[o2]}) {
-					return
+				if !fn(Triple{S: g.term(s2), P: *p, O: g.term(o2)}) {
+					return false
 				}
 			}
 		}
 	case o != nil:
-		for s2, pm := range g.osp[oid] {
+		for s2, pm := range sh.osp[oid] {
 			for p2 := range pm {
-				if !fn(Triple{S: g.terms[s2], P: g.terms[p2], O: *o}) {
-					return
+				if !fn(Triple{S: g.term(s2), P: g.term(p2), O: *o}) {
+					return false
 				}
 			}
 		}
 	default:
-		g.ForEach(fn)
+		for s2, pm := range sh.spo {
+			for p2, om := range pm {
+				for o2 := range om {
+					if !fn(Triple{S: g.term(s2), P: g.term(p2), O: g.term(o2)}) {
+						return false
+					}
+				}
+			}
+		}
 	}
+	return true
 }
 
-// Stats summarises the cardinalities held by the graph's SPO/POS/OSP
-// indexes. The query planner (internal/plan) uses it to estimate how many
-// rows a triple pattern produces once some of its variables are bound: the
-// distinct-count of a position approximates the fan-out per bound value.
-// All fields are maintained incrementally by the indexes, so Stats is O(1).
+// Stats summarises the cardinalities held by the graph's indexes. The query
+// planner (internal/plan) uses it to estimate how many rows a triple
+// pattern produces once some of its variables are bound: the distinct-count
+// of a position approximates the fan-out per bound value. All fields are
+// maintained incrementally as atomic counters, so Stats is O(1); under
+// concurrent mutation the fields are individually accurate but may reflect
+// slightly different instants. See PredStats for the per-predicate
+// refinement the planner prefers.
 type Stats struct {
 	// Triples is the total number of triples (same as Len).
 	Triples int
@@ -295,88 +665,124 @@ type Stats struct {
 // Stats returns the graph's cardinality statistics.
 func (g *Graph) Stats() Stats {
 	return Stats{
-		Triples:            g.size,
-		DistinctSubjects:   len(g.spo),
-		DistinctPredicates: len(g.pos),
-		DistinctObjects:    len(g.osp),
+		Triples:            g.Len(),
+		DistinctSubjects:   int(g.distinctS.Load()),
+		DistinctPredicates: int(g.distinctP.Load()),
+		DistinctObjects:    int(g.distinctO.Load()),
 	}
+}
+
+// PredStats is the per-predicate refinement of Stats: the cardinalities of
+// one predicate's extension, read off its POS shard. The planner divides by
+// these — rather than the global distinct counts — when estimating the
+// fan-out of a pattern with a constant predicate.
+type PredStats struct {
+	// Triples is the size of the predicate's extension.
+	Triples int
+	// DistinctSubjects and DistinctObjects count the distinct terms in
+	// subject and object position of triples with this predicate.
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// PredStats returns the cardinality statistics of one predicate, and false
+// when no stored triple uses it. O(1): the counts are maintained
+// incrementally in the predicate's POS shard.
+func (g *Graph) PredStats(p Term) (PredStats, bool) {
+	pid, ok := g.lookup(p)
+	if !ok {
+		return PredStats{}, false
+	}
+	sh := g.predicateShard(pid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ps := sh.pred[pid]
+	if ps == nil {
+		return PredStats{}, false
+	}
+	return PredStats{
+		Triples:          ps.triples,
+		DistinctSubjects: ps.subjects,
+		DistinctObjects:  len(sh.pos[pid]),
+	}, true
 }
 
 // MatchCount returns the number of triples matching the pattern without
 // materialising them. Used by the query planner for cardinality estimates.
 func (g *Graph) MatchCount(s, p, o *Term) int {
-	var sid, pid, oid id
-	var ok bool
-	if s != nil {
-		if sid, ok = g.lookup(*s); !ok {
-			return 0
-		}
-	}
-	if p != nil {
-		if pid, ok = g.lookup(*p); !ok {
-			return 0
-		}
-	}
-	if o != nil {
-		if oid, ok = g.lookup(*o); !ok {
-			return 0
-		}
+	sid, pid, oid, ok := g.lookupPattern(s, p, o)
+	if !ok {
+		return 0
 	}
 	switch {
 	case s != nil && p != nil && o != nil:
-		if g.spo.has(sid, pid, oid) {
+		sh := g.subjectShard(sid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		if sh.spo.has(sid, pid, oid) {
 			return 1
 		}
 		return 0
 	case s != nil && p != nil:
-		return len(g.spo[sid][pid])
+		sh := g.subjectShard(sid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return len(sh.spo[sid][pid])
 	case p != nil && o != nil:
-		return len(g.pos[pid][oid])
+		sh := g.predicateShard(pid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return len(sh.pos[pid][oid])
 	case s != nil && o != nil:
-		return len(g.osp[oid][sid])
+		sh := g.subjectShard(sid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return len(sh.osp[oid][sid])
 	case s != nil:
+		sh := g.subjectShard(sid)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
 		n := 0
-		for _, om := range g.spo[sid] {
+		for _, om := range sh.spo[sid] {
 			n += len(om)
 		}
 		return n
 	case p != nil:
-		n := 0
-		for _, sm := range g.pos[pid] {
-			n += len(sm)
+		if ps, ok := g.PredStats(*p); ok {
+			return ps.Triples
 		}
-		return n
+		return 0
 	case o != nil:
 		n := 0
-		for _, pm := range g.osp[oid] {
-			n += len(pm)
+		for _, sh := range g.shards {
+			sh.mu.RLock()
+			for _, pm := range sh.osp[oid] {
+				n += len(pm)
+			}
+			sh.mu.RUnlock()
 		}
 		return n
 	default:
-		return g.size
+		return g.Len()
 	}
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph (with the same shard count).
 func (g *Graph) Clone() *Graph {
-	out := NewGraph()
-	g.ForEach(func(t Triple) bool {
-		out.Add(t)
-		return true
-	})
+	out := NewGraphSharded(len(g.shards))
+	out.Merge(g)
 	return out
 }
 
 // Merge adds every triple of other into g and returns the number added.
+// other must not be g itself. Large merges load in parallel like AddAll.
 func (g *Graph) Merge(other *Graph) int {
-	n := 0
+	ts := make([]Triple, 0, other.Len())
 	other.ForEach(func(t Triple) bool {
-		if g.Add(t) {
-			n++
-		}
+		ts = append(ts, t)
 		return true
 	})
-	return n
+	return g.AddAll(ts)
 }
 
 // ContainsGraph reports whether every triple of other is present in g.
@@ -392,16 +798,21 @@ func (g *Graph) ContainsGraph(other *Graph) bool {
 	return ok
 }
 
-// Equal reports whether g and other contain exactly the same triples.
+// Equal reports whether g and other contain exactly the same triples
+// (regardless of their shard counts).
 func (g *Graph) Equal(other *Graph) bool {
-	return g.size == other.size && g.ContainsGraph(other)
+	return g.Len() == other.Len() && g.ContainsGraph(other)
 }
 
 // Subjects returns the set of distinct subject terms.
 func (g *Graph) Subjects() []Term {
-	out := make([]Term, 0, len(g.spo))
-	for s := range g.spo {
-		out = append(out, g.terms[s])
+	var out []Term
+	for _, sh := range g.shards {
+		sh.mu.RLock()
+		for s := range sh.spo {
+			out = append(out, g.term(s))
+		}
+		sh.mu.RUnlock()
 	}
 	sortTerms(out)
 	return out
@@ -409,9 +820,13 @@ func (g *Graph) Subjects() []Term {
 
 // Predicates returns the set of distinct predicate terms.
 func (g *Graph) Predicates() []Term {
-	out := make([]Term, 0, len(g.pos))
-	for p := range g.pos {
-		out = append(out, g.terms[p])
+	var out []Term
+	for _, sh := range g.shards {
+		sh.mu.RLock()
+		for p := range sh.pos {
+			out = append(out, g.term(p))
+		}
+		sh.mu.RUnlock()
 	}
 	sortTerms(out)
 	return out
@@ -419,10 +834,10 @@ func (g *Graph) Predicates() []Term {
 
 // Objects returns the set of distinct object terms.
 func (g *Graph) Objects() []Term {
-	out := make([]Term, 0, len(g.osp))
-	for o := range g.osp {
-		out = append(out, g.terms[o])
-	}
+	var out []Term
+	g.objects.forEach(func(o id) {
+		out = append(out, g.term(o))
+	})
 	sortTerms(out)
 	return out
 }

@@ -23,3 +23,38 @@ func TestStats(t *testing.T) {
 		t.Fatalf("stats after remove = %+v, want %+v", got, want)
 	}
 }
+
+// TestPredStats pins the per-predicate cardinalities the planner divides
+// by, including their incremental maintenance across Remove.
+func TestPredStats(t *testing.T) {
+	g := NewGraph()
+	s1, s2, s3 := IRI("http://e/s1"), IRI("http://e/s2"), IRI("http://e/s3")
+	p, q := IRI("http://e/p"), IRI("http://e/q")
+	o1, o2 := Literal("a"), Literal("b")
+	for _, tr := range []Triple{
+		{S: s1, P: p, O: o1}, {S: s1, P: p, O: o2}, {S: s2, P: p, O: o1},
+		{S: s3, P: q, O: o1},
+	} {
+		g.Add(tr)
+	}
+	if ps, ok := g.PredStats(p); !ok || ps != (PredStats{Triples: 3, DistinctSubjects: 2, DistinctObjects: 2}) {
+		t.Fatalf("PredStats(p) = %+v, %v", ps, ok)
+	}
+	if ps, ok := g.PredStats(q); !ok || ps != (PredStats{Triples: 1, DistinctSubjects: 1, DistinctObjects: 1}) {
+		t.Fatalf("PredStats(q) = %+v, %v", ps, ok)
+	}
+	if _, ok := g.PredStats(IRI("http://e/unused")); ok {
+		t.Fatal("PredStats of unused predicate should report false")
+	}
+	// removing s1's last p-triple drops its distinct-subject contribution
+	g.Remove(Triple{S: s1, P: p, O: o1})
+	g.Remove(Triple{S: s1, P: p, O: o2})
+	if ps, ok := g.PredStats(p); !ok || ps != (PredStats{Triples: 1, DistinctSubjects: 1, DistinctObjects: 1}) {
+		t.Fatalf("PredStats(p) after removes = %+v, %v", ps, ok)
+	}
+	// removing the predicate's last triple unregisters it entirely
+	g.Remove(Triple{S: s3, P: q, O: o1})
+	if _, ok := g.PredStats(q); ok {
+		t.Fatal("PredStats of fully removed predicate should report false")
+	}
+}

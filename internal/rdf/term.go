@@ -1,6 +1,9 @@
 // Package rdf implements the RDF data model used throughout the library:
 // terms (IRIs, blank nodes and literals), triples, and an indexed,
-// dictionary-encoded triple store (Graph).
+// dictionary-encoded triple store (Graph). The store is sharded — SPO/OSP
+// indexes partitioned by subject hash, POS by predicate hash, each shard
+// behind its own read-write lock over a striped concurrent intern table —
+// making it safe for concurrent readers and writers; see Graph.
 //
 // The model follows the formalisation in Section 2.1 of Dimartino et al.,
 // "Peer-to-Peer Semantic Integration of Linked Data" (EDBT/ICDT 2015

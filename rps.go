@@ -34,11 +34,25 @@
 // scans, index nested-loop and hash joins, projection, duplicate
 // elimination, filters and (parallel) unions — realised as pull iterators
 // over the graph's SPO/POS/OSP indexes, with join orders chosen from the
-// indexes' cardinality statistics (Graph.Stats). The UCQ branches a
-// rewriting produces evaluate as a parallel union across goroutines with a
-// deterministic, deduplicated merge. ExplainQuery (and rpsquery -explain)
-// renders the chosen plan; see internal/plan's package documentation for
-// the operator algebra and the cost model.
+// indexes' cardinality statistics (Graph.Stats, refined per predicate by
+// Graph.PredStats). The UCQ branches a rewriting produces evaluate as a
+// parallel union across goroutines with a deterministic, deduplicated
+// merge. ExplainQuery (and rpsquery -explain) renders the chosen plan; see
+// internal/plan's package documentation for the operator algebra and the
+// cost model.
+//
+// The triple store itself (package internal/rdf) is sharded and safe for
+// concurrent use: SPO/OSP indexes are subject-hash partitioned and POS is
+// predicate-hash partitioned, each shard behind its own read-write lock,
+// with a striped concurrent intern table underneath. Readers scale across
+// cores, bulk loads (Graph.AddAll, the Turtle and mapfile loaders) fan out
+// across the shards, large cross-shard scans execute as parallel fan-outs
+// with a deterministic merge, and the chase can evaluate each round's
+// applicability queries concurrently (ChaseOptions.Parallel). Join orders
+// are memoised in a shape-keyed plan cache so the chase's repeated
+// applicability checks skip re-planning (plan.CacheStats exposes hit/miss
+// counters). NewGraphSharded fixes the shard count explicitly; the rpsd,
+// rpsquery and rpsbench commands expose it as -shards.
 //
 // Quick start:
 //
@@ -96,8 +110,13 @@ var (
 	TypedLiteral = rdf.TypedLiteral
 	// NewTriple assembles a triple.
 	NewTriple = rdf.NewTriple
-	// NewGraph returns an empty graph.
+	// NewGraph returns an empty graph (default shard count: one per CPU).
 	NewGraph = rdf.NewGraph
+	// NewGraphSharded returns an empty graph with an explicit shard count.
+	NewGraphSharded = rdf.NewGraphSharded
+	// SetDefaultShardCount fixes the shard count NewGraph uses process-wide
+	// (0 restores the automatic per-CPU default).
+	SetDefaultShardCount = rdf.SetDefaultShardCount
 	// NewNamespaces returns an empty prefix table.
 	NewNamespaces = rdf.NewNamespaces
 	// CommonNamespaces returns a prefix table with common bindings.
