@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/chase"
@@ -584,6 +585,141 @@ func bulkFederationSystem(bulk int) *core.System {
 		panic(err)
 	}
 	return sys
+}
+
+// fedFanSystem builds k peers, each holding one predicate's triples, and
+// rename mappings Pi → P0, so querying {?x P0 ?y} yields a k-disjunct UCQ
+// with one disjunct routed to each peer — the federated workload whose
+// network latency the parallel mediator overlaps.
+func fedFanSystem(k, factsPerPeer int) (*core.System, pattern.Query) {
+	sys := core.NewSystem()
+	preds := make([]rdf.Term, k)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("http://e/P%d", i))
+	}
+	for i := 0; i < k; i++ {
+		p := sys.AddPeer(fmt.Sprintf("peer%d", i))
+		for j := 0; j < factsPerPeer; j++ {
+			err := p.Add(rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://e/s%d_%d", i, j)),
+				P: preds[i],
+				O: rdf.IRI(fmt.Sprintf("http://e/o%d_%d", i, j)),
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 1; i < k; i++ {
+		m := core.GraphMappingAssertion{
+			From: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[i]), pattern.V("y"))}),
+			To: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y"))}),
+			SrcPeer: fmt.Sprintf("peer%d", i),
+			DstPeer: "peer0",
+		}
+		if err := sys.AddMapping(m); err != nil {
+			panic(err)
+		}
+	}
+	return sys, pattern.MustQuery([]string{"x", "y"},
+		pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y"))})
+}
+
+// BenchmarkFederatedUCQ pins the win of pushing the parallel Union below
+// the mediator: a 4-disjunct UCQ whose disjuncts each route to a different
+// peer, over a simnet that really sleeps 5ms per request. The serial
+// mediator pays each peer's round trip sequentially; the parallel mediator
+// overlaps them (expect ≥2× at 4 disjuncts on ≥4 CPUs). The bind/batch=…
+// variants compare per-binding probing with batched probes at equal answer
+// sets — calls/op drops as the batch grows.
+func BenchmarkFederatedUCQ(b *testing.B) {
+	const disjuncts = 4
+	const latency = 5 * time.Millisecond
+	sys, q := fedFanSystem(disjuncts, 8)
+	for _, mode := range []struct {
+		name string
+		opts federation.Options
+	}{
+		{"serial", federation.Options{Serial: true}},
+		{"parallel", federation.Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			if mode.name == "parallel" && runtime.GOMAXPROCS(0) <= 1 {
+				b.Skip("parallel mediator degrades to serial with GOMAXPROCS=1; the numbers would be misleading (re-run with -cpu 4)")
+			}
+			net := simnet.New(simnet.WithLatency(latency), simnet.WithRealDelay())
+			reg := peer.NewRegistry()
+			peer.Deploy(sys, net, reg)
+			net.Register("mediator", nil)
+			eng := federation.New(sys, reg, peer.NewClient(net, "mediator"), mode.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, _, err := eng.Answer(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.Len() != disjuncts*8 {
+					b.Fatalf("answers = %d, want %d", got.Len(), disjuncts*8)
+				}
+			}
+		})
+	}
+	bindSys, bindQ := bindBatchSystem(64)
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("bind/batch=%d", batch), func(b *testing.B) {
+			net := simnet.New()
+			reg := peer.NewRegistry()
+			peer.Deploy(bindSys, net, reg)
+			net.Register("mediator", nil)
+			eng := federation.New(bindSys, reg, peer.NewClient(net, "mediator"),
+				federation.Options{Join: federation.BindJoin, BatchSize: batch})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, _, err := eng.Answer(bindQ)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.Len() != 64 {
+					b.Fatalf("answers = %d, want 64", got.Len())
+				}
+			}
+			b.ReportMetric(float64(net.Stats().Calls)/float64(b.N), "calls/op")
+		})
+	}
+}
+
+// bindBatchSystem is the bind-join batching scenario: a selective fact peer
+// whose n bindings probe a bulky name peer — per-binding probing costs
+// 1 + n requests, batched probing 1 + ⌈n/B⌉.
+func bindBatchSystem(n int) (*core.System, pattern.Query) {
+	sys := core.NewSystem()
+	facts := sys.AddPeer("facts")
+	bulk := sys.AddPeer("bulk")
+	likes := rdf.IRI("http://e/likes")
+	name := rdf.IRI("http://e/name")
+	alice := rdf.IRI("http://e/alice")
+	for i := 0; i < n; i++ {
+		person := rdf.IRI(fmt.Sprintf("http://e/person%d", i))
+		if err := facts.Add(rdf.Triple{S: alice, P: likes, O: person}); err != nil {
+			panic(err)
+		}
+		if err := bulk.Add(rdf.Triple{S: person, P: name, O: rdf.Literal(fmt.Sprintf("n%d", i))}); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://e/other%d", i))
+		if err := bulk.Add(rdf.Triple{S: s, P: name, O: rdf.Literal(fmt.Sprintf("x%d", i))}); err != nil {
+			panic(err)
+		}
+	}
+	q := pattern.MustQuery([]string{"n"}, pattern.GraphPattern{
+		pattern.TP(pattern.C(alice), pattern.C(likes), pattern.V("x")),
+		pattern.TP(pattern.V("x"), pattern.C(name), pattern.V("n")),
+	})
+	return sys, q
 }
 
 // BenchmarkE9_Datalog measures the Datalog rewriting (future-work item 1)

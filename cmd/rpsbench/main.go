@@ -23,25 +23,33 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/rdf"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		which  = flag.String("e", "all", "comma-separated experiment ids (e1..e8, a1..a4) or 'all'")
-		quick  = flag.Bool("quick", false, "use smaller problem sizes")
-		shards = flag.Int("shards", 0, "graph store shard count (0 = one per CPU)")
+		which       = flag.String("e", "all", "comma-separated experiment ids (e1..e8, a1..a4) or 'all'")
+		quick       = flag.Bool("quick", false, "use smaller problem sizes")
+		shards      = flag.Int("shards", 0, "graph store shard count (0 = one per CPU)")
+		fedParallel = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (E7)")
+		fedJoin     = flag.String("fed-join", "hash", "federated join strategy: hash | bind (E7)")
+		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the federated mediator (0 = library default; bind join only)")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
-	if err := run(os.Stdout, *which, *quick); err != nil {
+	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch}
+	if *fedJoin == "bind" {
+		fed.Join = federation.BindJoin
+	}
+	if err := run(os.Stdout, *which, *quick, fed); err != nil {
 		fmt.Fprintln(os.Stderr, "rpsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, which string, quick bool) error {
+func run(w io.Writer, which string, quick bool, fed federation.Options) error {
 	selected := map[string]bool{}
 	if which == "all" {
 		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "a4", "a5"} {
@@ -103,7 +111,9 @@ func run(w io.Writer, which string, quick bool) error {
 		{"e4", func() (*experiments.Table, error) { return experiments.E4Rewriting(sizes.equivs) }},
 		{"e5", func() (*experiments.Table, error) { return experiments.E5NonFO(sizes.chains) }},
 		{"e6", experiments.E6Stickiness},
-		{"e7", func() (*experiments.Table, error) { return experiments.E7Federation(sizes.peers, sizes.topologies) }},
+		{"e7", func() (*experiments.Table, error) {
+			return experiments.E7Federation(sizes.peers, sizes.topologies, fed)
+		}},
 		{"e8", func() (*experiments.Table, error) { return experiments.E8Baselines(sizes.hops) }},
 		{"e9", func() (*experiments.Table, error) { return experiments.E9Datalog(sizes.datalogL) }},
 		{"e10", func() (*experiments.Table, error) { return experiments.E10Discovery(sizes.noise) }},

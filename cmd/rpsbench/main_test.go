@@ -2,17 +2,19 @@ package main
 
 import (
 	"bytes"
+
+	"repro/internal/federation"
 	"strings"
 	"testing"
 )
 
 func TestRunSelectedExperiments(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "e1,e6", true); err != nil {
+	if err := run(&out, "e1,e6,e7", true, federation.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
-	if !strings.Contains(s, "== E1:") || !strings.Contains(s, "== E6:") {
+	if !strings.Contains(s, "== E1:") || !strings.Contains(s, "== E6:") || !strings.Contains(s, "== E7:") {
 		t.Errorf("missing tables:\n%s", s)
 	}
 	if strings.Contains(s, "MISMATCH") {
@@ -22,7 +24,7 @@ func TestRunSelectedExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "e99", true); err == nil {
+	if err := run(&out, "e99", true, federation.Options{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -55,9 +55,12 @@ func (c localClient) Query(addr, queryText string) (*sparql.Result, error) {
 
 func main() {
 	var (
-		systemPath = flag.String("system", "", "path to the system.rps file (required)")
-		listen     = flag.String("listen", ":8080", "listen address")
-		shards     = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
+		systemPath  = flag.String("system", "", "path to the system.rps file (required)")
+		listen      = flag.String("listen", ":8080", "listen address")
+		shards      = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
+		fedParallel = flag.Bool("fed-parallel", true, "evaluate the /federated endpoint's UCQ disjuncts in parallel")
+		fedJoin     = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
+		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
 	)
 	flag.Parse()
 	if *systemPath == "" {
@@ -65,7 +68,11 @@ func main() {
 		os.Exit(1)
 	}
 	rdf.SetDefaultShardCount(*shards)
-	mux, n, err := buildMux(*systemPath)
+	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch}
+	if *fedJoin == "bind" {
+		fed.Join = federation.BindJoin
+	}
+	mux, n, err := buildMux(*systemPath, fed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpsd:", err)
 		os.Exit(1)
@@ -83,7 +90,7 @@ type peerInfo struct {
 }
 
 // buildMux mounts every peer of the system file on a fresh mux.
-func buildMux(systemPath string) (*http.ServeMux, int, error) {
+func buildMux(systemPath string, fed federation.Options) (*http.ServeMux, int, error) {
 	sys, _, err := mapfile.Load(systemPath)
 	if err != nil {
 		return nil, 0, err
@@ -113,7 +120,7 @@ func buildMux(systemPath string) (*http.ServeMux, int, error) {
 		reg.Add(peer.Entry{Name: p.Name(), Addr: p.Name(), Schema: p.Schema()})
 		local.peers[p.Name()] = p
 	}
-	eng := federation.New(sys, reg, local, federation.Options{})
+	eng := federation.New(sys, reg, local, fed)
 	mux.HandleFunc("/federated", func(w http.ResponseWriter, r *http.Request) {
 		serveFederated(w, r, eng)
 	})

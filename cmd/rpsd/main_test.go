@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/federation"
 	"repro/internal/mapfile"
 	"repro/internal/peer"
 	"repro/internal/workload"
@@ -18,7 +19,7 @@ func TestBuildMuxServesPeers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, n, err := buildMux(path)
+	mux, n, err := buildMux(path, federation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestBuildMuxServesPeers(t *testing.T) {
 }
 
 func TestBuildMuxMissingSystem(t *testing.T) {
-	if _, _, err := buildMux("/nonexistent/system.rps"); err == nil {
+	if _, _, err := buildMux("/nonexistent/system.rps", federation.Options{}); err == nil {
 		t.Error("missing system accepted")
 	}
 }
@@ -78,7 +79,7 @@ func TestFederatedEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, _, err := buildMux(path)
+	mux, _, err := buildMux(path, federation.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,11 +8,17 @@
 //
 // Modes: chase (materialise the universal solution, always complete),
 // rewrite (full UCQ rewriting evaluated over the stored data), combined
-// (canonicalised equivalences + GMA rewriting), direct (no integration).
+// (canonicalised equivalences + GMA rewriting), direct (no integration),
+// federation (deploy the system's peers on an in-process simulated network
+// and answer through the Section 5 mediator — parallel UCQ disjuncts and
+// batched bind-join probes by default; tune with -fed-parallel, -fed-batch
+// and -join).
 //
 // With -explain the query is not answered; instead the streaming execution
 // plan (internal/plan) of each conjunctive body the strategy would run is
-// printed — for rewrite/combined, one plan per UCQ disjunct.
+// printed — for rewrite/combined, one plan per UCQ disjunct; for
+// federation, the federated plan with RemoteScan leaves (source fan-out,
+// probe batch size, in-flight window) under the parallel Union.
 package main
 
 import (
@@ -25,11 +31,14 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/mapfile"
 	"repro/internal/pattern"
+	"repro/internal/peer"
 	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/rewrite"
+	"repro/internal/simnet"
 	"repro/internal/sparql"
 )
 
@@ -38,26 +47,34 @@ func main() {
 		systemPath = flag.String("system", "", "path to the system.rps file (required)")
 		queryText  = flag.String("query", "", "SPARQL query text")
 		queryFile  = flag.String("queryfile", "", "file containing the SPARQL query")
-		mode       = flag.String("mode", "chase", "answering strategy: chase | rewrite | combined | direct")
+		mode       = flag.String("mode", "chase", "answering strategy: chase | rewrite | combined | direct | federation")
 		stats      = flag.Bool("stats", false, "print strategy statistics")
 		noRedund   = flag.Bool("no-redundancy", false, "collapse sameAs-equivalent answers (chase mode)")
 		maxDepth   = flag.Int("max-depth", 0, "bound rewriting depth (0 = library default)")
 		explain    = flag.Bool("explain", false, "print the execution plan(s) instead of answering")
 		shards     = flag.Int("shards", 0, "graph store shard count (0 = one per CPU)")
+		join       = flag.String("join", "hash", "federated join strategy: hash | bind (federation mode)")
+		fedPar     = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (federation mode)")
+		fedBatch   = flag.Int("fed-batch", 0, "bind-join probe batch size (0 = library default; federation mode)")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
+	fed := federation.Options{Serial: !*fedPar, BatchSize: *fedBatch}
+	if *join == "bind" {
+		fed.Join = federation.BindJoin
+	}
+	fed.Rewrite.MaxDepth = *maxDepth
 	if *explain {
 		if *stats || *noRedund {
 			fmt.Fprintln(os.Stderr, "rpsquery: -stats and -no-redundancy are ignored with -explain")
 		}
-		if err := runExplain(os.Stdout, *systemPath, *queryText, *queryFile, *mode, *maxDepth); err != nil {
+		if err := runExplain(os.Stdout, *systemPath, *queryText, *queryFile, *mode, *maxDepth, fed); err != nil {
 			fmt.Fprintln(os.Stderr, "rpsquery:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(os.Stdout, *systemPath, *queryText, *queryFile, *mode, *stats, *noRedund, *maxDepth); err != nil {
+	if err := run(os.Stdout, *systemPath, *queryText, *queryFile, *mode, *stats, *noRedund, *maxDepth, fed); err != nil {
 		fmt.Fprintln(os.Stderr, "rpsquery:", err)
 		os.Exit(1)
 	}
@@ -94,7 +111,7 @@ func loadQuery(systemPath, queryText, queryFile string) (*core.System, *rdf.Name
 	return sys, ns, q, nil
 }
 
-func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRedund bool, maxDepth int) error {
+func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRedund bool, maxDepth int, fed federation.Options) error {
 	sys, ns, q, err := loadQuery(systemPath, queryText, queryFile)
 	if err != nil {
 		return err
@@ -140,6 +157,18 @@ func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRe
 		rep := baseline.NoIntegration(sys, q)
 		answers = rep.Answers
 		extra = "no integration: mappings ignored"
+	case "federation":
+		eng, _ := deployFederation(sys, fed)
+		var fm *federation.Metrics
+		answers, fm, err = eng.Answer(q)
+		if err != nil {
+			return err
+		}
+		extra = fmt.Sprintf("federated UCQ: %d disjuncts, %d remote calls (%d batched), %d rows shipped, %d sources, %d cache hits, peak %d in flight",
+			fm.Disjuncts, fm.RemoteCalls, fm.Batches, fm.RowsFetched, fm.SourcesContacted, fm.CacheHits, fm.InFlightMax)
+		if fm.RewriteTruncated {
+			extra += " (rewriting truncated; answers may be incomplete)"
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
@@ -169,7 +198,7 @@ const explainDisjunctCap = 16
 
 // runExplain prints the execution plans the chosen strategy would run,
 // without answering the query.
-func runExplain(w io.Writer, systemPath, queryText, queryFile, mode string, maxDepth int) error {
+func runExplain(w io.Writer, systemPath, queryText, queryFile, mode string, maxDepth int, fed federation.Options) error {
 	sys, _, q, err := loadQuery(systemPath, queryText, queryFile)
 	if err != nil {
 		return err
@@ -214,8 +243,26 @@ func runExplain(w io.Writer, systemPath, queryText, queryFile, mode string, maxD
 	case "direct":
 		fmt.Fprintln(w, "-- over the stored database (mappings ignored):")
 		fmt.Fprint(w, plan.ExplainQuery(sys.StoredDatabase(), q))
+	case "federation":
+		eng, _ := deployFederation(sys, fed)
+		s, err := eng.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, s)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 	return nil
+}
+
+// deployFederation serves the system's peers on an in-process simulated
+// network and returns the mediator over them — the Section 5 architecture
+// in one process, like rpsd's /federated endpoint but without HTTP.
+func deployFederation(sys *core.System, fed federation.Options) (*federation.Engine, *simnet.Network) {
+	net := simnet.New()
+	reg := peer.NewRegistry()
+	peer.Deploy(sys, net, reg)
+	net.Register("mediator", nil)
+	return federation.New(sys, reg, peer.NewClient(net, "mediator"), fed), net
 }

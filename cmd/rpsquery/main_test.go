@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/federation"
 	"repro/internal/mapfile"
 	"repro/internal/workload"
 )
@@ -28,10 +29,10 @@ SELECT ?x ?y WHERE { DB1:Spiderman ex:starring ?z . ?z ex:artist ?x . ?x ex:age 
 
 func TestModesProduceListing1(t *testing.T) {
 	path := figure1OnDisk(t)
-	for _, mode := range []string{"chase", "rewrite", "combined"} {
+	for _, mode := range []string{"chase", "rewrite", "combined", "federation"} {
 		t.Run(mode, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(&out, path, example1SPARQL, "", mode, true, false, 0); err != nil {
+			if err := run(&out, path, example1SPARQL, "", mode, true, false, 0, federation.Options{}); err != nil {
 				t.Fatal(err)
 			}
 			lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
@@ -42,7 +43,7 @@ func TestModesProduceListing1(t *testing.T) {
 	}
 	// direct mode: empty (Example 1)
 	var out bytes.Buffer
-	if err := run(&out, path, example1SPARQL, "", "direct", false, false, 0); err != nil {
+	if err := run(&out, path, example1SPARQL, "", "direct", false, false, 0, federation.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "" {
@@ -53,7 +54,7 @@ func TestModesProduceListing1(t *testing.T) {
 func TestNoRedundancy(t *testing.T) {
 	path := figure1OnDisk(t)
 	var out bytes.Buffer
-	if err := run(&out, path, example1SPARQL, "", "chase", false, true, 0); err != nil {
+	if err := run(&out, path, example1SPARQL, "", "chase", false, true, 0, federation.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
@@ -67,7 +68,7 @@ func TestExplain(t *testing.T) {
 	for _, mode := range []string{"chase", "rewrite", "combined", "direct"} {
 		t.Run(mode, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := runExplain(&out, path, example1SPARQL, "", mode, 0); err != nil {
+			if err := runExplain(&out, path, example1SPARQL, "", mode, 0, federation.Options{}); err != nil {
 				t.Fatal(err)
 			}
 			s := out.String()
@@ -83,8 +84,25 @@ func TestExplain(t *testing.T) {
 		})
 	}
 	var out bytes.Buffer
-	if err := runExplain(&out, path, example1SPARQL, "", "warp", 0); err == nil {
+	if err := runExplain(&out, path, example1SPARQL, "", "warp", 0, federation.Options{}); err == nil {
 		t.Error("unknown mode accepted by -explain")
+	}
+}
+
+// -explain in federation mode prints the federated plan: RemoteScan leaves
+// with routing and batching parameters under the parallel Union.
+func TestExplainFederation(t *testing.T) {
+	path := figure1OnDisk(t)
+	var out bytes.Buffer
+	fed := federation.Options{Join: federation.BindJoin, BatchSize: 8}
+	if err := runExplain(&out, path, example1SPARQL, "", "federation", 0, fed); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"federated UCQ", "parallel mediator", "Union[parallel", "RemoteScan[", "batch=8", "window="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("federated explain missing %q:\n%s", want, s)
+		}
 	}
 }
 
@@ -95,7 +113,7 @@ func TestQueryFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, path, "", qf, "chase", false, false, 0); err != nil {
+	if err := run(&out, path, "", qf, "chase", false, false, 0, federation.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
@@ -106,22 +124,22 @@ func TestQueryFile(t *testing.T) {
 func TestErrors(t *testing.T) {
 	path := figure1OnDisk(t)
 	var out bytes.Buffer
-	if err := run(&out, "", example1SPARQL, "", "chase", false, false, 0); err == nil {
+	if err := run(&out, "", example1SPARQL, "", "chase", false, false, 0, federation.Options{}); err == nil {
 		t.Error("missing system accepted")
 	}
-	if err := run(&out, path, "", "", "chase", false, false, 0); err == nil {
+	if err := run(&out, path, "", "", "chase", false, false, 0, federation.Options{}); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run(&out, path, example1SPARQL, "", "warp", false, false, 0); err == nil {
+	if err := run(&out, path, example1SPARQL, "", "warp", false, false, 0, federation.Options{}); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run(&out, path, "NOT SPARQL", "", "chase", false, false, 0); err == nil {
+	if err := run(&out, path, "NOT SPARQL", "", "chase", false, false, 0, federation.Options{}); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run(&out, path, "SELECT ?x WHERE { { ?x ?p ?o } UNION { ?o ?p ?x } }", "", "chase", false, false, 0); err == nil {
+	if err := run(&out, path, "SELECT ?x WHERE { { ?x ?p ?o } UNION { ?o ?p ?x } }", "", "chase", false, false, 0, federation.Options{}); err == nil {
 		t.Error("non-conjunctive query accepted")
 	}
-	if err := run(&out, "/nonexistent/system.rps", example1SPARQL, "", "chase", false, false, 0); err == nil {
+	if err := run(&out, "/nonexistent/system.rps", example1SPARQL, "", "chase", false, false, 0, federation.Options{}); err == nil {
 		t.Error("missing file accepted")
 	}
 }

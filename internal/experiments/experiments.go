@@ -427,13 +427,16 @@ func E6Stickiness() (*Table, error) {
 }
 
 // E7Federation measures the Section 5 prototype: federated query answering
-// over the simulated network across peer counts and topologies.
-func E7Federation(peerCounts []int, topologies []workload.Topology) (*Table, error) {
+// over the simulated network across peer counts and topologies. The fed
+// options select the mediator variant (parallel vs serial disjuncts,
+// bind-join batch size, per-peer in-flight window); rpsbench exposes them
+// as -fed-parallel / -fed-batch.
+func E7Federation(peerCounts []int, topologies []workload.Topology, fed federation.Options) (*Table, error) {
 	t := &Table{
 		ID:    "E7",
 		Title: "Section 5 prototype — federated query processing over simnet",
-		Columns: []string{"peers", "topology", "disjuncts", "remote calls", "cache hits",
-			"rows shipped", "bytes", "answers", "time"},
+		Columns: []string{"peers", "topology", "disjuncts", "remote calls", "batched", "cache hits",
+			"rows shipped", "bytes", "in-flight max", "answers", "time"},
 	}
 	for _, k := range peerCounts {
 		for _, top := range topologies {
@@ -445,8 +448,7 @@ func E7Federation(peerCounts []int, topologies []workload.Topology) (*Table, err
 			reg := peer.NewRegistry()
 			peer.Deploy(sys, net, reg)
 			net.Register("mediator", nil)
-			eng := federation.New(sys, reg, peer.NewClient(net, "mediator"),
-				federation.Options{Join: federation.HashJoin})
+			eng := federation.New(sys, reg, peer.NewClient(net, "mediator"), fed)
 			q := workload.CoreQuery(k - 1)
 			start := time.Now()
 			answers, metrics, err := eng.Answer(q)
@@ -459,9 +461,11 @@ func E7Federation(peerCounts []int, topologies []workload.Topology) (*Table, err
 				fmt.Sprintf("%d", k), top.String(),
 				fmt.Sprintf("%d", metrics.Disjuncts),
 				fmt.Sprintf("%d", metrics.RemoteCalls),
+				fmt.Sprintf("%d", metrics.Batches),
 				fmt.Sprintf("%d", metrics.CacheHits),
 				fmt.Sprintf("%d", metrics.RowsFetched),
 				fmt.Sprintf("%d", st.BytesSent+st.BytesRecv),
+				fmt.Sprintf("%d", metrics.InFlightMax),
 				fmt.Sprintf("%d", answers.Len()),
 				ms(dur),
 			})

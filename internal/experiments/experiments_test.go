@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/workload"
 )
 
@@ -85,10 +86,16 @@ func TestE6(t *testing.T) {
 }
 
 func TestE7(t *testing.T) {
-	tab, err := experiments.E7Federation([]int{2, 3}, []workload.Topology{workload.Chain, workload.Star})
-	checkTable(t, tab, err)
-	if len(tab.Rows) != 4 {
-		t.Errorf("E7 rows = %d", len(tab.Rows))
+	for _, fed := range []federation.Options{
+		{},
+		{Serial: true},
+		{Join: federation.BindJoin, BatchSize: 8},
+	} {
+		tab, err := experiments.E7Federation([]int{2, 3}, []workload.Topology{workload.Chain, workload.Star}, fed)
+		checkTable(t, tab, err)
+		if len(tab.Rows) != 4 {
+			t.Errorf("E7 rows = %d (options %+v)", len(tab.Rows), fed)
+		}
 	}
 }
 

@@ -7,10 +7,30 @@
 // pattern (via the registry's schema routing), poses sub-queries to the
 // peers' SPARQL services, and joins the sub-query results at the mediator.
 //
-// Two join strategies are provided: HashJoin ships each triple pattern's
-// full extension once per relevant source and joins locally; BindJoin ships
-// bindings source-ward, trading more (smaller) messages for less data
-// transfer on selective queries.
+// The mediator is a concurrent, streaming executor built on the planner's
+// parallel primitives: the UCQ's disjuncts evaluate concurrently through
+// plan.Fanout (the parallel Union pushed below the mediator, so federated
+// disjuncts overlap network latency instead of paying it serially), every
+// remote fetch goes through a shared, concurrency-safe result cache that
+// deduplicates identical sub-queries across disjuncts (including in-flight
+// ones, singleflight-style), and per-peer in-flight windows bound how many
+// requests one peer sees at a time. Options.Serial restores the serial
+// disjunct loop for measurement.
+//
+// Two join strategies are provided: HashJoin fetches each triple pattern's
+// full extension — patterns routed to the same source travel in one batched
+// message (peer.MsgSPARQLBatch) — and joins locally, hashing the smaller
+// input; BindJoin ships bindings source-ward in VALUES-style batches: one
+// probe query carries up to Options.BatchSize distinct bindings as a UNION
+// of filtered copies of the pattern, trading more (smaller) messages for
+// less data transfer on selective queries, with far fewer round trips than
+// per-binding probing.
+//
+// Engine.Plan exposes the federated side as first-class plan operators:
+// per-disjunct mediator plans with plan.RemoteScan leaves (annotated with
+// source fan-out, probe batch size, and in-flight window) under a parallel
+// Union — both executable and EXPLAINable (rpsquery -mode federation
+// -explain).
 package federation
 
 import (
@@ -36,11 +56,44 @@ const (
 	BindJoin
 )
 
+// DefaultBatchSize is the bind-join probe batch size when Options.BatchSize
+// is zero: how many distinct bindings one probe query ships.
+const DefaultBatchSize = 16
+
+// DefaultMaxInFlight is the per-peer in-flight window when
+// Options.MaxInFlight is zero.
+const DefaultMaxInFlight = 4
+
 // Options configures the engine.
 type Options struct {
 	Join JoinStrategy
 	// Rewrite bounds the rewriting module.
 	Rewrite rewrite.Options
+	// Serial disables every concurrent path — the disjunct fan-out and the
+	// per-source/per-chunk fetch fan-outs alike — restoring the
+	// pre-concurrency mediator for measurement and debugging (its
+	// InFlightMax never exceeds 1).
+	Serial bool
+	// BatchSize caps how many distinct bindings one bind-join probe query
+	// carries (0 = DefaultBatchSize; 1 = per-binding probing).
+	BatchSize int
+	// MaxInFlight caps concurrently outstanding requests per peer
+	// (0 = DefaultMaxInFlight).
+	MaxInFlight int
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+func (o Options) window() int {
+	if o.MaxInFlight <= 0 {
+		return DefaultMaxInFlight
+	}
+	return o.MaxInFlight
 }
 
 // Metrics describes one federated query execution.
@@ -49,16 +102,26 @@ type Metrics struct {
 	Disjuncts int
 	// RewriteTruncated reports an incomplete (bounded) rewriting.
 	RewriteTruncated bool
-	// RemoteCalls counts sub-queries sent to peers.
+	// RemoteCalls counts messages sent to peers (a batched message carrying
+	// several sub-queries or bindings counts once — it costs one round
+	// trip).
 	RemoteCalls int
+	// Batches counts the batched messages among RemoteCalls: multi-binding
+	// probe queries and multi-query messages.
+	Batches int
 	// RowsFetched counts result rows shipped back from peers.
 	RowsFetched int
 	// SourcesContacted is the number of distinct peers queried.
 	SourcesContacted int
-	// CacheHits counts sub-queries answered from the per-execution fetch
-	// cache instead of the network (identical patterns recur across the
-	// disjuncts of large rewritings).
+	// CacheHits counts sub-queries answered from the shared fetch cache
+	// instead of the network (identical patterns recur across the disjuncts
+	// of large rewritings; concurrent duplicates coalesce onto one in-flight
+	// fetch).
 	CacheHits int
+	// InFlightMax is the peak number of concurrently outstanding remote
+	// requests the mediator had — >1 only when the parallel executor
+	// actually overlapped network latency.
+	InFlightMax int
 }
 
 // Client abstracts how the mediator reaches a peer's SPARQL service: the
@@ -68,18 +131,29 @@ type Client interface {
 	Query(addr, queryText string) (*sparql.Result, error)
 }
 
+// BatchClient is a Client that can additionally ship several query texts in
+// one message (peer.Client and peer.HTTPClient both can). The mediator uses
+// it to collapse the per-source sub-queries of a hash join into one round
+// trip; plain Clients degrade to one message per query.
+type BatchClient interface {
+	Client
+	QueryBatch(addr string, queries []string) ([]*sparql.Result, error)
+}
+
 // Engine is the mediator.
 type Engine struct {
 	sys    *core.System
 	reg    *peer.Registry
 	client Client
+	batch  BatchClient // client, when it supports batched messages
 	opts   Options
 }
 
 // New creates an engine over a system (the mediator's knowledge of schemas
 // and mappings), a registry of peer services, and a query client.
 func New(sys *core.System, reg *peer.Registry, client Client, opts Options) *Engine {
-	return &Engine{sys: sys, reg: reg, client: client, opts: opts}
+	bc, _ := client.(BatchClient)
+	return &Engine{sys: sys, reg: reg, client: client, batch: bc, opts: opts}
 }
 
 // Answer computes the certain answers of q by rewriting and federated
@@ -103,70 +177,72 @@ func (e *Engine) AnswerWithTGDs(q pattern.Query, sigma []rewrite.TripleTGD) (*pa
 	return e.answerUCQ(res)
 }
 
+// answerUCQ evaluates the rewriting's disjuncts — concurrently through
+// plan.Fanout unless Options.Serial — and merges their certain-answer
+// tuples in disjunct order. All disjuncts share one fetcher, so identical
+// sub-queries hit the cache no matter which disjunct issued them first; on
+// failure the error of the lowest-indexed failing disjunct is returned, so
+// parallel runs report errors deterministically.
 func (e *Engine) answerUCQ(res *rewrite.Result) (*pattern.TupleSet, *Metrics, error) {
-	m := &Metrics{Disjuncts: res.Size(), RewriteTruncated: res.Truncated}
-	sources := make(map[string]bool)
-	cache := make(map[string][]pattern.Binding)
-	out := pattern.NewTupleSet()
-	for _, d := range res.Disjuncts {
-		bindings, err := e.evalDistributed(d.Query.GP, m, sources, cache)
+	f := newFetcher(e)
+	n := len(res.Disjuncts)
+	sets := make([]*pattern.TupleSet, n)
+	errs := make([]error, n)
+	evalOne := func(i int) {
+		d := res.Disjuncts[i]
+		bindings, err := e.evalDistributed(f, d.Query.GP)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		s := pattern.NewTupleSet()
+		d.Project(bindings, s)
+		sets[i] = s
+	}
+	if e.opts.Serial {
+		for i := 0; i < n; i++ {
+			evalOne(i)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		plan.Fanout(n, evalOne)
+	}
+	m := f.snapshot(res)
+	for _, err := range errs {
 		if err != nil {
 			return nil, m, err
 		}
-		projectDisjunct(d, bindings, out)
 	}
-	m.SourcesContacted = len(sources)
+	out := pattern.NewTupleSet()
+	for _, s := range sets {
+		out.Merge(s)
+	}
 	return out, m, nil
 }
 
-// projectDisjunct turns solution mappings into certain-answer tuples
-// (names only), splicing constants bound to answer variables.
-func projectDisjunct(d rewrite.Disjunct, bindings []pattern.Binding, out *pattern.TupleSet) {
-	for _, mu := range bindings {
-		tuple := make(pattern.Tuple, len(d.Query.Free))
-		ok := true
-		for i, f := range d.Query.Free {
-			if c, bound := d.Bound[f]; bound {
-				tuple[i] = c
-				continue
-			}
-			t, has := mu[f]
-			if !has || t.IsBlank() {
-				ok = false
-				break
-			}
-			tuple[i] = t
-		}
-		if ok {
-			out.Add(tuple)
-		}
-	}
-}
-
 // evalDistributed evaluates one conjunctive body across the peers.
-func (e *Engine) evalDistributed(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
+func (e *Engine) evalDistributed(f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
 	if len(gp) == 0 {
 		return []pattern.Binding{{}}, nil
 	}
 	switch e.opts.Join {
 	case BindJoin:
-		return e.bindJoin(gp, m, sources, cache)
+		return e.bindJoin(f, gp)
 	default:
-		return e.hashJoin(gp, m, sources, cache)
+		return e.hashJoin(f, gp)
 	}
 }
 
-// hashJoin fetches every pattern's extension, then joins smallest-first
-// with the algebra's streaming hash join (the probe side streams; only the
-// build side is hashed).
-func (e *Engine) hashJoin(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
-	exts := make([][]pattern.Binding, len(gp))
-	for i, tp := range gp {
-		ext, err := e.fetchPattern(tp, m, sources, cache)
-		if err != nil {
-			return nil, err
-		}
-		exts[i] = ext
+// hashJoin fetches every pattern's extension — concurrently, with the
+// sub-queries bound for the same source travelling in one batched message —
+// then joins smallest-first with the algebra's streaming hash join, hashing
+// the smaller input at each step.
+func (e *Engine) hashJoin(f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
+	exts, err := f.fetchExtensions(gp)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(exts, func(i, j int) bool { return len(exts[i]) < len(exts[j]) })
 	acc := exts[0]
@@ -174,73 +250,54 @@ func (e *Engine) hashJoin(gp pattern.GraphPattern, m *Metrics, sources map[strin
 		if len(acc) == 0 {
 			return nil, nil
 		}
-		acc = plan.HashJoinBindings(acc, ext)
+		acc = joinBindings(acc, ext)
 	}
 	return acc, nil
 }
 
-// bindJoin evaluates patterns most-selective-first, instantiating each
-// subsequent pattern with the current bindings.
-func (e *Engine) bindJoin(gp pattern.GraphPattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
+// joinBindings is Ω₁ ⋈ Ω₂ through the algebra's hash join, hashing the
+// smaller set (HashJoinBindings drains its right argument as the build
+// side).
+func joinBindings(a, b []pattern.Binding) []pattern.Binding {
+	if len(a) <= len(b) {
+		return plan.HashJoinBindings(b, a)
+	}
+	return plan.HashJoinBindings(a, b)
+}
+
+// bindJoin evaluates patterns most-selective-first, shipping the current
+// bindings source-ward to instantiate each subsequent pattern. Bindings
+// travel in batches: one probe query carries up to Options.BatchSize
+// distinct restrictions of the accumulated bindings to the pattern's
+// variables (rendered VALUES-style as a UNION of filtered copies of the
+// pattern), and the batches are issued concurrently within the per-peer
+// in-flight window. The probe's projected variables echo the bindings back,
+// so the mediator joins each returned row against the accumulated bindings
+// by compatibility — the same join the per-binding protocol performs, at a
+// fraction of the round trips.
+func (e *Engine) bindJoin(f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
 	ordered := append(pattern.GraphPattern(nil), gp...)
 	sort.SliceStable(ordered, func(i, j int) bool {
 		return countVars(ordered[i]) < countVars(ordered[j])
 	})
-	acc, err := e.fetchPattern(ordered[0], m, sources, cache)
+	acc, err := f.fetchPattern(ordered[0])
 	if err != nil {
 		return nil, err
 	}
 	for _, tp := range ordered[1:] {
-		var next []pattern.Binding
-		seen := make(map[string][]pattern.Binding)
-		for _, mu := range acc {
-			// blank-node values cannot be shipped as constants (a blank in
-			// a remote query would act as a fresh variable); keep those
-			// positions as variables and let the compatibility check join
-			// on the returned labels
-			inst := tp.Apply(withoutBlanks(mu))
-			key := inst.String()
-			ext, ok := seen[key]
-			if !ok {
-				ext, err = e.fetchPattern(inst, m, sources, cache)
-				if err != nil {
-					return nil, err
-				}
-				seen[key] = ext
-			}
-			for _, ext1 := range ext {
-				if pattern.Compatible(mu, ext1) {
-					next = append(next, pattern.Union(mu, ext1))
-				}
-			}
+		if len(acc) == 0 {
+			return nil, nil
 		}
-		acc = next
+		ext, err := f.probe(tp, acc)
+		if err != nil {
+			return nil, err
+		}
+		acc = joinBindings(acc, ext)
 		if len(acc) == 0 {
 			return nil, nil
 		}
 	}
 	return acc, nil
-}
-
-// withoutBlanks filters blank-node values out of a binding.
-func withoutBlanks(mu pattern.Binding) pattern.Binding {
-	clean := true
-	for _, t := range mu {
-		if t.IsBlank() {
-			clean = false
-			break
-		}
-	}
-	if clean {
-		return mu
-	}
-	out := make(pattern.Binding, len(mu))
-	for v, t := range mu {
-		if !t.IsBlank() {
-			out[v] = t
-		}
-	}
-	return out
 }
 
 func countVars(tp pattern.TriplePattern) int {
@@ -251,75 +308,6 @@ func countVars(tp pattern.TriplePattern) int {
 		}
 	}
 	return n
-}
-
-// fetchPattern retrieves the extension of one triple pattern from every
-// candidate source and merges the bindings (set semantics).
-func (e *Engine) fetchPattern(tp pattern.TriplePattern, m *Metrics, sources map[string]bool, cache map[string][]pattern.Binding) ([]pattern.Binding, error) {
-	// a pattern with a literal subject or a non-IRI predicate violates the
-	// RDF typing discipline and can never match: no need to ask anyone
-	// (bind joins produce such instantiations when a join variable ranges
-	// over literals)
-	if !tp.S.IsVar() && tp.S.Term().IsLiteral() {
-		return nil, nil
-	}
-	if !tp.P.IsVar() && !tp.P.Term().IsIRI() {
-		return nil, nil
-	}
-	iris := patternIRIs(tp)
-	candidates := e.reg.SelectSources(iris)
-	queryText, vars, err := renderPatternQuery(tp)
-	if err != nil {
-		return nil, err
-	}
-	// the cache key must be variable-name independent only if renderings
-	// collide; identical renderings are exactly re-usable
-	if cached, ok := cache[queryText]; ok {
-		m.CacheHits++
-		return cached, nil
-	}
-	seen := make(map[string]bool)
-	var out []pattern.Binding
-	for _, src := range candidates {
-		res, err := e.client.Query(src.Addr, queryText)
-		if err != nil {
-			return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
-		}
-		m.RemoteCalls++
-		sources[src.Name] = true
-		if res.Form == sparql.FormAsk {
-			if res.True {
-				m.RowsFetched++
-				if !seen["ask"] {
-					seen["ask"] = true
-					out = append(out, pattern.Binding{})
-				}
-			}
-			continue
-		}
-		for _, row := range res.Rows {
-			m.RowsFetched++
-			mu := make(pattern.Binding, len(vars))
-			ok := true
-			for i, v := range vars {
-				if row[i].IsZero() {
-					ok = false
-					break
-				}
-				mu[v] = row[i]
-			}
-			if !ok {
-				continue
-			}
-			key := pattern.BindingKey(mu, vars)
-			if !seen[key] {
-				seen[key] = true
-				out = append(out, mu)
-			}
-		}
-	}
-	cache[queryText] = out
-	return out, nil
 }
 
 // patternIRIs returns the constant IRIs of a pattern (for source selection).
@@ -333,20 +321,72 @@ func patternIRIs(tp pattern.TriplePattern) []rdf.Term {
 	return out
 }
 
-// renderPatternQuery renders a single triple pattern as a SPARQL query:
-// SELECT over its variables, or ASK if fully ground. It returns the
-// projected variable order.
-func renderPatternQuery(tp pattern.TriplePattern) (string, []string, error) {
+// renderPatternQuery renders a triple pattern as a SPARQL query. With no
+// restrictions: a SELECT over the pattern's variables (ASK if fully
+// ground). With restrictions: a VALUES-style probe batch — SELECT DISTINCT
+// over the pattern's variables whose WHERE clause is a UNION with one
+// filtered copy of the pattern per restriction — so a single query ships a
+// whole batch of bind-join bindings and the projection echoes them back for
+// the mediator-side compatibility join. Either way it returns the projected
+// variable order.
+func renderPatternQuery(tp pattern.TriplePattern, restrictions []pattern.Binding) (string, []string, error) {
 	vars := tp.Vars()
 	for _, e := range tp.Elems() {
 		if !e.IsVar() && e.Term().IsBlank() {
 			return "", nil, fmt.Errorf("federation: blank node constant in query pattern %v", tp)
 		}
 	}
-	pq := pattern.Query{Free: vars, GP: pattern.GraphPattern{tp}}
-	sq := sparql.FromPatternQuery(pq, nil)
-	if len(vars) == 0 {
-		sq.Form = sparql.FormAsk
+	if len(restrictions) == 0 {
+		pq := pattern.Query{Free: vars, GP: pattern.GraphPattern{tp}}
+		sq := sparql.FromPatternQuery(pq, nil)
+		if len(vars) == 0 {
+			sq.Form = sparql.FormAsk
+		}
+		return sq.String(), vars, nil
+	}
+	groups := make([]sparql.Expr, len(restrictions))
+	for i, r := range restrictions {
+		g := &sparql.Group{BGP: pattern.GraphPattern{tp}}
+		for _, v := range vars {
+			if t, bound := r[v]; bound {
+				g.Filters = append(g.Filters, sparql.Cond{Left: pattern.V(v), Right: pattern.C(t)})
+			}
+		}
+		groups[i] = g
+	}
+	sq := &sparql.Query{Form: sparql.FormSelect, Distinct: true, Vars: vars}
+	if len(groups) == 1 {
+		sq.Where = groups[0]
+	} else {
+		sq.Where = &sparql.Union{Alternatives: groups}
 	}
 	return sq.String(), vars, nil
+}
+
+// restrictionsOf projects the accumulated bindings onto the pattern's
+// variables, deduplicated in first-seen order. Blank-node values are
+// dropped from each restriction (a blank shipped as a constant would act as
+// a fresh variable at the peer; the compatibility join handles them on the
+// returned labels instead). The second result is true when some binding
+// restricts nothing — the probe then needs the full extension anyway.
+func restrictionsOf(acc []pattern.Binding, vars []string) ([]pattern.Binding, bool) {
+	seen := make(map[string]bool, len(acc))
+	var out []pattern.Binding
+	for _, mu := range acc {
+		r := make(pattern.Binding, len(vars))
+		for _, v := range vars {
+			if t, bound := mu[v]; bound && !t.IsBlank() {
+				r[v] = t
+			}
+		}
+		if len(r) == 0 {
+			return nil, true
+		}
+		k := pattern.BindingKey(r, vars)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out, false
 }

@@ -1,0 +1,503 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/plan"
+	"repro/internal/rewrite"
+	"repro/internal/sparql"
+)
+
+// fetcher is the mediator's concurrency-safe fetch layer for one query
+// execution. It owns the shared result cache (singleflight: concurrent
+// identical sub-queries coalesce onto one network fetch), the per-peer
+// in-flight windows, and the execution metrics. All methods are safe for
+// concurrent use by the parallel disjunct executor.
+type fetcher struct {
+	eng    *Engine
+	window int
+	batch  int
+	serial bool
+
+	mu        sync.Mutex
+	cache     map[string]*fetchEntry
+	slots     map[string]chan struct{}
+	sources   map[string]bool
+	calls     int
+	batches   int
+	rows      int
+	cacheHits int
+	inFlight  int
+	flightMax int
+	err       error
+}
+
+// fetchEntry is one cache slot. The creator (leader) computes rows/err and
+// closes done; every later arrival waits on done and shares the result.
+type fetchEntry struct {
+	done chan struct{}
+	rows []pattern.Binding
+	err  error
+}
+
+func newFetcher(e *Engine) *fetcher {
+	return &fetcher{
+		eng:     e,
+		window:  e.opts.window(),
+		batch:   e.opts.batchSize(),
+		serial:  e.opts.Serial,
+		cache:   make(map[string]*fetchEntry),
+		slots:   make(map[string]chan struct{}),
+		sources: make(map[string]bool),
+	}
+}
+
+// fanout runs the tasks concurrently — or one after the other under
+// Options.Serial, so the serial mediator really is serial all the way down
+// (its InFlightMax stays 1) and serial-vs-parallel comparisons measure the
+// executor, not just the disjunct loop.
+func (f *fetcher) fanout(n int, task func(int)) {
+	if f.serial {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	plan.Fanout(n, task)
+}
+
+// snapshot freezes the counters into a Metrics report.
+func (f *fetcher) snapshot(res *rewrite.Result) *Metrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return &Metrics{
+		Disjuncts:        res.Size(),
+		RewriteTruncated: res.Truncated,
+		RemoteCalls:      f.calls,
+		Batches:          f.batches,
+		RowsFetched:      f.rows,
+		SourcesContacted: len(f.sources),
+		CacheHits:        f.cacheHits,
+		InFlightMax:      f.flightMax,
+	}
+}
+
+// recordErr keeps the first out-of-band error (used by plan execution,
+// where RemoteScan iterators have no error channel).
+func (f *fetcher) recordErr(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the first out-of-band error recorded during plan execution.
+func (f *fetcher) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// acquire takes an in-flight slot for addr (blocking while the peer's
+// window is full) and returns the release function. It also maintains the
+// mediator-wide in-flight peak.
+func (f *fetcher) acquire(addr string) func() {
+	f.mu.Lock()
+	ch, ok := f.slots[addr]
+	if !ok {
+		ch = make(chan struct{}, f.window)
+		f.slots[addr] = ch
+	}
+	f.mu.Unlock()
+	ch <- struct{}{}
+	f.mu.Lock()
+	f.inFlight++
+	if f.inFlight > f.flightMax {
+		f.flightMax = f.inFlight
+	}
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		f.inFlight--
+		f.mu.Unlock()
+		<-ch
+	}
+}
+
+// cached returns the rows for key, computing them at most once across all
+// concurrent callers: the first caller runs compute, everyone else waits
+// and shares (and counts a cache hit, whether the entry was done or still
+// in flight).
+func (f *fetcher) cached(key string, compute func() ([]pattern.Binding, error)) ([]pattern.Binding, error) {
+	f.mu.Lock()
+	if ent, ok := f.cache[key]; ok {
+		f.cacheHits++
+		f.mu.Unlock()
+		<-ent.done
+		return ent.rows, ent.err
+	}
+	ent := &fetchEntry{done: make(chan struct{})}
+	f.cache[key] = ent
+	f.mu.Unlock()
+	ent.rows, ent.err = compute()
+	close(ent.done)
+	return ent.rows, ent.err
+}
+
+// query sends one query text to one source within its in-flight window,
+// accounting the message (batched marks multi-binding probe queries).
+func (f *fetcher) query(src peer.Entry, queryText string, batched bool) (*sparql.Result, error) {
+	release := f.acquire(src.Addr)
+	res, err := f.eng.client.Query(src.Addr, queryText)
+	release()
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
+	}
+	f.mu.Lock()
+	f.calls++
+	if batched {
+		f.batches++
+	}
+	f.sources[src.Name] = true
+	f.mu.Unlock()
+	return res, nil
+}
+
+// queryBatch ships several query texts to one source as a single message.
+// The caller guarantees the engine's client supports batching.
+func (f *fetcher) queryBatch(src peer.Entry, texts []string) ([]*sparql.Result, error) {
+	release := f.acquire(src.Addr)
+	rs, err := f.eng.batch.QueryBatch(src.Addr, texts)
+	release()
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
+	}
+	f.mu.Lock()
+	f.calls++
+	f.batches++
+	f.sources[src.Name] = true
+	f.mu.Unlock()
+	return rs, nil
+}
+
+// resultBindings turns a peer's result into solution mappings over vars,
+// accounting shipped rows. ASK results become the empty binding (the
+// identity of the compatibility join) when true. Rows with unbound
+// variables are dropped, as before.
+func (f *fetcher) resultBindings(res *sparql.Result, vars []string) []pattern.Binding {
+	if res.Form == sparql.FormAsk {
+		if !res.True {
+			return nil
+		}
+		f.addRows(1)
+		return []pattern.Binding{{}}
+	}
+	f.addRows(len(res.Rows))
+	out := make([]pattern.Binding, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		mu := make(pattern.Binding, len(vars))
+		ok := true
+		for i, v := range vars {
+			if row[i].IsZero() {
+				ok = false
+				break
+			}
+			mu[v] = row[i]
+		}
+		if ok {
+			out = append(out, mu)
+		}
+	}
+	return out
+}
+
+func (f *fetcher) addRows(n int) {
+	f.mu.Lock()
+	f.rows += n
+	f.mu.Unlock()
+}
+
+// mergeBindings concatenates per-source (or per-chunk) binding lists in
+// order, deduplicating on the projected variables (set semantics, as the
+// extension of a pattern is a set).
+func mergeBindings(lists [][]pattern.Binding, vars []string) []pattern.Binding {
+	seen := make(map[string]bool)
+	var out []pattern.Binding
+	for _, rows := range lists {
+		for _, mu := range rows {
+			k := pattern.BindingKey(mu, vars)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, mu)
+			}
+		}
+	}
+	return out
+}
+
+// fetchPattern retrieves the extension of one triple pattern from every
+// candidate source (concurrently) and merges the bindings.
+func (f *fetcher) fetchPattern(tp pattern.TriplePattern) ([]pattern.Binding, error) {
+	// a pattern with a literal subject or a non-IRI predicate violates the
+	// RDF typing discipline and can never match: no need to ask anyone
+	// (bind joins produce such instantiations when a join variable ranges
+	// over literals)
+	if !tp.S.IsVar() && tp.S.Term().IsLiteral() {
+		return nil, nil
+	}
+	if !tp.P.IsVar() && !tp.P.Term().IsIRI() {
+		return nil, nil
+	}
+	queryText, vars, err := renderPatternQuery(tp, nil)
+	if err != nil {
+		return nil, err
+	}
+	return f.cached(queryText, func() ([]pattern.Binding, error) {
+		return f.fetchMerged(f.eng.reg.SelectSources(patternIRIs(tp)), queryText, vars, false)
+	})
+}
+
+// fetchMerged sends one query text to every candidate source concurrently
+// and merges the per-source bindings in source order.
+func (f *fetcher) fetchMerged(candidates []peer.Entry, queryText string, vars []string, batched bool) ([]pattern.Binding, error) {
+	perSrc := make([][]pattern.Binding, len(candidates))
+	errs := make([]error, len(candidates))
+	f.fanout(len(candidates), func(i int) {
+		res, err := f.query(candidates[i], queryText, batched)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		perSrc[i] = f.resultBindings(res, vars)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeBindings(perSrc, vars), nil
+}
+
+// probe retrieves the fragment of tp's extension compatible with the
+// accumulated bindings: their distinct restrictions to tp's variables ship
+// in batches of up to f.batch per probe query, the batch queries run
+// concurrently (each source's traffic bounded by its in-flight window), and
+// the per-batch rows merge in batch order. When some binding restricts
+// nothing (or the pattern is ground), the full extension subsumes every
+// probe and a plain fetch answers.
+func (f *fetcher) probe(tp pattern.TriplePattern, acc []pattern.Binding) ([]pattern.Binding, error) {
+	vars := tp.Vars()
+	if len(vars) == 0 {
+		return f.fetchPattern(tp)
+	}
+	restrictions, full := restrictionsOf(acc, vars)
+	if full {
+		return f.fetchPattern(tp)
+	}
+	var chunks [][]pattern.Binding
+	for start := 0; start < len(restrictions); start += f.batch {
+		end := min(start+f.batch, len(restrictions))
+		chunks = append(chunks, restrictions[start:end])
+	}
+	perChunk := make([][]pattern.Binding, len(chunks))
+	errs := make([]error, len(chunks))
+	f.fanout(len(chunks), func(i int) {
+		perChunk[i], errs[i] = f.probeChunk(tp, chunks[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeBindings(perChunk, vars), nil
+}
+
+// probeChunk sends one batch of restrictions as a single probe query,
+// through the shared cache (identical probes recur across disjuncts).
+func (f *fetcher) probeChunk(tp pattern.TriplePattern, restrictions []pattern.Binding) ([]pattern.Binding, error) {
+	queryText, vars, err := renderPatternQuery(tp, restrictions)
+	if err != nil {
+		return nil, err
+	}
+	batched := len(restrictions) > 1
+	return f.cached(queryText, func() ([]pattern.Binding, error) {
+		return f.fetchMerged(f.probeSources(tp, restrictions), queryText, vars, batched)
+	})
+}
+
+// probeSources routes a probe batch like the per-binding protocol routed
+// each probe: the candidates are the union, over the batch's restrictions,
+// of the sources selected for the pattern instantiated with that
+// restriction — so a selective binding whose IRIs live in one peer's
+// schema keeps pruning the others even when it travels in a batch.
+func (f *fetcher) probeSources(tp pattern.TriplePattern, restrictions []pattern.Binding) []peer.Entry {
+	seen := make(map[string]bool)
+	var out []peer.Entry
+	for _, r := range restrictions {
+		for _, src := range f.eng.reg.SelectSources(patternIRIs(tp.Apply(r))) {
+			if !seen[src.Name] {
+				seen[src.Name] = true
+				out = append(out, src)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// fetchExtensions retrieves the extensions of every pattern of a
+// conjunctive body at once: patterns resolve through the shared cache, and
+// the remaining sub-queries are grouped by candidate source so each source
+// is asked once — one batched message carrying all of its sub-queries when
+// the client supports batching, one message per sub-query otherwise.
+func (f *fetcher) fetchExtensions(gp pattern.GraphPattern) ([][]pattern.Binding, error) {
+	type job struct {
+		tp      pattern.TriplePattern
+		text    string
+		vars    []string
+		entry   *fetchEntry
+		sources []peer.Entry
+		perSrc  [][]pattern.Binding
+		err     error
+	}
+	out := make([][]pattern.Binding, len(gp))
+	texts := make([]string, len(gp))
+	varsOf := make([][]string, len(gp))
+	skip := make([]bool, len(gp))
+	for i, tp := range gp {
+		if (!tp.S.IsVar() && tp.S.Term().IsLiteral()) || (!tp.P.IsVar() && !tp.P.Term().IsIRI()) {
+			skip[i] = true
+			continue
+		}
+		text, vars, err := renderPatternQuery(tp, nil)
+		if err != nil {
+			return nil, err
+		}
+		texts[i], varsOf[i] = text, vars
+	}
+
+	// classify each pattern under the cache lock: already cached (or in
+	// flight elsewhere), duplicate of another pattern in this body, or a
+	// fresh fetch this call leads
+	waits := make(map[int]*fetchEntry)
+	jobOf := make(map[int]*job)
+	byText := make(map[string]*job)
+	var jobs []*job
+	f.mu.Lock()
+	for i, tp := range gp {
+		if skip[i] {
+			continue
+		}
+		if ent, ok := f.cache[texts[i]]; ok {
+			f.cacheHits++
+			waits[i] = ent
+			continue
+		}
+		if j, ok := byText[texts[i]]; ok {
+			f.cacheHits++
+			jobOf[i] = j
+			continue
+		}
+		j := &job{tp: tp, text: texts[i], vars: varsOf[i], entry: &fetchEntry{done: make(chan struct{})}}
+		f.cache[texts[i]] = j.entry
+		byText[texts[i]] = j
+		jobOf[i] = j
+		jobs = append(jobs, j)
+	}
+	f.mu.Unlock()
+
+	// group the led fetches by candidate source
+	type slot struct {
+		j   *job
+		pos int
+	}
+	type srcCall struct {
+		src   peer.Entry
+		slots []slot
+		texts []string
+	}
+	var calls []*srcCall
+	byAddr := make(map[string]*srcCall)
+	for _, j := range jobs {
+		j.sources = f.eng.reg.SelectSources(patternIRIs(j.tp))
+		j.perSrc = make([][]pattern.Binding, len(j.sources))
+		for pos, src := range j.sources {
+			c, ok := byAddr[src.Addr]
+			if !ok {
+				c = &srcCall{src: src}
+				byAddr[src.Addr] = c
+				calls = append(calls, c)
+			}
+			c.slots = append(c.slots, slot{j: j, pos: pos})
+			c.texts = append(c.texts, j.text)
+		}
+	}
+
+	// one round trip per source (batched when possible), concurrently
+	callErrs := make([]error, len(calls))
+	f.fanout(len(calls), func(ci int) {
+		c := calls[ci]
+		var rs []*sparql.Result
+		var err error
+		if len(c.texts) > 1 && f.eng.batch != nil {
+			rs, err = f.queryBatch(c.src, c.texts)
+		} else {
+			rs = make([]*sparql.Result, len(c.texts))
+			for k, text := range c.texts {
+				rs[k], err = f.query(c.src, text, false)
+				if err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			callErrs[ci] = err
+			return
+		}
+		for k, s := range c.slots {
+			s.j.perSrc[s.pos] = f.resultBindings(rs[k], s.j.vars)
+		}
+	})
+	for ci, err := range callErrs {
+		if err != nil {
+			for _, s := range calls[ci].slots {
+				if s.j.err == nil {
+					s.j.err = err
+				}
+			}
+		}
+	}
+
+	// publish each job's merged extension (or error) to its cache entry
+	for _, j := range jobs {
+		if j.err == nil {
+			j.entry.rows = mergeBindings(j.perSrc, j.vars)
+		}
+		j.entry.err = j.err
+		close(j.entry.done)
+	}
+
+	// assemble results per pattern, first error in pattern order wins
+	for i := range gp {
+		var ent *fetchEntry
+		switch {
+		case skip[i]:
+			continue
+		case waits[i] != nil:
+			ent = waits[i]
+		default:
+			ent = jobOf[i].entry
+		}
+		<-ent.done
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		out[i] = ent.rows
+	}
+	return out, nil
+}

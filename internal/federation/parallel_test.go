@@ -1,0 +1,448 @@
+package federation_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/simnet"
+)
+
+// deployOn is deploy over a caller-provided network (so tests can inject
+// per-peer latency or failures before the engine runs).
+func deployOn(sys *core.System, net *simnet.Network, opts federation.Options) *federation.Engine {
+	reg := peer.NewRegistry()
+	peer.Deploy(sys, net, reg)
+	net.Register("mediator", func(string, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, nil
+	})
+	return federation.New(sys, reg, peer.NewClient(net, "mediator"), opts)
+}
+
+// renameFanSystem builds k peers, each holding one predicate's triples, and
+// rename mappings Pi → P0 so the query {?x P0 ?y} rewrites into a
+// k-disjunct UCQ with exactly one disjunct routed to each peer — the shape
+// where pushing the parallel Union below the mediator overlaps the peers'
+// network latency.
+func renameFanSystem(t testing.TB, k, factsPerPeer int) (*core.System, pattern.Query) {
+	t.Helper()
+	sys := core.NewSystem()
+	preds := make([]rdf.Term, k)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("http://e/P%d", i))
+	}
+	for i := 0; i < k; i++ {
+		p := sys.AddPeer(fmt.Sprintf("peer%d", i))
+		for j := 0; j < factsPerPeer; j++ {
+			err := p.Add(rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://e/s%d_%d", i, j)),
+				P: preds[i],
+				O: rdf.IRI(fmt.Sprintf("http://e/o%d_%d", i, j)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 1; i < k; i++ {
+		m := core.GraphMappingAssertion{
+			From: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[i]), pattern.V("y"))}),
+			To: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y"))}),
+			SrcPeer: fmt.Sprintf("peer%d", i),
+			DstPeer: "peer0",
+		}
+		if err := sys.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := pattern.MustQuery([]string{"x", "y"},
+		pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y"))})
+	return sys, q
+}
+
+// The parallel mediator must compute exactly the serial mediator's answers,
+// deterministically, under both join strategies.
+func TestFederationParallelMatchesSerial(t *testing.T) {
+	sys, q := renameFanSystem(t, 6, 5)
+	for _, join := range []federation.JoinStrategy{federation.HashJoin, federation.BindJoin} {
+		engS, _ := deploy(sys, federation.Options{Join: join, Serial: true})
+		want, mS, err := engS.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mS.Disjuncts != 6 || want.Len() != 30 {
+			t.Fatalf("join %v: serial disjuncts=%d answers=%d", join, mS.Disjuncts, want.Len())
+		}
+		if mS.InFlightMax > 1 {
+			t.Errorf("join %v: serial mediator overlapped requests (InFlightMax=%d)", join, mS.InFlightMax)
+		}
+		engP, _ := deploy(sys, federation.Options{Join: join})
+		for run := 0; run < 3; run++ {
+			got, mP, err := engP.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("join %v run %d: parallel answers diverge:\n got %v\nwant %v",
+					join, run, got.Sorted(), want.Sorted())
+			}
+			if mP.Disjuncts != mS.Disjuncts || mP.RowsFetched != mS.RowsFetched {
+				t.Errorf("join %v run %d: metrics drift: parallel %+v serial %+v", join, run, mP, mS)
+			}
+		}
+	}
+}
+
+// randomFederationCase builds a small random RDF Peer System — random peer
+// partitions of the data, random rename mappings between peers, an optional
+// equivalence — and a random 1–2 pattern query, all over a shared constant
+// pool. Every predicate is seeded at every peer so mapping vocabulary
+// checks pass.
+func randomFederationCase(t *testing.T, rng *rand.Rand) (*core.System, pattern.Query) {
+	t.Helper()
+	preds := make([]rdf.Term, 3)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("http://e/p%d", i))
+	}
+	consts := make([]rdf.Term, 6)
+	for i := range consts {
+		consts[i] = rdf.IRI(fmt.Sprintf("http://e/c%d", i))
+	}
+	obj := func() rdf.Term {
+		if rng.Intn(4) == 0 {
+			return rdf.Literal(fmt.Sprintf("v%d", rng.Intn(3)))
+		}
+		return consts[rng.Intn(len(consts))]
+	}
+	sys := core.NewSystem()
+	npeers := 2 + rng.Intn(2)
+	names := make([]string, npeers)
+	for i := 0; i < npeers; i++ {
+		names[i] = fmt.Sprintf("peer%d", i)
+		p := sys.AddPeer(names[i])
+		for _, pr := range preds {
+			if err := p.Add(rdf.Triple{S: consts[rng.Intn(len(consts))], P: pr, O: obj()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for n := rng.Intn(6); n > 0; n-- {
+			if err := p.Add(rdf.Triple{S: consts[rng.Intn(len(consts))], P: preds[rng.Intn(len(preds))], O: obj()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		m := core.GraphMappingAssertion{
+			From: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[rng.Intn(len(preds))]), pattern.V("y"))}),
+			To: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[rng.Intn(len(preds))]), pattern.V("y"))}),
+			SrcPeer: names[rng.Intn(npeers)],
+			DstPeer: names[rng.Intn(npeers)],
+		}
+		if err := sys.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		if err := sys.AddEquivalence(consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var q pattern.Query
+	if rng.Intn(2) == 0 {
+		q = pattern.MustQuery([]string{"x", "y"},
+			pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[rng.Intn(len(preds))]), pattern.V("y"))})
+	} else {
+		q = pattern.MustQuery([]string{"x", "z"}, pattern.GraphPattern{
+			pattern.TP(pattern.V("x"), pattern.C(preds[rng.Intn(len(preds))]), pattern.V("y")),
+			pattern.TP(pattern.V("y"), pattern.C(preds[rng.Intn(len(preds))]), pattern.V("z")),
+		})
+	}
+	return sys, q
+}
+
+// TestFederationMatchesChaseRandom is the federation≡chase equivalence
+// property: on random TGDs and random peer partitions of the data, the
+// parallel federated answer set equals the single-store chase answer set —
+// for both join strategies and across bind-join batch sizes.
+func TestFederationMatchesChaseRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, q := randomFederationCase(t, rng)
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: chase: %v", seed, err)
+		}
+		want := u.CertainAnswers(q)
+		for _, join := range []federation.JoinStrategy{federation.HashJoin, federation.BindJoin} {
+			for _, batch := range []int{1, 3} {
+				eng, _ := deploy(sys, federation.Options{
+					Join: join, BatchSize: batch,
+					Rewrite: rewrite.Options{MaxQueries: 500000},
+				})
+				got, m, err := eng.Answer(q)
+				if err != nil {
+					t.Logf("seed %d join %v batch %d: %v", seed, join, batch, err)
+					return false
+				}
+				if m.RewriteTruncated {
+					t.Logf("seed %d: rewriting truncated", seed)
+					return false
+				}
+				if !got.Equal(want) {
+					t.Logf("seed %d join %v batch %d:\n got %v\nwant %v",
+						seed, join, batch, got.Sorted(), want.Sorted())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// batchTradeoffSystem: a selective fact peer and a bulky name peer — the
+// bind-join scenario where probe batching pays.
+func batchTradeoffSystem(t testing.TB, likesCount int) (*core.System, pattern.Query) {
+	t.Helper()
+	sys := core.NewSystem()
+	facts := sys.AddPeer("facts")
+	bulk := sys.AddPeer("bulk")
+	likes := rdf.IRI("http://e/likes")
+	name := rdf.IRI("http://e/name")
+	alice := rdf.IRI("http://e/alice")
+	for i := 0; i < likesCount; i++ {
+		person := rdf.IRI(fmt.Sprintf("http://e/person%d", i))
+		if err := facts.Add(rdf.Triple{S: alice, P: likes, O: person}); err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.Add(rdf.Triple{S: person, P: name, O: rdf.Literal(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://e/other%d", i))
+		if err := bulk.Add(rdf.Triple{S: s, P: name, O: rdf.Literal(fmt.Sprintf("x%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := pattern.MustQuery([]string{"n"}, pattern.GraphPattern{
+		pattern.TP(pattern.C(alice), pattern.C(likes), pattern.V("x")),
+		pattern.TP(pattern.V("x"), pattern.C(name), pattern.V("n")),
+	})
+	return sys, q
+}
+
+// Golden batching semantics: bind joins at batch sizes 1, 16 and 1024
+// return identical tuples, while the request count shrinks as the batch
+// grows — 1 extension fetch plus ⌈40/B⌉ probes — and Batches counts exactly
+// the multi-binding probe messages.
+func TestBindJoinBatchSizes(t *testing.T) {
+	sys, q := batchTradeoffSystem(t, 40)
+	type golden struct{ calls, batches int }
+	want := map[int]golden{
+		1:    {calls: 1 + 40, batches: 0},
+		16:   {calls: 1 + 3, batches: 3},
+		1024: {calls: 1 + 1, batches: 1},
+	}
+	var first *pattern.TupleSet
+	for _, batch := range []int{1, 16, 1024} {
+		eng, net := deploy(sys, federation.Options{Join: federation.BindJoin, BatchSize: batch})
+		got, m, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 40 {
+			t.Fatalf("batch %d: answers = %d, want 40", batch, got.Len())
+		}
+		if first == nil {
+			first = got
+		} else if !got.Equal(first) {
+			t.Errorf("batch %d: answers differ from batch 1:\n got %v\nwant %v",
+				batch, got.Sorted(), first.Sorted())
+		}
+		g := want[batch]
+		if m.RemoteCalls != g.calls || m.Batches != g.batches {
+			t.Errorf("batch %d: calls=%d batches=%d, want calls=%d batches=%d (metrics %+v)",
+				batch, m.RemoteCalls, m.Batches, g.calls, g.batches, m)
+		}
+		if net.Stats().Calls != m.RemoteCalls {
+			t.Errorf("batch %d: network calls %d != metric %d", batch, net.Stats().Calls, m.RemoteCalls)
+		}
+	}
+	// sanity: batching must agree with the chase
+	u, err := chase.Run(sys, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := u.CertainAnswers(q); !first.Equal(want) {
+		t.Errorf("batched bind join diverges from chase:\n got %v\nwant %v", first.Sorted(), want.Sorted())
+	}
+}
+
+// A slow, jittery peer must not change answers — and under the parallel
+// mediator the injected latency actually overlaps: the engine reports more
+// than one request in flight.
+func TestFederationSlowPeer(t *testing.T) {
+	sys, q := renameFanSystem(t, 4, 4)
+	baseEng, _ := deploy(sys, federation.Options{})
+	want, _, err := baseEng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := simnet.New(simnet.WithRealDelay(), simnet.WithLatency(time.Millisecond), simnet.WithJitterSeed(3))
+	net.SetNodeLatency("peer:peer2", 5*time.Millisecond, 2*time.Millisecond)
+	eng := deployOn(sys, net, federation.Options{})
+	got, m, err := eng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("slow peer changed answers:\n got %v\nwant %v", got.Sorted(), want.Sorted())
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		if m.InFlightMax < 2 {
+			t.Errorf("InFlightMax = %d, want ≥2 (latency should overlap under the parallel mediator)", m.InFlightMax)
+		}
+		if net.Stats().MaxInFlight < 2 {
+			t.Errorf("network MaxInFlight = %d, want ≥2", net.Stats().MaxInFlight)
+		}
+	}
+}
+
+// A peer dying mid-stream (after serving a few probes) surfaces as an
+// unreachable-peer error, exactly like a peer that was down from the start
+// (TestFederationFailedPeer) — never as silent answer loss.
+func TestFederationPeerDiesMidStream(t *testing.T) {
+	sys, q := batchTradeoffSystem(t, 40)
+	eng, net := deploy(sys, federation.Options{Join: federation.BindJoin, BatchSize: 1})
+	net.FailAfter("peer:bulk", 5)
+	if _, _, err := eng.Answer(q); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	net.Heal("peer:bulk")
+	got, _, err := eng.Answer(q)
+	if err != nil {
+		t.Fatalf("healed federation failed: %v", err)
+	}
+	if got.Len() != 40 {
+		t.Errorf("healed answers = %d, want 40", got.Len())
+	}
+}
+
+// The parallel executor must not leak goroutines — across repeated runs,
+// both join strategies, and the error path.
+func TestFederationNoGoroutineLeak(t *testing.T) {
+	sys, q := renameFanSystem(t, 4, 4)
+	eng, net := deploy(sys, federation.Options{})
+	engBind, _ := deploy(sys, federation.Options{Join: federation.BindJoin})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, _, err := eng.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := engBind.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Fail("peer:peer2")
+	if _, _, err := eng.Answer(q); err == nil {
+		t.Fatal("expected error from failed peer")
+	}
+	net.Heal("peer:peer2")
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+}
+
+// The federated plan is a first-class plan: EXPLAIN shows RemoteScan leaves
+// with source fan-out, batch, and window annotations under the parallel
+// Union — and draining the plan computes the mediator's answers.
+func TestFederatedPlanExplainAndExecute(t *testing.T) {
+	sys := core.NewSystem()
+	a := sys.AddPeer("a")
+	b := sys.AddPeer("b")
+	p := rdf.IRI("http://e/p")
+	qp := rdf.IRI("http://e/q")
+	for i := 0; i < 6; i++ {
+		if err := a.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)), P: p, O: rdf.IRI(fmt.Sprintf("http://e/m%d", i%3)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/m%d", i)), P: qp, O: rdf.Literal(fmt.Sprintf("v%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := pattern.MustQuery([]string{"x", "z"}, pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("y"), pattern.C(qp), pattern.V("z")),
+	})
+	eng, _ := deploy(sys, federation.Options{Join: federation.BindJoin, BatchSize: 8, MaxInFlight: 2})
+	pq, err := eng.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pq.Explain()
+	for _, want := range []string{
+		"federated UCQ of 1 disjuncts, parallel mediator",
+		"Union[parallel branches=1]",
+		"RemoteScan[?x <http://e/p> ?y] sources=1 window=2",
+		"RemoteScan[?y <http://e/q> ?z] sources=1 batch=8 window=2",
+		"HashJoin[on y]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+
+	rows := plan.Drain(pq.Root.Open(nil))
+	if err := pq.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := pattern.NewTupleSet()
+	for _, mu := range rows {
+		got.Add(pattern.Tuple{mu["x"], mu["z"]})
+	}
+	want, _, err := eng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("plan execution diverges from Answer:\n got %v\nwant %v", got.Sorted(), want.Sorted())
+	}
+	if m := pq.Metrics(); m.RemoteCalls == 0 || m.SourcesContacted != 2 {
+		t.Errorf("plan metrics = %+v", m)
+	}
+}

@@ -1,0 +1,138 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/rewrite"
+)
+
+// PlannedQuery is a federated execution plan: the rewriting's UCQ as a
+// (parallel) Union over per-disjunct mediator plans whose leaves are
+// plan.RemoteScan operators bound to a shared fetcher. The plan is both
+// renderable (Explain) and executable (open Root and drain it — the leaves
+// fetch through the engine's client and shared cache; check Err afterwards,
+// RemoteScan iterators have no error channel).
+type PlannedQuery struct {
+	// Root is the plan: Distinct over the Union of the disjunct plans.
+	Root plan.Node
+	// Rewriting is the UCQ the plan evaluates.
+	Rewriting *rewrite.Result
+
+	f *fetcher
+}
+
+// Err returns the first network error recorded while executing the plan.
+func (p *PlannedQuery) Err() error { return p.f.Err() }
+
+// Metrics freezes the fetch-layer counters accumulated so far.
+func (p *PlannedQuery) Metrics() *Metrics { return p.f.snapshot(p.Rewriting) }
+
+// Explain renders the federated plan, prefixed with a summary of the
+// rewriting and the executor's concurrency parameters.
+func (p *PlannedQuery) Explain() string {
+	var b strings.Builder
+	mode := "parallel"
+	if sn, ok := p.Root.(*plan.Distinct); ok {
+		if u, ok := sn.Child.(*plan.Union); ok && !u.Parallel {
+			mode = "serial"
+		}
+	}
+	fmt.Fprintf(&b, "-- federated UCQ of %d disjuncts, %s mediator\n", p.Rewriting.Size(), mode)
+	b.WriteString(plan.Format(p.Root))
+	return b.String()
+}
+
+// Plan builds the federated plan of q without executing it. Executing the
+// returned plan computes the same solution mappings the mediator's hash
+// join strategy computes: every RemoteScan fetches its pattern's merged
+// extension (through the shared per-plan cache, so shared patterns across
+// disjuncts are fetched once), and the disjunct bodies join at the
+// mediator. The RemoteScan annotations — source fan-out, probe batch size
+// (bind join), in-flight window — describe how the configured executor
+// crosses the network.
+func (e *Engine) Plan(q pattern.Query) (*PlannedQuery, error) {
+	res, err := rewrite.Rewrite(q, e.sys, e.opts.Rewrite)
+	if err != nil {
+		return nil, err
+	}
+	f := newFetcher(e)
+	children := make([]plan.Node, len(res.Disjuncts))
+	for i, d := range res.Disjuncts {
+		children[i] = e.disjunctPlan(f, d)
+	}
+	root := &plan.Distinct{Child: &plan.Union{Children: children, Parallel: !e.opts.Serial}}
+	return &PlannedQuery{Root: root, Rewriting: res, f: f}, nil
+}
+
+// Explain renders the federated plan of q.
+func (e *Engine) Explain(q pattern.Query) (string, error) {
+	p, err := e.Plan(q)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// disjunctPlan builds one disjunct's mediator plan: RemoteScan leaves in
+// the bind-join probe order (fewest variables first), folded with hash
+// joins on the accumulated shared variables, wrapped in the π·δ query
+// shape.
+func (e *Engine) disjunctPlan(f *fetcher, d rewrite.Disjunct) plan.Node {
+	gp := d.Query.GP
+	if len(gp) == 0 {
+		return plan.Unit{}
+	}
+	ordered := append(pattern.GraphPattern(nil), gp...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return countVars(ordered[i]) < countVars(ordered[j])
+	})
+	fetch := func(tp pattern.TriplePattern) []pattern.Binding {
+		rows, err := f.fetchPattern(tp)
+		if err != nil {
+			f.recordErr(err)
+			return nil
+		}
+		return rows
+	}
+	leaf := func(tp pattern.TriplePattern, probe bool) *plan.RemoteScan {
+		s := &plan.RemoteScan{
+			TP:      tp,
+			Sources: len(e.reg.SelectSources(patternIRIs(tp))),
+			Window:  e.opts.window(),
+			Fetch:   fetch,
+		}
+		if probe && e.opts.Join == BindJoin {
+			s.Batch = e.opts.batchSize()
+		}
+		return s
+	}
+	var root plan.Node = leaf(ordered[0], false)
+	for _, tp := range ordered[1:] {
+		root = &plan.HashJoin{
+			Left:   root,
+			Right:  leaf(tp, true),
+			Shared: sharedSorted(root.Vars(), tp.Vars()),
+		}
+	}
+	return &plan.Distinct{Child: &plan.Project{Child: root, Cols: d.Query.Free}}
+}
+
+// sharedSorted intersects two sorted variable lists.
+func sharedSorted(a, b []string) []string {
+	set := make(map[string]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range b {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,63 @@
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// MsgSPARQLBatch is the message type of a batched SPARQL request: the
+// payload is a JSON array of query texts, the response payload a JSON array
+// of SPARQL JSON results documents aligned by index. One batch costs one
+// network round trip regardless of how many queries it carries — the wire
+// form of the mediator's probe batching.
+const MsgSPARQLBatch = "sparql-batch"
+
+// BatchContentType is the HTTP content type of a batched request body (the
+// same JSON array of query texts the simnet message carries).
+const BatchContentType = "application/sparql-query-batch+json"
+
+// EncodeBatchRequest marshals query texts as a batch request payload.
+func EncodeBatchRequest(queries []string) ([]byte, error) {
+	return json.Marshal(queries)
+}
+
+// DecodeBatchRequest unmarshals a batch request payload.
+func DecodeBatchRequest(data []byte) ([]string, error) {
+	var queries []string
+	if err := json.Unmarshal(data, &queries); err != nil {
+		return nil, fmt.Errorf("peer: bad batch request: %w", err)
+	}
+	return queries, nil
+}
+
+// EncodeBatchResults marshals per-query results as a batch response payload.
+func EncodeBatchResults(rs []*sparql.Result) ([]byte, error) {
+	docs := make([]json.RawMessage, len(rs))
+	for i, r := range rs {
+		doc, err := EncodeResult(r)
+		if err != nil {
+			return nil, err
+		}
+		docs[i] = doc
+	}
+	return json.Marshal(docs)
+}
+
+// DecodeBatchResults unmarshals a batch response payload.
+func DecodeBatchResults(data []byte) ([]*sparql.Result, error) {
+	var docs []json.RawMessage
+	if err := json.Unmarshal(data, &docs); err != nil {
+		return nil, fmt.Errorf("peer: bad batch response: %w", err)
+	}
+	out := make([]*sparql.Result, len(docs))
+	for i, doc := range docs {
+		r, err := DecodeResult(doc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

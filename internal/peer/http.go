@@ -22,8 +22,14 @@ type HTTPService struct {
 // NewHTTPService wraps a peer.
 func NewHTTPService(p *core.Peer) *HTTPService { return &HTTPService{peer: p} }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A POST with the batch content type
+// (peer.BatchContentType) carries a JSON array of query texts and returns a
+// JSON array of result documents — the HTTP form of the batched protocol.
 func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasPrefix(r.Header.Get("Content-Type"), BatchContentType) {
+		s.serveBatch(w, r)
+		return
+	}
 	queryText, err := extractQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -41,6 +47,35 @@ func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
+	_, _ = w.Write(payload)
+}
+
+func (s *HTTPService) serveBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	queries, err := DecodeBatchRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rs := make([]*sparql.Result, len(queries))
+	for i, text := range queries {
+		q, err := sparql.Parse(text, nil)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("batch query %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		rs[i] = q.Eval(s.peer.Data())
+	}
+	payload, err := EncodeBatchResults(rs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(payload)
 }
 
@@ -82,21 +117,50 @@ type HTTPClient struct {
 
 // Query POSTs the query to the endpoint URL and decodes the JSON results.
 func (c *HTTPClient) Query(endpoint, queryText string) (*sparql.Result, error) {
+	body, err := c.post(endpoint, "application/sparql-query", queryText)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResult(body)
+}
+
+// QueryBatch POSTs several query texts in one request (peer.BatchContentType)
+// and decodes the per-query results.
+func (c *HTTPClient) QueryBatch(endpoint string, queries []string) ([]*sparql.Result, error) {
+	payload, err := EncodeBatchRequest(queries)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.post(endpoint, BatchContentType, string(payload))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := DecodeBatchResults(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(queries) {
+		return nil, fmt.Errorf("peer: batch response has %d results for %d queries", len(rs), len(queries))
+	}
+	return rs, nil
+}
+
+func (c *HTTPClient) post(endpoint, contentType, body string) ([]byte, error) {
 	hc := c.Client
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	resp, err := hc.Post(endpoint, "application/sparql-query", strings.NewReader(queryText))
+	resp, err := hc.Post(endpoint, contentType, strings.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	out, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("peer: endpoint %s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(body)))
+		return nil, fmt.Errorf("peer: endpoint %s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(out)))
 	}
-	return DecodeResult(body)
+	return out, nil
 }

@@ -50,18 +50,34 @@ func (n *Node) QueriesServed() int {
 }
 
 func (n *Node) handle(from string, req simnet.Message) (simnet.Message, error) {
-	if req.Type != MsgSPARQL {
+	switch req.Type {
+	case MsgSPARQL:
+		res, err := n.Answer(string(req.Payload))
+		if err != nil {
+			return simnet.Message{}, fmt.Errorf("peer %s: %w", n.name, err)
+		}
+		payload, err := EncodeResult(res)
+		if err != nil {
+			return simnet.Message{}, err
+		}
+		return simnet.Message{Type: MsgSPARQL, Payload: payload}, nil
+	case MsgSPARQLBatch:
+		queries, err := DecodeBatchRequest(req.Payload)
+		if err != nil {
+			return simnet.Message{}, fmt.Errorf("peer %s: %w", n.name, err)
+		}
+		rs, err := n.AnswerBatch(queries)
+		if err != nil {
+			return simnet.Message{}, fmt.Errorf("peer %s: %w", n.name, err)
+		}
+		payload, err := EncodeBatchResults(rs)
+		if err != nil {
+			return simnet.Message{}, err
+		}
+		return simnet.Message{Type: MsgSPARQLBatch, Payload: payload}, nil
+	default:
 		return simnet.Message{}, fmt.Errorf("peer %s: unsupported message type %q", n.name, req.Type)
 	}
-	res, err := n.Answer(string(req.Payload))
-	if err != nil {
-		return simnet.Message{}, fmt.Errorf("peer %s: %w", n.name, err)
-	}
-	payload, err := EncodeResult(res)
-	if err != nil {
-		return simnet.Message{}, err
-	}
-	return simnet.Message{Type: MsgSPARQL, Payload: payload}, nil
 }
 
 // Answer evaluates a SPARQL query text over the node's local database.
@@ -74,6 +90,21 @@ func (n *Node) Answer(queryText string) (*sparql.Result, error) {
 	n.queries++
 	n.mu.Unlock()
 	return q.Eval(n.peer.Data()), nil
+}
+
+// AnswerBatch evaluates several query texts, one result per query. Each
+// counts as one served query; a parse or evaluation failure anywhere fails
+// the whole batch (the batch is one protocol operation).
+func (n *Node) AnswerBatch(queries []string) ([]*sparql.Result, error) {
+	out := make([]*sparql.Result, len(queries))
+	for i, text := range queries {
+		r, err := n.Answer(text)
+		if err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // Client issues SPARQL queries to nodes over the network.
@@ -94,6 +125,27 @@ func (c *Client) Query(addr, queryText string) (*sparql.Result, error) {
 		return nil, err
 	}
 	return DecodeResult(resp.Payload)
+}
+
+// QueryBatch ships several query texts to addr in one network message and
+// decodes the per-query results (aligned by index).
+func (c *Client) QueryBatch(addr string, queries []string) ([]*sparql.Result, error) {
+	payload, err := EncodeBatchRequest(queries)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.net.Call(c.from, addr, simnet.Message{Type: MsgSPARQLBatch, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	rs, err := DecodeBatchResults(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(queries) {
+		return nil, fmt.Errorf("peer: batch response has %d results for %d queries", len(rs), len(queries))
+	}
+	return rs, nil
 }
 
 // Entry describes one peer known to the registry.

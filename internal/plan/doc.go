@@ -31,6 +31,15 @@
 //   - Union          ∪ of subplans, either sequential or parallel: the
 //     parallel form fans the branches out across GOMAXPROCS-bounded
 //     goroutines and merges deterministically in branch order.
+//   - RemoteScan     the federated leaf: one pattern answered by its
+//     candidate peers' SPARQL services instead of a local index, annotated
+//     with source fan-out, bind-join probe batch size, and per-peer
+//     in-flight window (the federation mediator injects the fetch closure).
+//
+// When a disconnected pattern forces a HashJoin, the planner hashes the
+// genuinely smaller input: it tracks the accumulated output estimate of the
+// plan prefix and builds on the prefix when that estimate is below the new
+// leaf's, on the leaf otherwise.
 //
 // # Cost model
 //

@@ -76,19 +76,37 @@ func planWithInfo(g *rdf.Graph, gp pattern.GraphPattern) (Node, bool) {
 
 	tp, est := pick()
 	var root Node = leafScan(g, tp, est)
+	// accEst tracks the estimated output cardinality of the plan prefix:
+	// the leaf's row estimate, multiplied at each join by the next pattern's
+	// estimate (per-prefix-row matches for an index nested loop, full leaf
+	// cardinality for a disconnected cross product). It decides which side
+	// of a HashJoin gets hashed — see joinHash.
+	accEst := est
 	for len(remaining) > 0 {
 		before := snapshot(bound)
 		tp, est := pick()
 		if sharesVar(tp, before) {
 			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
 		} else {
-			root = &HashJoin{Left: root, Right: leafScan(g, tp, est)}
+			root = joinHash(root, leafScan(g, tp, est), accEst, est)
 		}
+		accEst *= est
 	}
 	if useCache {
 		cacheStore(key, cacheEntry{order: order, ests: ests})
 	}
 	return root, false
+}
+
+// joinHash joins the accumulated prefix with a disconnected leaf by hash
+// join, hashing the genuinely smaller input: the leaf when its estimate is
+// at most the prefix's accumulated output estimate, the prefix otherwise.
+// (HashJoin drains Right as the build side and streams Left.)
+func joinHash(prefix Node, leaf *IndexScan, accEst, leafEst float64) *HashJoin {
+	if accEst < leafEst {
+		return &HashJoin{Left: leaf, Right: prefix}
+	}
+	return &HashJoin{Left: prefix, Right: leaf}
 }
 
 // rebuild replays a cached join order over the concrete patterns of gp.
@@ -99,6 +117,7 @@ func rebuild(g *rdf.Graph, gp pattern.GraphPattern, ent cacheEntry) Node {
 	bound := make(map[string]bool)
 	tp := gp[ent.order[0]]
 	var root Node = leafScan(g, tp, ent.ests[0])
+	accEst := ent.ests[0]
 	for _, v := range tp.Vars() {
 		bound[v] = true
 	}
@@ -108,8 +127,9 @@ func rebuild(g *rdf.Graph, gp pattern.GraphPattern, ent cacheEntry) Node {
 		if sharesVar(tp, bound) {
 			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
 		} else {
-			root = &HashJoin{Left: root, Right: leafScan(g, tp, est)}
+			root = joinHash(root, leafScan(g, tp, est), accEst, est)
 		}
+		accEst *= est
 		for _, v := range tp.Vars() {
 			bound[v] = true
 		}

@@ -196,7 +196,9 @@ func TestGoldenJoinOrderSelective(t *testing.T) {
 
 // TestGoldenCrossProductUsesHashJoin pins the operator choice for a
 // disconnected pattern: no shared variable means a buffered hash join, not
-// a per-row rescan.
+// a per-row rescan. The smaller input — here the first-picked q scan, whose
+// accumulated prefix estimate (2) is below the p leaf's (5) — must be the
+// build (Right) side; the bigger side streams.
 func TestGoldenCrossProductUsesHashJoin(t *testing.T) {
 	g := rdf.NewGraph()
 	p := rdf.IRI("http://e/p")
@@ -212,14 +214,51 @@ func TestGoldenCrossProductUsesHashJoin(t *testing.T) {
 		pattern.TP(pattern.V("a"), pattern.C(q), pattern.V("b")),
 	}
 	want := `HashJoin[on ×]
-  IndexScan[?a <http://e/q> ?b] idx=pos(prefix) est=2
   IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=5
+  IndexScan[?a <http://e/q> ?b] idx=pos(prefix) est=2
 `
 	if got := plan.Explain(g, gp); got != want {
 		t.Errorf("explain mismatch:\ngot:\n%swant:\n%s", got, want)
 	}
 	if n := len(plan.Execute(g, gp)); n != 10 {
 		t.Errorf("cross product rows = %d, want 10", n)
+	}
+}
+
+// TestGoldenHashJoinBuildSidePrefix pins the other polarity of the
+// build-side choice: when the accumulated output estimate of the plan
+// prefix (4 × 3 = 12 for the p→q chain) exceeds the disconnected leaf's
+// estimate (6), the leaf is hashed and the prefix streams.
+func TestGoldenHashJoinBuildSidePrefix(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	q := rdf.IRI("http://e/q")
+	r := rdf.IRI("http://e/r")
+	for i := 0; i < 4; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)), P: p, O: rdf.IRI(fmt.Sprintf("http://e/y%d", i))})
+	}
+	// 12 q-triples over 4 distinct subjects: est 3 per bound ?y
+	for i := 0; i < 12; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/y%d", i%4)), P: q, O: rdf.IRI(fmt.Sprintf("http://e/z%d", i))})
+	}
+	for i := 0; i < 6; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/t%d", i)), P: r, O: rdf.Literal("w")})
+	}
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("y"), pattern.C(q), pattern.V("z")),
+		pattern.TP(pattern.V("a"), pattern.C(r), pattern.V("b")),
+	}
+	want := `HashJoin[on ×]
+  IndexNestedLoopJoin[?y <http://e/q> ?z] idx=spo est=3
+    IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=4
+  IndexScan[?a <http://e/r> ?b] idx=pos(prefix) est=6
+`
+	if got := plan.Explain(g, gp); got != want {
+		t.Errorf("explain mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if got, want := len(plan.Execute(g, gp)), len(pattern.EvalNaive(g, gp)); got != want {
+		t.Errorf("rows = %d, want %d", got, want)
 	}
 }
 

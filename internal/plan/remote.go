@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/rdf"
+)
+
+// RemoteScan is the federated leaf access path: one triple pattern answered
+// by the SPARQL services of its candidate peers instead of a local index.
+// The federation mediator injects Fetch (bound to its per-execution fetch
+// cache and peer client) and the routing/batching parameters, so EXPLAIN
+// output shows how the pattern will cross the network: how many sources are
+// candidates, the bind-join probe batch size, and the per-peer in-flight
+// window.
+//
+// Opening the node materialises the pattern's merged remote extension; the
+// rows stream from an in-memory buffer like Bindings. Network errors have
+// no Iterator channel — Fetch implementations record them out of band (the
+// mediator's fetcher keeps the first error and Fetch returns no rows).
+type RemoteScan struct {
+	TP pattern.TriplePattern
+	// Sources is the number of candidate peers the registry routes the
+	// pattern to.
+	Sources int
+	// Batch, when > 0, is the bind-join probe batch size: how many bindings
+	// one probe query ships (VALUES-style, as a UNION of filtered copies of
+	// the pattern).
+	Batch int
+	// Window, when > 0, is the per-peer cap on concurrently outstanding
+	// requests.
+	Window int
+	// Fetch retrieves the pattern's merged extension from the candidate
+	// peers; nil yields no rows (an EXPLAIN-only plan).
+	Fetch func(pattern.TriplePattern) []pattern.Binding
+}
+
+// Vars implements Node.
+func (s *RemoteScan) Vars() []string { return s.TP.Vars() }
+
+// Open implements Node.
+func (s *RemoteScan) Open(*rdf.Graph) Iterator {
+	if s.Fetch == nil {
+		return &sliceIter{}
+	}
+	return &sliceIter{rows: s.Fetch(s.TP)}
+}
+
+func (s *RemoteScan) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "RemoteScan[%s] sources=%d", s.TP, s.Sources)
+	if s.Batch > 0 {
+		fmt.Fprintf(b, " batch=%d", s.Batch)
+	}
+	if s.Window > 0 {
+		fmt.Fprintf(b, " window=%d", s.Window)
+	}
+	b.WriteByte('\n')
+}

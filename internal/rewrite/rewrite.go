@@ -51,6 +51,34 @@ type Disjunct struct {
 	Bound map[string]rdf.Term
 }
 
+// Project turns solution mappings of the disjunct's body into certain-answer
+// tuples and adds them to out: answer variables bound to constants by the
+// rewriting are spliced in, tuples with unbound answer variables or blank
+// nodes are dropped (Q_D semantics). This is the single implementation of
+// the disjunct→answer step, shared by local UCQ evaluation and the
+// federation mediator.
+func (d Disjunct) Project(bindings []pattern.Binding, out *pattern.TupleSet) {
+	for _, mu := range bindings {
+		tuple := make(pattern.Tuple, len(d.Query.Free))
+		ok := true
+		for i, f := range d.Query.Free {
+			if c, bound := d.Bound[f]; bound {
+				tuple[i] = c
+				continue
+			}
+			t, has := mu[f]
+			if !has || t.IsBlank() {
+				ok = false
+				break
+			}
+			tuple[i] = t
+		}
+		if ok {
+			out.Add(tuple)
+		}
+	}
+}
+
 // String renders the disjunct, annotating bound answer variables.
 func (d Disjunct) String() string {
 	s := d.Query.String()

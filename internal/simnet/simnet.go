@@ -5,6 +5,14 @@
 // optionally delayed by a configurable latency model, and can be failed and
 // healed to exercise partition behaviour.
 //
+// The latency model is injectable per peer (SetNodeLatency: base delay plus
+// deterministic jitter drawn from a seeded source), nodes can be killed
+// mid-stream (FailAfter: serve n more calls, then become unreachable), and
+// the fabric tracks concurrently outstanding calls (Stats.MaxInFlight,
+// NodeMaxInFlight) — together these make the mediator's concurrency
+// observable and testable: a parallel federation run shows MaxInFlight > 1
+// and overlapped per-peer delays, a serial run does not.
+//
 // The same peer/query code also runs over real HTTP endpoints (package
 // peer); simnet exists so experiments are reproducible and traffic is
 // measurable without sockets.
@@ -13,6 +21,7 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -49,18 +58,36 @@ type Stats struct {
 	// model charged (virtual time; calls are not actually delayed unless
 	// RealDelay is set).
 	SimulatedLatency time.Duration
+	// MaxInFlight is the peak number of concurrently outstanding calls
+	// observed on the fabric — >1 only when callers overlap requests.
+	MaxInFlight int
+}
+
+// nodeShape is the injectable per-node behaviour: extra latency, jitter,
+// and a mid-stream death countdown.
+type nodeShape struct {
+	latency time.Duration
+	jitter  time.Duration
+	// failAfter counts down the calls the node will still serve; when it
+	// reaches zero the node goes down. -1 disables the countdown.
+	failAfter int
 }
 
 // Network is an in-process message fabric.
 type Network struct {
-	mu       sync.Mutex
-	nodes    map[string]Handler
-	down     map[string]bool
-	links    map[string]*LinkStats
-	stats    Stats
-	latency  time.Duration
-	perByte  time.Duration
-	realWait bool
+	mu         sync.Mutex
+	nodes      map[string]Handler
+	down       map[string]bool
+	links      map[string]*LinkStats
+	shapes     map[string]*nodeShape
+	stats      Stats
+	latency    time.Duration
+	perByte    time.Duration
+	realWait   bool
+	rng        *rand.Rand
+	inFlight   int
+	nodeFlight map[string]int
+	nodeMax    map[string]int
 }
 
 // Option configures a Network.
@@ -81,17 +108,65 @@ func WithRealDelay() Option {
 	return func(n *Network) { n.realWait = true }
 }
 
+// WithJitterSeed seeds the deterministic source jitter draws come from
+// (default seed 1), so runs with per-node jitter are reproducible.
+func WithJitterSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
 // New returns an empty network.
 func New(opts ...Option) *Network {
 	n := &Network{
-		nodes: make(map[string]Handler),
-		down:  make(map[string]bool),
-		links: make(map[string]*LinkStats),
+		nodes:      make(map[string]Handler),
+		down:       make(map[string]bool),
+		links:      make(map[string]*LinkStats),
+		shapes:     make(map[string]*nodeShape),
+		rng:        rand.New(rand.NewSource(1)),
+		nodeFlight: make(map[string]int),
+		nodeMax:    make(map[string]int),
 	}
 	for _, o := range opts {
 		o(n)
 	}
 	return n
+}
+
+// SetNodeLatency charges extra latency on every call TO addr: a fixed base
+// plus, when jitter > 0, a uniformly random extra in [0, jitter) drawn from
+// the network's seeded source. It models a slow (or slow-and-noisy) peer.
+func (n *Network) SetNodeLatency(addr string, base, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.shapeLocked(addr)
+	sh.latency, sh.jitter = base, jitter
+}
+
+// FailAfter lets addr serve calls more requests and then marks it down, as
+// if the peer died mid-stream. A negative count disables the countdown.
+func (n *Network) FailAfter(addr string, calls int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if calls < 0 {
+		calls = -1
+	}
+	n.shapeLocked(addr).failAfter = calls
+}
+
+func (n *Network) shapeLocked(addr string) *nodeShape {
+	sh, ok := n.shapes[addr]
+	if !ok {
+		sh = &nodeShape{failAfter: -1}
+		n.shapes[addr] = sh
+	}
+	return sh
+}
+
+// NodeMaxInFlight reports the peak number of concurrently outstanding
+// calls observed at addr.
+func (n *Network) NodeMaxInFlight(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodeMax[addr]
 }
 
 // Register attaches a handler at addr, replacing any previous handler.
@@ -101,12 +176,13 @@ func (n *Network) Register(addr string, h Handler) {
 	n.nodes[addr] = h
 }
 
-// Unregister removes a node entirely.
+// Unregister removes a node entirely, including any injected shape.
 func (n *Network) Unregister(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.nodes, addr)
 	delete(n.down, addr)
+	delete(n.shapes, addr)
 }
 
 // Fail marks a node as unreachable.
@@ -116,11 +192,14 @@ func (n *Network) Fail(addr string) {
 	n.down[addr] = true
 }
 
-// Heal restores a failed node.
+// Heal restores a failed node and disarms any FailAfter countdown.
 func (n *Network) Heal(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.down, addr)
+	if sh, ok := n.shapes[addr]; ok {
+		sh.failAfter = -1
+	}
 }
 
 // Nodes returns the registered addresses.
@@ -136,7 +215,8 @@ func (n *Network) Nodes() []string {
 
 // Call sends req from one node to another and returns the response. Traffic
 // is accounted on the from→to link; latency is charged per the configured
-// model.
+// model (global base + per-node base + jitter + per-byte cost), on the
+// request and again on the response.
 func (n *Network) Call(from, to string, req Message) (Message, error) {
 	n.mu.Lock()
 	h, ok := n.nodes[to]
@@ -145,33 +225,65 @@ func (n *Network) Call(from, to string, req Message) (Message, error) {
 		n.mu.Unlock()
 		return Message{}, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
+	var node time.Duration
+	if sh := n.shapes[to]; sh != nil {
+		if sh.failAfter == 0 {
+			n.down[to] = true
+			n.stats.Failures++
+			n.mu.Unlock()
+			return Message{}, fmt.Errorf("%w: %s -> %s (died mid-stream)", ErrUnreachable, from, to)
+		}
+		if sh.failAfter > 0 {
+			sh.failAfter--
+		}
+		node = sh.latency
+		if sh.jitter > 0 {
+			node += time.Duration(n.rng.Int63n(int64(sh.jitter)))
+		}
+	}
 	link := n.linkLocked(from, to)
 	link.Calls++
 	link.BytesSent += len(req.Payload)
 	n.stats.Calls++
 	n.stats.BytesSent += len(req.Payload)
-	delay := n.latency + time.Duration(len(req.Payload))*n.perByte
+	n.inFlight++
+	if n.inFlight > n.stats.MaxInFlight {
+		n.stats.MaxInFlight = n.inFlight
+	}
+	n.nodeFlight[to]++
+	if n.nodeFlight[to] > n.nodeMax[to] {
+		n.nodeMax[to] = n.nodeFlight[to]
+	}
+	delay := n.latency + node + time.Duration(len(req.Payload))*n.perByte
 	n.stats.SimulatedLatency += delay
 	real := n.realWait
 	n.mu.Unlock()
 
+	settle := func() {
+		n.mu.Lock()
+		n.inFlight--
+		n.nodeFlight[to]--
+		n.mu.Unlock()
+	}
 	if real && delay > 0 {
 		time.Sleep(delay)
 	}
 	resp, err := h(from, req)
 	if err != nil {
+		settle()
 		return Message{}, err
 	}
 
 	n.mu.Lock()
 	link.BytesRecv += len(resp.Payload)
 	n.stats.BytesRecv += len(resp.Payload)
-	respDelay := n.latency + time.Duration(len(resp.Payload))*n.perByte
+	respDelay := n.latency + node + time.Duration(len(resp.Payload))*n.perByte
 	n.stats.SimulatedLatency += respDelay
 	n.mu.Unlock()
 	if real && respDelay > 0 {
 		time.Sleep(respDelay)
 	}
+	settle()
 	return resp, nil
 }
 
@@ -203,10 +315,17 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
-// ResetStats zeroes all counters (global and per-link).
+// ResetStats zeroes all counters (global, per-link, and the in-flight
+// maxima; calls still outstanding re-seed the maxima).
 func (n *Network) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.stats = Stats{}
+	n.stats = Stats{MaxInFlight: n.inFlight}
 	n.links = make(map[string]*LinkStats)
+	n.nodeMax = make(map[string]int)
+	for addr, f := range n.nodeFlight {
+		if f > 0 {
+			n.nodeMax[addr] = f
+		}
+	}
 }

@@ -118,6 +118,110 @@ func TestResetStats(t *testing.T) {
 	}
 }
 
+// Per-node latency adds onto the global model for calls TO that node, on
+// request and response; jitter draws are deterministic under a fixed seed.
+func TestNodeLatencyAndJitter(t *testing.T) {
+	n := New(WithLatency(time.Millisecond))
+	n.Register("fast", echoHandler)
+	n.Register("slow", echoHandler)
+	n.SetNodeLatency("slow", 5*time.Millisecond, 0)
+	if _, err := n.Call("fast", "slow", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := n.Stats().SimulatedLatency, 2*(time.Millisecond+5*time.Millisecond); got != want {
+		t.Errorf("slow-node latency = %v, want %v", got, want)
+	}
+	n.ResetStats()
+	if _, err := n.Call("slow", "fast", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := n.Stats().SimulatedLatency, 2*time.Millisecond; got != want {
+		t.Errorf("fast-node latency = %v, want %v (node latency must only apply to calls TO the slow node)", got, want)
+	}
+
+	run := func() time.Duration {
+		j := New(WithJitterSeed(7))
+		j.Register("a", echoHandler)
+		j.Register("b", echoHandler)
+		j.SetNodeLatency("b", time.Millisecond, 10*time.Millisecond)
+		for i := 0; i < 5; i++ {
+			if _, err := j.Call("a", "b", Message{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return j.Stats().SimulatedLatency
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("jitter not deterministic under a fixed seed: %v vs %v", first, second)
+	}
+	if first < 5*2*time.Millisecond {
+		t.Errorf("jittered latency %v below the base alone", first)
+	}
+}
+
+// FailAfter kills a node mid-stream: it serves n more calls, then becomes
+// unreachable until healed (Heal disarms the countdown).
+func TestFailAfter(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	n.FailAfter("b", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := n.Call("a", "b", Message{}); err != nil {
+			t.Fatalf("call %d before death failed: %v", i, err)
+		}
+	}
+	if _, err := n.Call("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err after countdown = %v, want ErrUnreachable", err)
+	}
+	// the node stays down, like a crashed process
+	if _, err := n.Call("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dead node answered")
+	}
+	n.Heal("b")
+	if _, err := n.Call("a", "b", Message{}); err != nil {
+		t.Fatalf("healed node failed: %v", err)
+	}
+}
+
+// The fabric tracks concurrently outstanding calls globally and per node.
+func TestMaxInFlight(t *testing.T) {
+	n := New()
+	release := make(chan struct{})
+	arrived := make(chan struct{})
+	n.Register("srv", func(string, Message) (Message, error) {
+		arrived <- struct{}{}
+		<-release
+		return Message{}, nil
+	})
+	n.Register("c0", echoHandler)
+	n.Register("c1", echoHandler)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := n.Call(fmt.Sprintf("c%d", i), "srv", Message{}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	<-arrived
+	<-arrived
+	close(release)
+	wg.Wait()
+	if got := n.Stats().MaxInFlight; got != 2 {
+		t.Errorf("MaxInFlight = %d, want 2", got)
+	}
+	if got := n.NodeMaxInFlight("srv"); got != 2 {
+		t.Errorf("NodeMaxInFlight(srv) = %d, want 2", got)
+	}
+	if got := n.NodeMaxInFlight("c0"); got != 0 {
+		t.Errorf("NodeMaxInFlight(c0) = %d, want 0", got)
+	}
+}
+
 func TestConcurrentCalls(t *testing.T) {
 	n := New()
 	n.Register("srv", echoHandler)

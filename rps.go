@@ -26,7 +26,19 @@
 // A federated execution engine (package internal/federation, re-exported
 // here as NewFederation) implements the Section 5 prototype: sub-queries
 // are routed to per-peer SPARQL services by schema and joined at the
-// mediator.
+// mediator. The mediator is concurrent: the rewriting's UCQ disjuncts
+// evaluate in parallel (the planner's Union pushed below the mediator, so
+// federated disjuncts overlap network latency), identical sub-queries
+// coalesce in a shared singleflight fetch cache, per-peer in-flight windows
+// bound the load one peer sees, and bind joins ship bindings in VALUES-style
+// batches — one probe query carries a whole batch of bindings as a UNION of
+// filtered copies of the pattern, and sub-queries bound for the same source
+// travel in one batched message (the peer protocol's sparql-batch
+// operation, also served over HTTP). Federated plans are first-class:
+// EXPLAIN shows per-disjunct mediator plans with RemoteScan leaves
+// annotated with source fan-out, probe batch size, and in-flight window
+// (rpsquery -mode federation -explain; tune with -fed-parallel and
+// -fed-batch on rpsd, rpsquery and rpsbench).
 //
 // Underneath all three strategies and the federated engine sits a single
 // streaming, cost-based query planner and executor (package internal/plan):
