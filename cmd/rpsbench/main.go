@@ -5,6 +5,13 @@
 //	rpsbench             # run everything at the default sizes
 //	rpsbench -e e1,e5    # selected experiments
 //	rpsbench -quick      # smaller sizes for a fast smoke run
+//	rpsbench -json out.json   # machine-readable results + contention benches
+//
+// With -json, the selected experiment tables are additionally written as a
+// JSON document together with a fixed suite of store microbenchmarks
+// (ns/op, allocs/op — including the snapshot-read-under-writes contention
+// probes), so the performance trajectory of the repository is recorded as
+// an artifact (CI uploads BENCH_PR4.json from the bench-smoke job).
 //
 // Experiments: e1 (Listing 1), e2 (Listing 2), e3 (Theorem 1 chase
 // scaling), e4 (Proposition 2 rewriting strategies), e5 (Proposition 3
@@ -36,20 +43,22 @@ func main() {
 		fedParallel = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (E7)")
 		fedJoin     = flag.String("fed-join", "hash", "federated join strategy: hash | bind (E7)")
 		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the federated mediator (0 = library default; bind join only)")
+		fedAdaptive = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
+		jsonPath    = flag.String("json", "", "also write machine-readable results (tables + store microbenchmarks) to this file")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
-	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch}
+	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
 	}
-	if err := run(os.Stdout, *which, *quick, fed); err != nil {
+	if err := run(os.Stdout, *which, *quick, fed, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "rpsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, which string, quick bool, fed federation.Options) error {
+func run(w io.Writer, which string, quick bool, fed federation.Options, jsonPath string) error {
 	selected := map[string]bool{}
 	if which == "all" {
 		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "a4", "a5"} {
@@ -125,6 +134,7 @@ func run(w io.Writer, which string, quick bool, fed federation.Options) error {
 	}
 
 	ran := 0
+	var tables []*experiments.Table
 	for _, e := range all {
 		if !selected[e.id] {
 			continue
@@ -134,10 +144,17 @@ func run(w io.Writer, which string, quick bool, fed federation.Options) error {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		fmt.Fprintln(w, tab.Format())
+		tables = append(tables, tab)
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q", which)
+	}
+	if jsonPath != "" {
+		if err := writeJSONReport(jsonPath, quick, tables); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
 	}
 	return nil
 }

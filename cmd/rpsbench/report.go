@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+)
+
+// benchReport is the machine-readable result document the -json flag
+// emits (BENCH_PR4.json in CI): the selected experiment tables plus a
+// fixed suite of store microbenchmarks, so ns/op and allocs/op are
+// recorded per run and the performance trajectory is diffable.
+type benchReport struct {
+	GeneratedAt string                `json:"generatedAt"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	Quick       bool                  `json:"quick"`
+	Experiments []*experiments.Table  `json:"experiments"`
+	Micro       []microBenchmarkEntry `json:"micro"`
+}
+
+// microBenchmarkEntry is one testing.Benchmark result.
+type microBenchmarkEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// writeJSONReport runs the microbenchmark suite and writes the report.
+func writeJSONReport(path string, quick bool, tables []*experiments.Table) error {
+	rep := &benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+		Experiments: tables,
+		Micro:       microBenchmarks(quick),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// microGraph builds the store the microbenchmarks probe.
+func microGraph(n int) (*rdf.Graph, []rdf.Term) {
+	g := rdf.NewGraph()
+	rng := rand.New(rand.NewSource(1))
+	preds := make([]rdf.Term, 16)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("http://bench/p%d", i))
+	}
+	ts := make([]rdf.Triple, n)
+	for i := range ts {
+		ts[i] = rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://bench/s%d", rng.Intn(n/4+1))),
+			P: preds[rng.Intn(len(preds))],
+			O: rdf.IRI(fmt.Sprintf("http://bench/o%d", rng.Intn(n/8+1))),
+		}
+	}
+	g.AddAll(ts)
+	return g, preds
+}
+
+// microBenchmarks runs the fixed contention suite through
+// testing.Benchmark: snapshot reads on an idle store, the same reads while
+// a writer storms (the PR 4 acceptance pair — the two ns/op should be
+// within a small factor of each other now that Match never locks), plan
+// execution, and single-triple writes.
+func microBenchmarks(quick bool) []microBenchmarkEntry {
+	size := 100000
+	if quick {
+		size = 20000
+	}
+	g, preds := microGraph(size)
+
+	probe := func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				p := preds[i%len(preds)]
+				n := 0
+				g.Match(nil, &p, nil, func(rdf.Triple) bool { n++; return n < 64 })
+				i++
+			}
+		})
+	}
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y")),
+		pattern.TP(pattern.V("x"), pattern.C(preds[1]), pattern.V("z")),
+	}
+
+	specs := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"SnapshotRead/idle", probe},
+		{"SnapshotRead/underWriter", func(b *testing.B) {
+			var stop atomic.Bool
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rng := rand.New(rand.NewSource(2))
+				for !stop.Load() {
+					t := rdf.Triple{
+						S: rdf.IRI(fmt.Sprintf("http://bench/ws%d", rng.Intn(4096))),
+						P: preds[rng.Intn(len(preds))],
+						O: rdf.IRI(fmt.Sprintf("http://bench/wo%d", rng.Intn(4096))),
+					}
+					if !g.Add(t) {
+						g.Remove(t)
+					}
+				}
+			}()
+			probe(b)
+			stop.Store(true)
+			<-done
+		}},
+		{"PlanExecute", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.Execute(g, gp)
+			}
+		}},
+		{"Add", func(b *testing.B) {
+			b.ReportAllocs()
+			w := rdf.NewGraph()
+			for i := 0; i < b.N; i++ {
+				w.Add(rdf.Triple{
+					S: rdf.IRI(fmt.Sprintf("http://bench/a%d", i%65536)),
+					P: preds[i%len(preds)],
+					O: rdf.IRI(fmt.Sprintf("http://bench/b%d", i)),
+				})
+			}
+		}},
+	}
+
+	out := make([]microBenchmarkEntry, 0, len(specs))
+	for _, spec := range specs {
+		r := testing.Benchmark(spec.fn)
+		out = append(out, microBenchmarkEntry{
+			Name:        spec.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}

@@ -40,7 +40,10 @@ type localClient struct {
 	peers map[string]*core.Peer
 }
 
-// Query implements federation.Client.
+// Query implements federation.Client. Every request evaluates against a
+// point-in-time snapshot of the peer's store (sparql.Query.Eval freezes the
+// source up front), so queries never block on — and are never torn by —
+// concurrent bulk loads into the peer graphs.
 func (c localClient) Query(addr, queryText string) (*sparql.Result, error) {
 	p, ok := c.peers[addr]
 	if !ok {
@@ -61,6 +64,7 @@ func main() {
 		fedParallel = flag.Bool("fed-parallel", true, "evaluate the /federated endpoint's UCQ disjuncts in parallel")
 		fedJoin     = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
 		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
+		fedAdaptive = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
 	)
 	flag.Parse()
 	if *systemPath == "" {
@@ -68,7 +72,7 @@ func main() {
 		os.Exit(1)
 	}
 	rdf.SetDefaultShardCount(*shards)
-	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch}
+	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
 	}

@@ -56,10 +56,11 @@ func main() {
 		join       = flag.String("join", "hash", "federated join strategy: hash | bind (federation mode)")
 		fedPar     = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (federation mode)")
 		fedBatch   = flag.Int("fed-batch", 0, "bind-join probe batch size (0 = library default; federation mode)")
+		fedAdapt   = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (federation mode)")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
-	fed := federation.Options{Serial: !*fedPar, BatchSize: *fedBatch}
+	fed := federation.Options{Serial: !*fedPar, BatchSize: *fedBatch, Adaptive: *fedAdapt}
 	if *join == "bind" {
 		fed.Join = federation.BindJoin
 	}

@@ -15,7 +15,12 @@
 // With Options.Parallel the read phase of each round — the applicability
 // queries of every graph mapping assertion — fans out across goroutines
 // over the sharded, concurrency-safe store (internal/rdf), while triple
-// instantiation stays serial; certain answers are unchanged.
+// instantiation stays serial; certain answers are unchanged. Since PR 4 the
+// separation of phases is structural, not conventional: every round's read
+// phase evaluates against the rdf.Snapshot captured when the round starts,
+// so a mapping's applicability queries cannot observe the triples another
+// mapping fires mid-round even in principle — the Jacobi semantics is
+// enforced by immutability rather than by careful scheduling.
 //
 // Two equivalence strategies are provided: EquivCopy materialises the
 // copy rules of Section 3 exactly (producing the redundancy visible in
@@ -226,33 +231,35 @@ func (u *Universal) freshBlank() rdf.Term {
 
 // applyGMA performs every applicable chase step for one graph mapping
 // assertion: for each tuple in Q_J \ Q'_J, instantiate Q' with the tuple
-// and fresh blanks. Returns the triples added.
+// and fresh blanks. Returns the triples added. The read phase runs against
+// a snapshot captured here, so both applicability queries see one instant.
 func (u *Universal) applyGMA(m core.GraphMappingAssertion) []rdf.Triple {
-	to, missing := u.gmaMissing(m, u.opts.Parallel)
+	to, missing := u.gmaMissing(m, u.Graph.Snapshot(), u.opts.Parallel)
 	return u.fireGMA(m, to, missing)
 }
 
 // gmaMissing is the read phase of a chase step: it evaluates Q_J and Q'_J
-// (concurrently when concurrentEval is set) and returns the canonicalised
-// target query with the tuples whose Q' instances are missing. It does not
-// mutate the universal solution, so it is safe to fan out across mappings;
-// callers already fanning out across mappings pass concurrentEval=false to
-// avoid oversubscribing the worker pool with nested fan-outs.
-func (u *Universal) gmaMissing(m core.GraphMappingAssertion, concurrentEval bool) (pattern.Query, []pattern.Tuple) {
+// against the given point-in-time view (concurrently when concurrentEval is
+// set) and returns the canonicalised target query with the tuples whose Q'
+// instances are missing. It never mutates the universal solution and the
+// view is immutable, so it is safe to fan out across mappings; callers
+// already fanning out across mappings pass concurrentEval=false to avoid
+// oversubscribing the worker pool with nested fan-outs.
+func (u *Universal) gmaMissing(m core.GraphMappingAssertion, src rdf.Source, concurrentEval bool) (pattern.Query, []pattern.Tuple) {
 	from := u.canonicalQuery(m.From)
 	to := u.canonicalQuery(m.To)
 	var qj, qpj *pattern.TupleSet
 	if concurrentEval {
 		plan.Fanout(2, func(i int) {
 			if i == 0 {
-				qj = plan.ExecuteQuery(u.Graph, from)
+				qj = plan.ExecuteQuery(src, from)
 			} else {
-				qpj = plan.ExecuteQuery(u.Graph, to)
+				qpj = plan.ExecuteQuery(src, to)
 			}
 		})
 	} else {
-		qj = plan.ExecuteQuery(u.Graph, from)
-		qpj = plan.ExecuteQuery(u.Graph, to)
+		qj = plan.ExecuteQuery(src, from)
+		qpj = plan.ExecuteQuery(src, to)
 	}
 	return to, qj.Minus(qpj)
 }
@@ -325,13 +332,16 @@ func (u *Universal) runNaive(opts Options) error {
 		changed := false
 		if u.opts.Parallel && len(u.sys.G) > 1 {
 			// Jacobi-style round: every mapping's applicability queries run
-			// against the round-start state concurrently, then the missing
-			// tuples are instantiated serially in mapping order (keeping
-			// null allocation deterministic for a given round state).
+			// concurrently against the snapshot captured at round start — a
+			// structural guarantee that no mapping observes another's
+			// mid-round writes — then the missing tuples are instantiated
+			// serially in mapping order (keeping null allocation
+			// deterministic for a given round state).
+			round := u.Graph.Snapshot()
 			tos := make([]pattern.Query, len(u.sys.G))
 			missing := make([][]pattern.Tuple, len(u.sys.G))
 			plan.Fanout(len(u.sys.G), func(i int) {
-				tos[i], missing[i] = u.gmaMissing(u.sys.G[i], false)
+				tos[i], missing[i] = u.gmaMissing(u.sys.G[i], round, false)
 			})
 			for i, m := range u.sys.G {
 				if len(u.fireGMA(m, tos[i], missing[i])) > 0 {

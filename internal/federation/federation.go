@@ -75,11 +75,22 @@ type Options struct {
 	// InFlightMax never exceeds 1).
 	Serial bool
 	// BatchSize caps how many distinct bindings one bind-join probe query
-	// carries (0 = DefaultBatchSize; 1 = per-binding probing).
+	// carries (0 = DefaultBatchSize; 1 = per-binding probing). With
+	// Adaptive it is the ceiling the adaptive sizer grows toward.
 	BatchSize int
 	// MaxInFlight caps concurrently outstanding requests per peer
 	// (0 = DefaultMaxInFlight).
 	MaxInFlight int
+	// Adaptive sizes each probe batch from an exponentially weighted
+	// moving average of observed per-peer round-trip times, normalised to
+	// the bindings each probe carried, instead of always shipping
+	// BatchSize bindings: the next batch is sized so one probe's expected
+	// service time stays near a fixed target, so peers whose per-binding
+	// share is dominated by the wire earn growing batches (amortising the
+	// round trip) while peers with expensive per-binding evaluation get
+	// smaller probes that overlap inside the in-flight window. BatchSize
+	// acts as the ceiling. Metrics.AdaptiveResizes counts the size changes.
+	Adaptive bool
 }
 
 func (o Options) batchSize() int {
@@ -122,6 +133,10 @@ type Metrics struct {
 	// requests the mediator had — >1 only when the parallel executor
 	// actually overlapped network latency.
 	InFlightMax int
+	// AdaptiveResizes counts how many times the adaptive batch sizer chose
+	// a probe batch size different from the previous one (Options.Adaptive
+	// only).
+	AdaptiveResizes int
 }
 
 // Client abstracts how the mediator reaches a peer's SPARQL service: the

@@ -3,7 +3,9 @@ package federation
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/pattern"
 	"repro/internal/peer"
@@ -18,15 +20,19 @@ import (
 // in-flight windows, and the execution metrics. All methods are safe for
 // concurrent use by the parallel disjunct executor.
 type fetcher struct {
-	eng    *Engine
-	window int
-	batch  int
-	serial bool
+	eng      *Engine
+	window   int
+	batch    int
+	serial   bool
+	adaptive bool
 
 	mu        sync.Mutex
 	cache     map[string]*fetchEntry
 	slots     map[string]chan struct{}
 	sources   map[string]bool
+	rtt       map[string]time.Duration // per-peer EWMA of per-binding probe service time
+	lastBatch map[string]int           // last adaptive batch size per candidate-source set
+	resizes   int
 	calls     int
 	batches   int
 	rows      int
@@ -45,15 +51,19 @@ type fetchEntry struct {
 }
 
 func newFetcher(e *Engine) *fetcher {
-	return &fetcher{
-		eng:     e,
-		window:  e.opts.window(),
-		batch:   e.opts.batchSize(),
-		serial:  e.opts.Serial,
-		cache:   make(map[string]*fetchEntry),
-		slots:   make(map[string]chan struct{}),
-		sources: make(map[string]bool),
+	f := &fetcher{
+		eng:      e,
+		window:   e.opts.window(),
+		batch:    e.opts.batchSize(),
+		serial:   e.opts.Serial,
+		adaptive: e.opts.Adaptive,
+		cache:    make(map[string]*fetchEntry),
+		slots:    make(map[string]chan struct{}),
+		sources:  make(map[string]bool),
+		rtt:      make(map[string]time.Duration),
 	}
+	f.lastBatch = make(map[string]int)
+	return f
 }
 
 // fanout runs the tasks concurrently — or one after the other under
@@ -83,6 +93,7 @@ func (f *fetcher) snapshot(res *rewrite.Result) *Metrics {
 		SourcesContacted: len(f.sources),
 		CacheHits:        f.cacheHits,
 		InFlightMax:      f.flightMax,
+		AdaptiveResizes:  f.resizes,
 	}
 }
 
@@ -150,17 +161,23 @@ func (f *fetcher) cached(key string, compute func() ([]pattern.Binding, error)) 
 }
 
 // query sends one query text to one source within its in-flight window,
-// accounting the message (batched marks multi-binding probe queries).
-func (f *fetcher) query(src peer.Entry, queryText string, batched bool) (*sparql.Result, error) {
+// accounting the message. bindings is the probe batch size the query
+// carries (0: not a bind-join probe); probes feed the peer's service-time
+// EWMA, and multi-binding probes count as batches.
+func (f *fetcher) query(src peer.Entry, queryText string, bindings int) (*sparql.Result, error) {
 	release := f.acquire(src.Addr)
+	start := time.Now()
 	res, err := f.eng.client.Query(src.Addr, queryText)
+	if bindings > 0 {
+		f.observeProbe(src.Addr, time.Since(start), bindings)
+	}
 	release()
 	if err != nil {
 		return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
 	}
 	f.mu.Lock()
 	f.calls++
-	if batched {
+	if bindings > 1 {
 		f.batches++
 	}
 	f.sources[src.Name] = true
@@ -258,17 +275,18 @@ func (f *fetcher) fetchPattern(tp pattern.TriplePattern) ([]pattern.Binding, err
 		return nil, err
 	}
 	return f.cached(queryText, func() ([]pattern.Binding, error) {
-		return f.fetchMerged(f.eng.reg.SelectSources(patternIRIs(tp)), queryText, vars, false)
+		return f.fetchMerged(f.eng.reg.SelectSources(patternIRIs(tp)), queryText, vars, 0)
 	})
 }
 
 // fetchMerged sends one query text to every candidate source concurrently
-// and merges the per-source bindings in source order.
-func (f *fetcher) fetchMerged(candidates []peer.Entry, queryText string, vars []string, batched bool) ([]pattern.Binding, error) {
+// and merges the per-source bindings in source order. bindings is the
+// probe batch size the query carries (0 for plain extension fetches).
+func (f *fetcher) fetchMerged(candidates []peer.Entry, queryText string, vars []string, bindings int) ([]pattern.Binding, error) {
 	perSrc := make([][]pattern.Binding, len(candidates))
 	errs := make([]error, len(candidates))
 	f.fanout(len(candidates), func(i int) {
-		res, err := f.query(candidates[i], queryText, batched)
+		res, err := f.query(candidates[i], queryText, bindings)
 		if err != nil {
 			errs[i] = err
 			return
@@ -283,9 +301,78 @@ func (f *fetcher) fetchMerged(candidates []peer.Entry, queryText string, vars []
 	return mergeBindings(perSrc, vars), nil
 }
 
+// observeProbe folds one observed probe round trip, normalised to the
+// number of bindings it carried, into the peer's per-binding service-time
+// EWMA (α = 0.3: responsive to shifts, stable against jitter).
+func (f *fetcher) observeProbe(addr string, d time.Duration, bindings int) {
+	per := d / time.Duration(bindings)
+	f.mu.Lock()
+	if old, ok := f.rtt[addr]; ok {
+		f.rtt[addr] = (3*per + 7*old) / 10
+	} else {
+		f.rtt[addr] = per
+	}
+	f.mu.Unlock()
+}
+
+// adaptiveProbeTarget is the service time one probe round trip should stay
+// near. The sizer solves size ≈ target / perBindingEWMA: a slow-link peer
+// whose per-binding share is dominated by the wire earns ever larger
+// batches (amortising the trip shrinks the per-binding share, growing the
+// next batch), while a peer whose per-binding evaluation is expensive gets
+// smaller batches, so probes stay short enough to overlap inside the
+// per-peer in-flight window instead of serialising into one long call.
+const adaptiveProbeTarget = 25 * time.Millisecond
+
+// probeBatchSize returns the number of bindings the next probe query ships.
+// Fixed at f.batch unless Options.Adaptive, in which case it targets
+// adaptiveProbeTarget using the worst per-binding EWMA among the pattern's
+// candidate sources, clamped to [1, f.batch] (an unobserved peer starts at
+// the cap, exactly like the fixed mediator). Size changes are tracked per
+// candidate-source set — concurrent disjuncts probing different peers
+// through the shared fetcher must not read as resizes of each other — and
+// counted as AdaptiveResizes.
+func (f *fetcher) probeBatchSize(tp pattern.TriplePattern) int {
+	if !f.adaptive {
+		return f.batch
+	}
+	sources := f.eng.reg.SelectSources(patternIRIs(tp))
+	var key strings.Builder
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var worst time.Duration
+	for _, src := range sources {
+		if r := f.rtt[src.Addr]; r > worst {
+			worst = r
+		}
+		key.WriteString(src.Addr)
+		key.WriteByte('\x00')
+	}
+	size := f.batch
+	if worst > 0 {
+		size = int(adaptiveProbeTarget / worst)
+		if size < 1 {
+			size = 1
+		}
+		if size > f.batch {
+			size = f.batch
+		}
+	}
+	prev, seen := f.lastBatch[key.String()]
+	if !seen {
+		prev = f.batch
+	}
+	if size != prev {
+		f.resizes++
+	}
+	f.lastBatch[key.String()] = size
+	return size
+}
+
 // probe retrieves the fragment of tp's extension compatible with the
 // accumulated bindings: their distinct restrictions to tp's variables ship
-// in batches of up to f.batch per probe query, the batch queries run
+// in batches per probe query — of fixed size f.batch, or sized by the
+// per-peer round-trip EWMA under Options.Adaptive — the batch queries run
 // concurrently (each source's traffic bounded by its in-flight window), and
 // the per-batch rows merge in batch order. When some binding restricts
 // nothing (or the pattern is ground), the full extension subsumes every
@@ -299,9 +386,10 @@ func (f *fetcher) probe(tp pattern.TriplePattern, acc []pattern.Binding) ([]patt
 	if full {
 		return f.fetchPattern(tp)
 	}
+	batch := f.probeBatchSize(tp)
 	var chunks [][]pattern.Binding
-	for start := 0; start < len(restrictions); start += f.batch {
-		end := min(start+f.batch, len(restrictions))
+	for start := 0; start < len(restrictions); start += batch {
+		end := min(start+batch, len(restrictions))
 		chunks = append(chunks, restrictions[start:end])
 	}
 	perChunk := make([][]pattern.Binding, len(chunks))
@@ -324,9 +412,8 @@ func (f *fetcher) probeChunk(tp pattern.TriplePattern, restrictions []pattern.Bi
 	if err != nil {
 		return nil, err
 	}
-	batched := len(restrictions) > 1
 	return f.cached(queryText, func() ([]pattern.Binding, error) {
-		return f.fetchMerged(f.probeSources(tp, restrictions), queryText, vars, batched)
+		return f.fetchMerged(f.probeSources(tp, restrictions), queryText, vars, len(restrictions))
 	})
 }
 
@@ -449,7 +536,7 @@ func (f *fetcher) fetchExtensions(gp pattern.GraphPattern) ([][]pattern.Binding,
 		} else {
 			rs = make([]*sparql.Result, len(c.texts))
 			for k, text := range c.texts {
-				rs[k], err = f.query(c.src, text, false)
+				rs[k], err = f.query(c.src, text, 0)
 				if err != nil {
 					break
 				}

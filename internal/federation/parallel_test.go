@@ -446,3 +446,101 @@ func TestFederatedPlanExplainAndExecute(t *testing.T) {
 		t.Errorf("plan metrics = %+v", m)
 	}
 }
+
+// adaptiveChainSystem is a 3-hop chain whose second and third patterns both
+// route to the slow "bulk" peer: alice likes N persons (at "facts"), each
+// person knows one friend and each friend has a name (at "bulk"). The
+// second hop's probe is the first contact with bulk (no RTT observed yet);
+// by the third hop the sizer has an EWMA to work from.
+func adaptiveChainSystem(t testing.TB, n int) (*core.System, pattern.Query) {
+	t.Helper()
+	sys := core.NewSystem()
+	facts := sys.AddPeer("facts")
+	bulk := sys.AddPeer("bulk")
+	likes := rdf.IRI("http://e/likes")
+	knows := rdf.IRI("http://e/knows")
+	name := rdf.IRI("http://e/name")
+	alice := rdf.IRI("http://e/alice")
+	for i := 0; i < n; i++ {
+		person := rdf.IRI(fmt.Sprintf("http://e/person%d", i))
+		friend := rdf.IRI(fmt.Sprintf("http://e/friend%d", i))
+		if err := facts.Add(rdf.Triple{S: alice, P: likes, O: person}); err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.Add(rdf.Triple{S: person, P: knows, O: friend}); err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.Add(rdf.Triple{S: friend, P: name, O: rdf.Literal(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := pattern.MustQuery([]string{"n"}, pattern.GraphPattern{
+		pattern.TP(pattern.C(alice), pattern.C(likes), pattern.V("x")),
+		pattern.TP(pattern.V("x"), pattern.C(knows), pattern.V("y")),
+		pattern.TP(pattern.V("y"), pattern.C(name), pattern.V("n")),
+	})
+	return sys, q
+}
+
+// TestAdaptiveBatchSizing verifies the RTT-driven probe batch sizer against
+// simnet's injectable latency. The assertions follow from a guaranteed
+// bound, so they hold on any machine: the first probe to the slow peer
+// ships all 600 bindings in one ceiling-sized batch and takes at least the
+// injected 30ms, so the recorded per-binding service time is at least
+// 30ms/600 = 50µs and the next batch is sized at most 25ms/50µs = 500 —
+// a resize away from the 1024 ceiling, splitting the last hop into at
+// least two probes (peer-side evaluation cost only shrinks batches
+// further). A zero-latency control run pins that adaptivity never changes
+// answers.
+func TestAdaptiveBatchSizing(t *testing.T) {
+	const n = 600
+	const ceiling = 1024
+	run := func(latency time.Duration, adaptive bool) (*pattern.TupleSet, *federation.Metrics) {
+		t.Helper()
+		sys, q := adaptiveChainSystem(t, n)
+		net := simnet.New()
+		if latency > 0 {
+			net.SetNodeLatency("peer:bulk", latency, 0)
+		}
+		eng := deployOn(sys, net, federation.Options{Join: federation.BindJoin, BatchSize: ceiling, Adaptive: adaptive})
+		got, m, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != n {
+			t.Fatalf("answers = %d, want %d", got.Len(), n)
+		}
+		return got, m
+	}
+
+	t.Run("slowPeer", func(t *testing.T) {
+		want, mFixed := run(30*time.Millisecond, false)
+		if mFixed.AdaptiveResizes != 0 {
+			t.Errorf("fixed run reported %d adaptive resizes, want 0", mFixed.AdaptiveResizes)
+		}
+		got, m := run(30*time.Millisecond, true)
+		if !got.Equal(want) {
+			t.Fatalf("adaptive answers diverge from fixed:\n got %v\nwant %v", got.Sorted(), want.Sorted())
+		}
+		if m.AdaptiveResizes < 1 {
+			t.Errorf("adaptive sizer never resized (metrics %+v)", m)
+		}
+		if m.RemoteCalls <= mFixed.RemoteCalls {
+			t.Errorf("adaptive run did not split probes: %d calls vs fixed %d (metrics %+v)",
+				m.RemoteCalls, mFixed.RemoteCalls, m)
+		}
+	})
+
+	t.Run("zeroLatencyControl", func(t *testing.T) {
+		want, _ := run(0, false)
+		got, m := run(0, true)
+		if !got.Equal(want) {
+			t.Fatalf("adaptive answers diverge from fixed:\n got %v\nwant %v", got.Sorted(), want.Sorted())
+		}
+		// batch sizes may or may not shrink depending on machine speed; the
+		// metric just has to stay coherent
+		if m.AdaptiveResizes < 0 || m.RemoteCalls < 3 {
+			t.Errorf("incoherent metrics %+v", m)
+		}
+	})
+}

@@ -193,7 +193,7 @@ func BindTriple(tp TriplePattern, t rdf.Triple) (Binding, bool) {
 
 // EvalTriplePattern computes ⟦t⟧_D for a single triple pattern: the set of
 // mappings µ with dom(µ) = var(t) and µ(t) ∈ D (Definition 1, case 1).
-func EvalTriplePattern(g *rdf.Graph, tp TriplePattern) []Binding {
+func EvalTriplePattern(g rdf.Source, tp TriplePattern) []Binding {
 	var sp, pp, op *rdf.Term
 	if !tp.S.IsVar() {
 		t := tp.S.Term()
@@ -221,7 +221,7 @@ func EvalTriplePattern(g *rdf.Graph, tp TriplePattern) []Binding {
 // triple pattern independently, then fold the results with ⋈ in textual
 // order. Kept as the executable specification; Eval is the optimised
 // equivalent used elsewhere.
-func EvalNaive(g *rdf.Graph, gp GraphPattern) []Binding {
+func EvalNaive(g rdf.Source, gp GraphPattern) []Binding {
 	if len(gp) == 0 {
 		return []Binding{{}}
 	}
@@ -241,11 +241,11 @@ func EvalNaive(g *rdf.Graph, gp GraphPattern) []Binding {
 // so every program linking internal/plan — the library root, the commands,
 // and all answering strategies — routes Eval through the planner. Held in
 // an atomic so a (test-time) swap cannot race with parallel evaluation.
-var planned atomic.Pointer[func(*rdf.Graph, GraphPattern) []Binding]
+var planned atomic.Pointer[func(rdf.Source, GraphPattern) []Binding]
 
 // SetPlannedEval installs the optimised evaluator used by Eval. Passing nil
 // restores the built-in greedy strategy (EvalGreedy).
-func SetPlannedEval(f func(*rdf.Graph, GraphPattern) []Binding) {
+func SetPlannedEval(f func(rdf.Source, GraphPattern) []Binding) {
 	if f == nil {
 		planned.Store(nil)
 		return
@@ -256,7 +256,7 @@ func SetPlannedEval(f func(*rdf.Graph, GraphPattern) []Binding) {
 // Eval computes ⟦GP⟧_D. When the plan-based executor is linked it is the
 // default path (see SetPlannedEval); otherwise evaluation falls back to
 // EvalGreedy. The result is set-equivalent to EvalNaive either way.
-func Eval(g *rdf.Graph, gp GraphPattern) []Binding {
+func Eval(g rdf.Source, gp GraphPattern) []Binding {
 	if f := planned.Load(); f != nil {
 		return (*f)(g, gp)
 	}
@@ -267,17 +267,17 @@ func Eval(g *rdf.Graph, gp GraphPattern) []Binding {
 // selectivity-based join ordering: at each step the pattern with the fewest
 // estimated matches under the current bindings is evaluated next. Kept as
 // the pre-planner strategy for the join-ordering ablation.
-func EvalGreedy(g *rdf.Graph, gp GraphPattern) []Binding {
+func EvalGreedy(g rdf.Source, gp GraphPattern) []Binding {
 	return evalOrdered(g, gp, true)
 }
 
 // EvalTextualOrder evaluates with index nested loops but in textual pattern
 // order, without reordering. Used by the join-ordering ablation benchmark.
-func EvalTextualOrder(g *rdf.Graph, gp GraphPattern) []Binding {
+func EvalTextualOrder(g rdf.Source, gp GraphPattern) []Binding {
 	return evalOrdered(g, gp, false)
 }
 
-func evalOrdered(g *rdf.Graph, gp GraphPattern, reorder bool) []Binding {
+func evalOrdered(g rdf.Source, gp GraphPattern, reorder bool) []Binding {
 	if len(gp) == 0 {
 		return []Binding{{}}
 	}
@@ -312,7 +312,7 @@ func evalOrdered(g *rdf.Graph, gp GraphPattern, reorder bool) []Binding {
 
 // extend evaluates tp with mu's bindings substituted and unions each match
 // into mu.
-func extend(g *rdf.Graph, tp TriplePattern, mu Binding) []Binding {
+func extend(g rdf.Source, tp TriplePattern, mu Binding) []Binding {
 	inst := tp.Apply(mu)
 	matches := EvalTriplePattern(g, inst)
 	out := make([]Binding, 0, len(matches))
@@ -322,7 +322,7 @@ func extend(g *rdf.Graph, tp TriplePattern, mu Binding) []Binding {
 	return out
 }
 
-func estimate(g *rdf.Graph, tp TriplePattern, bound Binding) int {
+func estimate(g rdf.Source, tp TriplePattern, bound Binding) int {
 	inst := tp.Apply(bound)
 	var sp, pp, op *rdf.Term
 	if !inst.S.IsVar() {
@@ -482,17 +482,17 @@ func sortTuples(ts []Tuple) {
 // EvalQuery computes Q_D: the answer tuples whose components are all in
 // I ∪ L (blank-node tuples are dropped, matching the semantics of labelled
 // nulls).
-func EvalQuery(g *rdf.Graph, q Query) *TupleSet {
+func EvalQuery(g rdf.Source, q Query) *TupleSet {
 	return evalQuery(g, q, false)
 }
 
 // EvalQueryStar computes Q*_D: like EvalQuery but tuples may contain blank
 // nodes. Used for the semantics of equivalence mappings (Definition 2).
-func EvalQueryStar(g *rdf.Graph, q Query) *TupleSet {
+func EvalQueryStar(g rdf.Source, q Query) *TupleSet {
 	return evalQuery(g, q, true)
 }
 
-func evalQuery(g *rdf.Graph, q Query, star bool) *TupleSet {
+func evalQuery(g rdf.Source, q Query, star bool) *TupleSet {
 	out := NewTupleSet()
 	for _, mu := range Eval(g, q.GP) {
 		tuple := make(Tuple, len(q.Free))
@@ -517,6 +517,6 @@ func evalQuery(g *rdf.Graph, q Query, star bool) *TupleSet {
 }
 
 // Ask evaluates a boolean query: true iff the body matches the graph.
-func Ask(g *rdf.Graph, q Query) bool {
+func Ask(g rdf.Source, q Query) bool {
 	return len(Eval(g, q.GP)) > 0
 }

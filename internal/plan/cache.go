@@ -75,7 +75,7 @@ func FlushCache() {
 // cacheKey renders the shape of gp scoped to the graph's identity and size
 // bucket. Variables keep their names (they determine join structure);
 // constants collapse to a placeholder.
-func cacheKey(g *rdf.Graph, gp pattern.GraphPattern) string {
+func cacheKey(g rdf.Source, gp pattern.GraphPattern) string {
 	var b strings.Builder
 	b.Grow(16 + len(gp)*12)
 	writeUint(&b, g.ID())

@@ -25,6 +25,10 @@
 //     the planner when the next pattern shares no variable with the rows
 //     produced so far (a cross product, where re-scanning per row would be
 //     quadratic), and by the federation mediator to join remote extensions.
+//     When the build side is a cross-shard fan-out scan, the hash table is
+//     built shard-parallel: per-worker maps, merged once in shard order
+//     (build=parallel in EXPLAIN), so the build costs one pass of the
+//     slowest shard instead of a serial drain.
 //   - Project        π onto a variable list.
 //   - Distinct       δ by a collision-free (length-prefixed) binding key.
 //   - Filter         σ by an arbitrary predicate on bindings.
@@ -60,14 +64,25 @@
 // A pattern that can never match (count 0) is scheduled first so execution
 // short-circuits. Ties break on textual order, keeping plans deterministic.
 //
-// # Sharded store and plan cache
+// # Snapshots, sharded store and plan cache
+//
+// Execution is snapshot-isolated: Execute, ExecuteQuery, Ask and the
+// Explain variants freeze a live graph once (rdf.Freeze) and run the whole
+// operator tree against the resulting rdf.Snapshot, so no join can observe
+// a torn write no matter how writers storm mid-query, and long scans never
+// block those writers (the store's read path is lock-free). Explain output
+// leads with the snapshot epoch the query would run against. Callers that
+// need several evaluations against one instant (the chase's Jacobi rounds)
+// pass their own Snapshot — everything here accepts the rdf.Source
+// interface, satisfied by live graphs and snapshots alike.
 //
 // The store underneath (internal/rdf) partitions its SPO/OSP indexes by
-// subject hash and its POS index by predicate hash, each shard behind its
-// own read-write lock, so scans, chase rounds and bulk loads proceed in
-// parallel. The planner is shard-aware at two points: leaf scans whose
-// access path spans shards fan out (above), and per-predicate cardinalities
-// are read from the POS shards (the cost model, above).
+// subject hash and its POS index by predicate hash, each shard an
+// immutable, atomically-published persistent trie, so scans, chase rounds
+// and bulk loads proceed in parallel. The planner is shard-aware at two
+// points: leaf scans whose access path spans shards fan out (above), and
+// per-predicate cardinalities are read from the POS shards (the cost
+// model, above).
 //
 // Join orders are memoised in a process-wide plan cache keyed by pattern
 // *shape* — the pattern structure with constants abstracted — plus the

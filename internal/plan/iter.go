@@ -21,9 +21,11 @@ type Iterator interface {
 }
 
 // Node is a relational-algebra operator at plan time. Opening a node yields
-// a fresh iterator; a node may be opened many times.
+// a fresh iterator; a node may be opened many times. Nodes open against an
+// rdf.Source — a live graph or, on the Execute facade's path, the
+// per-query snapshot everything runs against.
 type Node interface {
-	Open(g *rdf.Graph) Iterator
+	Open(src rdf.Source) Iterator
 	// Vars returns the sorted variable names the operator's rows bind.
 	Vars() []string
 	format(b *strings.Builder, depth int)
@@ -62,7 +64,7 @@ func matchArgs(tp pattern.TriplePattern) (sp, pp, op *rdf.Term) {
 // pattern to dst. This is the per-row micro-buffer of the index nested-loop
 // join: it holds the matches of a single instantiated pattern, never a full
 // intermediate Ω.
-func appendMatches(dst []pattern.Binding, g *rdf.Graph, tp pattern.TriplePattern) []pattern.Binding {
+func appendMatches(dst []pattern.Binding, g rdf.Source, tp pattern.TriplePattern) []pattern.Binding {
 	sp, pp, op := matchArgs(tp)
 	g.Match(sp, pp, op, func(t rdf.Triple) bool {
 		if mu, ok := pattern.BindTriple(tp, t); ok {
@@ -93,7 +95,7 @@ type IndexScan struct {
 
 func (s *IndexScan) Vars() []string { return s.TP.Vars() }
 
-func (s *IndexScan) Open(g *rdf.Graph) Iterator {
+func (s *IndexScan) Open(g rdf.Source) Iterator {
 	if s.Fanout > 1 && g.ShardCount() > 1 {
 		return s.openFanout(g)
 	}
@@ -114,7 +116,7 @@ func (s *IndexScan) Open(g *rdf.Graph) Iterator {
 // openFanout drains every shard's partition of the scan concurrently
 // (bounded by Fanout, the parallel-union worker machinery underneath) and
 // replays the buffers in shard order.
-func (s *IndexScan) openFanout(g *rdf.Graph) Iterator {
+func (s *IndexScan) openFanout(g rdf.Source) Iterator {
 	n := g.ShardCount()
 	bufs := make([][]pattern.Binding, n)
 	sp, pp, op := matchArgs(s.TP)
@@ -166,12 +168,12 @@ func (j *IndexNestedLoopJoin) Vars() []string {
 	return unionVars(j.Left.Vars(), j.TP.Vars())
 }
 
-func (j *IndexNestedLoopJoin) Open(g *rdf.Graph) Iterator {
+func (j *IndexNestedLoopJoin) Open(g rdf.Source) Iterator {
 	return &inljIter{g: g, left: j.Left.Open(g), tp: j.TP}
 }
 
 type inljIter struct {
-	g    *rdf.Graph
+	g    rdf.Source
 	left Iterator
 	tp   pattern.TriplePattern
 	cur  pattern.Binding
@@ -220,25 +222,63 @@ type HashJoin struct {
 	Left, Right Node
 	// Shared is the sorted list of join variables (empty: cross product).
 	Shared []string
+	// ParallelBuild marks a build side that is a cross-shard fan-out scan:
+	// instead of draining one merged stream, Open builds per-shard hash
+	// tables concurrently and merges them once, in shard order. Set by the
+	// planner when the build side is an IndexScan with Fanout > 1.
+	ParallelBuild bool
 }
 
 func (j *HashJoin) Vars() []string {
 	return unionVars(j.Left.Vars(), j.Right.Vars())
 }
 
-func (j *HashJoin) Open(g *rdf.Graph) Iterator {
-	table := make(map[string][]pattern.Binding)
-	rit := j.Right.Open(g)
-	for {
-		mu, ok := rit.Next()
-		if !ok {
-			break
+func (j *HashJoin) Open(g rdf.Source) Iterator {
+	var table map[string][]pattern.Binding
+	if rs, ok := j.Right.(*IndexScan); ok && j.ParallelBuild && rs.Fanout > 1 && g != nil && g.ShardCount() > 1 {
+		table = j.buildParallel(g, rs)
+	} else {
+		table = make(map[string][]pattern.Binding)
+		rit := j.Right.Open(g)
+		for {
+			mu, ok := rit.Next()
+			if !ok {
+				break
+			}
+			k := pattern.BindingKey(mu, j.Shared)
+			table[k] = append(table[k], mu)
 		}
-		k := pattern.BindingKey(mu, j.Shared)
-		table[k] = append(table[k], mu)
+		rit.Close()
 	}
-	rit.Close()
 	return &hashJoinIter{left: j.Left.Open(g), table: table, shared: j.Shared}
+}
+
+// buildParallel drains the build-side scan's shard partitions concurrently,
+// each worker hashing into a private table, and merges the per-shard tables
+// once. Appending bucket slices in shard order yields exactly the bucket
+// contents the sequential fan-out scan would produce.
+func (j *HashJoin) buildParallel(g rdf.Source, rs *IndexScan) map[string][]pattern.Binding {
+	n := g.ShardCount()
+	parts := make([]map[string][]pattern.Binding, n)
+	sp, pp, op := matchArgs(rs.TP)
+	Fanout(n, func(i int) {
+		m := make(map[string][]pattern.Binding)
+		g.MatchShard(i, sp, pp, op, func(t rdf.Triple) bool {
+			if mu, ok := pattern.BindTriple(rs.TP, t); ok {
+				k := pattern.BindingKey(mu, j.Shared)
+				m[k] = append(m[k], mu)
+			}
+			return true
+		})
+		parts[i] = m
+	})
+	table := parts[0]
+	for _, part := range parts[1:] {
+		for k, rows := range part {
+			table[k] = append(table[k], rows...)
+		}
+	}
+	return table
 }
 
 type hashJoinIter struct {
@@ -277,7 +317,11 @@ func (j *HashJoin) format(b *strings.Builder, depth int) {
 	if on == "" {
 		on = "×"
 	}
-	fmt.Fprintf(b, "HashJoin[on %s]\n", on)
+	fmt.Fprintf(b, "HashJoin[on %s]", on)
+	if j.ParallelBuild {
+		b.WriteString(" build=parallel")
+	}
+	b.WriteByte('\n')
 	j.Left.format(b, depth+1)
 	j.Right.format(b, depth+1)
 }
@@ -296,7 +340,7 @@ func (p *Project) Vars() []string {
 	return out
 }
 
-func (p *Project) Open(g *rdf.Graph) Iterator {
+func (p *Project) Open(g rdf.Source) Iterator {
 	return &projectIter{child: p.Child.Open(g), cols: p.Cols}
 }
 
@@ -342,7 +386,7 @@ type Distinct struct {
 
 func (d *Distinct) Vars() []string { return d.Child.Vars() }
 
-func (d *Distinct) Open(g *rdf.Graph) Iterator {
+func (d *Distinct) Open(g rdf.Source) Iterator {
 	return &distinctIter{child: d.Child.Open(g), seen: make(map[string]struct{})}
 }
 
@@ -386,7 +430,7 @@ type Filter struct {
 
 func (f *Filter) Vars() []string { return f.Child.Vars() }
 
-func (f *Filter) Open(g *rdf.Graph) Iterator {
+func (f *Filter) Open(g rdf.Source) Iterator {
 	return &filterIter{child: f.Child.Open(g), pred: f.Pred}
 }
 
@@ -444,7 +488,7 @@ func (n *Bindings) Vars() []string {
 	return out
 }
 
-func (n *Bindings) Open(*rdf.Graph) Iterator { return &sliceIter{rows: n.Rows} }
+func (n *Bindings) Open(rdf.Source) Iterator { return &sliceIter{rows: n.Rows} }
 
 type sliceIter struct {
 	rows []pattern.Binding
@@ -478,7 +522,7 @@ func (n *Bindings) format(b *strings.Builder, depth int) {
 type Unit struct{}
 
 func (Unit) Vars() []string           { return nil }
-func (Unit) Open(*rdf.Graph) Iterator { return &sliceIter{rows: []pattern.Binding{{}}} }
+func (Unit) Open(rdf.Source) Iterator { return &sliceIter{rows: []pattern.Binding{{}}} }
 func (Unit) format(b *strings.Builder, depth int) {
 	indent(b, depth)
 	b.WriteString("Unit\n")
@@ -504,7 +548,7 @@ func (u *Union) Vars() []string {
 	return out
 }
 
-func (u *Union) Open(g *rdf.Graph) Iterator {
+func (u *Union) Open(g rdf.Source) Iterator {
 	if !u.Parallel {
 		return &unionIter{g: g, children: u.Children}
 	}
@@ -520,7 +564,7 @@ func (u *Union) Open(g *rdf.Graph) Iterator {
 }
 
 type unionIter struct {
-	g        *rdf.Graph
+	g        rdf.Source
 	children []Node
 	cur      Iterator
 	i        int

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 
@@ -18,14 +19,14 @@ import (
 // Join orders are memoised in a shape-keyed plan cache (see cache.go); a
 // hit replays the recorded order over the concrete patterns without
 // re-probing the indexes.
-func Plan(g *rdf.Graph, gp pattern.GraphPattern) Node {
+func Plan(g rdf.Source, gp pattern.GraphPattern) Node {
 	n, _ := planWithInfo(g, gp)
 	return n
 }
 
 // planWithInfo is Plan, additionally reporting whether the join order came
 // from the plan cache.
-func planWithInfo(g *rdf.Graph, gp pattern.GraphPattern) (Node, bool) {
+func planWithInfo(g rdf.Source, gp pattern.GraphPattern) (Node, bool) {
 	if len(gp) == 0 {
 		return Unit{}, false
 	}
@@ -103,17 +104,25 @@ func planWithInfo(g *rdf.Graph, gp pattern.GraphPattern) (Node, bool) {
 // at most the prefix's accumulated output estimate, the prefix otherwise.
 // (HashJoin drains Right as the build side and streams Left.)
 func joinHash(prefix Node, leaf *IndexScan, accEst, leafEst float64) *HashJoin {
+	var hj *HashJoin
 	if accEst < leafEst {
-		return &HashJoin{Left: leaf, Right: prefix}
+		hj = &HashJoin{Left: leaf, Right: prefix}
+	} else {
+		hj = &HashJoin{Left: prefix, Right: leaf}
 	}
-	return &HashJoin{Left: prefix, Right: leaf}
+	// when the build (Right) side is a cross-shard fan-out scan, build the
+	// hash table shard-parallel: per-worker maps, merged once in shard order
+	if rs, ok := hj.Right.(*IndexScan); ok && rs.Fanout > 1 {
+		hj.ParallelBuild = true
+	}
+	return hj
 }
 
 // rebuild replays a cached join order over the concrete patterns of gp.
 // Operator choice is re-derived from the variable-sharing structure (which
 // the shape key fully determines), so the resulting tree is exactly what
 // the greedy planner would build given that order.
-func rebuild(g *rdf.Graph, gp pattern.GraphPattern, ent cacheEntry) Node {
+func rebuild(g rdf.Source, gp pattern.GraphPattern, ent cacheEntry) Node {
 	bound := make(map[string]bool)
 	tp := gp[ent.order[0]]
 	var root Node = leafScan(g, tp, ent.ests[0])
@@ -146,7 +155,7 @@ const fanoutMinRows = 4096
 // cross-shard fan-out when the pattern's index partition spans shards
 // (object-only or unconstrained scans), the graph is sharded, more than one
 // CPU is available, and the scan is big enough to amortise the goroutines.
-func leafScan(g *rdf.Graph, tp pattern.TriplePattern, est float64) *IndexScan {
+func leafScan(g rdf.Source, tp pattern.TriplePattern, est float64) *IndexScan {
 	s := &IndexScan{TP: tp, Est: est}
 	if g == nil {
 		return s
@@ -161,7 +170,7 @@ func leafScan(g *rdf.Graph, tp pattern.TriplePattern, est float64) *IndexScan {
 // QueryPlan wraps the body plan of a graph pattern query with projection
 // onto its free variables and duplicate elimination — the full π·δ·⋈ shape
 // a SELECT DISTINCT compiles to.
-func QueryPlan(g *rdf.Graph, q pattern.Query) Node {
+func QueryPlan(g rdf.Source, q pattern.Query) Node {
 	return &Distinct{Child: &Project{Child: Plan(g, q.GP), Cols: q.Free}}
 }
 
@@ -186,12 +195,12 @@ func sharesVar(tp pattern.TriplePattern, bound map[string]bool) bool {
 // per-predicate cache, so each constant predicate of a pattern is looked up
 // in its POS shard at most once per planning call.
 type statsCtx struct {
-	g      *rdf.Graph
+	g      rdf.Source
 	global rdf.Stats
 	pred   map[rdf.Term]rdf.PredStats
 }
 
-func newStatsCtx(g *rdf.Graph) *statsCtx {
+func newStatsCtx(g rdf.Source) *statsCtx {
 	return &statsCtx{g: g, global: g.Stats()}
 }
 
@@ -252,19 +261,24 @@ func estimateRows(st *statsCtx, tp pattern.TriplePattern, base float64, bound ma
 
 // Execute computes ⟦GP⟧_D through the planner: the result is set-equivalent
 // to pattern.EvalNaive with dom(µ) = var(GP) for every µ. This is the
-// facade every answering strategy evaluates graph patterns through.
-func Execute(g *rdf.Graph, gp pattern.GraphPattern) []pattern.Binding {
-	return Drain(Plan(g, gp).Open(g))
+// facade every answering strategy evaluates graph patterns through. A live
+// graph is frozen first (rdf.Freeze), so the whole plan — every scan of
+// every join — runs against one point-in-time snapshot: concurrent writers
+// can never tear a join mid-flight, and long scans never block them.
+func Execute(g rdf.Source, gp pattern.GraphPattern) []pattern.Binding {
+	src := rdf.Freeze(g)
+	return Drain(Plan(src, gp).Open(src))
 }
 
 // Ask reports whether the pattern has at least one solution, stopping at
 // the first streamed row. Fan-out markers are stripped from the plan
 // first: a parallel scan buffers every shard's matches at Open time, which
 // is exactly wrong for a query that needs one row.
-func Ask(g *rdf.Graph, gp pattern.GraphPattern) bool {
-	n := Plan(g, gp)
+func Ask(g rdf.Source, gp pattern.GraphPattern) bool {
+	src := rdf.Freeze(g)
+	n := Plan(src, gp)
 	disableFanout(n)
-	it := n.Open(g)
+	it := n.Open(src)
 	defer it.Close()
 	_, ok := it.Next()
 	return ok
@@ -280,6 +294,7 @@ func disableFanout(n Node) {
 	case *IndexNestedLoopJoin:
 		disableFanout(x.Left)
 	case *HashJoin:
+		x.ParallelBuild = false
 		disableFanout(x.Left)
 		disableFanout(x.Right)
 	case *Project:
@@ -297,16 +312,16 @@ func disableFanout(n Node) {
 
 // ExecuteQuery computes Q_D (certain-answer semantics: tuples containing
 // blank nodes are dropped) through the planner.
-func ExecuteQuery(g *rdf.Graph, q pattern.Query) *pattern.TupleSet {
-	return executeQuery(g, q, false)
+func ExecuteQuery(g rdf.Source, q pattern.Query) *pattern.TupleSet {
+	return executeQuery(rdf.Freeze(g), q, false)
 }
 
 // ExecuteQueryStar computes Q*_D (blank nodes included) through the planner.
-func ExecuteQueryStar(g *rdf.Graph, q pattern.Query) *pattern.TupleSet {
-	return executeQuery(g, q, true)
+func ExecuteQueryStar(g rdf.Source, q pattern.Query) *pattern.TupleSet {
+	return executeQuery(rdf.Freeze(g), q, true)
 }
 
-func executeQuery(g *rdf.Graph, q pattern.Query, star bool) *pattern.TupleSet {
+func executeQuery(g rdf.Source, q pattern.Query, star bool) *pattern.TupleSet {
 	out := pattern.NewTupleSet()
 	it := Plan(g, q.GP).Open(g)
 	defer it.Close()
@@ -331,11 +346,14 @@ func executeQuery(g *rdf.Graph, q pattern.Query, star bool) *pattern.TupleSet {
 	}
 }
 
-// Explain renders the execution plan of a graph pattern. A leading comment
-// line marks plans whose join order was served from the plan cache.
-func Explain(g *rdf.Graph, gp pattern.GraphPattern) string {
+// Explain renders the execution plan of a graph pattern, led by a comment
+// line naming the snapshot epoch the query would execute against and, on a
+// plan-cache hit, a line marking the join order as cached.
+func Explain(g rdf.Source, gp pattern.GraphPattern) string {
+	src := rdf.Freeze(g)
 	var b strings.Builder
-	n, cached := planWithInfo(g, gp)
+	writeEpoch(&b, src)
+	n, cached := planWithInfo(src, gp)
 	if cached {
 		b.WriteString("-- plan: cached (shape hit)\n")
 	}
@@ -343,12 +361,21 @@ func Explain(g *rdf.Graph, gp pattern.GraphPattern) string {
 	return b.String()
 }
 
+// writeEpoch emits the snapshot-epoch comment line of EXPLAIN output.
+func writeEpoch(b *strings.Builder, src rdf.Source) {
+	if snap, ok := src.(*rdf.Snapshot); ok {
+		fmt.Fprintf(b, "-- snapshot: epoch %d\n", snap.Epoch())
+	}
+}
+
 // ExplainQuery renders the execution plan of a graph pattern query,
 // including the projection and duplicate-elimination operators. Like
 // Explain, it marks cached join orders.
-func ExplainQuery(g *rdf.Graph, q pattern.Query) string {
+func ExplainQuery(g rdf.Source, q pattern.Query) string {
+	src := rdf.Freeze(g)
 	var b strings.Builder
-	n, cached := planWithInfo(g, q.GP)
+	writeEpoch(&b, src)
+	n, cached := planWithInfo(src, q.GP)
 	if cached {
 		b.WriteString("-- plan: cached (shape hit)\n")
 	}

@@ -3,6 +3,7 @@ package plan_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -183,7 +184,8 @@ func TestGoldenJoinOrderSelective(t *testing.T) {
 		pattern.TP(pattern.V("x"), pattern.C(common), pattern.V("y")),
 		pattern.TP(pattern.V("x"), pattern.C(rare), pattern.C(rdf.Literal("target"))),
 	}
-	want := `IndexNestedLoopJoin[?x <http://e/common> ?y] idx=spo est=1
+	want := `-- snapshot: epoch 1001
+IndexNestedLoopJoin[?x <http://e/common> ?y] idx=spo est=1
   IndexScan[?x <http://e/rare> "target"] idx=pos est=1
 `
 	if got := plan.Explain(g, gp); got != want {
@@ -213,7 +215,8 @@ func TestGoldenCrossProductUsesHashJoin(t *testing.T) {
 		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
 		pattern.TP(pattern.V("a"), pattern.C(q), pattern.V("b")),
 	}
-	want := `HashJoin[on ×]
+	want := `-- snapshot: epoch 7
+HashJoin[on ×]
   IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=5
   IndexScan[?a <http://e/q> ?b] idx=pos(prefix) est=2
 `
@@ -249,7 +252,8 @@ func TestGoldenHashJoinBuildSidePrefix(t *testing.T) {
 		pattern.TP(pattern.V("y"), pattern.C(q), pattern.V("z")),
 		pattern.TP(pattern.V("a"), pattern.C(r), pattern.V("b")),
 	}
-	want := `HashJoin[on ×]
+	want := `-- snapshot: epoch 22
+HashJoin[on ×]
   IndexNestedLoopJoin[?y <http://e/q> ?z] idx=spo est=3
     IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=4
   IndexScan[?a <http://e/r> ?b] idx=pos(prefix) est=6
@@ -270,7 +274,8 @@ func TestGoldenQueryPlan(t *testing.T) {
 	q := pattern.MustQuery([]string{"x"}, pattern.GraphPattern{
 		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
 	})
-	want := `Distinct
+	want := `-- snapshot: epoch 1
+Distinct
   Project[?x]
     IndexScan[?x <http://e/p> ?y] idx=pos(prefix) est=1
 `
@@ -436,7 +441,7 @@ func TestFilterProjectDistinct(t *testing.T) {
 // package linked, pattern.Eval routes through the installed evaluator.
 func TestPlannedEvalHook(t *testing.T) {
 	marker := []pattern.Binding{{"hook": rdf.Literal("hit")}}
-	pattern.SetPlannedEval(func(*rdf.Graph, pattern.GraphPattern) []pattern.Binding {
+	pattern.SetPlannedEval(func(rdf.Source, pattern.GraphPattern) []pattern.Binding {
 		return marker
 	})
 	defer pattern.SetPlannedEval(plan.Execute)
@@ -456,5 +461,78 @@ func TestEvalDefaultIsPlanner(t *testing.T) {
 		if !sameBindings(pattern.Eval(g, gp), plan.Execute(g, gp)) {
 			t.Fatalf("pattern.Eval diverges from plan.Execute on case %d", i)
 		}
+	}
+}
+
+// TestParallelBuildEquivalent pins the shard-parallel hash-table build: a
+// HashJoin whose build side is a cross-shard fan-out scan must produce
+// exactly the rows (and row order) of the sequential build — the per-shard
+// tables merge in shard order, which is the order the sequential fan-out
+// scan replays its buffers in.
+func TestParallelBuildEquivalent(t *testing.T) {
+	g := rdf.NewGraphSharded(8)
+	hub := rdf.IRI("http://e/hub")
+	for i := 0; i < 5000; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", i%7)),
+			O: hub,
+		})
+	}
+	left := make([]pattern.Binding, 4)
+	for i := range left {
+		left[i] = pattern.Binding{"k": rdf.Literal(fmt.Sprintf("%d", i))}
+	}
+	build := func(parallel bool) []pattern.Binding {
+		j := &plan.HashJoin{
+			Left:          &plan.Bindings{Rows: left, Label: "probe"},
+			Right:         &plan.IndexScan{TP: pattern.TP(pattern.V("s"), pattern.V("p"), pattern.C(hub)), Fanout: g.ShardCount()},
+			ParallelBuild: parallel,
+		}
+		return plan.Drain(j.Open(g))
+	}
+	seq, par := build(false), build(true)
+	if len(par) != 4*5000 {
+		t.Fatalf("parallel build rows = %d, want %d", len(par), 4*5000)
+	}
+	for i := range seq {
+		if !sameBindings(seq[i:i+1], par[i:i+1]) {
+			t.Fatalf("row %d differs: sequential %v, parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestGoldenParallelBuildAnnotation pins that the planner marks a hash
+// join whose build side is a fan-out scan, and that EXPLAIN says so.
+func TestGoldenParallelBuildAnnotation(t *testing.T) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Skip("fan-out marking needs >1 CPU (run with -cpu 4)")
+	}
+	g := rdf.NewGraphSharded(8)
+	hub := rdf.IRI("http://e/hub")
+	p := rdf.IRI("http://e/p")
+	// 4500 hub-objects: the object-only scan fans out (est ≥ 4096) and, at
+	// est 4500 < 5000, becomes the first-picked prefix — the build side of
+	// the hash join against the disconnected 5000-row p-scan.
+	for i := 0; i < 4500; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/hs%d", i)),
+			P: rdf.IRI(fmt.Sprintf("http://e/hp%d", i%5)),
+			O: hub,
+		})
+	}
+	for i := 0; i < 5000; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)), P: p, O: rdf.Literal("v")})
+	}
+	gp := pattern.GraphPattern{
+		pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y")),
+		pattern.TP(pattern.V("a"), pattern.V("q"), pattern.C(hub)),
+	}
+	out := plan.Explain(g, gp)
+	if !strings.Contains(out, "HashJoin[on ×] build=parallel") {
+		t.Fatalf("EXPLAIN lacks the parallel-build annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "fanout=8") {
+		t.Fatalf("build side lost its fan-out marking:\n%s", out)
 	}
 }

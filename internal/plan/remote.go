@@ -41,7 +41,7 @@ type RemoteScan struct {
 func (s *RemoteScan) Vars() []string { return s.TP.Vars() }
 
 // Open implements Node.
-func (s *RemoteScan) Open(*rdf.Graph) Iterator {
+func (s *RemoteScan) Open(rdf.Source) Iterator {
 	if s.Fetch == nil {
 		return &sliceIter{}
 	}

@@ -51,13 +51,14 @@ func Fanout(n int, task func(int)) {
 // merging their answer tuples into one deduplicated set. The merge is
 // deterministic: TupleSet membership is order-free and branch results are
 // combined in branch order. With star, tuples may contain blank nodes.
-func UnionQueries(g *rdf.Graph, qs []pattern.Query, star bool) *pattern.TupleSet {
+func UnionQueries(g rdf.Source, qs []pattern.Query, star bool) *pattern.TupleSet {
+	src := rdf.Freeze(g)
 	if len(qs) == 1 {
-		return executeQuery(g, qs[0], star)
+		return executeQuery(src, qs[0], star)
 	}
 	sets := make([]*pattern.TupleSet, len(qs))
 	Fanout(len(qs), func(i int) {
-		sets[i] = executeQuery(g, qs[i], star)
+		sets[i] = executeQuery(src, qs[i], star)
 	})
 	out := pattern.NewTupleSet()
 	for _, s := range sets {
@@ -70,7 +71,7 @@ func UnionQueries(g *rdf.Graph, qs []pattern.Query, star bool) *pattern.TupleSet
 // a UCQ — a node-level alternative to UnionQueries for callers that want
 // binding streams rather than answer tuples (UnionQueries additionally
 // applies the Q_D blank-node semantics, which has no operator equivalent).
-func UnionPlan(g *rdf.Graph, qs []pattern.Query) Node {
+func UnionPlan(g rdf.Source, qs []pattern.Query) Node {
 	children := make([]Node, len(qs))
 	for i, q := range qs {
 		children[i] = QueryPlan(g, q)

@@ -22,11 +22,17 @@ type termBlock [termBlockSize]Term
 // termTable is the graph's concurrent dictionary: a striped Term→id map for
 // interning plus an append-only, lock-free-for-readers id→Term store.
 //
-// Interning takes one stripe lock; resolving an id back to its term takes no
-// lock at all. That is safe because ids are published only after the term is
-// written into its block slot (the happens-before edge runs through the
-// stripe or shard lock the id was read under, plus the atomic blocks
-// pointer), and published slots are never rewritten.
+// Both directions are lock-free on the read path, by the same
+// copy-on-write discipline the graph shards use. id→Term: ids are published
+// only after the term is written into its block slot, and published slots
+// are never rewritten. Term→id: each stripe publishes an immutable lookup
+// map through an atomic pointer; interning adds new terms to a small
+// mutable delta under the stripe lock and republishes the merged map once
+// the delta has grown past a fraction of the published one, so the copy
+// cost is amortised O(1) per intern. A reader only falls back to the
+// stripe lock when the term misses the published map while a delta is
+// pending — in the steady state (and for terms interned before the last
+// promotion) lookups take zero locks.
 type termTable struct {
 	stripes [termStripes]termStripe
 
@@ -40,17 +46,25 @@ type termTable struct {
 }
 
 type termStripe struct {
-	mu sync.RWMutex
-	m  map[Term]id
+	mu sync.Mutex
+	// read is the immutable published Term→id map; never mutated after
+	// Store.
+	read atomic.Pointer[map[Term]id]
+	// dirty holds terms interned since the last promotion; nil when clean.
+	// Guarded by mu; hasDirty mirrors dirty != nil so readers can rule out
+	// a pending delta without locking.
+	dirty    map[Term]id
+	hasDirty atomic.Bool
 }
 
 func newTermTable() *termTable {
 	t := &termTable{}
+	empty := make(map[Term]id)
 	for i := range t.stripes {
-		t.stripes[i].m = make(map[Term]id)
+		t.stripes[i].read.Store(&empty)
 	}
-	empty := []*termBlock{}
-	t.blocks.Store(&empty)
+	blocks := []*termBlock{}
+	t.blocks.Store(&blocks)
 	return t
 }
 
@@ -74,12 +88,26 @@ func hashTerm(t Term) uint32 {
 	return h
 }
 
-// lookup returns the id for t and whether it has been interned.
+// lookup returns the id for t and whether it has been interned. Lock-free
+// unless the stripe has an unpromoted delta and the published map misses.
 func (tt *termTable) lookup(t Term) (id, bool) {
 	st := &tt.stripes[hashTerm(t)&(termStripes-1)]
-	st.mu.RLock()
-	i, ok := st.m[t]
-	st.mu.RUnlock()
+	if i, ok := (*st.read.Load())[t]; ok {
+		return i, ok
+	}
+	if !st.hasDirty.Load() {
+		// a promotion may have raced the load above (the term moving from
+		// dirty into a new read map before hasDirty cleared); hasDirty is
+		// stored after the merged map, so one fresh load decides
+		i, ok := (*st.read.Load())[t]
+		return i, ok
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i, ok := (*st.read.Load())[t]; ok {
+		return i, ok
+	}
+	i, ok := st.dirty[t]
 	return i, ok
 }
 
@@ -87,20 +115,58 @@ func (tt *termTable) lookup(t Term) (id, bool) {
 // concurrent use.
 func (tt *termTable) intern(t Term) id {
 	st := &tt.stripes[hashTerm(t)&(termStripes-1)]
-	st.mu.RLock()
-	i, ok := st.m[t]
-	st.mu.RUnlock()
-	if ok {
+	if i, ok := (*st.read.Load())[t]; ok {
 		return i
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if i, ok = st.m[t]; ok {
+	if i, ok := (*st.read.Load())[t]; ok {
 		return i
 	}
-	i = tt.append(t)
-	st.m[t] = i
+	if i, ok := st.dirty[t]; ok {
+		return i
+	}
+	i := tt.append(t)
+	if st.dirty == nil {
+		st.dirty = make(map[Term]id)
+		st.hasDirty.Store(true)
+	}
+	st.dirty[t] = i
+	read := *st.read.Load()
+	if len(st.dirty)*4 >= len(read)+16 {
+		st.promoteLocked()
+	}
 	return i
+}
+
+// promoteLocked publishes read ∪ dirty as the new immutable map. Caller
+// holds st.mu.
+func (st *termStripe) promoteLocked() {
+	read := *st.read.Load()
+	merged := make(map[Term]id, len(read)+len(st.dirty))
+	for k, v := range read {
+		merged[k] = v
+	}
+	for k, v := range st.dirty {
+		merged[k] = v
+	}
+	st.read.Store(&merged)
+	st.dirty = nil
+	st.hasDirty.Store(false)
+}
+
+// promoteAll forces every stripe's pending delta into its published map,
+// restoring the all-hits-lock-free steady state. Used by tests asserting
+// the lock-free read path.
+func (tt *termTable) promoteAll() {
+	for i := range tt.stripes {
+		st := &tt.stripes[i]
+		st.mu.Lock()
+		if st.dirty != nil {
+			st.promoteLocked()
+		}
+		st.mu.Unlock()
+	}
 }
 
 // append writes t into the next slot of the id→Term store and returns its

@@ -12,18 +12,26 @@ type id uint32
 
 // Graph is an in-memory, dictionary-encoded RDF graph with three full
 // indexes (SPO, POS, OSP), partitioned into shards for concurrency: SPO and
-// OSP are subject-hash partitioned and POS is predicate-hash partitioned,
-// each shard guarded by its own read-write lock. It supports exact
-// membership tests, wildcard matching on any combination of bound
-// positions, and cheap iteration.
+// OSP are subject-hash partitioned and POS is predicate-hash partitioned.
+// It supports exact membership tests, wildcard matching on any combination
+// of bound positions, and cheap iteration.
 //
-// Graph is safe for concurrent use: writers lock only the (at most two)
-// shards a triple touches, so loads and chase rounds proceed in parallel
-// with each other and with readers. Iteration callbacks (Match, ForEach,
-// MatchShard) run under a shard read lock: they may read the same graph
-// (nested read locks are safe while no writer is blocked) but must not
-// mutate it — collect and apply mutations after iteration, as the chase
-// does.
+// Reads are epoch-based and lock-free. Each shard's indexes live in an
+// immutable shardState published through an atomic pointer: Match,
+// MatchShard, MatchCount, Has, Stats and PredStats load the current state
+// and traverse it without acquiring any lock, so a long scan can never
+// block a writer and a writer storm can never stall readers. Writers
+// serialise on a per-shard mutex, rebuild only the O(log n) trie path the
+// mutation touches (the indexes are persistent hash-array-mapped tries, see
+// tree.go), and republish the shard state with a single atomic store
+// stamped with the graph's write epoch. Snapshot captures the published
+// states of all shards as a stable point-in-time view that later writes
+// can never perturb — the foundation for the planner's per-query snapshots
+// and the chase's per-round read phases.
+//
+// Iteration callbacks (Match, ForEach, MatchShard) therefore run against a
+// frozen state: they may freely read or even mutate the same graph, though
+// mutations made during iteration are not observed by it.
 type Graph struct {
 	gid  uint64
 	dict *termTable
@@ -41,98 +49,50 @@ type Graph struct {
 	objects objTable
 }
 
-// shard is one partition of the graph's indexes. Its spo and osp maps hold
-// the triples whose subject id hashes here; its pos map (and the
-// per-predicate statistics) hold the triples whose predicate id hashes
-// here. A triple therefore lives in one or two shards, and Add/Remove lock
-// both in ascending order.
+// shard is one partition of the graph's indexes. Writers lock mu, derive
+// the next immutable state from the current one, and publish it; readers
+// only ever Load. The spo and osp tries of a state hold the triples whose
+// subject id hashes here; the pos trie and the per-predicate statistics
+// hold the triples whose predicate id hashes here. A triple therefore
+// lives in one or two shards, and Add/Remove lock both in ascending order.
 type shard struct {
-	mu  sync.RWMutex
-	spo index
-	osp index
-	pos index
-	// pred carries per-predicate cardinalities for the predicates owned by
-	// this shard, maintained incrementally under the shard lock.
-	pred map[id]*predStat
+	mu    sync.Mutex
+	state atomic.Pointer[shardState]
 }
 
-// predStat is the per-predicate statistics record behind PredStats.
-// Distinct objects need no counter: they are len(pos[p]) directly.
+// shardState is the immutable, atomically-published form of one shard: the
+// persistent index tries plus the statistics derived from them. Every
+// mutation produces a fresh state; a state, once published, is never
+// modified, which is what makes the lock-free read path and stable
+// snapshots sound.
+type shardState struct {
+	spo *pindex
+	osp *pindex
+	pos *pindex
+	// pred carries per-predicate cardinalities for the predicates owned by
+	// this shard, maintained incrementally alongside pos.
+	pred *tree[predStat]
+	// triples counts the triples owned via the subject partition (the size
+	// of spo), so Snapshot.Len sums exactly.
+	triples int
+	// epoch is the graph write epoch (Version) this state was published at.
+	epoch uint64
+}
+
+var emptyShardState = &shardState{}
+
+// predStat is the per-predicate statistics record behind PredStats, stored
+// by value in the state's pred trie.
 type predStat struct {
 	triples  int
 	subjects int
-}
-
-// index is a two-level map from (a, b) to a set of c, where (a, b, c) is a
-// permutation of (s, p, o).
-type index map[id]map[id]map[id]struct{}
-
-// add inserts and reports (inserted, createdA, createdB): whether the
-// triple was new, whether its top-level a-bucket was created, and whether
-// its (a, b) bucket was created. The bucket signals drive the incremental
-// distinct counts.
-func (ix index) add(a, b, c id) (added, newA, newB bool) {
-	m, ok := ix[a]
-	if !ok {
-		m = make(map[id]map[id]struct{})
-		ix[a] = m
-		newA = true
-	}
-	s, ok := m[b]
-	if !ok {
-		s = make(map[id]struct{})
-		m[b] = s
-		newB = true
-	}
-	if _, ok := s[c]; ok {
-		return false, newA, newB
-	}
-	s[c] = struct{}{}
-	return true, newA, newB
-}
-
-func (ix index) has(a, b, c id) bool {
-	m, ok := ix[a]
-	if !ok {
-		return false
-	}
-	s, ok := m[b]
-	if !ok {
-		return false
-	}
-	_, ok = s[c]
-	return ok
-}
-
-// remove deletes and reports (removed, droppedA, droppedB), mirroring add.
-func (ix index) remove(a, b, c id) (removed, goneA, goneB bool) {
-	m, ok := ix[a]
-	if !ok {
-		return false, false, false
-	}
-	s, ok := m[b]
-	if !ok {
-		return false, false, false
-	}
-	if _, ok := s[c]; !ok {
-		return false, false, false
-	}
-	delete(s, c)
-	if len(s) == 0 {
-		delete(m, b)
-		goneB = true
-		if len(m) == 0 {
-			delete(ix, a)
-			goneA = true
-		}
-	}
-	return true, goneA, goneB
+	objects  int
 }
 
 // objTable tracks the reference count of every object term across shards.
 // OSP is subject-partitioned, so the same object may appear in many shards;
 // the striped refcounts keep the global distinct-object count exact without
-// a global lock.
+// a global lock. Only writers touch it.
 type objTable struct {
 	stripes [termStripes]objStripe
 }
@@ -238,12 +198,9 @@ func NewGraphSharded(n int) *Graph {
 		mask:   uint32(n - 1),
 	}
 	for i := range g.shards {
-		g.shards[i] = &shard{
-			spo:  make(index),
-			osp:  make(index),
-			pos:  make(index),
-			pred: make(map[id]*predStat),
-		}
+		sh := &shard{}
+		sh.state.Store(emptyShardState)
+		g.shards[i] = sh
 	}
 	return g
 }
@@ -252,8 +209,13 @@ func NewGraphSharded(n int) *Graph {
 // planner's plan cache to key cached join orders.
 func (g *Graph) ID() uint64 { return g.gid }
 
-// Version returns a counter incremented by every successful Add or Remove.
+// Version returns a counter incremented by every successful Add or Remove —
+// the graph's write epoch. Shard states and snapshots are stamped with the
+// epoch they were published at.
 func (g *Graph) Version() uint64 { return g.version.Load() }
+
+// Epoch is Version under the name the Source interface uses.
+func (g *Graph) Epoch() uint64 { return g.version.Load() }
 
 // ShardCount returns the number of index shards.
 func (g *Graph) ShardCount() int { return len(g.shards) }
@@ -287,31 +249,47 @@ func (g *Graph) lookup(t Term) (id, bool) { return g.dict.lookup(t) }
 func (g *Graph) term(i id) Term { return g.dict.term(i) }
 
 // Add inserts the triple and reports whether it was not already present.
-// Safe for concurrent use.
+// Safe for concurrent use; concurrent readers keep scanning the previous
+// shard states and observe the triple once the new states are published.
 func (g *Graph) Add(t Triple) bool {
 	s, p, o := g.dict.intern(t.S), g.dict.intern(t.P), g.dict.intern(t.O)
 	sh, ph := g.subjectShard(s), g.predicateShard(p)
 	unlock := g.lockPair(s, p)
-	added, newS, newSP := sh.spo.add(s, p, o)
+	ss := sh.state.Load()
+	spo, added, newS, newSP := idxAdd(ss.spo, s, p, o)
 	if !added {
 		unlock()
 		return false
 	}
-	sh.osp.add(o, s, p)
-	_, newP, _ := ph.pos.add(p, o, s)
-	ps := ph.pred[p]
-	if ps == nil {
-		ps = &predStat{}
-		ph.pred[p] = ps
+	osp, _, _, _ := idxAdd(ss.osp, o, s, p)
+	ps := ss
+	if ph != sh {
+		ps = ph.state.Load()
 	}
-	ps.triples++
+	pos, _, newP, newPO := idxAdd(ps.pos, p, o, s)
+	st, _ := ps.pred.get(p)
+	st.triples++
 	if newSP {
-		ps.subjects++
+		st.subjects++
+	}
+	if newPO {
+		st.objects++
+	}
+	pred, _ := ps.pred.with(p, st)
+
+	epoch := g.version.Add(1)
+	if ph == sh {
+		sh.state.Store(&shardState{spo: spo, osp: osp, pos: pos, pred: pred, triples: ss.triples + 1, epoch: epoch})
+	} else {
+		// publish the predicate partition first, then the subject partition
+		// that makes the triple matchable by subject — readers racing the
+		// publish see a prefix of the write, exactly as with per-shard locks
+		ph.state.Store(&shardState{spo: ps.spo, osp: ps.osp, pos: pos, pred: pred, triples: ps.triples, epoch: epoch})
+		sh.state.Store(&shardState{spo: spo, osp: osp, pos: ss.pos, pred: ss.pred, triples: ss.triples + 1, epoch: epoch})
 	}
 	unlock()
 
 	g.size.Add(1)
-	g.version.Add(1)
 	if newS {
 		g.distinctS.Add(1)
 	}
@@ -393,26 +371,43 @@ func (g *Graph) Remove(t Triple) bool {
 	}
 	sh, ph := g.subjectShard(s), g.predicateShard(p)
 	unlock := g.lockPair(s, p)
-	removed, goneS, goneSP := sh.spo.remove(s, p, o)
+	ss := sh.state.Load()
+	spo, removed, goneS, goneSP := idxRemove(ss.spo, s, p, o)
 	if !removed {
 		unlock()
 		return false
 	}
-	sh.osp.remove(o, s, p)
-	_, goneP, _ := ph.pos.remove(p, o, s)
-	if ps := ph.pred[p]; ps != nil {
-		ps.triples--
-		if goneSP {
-			ps.subjects--
-		}
-		if ps.triples == 0 {
-			delete(ph.pred, p)
-		}
+	osp, _, _, _ := idxRemove(ss.osp, o, s, p)
+	ps := ss
+	if ph != sh {
+		ps = ph.state.Load()
+	}
+	pos, _, goneP, gonePO := idxRemove(ps.pos, p, o, s)
+	st, _ := ps.pred.get(p)
+	st.triples--
+	if goneSP {
+		st.subjects--
+	}
+	if gonePO {
+		st.objects--
+	}
+	var pred *tree[predStat]
+	if st.triples == 0 {
+		pred, _ = ps.pred.without(p)
+	} else {
+		pred, _ = ps.pred.with(p, st)
+	}
+
+	epoch := g.version.Add(1)
+	if ph == sh {
+		sh.state.Store(&shardState{spo: spo, osp: osp, pos: pos, pred: pred, triples: ss.triples - 1, epoch: epoch})
+	} else {
+		sh.state.Store(&shardState{spo: spo, osp: osp, pos: ss.pos, pred: ss.pred, triples: ss.triples - 1, epoch: epoch})
+		ph.state.Store(&shardState{spo: ps.spo, osp: ps.osp, pos: pos, pred: pred, triples: ps.triples, epoch: epoch})
 	}
 	unlock()
 
 	g.size.Add(-1)
-	g.version.Add(1)
 	if goneS {
 		g.distinctS.Add(-1)
 	}
@@ -425,7 +420,7 @@ func (g *Graph) Remove(t Triple) bool {
 	return true
 }
 
-// Has reports whether the triple is present.
+// Has reports whether the triple is present. Lock-free.
 func (g *Graph) Has(t Triple) bool {
 	s, ok := g.lookup(t.S)
 	if !ok {
@@ -439,10 +434,7 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	sh := g.subjectShard(s)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.spo.has(s, p, o)
+	return idxHas(g.subjectShard(s).state.Load().spo, s, p, o)
 }
 
 // Len returns the number of triples in the graph.
@@ -453,30 +445,26 @@ func (g *Graph) Len() int { return int(g.size.Load()) }
 func (g *Graph) TermCount() int { return g.dict.count() }
 
 // ForEach calls fn for every triple until fn returns false. Iteration order
-// is unspecified. fn runs under a shard read lock and must not mutate g.
+// is unspecified. fn runs against the shard states published at visit time
+// and never blocks writers.
 func (g *Graph) ForEach(fn func(Triple) bool) {
 	for _, sh := range g.shards {
-		if !sh.forEachSPO(g, fn) {
+		if !forEachSPO(g, sh.state.Load(), fn) {
 			return
 		}
 	}
 }
 
-// forEachSPO walks one shard's subject-owned triples, reporting false if fn
+// forEachSPO walks one state's subject-owned triples, reporting false if fn
 // stopped the iteration.
-func (sh *shard) forEachSPO(g *Graph, fn func(Triple) bool) bool {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	for s, pm := range sh.spo {
-		for p, om := range pm {
-			for o := range om {
-				if !fn(Triple{S: g.term(s), P: g.term(p), O: g.term(o)}) {
-					return false
-				}
-			}
-		}
-	}
-	return true
+func forEachSPO(g *Graph, st *shardState, fn func(Triple) bool) bool {
+	return st.spo.each(func(s id, bm *ipairs) bool {
+		return bm.each(func(p id, cs *iset) bool {
+			return cs.each(func(o id, _ struct{}) bool {
+				return fn(Triple{S: g.term(s), P: g.term(p), O: g.term(o)})
+			})
+		})
+	})
 }
 
 // Triples returns all triples sorted in (S, P, O) order. The slice is fresh
@@ -496,19 +484,19 @@ func (g *Graph) Triples() []Triple {
 // bound positions is chosen automatically: subject-bound patterns probe one
 // SPO/OSP shard, predicate-bound patterns one POS shard, and object-only or
 // unconstrained patterns visit every shard in order (see MatchShard for the
-// per-shard form the executor fans out over). fn runs under a shard read
-// lock and must not mutate g.
+// per-shard form the executor fans out over). The scan runs lock-free
+// against each shard's published state; writers are never blocked.
 func (g *Graph) Match(s, p, o *Term, fn func(Triple) bool) {
 	sid, pid, oid, ok := g.lookupPattern(s, p, o)
 	if !ok {
 		return
 	}
 	if s != nil || p != nil {
-		g.matchOwned(ownerShard(g, s, sid, pid), s, p, o, sid, pid, oid, fn)
+		matchState(g, g.ownerState(s, sid, pid), s, p, o, sid, pid, oid, fn)
 		return
 	}
 	for _, sh := range g.shards {
-		if !g.matchOwned(sh, s, p, o, sid, pid, oid, fn) {
+		if !matchState(g, sh.state.Load(), s, p, o, sid, pid, oid, fn) {
 			return
 		}
 	}
@@ -527,13 +515,12 @@ func (g *Graph) MatchShard(i int, s, p, o *Term, fn func(Triple) bool) {
 	if !ok {
 		return
 	}
-	sh := g.shards[i]
 	if s != nil || p != nil {
-		if ownerShard(g, s, sid, pid) != sh {
+		if int(ownerIndex(g, s, sid, pid)) != i {
 			return
 		}
 	}
-	g.matchOwned(sh, s, p, o, sid, pid, oid, fn)
+	matchState(g, g.shards[i].state.Load(), s, p, o, sid, pid, oid, fn)
 }
 
 // FanoutWidth returns the number of shard partitions Match visits for the
@@ -567,79 +554,66 @@ func (g *Graph) lookupPattern(s, p, o *Term) (sid, pid, oid id, ok bool) {
 	return sid, pid, oid, true
 }
 
-// ownerShard picks the single shard a subject- or predicate-bound pattern
+// ownerIndex picks the shard index a subject- or predicate-bound pattern
 // lives in: the subject shard when the subject is bound, else the
 // predicate shard.
-func ownerShard(g *Graph, s *Term, sid, pid id) *shard {
+func ownerIndex(g *Graph, s *Term, sid, pid id) uint32 {
 	if s != nil {
-		return g.subjectShard(sid)
+		return uint32(sid) & g.mask
 	}
-	return g.predicateShard(pid)
+	return uint32(pid) & g.mask
 }
 
-// matchOwned matches the pattern against one shard's portion, returning
-// false if fn stopped the iteration. The caller has already routed the
-// pattern to the right shard (or is fanning out).
-func (g *Graph) matchOwned(sh *shard, s, p, o *Term, sid, pid, oid id, fn func(Triple) bool) bool {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+func (g *Graph) ownerState(s *Term, sid, pid id) *shardState {
+	return g.shards[ownerIndex(g, s, sid, pid)].state.Load()
+}
+
+// matchState matches the pattern against one immutable shard state,
+// returning false if fn stopped the iteration. The caller has already
+// routed the pattern to the owning shard (or is fanning out). Shared by
+// Graph (which loads the current state) and Snapshot (which replays a
+// captured one).
+func matchState(g *Graph, st *shardState, s, p, o *Term, sid, pid, oid id, fn func(Triple) bool) bool {
 	switch {
 	case s != nil && p != nil && o != nil:
-		if sh.spo.has(sid, pid, oid) {
+		if idxHas(st.spo, sid, pid, oid) {
 			return fn(Triple{S: *s, P: *p, O: *o})
 		}
 	case s != nil && p != nil:
-		for o2 := range sh.spo[sid][pid] {
-			if !fn(Triple{S: *s, P: *p, O: g.term(o2)}) {
-				return false
-			}
-		}
+		return idxBucket(st.spo, sid, pid).each(func(o2 id, _ struct{}) bool {
+			return fn(Triple{S: *s, P: *p, O: g.term(o2)})
+		})
 	case p != nil && o != nil:
-		for s2 := range sh.pos[pid][oid] {
-			if !fn(Triple{S: g.term(s2), P: *p, O: *o}) {
-				return false
-			}
-		}
+		return idxBucket(st.pos, pid, oid).each(func(s2 id, _ struct{}) bool {
+			return fn(Triple{S: g.term(s2), P: *p, O: *o})
+		})
 	case s != nil && o != nil:
-		for p2 := range sh.osp[oid][sid] {
-			if !fn(Triple{S: *s, P: g.term(p2), O: *o}) {
-				return false
-			}
-		}
+		return idxBucket(st.osp, oid, sid).each(func(p2 id, _ struct{}) bool {
+			return fn(Triple{S: *s, P: g.term(p2), O: *o})
+		})
 	case s != nil:
-		for p2, om := range sh.spo[sid] {
-			for o2 := range om {
-				if !fn(Triple{S: *s, P: g.term(p2), O: g.term(o2)}) {
-					return false
-				}
-			}
-		}
+		bm, _ := st.spo.get(sid)
+		return bm.each(func(p2 id, cs *iset) bool {
+			return cs.each(func(o2 id, _ struct{}) bool {
+				return fn(Triple{S: *s, P: g.term(p2), O: g.term(o2)})
+			})
+		})
 	case p != nil:
-		for o2, sm := range sh.pos[pid] {
-			for s2 := range sm {
-				if !fn(Triple{S: g.term(s2), P: *p, O: g.term(o2)}) {
-					return false
-				}
-			}
-		}
+		bm, _ := st.pos.get(pid)
+		return bm.each(func(o2 id, cs *iset) bool {
+			return cs.each(func(s2 id, _ struct{}) bool {
+				return fn(Triple{S: g.term(s2), P: *p, O: g.term(o2)})
+			})
+		})
 	case o != nil:
-		for s2, pm := range sh.osp[oid] {
-			for p2 := range pm {
-				if !fn(Triple{S: g.term(s2), P: g.term(p2), O: *o}) {
-					return false
-				}
-			}
-		}
+		bm, _ := st.osp.get(oid)
+		return bm.each(func(s2 id, cs *iset) bool {
+			return cs.each(func(p2 id, _ struct{}) bool {
+				return fn(Triple{S: g.term(s2), P: g.term(p2), O: *o})
+			})
+		})
 	default:
-		for s2, pm := range sh.spo {
-			for p2, om := range pm {
-				for o2 := range om {
-					if !fn(Triple{S: g.term(s2), P: g.term(p2), O: g.term(o2)}) {
-						return false
-					}
-				}
-			}
-		}
+		return forEachSPO(g, st, fn)
 	}
 	return true
 }
@@ -648,10 +622,10 @@ func (g *Graph) matchOwned(sh *shard, s, p, o *Term, sid, pid, oid id, fn func(T
 // planner (internal/plan) uses it to estimate how many rows a triple
 // pattern produces once some of its variables are bound: the distinct-count
 // of a position approximates the fan-out per bound value. All fields are
-// maintained incrementally as atomic counters, so Stats is O(1); under
-// concurrent mutation the fields are individually accurate but may reflect
-// slightly different instants. See PredStats for the per-predicate
-// refinement the planner prefers.
+// maintained incrementally as atomic counters, so Stats is O(1) and
+// lock-free; under concurrent mutation the fields are individually accurate
+// but may reflect slightly different instants. See PredStats for the
+// per-predicate refinement the planner prefers.
 type Stats struct {
 	// Triples is the total number of triples (same as Len).
 	Triples int
@@ -686,84 +660,79 @@ type PredStats struct {
 }
 
 // PredStats returns the cardinality statistics of one predicate, and false
-// when no stored triple uses it. O(1): the counts are maintained
-// incrementally in the predicate's POS shard.
+// when no stored triple uses it. O(log n) and lock-free: the counts are
+// maintained incrementally in the predicate shard's published state.
 func (g *Graph) PredStats(p Term) (PredStats, bool) {
 	pid, ok := g.lookup(p)
 	if !ok {
 		return PredStats{}, false
 	}
-	sh := g.predicateShard(pid)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	ps := sh.pred[pid]
-	if ps == nil {
+	return predStatsIn(g.predicateShard(pid).state.Load(), pid)
+}
+
+func predStatsIn(st *shardState, pid id) (PredStats, bool) {
+	ps, ok := st.pred.get(pid)
+	if !ok {
 		return PredStats{}, false
 	}
 	return PredStats{
 		Triples:          ps.triples,
 		DistinctSubjects: ps.subjects,
-		DistinctObjects:  len(sh.pos[pid]),
+		DistinctObjects:  ps.objects,
 	}, true
 }
 
 // MatchCount returns the number of triples matching the pattern without
 // materialising them. Used by the query planner for cardinality estimates.
+// Lock-free like Match.
 func (g *Graph) MatchCount(s, p, o *Term) int {
 	sid, pid, oid, ok := g.lookupPattern(s, p, o)
 	if !ok {
 		return 0
 	}
+	if s != nil || p != nil {
+		return countState(g.ownerState(s, sid, pid), s, p, o, sid, pid, oid)
+	}
+	if o != nil {
+		n := 0
+		for _, sh := range g.shards {
+			n += countState(sh.state.Load(), s, p, o, sid, pid, oid)
+		}
+		return n
+	}
+	return g.Len()
+}
+
+// countState counts the matches of a pattern within one shard state; the
+// unconstrained case is handled by the callers (it is a plain Len).
+func countState(st *shardState, s, p, o *Term, sid, pid, oid id) int {
 	switch {
 	case s != nil && p != nil && o != nil:
-		sh := g.subjectShard(sid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		if sh.spo.has(sid, pid, oid) {
+		if idxHas(st.spo, sid, pid, oid) {
 			return 1
 		}
 		return 0
 	case s != nil && p != nil:
-		sh := g.subjectShard(sid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		return len(sh.spo[sid][pid])
+		return idxBucket(st.spo, sid, pid).len()
 	case p != nil && o != nil:
-		sh := g.predicateShard(pid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		return len(sh.pos[pid][oid])
+		return idxBucket(st.pos, pid, oid).len()
 	case s != nil && o != nil:
-		sh := g.subjectShard(sid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		return len(sh.osp[oid][sid])
+		return idxBucket(st.osp, oid, sid).len()
 	case s != nil:
-		sh := g.subjectShard(sid)
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
 		n := 0
-		for _, om := range sh.spo[sid] {
-			n += len(om)
-		}
+		bm, _ := st.spo.get(sid)
+		bm.each(func(_ id, cs *iset) bool { n += cs.len(); return true })
 		return n
 	case p != nil:
-		if ps, ok := g.PredStats(*p); ok {
-			return ps.Triples
+		if ps, ok := st.pred.get(pid); ok {
+			return ps.triples
 		}
 		return 0
-	case o != nil:
+	default: // o != nil
 		n := 0
-		for _, sh := range g.shards {
-			sh.mu.RLock()
-			for _, pm := range sh.osp[oid] {
-				n += len(pm)
-			}
-			sh.mu.RUnlock()
-		}
+		bm, _ := st.osp.get(oid)
+		bm.each(func(_ id, cs *iset) bool { n += cs.len(); return true })
 		return n
-	default:
-		return g.Len()
 	}
 }
 
@@ -808,11 +777,10 @@ func (g *Graph) Equal(other *Graph) bool {
 func (g *Graph) Subjects() []Term {
 	var out []Term
 	for _, sh := range g.shards {
-		sh.mu.RLock()
-		for s := range sh.spo {
+		sh.state.Load().spo.each(func(s id, _ *ipairs) bool {
 			out = append(out, g.term(s))
-		}
-		sh.mu.RUnlock()
+			return true
+		})
 	}
 	sortTerms(out)
 	return out
@@ -822,11 +790,10 @@ func (g *Graph) Subjects() []Term {
 func (g *Graph) Predicates() []Term {
 	var out []Term
 	for _, sh := range g.shards {
-		sh.mu.RLock()
-		for p := range sh.pos {
+		sh.state.Load().pos.each(func(p id, _ *ipairs) bool {
 			out = append(out, g.term(p))
-		}
-		sh.mu.RUnlock()
+			return true
+		})
 	}
 	sortTerms(out)
 	return out

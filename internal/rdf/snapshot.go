@@ -1,0 +1,204 @@
+package rdf
+
+import "sort"
+
+// Source is the read surface shared by a live Graph and a point-in-time
+// Snapshot of one. The query planner, the evaluators and the chase are
+// written against it, so a whole query (or a whole chase round's read
+// phase) can execute against one frozen view with no torn reads, while
+// callers holding a *Graph keep working unchanged.
+type Source interface {
+	// ID identifies the underlying graph (a snapshot shares its graph's
+	// identity, so plan-cache entries are valid across both).
+	ID() uint64
+	// Epoch is the write epoch the view reflects: Version for a live graph,
+	// the captured version for a snapshot.
+	Epoch() uint64
+	// Len is the number of triples.
+	Len() int
+	// ShardCount is the number of index shards.
+	ShardCount() int
+	// Match, MatchShard and MatchCount are the wildcard scan surface; see
+	// Graph for the access-path contract.
+	Match(s, p, o *Term, fn func(Triple) bool)
+	MatchShard(i int, s, p, o *Term, fn func(Triple) bool)
+	MatchCount(s, p, o *Term) int
+	// FanoutWidth reports how many shard partitions Match visits.
+	FanoutWidth(s, p, o *Term) int
+	// Has reports exact membership.
+	Has(t Triple) bool
+	// ForEach iterates every triple until fn returns false.
+	ForEach(fn func(Triple) bool)
+	// Stats and PredStats are the planner's cardinality inputs.
+	Stats() Stats
+	PredStats(p Term) (PredStats, bool)
+}
+
+var (
+	_ Source = (*Graph)(nil)
+	_ Source = (*Snapshot)(nil)
+)
+
+// Freeze returns a stable point-in-time view of src: the Snapshot of a live
+// Graph, or src itself when it is already immutable. Callers that evaluate
+// several patterns as one logical operation (a query plan, a chase round, a
+// served request) freeze once and run everything against the result.
+func Freeze(src Source) Source {
+	if g, ok := src.(*Graph); ok {
+		return g.Snapshot()
+	}
+	return src
+}
+
+// Snapshot is a stable, point-in-time view of a Graph: the shard states
+// published at capture time. Reads never lock and later writes to the graph
+// can never alter what the snapshot observes, so long scans proceed while
+// writers storm, and a query evaluated wholly against one snapshot sees a
+// single consistent epoch per shard. Capture is O(shards): it loads one
+// pointer per shard and copies nothing.
+//
+// Each shard's state is individually exact; when writers race the capture,
+// states of different shards may be a few epochs apart (the same per-shard
+// guarantee concurrent readers of the live graph get), and Epoch reports
+// the graph-wide write epoch at capture.
+type Snapshot struct {
+	g      *Graph
+	states []*shardState
+	stats  Stats
+	epoch  uint64
+}
+
+// Snapshot captures the currently published shard states as a stable view.
+func (g *Graph) Snapshot() *Snapshot {
+	states := make([]*shardState, len(g.shards))
+	triples := 0
+	for i, sh := range g.shards {
+		states[i] = sh.state.Load()
+		triples += states[i].triples
+	}
+	stats := g.Stats()
+	stats.Triples = triples
+	return &Snapshot{g: g, states: states, stats: stats, epoch: g.version.Load()}
+}
+
+// ID returns the identity of the underlying graph.
+func (s *Snapshot) ID() uint64 { return s.g.gid }
+
+// Epoch returns the graph write epoch the snapshot was captured at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of triples in the snapshot.
+func (s *Snapshot) Len() int { return s.stats.Triples }
+
+// ShardCount returns the number of index shards.
+func (s *Snapshot) ShardCount() int { return len(s.states) }
+
+// Stats returns the cardinality statistics captured with the snapshot.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// PredStats returns the captured cardinality statistics of one predicate.
+func (s *Snapshot) PredStats(p Term) (PredStats, bool) {
+	pid, ok := s.g.lookup(p)
+	if !ok {
+		return PredStats{}, false
+	}
+	return predStatsIn(s.states[uint32(pid)&s.g.mask], pid)
+}
+
+// Match is Graph.Match over the captured states.
+func (s *Snapshot) Match(sp, pp, op *Term, fn func(Triple) bool) {
+	sid, pid, oid, ok := s.g.lookupPattern(sp, pp, op)
+	if !ok {
+		return
+	}
+	if sp != nil || pp != nil {
+		matchState(s.g, s.states[ownerIndex(s.g, sp, sid, pid)], sp, pp, op, sid, pid, oid, fn)
+		return
+	}
+	for _, st := range s.states {
+		if !matchState(s.g, st, sp, pp, op, sid, pid, oid, fn) {
+			return
+		}
+	}
+}
+
+// MatchShard is Graph.MatchShard over the captured states.
+func (s *Snapshot) MatchShard(i int, sp, pp, op *Term, fn func(Triple) bool) {
+	if i < 0 || i >= len(s.states) {
+		return
+	}
+	sid, pid, oid, ok := s.g.lookupPattern(sp, pp, op)
+	if !ok {
+		return
+	}
+	if sp != nil || pp != nil {
+		if int(ownerIndex(s.g, sp, sid, pid)) != i {
+			return
+		}
+	}
+	matchState(s.g, s.states[i], sp, pp, op, sid, pid, oid, fn)
+}
+
+// MatchCount is Graph.MatchCount over the captured states.
+func (s *Snapshot) MatchCount(sp, pp, op *Term) int {
+	sid, pid, oid, ok := s.g.lookupPattern(sp, pp, op)
+	if !ok {
+		return 0
+	}
+	if sp != nil || pp != nil {
+		return countState(s.states[ownerIndex(s.g, sp, sid, pid)], sp, pp, op, sid, pid, oid)
+	}
+	if op != nil {
+		n := 0
+		for _, st := range s.states {
+			n += countState(st, sp, pp, op, sid, pid, oid)
+		}
+		return n
+	}
+	return s.Len()
+}
+
+// FanoutWidth mirrors Graph.FanoutWidth.
+func (s *Snapshot) FanoutWidth(sp, pp, op *Term) int {
+	if sp != nil || pp != nil {
+		return 1
+	}
+	return len(s.states)
+}
+
+// Has reports whether the triple is present in the snapshot.
+func (s *Snapshot) Has(t Triple) bool {
+	sid, ok := s.g.lookup(t.S)
+	if !ok {
+		return false
+	}
+	pid, ok := s.g.lookup(t.P)
+	if !ok {
+		return false
+	}
+	oid, ok := s.g.lookup(t.O)
+	if !ok {
+		return false
+	}
+	return idxHas(s.states[uint32(sid)&s.g.mask].spo, sid, pid, oid)
+}
+
+// ForEach iterates every triple of the snapshot until fn returns false.
+func (s *Snapshot) ForEach(fn func(Triple) bool) {
+	for _, st := range s.states {
+		if !forEachSPO(s.g, st, fn) {
+			return
+		}
+	}
+}
+
+// Triples returns all snapshot triples sorted in (S, P, O) order.
+func (s *Snapshot) Triples() []Triple {
+	out := make([]Triple, 0, s.Len())
+	s.ForEach(func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

@@ -1,0 +1,335 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSnapshotEqualsFrozenCopy is the snapshot-isolation property: a
+// Snapshot captured after the k-th operation must match a frozen copy of
+// the graph taken at the same instant — and must keep matching it after
+// every later write, on Len, sorted triples, membership, counts and every
+// Match access path.
+func TestSnapshotEqualsFrozenCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGraphSharded(8)
+	ref := NewGraphSharded(1) // replayed alongside; frozen copies are clones
+
+	type capture struct {
+		snap   *Snapshot
+		frozen *Graph
+	}
+	var caps []capture
+	const ops = 1200
+	for i := 0; i < ops; i++ {
+		tr := randTriple(rng)
+		if rng.Intn(4) == 0 {
+			g.Remove(tr)
+			ref.Remove(tr)
+		} else {
+			g.Add(tr)
+			ref.Add(tr)
+		}
+		if i%150 == 0 {
+			caps = append(caps, capture{snap: g.Snapshot(), frozen: ref.Clone()})
+		}
+	}
+
+	p0 := IRI("http://e/p0")
+	o0 := IRI("http://e/o0")
+	s0 := IRI("http://e/s0")
+	for k, c := range caps {
+		if c.snap.Len() != c.frozen.Len() {
+			t.Fatalf("capture %d: snapshot Len = %d, frozen copy = %d", k, c.snap.Len(), c.frozen.Len())
+		}
+		st, ft := c.snap.Triples(), c.frozen.Triples()
+		for i := range st {
+			if st[i] != ft[i] {
+				t.Fatalf("capture %d: Triples()[%d] = %v, frozen %v", k, i, st[i], ft[i])
+			}
+		}
+		// every access path agrees with the frozen copy
+		for _, probe := range []struct {
+			name    string
+			s, p, o *Term
+		}{
+			{"spo", &s0, &p0, &o0}, {"sp", &s0, &p0, nil}, {"po", nil, &p0, &o0},
+			{"so", &s0, nil, &o0}, {"s", &s0, nil, nil}, {"p", nil, &p0, nil},
+			{"o", nil, nil, &o0}, {"full", nil, nil, nil},
+		} {
+			var got, want int
+			c.snap.Match(probe.s, probe.p, probe.o, func(Triple) bool { got++; return true })
+			c.frozen.Match(probe.s, probe.p, probe.o, func(Triple) bool { want++; return true })
+			if got != want {
+				t.Fatalf("capture %d: Match(%s) = %d rows, frozen %d", k, probe.name, got, want)
+			}
+			if gc, wc := c.snap.MatchCount(probe.s, probe.p, probe.o), c.frozen.MatchCount(probe.s, probe.p, probe.o); gc != wc {
+				t.Fatalf("capture %d: MatchCount(%s) = %d, frozen %d", k, probe.name, gc, wc)
+			}
+		}
+		if ps, ok := c.snap.PredStats(p0); ok {
+			ws, _ := c.frozen.PredStats(p0)
+			if ps != ws {
+				t.Fatalf("capture %d: PredStats = %+v, frozen %+v", k, ps, ws)
+			}
+		}
+	}
+}
+
+// TestSnapshotStableUnderConcurrentWrites hammers snapshot reads against
+// concurrent Add/Remove/Merge at shard counts 1, 4 and 16 (the -race
+// configuration of CI): every captured snapshot must return identical
+// results on two passes regardless of what writers do in between, and its
+// ForEach count must equal its Len.
+func TestSnapshotStableUnderConcurrentWrites(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			g := NewGraphSharded(shards)
+			rng := rand.New(rand.NewSource(int64(shards)))
+			seed := make([]Triple, 500)
+			for i := range seed {
+				seed[i] = randTriple(rng)
+			}
+			g.AddAll(seed)
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100 + w)))
+					for !stop.Load() {
+						tr := randTriple(rng)
+						if rng.Intn(3) == 0 {
+							g.Remove(tr)
+						} else {
+							g.Add(tr)
+						}
+					}
+				}(w)
+			}
+			// one writer exercises the bulk path
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				other := NewGraphSharded(2)
+				rng := rand.New(rand.NewSource(200))
+				for i := 0; i < 300; i++ {
+					other.Add(randTriple(rng))
+				}
+				for !stop.Load() {
+					g.Merge(other)
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			p0 := IRI("http://e/p0")
+			readers := runtime.GOMAXPROCS(0)
+			if readers < 4 {
+				readers = 4
+			}
+			var rwg sync.WaitGroup
+			errs := make(chan string, readers)
+			for r := 0; r < readers; r++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					for i := 0; i < 40; i++ {
+						snap := g.Snapshot()
+						count := func() (n int) {
+							snap.Match(nil, &p0, nil, func(Triple) bool { n++; return true })
+							return
+						}
+						first := count()
+						forEach := 0
+						snap.ForEach(func(Triple) bool { forEach++; return true })
+						if second := count(); second != first {
+							errs <- fmt.Sprintf("snapshot changed between passes: %d then %d", first, second)
+							return
+						}
+						if forEach != snap.Len() {
+							errs <- fmt.Sprintf("snapshot ForEach = %d triples, Len = %d", forEach, snap.Len())
+							return
+						}
+					}
+				}()
+			}
+			rwg.Wait()
+			stop.Store(true)
+			wg.Wait()
+			select {
+			case msg := <-errs:
+				t.Fatal(msg)
+			default:
+			}
+		})
+	}
+}
+
+// TestVersionExactUnderConcurrency pins the Version contract — "incremented
+// by every successful Add or Remove" — under concurrent writers racing on
+// overlapping triples: the final version delta must equal the number of
+// operations that reported success, exactly.
+func TestVersionExactUnderConcurrency(t *testing.T) {
+	g := NewGraphSharded(8)
+	v0 := g.Version()
+	var successes atomic.Int64
+	var wg sync.WaitGroup
+	workers := 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				tr := randTriple(rng)
+				if rng.Intn(3) == 0 {
+					if g.Remove(tr) {
+						successes.Add(1)
+					}
+				} else {
+					if g.Add(tr) {
+						successes.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := g.Version()-v0, uint64(successes.Load()); got != want {
+		t.Fatalf("version delta = %d, want %d (one bump per successful Add/Remove)", got, want)
+	}
+	// a snapshot's epoch is the capture-time version
+	if e := g.Snapshot().Epoch(); e != g.Version() {
+		t.Fatalf("snapshot epoch = %d, version = %d", e, g.Version())
+	}
+}
+
+// TestReadPathTakesNoLocks is the structural lock-freedom assertion: with
+// every shard mutex and every dictionary stripe mutex held by the test, the
+// whole read surface — Match on all access paths, MatchShard, MatchCount,
+// Has, Stats, PredStats, Snapshot capture and snapshot reads — must still
+// complete. Any mutex acquisition on the read path would deadlock and fail
+// the test by timeout.
+func TestReadPathTakesNoLocks(t *testing.T) {
+	g := NewGraphSharded(8)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		g.Add(randTriple(rng))
+	}
+	// promote pending dictionary deltas so term lookups are in the
+	// published read maps (the steady state between write bursts)
+	g.dict.promoteAll()
+
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+	}
+	for i := range g.dict.stripes {
+		g.dict.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for _, sh := range g.shards {
+			sh.mu.Unlock()
+		}
+		for i := range g.dict.stripes {
+			g.dict.stripes[i].mu.Unlock()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p0 := IRI("http://e/p0")
+		s0 := IRI("http://e/s0")
+		o0 := IRI("http://e/o0")
+		n := 0
+		g.Match(nil, &p0, nil, func(Triple) bool { n++; return true })
+		g.Match(&s0, nil, nil, func(Triple) bool { n++; return true })
+		g.Match(nil, nil, &o0, func(Triple) bool { n++; return true })
+		g.Match(nil, nil, nil, func(Triple) bool { n++; return true })
+		for i := 0; i < g.ShardCount(); i++ {
+			g.MatchShard(i, nil, nil, &o0, func(Triple) bool { n++; return true })
+		}
+		_ = g.MatchCount(nil, &p0, nil)
+		_ = g.Has(Triple{S: s0, P: p0, O: o0})
+		_ = g.Stats()
+		_, _ = g.PredStats(p0)
+		snap := g.Snapshot()
+		snap.Match(nil, &p0, nil, func(Triple) bool { n++; return true })
+		_ = snap.Len()
+		_, _ = snap.PredStats(p0)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("read path blocked while shard/dict mutexes were held: a lock crept into Match/Stats/PredStats")
+	}
+}
+
+// TestSnapshotIgnoresLaterWrites pins the simplest possible isolation
+// story: capture, write, and the snapshot must not see the write while the
+// graph does.
+func TestSnapshotIgnoresLaterWrites(t *testing.T) {
+	g := NewGraph()
+	a := Triple{S: IRI("http://e/a"), P: IRI("http://e/p"), O: IRI("http://e/b")}
+	b := Triple{S: IRI("http://e/c"), P: IRI("http://e/p"), O: IRI("http://e/d")}
+	g.Add(a)
+	snap := g.Snapshot()
+	epoch := snap.Epoch()
+	g.Add(b)
+	g.Remove(a)
+	if !snap.Has(a) || snap.Has(b) {
+		t.Fatalf("snapshot drifted: Has(a)=%v Has(b)=%v, want true/false", snap.Has(a), snap.Has(b))
+	}
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot Len = %d, want 1", snap.Len())
+	}
+	if snap.Epoch() != epoch || g.Epoch() != epoch+2 {
+		t.Fatalf("epochs: snapshot %d (captured %d), graph %d", snap.Epoch(), epoch, g.Epoch())
+	}
+}
+
+// TestDictLookupDuringPromotion pins the promotion race of the term
+// dictionary's lock-free lookup: a term that intern has returned for must
+// be found by every subsequent lookup, even when a stripe promotion (dirty
+// delta merging into a fresh published map) races the reader between its
+// read-map load and its dirty check.
+func TestDictLookupDuringPromotion(t *testing.T) {
+	tt := newTermTable()
+	const terms = 20000
+	published := make(chan Term, 256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(published)
+		for i := 0; i < terms; i++ {
+			tm := IRI(fmt.Sprintf("http://e/t%d", i))
+			tt.intern(tm)
+			published <- tm
+		}
+	}()
+	var recent []Term
+	for tm := range published {
+		if _, ok := tt.lookup(tm); !ok {
+			t.Fatalf("lookup(%v) = false for an interned term", tm)
+		}
+		recent = append(recent, tm)
+		if len(recent) > 64 {
+			recent = recent[1:]
+		}
+		// re-probe older terms too: these sit on either side of promotions
+		for _, old := range recent {
+			if _, ok := tt.lookup(old); !ok {
+				t.Fatalf("lookup(%v) = false for a previously verified term", old)
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -1,9 +1,19 @@
 // Package rdf implements the RDF data model used throughout the library:
 // terms (IRIs, blank nodes and literals), triples, and an indexed,
 // dictionary-encoded triple store (Graph). The store is sharded — SPO/OSP
-// indexes partitioned by subject hash, POS by predicate hash, each shard
-// behind its own read-write lock over a striped concurrent intern table —
-// making it safe for concurrent readers and writers; see Graph.
+// indexes partitioned by subject hash, POS by predicate hash — and its
+// read path is epoch-based and lock-free: each shard's indexes are
+// persistent hash-array-mapped tries (tree.go) published as an immutable
+// state through an atomic pointer, so Match/MatchCount/Has/Stats/PredStats
+// traverse a frozen structure without acquiring any lock while writers —
+// serialised per shard — copy only the O(log n) trie path a mutation
+// touches and republish with one atomic store stamped with the graph's
+// write epoch. Graph.Snapshot captures the published states as a stable
+// point-in-time view (Snapshot) sharing the Source read surface, so a
+// whole query or chase round evaluates against one instant; the term
+// dictionary's Term→id direction reads the same way (copy-on-write
+// published maps with an amortised promotion of write deltas). See Graph,
+// Snapshot and Source.
 //
 // The model follows the formalisation in Section 2.1 of Dimartino et al.,
 // "Peer-to-Peer Semantic Integration of Linked Data" (EDBT/ICDT 2015

@@ -1,0 +1,325 @@
+package rdf
+
+import "math/bits"
+
+// This file implements the persistent (immutable, copy-on-write) map the
+// epoch-based read path of Graph is built on: a CHAMP-style hash-array-mapped
+// trie keyed by the 32-bit term ids of the dictionary. Every mutation copies
+// only the O(log n) nodes on the path from the root to the touched slot and
+// returns a new tree sharing the rest of the structure, so a writer can
+// publish the updated tree with a single atomic pointer store while readers
+// keep traversing the previous version lock-free, forever. The key's own
+// bits index the trie (5 per level), so there is no hashing and two distinct
+// keys always separate within seven levels.
+//
+// tree is the map header; a nil *tree is the empty map. All methods are
+// read-only in the sense of persistence: with/without return a new header
+// and never modify the receiver.
+type tree[V any] struct {
+	root *tnode[V]
+	size int
+}
+
+// tnode is one trie node. A bit set in dataMap means the chunk index holds
+// an inline (key, value) entry; a bit in nodeMap means it holds a child
+// subtree. No bit is ever set in both. Entries and children are stored
+// compactly, ordered by chunk index (slice position = popcount of the lower
+// bits of the owning bitmap).
+type tnode[V any] struct {
+	dataMap uint32
+	nodeMap uint32
+	keys    []id
+	vals    []V
+	kids    []*tnode[V]
+}
+
+// len returns the number of entries.
+func (t *tree[V]) len() int {
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+// get returns the value stored under k.
+func (t *tree[V]) get(k id) (V, bool) {
+	var zero V
+	if t == nil {
+		return zero, false
+	}
+	n := t.root
+	for shift := uint(0); ; shift += 5 {
+		bit := uint32(1) << ((uint32(k) >> shift) & 31)
+		if n.dataMap&bit != 0 {
+			i := bits.OnesCount32(n.dataMap & (bit - 1))
+			if n.keys[i] == k {
+				return n.vals[i], true
+			}
+			return zero, false
+		}
+		if n.nodeMap&bit == 0 {
+			return zero, false
+		}
+		n = n.kids[bits.OnesCount32(n.nodeMap&(bit-1))]
+	}
+}
+
+// with returns a tree with k bound to v, reporting whether k was newly
+// added (false: an existing binding was replaced).
+func (t *tree[V]) with(k id, v V) (*tree[V], bool) {
+	if t == nil {
+		bit := uint32(1) << (uint32(k) & 31)
+		return &tree[V]{root: &tnode[V]{dataMap: bit, keys: []id{k}, vals: []V{v}}, size: 1}, true
+	}
+	root, added := t.root.with(k, v, 0)
+	size := t.size
+	if added {
+		size++
+	}
+	return &tree[V]{root: root, size: size}, added
+}
+
+// without returns a tree with k removed, reporting whether it was present.
+// Removing the last entry returns nil (the empty tree).
+func (t *tree[V]) without(k id) (*tree[V], bool) {
+	if t == nil {
+		return nil, false
+	}
+	root, removed := t.root.without(k, 0)
+	if !removed {
+		return t, false
+	}
+	if t.size == 1 {
+		return nil, true
+	}
+	return &tree[V]{root: root, size: t.size - 1}, true
+}
+
+// each calls fn for every entry until fn returns false, reporting whether
+// the iteration ran to completion. The order is determined by the key bits,
+// so it is stable for a given key set regardless of insertion history.
+func (t *tree[V]) each(fn func(id, V) bool) bool {
+	if t == nil {
+		return true
+	}
+	return t.root.each(fn)
+}
+
+func (n *tnode[V]) each(fn func(id, V) bool) bool {
+	for i, k := range n.keys {
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	for _, c := range n.kids {
+		if !c.each(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// clone returns a node with freshly copied slices, the unit of copy-on-write.
+func (n *tnode[V]) clone() *tnode[V] {
+	c := &tnode[V]{dataMap: n.dataMap, nodeMap: n.nodeMap}
+	if len(n.keys) > 0 {
+		c.keys = append([]id(nil), n.keys...)
+		c.vals = append([]V(nil), n.vals...)
+	}
+	if len(n.kids) > 0 {
+		c.kids = append([]*tnode[V](nil), n.kids...)
+	}
+	return c
+}
+
+func (n *tnode[V]) insertData(bit uint32, k id, v V) {
+	i := bits.OnesCount32(n.dataMap & (bit - 1))
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = k
+	var zero V
+	n.vals = append(n.vals, zero)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = v
+	n.dataMap |= bit
+}
+
+func (n *tnode[V]) removeData(bit uint32) {
+	i := bits.OnesCount32(n.dataMap & (bit - 1))
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.dataMap &^= bit
+}
+
+func (n *tnode[V]) insertKid(bit uint32, child *tnode[V]) {
+	j := bits.OnesCount32(n.nodeMap & (bit - 1))
+	n.kids = append(n.kids, nil)
+	copy(n.kids[j+1:], n.kids[j:])
+	n.kids[j] = child
+	n.nodeMap |= bit
+}
+
+func (n *tnode[V]) removeKid(bit uint32) {
+	j := bits.OnesCount32(n.nodeMap & (bit - 1))
+	n.kids = append(n.kids[:j], n.kids[j+1:]...)
+	n.nodeMap &^= bit
+}
+
+func (n *tnode[V]) with(k id, v V, shift uint) (*tnode[V], bool) {
+	bit := uint32(1) << ((uint32(k) >> shift) & 31)
+	switch {
+	case n.dataMap&bit != 0:
+		i := bits.OnesCount32(n.dataMap & (bit - 1))
+		if n.keys[i] == k {
+			c := n.clone()
+			c.vals[i] = v
+			return c, false
+		}
+		// two distinct keys share the chunk: push the resident entry down
+		// into a fresh subtree alongside the new one
+		child := mergeEntries(n.keys[i], n.vals[i], k, v, shift+5)
+		c := n.clone()
+		c.removeData(bit)
+		c.insertKid(bit, child)
+		return c, true
+	case n.nodeMap&bit != 0:
+		j := bits.OnesCount32(n.nodeMap & (bit - 1))
+		child, added := n.kids[j].with(k, v, shift+5)
+		c := n.clone()
+		c.kids[j] = child
+		return c, added
+	default:
+		c := n.clone()
+		c.insertData(bit, k, v)
+		return c, true
+	}
+}
+
+// mergeEntries builds the minimal subtree holding two distinct keys from
+// the given depth down.
+func mergeEntries[V any](k1 id, v1 V, k2 id, v2 V, shift uint) *tnode[V] {
+	i1 := (uint32(k1) >> shift) & 31
+	i2 := (uint32(k2) >> shift) & 31
+	if i1 == i2 {
+		return &tnode[V]{nodeMap: 1 << i1, kids: []*tnode[V]{mergeEntries(k1, v1, k2, v2, shift+5)}}
+	}
+	if i1 < i2 {
+		return &tnode[V]{dataMap: 1<<i1 | 1<<i2, keys: []id{k1, k2}, vals: []V{v1, v2}}
+	}
+	return &tnode[V]{dataMap: 1<<i1 | 1<<i2, keys: []id{k2, k1}, vals: []V{v2, v1}}
+}
+
+func (n *tnode[V]) without(k id, shift uint) (*tnode[V], bool) {
+	bit := uint32(1) << ((uint32(k) >> shift) & 31)
+	if n.dataMap&bit != 0 {
+		i := bits.OnesCount32(n.dataMap & (bit - 1))
+		if n.keys[i] != k {
+			return n, false
+		}
+		c := n.clone()
+		c.removeData(bit)
+		return c, true
+	}
+	if n.nodeMap&bit == 0 {
+		return n, false
+	}
+	j := bits.OnesCount32(n.nodeMap & (bit - 1))
+	child, removed := n.kids[j].without(k, shift+5)
+	if !removed {
+		return n, false
+	}
+	c := n.clone()
+	switch {
+	case child.nodeMap == 0 && len(child.keys) == 0:
+		c.removeKid(bit)
+	case child.nodeMap == 0 && len(child.keys) == 1:
+		// the subtree shrank to one inline entry: pull it up
+		c.removeKid(bit)
+		c.insertData(bit, child.keys[0], child.vals[0])
+	default:
+		c.kids[j] = child
+	}
+	return c, true
+}
+
+// The graph indexes instantiate the tree three levels deep: an index maps
+// position a to a map from position b to the set of c, where (a, b, c) is a
+// permutation of (s, p, o) — the persistent analogue of the former
+// map[id]map[id]map[id]struct{}.
+type (
+	iset   = tree[struct{}]
+	ipairs = tree[*iset]
+	pindex = tree[*ipairs]
+)
+
+// idxHas reports whether the index holds (a, b, c).
+func idxHas(ix *pindex, a, b, c id) bool {
+	bm, ok := ix.get(a)
+	if !ok {
+		return false
+	}
+	cs, ok := bm.get(b)
+	if !ok {
+		return false
+	}
+	_, ok = cs.get(c)
+	return ok
+}
+
+// idxBucket returns the (a, b) set, nil when absent.
+func idxBucket(ix *pindex, a, b id) *iset {
+	bm, ok := ix.get(a)
+	if !ok {
+		return nil
+	}
+	cs, _ := bm.get(b)
+	return cs
+}
+
+// idxAdd inserts (a, b, c) and reports (index, inserted, createdA,
+// createdB): whether the triple was new, whether its a-bucket was created,
+// and whether its (a, b) bucket was created. The bucket signals drive the
+// incremental distinct counts, exactly like the mutable index used to.
+func idxAdd(ix *pindex, a, b, c id) (*pindex, bool, bool, bool) {
+	bm, _ := ix.get(a)
+	var cs *iset
+	if bm != nil {
+		cs, _ = bm.get(b)
+	}
+	cs2, added := cs.with(c, struct{}{})
+	if !added {
+		return ix, false, false, false
+	}
+	bm2, _ := bm.with(b, cs2)
+	ix2, _ := ix.with(a, bm2)
+	return ix2, true, bm == nil, cs == nil
+}
+
+// idxRemove deletes (a, b, c) and reports (index, removed, droppedA,
+// droppedB), mirroring idxAdd.
+func idxRemove(ix *pindex, a, b, c id) (*pindex, bool, bool, bool) {
+	bm, ok := ix.get(a)
+	if !ok {
+		return ix, false, false, false
+	}
+	cs, ok := bm.get(b)
+	if !ok {
+		return ix, false, false, false
+	}
+	cs2, removed := cs.without(c)
+	if !removed {
+		return ix, false, false, false
+	}
+	if cs2 != nil {
+		bm2, _ := bm.with(b, cs2)
+		ix2, _ := ix.with(a, bm2)
+		return ix2, true, false, false
+	}
+	bm2, _ := bm.without(b)
+	if bm2 != nil {
+		ix2, _ := ix.with(a, bm2)
+		return ix2, true, false, true
+	}
+	ix2, _ := ix.without(a)
+	return ix2, true, true, true
+}

@@ -24,8 +24,12 @@ type Result struct {
 
 // Eval evaluates the query over a graph under the fragment's semantics:
 // BGPs per Definition 1, UNION as set union of solution multisets, filters
-// as post-selection, SELECT as projection (bag; set under DISTINCT).
-func (q *Query) Eval(g *rdf.Graph) *Result {
+// as post-selection, SELECT as projection (bag; set under DISTINCT). The
+// source is frozen once up front, so the entire query — every BGP, union
+// alternative and optional — evaluates against one point-in-time snapshot
+// and concurrent bulk loads can neither stall nor tear it.
+func (q *Query) Eval(g rdf.Source) *Result {
+	g = rdf.Freeze(g)
 	sols := evalExpr(g, q.Where)
 	if q.Form == FormAsk {
 		return &Result{Form: FormAsk, True: len(sols) > 0}
@@ -54,7 +58,7 @@ func (q *Query) Eval(g *rdf.Graph) *Result {
 // evalExpr returns the solution mappings of the expression. BGPs run
 // through the streaming planner, joins between sub-expressions through the
 // algebra's hash join, and FILTER through its σ operator.
-func evalExpr(g *rdf.Graph, e Expr) []pattern.Binding {
+func evalExpr(g rdf.Source, e Expr) []pattern.Binding {
 	switch x := e.(type) {
 	case *Group:
 		sols := plan.Execute(g, x.BGP)

@@ -55,8 +55,15 @@
 //
 // The triple store itself (package internal/rdf) is sharded and safe for
 // concurrent use: SPO/OSP indexes are subject-hash partitioned and POS is
-// predicate-hash partitioned, each shard behind its own read-write lock,
-// with a striped concurrent intern table underneath. Readers scale across
+// predicate-hash partitioned, with a striped concurrent intern table
+// underneath. Its read path is epoch-based and lock-free: each shard's
+// indexes are persistent (copy-on-write) tries published through an atomic
+// pointer, so Match/Stats/PredStats never take a lock, long scans never
+// block writers, and Graph.Snapshot captures a stable point-in-time view
+// for free. Every query evaluates against one such snapshot (no torn reads
+// mid-join — EXPLAIN names the snapshot epoch), each parallel chase round
+// reads from its round-start snapshot, and rpsd serves every request from
+// a snapshot so bulk loads never stall queries. Readers scale across
 // cores, bulk loads (Graph.AddAll, the Turtle and mapfile loaders) fan out
 // across the shards, large cross-shard scans execute as parallel fan-outs
 // with a deterministic merge, and the chase can evaluate each round's
@@ -104,6 +111,12 @@ type (
 	Triple = rdf.Triple
 	// Graph is an indexed in-memory RDF graph.
 	Graph = rdf.Graph
+	// GraphSnapshot is a stable, point-in-time view of a Graph: reads take
+	// no locks and later writes are never observed.
+	GraphSnapshot = rdf.Snapshot
+	// GraphSource is the shared read surface of Graph and GraphSnapshot;
+	// query evaluation accepts either.
+	GraphSource = rdf.Source
 	// Namespaces maps prefixes to namespace IRIs.
 	Namespaces = rdf.Namespaces
 )
@@ -129,6 +142,9 @@ var (
 	// SetDefaultShardCount fixes the shard count NewGraph uses process-wide
 	// (0 restores the automatic per-CPU default).
 	SetDefaultShardCount = rdf.SetDefaultShardCount
+	// FreezeGraph returns a stable point-in-time view of a source: the
+	// Snapshot of a live Graph, or the source itself when already frozen.
+	FreezeGraph = rdf.Freeze
 	// NewNamespaces returns an empty prefix table.
 	NewNamespaces = rdf.NewNamespaces
 	// CommonNamespaces returns a prefix table with common bindings.
