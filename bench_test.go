@@ -1011,3 +1011,114 @@ func BenchmarkSnapshotCapture(b *testing.B) {
 		benchSink += g.Snapshot().Len()
 	}
 }
+
+// benchTerms pre-builds term pools so the write benchmarks measure the
+// store's write path, not fmt.Sprintf.
+func benchTerms(prefix string, n int) []rdf.Term {
+	ts := make([]rdf.Term, n)
+	for i := range ts {
+		ts[i] = rdf.IRI(fmt.Sprintf("http://bench/%s%d", prefix, i))
+	}
+	return ts
+}
+
+// benchTriples deterministically mixes the pools into m distinct triples —
+// the shape of a mapping workload: many subjects, few predicates, a middle
+// number of objects.
+func benchTriples(m int) []rdf.Triple {
+	subs := benchTerms("s", 4096)
+	preds := benchTerms("p", 16)
+	// 1021 is prime and coprime with the 65536-step (s, p) cycle, so the
+	// object index never repeats for the same (s, p) within 65536×1021
+	// triples: every generated triple is distinct.
+	objs := benchTerms("o", 1021)
+	ts := make([]rdf.Triple, m)
+	for i := range ts {
+		ts[i] = rdf.Triple{
+			S: subs[i%len(subs)],
+			P: preds[(i/len(subs))%len(preds)],
+			O: objs[(i*2654435761)%len(objs)],
+		}
+	}
+	return ts
+}
+
+// BenchmarkAddSingle is the PR 5 write-path microbenchmark: single-triple
+// Add against a pre-populated store, terms pre-interned, so ns/op and
+// allocs/op isolate the copied trie path (run with -benchmem; the PR 5
+// acceptance bar is allocs/op at most half the PR 4 figure).
+func BenchmarkAddSingle(b *testing.B) {
+	base := benchTriples(20000)
+	fresh := benchTriples(1 << 20)[20000:]
+	g := rdf.NewGraph()
+	g.AddAll(base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(fresh[i%len(fresh)])
+	}
+}
+
+// BenchmarkAddAllBatch measures bulk load through the batch write path
+// (one transient build, one publication and one epoch stamp per shard per
+// batch) in ns/triple, against the mutable-map reference that PR 4
+// replaced — the acceptance bar is staying within 1.5× of it.
+func BenchmarkAddAllBatch(b *testing.B) {
+	ts := benchTriples(100000)
+	b.Run("graph", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := rdf.NewGraphSharded(1)
+			g.AddAll(ts)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(ts)), "ns/triple")
+		}
+	})
+	b.Run("mapBaseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spo := map[rdf.Term]map[rdf.Term]map[rdf.Term]struct{}{}
+			n := 0
+			for _, t := range ts {
+				pm, ok := spo[t.S]
+				if !ok {
+					pm = map[rdf.Term]map[rdf.Term]struct{}{}
+					spo[t.S] = pm
+				}
+				om, ok := pm[t.P]
+				if !ok {
+					om = map[rdf.Term]struct{}{}
+					pm[t.P] = om
+				}
+				if _, dup := om[t.O]; !dup {
+					om[t.O] = struct{}{}
+					n++
+				}
+			}
+			if n == 0 {
+				b.Fatal("empty load")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(ts)), "ns/triple")
+		}
+	})
+}
+
+// BenchmarkChaseRoundWrite models the chase's per-round write phase: each
+// op opens a batch, adds one round's worth of fired triples (most new,
+// some duplicating earlier rounds), and commits — one publication per
+// shard per round instead of one per triple.
+func BenchmarkChaseRoundWrite(b *testing.B) {
+	const round = 2048
+	ts := benchTriples(1 << 20)
+	g := rdf.NewGraph()
+	g.AddAll(ts[:round])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * round * 3 / 4) % (len(ts) - round)
+		batch := g.NewBatch()
+		for _, t := range ts[lo : lo+round] {
+			batch.Add(t)
+		}
+		batch.Commit()
+	}
+}

@@ -61,7 +61,7 @@ func TestJSONReport(t *testing.T) {
 			t.Errorf("micro %s has empty measurements: %+v", m.Name, m)
 		}
 	}
-	for _, want := range []string{"SnapshotRead/idle", "SnapshotRead/underWriter", "PlanExecute", "Add"} {
+	for _, want := range []string{"SnapshotRead/idle", "SnapshotRead/underWriter", "PlanExecute", "Add", "AddSingle", "AddAllBatch", "ChaseRoundWrite"} {
 		if !names[want] {
 			t.Errorf("micro suite missing %s (got %v)", want, names)
 		}

@@ -17,7 +17,7 @@ import (
 )
 
 // benchReport is the machine-readable result document the -json flag
-// emits (BENCH_PR4.json in CI): the selected experiment tables plus a
+// emits (BENCH_PR5.json in CI): the selected experiment tables plus a
 // fixed suite of store microbenchmarks, so ns/op and allocs/op are
 // recorded per run and the performance trajectory is diffable.
 type benchReport struct {
@@ -77,13 +77,24 @@ func microGraph(n int) (*rdf.Graph, []rdf.Term) {
 // testing.Benchmark: snapshot reads on an idle store, the same reads while
 // a writer storms (the PR 4 acceptance pair — the two ns/op should be
 // within a small factor of each other now that Match never locks), plan
-// execution, and single-triple writes.
+// execution, and the PR 5 write-path trio — single-triple Add with
+// pre-built terms (AddSingle), bulk load through the batch path
+// (AddAllBatch, ns/op is for the whole load; divide by the triple count
+// for ns/triple), and a chase-round-shaped batch commit (ChaseRoundWrite).
 func microBenchmarks(quick bool) []microBenchmarkEntry {
 	size := 100000
 	if quick {
 		size = 20000
 	}
 	g, preds := microGraph(size)
+	bulk := make([]rdf.Triple, size)
+	for i := range bulk {
+		bulk[i] = rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://bench/bs%d", i%(size/8+1))),
+			P: preds[(i/(size/8+1))%len(preds)],
+			O: rdf.IRI(fmt.Sprintf("http://bench/bo%d", (i*2654435761)%16381)),
+		}
+	}
 
 	probe := func(b *testing.B) {
 		b.ReportAllocs()
@@ -143,6 +154,37 @@ func microBenchmarks(quick bool) []microBenchmarkEntry {
 					P: preds[i%len(preds)],
 					O: rdf.IRI(fmt.Sprintf("http://bench/b%d", i)),
 				})
+			}
+		}},
+		{"AddSingle", func(b *testing.B) {
+			b.ReportAllocs()
+			w := rdf.NewGraph()
+			w.AddAll(bulk[:size/4])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Add(bulk[size/4+i%(len(bulk)-size/4)])
+			}
+		}},
+		{"AddAllBatch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := rdf.NewGraph()
+				w.AddAll(bulk)
+			}
+		}},
+		{"ChaseRoundWrite", func(b *testing.B) {
+			const round = 1024
+			b.ReportAllocs()
+			w := rdf.NewGraph()
+			w.AddAll(bulk[:round])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * round * 3 / 4) % (len(bulk) - round)
+				batch := w.NewBatch()
+				for _, t := range bulk[lo : lo+round] {
+					batch.Add(t)
+				}
+				batch.Commit()
 			}
 		}},
 	}

@@ -150,10 +150,13 @@ func Run(sys *core.System, opts Options) (*Universal, error) {
 	}
 
 	// step 0: copy the stored database (the source-to-target dependencies)
+	// as one batch — the bulk-load path of the store
+	b0 := u.Graph.NewBatch()
 	sys.StoredDatabase().ForEach(func(t rdf.Triple) bool {
-		u.Graph.Add(u.canonicalTriple(t))
+		b0.Add(u.canonicalTriple(t))
 		return true
 	})
+	b0.Commit()
 	base := u.Graph.Len()
 
 	var err error
@@ -265,9 +268,22 @@ func (u *Universal) gmaMissing(m core.GraphMappingAssertion, src rdf.Source, con
 }
 
 // fireGMA is the write phase: it instantiates Q' with each missing tuple
-// and fresh labelled nulls. Always serial.
+// and fresh labelled nulls. Always serial. The instantiated triples commit
+// as one batch — one trie rebuild, publication and epoch stamp per shard —
+// instead of a full path copy per triple; Version still advances by one
+// per triple added, so epoch consumers observe the same count.
 func (u *Universal) fireGMA(m core.GraphMappingAssertion, to pattern.Query, missing []pattern.Tuple) []rdf.Triple {
-	var added []rdf.Triple
+	b := u.Graph.NewBatch()
+	u.fireGMAInto(b, m, to, missing)
+	return b.CommitAdded()
+}
+
+// fireGMAInto accumulates the instantiations into an open batch, so a
+// caller firing several mappings in one round (the parallel chase) can
+// commit them all with a single publication per shard per round.
+// Duplicate triples — within the batch or against the graph — are
+// dropped at commit, exactly as per-triple Add used to report them.
+func (u *Universal) fireGMAInto(b *rdf.Batch, m core.GraphMappingAssertion, to pattern.Query, missing []pattern.Tuple) {
 	for _, t := range missing {
 		bq, err := to.Substitute(t)
 		if err != nil {
@@ -285,12 +301,9 @@ func (u *Universal) fireGMA(m core.GraphMappingAssertion, to pattern.Query, miss
 			if !ok {
 				panic("chase: ungrounded head pattern")
 			}
-			if u.Graph.Add(tr) {
-				added = append(added, tr)
-			}
+			b.Add(tr)
 		}
 	}
-	return added
 }
 
 // equivNeighbors returns the symmetric adjacency of E (copy strategy only).
@@ -343,10 +356,18 @@ func (u *Universal) runNaive(opts Options) error {
 			plan.Fanout(len(u.sys.G), func(i int) {
 				tos[i], missing[i] = u.gmaMissing(u.sys.G[i], round, false)
 			})
+			// the whole round's firings commit as one batch: per shard, one
+			// transient rebuild and one publication for the round; nothing
+			// of the round is observable before Commit, and each shard flips
+			// to the full round in one store (a reader racing the commit
+			// itself can still see some shards ahead of others — the same
+			// per-shard guarantee all concurrent writes have)
+			rb := u.Graph.NewBatch()
 			for i, m := range u.sys.G {
-				if len(u.fireGMA(m, tos[i], missing[i])) > 0 {
-					changed = true
-				}
+				u.fireGMAInto(rb, m, tos[i], missing[i])
+			}
+			if rb.Commit() > 0 {
+				changed = true
 			}
 		} else {
 			for _, m := range u.sys.G {
@@ -357,7 +378,9 @@ func (u *Universal) runNaive(opts Options) error {
 		}
 		if u.equiv == EquivCopy {
 			// the equivalence cases of Algorithm 1: copy missing triples in
-			// all six directions until the star-semantics sets agree
+			// all six directions until the star-semantics sets agree; the
+			// copies load as one batch (AddAll dedupes, so the count is
+			// exactly the triples actually new)
 			var pending []rdf.Triple
 			u.Graph.ForEach(func(t rdf.Triple) bool {
 				for _, c := range copiesOf(t, adj) {
@@ -367,11 +390,9 @@ func (u *Universal) runNaive(opts Options) error {
 				}
 				return true
 			})
-			for _, c := range pending {
-				if u.Graph.Add(c) {
-					u.Stats.EquivCopies++
-					changed = true
-				}
+			if n := u.Graph.AddAll(pending); n > 0 {
+				u.Stats.EquivCopies += n
+				changed = true
 			}
 		}
 		if opts.MaxTriples > 0 && u.Graph.Len() > opts.MaxTriples {

@@ -60,14 +60,14 @@ func (u *Universal) AddPeer(name string, data *rdf.Graph) error {
 	if err := p.Load(data); err != nil {
 		return err
 	}
-	var work []rdf.Triple
+	// absorb the new source as one batch; the triples actually new to the
+	// universal solution seed the delta work-list
+	b := u.Graph.NewBatch()
 	data.ForEach(func(t rdf.Triple) bool {
-		if u.Graph.Add(t) {
-			work = append(work, t)
-		}
+		b.Add(t)
 		return true
 	})
-	return u.propagate(work, false)
+	return u.propagate(b.CommitAdded(), false)
 }
 
 // AddEquivalence registers c ≡ₑ c′ and propagates the copy rules over the

@@ -105,16 +105,25 @@ func (p *Peer) Add(t rdf.Triple) error {
 	return nil
 }
 
-// Load stores every triple of g into the peer.
+// Load stores every triple of g into the peer. The triples land in the
+// peer's store as one batch (one index rebuild and publication per shard,
+// see rdf.Batch) rather than one write per triple; on an invalid triple
+// the valid prefix is kept, exactly as per-triple loading behaved.
 func (p *Peer) Load(g *rdf.Graph) error {
 	var err error
+	batch := p.data.NewBatch()
 	g.ForEach(func(t rdf.Triple) bool {
-		if e := p.Add(t); e != nil {
-			err = e
+		if !t.Valid() {
+			err = fmt.Errorf("core: invalid RDF triple %v", t)
 			return false
 		}
+		for _, x := range t.Terms() {
+			p.schema.Add(x)
+		}
+		batch.Add(t)
 		return true
 	})
+	batch.Commit()
 	return err
 }
 

@@ -56,7 +56,10 @@ func (pl *pendingLoad) load() {
 
 // loadPeerGraphs reads and parses the queued data files across a
 // GOMAXPROCS-bounded worker pool. Turtle parsing dominates system load
-// time and is embarrassingly parallel per peer.
+// time and is embarrassingly parallel per peer. Each parsed document then
+// lands in its peer's store through the batch write path (ParseGraph and
+// Peer.Load both feed rdf.Batch), so ingest pays one index publication
+// per shard per file, not one per triple.
 func loadPeerGraphs(pending []*pendingLoad) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pending) {

@@ -23,7 +23,12 @@ import (
 // operator choice (index nested loop vs hash join) is re-derived from the
 // variable-sharing structure, which the shape fully determines. The size
 // bucket (log₂ of the triple count) expires entries as the graph grows, so
-// join orders re-optimise once the data roughly doubles.
+// join orders re-optimise once the data roughly doubles. Batched writes
+// (rdf.Batch since PR 5) move Len and Version by the whole batch at one
+// publication instant, so a bulk load crosses at most the same bucket
+// boundaries one-at-a-time writes would have crossed — keys stay valid,
+// and a plan cached mid-batch keys against the pre-batch size exactly as
+// it would have against any pre-batch write.
 
 // cacheMaxEntries bounds the cache; on overflow the whole map is dropped
 // (shapes are few and cheap to recompute, so LRU bookkeeping isn't worth

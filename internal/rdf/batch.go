@@ -1,0 +1,324 @@
+package rdf
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch accumulates writes and applies them as one transaction-like unit:
+// per shard, the whole batch costs one transient build over the current
+// state, one frozen shardState, one atomic publication and one epoch
+// stamp, instead of a full path copy and republication per triple.
+//
+// Until Commit begins publishing, nothing the batch holds is observable:
+// readers and snapshots keep seeing the pre-batch states, so a Snapshot
+// taken while the batch accumulates never contains any of its triples.
+// Commit publishes each touched shard exactly once — a shard flips from
+// none-of-the-batch to all-of-the-batch in a single atomic store. Across
+// shards the publication is a short sequence of such stores, so a reader
+// racing Commit itself can observe some shards post-batch and others
+// pre-batch: the same per-shard guarantee every concurrent write in this
+// store has always had, just with batch granularity. Version advances by
+// one per effective write (the batch is stamped with its effective op
+// count), preserving the one-bump-per-successful-Add/Remove contract that
+// epoch consumers rely on.
+//
+// Ordering: ops apply in the order they were enqueued. Two ops on the same
+// triple share both partitions, so "Add then Remove of t in one batch"
+// leaves t absent, counts two effective writes, and recycles the trie
+// nodes the Add built (they were born and discarded inside the batch).
+//
+// A Batch is not safe for concurrent use; committed batches reset and may
+// be reused. Concurrent Commits of different batches are safe (shard locks
+// are taken in ascending order, the same discipline single writes use).
+type Batch struct {
+	g   *Graph
+	ops []Triple
+	// del marks removal ops; nil while the batch is add-only (the common
+	// case — bulk loads, chase rounds — pays nothing for the capability).
+	del []bool
+}
+
+// NewBatch opens an empty write batch against the graph.
+func (g *Graph) NewBatch() *Batch { return &Batch{g: g} }
+
+// Add enqueues an insertion.
+func (b *Batch) Add(t Triple) {
+	b.ops = append(b.ops, t)
+	if b.del != nil {
+		b.del = append(b.del, false)
+	}
+}
+
+// Remove enqueues a removal.
+func (b *Batch) Remove(t Triple) {
+	if b.del == nil {
+		b.del = make([]bool, len(b.ops), len(b.ops)+1)
+	}
+	b.ops = append(b.ops, t)
+	b.del = append(b.del, true)
+}
+
+// Len returns the number of enqueued ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+func (b *Batch) isDel(i int) bool { return b.del != nil && b.del[i] }
+
+// Commit applies the batch and returns the number of effective writes
+// (insertions of absent triples plus removals of present ones). The batch
+// is reset for reuse.
+func (b *Batch) Commit() int {
+	n, _ := b.commit(false)
+	return n
+}
+
+// CommitAdded is Commit returning the triples whose insertion took effect,
+// in op order — the shape work-list-driven callers (the chase) need. A
+// triple added and later removed by the same batch is still reported: the
+// add took effect when it applied.
+func (b *Batch) CommitAdded() []Triple {
+	_, added := b.commit(true)
+	return added
+}
+
+// commitShard is the per-shard scratch of one commit: the builder and the
+// next state being built (a private value copy of the base state whose
+// headers the two phases mutate in place).
+type commitShard struct {
+	base *shardState
+	sb   shardBuilder
+	next shardState
+
+	dTriples     int // subject-partition triple delta
+	dSubj, dPred int // distinct subject/predicate deltas
+	changed      bool
+}
+
+func (b *Batch) commit(wantAdded bool) (int, []Triple) {
+	g := b.g
+	ops, del := b.ops, b.del
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	b.ops, b.del = nil, nil
+	isDel := func(i int) bool { return del != nil && del[i] }
+
+	// Resolve the dictionary first (its stripes have their own locks):
+	// insertions intern, removals only look up — a removal of unknown
+	// terms is a no-op and must not grow the dictionary.
+	ids := make([]tripleID, len(ops))
+	skip := make([]bool, len(ops))
+	g.dict.internOps(ops, isDel, ids, skip)
+
+	// Group op indexes by owning shard, preserving op order: the subject
+	// partition (spo/osp) and the predicate partition (pos/pred) of an op
+	// may live in different shards.
+	nsh := len(g.shards)
+	subOps := make([][]int32, nsh)
+	predOps := make([][]int32, nsh)
+	for k := range ops {
+		if skip[k] {
+			continue
+		}
+		si := uint32(ids[k].s) & g.mask
+		pi := uint32(ids[k].p) & g.mask
+		subOps[si] = append(subOps[si], int32(k))
+		predOps[pi] = append(predOps[pi], int32(k))
+	}
+	var touched []int
+	for i := 0; i < nsh; i++ {
+		if subOps[i] != nil || predOps[i] != nil {
+			touched = append(touched, i)
+		}
+	}
+	if len(touched) == 0 {
+		return 0, nil
+	}
+
+	// Lock every touched shard in ascending index order (the discipline
+	// all writers share) and hold the whole set until publication: the
+	// transient builds derive from the states loaded here, and a
+	// concurrent writer publishing in between would be clobbered.
+	cs := make([]commitShard, nsh)
+	for _, si := range touched {
+		sh := g.shards[si]
+		sh.mu.Lock()
+		st := &cs[si]
+		st.base = sh.state.Load()
+		st.sb = sh.builder()
+		st.next = *st.base
+	}
+
+	// effect records what each op did (+1 added, -1 removed, 0 no-op);
+	// spFlag whether it created/dropped its (s, p) bucket — computed in
+	// the subject phase, consumed by the predicate phase's statistics.
+	effect := make([]int8, len(ops))
+	spFlag := make([]bool, len(ops))
+
+	parallel := len(ops) >= parallelAddThreshold && len(touched) > 1
+
+	// Phase 1: subject partitions. Each shard's ops apply in batch order
+	// against its transient spo/osp; shards are independent, so the phase
+	// fans out for large batches.
+	fanOut(parallel, touched, func(si int) {
+		st := &cs[si]
+		for _, k := range subOps[si] {
+			t := ids[k]
+			if !isDel(int(k)) {
+				added, newS, newSP := st.sb.idxAdd(&st.next.spo, t.s, t.p, t.o)
+				if !added {
+					continue
+				}
+				st.sb.idxAdd(&st.next.osp, t.o, t.s, t.p)
+				effect[k], spFlag[k] = 1, newSP
+				st.dTriples++
+				if newS {
+					st.dSubj++
+				}
+			} else {
+				removed, goneS, goneSP := st.sb.idxRemove(&st.next.spo, t.s, t.p, t.o)
+				if !removed {
+					continue
+				}
+				st.sb.idxRemove(&st.next.osp, t.o, t.s, t.p)
+				effect[k], spFlag[k] = -1, goneSP
+				st.dTriples--
+				if goneS {
+					st.dSubj--
+				}
+			}
+			st.changed = true
+		}
+	})
+
+	// Phase 2: predicate partitions, for the ops that took effect. The
+	// barrier between the phases is what lets an op's spo shard and pos
+	// shard differ while the statistics still agree.
+	fanOut(parallel, touched, func(si int) {
+		st := &cs[si]
+		for _, k := range predOps[si] {
+			if effect[k] == 0 {
+				continue
+			}
+			t := ids[k]
+			if effect[k] > 0 {
+				if st.sb.posAdd(&st.next.pos, t.p, t.o, t.s, spFlag[k]) {
+					st.dPred++
+				}
+			} else {
+				if st.sb.posRemove(&st.next.pos, t.p, t.o, t.s, spFlag[k]) {
+					st.dPred--
+				}
+			}
+			st.changed = true
+		}
+	})
+
+	nAdd, nDel := 0, 0
+	for _, e := range effect {
+		switch e {
+		case 1:
+			nAdd++
+		case -1:
+			nDel++
+		}
+	}
+	if nAdd+nDel == 0 {
+		for _, si := range touched {
+			g.shards[si].mu.Unlock()
+		}
+		return 0, nil
+	}
+
+	// Freeze and publish: one version advance for the whole batch (sized
+	// by its effective op count), one atomic store per changed shard. This
+	// is the instant the batch becomes visible; each shard flips from
+	// none-of-the-batch to all-of-the-batch in a single store.
+	epoch := g.version.Add(uint64(nAdd + nDel))
+	for _, si := range touched {
+		st := &cs[si]
+		if st.changed {
+			next := new(shardState)
+			*next = st.next
+			next.triples = st.base.triples + st.dTriples
+			next.epoch = epoch
+			g.shards[si].state.Store(next)
+		}
+		g.shards[si].mu.Unlock()
+	}
+
+	g.size.Add(int64(nAdd - nDel))
+	var dS, dP, dO int64
+	for _, si := range touched {
+		dS += int64(cs[si].dSubj)
+		dP += int64(cs[si].dPred)
+	}
+	for k, e := range effect {
+		switch e {
+		case 1:
+			if g.objects.addRef(ids[k].o) {
+				dO++
+			}
+		case -1:
+			if g.objects.decRef(ids[k].o) {
+				dO--
+			}
+		}
+	}
+	if dS != 0 {
+		g.distinctS.Add(dS)
+	}
+	if dP != 0 {
+		g.distinctP.Add(dP)
+	}
+	if dO != 0 {
+		g.distinctO.Add(dO)
+	}
+
+	var added []Triple
+	if wantAdded && nAdd > 0 {
+		added = make([]Triple, 0, nAdd)
+		for k, e := range effect {
+			if e == 1 {
+				added = append(added, ops[k])
+			}
+		}
+	}
+	return nAdd + nDel, added
+}
+
+// fanOut runs fn(shard) for every touched shard, in parallel when the
+// batch is large enough to amortise the goroutines and more than one CPU
+// is available. The returned-from WaitGroup is the phase barrier.
+func fanOut(parallel bool, touched []int, fn func(si int)) {
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(touched) {
+		workers = len(touched)
+	}
+	if workers < 2 {
+		for _, si := range touched {
+			fn(si)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(touched) {
+					return
+				}
+				fn(touched[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

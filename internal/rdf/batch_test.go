@@ -1,0 +1,361 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// readSurface captures everything observable about a graph through its
+// eight read surfaces: the 2³ Match access paths (every combination of
+// bound positions), plus the scalar surfaces derived from them (Len,
+// Stats, PredStats, MatchCount, Has over a probe set, sorted Triples).
+type readSurface struct {
+	Len       int
+	Stats     Stats
+	Triples   []Triple
+	ByPath    [8][]Triple
+	Counts    [8]int
+	Has       []bool
+	PredStats map[string]PredStats
+}
+
+// surfaceOf reads g through every access path, probing with the terms of
+// universe (a superset of the terms used by the triples under test).
+func surfaceOf(g *Graph, universe []Triple) readSurface {
+	rs := readSurface{
+		Len:       g.Len(),
+		Stats:     g.Stats(),
+		Triples:   g.Triples(),
+		PredStats: map[string]PredStats{},
+	}
+	probe := universe
+	if len(probe) > 24 {
+		probe = probe[:24]
+	}
+	for _, t := range probe {
+		rs.Has = append(rs.Has, g.Has(t))
+		if st, ok := g.PredStats(t.P); ok {
+			rs.PredStats[t.P.String()] = st
+		}
+	}
+	for mask := 0; mask < 8; mask++ {
+		var s, p, o *Term
+		t0 := universe[0]
+		if mask&1 != 0 {
+			s = &t0.S
+		}
+		if mask&2 != 0 {
+			p = &t0.P
+		}
+		if mask&4 != 0 {
+			o = &t0.O
+		}
+		g.Match(s, p, o, func(t Triple) bool {
+			rs.ByPath[mask] = append(rs.ByPath[mask], t)
+			return true
+		})
+		sortTriples(rs.ByPath[mask])
+		rs.Counts[mask] = g.MatchCount(s, p, o)
+	}
+	return rs
+}
+
+func sortTriples(ts []Triple) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Compare(ts[j-1]) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// batchScript is a randomised batch workload: a sequence of ops, a cut
+// point separating two batches, and a shard count.
+type batchScript struct {
+	ops    []byte // low bits: triple selector; bit 7: removal
+	cut    int
+	shards int
+}
+
+func (batchScript) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(120) + 4
+	ops := make([]byte, n)
+	rng.Read(ops)
+	return reflect.ValueOf(batchScript{
+		ops:    ops,
+		cut:    rng.Intn(n),
+		shards: []int{1, 4, 16}[rng.Intn(3)],
+	})
+}
+
+func scriptTriple(b byte) Triple {
+	i := int(b & 0x7f)
+	return Triple{
+		S: IRI(fmt.Sprintf("http://q/s%d", i%11)),
+		P: IRI(fmt.Sprintf("http://q/p%d", (i/11)%5)),
+		O: IRI(fmt.Sprintf("http://q/o%d", i%17)),
+	}
+}
+
+// TestBatchEqualsIncrementalQuick is the batch≡incremental property: a
+// graph built through Batch commits is triple-for-triple identical — on
+// all eight read surfaces, the statistics, and the epoch count — to one
+// built by applying the same ops one at a time, for random op sequences,
+// cut points and shard counts. It also pins mid-batch isolation: a
+// snapshot taken while the second batch is accumulating observes none of
+// that batch's effects, and the per-triple Version contract (one bump per
+// effective op) survives batching.
+func TestBatchEqualsIncrementalQuick(t *testing.T) {
+	prop := func(sc batchScript) bool {
+		gb := NewGraphSharded(sc.shards)
+		gi := NewGraphSharded(sc.shards)
+		ok := true
+		apply := func(ops []byte) {
+			b := gb.NewBatch()
+			incremental := 0
+			for _, op := range ops {
+				tr := scriptTriple(op)
+				if op&0x80 != 0 {
+					b.Remove(tr)
+					if gi.Remove(tr) {
+						incremental++
+					}
+				} else {
+					b.Add(tr)
+					if gi.Add(tr) {
+						incremental++
+					}
+				}
+			}
+			// the batch reports exactly the effective ops the one-at-a-time
+			// replay saw
+			if b.Commit() != incremental {
+				ok = false
+			}
+		}
+		apply(sc.ops[:sc.cut])
+
+		// open the second batch but snapshot before committing it: the
+		// snapshot must keep matching the first batch's result exactly
+		preTriples := gb.Triples()
+		snap := gb.Snapshot()
+		apply(sc.ops[sc.cut:])
+		if !ok || !reflect.DeepEqual(snap.Triples(), preTriples) {
+			return false
+		}
+
+		universe := make([]Triple, 0, 128)
+		for i := 0; i < 128; i++ {
+			universe = append(universe, scriptTriple(byte(i)))
+		}
+		if !reflect.DeepEqual(surfaceOf(gb, universe), surfaceOf(gi, universe)) {
+			return false
+		}
+		// one Version bump per effective op, batched or not
+		return gb.Version() == gi.Version()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchMidCommitSnapshotIsolation pins the publication contract
+// directly: while a batch is accumulating (before Commit), a snapshot and
+// the live graph observe none of its ops; after Commit, all of them.
+func TestBatchMidCommitSnapshotIsolation(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		g := NewGraphSharded(shards)
+		g.AddAll([]Triple{tr("s0", "p0", "o0"), tr("s1", "p1", "o1")})
+
+		b := g.NewBatch()
+		for i := 0; i < 500; i++ {
+			b.Add(tr(fmt.Sprintf("bs%d", i%40), fmt.Sprintf("bp%d", i%7), fmt.Sprintf("bo%d", i)))
+		}
+		b.Remove(tr("s0", "p0", "o0"))
+
+		snap := g.Snapshot()
+		if snap.Len() != 2 || g.Len() != 2 {
+			t.Fatalf("shards=%d: open batch already visible: snapLen=%d len=%d", shards, snap.Len(), g.Len())
+		}
+		if !g.Has(tr("s0", "p0", "o0")) {
+			t.Fatalf("shards=%d: pending batched Remove already applied", shards)
+		}
+
+		added := b.CommitAdded()
+		if len(added) != 500 {
+			t.Fatalf("shards=%d: CommitAdded returned %d triples, want 500", shards, len(added))
+		}
+		if g.Len() != 501 { // 2 + 500 - 1
+			t.Fatalf("shards=%d: post-commit Len=%d, want 501", shards, g.Len())
+		}
+		if g.Has(tr("s0", "p0", "o0")) {
+			t.Fatalf("shards=%d: batched Remove not applied", shards)
+		}
+		// the pre-commit snapshot is immune to the whole batch
+		if snap.Len() != 2 || !snap.Has(tr("s0", "p0", "o0")) || snap.Has(added[0]) {
+			t.Fatalf("shards=%d: snapshot observed the batch", shards)
+		}
+	}
+}
+
+// TestBatchSemantics covers the op-ordering contract: duplicates within a
+// batch count once, Add-then-Remove of the same triple leaves it absent
+// (both ops effective, two Version bumps), Remove of never-interned terms
+// is a no-op that does not grow the dictionary, and a committed Batch
+// resets for reuse.
+func TestBatchSemantics(t *testing.T) {
+	g := NewGraphSharded(4)
+
+	b := g.NewBatch()
+	b.Add(tr("a", "b", "c"))
+	b.Add(tr("a", "b", "c"))
+	if n := b.Commit(); n != 1 {
+		t.Fatalf("duplicate Add in one batch counted %d, want 1", n)
+	}
+	v := g.Version()
+
+	b2 := g.NewBatch()
+	b2.Add(tr("x", "y", "z"))
+	b2.Remove(tr("x", "y", "z"))
+	if n := b2.Commit(); n != 2 {
+		t.Fatalf("add+remove committed %d effective ops, want 2", n)
+	}
+	if g.Has(tr("x", "y", "z")) {
+		t.Fatal("add-then-remove left the triple present")
+	}
+	if g.Version() != v+2 {
+		t.Fatalf("Version advanced %d, want 2", g.Version()-v)
+	}
+
+	terms := g.TermCount()
+	b3 := g.NewBatch()
+	b3.Remove(tr("never", "seen", "terms"))
+	if n := b3.Commit(); n != 0 {
+		t.Fatalf("removal of unknown triple committed %d ops", n)
+	}
+	if g.TermCount() != terms {
+		t.Fatal("batched removal of unknown terms grew the dictionary")
+	}
+
+	// reuse after commit
+	b3.Add(tr("r", "r", "r"))
+	if n := b3.Commit(); n != 1 || !g.Has(tr("r", "r", "r")) {
+		t.Fatalf("reused batch commit = %d", n)
+	}
+}
+
+// TestRecyclingPreservesSnapshots is the node-recycling safety pin: hold
+// snapshots from before and between batches, run a churn storm whose
+// add-then-remove pairs are exactly what feeds the per-shard free lists,
+// and require every held snapshot to replay byte-for-byte afterwards. Any
+// node reachable from a published state that got recycled or edited in
+// place would corrupt one of the snapshots. Run with -race, concurrent
+// readers included, at shards 1, 4 and 16.
+func TestRecyclingPreservesSnapshots(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(shards)))
+			g := NewGraphSharded(shards)
+			for i := 0; i < 1500; i++ {
+				g.Add(randTriple(rng))
+			}
+
+			type capture struct {
+				snap *Snapshot
+				want []Triple
+			}
+			var caps []capture
+			hold := func() {
+				s := g.Snapshot()
+				caps = append(caps, capture{snap: s, want: s.Triples()})
+			}
+			hold()
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rr := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						n := 0
+						g.Match(nil, nil, nil, func(Triple) bool { n++; return n < 200 })
+						_ = g.Snapshot().Len()
+						_ = g.Stats()
+						p := IRI(fmt.Sprintf("http://e/p%d", rr.Intn(13)))
+						_, _ = g.PredStats(p)
+					}
+				}(int64(r))
+			}
+
+			// churn storm: batches that add fresh triples and remove many of
+			// them again within the same batch (born-and-discarded nodes →
+			// free list), plus removals of pre-existing triples
+			for round := 0; round < 30; round++ {
+				b := g.NewBatch()
+				fresh := make([]Triple, 0, 64)
+				for i := 0; i < 64; i++ {
+					tr := Triple{
+						S: IRI(fmt.Sprintf("http://e/storm-s%d-%d", round, i%16)),
+						P: IRI(fmt.Sprintf("http://e/p%d", i%13)),
+						O: IRI(fmt.Sprintf("http://e/storm-o%d", i)),
+					}
+					fresh = append(fresh, tr)
+					b.Add(tr)
+				}
+				for _, tr := range fresh[:48] {
+					b.Remove(tr) // same-batch discard: exercises recycling
+				}
+				for i := 0; i < 16; i++ {
+					b.Remove(randTriple(rng))
+				}
+				b.Commit()
+				if round%10 == 0 {
+					hold()
+				}
+			}
+			close(stop)
+			wg.Wait()
+
+			for i, c := range caps {
+				got := c.snap.Triples()
+				if !reflect.DeepEqual(got, c.want) {
+					t.Fatalf("snapshot %d changed after recycling storm: %d triples now vs %d at capture",
+						i, len(got), len(c.want))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchFreeListReuse pins that recycling actually happens: a batch
+// that creates and discards subtrees leaves spare nodes on the shard free
+// lists, and a follow-up batch consumes them.
+func TestBatchFreeListReuse(t *testing.T) {
+	g := NewGraphSharded(1)
+	b := g.NewBatch()
+	for i := 0; i < 200; i++ {
+		b.Add(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i)))
+	}
+	for i := 0; i < 200; i++ {
+		b.Remove(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i)))
+	}
+	b.Commit()
+	sh := g.shards[0]
+	free := len(sh.rec.idx.free) + len(sh.rec.pos.free) + len(sh.rec.pairs.free) + len(sh.rec.set.free)
+	if free == 0 {
+		t.Fatal("batch that discarded every subtree it built recycled nothing")
+	}
+	if g.Len() != 0 || g.Version() != 400 {
+		t.Fatalf("unexpected end state: len=%d version=%d", g.Len(), g.Version())
+	}
+}

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -137,6 +138,140 @@ func (tt *termTable) intern(t Term) id {
 		st.promoteLocked()
 	}
 	return i
+}
+
+// tripleID is a dictionary-encoded triple, the unit batch commits work in.
+type tripleID struct{ s, p, o id }
+
+// internOps resolves a batch's ops: insertion ops intern their terms,
+// removal ops (isDel) only look them up — skip[i] marks removals of terms
+// the graph has never seen, which are no-ops. Unlike the per-call intern
+// path, which re-evaluates the amortised promotion rule under the stripe
+// lock on every intern, the batch path marks the stripes it dirtied and
+// promotes each COW delta at most once, at the end of the batch — the
+// inner loop stays lock-acquire/insert/unlock and the merged read map is
+// rebuilt once per stripe per batch instead of being re-checked per term.
+// Large batches resolve across a worker pool (interning is already
+// concurrent-safe: stripe locks plus the append lock), so the dictionary
+// phase scales like the per-shard build phases that follow it.
+func (tt *termTable) internOps(ops []Triple, isDel func(int) bool, ids []tripleID, skip []bool) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(ops) < internParallelThreshold || workers < 2 {
+		var touched [termStripes]bool
+		tt.internRange(ops, 0, len(ops), isDel, ids, skip, &touched)
+		tt.promoteTouched(&touched)
+		return
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	touchedByW := make([][termStripes]bool, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (len(ops) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(ops) {
+				hi = len(ops)
+			}
+			if lo < hi {
+				tt.internRange(ops, lo, hi, isDel, ids, skip, &touchedByW[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	var touched [termStripes]bool
+	for w := range touchedByW {
+		for s, t := range touchedByW[w] {
+			if t {
+				touched[s] = true
+			}
+		}
+	}
+	tt.promoteTouched(&touched)
+}
+
+// internParallelThreshold is the batch size above which internOps fans the
+// dictionary resolution out across goroutines.
+const internParallelThreshold = 2048
+
+// internRange resolves ops[lo:hi] into ids/skip, recording dirtied stripes.
+func (tt *termTable) internRange(ops []Triple, lo, hi int, isDel func(int) bool, ids []tripleID, skip []bool, touched *[termStripes]bool) {
+	for i := lo; i < hi; i++ {
+		t := ops[i]
+		if isDel(i) {
+			s, ok := tt.lookup(t.S)
+			if !ok {
+				skip[i] = true
+				continue
+			}
+			p, ok := tt.lookup(t.P)
+			if !ok {
+				skip[i] = true
+				continue
+			}
+			o, ok := tt.lookup(t.O)
+			if !ok {
+				skip[i] = true
+				continue
+			}
+			ids[i] = tripleID{s, p, o}
+			continue
+		}
+		ids[i] = tripleID{
+			tt.internBatched(t.S, touched),
+			tt.internBatched(t.P, touched),
+			tt.internBatched(t.O, touched),
+		}
+	}
+}
+
+// internBatched is intern without the per-call promotion check; it records
+// the stripe as touched instead so internOps can promote once at the end.
+func (tt *termTable) internBatched(t Term, touched *[termStripes]bool) id {
+	si := hashTerm(t) & (termStripes - 1)
+	st := &tt.stripes[si]
+	if i, ok := (*st.read.Load())[t]; ok {
+		return i
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i, ok := (*st.read.Load())[t]; ok {
+		return i
+	}
+	if i, ok := st.dirty[t]; ok {
+		return i
+	}
+	i := tt.append(t)
+	if st.dirty == nil {
+		st.dirty = make(map[Term]id)
+		st.hasDirty.Store(true)
+	}
+	st.dirty[t] = i
+	touched[si] = true
+	return i
+}
+
+// promoteTouched applies the amortised promotion rule once per stripe the
+// batch dirtied. Deltas still below the threshold stay pending (their
+// terms fall back to the stripe lock on lookup, exactly as with per-call
+// interning), so the worst-case copy cost stays amortised O(1) per term
+// even across many small batches.
+func (tt *termTable) promoteTouched(touched *[termStripes]bool) {
+	for si := range tt.stripes {
+		if !touched[si] {
+			continue
+		}
+		st := &tt.stripes[si]
+		st.mu.Lock()
+		if st.dirty != nil && len(st.dirty)*4 >= len(*st.read.Load())+16 {
+			st.promoteLocked()
+		}
+		st.mu.Unlock()
+	}
 }
 
 // promoteLocked publishes read ∪ dirty as the new immutable map. Caller

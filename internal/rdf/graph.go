@@ -22,12 +22,17 @@ type id uint32
 // and traverse it without acquiring any lock, so a long scan can never
 // block a writer and a writer storm can never stall readers. Writers
 // serialise on a per-shard mutex, rebuild only the O(log n) trie path the
-// mutation touches (the indexes are persistent hash-array-mapped tries, see
-// tree.go), and republish the shard state with a single atomic store
-// stamped with the graph's write epoch. Snapshot captures the published
-// states of all shards as a stable point-in-time view that later writes
-// can never perturb — the foundation for the planner's per-query snapshots
-// and the chase's per-round read phases.
+// mutation touches through a transient builder (the indexes are
+// persistent hash-array-mapped tries — tree.go, transient.go), and
+// republish the shard state with a single atomic store stamped with the
+// graph's write epoch. Bulk writers open a Batch instead: per shard, the
+// whole batch is one transient build over the current state — first touch
+// of a path copies it, later touches edit in place — frozen and published
+// once, so nothing of a batch is observable before Commit and the
+// publication cost amortises over the batch. Snapshot captures the
+// published states of all shards as a stable point-in-time view that
+// later writes can never perturb — the foundation for the planner's
+// per-query snapshots and the chase's per-round read phases.
 //
 // Iteration callbacks (Match, ForEach, MatchShard) therefore run against a
 // frozen state: they may freely read or even mutate the same graph, though
@@ -58,20 +63,27 @@ type Graph struct {
 type shard struct {
 	mu    sync.Mutex
 	state atomic.Pointer[shardState]
+	// rec holds the shard's node pools: the free lists through which
+	// builders recycle nodes born and discarded in the same batch.
+	// Guarded by mu.
+	rec recycler
 }
 
 // shardState is the immutable, atomically-published form of one shard: the
 // persistent index tries plus the statistics derived from them. Every
-// mutation produces a fresh state; a state, once published, is never
-// modified, which is what makes the lock-free read path and stable
-// snapshots sound.
+// write (or batch of writes) produces a fresh state; a state, once
+// published, is never modified, which is what makes the lock-free read
+// path and stable snapshots sound. The trie headers are embedded by value:
+// a writer starts from a value copy of the current state, mutates the
+// copy's headers through a transient builder (transient.go), and publishes
+// the copy — the header structs are private to each state, only the nodes
+// beneath them are shared.
 type shardState struct {
-	spo *pindex
-	osp *pindex
-	pos *pindex
-	// pred carries per-predicate cardinalities for the predicates owned by
-	// this shard, maintained incrementally alongside pos.
-	pred *tree[predStat]
+	spo pindex
+	osp pindex
+	// pos also carries the per-predicate cardinalities for the predicates
+	// owned by this shard, maintained inside its entry values (posEntry).
+	pos posdex
 	// triples counts the triples owned via the subject partition (the size
 	// of spo), so Snapshot.Len sums exactly.
 	triples int
@@ -81,59 +93,56 @@ type shardState struct {
 
 var emptyShardState = &shardState{}
 
-// predStat is the per-predicate statistics record behind PredStats, stored
-// by value in the state's pred trie.
-type predStat struct {
-	triples  int
-	subjects int
-	objects  int
-}
-
 // objTable tracks the reference count of every object term across shards.
 // OSP is subject-partitioned, so the same object may appear in many shards;
 // the striped refcounts keep the global distinct-object count exact without
-// a global lock. Only writers touch it.
+// a global lock. Only writers touch it. Term ids are dense (the dictionary
+// hands them out sequentially), so each stripe is a plain slice indexed by
+// id/stripes rather than a map: a refcount touch is an array access, and
+// growth amortises to nothing.
 type objTable struct {
 	stripes [termStripes]objStripe
 }
 
 type objStripe struct {
 	mu sync.Mutex
-	m  map[id]int32
+	// counts[i] is the refcount of the id whose stripe-local index is i
+	// (the id is i*termStripes + stripeIndex).
+	counts []int32
 }
 
 // addRef reports whether o became referenced (count 0 → 1).
 func (ot *objTable) addRef(o id) bool {
 	st := &ot.stripes[o&(termStripes-1)]
+	i := int(o) / termStripes
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.m == nil {
-		st.m = make(map[id]int32)
+	for i >= len(st.counts) {
+		st.counts = append(st.counts, make([]int32, i+1-len(st.counts)+16)...)
 	}
-	st.m[o]++
-	return st.m[o] == 1
+	st.counts[i]++
+	return st.counts[i] == 1
 }
 
 // decRef reports whether o became unreferenced (count 1 → 0).
 func (ot *objTable) decRef(o id) bool {
 	st := &ot.stripes[o&(termStripes-1)]
+	i := int(o) / termStripes
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.m[o]--
-	if st.m[o] == 0 {
-		delete(st.m, o)
-		return true
-	}
-	return false
+	st.counts[i]--
+	return st.counts[i] == 0
 }
 
 // forEach calls fn for every referenced object id, stripe by stripe.
 func (ot *objTable) forEach(fn func(id)) {
-	for i := range ot.stripes {
-		st := &ot.stripes[i]
+	for s := range ot.stripes {
+		st := &ot.stripes[s]
 		st.mu.Lock()
-		for o := range st.m {
-			fn(o)
+		for i, c := range st.counts {
+			if c > 0 {
+				fn(id(i*termStripes + s))
+			}
 		}
 		st.mu.Unlock()
 	}
@@ -224,22 +233,28 @@ func (g *Graph) ShardCount() int { return len(g.shards) }
 func (g *Graph) subjectShard(s id) *shard   { return g.shards[uint32(s)&g.mask] }
 func (g *Graph) predicateShard(p id) *shard { return g.shards[uint32(p)&g.mask] }
 
-// lockPair write-locks the subject and predicate shards in ascending order
-// (deadlock-free) and returns the matching unlock.
-func (g *Graph) lockPair(s, p id) func() {
-	i, j := uint32(s)&g.mask, uint32(p)&g.mask
+// lockPair write-locks the subject and predicate shards in ascending index
+// order (the same order Batch.Commit acquires its lock set in, so writers
+// can never deadlock); unlockPair releases them.
+func (g *Graph) lockPair(i, j uint32) {
 	if i == j {
-		sh := g.shards[i]
-		sh.mu.Lock()
-		return sh.mu.Unlock
+		g.shards[i].mu.Lock()
+		return
 	}
 	if i > j {
 		i, j = j, i
 	}
-	a, b := g.shards[i], g.shards[j]
-	a.mu.Lock()
-	b.mu.Lock()
-	return func() { b.mu.Unlock(); a.mu.Unlock() }
+	g.shards[i].mu.Lock()
+	g.shards[j].mu.Lock()
+}
+
+func (g *Graph) unlockPair(i, j uint32) {
+	if i == j {
+		g.shards[i].mu.Unlock()
+		return
+	}
+	g.shards[i].mu.Unlock()
+	g.shards[j].mu.Unlock()
 }
 
 // lookup returns the id for t and whether it is known to the graph.
@@ -251,43 +266,45 @@ func (g *Graph) term(i id) Term { return g.dict.term(i) }
 // Add inserts the triple and reports whether it was not already present.
 // Safe for concurrent use; concurrent readers keep scanning the previous
 // shard states and observe the triple once the new states are published.
+// The copied trie path is carved from the shard's node pools (the
+// "scratch" role of the recycler), so a single write costs a handful of
+// heap allocations rather than one per copied node and slice. For bulk
+// writes, NewBatch/AddAll amortise far more: see Batch.
 func (g *Graph) Add(t Triple) bool {
 	s, p, o := g.dict.intern(t.S), g.dict.intern(t.P), g.dict.intern(t.O)
-	sh, ph := g.subjectShard(s), g.predicateShard(p)
-	unlock := g.lockPair(s, p)
+	si, pi := uint32(s)&g.mask, uint32(p)&g.mask
+	sh, ph := g.shards[si], g.shards[pi]
+	g.lockPair(si, pi)
 	ss := sh.state.Load()
-	spo, added, newS, newSP := idxAdd(ss.spo, s, p, o)
-	if !added {
-		unlock()
+	if idxHas(&ss.spo, s, p, o) {
+		g.unlockPair(si, pi)
 		return false
 	}
-	osp, _, _, _ := idxAdd(ss.osp, o, s, p)
-	ps := ss
+	sb := sh.builder()
+	ns := &shardState{spo: ss.spo, osp: ss.osp, pos: ss.pos, triples: ss.triples + 1}
+	_, newS, newSP := sb.idxAdd(&ns.spo, s, p, o)
+	sb.idxAdd(&ns.osp, o, s, p)
+	np, pb := ns, sb
 	if ph != sh {
-		ps = ph.state.Load()
+		ps := ph.state.Load()
+		np = &shardState{spo: ps.spo, osp: ps.osp, pos: ps.pos, triples: ps.triples}
+		pb = ph.builder()
 	}
-	pos, _, newP, newPO := idxAdd(ps.pos, p, o, s)
-	st, _ := ps.pred.get(p)
-	st.triples++
-	if newSP {
-		st.subjects++
-	}
-	if newPO {
-		st.objects++
-	}
-	pred, _ := ps.pred.with(p, st)
+	newP := pb.posAdd(&np.pos, p, o, s, newSP)
 
 	epoch := g.version.Add(1)
+	ns.epoch = epoch
 	if ph == sh {
-		sh.state.Store(&shardState{spo: spo, osp: osp, pos: pos, pred: pred, triples: ss.triples + 1, epoch: epoch})
+		sh.state.Store(ns)
 	} else {
 		// publish the predicate partition first, then the subject partition
 		// that makes the triple matchable by subject — readers racing the
 		// publish see a prefix of the write, exactly as with per-shard locks
-		ph.state.Store(&shardState{spo: ps.spo, osp: ps.osp, pos: pos, pred: pred, triples: ps.triples, epoch: epoch})
-		sh.state.Store(&shardState{spo: spo, osp: osp, pos: ss.pos, pred: ss.pred, triples: ss.triples + 1, epoch: epoch})
+		np.epoch = epoch
+		ph.state.Store(np)
+		sh.state.Store(ns)
 	}
-	unlock()
+	g.unlockPair(si, pi)
 
 	g.size.Add(1)
 	if newS {
@@ -302,60 +319,24 @@ func (g *Graph) Add(t Triple) bool {
 	return true
 }
 
-// parallelAddThreshold is the batch size above which AddAll fans the load
-// out across goroutines.
+// parallelAddThreshold is the batch size above which a batch commit fans
+// its per-shard work out across goroutines.
 const parallelAddThreshold = 2048
 
-// AddAll inserts all triples and returns the number newly added. Large
-// batches load in parallel across the shards when more than one CPU is
-// available; the resulting graph is identical either way.
+// AddAll inserts all triples and returns the number newly added. The load
+// runs as one Batch: per-shard transient builders, one state publication
+// and epoch stamp per shard, fanning out across the shards when the batch
+// is large and more than one CPU is available. The resulting graph is
+// identical to adding the triples one at a time.
 func (g *Graph) AddAll(ts []Triple) int {
-	workers := runtime.GOMAXPROCS(0)
-	if len(ts) < parallelAddThreshold || workers < 2 || len(g.shards) < 2 {
-		n := 0
-		for _, t := range ts {
-			if g.Add(t) {
-				n++
-			}
-		}
-		return n
-	}
-	if workers > len(g.shards) {
-		workers = len(g.shards)
-	}
-	var added atomic.Int64
-	var next atomic.Int64
-	const chunk = 256
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(chunk)) - chunk
-				if lo >= len(ts) {
-					return
-				}
-				hi := lo + chunk
-				if hi > len(ts) {
-					hi = len(ts)
-				}
-				n := 0
-				for _, t := range ts[lo:hi] {
-					if g.Add(t) {
-						n++
-					}
-				}
-				added.Add(int64(n))
-			}
-		}()
-	}
-	wg.Wait()
-	return int(added.Load())
+	b := Batch{g: g, ops: ts}
+	return b.Commit()
 }
 
 // Remove deletes the triple and reports whether it was present. Safe for
-// concurrent use.
+// concurrent use. Like Add, the copied trie path comes from the shard
+// pools, and subtrees that were created by the same write (never published)
+// are recycled.
 func (g *Graph) Remove(t Triple) bool {
 	s, ok := g.lookup(t.S)
 	if !ok {
@@ -369,43 +350,36 @@ func (g *Graph) Remove(t Triple) bool {
 	if !ok {
 		return false
 	}
-	sh, ph := g.subjectShard(s), g.predicateShard(p)
-	unlock := g.lockPair(s, p)
+	si, pi := uint32(s)&g.mask, uint32(p)&g.mask
+	sh, ph := g.shards[si], g.shards[pi]
+	g.lockPair(si, pi)
 	ss := sh.state.Load()
-	spo, removed, goneS, goneSP := idxRemove(ss.spo, s, p, o)
-	if !removed {
-		unlock()
+	if !idxHas(&ss.spo, s, p, o) {
+		g.unlockPair(si, pi)
 		return false
 	}
-	osp, _, _, _ := idxRemove(ss.osp, o, s, p)
-	ps := ss
+	sb := sh.builder()
+	ns := &shardState{spo: ss.spo, osp: ss.osp, pos: ss.pos, triples: ss.triples - 1}
+	_, goneS, goneSP := sb.idxRemove(&ns.spo, s, p, o)
+	sb.idxRemove(&ns.osp, o, s, p)
+	np, pb := ns, sb
 	if ph != sh {
-		ps = ph.state.Load()
+		ps := ph.state.Load()
+		np = &shardState{spo: ps.spo, osp: ps.osp, pos: ps.pos, triples: ps.triples}
+		pb = ph.builder()
 	}
-	pos, _, goneP, gonePO := idxRemove(ps.pos, p, o, s)
-	st, _ := ps.pred.get(p)
-	st.triples--
-	if goneSP {
-		st.subjects--
-	}
-	if gonePO {
-		st.objects--
-	}
-	var pred *tree[predStat]
-	if st.triples == 0 {
-		pred, _ = ps.pred.without(p)
-	} else {
-		pred, _ = ps.pred.with(p, st)
-	}
+	goneP := pb.posRemove(&np.pos, p, o, s, goneSP)
 
 	epoch := g.version.Add(1)
+	ns.epoch = epoch
 	if ph == sh {
-		sh.state.Store(&shardState{spo: spo, osp: osp, pos: pos, pred: pred, triples: ss.triples - 1, epoch: epoch})
+		sh.state.Store(ns)
 	} else {
-		sh.state.Store(&shardState{spo: spo, osp: osp, pos: ss.pos, pred: ss.pred, triples: ss.triples - 1, epoch: epoch})
-		ph.state.Store(&shardState{spo: ps.spo, osp: ps.osp, pos: pos, pred: pred, triples: ps.triples, epoch: epoch})
+		np.epoch = epoch
+		sh.state.Store(ns)
+		ph.state.Store(np)
 	}
-	unlock()
+	g.unlockPair(si, pi)
 
 	g.size.Add(-1)
 	if goneS {
@@ -434,7 +408,7 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	return idxHas(g.subjectShard(s).state.Load().spo, s, p, o)
+	return idxHas(&g.subjectShard(s).state.Load().spo, s, p, o)
 }
 
 // Len returns the number of triples in the graph.
@@ -458,8 +432,8 @@ func (g *Graph) ForEach(fn func(Triple) bool) {
 // forEachSPO walks one state's subject-owned triples, reporting false if fn
 // stopped the iteration.
 func forEachSPO(g *Graph, st *shardState, fn func(Triple) bool) bool {
-	return st.spo.each(func(s id, bm *ipairs) bool {
-		return bm.each(func(p id, cs *iset) bool {
+	return st.spo.each(func(s id, bm ipairs) bool {
+		return bm.each(func(p id, cs iset) bool {
 			return cs.each(func(o id, _ struct{}) bool {
 				return fn(Triple{S: g.term(s), P: g.term(p), O: g.term(o)})
 			})
@@ -576,38 +550,41 @@ func (g *Graph) ownerState(s *Term, sid, pid id) *shardState {
 func matchState(g *Graph, st *shardState, s, p, o *Term, sid, pid, oid id, fn func(Triple) bool) bool {
 	switch {
 	case s != nil && p != nil && o != nil:
-		if idxHas(st.spo, sid, pid, oid) {
+		if idxHas(&st.spo, sid, pid, oid) {
 			return fn(Triple{S: *s, P: *p, O: *o})
 		}
 	case s != nil && p != nil:
-		return idxBucket(st.spo, sid, pid).each(func(o2 id, _ struct{}) bool {
+		cs := idxBucket(&st.spo, sid, pid)
+		return cs.each(func(o2 id, _ struct{}) bool {
 			return fn(Triple{S: *s, P: *p, O: g.term(o2)})
 		})
 	case p != nil && o != nil:
-		return idxBucket(st.pos, pid, oid).each(func(s2 id, _ struct{}) bool {
+		cs := posBucket(&st.pos, pid, oid)
+		return cs.each(func(s2 id, _ struct{}) bool {
 			return fn(Triple{S: g.term(s2), P: *p, O: *o})
 		})
 	case s != nil && o != nil:
-		return idxBucket(st.osp, oid, sid).each(func(p2 id, _ struct{}) bool {
+		cs := idxBucket(&st.osp, oid, sid)
+		return cs.each(func(p2 id, _ struct{}) bool {
 			return fn(Triple{S: *s, P: g.term(p2), O: *o})
 		})
 	case s != nil:
 		bm, _ := st.spo.get(sid)
-		return bm.each(func(p2 id, cs *iset) bool {
+		return bm.each(func(p2 id, cs iset) bool {
 			return cs.each(func(o2 id, _ struct{}) bool {
 				return fn(Triple{S: *s, P: g.term(p2), O: g.term(o2)})
 			})
 		})
 	case p != nil:
-		bm, _ := st.pos.get(pid)
-		return bm.each(func(o2 id, cs *iset) bool {
+		e, _ := st.pos.get(pid)
+		return e.pairs.each(func(o2 id, cs iset) bool {
 			return cs.each(func(s2 id, _ struct{}) bool {
 				return fn(Triple{S: g.term(s2), P: *p, O: g.term(o2)})
 			})
 		})
 	case o != nil:
 		bm, _ := st.osp.get(oid)
-		return bm.each(func(s2 id, cs *iset) bool {
+		return bm.each(func(s2 id, cs iset) bool {
 			return cs.each(func(p2 id, _ struct{}) bool {
 				return fn(Triple{S: g.term(s2), P: g.term(p2), O: *o})
 			})
@@ -671,14 +648,14 @@ func (g *Graph) PredStats(p Term) (PredStats, bool) {
 }
 
 func predStatsIn(st *shardState, pid id) (PredStats, bool) {
-	ps, ok := st.pred.get(pid)
+	e, ok := st.pos.get(pid)
 	if !ok {
 		return PredStats{}, false
 	}
 	return PredStats{
-		Triples:          ps.triples,
-		DistinctSubjects: ps.subjects,
-		DistinctObjects:  ps.objects,
+		Triples:          e.triples,
+		DistinctSubjects: e.subjects,
+		DistinctObjects:  e.pairs.size,
 	}, true
 }
 
@@ -708,30 +685,33 @@ func (g *Graph) MatchCount(s, p, o *Term) int {
 func countState(st *shardState, s, p, o *Term, sid, pid, oid id) int {
 	switch {
 	case s != nil && p != nil && o != nil:
-		if idxHas(st.spo, sid, pid, oid) {
+		if idxHas(&st.spo, sid, pid, oid) {
 			return 1
 		}
 		return 0
 	case s != nil && p != nil:
-		return idxBucket(st.spo, sid, pid).len()
+		cs := idxBucket(&st.spo, sid, pid)
+		return cs.len()
 	case p != nil && o != nil:
-		return idxBucket(st.pos, pid, oid).len()
+		cs := posBucket(&st.pos, pid, oid)
+		return cs.len()
 	case s != nil && o != nil:
-		return idxBucket(st.osp, oid, sid).len()
+		cs := idxBucket(&st.osp, oid, sid)
+		return cs.len()
 	case s != nil:
 		n := 0
 		bm, _ := st.spo.get(sid)
-		bm.each(func(_ id, cs *iset) bool { n += cs.len(); return true })
+		bm.each(func(_ id, cs iset) bool { n += cs.size; return true })
 		return n
 	case p != nil:
-		if ps, ok := st.pred.get(pid); ok {
-			return ps.triples
+		if e, ok := st.pos.get(pid); ok {
+			return e.triples
 		}
 		return 0
 	default: // o != nil
 		n := 0
 		bm, _ := st.osp.get(oid)
-		bm.each(func(_ id, cs *iset) bool { n += cs.len(); return true })
+		bm.each(func(_ id, cs iset) bool { n += cs.size; return true })
 		return n
 	}
 }
@@ -777,7 +757,7 @@ func (g *Graph) Equal(other *Graph) bool {
 func (g *Graph) Subjects() []Term {
 	var out []Term
 	for _, sh := range g.shards {
-		sh.state.Load().spo.each(func(s id, _ *ipairs) bool {
+		sh.state.Load().spo.each(func(s id, _ ipairs) bool {
 			out = append(out, g.term(s))
 			return true
 		})
@@ -790,7 +770,7 @@ func (g *Graph) Subjects() []Term {
 func (g *Graph) Predicates() []Term {
 	var out []Term
 	for _, sh := range g.shards {
-		sh.state.Load().pos.each(func(p id, _ *ipairs) bool {
+		sh.state.Load().pos.each(func(p id, _ posEntry) bool {
 			out = append(out, g.term(p))
 			return true
 		})

@@ -180,7 +180,7 @@ func (s *Snapshot) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	return idxHas(s.states[uint32(sid)&s.g.mask].spo, sid, pid, oid)
+	return idxHas(&s.states[uint32(sid)&s.g.mask].spo, sid, pid, oid)
 }
 
 // ForEach iterates every triple of the snapshot until fn returns false.

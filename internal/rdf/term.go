@@ -4,16 +4,30 @@
 // indexes partitioned by subject hash, POS by predicate hash — and its
 // read path is epoch-based and lock-free: each shard's indexes are
 // persistent hash-array-mapped tries (tree.go) published as an immutable
-// state through an atomic pointer, so Match/MatchCount/Has/Stats/PredStats
-// traverse a frozen structure without acquiring any lock while writers —
-// serialised per shard — copy only the O(log n) trie path a mutation
-// touches and republish with one atomic store stamped with the graph's
-// write epoch. Graph.Snapshot captures the published states as a stable
-// point-in-time view (Snapshot) sharing the Source read surface, so a
-// whole query or chase round evaluates against one instant; the term
-// dictionary's Term→id direction reads the same way (copy-on-write
-// published maps with an amortised promotion of write deltas). See Graph,
-// Snapshot and Source.
+// shardState through an atomic pointer, so Match/MatchCount/Has/Stats/
+// PredStats traverse a frozen structure without acquiring any lock.
+// Graph.Snapshot captures the published states as a stable point-in-time
+// view (Snapshot) sharing the Source read surface, so a whole query or
+// chase round evaluates against one instant; the term dictionary's
+// Term→id direction reads the same way (copy-on-write published maps with
+// an amortised promotion of write deltas). See Graph, Snapshot and Source.
+//
+// The write path is built on transient builders with node ownership tags
+// (transient.go). Every node records the token of the builder that
+// created it, and the in-place-edit rule is: a builder may mutate exactly
+// the nodes carrying its own token — everything else is path-copied first.
+// Single writes open a one-shot builder per call; a Batch (batch.go)
+// keeps one builder per touched shard across the whole batch, so the
+// first touch of a trie path copies it and every later touch edits it in
+// place, then freezes the result back into an immutable shardState with
+// one atomic publication and one epoch stamp per shard. Freezing is the
+// act of dropping the builder: tokens issue from a global counter and are
+// never reused, so a published state is deeply immutable by construction
+// — no live builder's token matches any node reachable from it, and a
+// snapshot can never observe a mutation. Nodes born and discarded within
+// the same batch are recycled through per-shard free lists (never nodes
+// reachable from a published state), which together with inline node
+// storage keeps steady-state bulk writes near zero net allocations.
 //
 // The model follows the formalisation in Section 2.1 of Dimartino et al.,
 // "Peer-to-Peer Semantic Integration of Linked Data" (EDBT/ICDT 2015

@@ -1,0 +1,488 @@
+package rdf
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file is the write path of the store: transient builders over the
+// persistent tries of tree.go.
+//
+// A builder is an owner token plus access to a shard's node pools. Every
+// mutation routes through a builder and follows one rule: a node whose
+// owner field equals the builder's token was created inside the current
+// batch and is edited in place; anything else (owner 0, or a token from an
+// earlier, frozen batch) is still reachable from a published shardState
+// and is path-copied, exactly like a fully persistent update. Tokens come
+// from a global counter and are never reused, so freezing a batch is free:
+// the builder is simply dropped, its token dies, and every node it created
+// becomes immutable forever — no walk, no flag-clearing pass.
+//
+// Tree headers carry no ownership: they are 16-byte values embedded in
+// their parent (a node's entry slot for an inner tree, the shardState for a
+// top-level one), so "may I edit this header" is the same question as "do
+// I own the memory it sits in" — putRoot/delRoot operate on a header the
+// caller owns by construction (a slot of an owned node, or a private local
+// copy of a published header), and the slot discipline of putNodeSlot is
+// what makes the nesting sound.
+//
+// Allocation discipline:
+//   - a node's keys and values live interleaved in one entries slice, and
+//     nodes carry inline storage for up to two entries and two children
+//     (most trie nodes below the root are that small), so a path copy is
+//     usually one allocation per node instead of three or four;
+//   - a node that was born in the current batch and then discarded by a
+//     later mutation of the same batch (a subtree collapse, an emptied
+//     bucket) goes on the shard's free list and is reused, capacity and
+//     all, so steady-state batched writes approach zero net allocations.
+//     Recycling is gated on the owner token: nothing reachable from a
+//     published shardState is ever recycled or written again;
+//   - the free lists double as the per-shard scratch for single writes:
+//     Add and Remove open a one-shot builder over the same pools.
+//
+// Deliberately absent: shared slab arenas. Dead regions of a
+// pointer-bearing slab keep stale references alive transitively (each
+// replaced trie path would pin the one it replaced, retaining the entire
+// write history), so every node here is an individual allocation the
+// collector can reclaim precisely.
+
+// ownerTokens issues builder ownership tokens; 0 means "no owner".
+var ownerTokens atomic.Uint64
+
+func newOwner() uint64 { return ownerTokens.Add(1) }
+
+// poolFreeMax bounds a free list so a huge churning batch cannot pin an
+// unbounded pile of spare nodes.
+const poolFreeMax = 1024
+
+// nodePool recycles the nodes of one tree instantiation for one shard.
+// All access happens with the shard mutex held (by a single writer or by
+// the one commit worker assigned to the shard).
+type nodePool[V any] struct {
+	free []*tnode[V]
+}
+
+func (p *nodePool[V]) node(owner uint64) *tnode[V] {
+	if l := len(p.free); l > 0 {
+		n := p.free[l-1]
+		p.free = p.free[:l-1]
+		n.owner = owner
+		return n
+	}
+	n := &tnode[V]{owner: owner}
+	return n
+}
+
+// tb is the transient builder for one tree instantiation: the owner token
+// of the batch plus the pool to draw nodes from.
+type tb[V any] struct {
+	owner uint64
+	pool  *nodePool[V]
+}
+
+// editable returns n when the builder owns it, else an owned copy.
+func (b tb[V]) editable(n *tnode[V]) *tnode[V] {
+	if n.owner == b.owner {
+		return n
+	}
+	c := b.pool.node(b.owner)
+	c.dataMap, c.nodeMap = n.dataMap, n.nodeMap
+	c.ents = dupEnts(c, n.ents)
+	c.kids = dupKids(c, n.kids)
+	return c
+}
+
+// putRoot ensures k has a slot in the tree rooted at *t — a header the
+// caller owns — making the whole path to it owned, and calls fn with the
+// slot, which fn may mutate in place. Reports whether the slot was newly
+// created (fn then sees the zero V).
+func (b tb[V]) putRoot(t *tree[V], k id, fn func(*V)) bool {
+	if t.root == nil {
+		n := b.leaf(k)
+		t.root, t.size = n, 1
+		fn(&n.ents[0].v)
+		return true
+	}
+	root, slot, added := b.putNodeSlot(t.root, k, 0)
+	t.root = root
+	if added {
+		t.size++
+	}
+	fn(slot)
+	return added
+}
+
+// delRoot removes k from the tree rooted at *t (a header the caller owns),
+// reporting whether it was present. Nodes born in this batch that the
+// removal discards are recycled.
+func (b tb[V]) delRoot(t *tree[V], k id) bool {
+	if t.root == nil {
+		return false
+	}
+	root, removed := b.delNode(t.root, k, 0)
+	if !removed {
+		return false
+	}
+	t.size--
+	if t.size == 0 {
+		b.recycleNode(root)
+		t.root = nil
+		return true
+	}
+	t.root = root
+	return true
+}
+
+// leaf builds a single-entry node with a zero-valued slot for k.
+func (b tb[V]) leaf(k id) *tnode[V] {
+	n := b.pool.node(b.owner)
+	n.dataMap = uint32(1) << (uint32(k) & 31)
+	n.ents = fitEnts(n, n.ents, 1)
+	n.ents[0] = tentry[V]{k: k}
+	return n
+}
+
+// putNodeSlot is putRoot below the header: it returns the owned
+// replacement for n plus the slot for k within it.
+func (b tb[V]) putNodeSlot(n *tnode[V], k id, shift uint) (*tnode[V], *V, bool) {
+	bit := uint32(1) << ((uint32(k) >> shift) & 31)
+	switch {
+	case n.dataMap&bit != 0:
+		i := bits.OnesCount32(n.dataMap & (bit - 1))
+		if n.ents[i].k == k {
+			c := b.editable(n)
+			return c, &c.ents[i].v, false
+		}
+		// two distinct keys share the chunk: push the resident entry down
+		// into a fresh subtree alongside the new one
+		child, slot := b.mergeSlot(n.ents[i], k, shift+5)
+		if n.owner == b.owner {
+			n.removeData(bit)
+			n.insertKid(bit, child)
+			return n, slot, true
+		}
+		j := bits.OnesCount32(n.nodeMap & (bit - 1))
+		c := b.pool.node(b.owner)
+		c.dataMap = n.dataMap &^ bit
+		c.nodeMap = n.nodeMap | bit
+		c.ents = delEntsFrom(c, n.ents, i)
+		c.kids = insKidsFrom(c, n.kids, j, child)
+		return c, slot, true
+	case n.nodeMap&bit != 0:
+		j := bits.OnesCount32(n.nodeMap & (bit - 1))
+		child, slot, added := b.putNodeSlot(n.kids[j], k, shift+5)
+		c := b.editable(n)
+		c.kids[j] = child
+		return c, slot, added
+	default:
+		i := bits.OnesCount32(n.dataMap & (bit - 1))
+		if n.owner == b.owner {
+			var zero V
+			n.insertData(bit, k, zero)
+			return n, &n.ents[i].v, true
+		}
+		c := b.pool.node(b.owner)
+		c.dataMap = n.dataMap | bit
+		c.nodeMap = n.nodeMap
+		c.ents = insEntsFrom(c, n.ents, i, k)
+		c.kids = dupKids(c, n.kids)
+		return c, &c.ents[i].v, true
+	}
+}
+
+// mergeSlot builds the minimal subtree holding the resident entry e1 and a
+// fresh zero-valued slot for k2, returning the subtree and the slot.
+func (b tb[V]) mergeSlot(e1 tentry[V], k2 id, shift uint) (*tnode[V], *V) {
+	i1 := (uint32(e1.k) >> shift) & 31
+	i2 := (uint32(k2) >> shift) & 31
+	n := b.pool.node(b.owner)
+	if i1 == i2 {
+		child, slot := b.mergeSlot(e1, k2, shift+5)
+		n.nodeMap = 1 << i1
+		n.kids = fitKids(n, n.kids, 1)
+		n.kids[0] = child
+		return n, slot
+	}
+	n.dataMap = 1<<i1 | 1<<i2
+	n.ents = fitEnts(n, n.ents, 2)
+	if i1 < i2 {
+		n.ents[0], n.ents[1] = e1, tentry[V]{k: k2}
+		return n, &n.ents[1].v
+	}
+	n.ents[0], n.ents[1] = tentry[V]{k: k2}, e1
+	return n, &n.ents[0].v
+}
+
+func (b tb[V]) delNode(n *tnode[V], k id, shift uint) (*tnode[V], bool) {
+	bit := uint32(1) << ((uint32(k) >> shift) & 31)
+	if n.dataMap&bit != 0 {
+		i := bits.OnesCount32(n.dataMap & (bit - 1))
+		if n.ents[i].k != k {
+			return n, false
+		}
+		if n.owner == b.owner {
+			n.removeData(bit)
+			return n, true
+		}
+		c := b.pool.node(b.owner)
+		c.dataMap = n.dataMap &^ bit
+		c.nodeMap = n.nodeMap
+		c.ents = delEntsFrom(c, n.ents, i)
+		c.kids = dupKids(c, n.kids)
+		return c, true
+	}
+	if n.nodeMap&bit == 0 {
+		return n, false
+	}
+	j := bits.OnesCount32(n.nodeMap & (bit - 1))
+	child, removed := b.delNode(n.kids[j], k, shift+5)
+	if !removed {
+		return n, false
+	}
+	c := b.editable(n)
+	switch {
+	case child.nodeMap == 0 && len(child.ents) == 0:
+		c.removeKid(bit)
+		b.recycleNode(child)
+	case child.nodeMap == 0 && len(child.ents) == 1:
+		// the subtree shrank to one inline entry: pull it up
+		e0 := child.ents[0]
+		c.removeKid(bit)
+		c.insertData(bit, e0.k, e0.v)
+		b.recycleNode(child)
+	default:
+		c.kids[j] = child
+	}
+	return c, true
+}
+
+// recycleNode returns a node to the free list — but only one born in the
+// current batch. Anything older may be reachable from a published
+// shardState or a snapshot and must be left for the garbage collector.
+func (b tb[V]) recycleNode(n *tnode[V]) {
+	if n == nil || n.owner != b.owner || len(b.pool.free) >= poolFreeMax {
+		return
+	}
+	n.dataMap, n.nodeMap, n.owner = 0, 0, 0
+	for i := range n.ents {
+		n.ents[i] = tentry[V]{}
+	}
+	n.ents = n.ents[:0]
+	for i := range n.kids {
+		n.kids[i] = nil
+	}
+	n.kids = n.kids[:0]
+	b.pool.free = append(b.pool.free, n)
+}
+
+// The fit helpers return a length-n slice for one of a node's entry
+// arrays, in preference order: the node's existing (recycled) capacity,
+// the node's inline storage, a fresh allocation. The caller fills every
+// element. Inline storage is capped at its true capacity, so in-place
+// appends stay inside the node and overflowing appends copy out.
+
+func fitEnts[V any](n *tnode[V], dst []tentry[V], want int) []tentry[V] {
+	if cap(dst) >= want {
+		return dst[:want]
+	}
+	if want <= len(n.ients) {
+		return n.ients[:want]
+	}
+	return make([]tentry[V], want)
+}
+
+func fitKids[V any](n *tnode[V], dst []*tnode[V], want int) []*tnode[V] {
+	if cap(dst) >= want {
+		return dst[:want]
+	}
+	if want <= len(n.ikids) {
+		return n.ikids[:want]
+	}
+	return make([]*tnode[V], want)
+}
+
+// The copy helpers build a new node's entry slices in one pass. src always
+// belongs to a different node than dst (editable never copies a node onto
+// itself), so the copies never alias.
+
+func dupEnts[V any](dst *tnode[V], src []tentry[V]) []tentry[V] {
+	s := fitEnts(dst, dst.ents, len(src))
+	copy(s, src)
+	return s
+}
+
+// insEntsFrom opens a zero-valued slot for k at i (the value is filled by
+// the caller through the returned slot pointer).
+func insEntsFrom[V any](dst *tnode[V], src []tentry[V], i int, k id) []tentry[V] {
+	s := fitEnts(dst, dst.ents, len(src)+1)
+	copy(s, src[:i])
+	s[i] = tentry[V]{k: k}
+	copy(s[i+1:], src[i:])
+	return s
+}
+
+func delEntsFrom[V any](dst *tnode[V], src []tentry[V], i int) []tentry[V] {
+	s := fitEnts(dst, dst.ents, len(src)-1)
+	copy(s, src[:i])
+	copy(s[i:], src[i+1:])
+	return s
+}
+
+func dupKids[V any](dst *tnode[V], src []*tnode[V]) []*tnode[V] {
+	s := fitKids(dst, dst.kids, len(src))
+	copy(s, src)
+	return s
+}
+
+func insKidsFrom[V any](dst *tnode[V], src []*tnode[V], i int, kid *tnode[V]) []*tnode[V] {
+	s := fitKids(dst, dst.kids, len(src)+1)
+	copy(s, src[:i])
+	s[i] = kid
+	copy(s[i+1:], src[i:])
+	return s
+}
+
+// recycler is the per-shard pool set, one pool per tree instantiation the
+// shard's indexes use. Guarded by the shard mutex.
+type recycler struct {
+	idx   nodePool[ipairs]   // pindex nodes (spo and osp share this)
+	pos   nodePool[posEntry] // posdex nodes
+	pairs nodePool[iset]     // second-level pair maps
+	set   nodePool[struct{}] // leaf id-sets
+}
+
+// shardBuilder is a transient view over one shard's tries: one owner token
+// driving the four typed builders. A batch opens one per touched shard and
+// keeps it across the whole batch; Add/Remove open a one-shot builder per
+// write, which degenerates to pure path-copying (nothing is ever owned
+// when every operation has a fresh token) but still recycles through the
+// shard's free lists.
+type shardBuilder struct {
+	idx   tb[ipairs]
+	pos   tb[posEntry]
+	pairs tb[iset]
+	set   tb[struct{}]
+}
+
+// builder opens a transient builder over the shard's pools with a fresh
+// ownership token. The shard mutex must be held, and stay held until the
+// states built with it are published.
+func (sh *shard) builder() shardBuilder {
+	o := newOwner()
+	return shardBuilder{
+		idx:   tb[ipairs]{owner: o, pool: &sh.rec.idx},
+		pos:   tb[posEntry]{owner: o, pool: &sh.rec.pos},
+		pairs: tb[iset]{owner: o, pool: &sh.rec.pairs},
+		set:   tb[struct{}]{owner: o, pool: &sh.rec.set},
+	}
+}
+
+// idxAdd inserts (a, b, c) into the index rooted at *ix (a header the
+// caller owns) and reports (inserted, createdA, createdB): whether the
+// triple was new, whether its a-bucket was created, and whether its (a, b)
+// bucket was created. The bucket signals drive the incremental distinct
+// counts, exactly like the fully persistent index used to. A duplicate is
+// detected by a read-only probe first, so it allocates nothing and owns
+// nothing.
+func (sb *shardBuilder) idxAdd(ix *pindex, a, b, c id) (bool, bool, bool) {
+	if bm, ok := ix.get(a); ok {
+		if cs, ok := bm.get(b); ok {
+			if _, dup := cs.get(c); dup {
+				return false, false, false
+			}
+		}
+	}
+	var createdB bool
+	createdA := sb.idx.putRoot(ix, a, func(bm *ipairs) {
+		createdB = sb.pairs.putRoot(bm, b, func(cs *iset) {
+			sb.set.putRoot(cs, c, func(*struct{}) {})
+		})
+	})
+	return true, createdA, createdB
+}
+
+// idxRemove deletes (a, b, c) and reports (removed, droppedA, droppedB),
+// mirroring idxAdd. Buckets emptied by the removal are unlinked, and their
+// nodes are recycled when this batch created them.
+func (sb *shardBuilder) idxRemove(ix *pindex, a, b, c id) (bool, bool, bool) {
+	bm, ok := ix.get(a)
+	if !ok {
+		return false, false, false
+	}
+	cs, ok := bm.get(b)
+	if !ok {
+		return false, false, false
+	}
+	if _, ok := cs.get(c); !ok {
+		return false, false, false
+	}
+	switch {
+	case cs.size > 1:
+		sb.idx.putRoot(ix, a, func(bm *ipairs) {
+			sb.pairs.putRoot(bm, b, func(cs *iset) {
+				sb.set.delRoot(cs, c)
+			})
+		})
+		return true, false, false
+	case bm.size > 1:
+		// the (a, b) bucket empties: unlink it and recycle its last node
+		sb.idx.putRoot(ix, a, func(bm *ipairs) {
+			sb.pairs.delRoot(bm, b)
+		})
+		sb.set.recycleNode(cs.root)
+		return true, false, true
+	default:
+		// the whole a-bucket empties
+		sb.idx.delRoot(ix, a)
+		sb.set.recycleNode(cs.root)
+		sb.pairs.recycleNode(bm.root)
+		return true, true, true
+	}
+}
+
+// posAdd inserts (p, o, s) into the POS index and maintains the
+// predicate's statistics in the same pass (the path is already owned).
+// The caller guarantees the triple is new — the SPO index decided that —
+// and passes newSP, SPO's (s, p)-bucket-creation signal, as the
+// distinct-subject increment. Reports whether p is new to the index.
+func (sb *shardBuilder) posAdd(ix *posdex, p, o, s id, newSP bool) bool {
+	return sb.pos.putRoot(ix, p, func(e *posEntry) {
+		e.triples++
+		if newSP {
+			e.subjects++
+		}
+		sb.pairs.putRoot(&e.pairs, o, func(cs *iset) {
+			sb.set.putRoot(cs, s, func(*struct{}) {})
+		})
+	})
+}
+
+// posRemove deletes (p, o, s), mirroring posAdd: the caller guarantees
+// presence and passes goneSP, SPO's bucket-drop signal. Reports whether p
+// left the index.
+func (sb *shardBuilder) posRemove(ix *posdex, p, o, s id, goneSP bool) bool {
+	e, _ := ix.get(p)
+	cs, _ := e.pairs.get(o)
+	if e.triples == 1 {
+		// the predicate's last triple: unlink its whole entry
+		sb.pos.delRoot(ix, p)
+		sb.set.recycleNode(cs.root)
+		sb.pairs.recycleNode(e.pairs.root)
+		return true
+	}
+	sb.pos.putRoot(ix, p, func(e *posEntry) {
+		e.triples--
+		if goneSP {
+			e.subjects--
+		}
+		if cs.size > 1 {
+			sb.pairs.putRoot(&e.pairs, o, func(cs *iset) {
+				sb.set.delRoot(cs, s)
+			})
+		} else {
+			sb.pairs.delRoot(&e.pairs, o)
+			sb.set.recycleNode(cs.root)
+		}
+	})
+	return false
+}

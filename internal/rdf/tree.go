@@ -6,31 +6,51 @@ import "math/bits"
 // epoch-based read path of Graph is built on: a CHAMP-style hash-array-mapped
 // trie keyed by the 32-bit term ids of the dictionary. Every mutation copies
 // only the O(log n) nodes on the path from the root to the touched slot and
-// returns a new tree sharing the rest of the structure, so a writer can
-// publish the updated tree with a single atomic pointer store while readers
-// keep traversing the previous version lock-free, forever. The key's own
-// bits index the trie (5 per level), so there is no hashing and two distinct
-// keys always separate within seven levels.
+// shares the rest of the structure, so a writer can publish the updated tree
+// with a single atomic pointer store while readers keep traversing the
+// previous version lock-free, forever. The key's own bits index the trie
+// (5 per level), so there is no hashing and two distinct keys always
+// separate within seven levels.
 //
-// tree is the map header; a nil *tree is the empty map. All methods are
-// read-only in the sense of persistence: with/without return a new header
-// and never modify the receiver.
+// tree is the map header: a 16-byte value embedded directly in whatever
+// owns the map — a shardState for the top-level index of each permutation,
+// a node's entry slot for a nested one — rather than allocated behind a
+// pointer. An empty map is the zero value (nil root). This file holds the
+// read surface only (get, each, len) plus the in-place slice editors; all
+// mutation goes through the transient builders of transient.go, which
+// enforce the ownership rule that keeps published nodes immutable.
 type tree[V any] struct {
 	root *tnode[V]
 	size int
+}
+
+// tentry is one inline (key, value) binding of a node.
+type tentry[V any] struct {
+	k id
+	v V
 }
 
 // tnode is one trie node. A bit set in dataMap means the chunk index holds
 // an inline (key, value) entry; a bit in nodeMap means it holds a child
 // subtree. No bit is ever set in both. Entries and children are stored
 // compactly, ordered by chunk index (slice position = popcount of the lower
-// bits of the owning bitmap).
+// bits of the owning bitmap). Keys and values live interleaved in one
+// entries slice, so copying a node's data costs one allocation and probing
+// a key touches the cache line its value is on. The ients/ikids arrays are
+// the node's inline storage: the slices point into them while the node
+// holds at most two entries and two children (the common case below the
+// root), making a small node a single allocation, slices included.
 type tnode[V any] struct {
 	dataMap uint32
 	nodeMap uint32
-	keys    []id
-	vals    []V
-	kids    []*tnode[V]
+	// owner is the builder ownership token: the token of the batch that
+	// created the node, 0 for none. Once that batch freezes, the token is
+	// dead and the node can never be edited again; see transient.go.
+	owner uint64
+	ents  []tentry[V]
+	kids  []*tnode[V]
+	ients [2]tentry[V]
+	ikids [2]*tnode[V]
 }
 
 // len returns the number of entries.
@@ -44,16 +64,16 @@ func (t *tree[V]) len() int {
 // get returns the value stored under k.
 func (t *tree[V]) get(k id) (V, bool) {
 	var zero V
-	if t == nil {
+	if t == nil || t.root == nil {
 		return zero, false
 	}
 	n := t.root
 	for shift := uint(0); ; shift += 5 {
 		bit := uint32(1) << ((uint32(k) >> shift) & 31)
 		if n.dataMap&bit != 0 {
-			i := bits.OnesCount32(n.dataMap & (bit - 1))
-			if n.keys[i] == k {
-				return n.vals[i], true
+			e := &n.ents[bits.OnesCount32(n.dataMap&(bit-1))]
+			if e.k == k {
+				return e.v, true
 			}
 			return zero, false
 		}
@@ -64,50 +84,19 @@ func (t *tree[V]) get(k id) (V, bool) {
 	}
 }
 
-// with returns a tree with k bound to v, reporting whether k was newly
-// added (false: an existing binding was replaced).
-func (t *tree[V]) with(k id, v V) (*tree[V], bool) {
-	if t == nil {
-		bit := uint32(1) << (uint32(k) & 31)
-		return &tree[V]{root: &tnode[V]{dataMap: bit, keys: []id{k}, vals: []V{v}}, size: 1}, true
-	}
-	root, added := t.root.with(k, v, 0)
-	size := t.size
-	if added {
-		size++
-	}
-	return &tree[V]{root: root, size: size}, added
-}
-
-// without returns a tree with k removed, reporting whether it was present.
-// Removing the last entry returns nil (the empty tree).
-func (t *tree[V]) without(k id) (*tree[V], bool) {
-	if t == nil {
-		return nil, false
-	}
-	root, removed := t.root.without(k, 0)
-	if !removed {
-		return t, false
-	}
-	if t.size == 1 {
-		return nil, true
-	}
-	return &tree[V]{root: root, size: t.size - 1}, true
-}
-
 // each calls fn for every entry until fn returns false, reporting whether
 // the iteration ran to completion. The order is determined by the key bits,
 // so it is stable for a given key set regardless of insertion history.
 func (t *tree[V]) each(fn func(id, V) bool) bool {
-	if t == nil {
+	if t == nil || t.root == nil {
 		return true
 	}
 	return t.root.each(fn)
 }
 
 func (n *tnode[V]) each(fn func(id, V) bool) bool {
-	for i, k := range n.keys {
-		if !fn(k, n.vals[i]) {
+	for i := range n.ents {
+		if !fn(n.ents[i].k, n.ents[i].v) {
 			return false
 		}
 	}
@@ -119,35 +108,25 @@ func (n *tnode[V]) each(fn func(id, V) bool) bool {
 	return true
 }
 
-// clone returns a node with freshly copied slices, the unit of copy-on-write.
-func (n *tnode[V]) clone() *tnode[V] {
-	c := &tnode[V]{dataMap: n.dataMap, nodeMap: n.nodeMap}
-	if len(n.keys) > 0 {
-		c.keys = append([]id(nil), n.keys...)
-		c.vals = append([]V(nil), n.vals...)
-	}
-	if len(n.kids) > 0 {
-		c.kids = append([]*tnode[V](nil), n.kids...)
-	}
-	return c
-}
-
+// insertData, removeData, insertKid and removeKid edit a node's entry
+// slices in place. They are only ever called on a node the current builder
+// owns, never on a published node. An append that outgrows the inline
+// storage copies out to the heap; a removal zeroes the vacated tail slot
+// so it cannot pin a dead subtree.
 func (n *tnode[V]) insertData(bit uint32, k id, v V) {
 	i := bits.OnesCount32(n.dataMap & (bit - 1))
-	n.keys = append(n.keys, 0)
-	copy(n.keys[i+1:], n.keys[i:])
-	n.keys[i] = k
-	var zero V
-	n.vals = append(n.vals, zero)
-	copy(n.vals[i+1:], n.vals[i:])
-	n.vals[i] = v
+	n.ents = append(n.ents, tentry[V]{})
+	copy(n.ents[i+1:], n.ents[i:])
+	n.ents[i] = tentry[V]{k: k, v: v}
 	n.dataMap |= bit
 }
 
 func (n *tnode[V]) removeData(bit uint32) {
 	i := bits.OnesCount32(n.dataMap & (bit - 1))
-	n.keys = append(n.keys[:i], n.keys[i+1:]...)
-	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	last := len(n.ents) - 1
+	copy(n.ents[i:], n.ents[i+1:])
+	n.ents[last] = tentry[V]{}
+	n.ents = n.ents[:last]
 	n.dataMap &^= bit
 }
 
@@ -161,96 +140,36 @@ func (n *tnode[V]) insertKid(bit uint32, child *tnode[V]) {
 
 func (n *tnode[V]) removeKid(bit uint32) {
 	j := bits.OnesCount32(n.nodeMap & (bit - 1))
-	n.kids = append(n.kids[:j], n.kids[j+1:]...)
+	last := len(n.kids) - 1
+	copy(n.kids[j:], n.kids[j+1:])
+	n.kids[last] = nil
+	n.kids = n.kids[:last]
 	n.nodeMap &^= bit
-}
-
-func (n *tnode[V]) with(k id, v V, shift uint) (*tnode[V], bool) {
-	bit := uint32(1) << ((uint32(k) >> shift) & 31)
-	switch {
-	case n.dataMap&bit != 0:
-		i := bits.OnesCount32(n.dataMap & (bit - 1))
-		if n.keys[i] == k {
-			c := n.clone()
-			c.vals[i] = v
-			return c, false
-		}
-		// two distinct keys share the chunk: push the resident entry down
-		// into a fresh subtree alongside the new one
-		child := mergeEntries(n.keys[i], n.vals[i], k, v, shift+5)
-		c := n.clone()
-		c.removeData(bit)
-		c.insertKid(bit, child)
-		return c, true
-	case n.nodeMap&bit != 0:
-		j := bits.OnesCount32(n.nodeMap & (bit - 1))
-		child, added := n.kids[j].with(k, v, shift+5)
-		c := n.clone()
-		c.kids[j] = child
-		return c, added
-	default:
-		c := n.clone()
-		c.insertData(bit, k, v)
-		return c, true
-	}
-}
-
-// mergeEntries builds the minimal subtree holding two distinct keys from
-// the given depth down.
-func mergeEntries[V any](k1 id, v1 V, k2 id, v2 V, shift uint) *tnode[V] {
-	i1 := (uint32(k1) >> shift) & 31
-	i2 := (uint32(k2) >> shift) & 31
-	if i1 == i2 {
-		return &tnode[V]{nodeMap: 1 << i1, kids: []*tnode[V]{mergeEntries(k1, v1, k2, v2, shift+5)}}
-	}
-	if i1 < i2 {
-		return &tnode[V]{dataMap: 1<<i1 | 1<<i2, keys: []id{k1, k2}, vals: []V{v1, v2}}
-	}
-	return &tnode[V]{dataMap: 1<<i1 | 1<<i2, keys: []id{k2, k1}, vals: []V{v2, v1}}
-}
-
-func (n *tnode[V]) without(k id, shift uint) (*tnode[V], bool) {
-	bit := uint32(1) << ((uint32(k) >> shift) & 31)
-	if n.dataMap&bit != 0 {
-		i := bits.OnesCount32(n.dataMap & (bit - 1))
-		if n.keys[i] != k {
-			return n, false
-		}
-		c := n.clone()
-		c.removeData(bit)
-		return c, true
-	}
-	if n.nodeMap&bit == 0 {
-		return n, false
-	}
-	j := bits.OnesCount32(n.nodeMap & (bit - 1))
-	child, removed := n.kids[j].without(k, shift+5)
-	if !removed {
-		return n, false
-	}
-	c := n.clone()
-	switch {
-	case child.nodeMap == 0 && len(child.keys) == 0:
-		c.removeKid(bit)
-	case child.nodeMap == 0 && len(child.keys) == 1:
-		// the subtree shrank to one inline entry: pull it up
-		c.removeKid(bit)
-		c.insertData(bit, child.keys[0], child.vals[0])
-	default:
-		c.kids[j] = child
-	}
-	return c, true
 }
 
 // The graph indexes instantiate the tree three levels deep: an index maps
 // position a to a map from position b to the set of c, where (a, b, c) is a
 // permutation of (s, p, o) — the persistent analogue of the former
-// map[id]map[id]map[id]struct{}.
+// map[id]map[id]map[id]struct{}. The inner headers are embedded by value
+// (an ipairs entry's value IS its iset header), so navigating a level costs
+// no pointer hop and updating a level allocates no header.
 type (
 	iset   = tree[struct{}]
-	ipairs = tree[*iset]
-	pindex = tree[*ipairs]
+	ipairs = tree[iset]
+	pindex = tree[ipairs]
+	posdex = tree[posEntry]
 )
+
+// posEntry is the value type of the POS index: the predicate's (o → s)
+// pair map plus its incrementally maintained cardinalities. Folding the
+// statistics into the index value means every write updates them on a trie
+// path it already owns — there is no separate statistics tree to path-copy.
+// The distinct-object count of a predicate is pairs.size, by construction.
+type posEntry struct {
+	pairs    ipairs
+	triples  int
+	subjects int
+}
 
 // idxHas reports whether the index holds (a, b, c).
 func idxHas(ix *pindex, a, b, c id) bool {
@@ -266,60 +185,28 @@ func idxHas(ix *pindex, a, b, c id) bool {
 	return ok
 }
 
-// idxBucket returns the (a, b) set, nil when absent.
-func idxBucket(ix *pindex, a, b id) *iset {
+// idxBucket returns the (a, b) set header by value; the zero tree when
+// absent.
+func idxBucket(ix *pindex, a, b id) iset {
 	bm, ok := ix.get(a)
 	if !ok {
-		return nil
+		return iset{}
 	}
 	cs, _ := bm.get(b)
 	return cs
 }
 
-// idxAdd inserts (a, b, c) and reports (index, inserted, createdA,
-// createdB): whether the triple was new, whether its a-bucket was created,
-// and whether its (a, b) bucket was created. The bucket signals drive the
-// incremental distinct counts, exactly like the mutable index used to.
-func idxAdd(ix *pindex, a, b, c id) (*pindex, bool, bool, bool) {
-	bm, _ := ix.get(a)
-	var cs *iset
-	if bm != nil {
-		cs, _ = bm.get(b)
+// posBucket is idxBucket for the POS index: the (p, o) subject set.
+func posBucket(ix *posdex, p, o id) iset {
+	e, ok := ix.get(p)
+	if !ok {
+		return iset{}
 	}
-	cs2, added := cs.with(c, struct{}{})
-	if !added {
-		return ix, false, false, false
-	}
-	bm2, _ := bm.with(b, cs2)
-	ix2, _ := ix.with(a, bm2)
-	return ix2, true, bm == nil, cs == nil
+	cs, _ := e.pairs.get(o)
+	return cs
 }
 
-// idxRemove deletes (a, b, c) and reports (index, removed, droppedA,
-// droppedB), mirroring idxAdd.
-func idxRemove(ix *pindex, a, b, c id) (*pindex, bool, bool, bool) {
-	bm, ok := ix.get(a)
-	if !ok {
-		return ix, false, false, false
-	}
-	cs, ok := bm.get(b)
-	if !ok {
-		return ix, false, false, false
-	}
-	cs2, removed := cs.without(c)
-	if !removed {
-		return ix, false, false, false
-	}
-	if cs2 != nil {
-		bm2, _ := bm.with(b, cs2)
-		ix2, _ := ix.with(a, bm2)
-		return ix2, true, false, false
-	}
-	bm2, _ := bm.without(b)
-	if bm2 != nil {
-		ix2, _ := ix.with(a, bm2)
-		return ix2, true, false, true
-	}
-	ix2, _ := ix.without(a)
-	return ix2, true, true, true
-}
+// idxAdd and idxRemove — the triple-level mutations over these nested
+// trees — live on the shardBuilder in transient.go, because every index
+// mutation now happens inside a builder (single writes open a one-shot
+// builder; batches keep one open per touched shard).

@@ -54,7 +54,10 @@ func (p *Parser) Parse() ([]rdf.Triple, error) {
 	return out, nil
 }
 
-// ParseGraph parses the input directly into a new graph.
+// ParseGraph parses the input directly into a new graph. The parsed
+// triples load through the store's batch write path (rdf.Batch via
+// AddAll): one transient index build, one publication and one epoch stamp
+// per shard for the whole document.
 func (p *Parser) ParseGraph() (*rdf.Graph, error) {
 	ts, err := p.Parse()
 	if err != nil {

@@ -63,10 +63,17 @@
 // for free. Every query evaluates against one such snapshot (no torn reads
 // mid-join — EXPLAIN names the snapshot epoch), each parallel chase round
 // reads from its round-start snapshot, and rpsd serves every request from
-// a snapshot so bulk loads never stall queries. Readers scale across
-// cores, bulk loads (Graph.AddAll, the Turtle and mapfile loaders) fan out
-// across the shards, large cross-shard scans execute as parallel fan-outs
-// with a deterministic merge, and the chase can evaluate each round's
+// a snapshot so bulk loads never stall queries. The write path is batched
+// to match: bulk writers (Graph.AddAll/Merge, the Turtle and mapfile
+// loaders, the chase's per-round firings) open per-shard transient
+// builders that mutate the tries in place under never-reused ownership
+// tokens and freeze back into an immutable state with one publication and
+// one epoch stamp per shard per batch — nothing of a batch is observable
+// before commit, and steady-state bulk writes approach zero net
+// allocations (recycled nodes, inline node storage). Readers scale across
+// cores, large batches fan their per-shard builds out across the shards,
+// large cross-shard scans execute as parallel fan-outs with a
+// deterministic merge, and the chase can evaluate each round's
 // applicability queries concurrently (ChaseOptions.Parallel). Join orders
 // are memoised in a shape-keyed plan cache so the chase's repeated
 // applicability checks skip re-planning (plan.CacheStats exposes hit/miss
