@@ -160,9 +160,20 @@ func microBenchmarks(quick bool) []microBenchmarkEntry {
 			b.ReportAllocs()
 			w := rdf.NewGraph()
 			w.AddAll(bulk[:size/4])
+			// one fresh triple per iteration, materialised outside the
+			// timer: a pool smaller than b.N would wrap and measure the
+			// read-only duplicate probe instead of the write path
+			fresh := make([]rdf.Triple, b.N)
+			for i := range fresh {
+				fresh[i] = rdf.Triple{
+					S: rdf.IRI(fmt.Sprintf("http://bench/fs%d", i%65536)),
+					P: preds[i%len(preds)],
+					O: rdf.IRI(fmt.Sprintf("http://bench/fo%d", i)),
+				}
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				w.Add(bulk[size/4+i%(len(bulk)-size/4)])
+				w.Add(fresh[i])
 			}
 		}},
 		{"AddAllBatch", func(b *testing.B) {

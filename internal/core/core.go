@@ -91,15 +91,25 @@ func (p *Peer) Schema() *Schema { return p.schema }
 // directly; use Add or Load so the schema stays consistent.
 func (p *Peer) Data() *rdf.Graph { return p.data }
 
-// Add stores a triple, extending the schema with the triple's IRIs as
-// Section 2.2 prescribes (the schema is the set of IRIs adopted by the
-// peer). Invalid RDF triples are rejected.
-func (p *Peer) Add(t rdf.Triple) error {
+// admit is the shared admission step of Add and Load: it rejects invalid
+// RDF triples and extends the schema with the triple's IRIs as Section 2.2
+// prescribes (the schema is the set of IRIs adopted by the peer). Only the
+// data write differs between the two.
+func (p *Peer) admit(t rdf.Triple) error {
 	if !t.Valid() {
 		return fmt.Errorf("core: invalid RDF triple %v", t)
 	}
 	for _, x := range t.Terms() {
 		p.schema.Add(x)
+	}
+	return nil
+}
+
+// Add stores a triple, extending the schema with the triple's IRIs.
+// Invalid RDF triples are rejected.
+func (p *Peer) Add(t rdf.Triple) error {
+	if err := p.admit(t); err != nil {
+		return err
 	}
 	p.data.Add(t)
 	return nil
@@ -113,12 +123,8 @@ func (p *Peer) Load(g *rdf.Graph) error {
 	var err error
 	batch := p.data.NewBatch()
 	g.ForEach(func(t rdf.Triple) bool {
-		if !t.Valid() {
-			err = fmt.Errorf("core: invalid RDF triple %v", t)
+		if err = p.admit(t); err != nil {
 			return false
-		}
-		for _, x := range t.Terms() {
-			p.schema.Add(x)
 		}
 		batch.Add(t)
 		return true

@@ -63,8 +63,6 @@ func (b *Batch) Remove(t Triple) {
 // Len returns the number of enqueued ops.
 func (b *Batch) Len() int { return len(b.ops) }
 
-func (b *Batch) isDel(i int) bool { return b.del != nil && b.del[i] }
-
 // Commit applies the batch and returns the number of effective writes
 // (insertions of absent triples plus removals of present ones). The batch
 // is reset for reuse.
@@ -102,7 +100,12 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 		return 0, nil
 	}
 	b.ops, b.del = nil, nil
-	isDel := func(i int) bool { return del != nil && del[i] }
+	// isDel stays nil for add-only batches, letting the dictionary phase
+	// skip removal handling outright.
+	var isDel func(i int) bool
+	if del != nil {
+		isDel = func(i int) bool { return del[i] }
+	}
 
 	// Resolve the dictionary first (its stripes have their own locks):
 	// insertions intern, removals only look up — a removal of unknown
@@ -165,7 +168,7 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 		st := &cs[si]
 		for _, k := range subOps[si] {
 			t := ids[k]
-			if !isDel(int(k)) {
+			if isDel == nil || !isDel(int(k)) {
 				added, newS, newSP := st.sb.idxAdd(&st.next.spo, t.s, t.p, t.o)
 				if !added {
 					continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -357,5 +358,69 @@ func TestBatchFreeListReuse(t *testing.T) {
 	}
 	if g.Len() != 0 || g.Version() != 400 {
 		t.Fatalf("unexpected end state: len=%d version=%d", g.Len(), g.Version())
+	}
+}
+
+// TestLargeBatchAddThenRemove pins the parallel dictionary resolution
+// against the batch ordering contract: in a batch large enough to resolve
+// across internOps workers (≥ internParallelThreshold ops), a Remove whose
+// terms are first interned by an earlier Add in the same batch must still
+// apply. With removal lookups resolved eagerly on a racing worker chunk,
+// the lookup could miss the in-flight intern and wrongly skip the removal;
+// they must resolve only after every intern of the batch has completed.
+func TestLargeBatchAddThenRemove(t *testing.T) {
+	// force the parallel internOps branch even on single-CPU machines —
+	// the sequential fallback never had the bug this test pins
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	n := internParallelThreshold * 2
+	g := NewGraphSharded(8)
+	b := g.NewBatch()
+	mk := func(i int) Triple {
+		return tr(fmt.Sprintf("fresh-s%d", i), fmt.Sprintf("p%d", i%7), fmt.Sprintf("fresh-o%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b.Add(mk(i))
+	}
+	for i := 0; i < n; i++ {
+		b.Remove(mk(i))
+	}
+	if got := b.Commit(); got != 2*n {
+		t.Fatalf("Commit = %d effective ops, want %d (removal of a same-batch add skipped?)", got, 2*n)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("len = %d, want 0: add-then-remove in one large batch must leave every triple absent", g.Len())
+	}
+	if st := g.Stats(); st != (Stats{}) {
+		t.Fatalf("stats = %+v, want all zero", st)
+	}
+}
+
+// TestRemoveRacesAddRefcount hammers the end-to-end shape of the refcount
+// race: a remover spinning on a triple whose object term is fresh each
+// round can win the refcount update against the adder that just published
+// the triple. Must not panic (decRef grows its stripe) and the statistics
+// must net out exactly. Run with -race.
+func TestRemoveRacesAddRefcount(t *testing.T) {
+	g := NewGraphSharded(4)
+	for round := 0; round < 300; round++ {
+		tri := tr(fmt.Sprintf("race-s%d", round), "race-p", fmt.Sprintf("race-fresh-o%d", round))
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			g.Add(tri)
+		}()
+		go func() {
+			defer wg.Done()
+			for !g.Remove(tri) {
+			}
+		}()
+		wg.Wait()
+	}
+	if g.Len() != 0 {
+		t.Fatalf("len = %d after add/remove rounds, want 0", g.Len())
+	}
+	if st := g.Stats(); st != (Stats{}) {
+		t.Fatalf("stats did not net out: %+v", st)
 	}
 }

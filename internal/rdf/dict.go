@@ -114,37 +114,14 @@ func (tt *termTable) lookup(t Term) (id, bool) {
 
 // intern returns the id for t, allocating one if needed. Safe for
 // concurrent use.
-func (tt *termTable) intern(t Term) id {
-	st := &tt.stripes[hashTerm(t)&(termStripes-1)]
-	if i, ok := (*st.read.Load())[t]; ok {
-		return i
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if i, ok := (*st.read.Load())[t]; ok {
-		return i
-	}
-	if i, ok := st.dirty[t]; ok {
-		return i
-	}
-	i := tt.append(t)
-	if st.dirty == nil {
-		st.dirty = make(map[Term]id)
-		st.hasDirty.Store(true)
-	}
-	st.dirty[t] = i
-	read := *st.read.Load()
-	if len(st.dirty)*4 >= len(read)+16 {
-		st.promoteLocked()
-	}
-	return i
-}
+func (tt *termTable) intern(t Term) id { return tt.internStripe(t, nil) }
 
 // tripleID is a dictionary-encoded triple, the unit batch commits work in.
 type tripleID struct{ s, p, o id }
 
 // internOps resolves a batch's ops: insertion ops intern their terms,
-// removal ops (isDel) only look them up — skip[i] marks removals of terms
+// removal ops (isDel; nil for an add-only batch, which then skips removal
+// handling entirely) only look them up — skip[i] marks removals of terms
 // the graph has never seen, which are no-ops. Unlike the per-call intern
 // path, which re-evaluates the amortised promotion rule under the stripe
 // lock on every intern, the batch path marks the stripes it dirtied and
@@ -165,6 +142,14 @@ func (tt *termTable) internOps(ops []Triple, isDel func(int) bool, ids []tripleI
 	if workers > 8 {
 		workers = 8
 	}
+	// Pass 1: intern the insertion ops' terms in parallel. Removal ops are
+	// NOT resolved here: a removal whose terms are first interned by an
+	// earlier Add in the same batch must observe that intern, and with ops
+	// chunked across workers the Add may still be in flight on another
+	// worker — resolving the lookup now could miss and wrongly mark the
+	// removal skipped. Removal lookups are order-independent once every
+	// term the batch interns is present, so they run as a second pass
+	// after the barrier.
 	touchedByW := make([][termStripes]bool, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -177,8 +162,16 @@ func (tt *termTable) internOps(ops []Triple, isDel func(int) bool, ids []tripleI
 			if hi > len(ops) {
 				hi = len(ops)
 			}
-			if lo < hi {
-				tt.internRange(ops, lo, hi, isDel, ids, skip, &touchedByW[w])
+			for i := lo; i < hi; i++ {
+				if isDel != nil && isDel(i) {
+					continue
+				}
+				t := ops[i]
+				ids[i] = tripleID{
+					tt.internBatched(t.S, &touchedByW[w]),
+					tt.internBatched(t.P, &touchedByW[w]),
+					tt.internBatched(t.O, &touchedByW[w]),
+				}
 			}
 		}(w)
 	}
@@ -191,36 +184,71 @@ func (tt *termTable) internOps(ops []Triple, isDel func(int) bool, ids []tripleI
 			}
 		}
 	}
+	// Promote before the removal pass so its lookups hit the published
+	// maps lock-free.
 	tt.promoteTouched(&touched)
+	if isDel == nil {
+		return
+	}
+
+	// Pass 2: resolve removal lookups, now that all of the batch's terms
+	// are interned. Order-independent, so the pass fans out over the same
+	// chunks — a removal-heavy batch keeps the parallel dictionary phase.
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(ops) {
+				hi = len(ops)
+			}
+			for i := lo; i < hi; i++ {
+				if isDel(i) {
+					tt.lookupRemoval(ops[i], i, ids, skip)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// lookupRemoval resolves the terms of removal op i into ids[i], marking
+// skip[i] when any term is unknown (removing a never-interned triple is a
+// no-op and must not grow the dictionary).
+func (tt *termTable) lookupRemoval(t Triple, i int, ids []tripleID, skip []bool) {
+	s, ok := tt.lookup(t.S)
+	if !ok {
+		skip[i] = true
+		return
+	}
+	p, ok := tt.lookup(t.P)
+	if !ok {
+		skip[i] = true
+		return
+	}
+	o, ok := tt.lookup(t.O)
+	if !ok {
+		skip[i] = true
+		return
+	}
+	ids[i] = tripleID{s, p, o}
 }
 
 // internParallelThreshold is the batch size above which internOps fans the
 // dictionary resolution out across goroutines.
 const internParallelThreshold = 2048
 
-// internRange resolves ops[lo:hi] into ids/skip, recording dirtied stripes.
+// internRange resolves ops[lo:hi] into ids/skip in op order, recording
+// dirtied stripes. Sequential only: processing in order is what lets a
+// removal see the terms an earlier Add in the same range interned.
 func (tt *termTable) internRange(ops []Triple, lo, hi int, isDel func(int) bool, ids []tripleID, skip []bool, touched *[termStripes]bool) {
 	for i := lo; i < hi; i++ {
-		t := ops[i]
-		if isDel(i) {
-			s, ok := tt.lookup(t.S)
-			if !ok {
-				skip[i] = true
-				continue
-			}
-			p, ok := tt.lookup(t.P)
-			if !ok {
-				skip[i] = true
-				continue
-			}
-			o, ok := tt.lookup(t.O)
-			if !ok {
-				skip[i] = true
-				continue
-			}
-			ids[i] = tripleID{s, p, o}
+		if isDel != nil && isDel(i) {
+			tt.lookupRemoval(ops[i], i, ids, skip)
 			continue
 		}
+		t := ops[i]
 		ids[i] = tripleID{
 			tt.internBatched(t.S, touched),
 			tt.internBatched(t.P, touched),
@@ -232,6 +260,14 @@ func (tt *termTable) internRange(ops []Triple, lo, hi int, isDel func(int) bool,
 // internBatched is intern without the per-call promotion check; it records
 // the stripe as touched instead so internOps can promote once at the end.
 func (tt *termTable) internBatched(t Term, touched *[termStripes]bool) id {
+	return tt.internStripe(t, touched)
+}
+
+// internStripe is the one stripe-locked intern path behind intern and
+// internBatched. A fresh allocation either marks the stripe in touched
+// (batched mode: the caller promotes once at the end) or, when touched is
+// nil, evaluates the amortised promotion rule inline under the same lock.
+func (tt *termTable) internStripe(t Term, touched *[termStripes]bool) id {
 	si := hashTerm(t) & (termStripes - 1)
 	st := &tt.stripes[si]
 	if i, ok := (*st.read.Load())[t]; ok {
@@ -251,7 +287,11 @@ func (tt *termTable) internBatched(t Term, touched *[termStripes]bool) id {
 		st.hasDirty.Store(true)
 	}
 	st.dirty[t] = i
-	touched[si] = true
+	if touched != nil {
+		touched[si] = true
+	} else if len(st.dirty)*4 >= len(*st.read.Load())+16 {
+		st.promoteLocked()
+	}
 	return i
 }
 

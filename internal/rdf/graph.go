@@ -111,25 +111,38 @@ type objStripe struct {
 	counts []int32
 }
 
+// grow extends counts to cover stripe-local index i. Caller holds mu.
+func (st *objStripe) grow(i int) {
+	for i >= len(st.counts) {
+		st.counts = append(st.counts, make([]int32, i+1-len(st.counts)+16)...)
+	}
+}
+
 // addRef reports whether o became referenced (count 0 → 1).
 func (ot *objTable) addRef(o id) bool {
 	st := &ot.stripes[o&(termStripes-1)]
 	i := int(o) / termStripes
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	for i >= len(st.counts) {
-		st.counts = append(st.counts, make([]int32, i+1-len(st.counts)+16)...)
-	}
+	st.grow(i)
 	st.counts[i]++
 	return st.counts[i] == 1
 }
 
-// decRef reports whether o became unreferenced (count 1 → 0).
+// decRef reports whether o became unreferenced (count 1 → 0). It must
+// tolerate ids its stripe has never counted: refcounts are updated after
+// the new shard states are published and the shard locks released, so a
+// Remove of a just-published triple can reach decRef before the adding
+// writer's addRef. The count then goes transiently negative (exactly as
+// the map-based table allowed) and the racing addRef restores it to zero;
+// neither side reports a distinct-object transition, so the net statistics
+// stay right.
 func (ot *objTable) decRef(o id) bool {
 	st := &ot.stripes[o&(termStripes-1)]
 	i := int(o) / termStripes
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.grow(i)
 	st.counts[i]--
 	return st.counts[i] == 0
 }
@@ -276,13 +289,13 @@ func (g *Graph) Add(t Triple) bool {
 	sh, ph := g.shards[si], g.shards[pi]
 	g.lockPair(si, pi)
 	ss := sh.state.Load()
-	if idxHas(&ss.spo, s, p, o) {
+	sb := sh.builder()
+	ns := &shardState{spo: ss.spo, osp: ss.osp, pos: ss.pos, triples: ss.triples + 1}
+	added, newS, newSP := sb.idxAdd(&ns.spo, s, p, o)
+	if !added { // idxAdd's read-only duplicate probe found the triple
 		g.unlockPair(si, pi)
 		return false
 	}
-	sb := sh.builder()
-	ns := &shardState{spo: ss.spo, osp: ss.osp, pos: ss.pos, triples: ss.triples + 1}
-	_, newS, newSP := sb.idxAdd(&ns.spo, s, p, o)
 	sb.idxAdd(&ns.osp, o, s, p)
 	np, pb := ns, sb
 	if ph != sh {
@@ -354,13 +367,13 @@ func (g *Graph) Remove(t Triple) bool {
 	sh, ph := g.shards[si], g.shards[pi]
 	g.lockPair(si, pi)
 	ss := sh.state.Load()
-	if !idxHas(&ss.spo, s, p, o) {
+	sb := sh.builder()
+	ns := &shardState{spo: ss.spo, osp: ss.osp, pos: ss.pos, triples: ss.triples - 1}
+	removed, goneS, goneSP := sb.idxRemove(&ns.spo, s, p, o)
+	if !removed { // idxRemove's read-only probe missed the triple
 		g.unlockPair(si, pi)
 		return false
 	}
-	sb := sh.builder()
-	ns := &shardState{spo: ss.spo, osp: ss.osp, pos: ss.pos, triples: ss.triples - 1}
-	_, goneS, goneSP := sb.idxRemove(&ns.spo, s, p, o)
 	sb.idxRemove(&ns.osp, o, s, p)
 	np, pb := ns, sb
 	if ph != sh {
@@ -601,7 +614,10 @@ func matchState(g *Graph, st *shardState, s, p, o *Term, sid, pid, oid id, fn fu
 // of a position approximates the fan-out per bound value. All fields are
 // maintained incrementally as atomic counters, so Stats is O(1) and
 // lock-free; under concurrent mutation the fields are individually accurate
-// but may reflect slightly different instants. See PredStats for the
+// but may reflect slightly different instants. In particular the counters
+// are applied after a write publishes, so during a concurrent Batch commit
+// they can trail the published shard states by up to that batch — estimates
+// read mid-bulk-load self-correct on the next read. See PredStats for the
 // per-predicate refinement the planner prefers.
 type Stats struct {
 	// Triples is the total number of triples (same as Len).

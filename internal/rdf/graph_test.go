@@ -318,3 +318,29 @@ func TestNamespacesAmbiguousLocalNotShortened(t *testing.T) {
 		t.Errorf("ambiguous local part should not shorten, got %q", got)
 	}
 }
+
+// TestObjTableDecRefBeforeAddRef pins the refcount race shape directly:
+// Add and Remove update the object refcounts only after the new shard
+// states are published and the shard locks released, so a Remove of a
+// just-published triple can reach decRef before the adding writer's
+// addRef — on an object id the stripe has never counted. decRef must grow
+// the stripe like addRef does (not index out of range), let the count go
+// transiently negative, and report no distinct-object transition on
+// either side of the netted-out pair.
+func TestObjTableDecRefBeforeAddRef(t *testing.T) {
+	var ot objTable
+	o := id(3*termStripes + 5) // stripe-local index 3 on an empty stripe
+	if ot.decRef(o) {
+		t.Fatal("decRef of a never-counted id reported a 1→0 transition")
+	}
+	if ot.addRef(o) {
+		t.Fatal("addRef restoring a transient negative reported 0→1")
+	}
+	// the racing pair netted out: the next add/remove cycle transitions
+	if !ot.addRef(o) {
+		t.Fatal("addRef after the netted-out pair did not report 0→1")
+	}
+	if !ot.decRef(o) {
+		t.Fatal("decRef did not report 1→0")
+	}
+}

@@ -111,11 +111,23 @@ func (n *tnode[V]) each(fn func(id, V) bool) bool {
 // insertData, removeData, insertKid and removeKid edit a node's entry
 // slices in place. They are only ever called on a node the current builder
 // owns, never on a published node. An append that outgrows the inline
-// storage copies out to the heap; a removal zeroes the vacated tail slot
-// so it cannot pin a dead subtree.
+// storage copies out to the heap and zeroes the abandoned inline slots —
+// they live as long as the node does (published states, snapshots, the
+// free list) and their entries and child pointers would otherwise pin
+// replaced subtree versions forever, the exact retention class the slab
+// note in transient.go warns about. A removal zeroes the vacated tail slot
+// for the same reason. These in-place edits are the only places live
+// inline storage is ever abandoned: the copy helpers below only fill
+// fresh-from-the-pool nodes, whose inline slots are already clear.
 func (n *tnode[V]) insertData(bit uint32, k id, v V) {
 	i := bits.OnesCount32(n.dataMap & (bit - 1))
+	spill := len(n.ents) > 0 && len(n.ents) == cap(n.ents) && &n.ents[0] == &n.ients[0]
 	n.ents = append(n.ents, tentry[V]{})
+	if spill {
+		for j := range n.ients {
+			n.ients[j] = tentry[V]{}
+		}
+	}
 	copy(n.ents[i+1:], n.ents[i:])
 	n.ents[i] = tentry[V]{k: k, v: v}
 	n.dataMap |= bit
@@ -132,7 +144,13 @@ func (n *tnode[V]) removeData(bit uint32) {
 
 func (n *tnode[V]) insertKid(bit uint32, child *tnode[V]) {
 	j := bits.OnesCount32(n.nodeMap & (bit - 1))
+	spill := len(n.kids) > 0 && len(n.kids) == cap(n.kids) && &n.kids[0] == &n.ikids[0]
 	n.kids = append(n.kids, nil)
+	if spill {
+		for i := range n.ikids {
+			n.ikids[i] = nil
+		}
+	}
 	copy(n.kids[j+1:], n.kids[j:])
 	n.kids[j] = child
 	n.nodeMap |= bit
