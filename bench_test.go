@@ -5,6 +5,7 @@
 package rps_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -900,7 +901,7 @@ func BenchmarkFanoutScan(b *testing.B) {
 	tp := pattern.TP(pattern.V("s"), pattern.V("p"), pattern.C(hub))
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if rows := len(plan.Drain((&plan.IndexScan{TP: tp}).Open(g))); rows != 80000 {
+			if rows := len(plan.Drain((&plan.IndexScan{TP: tp}).Open(context.Background(), g))); rows != 80000 {
 				b.Fatalf("rows = %d", rows)
 			}
 		}
@@ -911,7 +912,7 @@ func BenchmarkFanoutScan(b *testing.B) {
 		}
 		sc := &plan.IndexScan{TP: tp, Fanout: g.ShardCount()}
 		for i := 0; i < b.N; i++ {
-			if rows := len(plan.Drain(sc.Open(g))); rows != 80000 {
+			if rows := len(plan.Drain(sc.Open(context.Background(), g))); rows != 80000 {
 				b.Fatalf("rows = %d", rows)
 			}
 		}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+// loadResult is the closed-loop HTTP load benchmark's report: sustained
+// query throughput and latency percentiles against a served peer endpoint
+// while a concurrent writer storms the same store. It exercises the full
+// serving stack — HTTP handler, body handling, snapshot evaluation, JSON
+// encoding — where the microbenchmarks isolate the store.
+type loadResult struct {
+	Workers    int     `json:"workers"`
+	DurationMs int64   `json:"durationMs"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	QPS        float64 `json:"qps"`
+	P50us      int64   `json:"p50us"`
+	P90us      int64   `json:"p90us"`
+	P99us      int64   `json:"p99us"`
+	WriteOps   int64   `json:"writeOps"`
+}
+
+// loadQueryText is what every worker asks; it scans source3's age facts, so
+// each request plans, evaluates against a fresh snapshot, and serialises a
+// small result set — a representative point lookup, not a bulk export.
+const loadQueryText = `SELECT ?x ?y WHERE { ?x <http://example.org/age> ?y }`
+
+// runLoadBenchmark serves Figure 1's source3 over HTTP and drives it with
+// closed-loop workers (each sends its next query as soon as the previous
+// answer arrives) while one background goroutine storms writes into the
+// same graph. Closed-loop load keeps exactly `workers` requests in flight,
+// so the latency distribution is the server's, not a queueing artifact.
+func runLoadBenchmark(quick bool) (*loadResult, error) {
+	duration := 2 * time.Second
+	if quick {
+		duration = 300 * time.Millisecond
+	}
+	sys := workload.Figure1System()
+	var target *core.Peer
+	for _, p := range sys.Peers() {
+		if p.Name() == "source3" {
+			target = p
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("load: figure1 system has no source3 peer")
+	}
+	srv := httptest.NewServer(peer.NewHTTPService(target))
+	defer srv.Close()
+
+	// the write storm: unique triples against the served store, as fast as
+	// one writer can go, for the benchmark's whole lifetime
+	var stop atomic.Bool
+	var writes atomic.Int64
+	storm := make(chan struct{})
+	go func() {
+		defer close(storm)
+		g := target.Data()
+		for i := 0; !stop.Load(); i++ {
+			t := rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://load/s%d", i%4096)),
+				P: rdf.IRI("http://load/p"),
+				O: rdf.IRI(fmt.Sprintf("http://load/o%d", i)),
+			}
+			if g.Add(t) {
+				writes.Add(1)
+			}
+			if i%4096 == 4095 { // bound the growth: retract the oldest window
+				for j := i - 4095; j <= i; j++ {
+					g.Remove(rdf.Triple{
+						S: rdf.IRI(fmt.Sprintf("http://load/s%d", j%4096)),
+						P: rdf.IRI("http://load/p"),
+						O: rdf.IRI(fmt.Sprintf("http://load/o%d", j)),
+					})
+				}
+			}
+		}
+	}()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	latencies := make([][]int64, workers)
+	var errs atomic.Int64
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &peer.HTTPClient{Client: srv.Client()}
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				res, err := c.Query(srv.URL, loadQueryText)
+				lat := time.Since(start).Microseconds()
+				if err != nil || len(res.Rows) == 0 {
+					errs.Add(1)
+					continue
+				}
+				latencies[w] = append(latencies[w], lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-storm
+
+	var all []int64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	n := int64(len(all))
+	if n == 0 {
+		return nil, fmt.Errorf("load: no successful requests in %s", duration)
+	}
+	return &loadResult{
+		Workers:    workers,
+		DurationMs: duration.Milliseconds(),
+		Requests:   n,
+		Errors:     errs.Load(),
+		QPS:        float64(n) / duration.Seconds(),
+		P50us:      pct(0.50),
+		P90us:      pct(0.90),
+		P99us:      pct(0.99),
+		WriteOps:   writes.Load(),
+	}, nil
+}

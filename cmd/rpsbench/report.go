@@ -26,6 +26,9 @@ type benchReport struct {
 	Quick       bool                  `json:"quick"`
 	Experiments []*experiments.Table  `json:"experiments"`
 	Micro       []microBenchmarkEntry `json:"micro"`
+	// Load is the closed-loop HTTP benchmark: qps and latency percentiles
+	// against a served endpoint under a concurrent write storm (load.go).
+	Load *loadResult `json:"load,omitempty"`
 }
 
 // microBenchmarkEntry is one testing.Benchmark result.
@@ -37,7 +40,8 @@ type microBenchmarkEntry struct {
 	BytesPerOp  int64   `json:"bytesPerOp"`
 }
 
-// writeJSONReport runs the microbenchmark suite and writes the report.
+// writeJSONReport runs the microbenchmark suite and the closed-loop load
+// benchmark, then writes the report.
 func writeJSONReport(path string, quick bool, tables []*experiments.Table) error {
 	rep := &benchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -46,6 +50,11 @@ func writeJSONReport(path string, quick bool, tables []*experiments.Table) error
 		Experiments: tables,
 		Micro:       microBenchmarks(quick),
 	}
+	load, err := runLoadBenchmark(quick)
+	if err != nil {
+		return err
+	}
+	rep.Load = load
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

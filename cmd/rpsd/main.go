@@ -14,28 +14,60 @@
 // the certain answers. This is the complete architecture of Section 5 as a
 // single deployable process (in production each peer endpoint would live on
 // its own host; the mediator only needs their URLs in the registry).
+//
+// Operations endpoints and controls:
+//
+//   - /metrics exposes the process registry (request counts, latency
+//     histograms, in-flight gauge, per-peer store gauges, chase and
+//     federation counters) in the Prometheus text format.
+//   - /debug/pprof/ serves the standard runtime profiles.
+//   - -query-timeout bounds each request's evaluation: plan iterators poll
+//     the request context and stop producing tuples at the deadline, and
+//     federated sub-queries inherit it, so a runaway query cannot pin the
+//     process. Timed-out requests answer 503.
+//   - -slow-query logs any request slower than the threshold (0 disables).
+//   - SIGINT/SIGTERM drain in-flight requests before the process exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/mapfile"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/peer"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
+// opsConfig carries the operational knobs every handler sees.
+type opsConfig struct {
+	// QueryTimeout bounds one request's evaluation; 0 means no deadline.
+	QueryTimeout time.Duration
+	// SlowQuery is the slow-query-log threshold; 0 disables the log.
+	SlowQuery time.Duration
+}
+
 // localClient answers the mediator's sub-queries against co-hosted peers
-// without a network round trip. It satisfies federation.Client; a remote
-// deployment substitutes peer.HTTPClient and endpoint URLs in the registry.
+// without a network round trip. It satisfies federation.Client (and
+// federation.ContextClient, so sub-queries inherit the request deadline); a
+// remote deployment substitutes peer.HTTPClient and endpoint URLs in the
+// registry.
 type localClient struct {
 	peers map[string]*core.Peer
 }
@@ -45,6 +77,12 @@ type localClient struct {
 // source up front), so queries never block on — and are never torn by —
 // concurrent bulk loads into the peer graphs.
 func (c localClient) Query(addr, queryText string) (*sparql.Result, error) {
+	return c.QueryContext(context.Background(), addr, queryText)
+}
+
+// QueryContext implements federation.ContextClient: evaluation stops
+// producing tuples once the mediator's request context expires.
+func (c localClient) QueryContext(ctx context.Context, addr, queryText string) (*sparql.Result, error) {
 	p, ok := c.peers[addr]
 	if !ok {
 		return nil, fmt.Errorf("rpsd: unknown peer %q", addr)
@@ -53,18 +91,20 @@ func (c localClient) Query(addr, queryText string) (*sparql.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return q.Eval(p.Data()), nil
+	return q.EvalCtx(ctx, p.Data())
 }
 
 func main() {
 	var (
-		systemPath  = flag.String("system", "", "path to the system.rps file (required)")
-		listen      = flag.String("listen", ":8080", "listen address")
-		shards      = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
-		fedParallel = flag.Bool("fed-parallel", true, "evaluate the /federated endpoint's UCQ disjuncts in parallel")
-		fedJoin     = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
-		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
-		fedAdaptive = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
+		systemPath   = flag.String("system", "", "path to the system.rps file (required)")
+		listen       = flag.String("listen", ":8080", "listen address")
+		shards       = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
+		fedParallel  = flag.Bool("fed-parallel", true, "evaluate the /federated endpoint's UCQ disjuncts in parallel")
+		fedJoin      = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
+		fedBatch     = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
+		fedAdaptive  = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request evaluation deadline (0 = none); timed-out requests answer 503")
+		slowQuery    = flag.Duration("slow-query", time.Second, "log requests slower than this (0 = disabled)")
 	)
 	flag.Parse()
 	if *systemPath == "" {
@@ -76,13 +116,117 @@ func main() {
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
 	}
-	mux, n, err := buildMux(*systemPath, fed)
+	ops := opsConfig{QueryTimeout: *queryTimeout, SlowQuery: *slowQuery}
+	mux, n, err := buildMux(*systemPath, fed, ops)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpsd:", err)
 		os.Exit(1)
 	}
 	log.Printf("rpsd: serving %d peers on %s (%d-shard graph stores)", n, *listen, rdf.DefaultShardCount())
-	log.Fatal(http.ListenAndServe(*listen, mux))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, &http.Server{Handler: mux}, ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the server on the listener until it fails or ctx is canceled
+// (SIGINT/SIGTERM in production); on cancellation it drains in-flight
+// requests through Shutdown — bounded, so a wedged handler cannot block the
+// exit forever — and returns nil for a clean stop.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("rpsd: shutting down, draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("rpsd: shutdown: %w", err)
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		return nil
+	}
+}
+
+// HTTP-layer metrics. Per-endpoint series are registered lazily by
+// instrumentHandler; the in-flight gauge is process-wide.
+var httpInFlight = obs.Default.Gauge("rps_http_in_flight", "Requests currently being served.")
+
+// statusWriter captures the response status for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumentHandler wraps an endpoint's handler with the ops layer: request
+// and error counters and a latency histogram labelled by endpoint, the
+// process-wide in-flight gauge, the per-request evaluation deadline, and
+// the slow-query log.
+func instrumentHandler(endpoint string, ops opsConfig, h http.Handler) http.Handler {
+	label := fmt.Sprintf("{endpoint=%q}", endpoint)
+	requests := obs.Default.Counter("rps_http_requests_total"+label, "HTTP requests served, by endpoint.")
+	errors := obs.Default.Counter("rps_http_errors_total"+label, "HTTP responses with status >= 400, by endpoint.")
+	latency := obs.Default.Histogram("rps_http_request_duration_us"+label, "Request latency in microseconds, by endpoint.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		httpInFlight.Add(1)
+		defer httpInFlight.Add(-1)
+		if ops.QueryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), ops.QueryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		requests.Add(1)
+		if sw.status >= 400 {
+			errors.Add(1)
+		}
+		latency.ObserveDuration(dur)
+		if ops.SlowQuery > 0 && dur >= ops.SlowQuery {
+			log.Printf("rpsd: slow query: endpoint=%s method=%s path=%s status=%d dur=%s",
+				endpoint, r.Method, r.URL.Path, sw.status, dur)
+		}
+	})
+}
+
+// registerGraphGauges exposes one peer store's internals as lazily-evaluated
+// gauges: nothing is read until a scrape, and every read goes through the
+// store's published atomics, so the gauges cost the hot paths nothing.
+// Re-registering for the same peer replaces the collector, so rebuilding a
+// server over fresh stores (tests, reloads) never scrapes a stale graph.
+func registerGraphGauges(name string, g *rdf.Graph) {
+	label := fmt.Sprintf("{peer=%q}", name)
+	obs.Default.GaugeFunc("rps_graph_triples"+label, "Triples stored, by peer.",
+		func() float64 { return float64(g.Len()) })
+	obs.Default.GaugeFunc("rps_graph_epoch"+label, "Store epoch (monotonic publication count), by peer.",
+		func() float64 { return float64(g.Epoch()) })
+	obs.Default.GaugeFunc("rps_graph_terms"+label, "Interned terms, by peer.",
+		func() float64 { return float64(g.TermCount()) })
+	obs.Default.GaugeFunc("rps_graph_freelist_reuses"+label, "Trie nodes recycled from the per-shard free lists, by peer.",
+		func() float64 { return float64(g.FreeListReuses()) })
+	for i := 0; i < g.ShardCount(); i++ {
+		shard := i
+		obs.Default.GaugeFunc(
+			fmt.Sprintf("rps_graph_shard_triples{peer=%q,shard=%q}", name, strconv.Itoa(shard)),
+			"Triples stored, by peer and shard.",
+			func() float64 { return float64(g.ShardLen(shard)) })
+	}
 }
 
 // peerInfo is one row of the /peers index.
@@ -93,8 +237,10 @@ type peerInfo struct {
 	Schema   int    `json:"schemaIRIs"`
 }
 
-// buildMux mounts every peer of the system file on a fresh mux.
-func buildMux(systemPath string, fed federation.Options) (*http.ServeMux, int, error) {
+// buildMux mounts every peer of the system file on a fresh mux, plus the
+// /peers index, the /federated mediator, and the operations endpoints
+// (/metrics, /debug/pprof/).
+func buildMux(systemPath string, fed federation.Options, ops opsConfig) (*http.ServeMux, int, error) {
 	sys, _, err := mapfile.Load(systemPath)
 	if err != nil {
 		return nil, 0, err
@@ -103,16 +249,17 @@ func buildMux(systemPath string, fed federation.Options) (*http.ServeMux, int, e
 	var index []peerInfo
 	for _, p := range sys.Peers() {
 		endpoint := "/peer/" + p.Name()
-		mux.Handle(endpoint, peer.NewHTTPService(p))
+		mux.Handle(endpoint, instrumentHandler("peer", ops, peer.NewHTTPService(p)))
+		registerGraphGauges(p.Name(), p.Data())
 		index = append(index, peerInfo{
 			Name: p.Name(), Endpoint: endpoint,
 			Triples: p.Data().Len(), Schema: p.Schema().Len(),
 		})
 	}
-	mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/peers", instrumentHandler("peers", ops, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(index)
-	})
+	})))
 
 	// the mediator: the registry routes sub-queries by peer schema; here
 	// the peers are co-hosted so the client evaluates in-process, but the
@@ -125,15 +272,27 @@ func buildMux(systemPath string, fed federation.Options) (*http.ServeMux, int, e
 		local.peers[p.Name()] = p
 	}
 	eng := federation.New(sys, reg, local, fed)
-	mux.HandleFunc("/federated", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/federated", instrumentHandler("federated", ops, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		serveFederated(w, r, eng)
-	})
+	})))
+
+	// operations: the metrics scrape and the runtime profiles (mounted
+	// explicitly — the pprof side effects on DefaultServeMux don't reach a
+	// fresh mux)
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux, len(index), nil
 }
 
 // serveFederated answers a conjunctive SPARQL query with certain answers.
+// The mediator runs under the request context: at the deadline every
+// in-flight sub-query stops and the request answers 503.
 func serveFederated(w http.ResponseWriter, r *http.Request, eng *federation.Engine) {
-	queryText, err := extractQuery(r)
+	queryText, err := extractQuery(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -149,9 +308,13 @@ func serveFederated(w http.ResponseWriter, r *http.Request, eng *federation.Engi
 			http.StatusBadRequest)
 		return
 	}
-	answers, _, err := eng.Answer(q)
+	answers, _, err := eng.AnswerCtx(r.Context(), q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
+		status := http.StatusBadGateway
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	res := &sparql.Result{Form: sparql.FormSelect, Vars: q.Free}
@@ -171,8 +334,10 @@ func serveFederated(w http.ResponseWriter, r *http.Request, eng *federation.Engi
 	_, _ = w.Write(payload)
 }
 
-// extractQuery mirrors peer.HTTPService's request handling.
-func extractQuery(r *http.Request) (string, error) {
+// extractQuery mirrors peer.HTTPService's request handling. The body is
+// read in full through io.ReadAll (a single Read call would truncate
+// chunked or large requests) and capped at 1 MiB.
+func extractQuery(w http.ResponseWriter, r *http.Request) (string, error) {
 	switch r.Method {
 	case http.MethodGet:
 		q := r.URL.Query().Get("query")
@@ -181,17 +346,20 @@ func extractQuery(r *http.Request) (string, error) {
 		}
 		return q, nil
 	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 		if err := r.ParseForm(); err == nil {
 			if q := r.PostForm.Get("query"); q != "" {
 				return q, nil
 			}
 		}
-		buf := make([]byte, 1<<20)
-		n, _ := r.Body.Read(buf)
-		if n == 0 {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			return "", err
+		}
+		if len(body) == 0 {
 			return "", fmt.Errorf("empty query body")
 		}
-		return string(buf[:n]), nil
+		return string(body), nil
 	default:
 		return "", fmt.Errorf("method %s not allowed", r.Method)
 	}

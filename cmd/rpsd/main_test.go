@@ -19,7 +19,7 @@ func TestBuildMuxServesPeers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, n, err := buildMux(path, federation.Options{})
+	mux, n, err := buildMux(path, federation.Options{}, opsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestBuildMuxServesPeers(t *testing.T) {
 }
 
 func TestBuildMuxMissingSystem(t *testing.T) {
-	if _, _, err := buildMux("/nonexistent/system.rps", federation.Options{}); err == nil {
+	if _, _, err := buildMux("/nonexistent/system.rps", federation.Options{}, opsConfig{}); err == nil {
 		t.Error("missing system accepted")
 	}
 }
@@ -79,7 +79,7 @@ func TestFederatedEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, _, err := buildMux(path, federation.Options{})
+	mux, _, err := buildMux(path, federation.Options{}, opsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/mapfile"
+	"repro/internal/obs"
+	"repro/internal/peer"
+	"repro/internal/workload"
+)
+
+func figure1Mux(t *testing.T, ops opsConfig) *http.ServeMux {
+	t.Helper()
+	dir := t.TempDir()
+	path, err := mapfile.Save(workload.Figure1System(), workload.FilmNamespaces(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, _, err := buildMux(path, federation.Options{}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mux
+}
+
+// TestMetricsEndpoint scrapes /metrics after exercising the endpoints and
+// parses the exposition: every line must be a comment or a name/value
+// sample, and the per-peer and per-endpoint families must be present with
+// sane values.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(figure1Mux(t, opsConfig{QueryTimeout: 30 * time.Second}))
+	defer srv.Close()
+
+	c := &peer.HTTPClient{Client: srv.Client()}
+	if _, err := c.Query(srv.URL+"/peer/source3",
+		`SELECT ?x ?y WHERE { ?x <http://example.org/age> ?y }`); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[name] = f
+	}
+	if v := samples[`rps_graph_triples{peer="source3"}`]; v < 3 {
+		t.Errorf("rps_graph_triples{peer=source3} = %v, want >= 3", v)
+	}
+	if v := samples[`rps_http_requests_total{endpoint="peer"}`]; v < 1 {
+		t.Errorf("rps_http_requests_total{endpoint=peer} = %v, want >= 1", v)
+	}
+	if v := samples[`rps_http_request_duration_us_count{endpoint="peer"}`]; v < 1 {
+		t.Errorf("peer latency histogram count = %v, want >= 1", v)
+	}
+	// the scrape itself bypasses the ops layer, so nothing is in flight
+	if v, ok := samples["rps_http_in_flight"]; !ok || v != 0 {
+		t.Errorf("rps_http_in_flight = %v (present=%v), want 0", v, ok)
+	}
+}
+
+// TestMetricsSnapshotAfterFederatedQuery checks the structured snapshot API
+// end to end: a federated query bumps the mediator counters.
+func TestMetricsSnapshotAfterFederatedQuery(t *testing.T) {
+	srv := httptest.NewServer(figure1Mux(t, opsConfig{}))
+	defer srv.Close()
+	before := obs.Default.Snapshot()["rps_fed_queries_total"]
+
+	c := &peer.HTTPClient{Client: srv.Client()}
+	if _, err := c.Query(srv.URL+"/federated", `
+		PREFIX ex: <http://example.org/>
+		SELECT ?x ?y WHERE { ?x ex:age ?y }`); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default.Snapshot()["rps_fed_queries_total"]
+	if after != before+1 {
+		t.Errorf("rps_fed_queries_total: %v -> %v, want +1", before, after)
+	}
+}
+
+// TestExtractQueryChunkedBody posts a query body that arrives in several
+// reads — io.Pipe never returns more than one write per Read call — so a
+// handler that issues a single Read would truncate it.
+func TestExtractQueryChunkedBody(t *testing.T) {
+	srv := httptest.NewServer(figure1Mux(t, opsConfig{}))
+	defer srv.Close()
+
+	query := "SELECT ?x ?y WHERE { ?x <http://example.org/age> ?y }"
+	pr, pw := io.Pipe()
+	go func() {
+		half := len(query) / 2
+		_, _ = io.WriteString(pw, query[:half])
+		time.Sleep(10 * time.Millisecond)
+		_, _ = io.WriteString(pw, query[half:])
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/federated", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/sparql-query")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("chunked body status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "bindings") {
+		t.Errorf("unexpected response: %s", body)
+	}
+}
+
+// TestQueryTimeoutAnswers503 drives a request into an expired deadline: the
+// ops layer attaches a context that is already past due, so evaluation
+// stops immediately and the handler reports 503, not a hang.
+func TestQueryTimeoutAnswers503(t *testing.T) {
+	srv := httptest.NewServer(figure1Mux(t, opsConfig{QueryTimeout: time.Nanosecond}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/federated?query=" +
+		"SELECT%20%3Fx%20WHERE%20%7B%20%3Fx%20%3Fp%20%3Fo%20%7D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("expired deadline status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdown starts the real serving loop, cancels its context
+// (the signal path in production), and checks that serve drains and returns
+// cleanly without leaking goroutines.
+func TestGracefulShutdown(t *testing.T) {
+	mux := figure1Mux(t, opsConfig{})
+	before := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, &http.Server{Handler: mux}, ln) }()
+
+	// the server is live: answer one request through it
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Get(url + "/peers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/peers status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after cancellation, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after cancellation")
+	}
+	// connections are drained: the goroutine count settles back to baseline
+	// (allow slack for runtime/test housekeeping goroutines)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before serve, %d after shutdown", before, runtime.NumGoroutine())
+}

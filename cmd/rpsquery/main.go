@@ -19,13 +19,21 @@
 // printed — for rewrite/combined, one plan per UCQ disjunct; for
 // federation, the federated plan with RemoteScan leaves (source fan-out,
 // probe batch size, in-flight window) under the parallel Union.
+//
+// With -analyze the query IS answered, and the plan is printed with
+// per-operator execution statistics — actual rows, Next calls, inclusive
+// wall time, hash-join build sizes — plus the answer cardinality. A
+// -query-timeout bounds the execution: plan iterators poll the deadline and
+// stop producing tuples when it passes (the partial tree is still printed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -52,6 +60,8 @@ func main() {
 		noRedund   = flag.Bool("no-redundancy", false, "collapse sameAs-equivalent answers (chase mode)")
 		maxDepth   = flag.Int("max-depth", 0, "bound rewriting depth (0 = library default)")
 		explain    = flag.Bool("explain", false, "print the execution plan(s) instead of answering")
+		analyze    = flag.Bool("analyze", false, "execute the query and print the plan with per-operator statistics (EXPLAIN ANALYZE)")
+		timeout    = flag.Duration("query-timeout", 0, "bound query execution; expired queries stop producing tuples (0 = none)")
 		shards     = flag.Int("shards", 0, "graph store shard count (0 = one per CPU)")
 		join       = flag.String("join", "hash", "federated join strategy: hash | bind (federation mode)")
 		fedPar     = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (federation mode)")
@@ -65,6 +75,19 @@ func main() {
 		fed.Join = federation.BindJoin
 	}
 	fed.Rewrite.MaxDepth = *maxDepth
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *analyze {
+		if err := runAnalyze(ctx, os.Stdout, *systemPath, *queryText, *queryFile, *mode, *maxDepth, fed); err != nil {
+			fmt.Fprintln(os.Stderr, "rpsquery:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *explain {
 		if *stats || *noRedund {
 			fmt.Fprintln(os.Stderr, "rpsquery: -stats and -no-redundancy are ignored with -explain")
@@ -255,6 +278,111 @@ func runExplain(w io.Writer, systemPath, queryText, queryFile, mode string, maxD
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 	return nil
+}
+
+// runAnalyze executes the query under the chosen strategy with every plan
+// operator instrumented, and prints the annotated tree plus the answer
+// cardinality (EXPLAIN ANALYZE). The root operator of each printed tree is
+// the certain-answer δ·π, so its "actual rows" equals the answer count.
+func runAnalyze(ctx context.Context, w io.Writer, systemPath, queryText, queryFile, mode string, maxDepth int, fed federation.Options) error {
+	sys, _, q, err := loadQuery(systemPath, queryText, queryFile)
+	if err != nil {
+		return err
+	}
+	finish := func(s string, rows int, err error) error {
+		fmt.Fprint(w, s)
+		fmt.Fprintf(w, "-- answers: %d\n", rows)
+		return err
+	}
+	switch mode {
+	case "chase":
+		u, err := chase.Run(sys, chase.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- over the universal solution (%d triples):\n", u.Graph.Len())
+		return finish(plan.ExplainAnalyzeQuery(ctx, u.Graph, q))
+	case "rewrite":
+		res, err := rewrite.Rewrite(q, sys, rewrite.Options{MaxDepth: maxDepth})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- UCQ of %d disjuncts over the stored database, evaluated as a parallel union:\n", res.Size())
+		src := rdf.Freeze(sys.StoredDatabase())
+		s, rows, err := plan.ExplainAnalyzeNode(ctx, src, res.UCQPlan(src))
+		return finish(truncateUnionBranches(s, explainDisjunctCap), rows, err)
+	case "combined":
+		comb := rewrite.NewCombined(sys)
+		res, err := comb.Rewrite(q, rewrite.Options{MaxDepth: maxDepth})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- GMA-only UCQ of %d disjuncts over the canonical database, evaluated as a parallel union:\n", res.Size())
+		src := rdf.Freeze(comb.CanonicalDatabase())
+		root := plan.Instrument(res.UCQPlan(src))
+		canonical := plan.Drain(root.Open(ctx, src))
+		// the plan yields canonical answers; the combined approach's last
+		// step expands each across its sameAs equivalence class
+		answers := pattern.NewTupleSet()
+		for _, mu := range canonical {
+			t := make(pattern.Tuple, len(q.Free))
+			for i, f := range q.Free {
+				t[i] = mu[f]
+			}
+			comb.ExpandInto(t, answers)
+		}
+		fmt.Fprint(w, truncateUnionBranches(plan.Format(root), explainDisjunctCap))
+		fmt.Fprintf(w, "-- %d canonical rows expanded across equivalence classes\n", len(canonical))
+		fmt.Fprintf(w, "-- answers: %d\n", answers.Len())
+		return ctx.Err()
+	case "direct":
+		fmt.Fprintln(w, "-- over the stored database (mappings ignored):")
+		return finish(plan.ExplainAnalyzeQuery(ctx, sys.StoredDatabase(), q))
+	case "federation":
+		eng, _ := deployFederation(sys, fed)
+		p, err := eng.Plan(q)
+		if err != nil {
+			return err
+		}
+		mediator := "parallel"
+		if fed.Serial {
+			mediator = "serial"
+		}
+		fmt.Fprintf(w, "-- federated UCQ of %d disjuncts, %s mediator\n", p.Rewriting.Size(), mediator)
+		root := plan.Instrument(p.Root)
+		rows := len(plan.Drain(root.Open(ctx, nil)))
+		fmt.Fprint(w, truncateUnionBranches(plan.Format(root), explainDisjunctCap))
+		if err := p.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- answers: %d\n", rows)
+		return ctx.Err()
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// truncateUnionBranches elides the rendered federated plan after maxBranch
+// direct children of the top-level Union (every disjunct executed either
+// way; only the printout is capped, as with -explain).
+func truncateUnionBranches(s string, maxBranch int) string {
+	lines := strings.Split(s, "\n")
+	branches, total := 0, 0
+	cut := len(lines)
+	for i, line := range lines {
+		if strings.HasPrefix(line, "    ") && len(line) > 4 && line[4] != ' ' {
+			total++
+			if total == maxBranch+1 && cut == len(lines) {
+				cut = i
+			}
+		}
+	}
+	if cut == len(lines) {
+		return s
+	}
+	branches = total - maxBranch
+	return strings.Join(lines[:cut], "\n") +
+		fmt.Sprintf("\n    … %d more branches elided …\n", branches)
 }
 
 // deployFederation serves the system's peers on an in-process simulated

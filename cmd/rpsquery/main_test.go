@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -141,5 +144,66 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run(&out, "/nonexistent/system.rps", example1SPARQL, "", "chase", false, false, 0, federation.Options{}); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestAnalyzeModes runs EXPLAIN ANALYZE over the Figure 1 system for every
+// mode and checks the reported answer counts against the known Listing 1
+// cardinality (6 rows). Timings vary run to run, so the golden assertions
+// pin structure and counts, not durations.
+func TestAnalyzeModes(t *testing.T) {
+	path := figure1OnDisk(t)
+	// every mode answers Listing 1's 6 rows; the root operator reports the
+	// plan's own output — 6, except combined, whose plan yields 3 canonical
+	// rows that the sameAs expansion afterwards grows to 6
+	rootRows := map[string]int{"chase": 6, "rewrite": 6, "combined": 3, "federation": 6}
+	for mode, rows := range rootRows {
+		t.Run(mode, func(t *testing.T) {
+			var out bytes.Buffer
+			err := runAnalyze(context.Background(), &out, path, example1SPARQL, "", mode, 0, federation.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := out.String()
+			if !strings.Contains(s, "-- answers: 6") {
+				t.Errorf("mode %s: missing '-- answers: 6':\n%s", mode, s)
+			}
+			re := regexp.MustCompile(fmt.Sprintf(`\(actual rows=%d nexts=\d+ time=[^)]+\)`, rows))
+			if !re.MatchString(s) {
+				t.Errorf("mode %s: no operator reports the %d-row cardinality:\n%s", mode, rows, s)
+			}
+		})
+	}
+
+	// federation mode caps the rendered union at explainDisjunctCap branches
+	var out bytes.Buffer
+	if err := runAnalyze(context.Background(), &out, path, example1SPARQL, "", "federation", 0, federation.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "more branches elided") {
+		t.Errorf("federation analyze did not elide excess branches:\n%s", s)
+	}
+	if n := strings.Count(s, "\n"); n > 400 {
+		t.Errorf("federation analyze output too long: %d lines", n)
+	}
+}
+
+func TestTruncateUnionBranches(t *testing.T) {
+	in := "Distinct\n  Union[parallel branches=4]\n" +
+		"    A\n      a-child\n    B\n    C\n    D\n  tail"
+	got := truncateUnionBranches(in, 2)
+	if strings.Contains(got, "    C\n") || strings.Contains(got, "    D\n") {
+		t.Errorf("branches beyond the cap survived:\n%s", got)
+	}
+	if !strings.Contains(got, "a-child") {
+		t.Errorf("kept branch lost its subtree:\n%s", got)
+	}
+	if !strings.Contains(got, "2 more branches elided") {
+		t.Errorf("missing elision marker:\n%s", got)
+	}
+	// below the cap: untouched
+	if out := truncateUnionBranches(in, 10); out != in {
+		t.Errorf("truncation changed output below the cap:\n%s", out)
 	}
 }

@@ -34,9 +34,22 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/plan"
 	"repro/internal/rdf"
+)
+
+// Chase metrics, folded into the process registry once per run (counters)
+// or per batch commit (the batch-size histogram). The per-run folding keeps
+// the chase loops free of registry traffic beyond one histogram observation
+// per commit.
+var (
+	chaseRuns    = obs.Default.Counter("rps_chase_runs_total", "Chase runs completed.")
+	chaseRounds  = obs.Default.Counter("rps_chase_rounds_total", "Fixpoint rounds (naive) or work-list drains (delta) across all runs.")
+	chaseFirings = obs.Default.Counter("rps_chase_gma_firings_total", "Graph-mapping-assertion chase steps across all runs.")
+	chaseTriples = obs.Default.Counter("rps_chase_triples_added_total", "Inferred triples added across all runs.")
+	chaseBatch   = obs.Default.Histogram("rps_chase_batch_ops", "Operations per chase batch commit.")
 )
 
 // Mode selects the chase scheduling strategy.
@@ -171,6 +184,10 @@ func Run(sys *core.System, opts Options) (*Universal, error) {
 	}
 	u.Stats.TriplesAdded = u.Graph.Len() - base
 	u.Stats.Duration = time.Since(start)
+	chaseRuns.Add(1)
+	chaseRounds.Add(int64(u.Stats.Rounds))
+	chaseFirings.Add(int64(u.Stats.GMAFirings))
+	chaseTriples.Add(int64(u.Stats.TriplesAdded))
 	return u, nil
 }
 
@@ -275,6 +292,7 @@ func (u *Universal) gmaMissing(m core.GraphMappingAssertion, src rdf.Source, con
 func (u *Universal) fireGMA(m core.GraphMappingAssertion, to pattern.Query, missing []pattern.Tuple) []rdf.Triple {
 	b := u.Graph.NewBatch()
 	u.fireGMAInto(b, m, to, missing)
+	chaseBatch.Observe(int64(b.Len()))
 	return b.CommitAdded()
 }
 
@@ -366,6 +384,7 @@ func (u *Universal) runNaive(opts Options) error {
 			for i, m := range u.sys.G {
 				u.fireGMAInto(rb, m, tos[i], missing[i])
 			}
+			chaseBatch.Observe(int64(rb.Len()))
 			if rb.Commit() > 0 {
 				changed = true
 			}

@@ -34,10 +34,12 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/peer"
 	"repro/internal/plan"
@@ -155,12 +157,23 @@ type BatchClient interface {
 	QueryBatch(addr string, queries []string) ([]*sparql.Result, error)
 }
 
+// ContextClient is a Client whose requests can carry the mediator's
+// per-query context, so sub-queries of a canceled federated query are
+// abandoned at the transport instead of running to completion. Clients
+// without it still stop between requests (the fetcher checks the context
+// before each send).
+type ContextClient interface {
+	Client
+	QueryContext(ctx context.Context, addr, queryText string) (*sparql.Result, error)
+}
+
 // Engine is the mediator.
 type Engine struct {
 	sys    *core.System
 	reg    *peer.Registry
 	client Client
-	batch  BatchClient // client, when it supports batched messages
+	batch  BatchClient   // client, when it supports batched messages
+	cc     ContextClient // client, when it supports per-request contexts
 	opts   Options
 }
 
@@ -168,18 +181,26 @@ type Engine struct {
 // and mappings), a registry of peer services, and a query client.
 func New(sys *core.System, reg *peer.Registry, client Client, opts Options) *Engine {
 	bc, _ := client.(BatchClient)
-	return &Engine{sys: sys, reg: reg, client: client, batch: bc, opts: opts}
+	cc, _ := client.(ContextClient)
+	return &Engine{sys: sys, reg: reg, client: client, batch: bc, cc: cc, opts: opts}
 }
 
 // Answer computes the certain answers of q by rewriting and federated
 // evaluation. When the rewriting saturates (Proposition 2 conditions) the
 // result is exactly ans(q, P, D).
 func (e *Engine) Answer(q pattern.Query) (*pattern.TupleSet, *Metrics, error) {
+	return e.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx is Answer under a request context: sub-queries inherit ctx,
+// in-flight fetches are abandoned on cancellation, and the error is
+// ctx.Err() when the deadline cut the evaluation short.
+func (e *Engine) AnswerCtx(ctx context.Context, q pattern.Query) (*pattern.TupleSet, *Metrics, error) {
 	res, err := rewrite.Rewrite(q, e.sys, e.opts.Rewrite)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.answerUCQ(res)
+	return e.answerUCQ(ctx, res)
 }
 
 // AnswerWithTGDs is Answer with an explicit dependency set (used by the
@@ -189,7 +210,7 @@ func (e *Engine) AnswerWithTGDs(q pattern.Query, sigma []rewrite.TripleTGD) (*pa
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.answerUCQ(res)
+	return e.answerUCQ(context.Background(), res)
 }
 
 // answerUCQ evaluates the rewriting's disjuncts — concurrently through
@@ -198,14 +219,14 @@ func (e *Engine) AnswerWithTGDs(q pattern.Query, sigma []rewrite.TripleTGD) (*pa
 // sub-queries hit the cache no matter which disjunct issued them first; on
 // failure the error of the lowest-indexed failing disjunct is returned, so
 // parallel runs report errors deterministically.
-func (e *Engine) answerUCQ(res *rewrite.Result) (*pattern.TupleSet, *Metrics, error) {
+func (e *Engine) answerUCQ(ctx context.Context, res *rewrite.Result) (*pattern.TupleSet, *Metrics, error) {
 	f := newFetcher(e)
 	n := len(res.Disjuncts)
 	sets := make([]*pattern.TupleSet, n)
 	errs := make([]error, n)
 	evalOne := func(i int) {
 		d := res.Disjuncts[i]
-		bindings, err := e.evalDistributed(f, d.Query.GP)
+		bindings, err := e.evalDistributed(ctx, f, d.Query.GP)
 		if err != nil {
 			errs[i] = err
 			return
@@ -225,6 +246,10 @@ func (e *Engine) answerUCQ(res *rewrite.Result) (*pattern.TupleSet, *Metrics, er
 		plan.Fanout(n, evalOne)
 	}
 	m := f.snapshot(res)
+	publishMetrics(m)
+	if err := ctx.Err(); err != nil {
+		return nil, m, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, m, err
@@ -237,16 +262,42 @@ func (e *Engine) answerUCQ(res *rewrite.Result) (*pattern.TupleSet, *Metrics, er
 	return out, m, nil
 }
 
+// Federated-query metrics in the process registry; publishMetrics folds one
+// execution's Metrics in exactly once, at the end of answerUCQ (the
+// per-query snapshot stays available via PlannedQuery.Metrics and the
+// Answer return — this is the fleet-wide accumulation a scrape sees).
+var (
+	obsQueries   = obs.Default.Counter("rps_fed_queries_total", "Federated queries answered")
+	obsCalls     = obs.Default.Counter("rps_fed_remote_calls_total", "Messages sent to peers")
+	obsBatches   = obs.Default.Counter("rps_fed_batches_total", "Batched messages among remote calls")
+	obsRows      = obs.Default.Counter("rps_fed_rows_fetched_total", "Result rows shipped back from peers")
+	obsCacheHits = obs.Default.Counter("rps_fed_cache_hits_total", "Sub-queries answered from the fetch cache")
+	obsResizes   = obs.Default.Counter("rps_fed_adaptive_resizes_total", "Adaptive probe batch size changes")
+	obsInFlight  = obs.Default.Gauge("rps_fed_in_flight_peak", "Peak concurrently outstanding remote requests of any query")
+	obsDisjuncts = obs.Default.Histogram("rps_fed_disjuncts", "UCQ size per federated query (power-of-two buckets)")
+)
+
+func publishMetrics(m *Metrics) {
+	obsQueries.Inc()
+	obsCalls.Add(int64(m.RemoteCalls))
+	obsBatches.Add(int64(m.Batches))
+	obsRows.Add(int64(m.RowsFetched))
+	obsCacheHits.Add(int64(m.CacheHits))
+	obsResizes.Add(int64(m.AdaptiveResizes))
+	obsInFlight.SetMax(int64(m.InFlightMax))
+	obsDisjuncts.Observe(int64(m.Disjuncts))
+}
+
 // evalDistributed evaluates one conjunctive body across the peers.
-func (e *Engine) evalDistributed(f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
+func (e *Engine) evalDistributed(ctx context.Context, f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
 	if len(gp) == 0 {
 		return []pattern.Binding{{}}, nil
 	}
 	switch e.opts.Join {
 	case BindJoin:
-		return e.bindJoin(f, gp)
+		return e.bindJoin(ctx, f, gp)
 	default:
-		return e.hashJoin(f, gp)
+		return e.hashJoin(ctx, f, gp)
 	}
 }
 
@@ -254,8 +305,8 @@ func (e *Engine) evalDistributed(f *fetcher, gp pattern.GraphPattern) ([]pattern
 // sub-queries bound for the same source travelling in one batched message —
 // then joins smallest-first with the algebra's streaming hash join, hashing
 // the smaller input at each step.
-func (e *Engine) hashJoin(f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
-	exts, err := f.fetchExtensions(gp)
+func (e *Engine) hashJoin(ctx context.Context, f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
+	exts, err := f.fetchExtensions(ctx, gp)
 	if err != nil {
 		return nil, err
 	}
@@ -290,12 +341,12 @@ func joinBindings(a, b []pattern.Binding) []pattern.Binding {
 // so the mediator joins each returned row against the accumulated bindings
 // by compatibility — the same join the per-binding protocol performs, at a
 // fraction of the round trips.
-func (e *Engine) bindJoin(f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
+func (e *Engine) bindJoin(ctx context.Context, f *fetcher, gp pattern.GraphPattern) ([]pattern.Binding, error) {
 	ordered := append(pattern.GraphPattern(nil), gp...)
 	sort.SliceStable(ordered, func(i, j int) bool {
 		return countVars(ordered[i]) < countVars(ordered[j])
 	})
-	acc, err := f.fetchPattern(ordered[0])
+	acc, err := f.fetchPattern(ctx, ordered[0])
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +354,7 @@ func (e *Engine) bindJoin(f *fetcher, gp pattern.GraphPattern) ([]pattern.Bindin
 		if len(acc) == 0 {
 			return nil, nil
 		}
-		ext, err := f.probe(tp, acc)
+		ext, err := f.probe(ctx, tp, acc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -163,11 +164,22 @@ func (f *fetcher) cached(key string, compute func() ([]pattern.Binding, error)) 
 // query sends one query text to one source within its in-flight window,
 // accounting the message. bindings is the probe batch size the query
 // carries (0: not a bind-join probe); probes feed the peer's service-time
-// EWMA, and multi-binding probes count as batches.
-func (f *fetcher) query(src peer.Entry, queryText string, bindings int) (*sparql.Result, error) {
+// EWMA, and multi-binding probes count as batches. The request inherits
+// ctx when the client supports it (ContextClient); either way a canceled
+// context stops the fetch before the message is sent.
+func (f *fetcher) query(ctx context.Context, src peer.Entry, queryText string, bindings int) (*sparql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	release := f.acquire(src.Addr)
 	start := time.Now()
-	res, err := f.eng.client.Query(src.Addr, queryText)
+	var res *sparql.Result
+	var err error
+	if f.eng.cc != nil {
+		res, err = f.eng.cc.QueryContext(ctx, src.Addr, queryText)
+	} else {
+		res, err = f.eng.client.Query(src.Addr, queryText)
+	}
 	if bindings > 0 {
 		f.observeProbe(src.Addr, time.Since(start), bindings)
 	}
@@ -186,8 +198,13 @@ func (f *fetcher) query(src peer.Entry, queryText string, bindings int) (*sparql
 }
 
 // queryBatch ships several query texts to one source as a single message.
-// The caller guarantees the engine's client supports batching.
-func (f *fetcher) queryBatch(src peer.Entry, texts []string) ([]*sparql.Result, error) {
+// The caller guarantees the engine's client supports batching. Batched
+// messages have no context variant; a canceled context stops the call
+// before the message is sent.
+func (f *fetcher) queryBatch(ctx context.Context, src peer.Entry, texts []string) ([]*sparql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	release := f.acquire(src.Addr)
 	rs, err := f.eng.batch.QueryBatch(src.Addr, texts)
 	release()
@@ -259,7 +276,7 @@ func mergeBindings(lists [][]pattern.Binding, vars []string) []pattern.Binding {
 
 // fetchPattern retrieves the extension of one triple pattern from every
 // candidate source (concurrently) and merges the bindings.
-func (f *fetcher) fetchPattern(tp pattern.TriplePattern) ([]pattern.Binding, error) {
+func (f *fetcher) fetchPattern(ctx context.Context, tp pattern.TriplePattern) ([]pattern.Binding, error) {
 	// a pattern with a literal subject or a non-IRI predicate violates the
 	// RDF typing discipline and can never match: no need to ask anyone
 	// (bind joins produce such instantiations when a join variable ranges
@@ -275,18 +292,18 @@ func (f *fetcher) fetchPattern(tp pattern.TriplePattern) ([]pattern.Binding, err
 		return nil, err
 	}
 	return f.cached(queryText, func() ([]pattern.Binding, error) {
-		return f.fetchMerged(f.eng.reg.SelectSources(patternIRIs(tp)), queryText, vars, 0)
+		return f.fetchMerged(ctx, f.eng.reg.SelectSources(patternIRIs(tp)), queryText, vars, 0)
 	})
 }
 
 // fetchMerged sends one query text to every candidate source concurrently
 // and merges the per-source bindings in source order. bindings is the
 // probe batch size the query carries (0 for plain extension fetches).
-func (f *fetcher) fetchMerged(candidates []peer.Entry, queryText string, vars []string, bindings int) ([]pattern.Binding, error) {
+func (f *fetcher) fetchMerged(ctx context.Context, candidates []peer.Entry, queryText string, vars []string, bindings int) ([]pattern.Binding, error) {
 	perSrc := make([][]pattern.Binding, len(candidates))
 	errs := make([]error, len(candidates))
 	f.fanout(len(candidates), func(i int) {
-		res, err := f.query(candidates[i], queryText, bindings)
+		res, err := f.query(ctx, candidates[i], queryText, bindings)
 		if err != nil {
 			errs[i] = err
 			return
@@ -377,14 +394,14 @@ func (f *fetcher) probeBatchSize(tp pattern.TriplePattern) int {
 // the per-batch rows merge in batch order. When some binding restricts
 // nothing (or the pattern is ground), the full extension subsumes every
 // probe and a plain fetch answers.
-func (f *fetcher) probe(tp pattern.TriplePattern, acc []pattern.Binding) ([]pattern.Binding, error) {
+func (f *fetcher) probe(ctx context.Context, tp pattern.TriplePattern, acc []pattern.Binding) ([]pattern.Binding, error) {
 	vars := tp.Vars()
 	if len(vars) == 0 {
-		return f.fetchPattern(tp)
+		return f.fetchPattern(ctx, tp)
 	}
 	restrictions, full := restrictionsOf(acc, vars)
 	if full {
-		return f.fetchPattern(tp)
+		return f.fetchPattern(ctx, tp)
 	}
 	batch := f.probeBatchSize(tp)
 	var chunks [][]pattern.Binding
@@ -395,7 +412,7 @@ func (f *fetcher) probe(tp pattern.TriplePattern, acc []pattern.Binding) ([]patt
 	perChunk := make([][]pattern.Binding, len(chunks))
 	errs := make([]error, len(chunks))
 	f.fanout(len(chunks), func(i int) {
-		perChunk[i], errs[i] = f.probeChunk(tp, chunks[i])
+		perChunk[i], errs[i] = f.probeChunk(ctx, tp, chunks[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -407,13 +424,13 @@ func (f *fetcher) probe(tp pattern.TriplePattern, acc []pattern.Binding) ([]patt
 
 // probeChunk sends one batch of restrictions as a single probe query,
 // through the shared cache (identical probes recur across disjuncts).
-func (f *fetcher) probeChunk(tp pattern.TriplePattern, restrictions []pattern.Binding) ([]pattern.Binding, error) {
+func (f *fetcher) probeChunk(ctx context.Context, tp pattern.TriplePattern, restrictions []pattern.Binding) ([]pattern.Binding, error) {
 	queryText, vars, err := renderPatternQuery(tp, restrictions)
 	if err != nil {
 		return nil, err
 	}
 	return f.cached(queryText, func() ([]pattern.Binding, error) {
-		return f.fetchMerged(f.probeSources(tp, restrictions), queryText, vars, len(restrictions))
+		return f.fetchMerged(ctx, f.probeSources(tp, restrictions), queryText, vars, len(restrictions))
 	})
 }
 
@@ -442,7 +459,7 @@ func (f *fetcher) probeSources(tp pattern.TriplePattern, restrictions []pattern.
 // the remaining sub-queries are grouped by candidate source so each source
 // is asked once — one batched message carrying all of its sub-queries when
 // the client supports batching, one message per sub-query otherwise.
-func (f *fetcher) fetchExtensions(gp pattern.GraphPattern) ([][]pattern.Binding, error) {
+func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) ([][]pattern.Binding, error) {
 	type job struct {
 		tp      pattern.TriplePattern
 		text    string
@@ -532,11 +549,11 @@ func (f *fetcher) fetchExtensions(gp pattern.GraphPattern) ([][]pattern.Binding,
 		var rs []*sparql.Result
 		var err error
 		if len(c.texts) > 1 && f.eng.batch != nil {
-			rs, err = f.queryBatch(c.src, c.texts)
+			rs, err = f.queryBatch(ctx, c.src, c.texts)
 		} else {
 			rs = make([]*sparql.Result, len(c.texts))
 			for k, text := range c.texts {
-				rs[k], err = f.query(c.src, text, 0)
+				rs[k], err = f.query(ctx, c.src, text, 0)
 				if err != nil {
 					break
 				}

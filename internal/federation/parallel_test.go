@@ -1,6 +1,7 @@
 package federation_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -427,7 +428,7 @@ func TestFederatedPlanExplainAndExecute(t *testing.T) {
 		}
 	}
 
-	rows := plan.Drain(pq.Root.Open(nil))
+	rows := plan.Drain(pq.Root.Open(context.Background(), nil))
 	if err := pq.Err(); err != nil {
 		t.Fatal(err)
 	}

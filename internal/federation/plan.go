@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -90,8 +91,8 @@ func (e *Engine) disjunctPlan(f *fetcher, d rewrite.Disjunct) plan.Node {
 	sort.SliceStable(ordered, func(i, j int) bool {
 		return countVars(ordered[i]) < countVars(ordered[j])
 	})
-	fetch := func(tp pattern.TriplePattern) []pattern.Binding {
-		rows, err := f.fetchPattern(tp)
+	fetch := func(ctx context.Context, tp pattern.TriplePattern) []pattern.Binding {
+		rows, err := f.fetchPattern(ctx, tp)
 		if err != nil {
 			f.recordErr(err)
 			return nil
@@ -118,7 +119,27 @@ func (e *Engine) disjunctPlan(f *fetcher, d rewrite.Disjunct) plan.Node {
 			Shared: sharedSorted(root.Vars(), tp.Vars()),
 		}
 	}
-	return &plan.Distinct{Child: &plan.Project{Child: root, Cols: d.Query.Free}}
+	// the disjunct→answer step of rewrite.Disjunct.Project, as operators:
+	// splice in answer variables the rewriting bound to constants, drop
+	// tuples with unbound answer variables or blank nodes (Q_D semantics)
+	if len(d.Bound) > 0 {
+		root = &plan.Extend{Child: root, Bound: d.Bound}
+	}
+	free := d.Query.Free
+	certain := &plan.Filter{
+		Child: root,
+		Pred: func(mu pattern.Binding) bool {
+			for _, f := range free {
+				t, ok := mu[f]
+				if !ok || t.IsBlank() {
+					return false
+				}
+			}
+			return true
+		},
+		Label: "certain",
+	}
+	return &plan.Distinct{Child: &plan.Project{Child: certain, Cols: free}}
 }
 
 // sharedSorted intersects two sorted variable lists.

@@ -1,0 +1,350 @@
+// Package obs is the engine's dependency-free observability layer: a
+// registry of counters, gauges and histograms backed by plain atomics, with
+// Prometheus text exposition (version 0.0.4) for scraping and a structured
+// snapshot API for tests.
+//
+// The design rule is that observation must never perturb what it observes:
+//
+//   - Counter.Inc/Add, Gauge.Set/Add and Histogram.Observe are single
+//     atomic operations — no locks, no allocation, safe on any hot path.
+//   - Expensive-to-maintain values (store sizes, epochs, intern-table
+//     sizes) are registered as GaugeFunc collectors and evaluated only at
+//     scrape time, so the instrumented layer pays nothing per operation.
+//     This is what keeps the lock-free snapshot read path at zero
+//     locks and zero allocations with metrics enabled.
+//
+// Histograms use power-of-two buckets: an observation lands in the bucket
+// indexed by the bit length of its value, so Observe is two atomic adds and
+// a bits.Len64 — no search, no float math. Latency histograms record
+// microseconds (ObserveDuration) and by convention carry a _us suffix.
+//
+// Registration is the only locked path. Registering a name twice returns
+// the same metric (ideal for per-endpoint metrics minted inside handlers);
+// names may carry a Prometheus label set inline — Counter(`x{peer="a"}`)
+// and Counter(`x{peer="b"}`) are distinct series of one metric family, and
+// exposition groups them under one HELP/TYPE header.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; Add does not check).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v is larger (a lock-free running peak).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// holds observations whose bit length is i, i.e. values in
+// [2^(i-1), 2^i - 1] (bucket 0 holds zero); the upper bound of bucket i is
+// therefore 2^i - 1. 28 buckets cover [0, 2^27-1] — for microsecond
+// latencies that is ~134 s — and the top bucket absorbs everything larger.
+const histBuckets = 28
+
+// Histogram counts observations in power-of-two buckets. Observe is two
+// atomic adds; there is no lock anywhere.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value (unit-agnostic: batch sizes, row counts, or
+// microseconds via ObserveDuration).
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed values: the upper bound of the bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(histBuckets - 1)
+}
+
+// bucketBound is the inclusive upper bound of bucket i: 2^i - 1.
+func bucketBound(i int) int64 { return int64(1)<<uint(i) - 1 }
+
+// kind discriminates registered metrics.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+// metric is one registered series.
+type metric struct {
+	name string // full name including any {label="v"} set
+	base string // name up to the label set (the metric family)
+	help string
+	kind kind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() float64
+}
+
+// Registry holds registered metrics. Registration and exposition lock; the
+// metric handles themselves never do.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]*metric)} }
+
+// Default is the process-wide registry the engine's layers register into.
+var Default = NewRegistry()
+
+func splitBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help string, k kind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, base: splitBase(name), help: help, kind: k}
+	switch k {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. help is recorded on creation only.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, kindHistogram).h
+}
+
+// GaugeFunc registers a collector evaluated at scrape/snapshot time.
+// Re-registering a name replaces its function — a server rebuilt over a new
+// store simply re-registers its gauges.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindGaugeFunc {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		m.fn = fn
+		return
+	}
+	r.metrics[name] = &metric{name: name, base: splitBase(name), help: help, kind: kindGaugeFunc, fn: fn}
+}
+
+// sorted returns the registered metrics ordered by (family, name) so
+// series of one family are contiguous under one HELP/TYPE header.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// withLabel appends a label to a (possibly already labelled) series name:
+// withLabel(`x{peer="a"}`, `le`, `15`) → `x{peer="a",le="15"}`.
+func withLabel(name, label, value string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + `,` + label + `="` + value + `"}`
+	}
+	return name + `{` + label + `="` + value + `"}`
+}
+
+// suffixed inserts a suffix before the label set: suffixed(`x{a="b"}`,
+// "_sum") → `x_sum{a="b"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format.
+func (r *Registry) WriteTo(b *strings.Builder) {
+	var lastBase string
+	for _, m := range r.sorted() {
+		if m.base != lastBase {
+			lastBase = m.base
+			if m.help != "" {
+				fmt.Fprintf(b, "# HELP %s %s\n", m.base, m.help)
+			}
+			typ := "gauge"
+			switch m.kind {
+			case kindCounter:
+				typ = "counter"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			fmt.Fprintf(b, "# TYPE %s %s\n", m.base, typ)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(b, "%s %d\n", m.name, m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(b, "%s %d\n", m.name, m.g.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(b, "%s %g\n", m.name, m.fn())
+		case kindHistogram:
+			var cum int64
+			for i := 0; i < histBuckets; i++ {
+				n := m.h.buckets[i].Load()
+				if n == 0 && i > 0 {
+					continue // elide empty interior buckets; cumulative counts stay exact
+				}
+				cum += n
+				fmt.Fprintf(b, "%s %d\n", withLabel(suffixed(m.name, "_bucket"), "le", fmt.Sprint(bucketBound(i))), cum)
+			}
+			fmt.Fprintf(b, "%s %d\n", withLabel(suffixed(m.name, "_bucket"), "le", "+Inf"), m.h.Count())
+			fmt.Fprintf(b, "%s %d\n", suffixed(m.name, "_sum"), m.h.Sum())
+			fmt.Fprintf(b, "%s %d\n", suffixed(m.name, "_count"), m.h.Count())
+		}
+	}
+}
+
+// Expose returns the full exposition document as a string.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+// Handler serves the exposition document over HTTP (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = fmt.Fprint(w, r.Expose())
+	})
+}
+
+// Snapshot returns every series as name → value: counters and gauges
+// directly, gauge funcs evaluated now, histograms as <name>_count and
+// <name>_sum. The structured form tests assert against.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = float64(m.c.Value())
+		case kindGauge:
+			out[m.name] = float64(m.g.Value())
+		case kindGaugeFunc:
+			out[m.name] = m.fn()
+		case kindHistogram:
+			out[suffixed(m.name, "_count")] = float64(m.h.Count())
+			out[suffixed(m.name, "_sum")] = float64(m.h.Sum())
+		}
+	}
+	return out
+}

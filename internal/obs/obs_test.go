@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "ignored"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("in_flight", "gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", "latency")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	want := int64(0 + 1 + 2 + 3 + 4 + 1000 + 1<<40)
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	// 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3; 1000 →
+	// bucket 10; 1<<40 overflows into the top bucket.
+	checks := map[int]int64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1, histBuckets - 1: 1}
+	for i, want := range checks {
+		if got := h.buckets[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if q := h.Quantile(0.5); q != bucketBound(2) {
+		t.Fatalf("p50 = %d, want %d", q, bucketBound(2))
+	}
+	h.ObserveDuration(3 * time.Millisecond)
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count after ObserveDuration = %d", got)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`reqs_total{endpoint="/a"}`, "requests").Add(3)
+	r.Counter(`reqs_total{endpoint="/b"}`, "requests").Add(4)
+	r.Gauge("in_flight", "concurrent requests").Set(2)
+	r.GaugeFunc("triples", "store size", func() float64 { return 42 })
+	h := r.Histogram(`lat_us{endpoint="/a"}`, "latency")
+	h.Observe(3)
+	h.Observe(100)
+
+	text := r.Expose()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{endpoint="/a"} 3`,
+		`reqs_total{endpoint="/b"} 4`,
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"triples 42",
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{endpoint="/a",le="3"} 1`,
+		`lat_us_bucket{endpoint="/a",le="+Inf"} 2`,
+		`lat_us_sum{endpoint="/a"} 103`,
+		`lat_us_count{endpoint="/a"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "# TYPE reqs_total") != 1 {
+		t.Fatalf("family header repeated per series:\n%s", text)
+	}
+
+	// A scrape parses: every non-comment line is `name value` with a
+	// numeric value, and histogram bucket counts are non-decreasing in le.
+	var lastCum int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name == "" {
+			t.Fatalf("unparseable line %q", line)
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("non-numeric value in line %q: %v", line, err)
+		}
+		if strings.HasPrefix(name, "lat_us_bucket{") {
+			n, _ := strconv.ParseInt(val, 10, 64)
+			if n < lastCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastCum = n
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap[`reqs_total{endpoint="/a"}`] != 3 || snap["triples"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[`lat_us_count{endpoint="/a"}`] != 2 || snap[`lat_us_sum{endpoint="/a"}`] != 103 {
+		t.Fatalf("snapshot histogram series = %v", snap)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges and histograms from many
+// goroutines while scrapes run, then asserts the final values are exact.
+// Run under -race this also proves the hot paths are data-race free.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("in_flight", "")
+	h := r.Histogram("lat_us", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Expose()
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// registration races too: every worker re-registers the family
+			lc := r.Counter(fmt.Sprintf(`per_worker_total{w="%d"}`, w), "")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				lc.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 1024))
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	snap := r.Snapshot()
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf(`per_worker_total{w="%d"}`, w)
+		if snap[name] != perWorker {
+			t.Fatalf("%s = %v, want %d", name, snap[name], perWorker)
+		}
+	}
+}

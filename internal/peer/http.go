@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/sparql"
 )
+
+// maxQueryBody caps the request body a SPARQL endpoint accepts (1 MiB);
+// larger bodies fail with 400 instead of being silently truncated.
+const maxQueryBody = 1 << 20
 
 // HTTPService exposes a peer's stored database as a SPARQL endpoint over
 // HTTP: POST a query as application/sparql-query, or as the "query" form
@@ -25,12 +30,15 @@ func NewHTTPService(p *core.Peer) *HTTPService { return &HTTPService{peer: p} }
 // ServeHTTP implements http.Handler. A POST with the batch content type
 // (peer.BatchContentType) carries a JSON array of query texts and returns a
 // JSON array of result documents — the HTTP form of the batched protocol.
+// Evaluation runs under the request's context: if the caller disconnects or
+// a server-side deadline fires, the query stops producing tuples and the
+// handler answers 503.
 func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost && strings.HasPrefix(r.Header.Get("Content-Type"), BatchContentType) {
 		s.serveBatch(w, r)
 		return
 	}
-	queryText, err := extractQuery(r)
+	queryText, err := extractQuery(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -40,7 +48,11 @@ func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res := q.Eval(s.peer.Data())
+	res, err := q.EvalCtx(r.Context(), s.peer.Data())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	payload, err := EncodeResult(res)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -51,7 +63,7 @@ func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPService) serveBatch(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -68,7 +80,11 @@ func (s *HTTPService) serveBatch(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("batch query %d: %v", i, err), http.StatusBadRequest)
 			return
 		}
-		rs[i] = q.Eval(s.peer.Data())
+		rs[i], err = q.EvalCtx(r.Context(), s.peer.Data())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 	}
 	payload, err := EncodeBatchResults(rs)
 	if err != nil {
@@ -79,7 +95,7 @@ func (s *HTTPService) serveBatch(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(payload)
 }
 
-func extractQuery(r *http.Request) (string, error) {
+func extractQuery(w http.ResponseWriter, r *http.Request) (string, error) {
 	switch r.Method {
 	case http.MethodGet:
 		q := r.URL.Query().Get("query")
@@ -90,12 +106,16 @@ func extractQuery(r *http.Request) (string, error) {
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
 		if strings.HasPrefix(ct, "application/sparql-query") {
-			body, err := io.ReadAll(r.Body)
+			// read the whole body — a single Read call would truncate
+			// chunked or large requests — but cap it so a hostile client
+			// cannot exhaust memory
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
 			if err != nil {
 				return "", err
 			}
 			return string(body), nil
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 		if err := r.ParseForm(); err != nil {
 			return "", err
 		}
@@ -117,7 +137,13 @@ type HTTPClient struct {
 
 // Query POSTs the query to the endpoint URL and decodes the JSON results.
 func (c *HTTPClient) Query(endpoint, queryText string) (*sparql.Result, error) {
-	body, err := c.post(endpoint, "application/sparql-query", queryText)
+	return c.QueryContext(context.Background(), endpoint, queryText)
+}
+
+// QueryContext is Query bound to a request context: the POST inherits the
+// context's deadline and is abandoned if the caller cancels.
+func (c *HTTPClient) QueryContext(ctx context.Context, endpoint, queryText string) (*sparql.Result, error) {
+	body, err := c.post(ctx, endpoint, "application/sparql-query", queryText)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +157,7 @@ func (c *HTTPClient) QueryBatch(endpoint string, queries []string) ([]*sparql.Re
 	if err != nil {
 		return nil, err
 	}
-	body, err := c.post(endpoint, BatchContentType, string(payload))
+	body, err := c.post(context.Background(), endpoint, BatchContentType, string(payload))
 	if err != nil {
 		return nil, err
 	}
@@ -145,12 +171,17 @@ func (c *HTTPClient) QueryBatch(endpoint string, queries []string) ([]*sparql.Re
 	return rs, nil
 }
 
-func (c *HTTPClient) post(endpoint, contentType, body string) ([]byte, error) {
+func (c *HTTPClient) post(ctx context.Context, endpoint, contentType, body string) ([]byte, error) {
 	hc := c.Client
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	resp, err := hc.Post(endpoint, contentType, strings.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := hc.Do(req)
 	if err != nil {
 		return nil, err
 	}

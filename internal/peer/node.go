@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -125,6 +126,16 @@ func (c *Client) Query(addr, queryText string) (*sparql.Result, error) {
 		return nil, err
 	}
 	return DecodeResult(resp.Payload)
+}
+
+// QueryContext is Query under a request context. The simulated network has
+// no in-flight cancellation, so the check happens before the call: a
+// context that is already done short-circuits without sending the message.
+func (c *Client) QueryContext(ctx context.Context, addr, queryText string) (*sparql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Query(addr, queryText)
 }
 
 // QueryBatch ships several query texts to addr in one network message and

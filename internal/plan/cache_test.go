@@ -1,6 +1,7 @@
 package plan_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -147,8 +148,8 @@ func TestFanoutScanMatchesSequential(t *testing.T) {
 		})
 	}
 	tp := pattern.TP(pattern.V("s"), pattern.V("p"), pattern.C(hub))
-	seq := plan.Drain((&plan.IndexScan{TP: tp}).Open(g))
-	par := plan.Drain((&plan.IndexScan{TP: tp, Fanout: g.ShardCount()}).Open(g))
+	seq := plan.Drain((&plan.IndexScan{TP: tp}).Open(context.Background(), g))
+	par := plan.Drain((&plan.IndexScan{TP: tp, Fanout: g.ShardCount()}).Open(context.Background(), g))
 	if len(seq) != 5000 || !sameBindings(seq, par) {
 		t.Fatalf("fanout scan: %d rows vs %d sequential", len(par), len(seq))
 	}

@@ -1,8 +1,10 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"iter"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -24,11 +26,37 @@ type Iterator interface {
 // a fresh iterator; a node may be opened many times. Nodes open against an
 // rdf.Source — a live graph or, on the Execute facade's path, the
 // per-query snapshot everything runs against.
+//
+// The context carries the request's deadline/cancellation: operators check
+// it every cancelCheckEvery rows (tight loops would otherwise run a large
+// scan to completion after the caller has gone away), so a canceled
+// iterator stops producing tuples promptly but not instantly. Cancellation
+// truncates the stream — Next simply returns false — and callers that need
+// to distinguish exhaustion from abandonment check ctx.Err() afterwards,
+// as the ExecuteCtx facade does.
 type Node interface {
-	Open(src rdf.Source) Iterator
+	Open(ctx context.Context, src rdf.Source) Iterator
 	// Vars returns the sorted variable names the operator's rows bind.
 	Vars() []string
 	format(b *strings.Builder, depth int)
+}
+
+// cancelCheckEvery is the row interval at which streaming operators poll
+// the context: a power of two so the check compiles to a mask test.
+const cancelCheckEvery = 256
+
+// ctxDone reports whether ctx is canceled, without blocking. A nil context
+// (callers that predate cancellation) never is.
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // Drain exhausts an iterator into a slice and closes it.
@@ -64,9 +92,14 @@ func matchArgs(tp pattern.TriplePattern) (sp, pp, op *rdf.Term) {
 // pattern to dst. This is the per-row micro-buffer of the index nested-loop
 // join: it holds the matches of a single instantiated pattern, never a full
 // intermediate Ω.
-func appendMatches(dst []pattern.Binding, g rdf.Source, tp pattern.TriplePattern) []pattern.Binding {
+func appendMatches(ctx context.Context, dst []pattern.Binding, g rdf.Source, tp pattern.TriplePattern) []pattern.Binding {
 	sp, pp, op := matchArgs(tp)
+	n := 0
 	g.Match(sp, pp, op, func(t rdf.Triple) bool {
+		if n&(cancelCheckEvery-1) == 0 && n > 0 && ctxDone(ctx) {
+			return false
+		}
+		n++
 		if mu, ok := pattern.BindTriple(tp, t); ok {
 			dst = append(dst, mu)
 		}
@@ -95,13 +128,18 @@ type IndexScan struct {
 
 func (s *IndexScan) Vars() []string { return s.TP.Vars() }
 
-func (s *IndexScan) Open(g rdf.Source) Iterator {
+func (s *IndexScan) Open(ctx context.Context, g rdf.Source) Iterator {
 	if s.Fanout > 1 && g.ShardCount() > 1 {
-		return s.openFanout(g)
+		return s.openFanout(ctx, g)
 	}
 	seq := func(yield func(pattern.Binding) bool) {
 		sp, pp, op := matchArgs(s.TP)
+		n := 0
 		g.Match(sp, pp, op, func(t rdf.Triple) bool {
+			if n&(cancelCheckEvery-1) == 0 && ctxDone(ctx) {
+				return false
+			}
+			n++
 			mu, ok := pattern.BindTriple(s.TP, t)
 			if !ok {
 				return true
@@ -116,12 +154,17 @@ func (s *IndexScan) Open(g rdf.Source) Iterator {
 // openFanout drains every shard's partition of the scan concurrently
 // (bounded by Fanout, the parallel-union worker machinery underneath) and
 // replays the buffers in shard order.
-func (s *IndexScan) openFanout(g rdf.Source) Iterator {
+func (s *IndexScan) openFanout(ctx context.Context, g rdf.Source) Iterator {
 	n := g.ShardCount()
 	bufs := make([][]pattern.Binding, n)
 	sp, pp, op := matchArgs(s.TP)
 	Fanout(n, func(i int) {
+		rows := 0
 		g.MatchShard(i, sp, pp, op, func(t rdf.Triple) bool {
+			if rows&(cancelCheckEvery-1) == 0 && ctxDone(ctx) {
+				return false
+			}
+			rows++
 			if mu, ok := pattern.BindTriple(s.TP, t); ok {
 				bufs[i] = append(bufs[i], mu)
 			}
@@ -168,11 +211,12 @@ func (j *IndexNestedLoopJoin) Vars() []string {
 	return unionVars(j.Left.Vars(), j.TP.Vars())
 }
 
-func (j *IndexNestedLoopJoin) Open(g rdf.Source) Iterator {
-	return &inljIter{g: g, left: j.Left.Open(g), tp: j.TP}
+func (j *IndexNestedLoopJoin) Open(ctx context.Context, g rdf.Source) Iterator {
+	return &inljIter{ctx: ctx, g: g, left: j.Left.Open(ctx, g), tp: j.TP}
 }
 
 type inljIter struct {
+	ctx  context.Context
 	g    rdf.Source
 	left Iterator
 	tp   pattern.TriplePattern
@@ -193,7 +237,7 @@ func (it *inljIter) Next() (pattern.Binding, bool) {
 			return nil, false
 		}
 		it.cur = lmu
-		it.buf = appendMatches(it.buf[:0], it.g, it.tp.Apply(lmu))
+		it.buf = appendMatches(it.ctx, it.buf[:0], it.g, it.tp.Apply(lmu))
 		it.i = 0
 	}
 }
@@ -233,14 +277,19 @@ func (j *HashJoin) Vars() []string {
 	return unionVars(j.Left.Vars(), j.Right.Vars())
 }
 
-func (j *HashJoin) Open(g rdf.Source) Iterator {
+func (j *HashJoin) Open(ctx context.Context, g rdf.Source) Iterator {
 	var table map[string][]pattern.Binding
 	if rs, ok := j.Right.(*IndexScan); ok && j.ParallelBuild && rs.Fanout > 1 && g != nil && g.ShardCount() > 1 {
-		table = j.buildParallel(g, rs)
+		table = j.buildParallel(ctx, g, rs)
 	} else {
 		table = make(map[string][]pattern.Binding)
-		rit := j.Right.Open(g)
+		rit := j.Right.Open(ctx, g)
+		n := 0
 		for {
+			if n&(cancelCheckEvery-1) == 0 && ctxDone(ctx) {
+				break
+			}
+			n++
 			mu, ok := rit.Next()
 			if !ok {
 				break
@@ -250,20 +299,25 @@ func (j *HashJoin) Open(g rdf.Source) Iterator {
 		}
 		rit.Close()
 	}
-	return &hashJoinIter{left: j.Left.Open(g), table: table, shared: j.Shared}
+	return &hashJoinIter{left: j.Left.Open(ctx, g), table: table, shared: j.Shared}
 }
 
 // buildParallel drains the build-side scan's shard partitions concurrently,
 // each worker hashing into a private table, and merges the per-shard tables
 // once. Appending bucket slices in shard order yields exactly the bucket
 // contents the sequential fan-out scan would produce.
-func (j *HashJoin) buildParallel(g rdf.Source, rs *IndexScan) map[string][]pattern.Binding {
+func (j *HashJoin) buildParallel(ctx context.Context, g rdf.Source, rs *IndexScan) map[string][]pattern.Binding {
 	n := g.ShardCount()
 	parts := make([]map[string][]pattern.Binding, n)
 	sp, pp, op := matchArgs(rs.TP)
 	Fanout(n, func(i int) {
 		m := make(map[string][]pattern.Binding)
+		rows := 0
 		g.MatchShard(i, sp, pp, op, func(t rdf.Triple) bool {
+			if rows&(cancelCheckEvery-1) == 0 && ctxDone(ctx) {
+				return false
+			}
+			rows++
 			if mu, ok := pattern.BindTriple(rs.TP, t); ok {
 				k := pattern.BindingKey(mu, j.Shared)
 				m[k] = append(m[k], mu)
@@ -340,8 +394,8 @@ func (p *Project) Vars() []string {
 	return out
 }
 
-func (p *Project) Open(g rdf.Source) Iterator {
-	return &projectIter{child: p.Child.Open(g), cols: p.Cols}
+func (p *Project) Open(ctx context.Context, g rdf.Source) Iterator {
+	return &projectIter{child: p.Child.Open(ctx, g), cols: p.Cols}
 }
 
 type projectIter struct {
@@ -386,8 +440,8 @@ type Distinct struct {
 
 func (d *Distinct) Vars() []string { return d.Child.Vars() }
 
-func (d *Distinct) Open(g rdf.Source) Iterator {
-	return &distinctIter{child: d.Child.Open(g), seen: make(map[string]struct{})}
+func (d *Distinct) Open(ctx context.Context, g rdf.Source) Iterator {
+	return &distinctIter{child: d.Child.Open(ctx, g), seen: make(map[string]struct{})}
 }
 
 type distinctIter struct {
@@ -430,8 +484,8 @@ type Filter struct {
 
 func (f *Filter) Vars() []string { return f.Child.Vars() }
 
-func (f *Filter) Open(g rdf.Source) Iterator {
-	return &filterIter{child: f.Child.Open(g), pred: f.Pred}
+func (f *Filter) Open(ctx context.Context, g rdf.Source) Iterator {
+	return &filterIter{child: f.Child.Open(ctx, g), pred: f.Pred}
 }
 
 type filterIter struct {
@@ -463,6 +517,63 @@ func (f *Filter) format(b *strings.Builder, depth int) {
 	f.Child.format(b, depth+1)
 }
 
+// -------------------------------------------------------------------- Extend
+
+// Extend adds fixed variable=term entries to every row of its child — the
+// plan form of a rewriting disjunct whose answer variables were bound to
+// constants during rewriting. Rows are copied, never mutated: children may
+// stream shared (cached) bindings.
+type Extend struct {
+	Child Node
+	Bound map[string]rdf.Term
+}
+
+func (e *Extend) Vars() []string {
+	out := append([]string(nil), e.Child.Vars()...)
+	for v := range e.Bound {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return slices.Compact(out)
+}
+
+func (e *Extend) Open(ctx context.Context, g rdf.Source) Iterator {
+	return &extendIter{child: e.Child.Open(ctx, g), bound: e.Bound}
+}
+
+type extendIter struct {
+	child Iterator
+	bound map[string]rdf.Term
+}
+
+func (it *extendIter) Next() (pattern.Binding, bool) {
+	mu, ok := it.child.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(pattern.Binding, len(mu)+len(it.bound))
+	for v, t := range mu {
+		out[v] = t
+	}
+	for v, t := range it.bound {
+		out[v] = t
+	}
+	return out, true
+}
+
+func (it *extendIter) Close() { it.child.Close() }
+
+func (e *Extend) format(b *strings.Builder, depth int) {
+	indent(b, depth)
+	parts := make([]string, 0, len(e.Bound))
+	for v, t := range e.Bound {
+		parts = append(parts, "?"+v+"="+t.String())
+	}
+	sort.Strings(parts)
+	fmt.Fprintf(b, "Extend[%s]\n", strings.Join(parts, " "))
+	e.Child.format(b, depth+1)
+}
+
 // ------------------------------------------------------------------ Bindings
 
 // Bindings is a leaf over an in-memory relation, letting already
@@ -488,7 +599,7 @@ func (n *Bindings) Vars() []string {
 	return out
 }
 
-func (n *Bindings) Open(rdf.Source) Iterator { return &sliceIter{rows: n.Rows} }
+func (n *Bindings) Open(context.Context, rdf.Source) Iterator { return &sliceIter{rows: n.Rows} }
 
 type sliceIter struct {
 	rows []pattern.Binding
@@ -521,8 +632,10 @@ func (n *Bindings) format(b *strings.Builder, depth int) {
 // empty graph pattern.
 type Unit struct{}
 
-func (Unit) Vars() []string           { return nil }
-func (Unit) Open(rdf.Source) Iterator { return &sliceIter{rows: []pattern.Binding{{}}} }
+func (Unit) Vars() []string { return nil }
+func (Unit) Open(context.Context, rdf.Source) Iterator {
+	return &sliceIter{rows: []pattern.Binding{{}}}
+}
 func (Unit) format(b *strings.Builder, depth int) {
 	indent(b, depth)
 	b.WriteString("Unit\n")
@@ -548,13 +661,13 @@ func (u *Union) Vars() []string {
 	return out
 }
 
-func (u *Union) Open(g rdf.Source) Iterator {
+func (u *Union) Open(ctx context.Context, g rdf.Source) Iterator {
 	if !u.Parallel {
-		return &unionIter{g: g, children: u.Children}
+		return &unionIter{ctx: ctx, g: g, children: u.Children}
 	}
 	bufs := make([][]pattern.Binding, len(u.Children))
 	Fanout(len(u.Children), func(i int) {
-		bufs[i] = Drain(u.Children[i].Open(g))
+		bufs[i] = Drain(u.Children[i].Open(ctx, g))
 	})
 	var rows []pattern.Binding
 	for _, b := range bufs {
@@ -564,6 +677,7 @@ func (u *Union) Open(g rdf.Source) Iterator {
 }
 
 type unionIter struct {
+	ctx      context.Context
 	g        rdf.Source
 	children []Node
 	cur      Iterator
@@ -573,10 +687,10 @@ type unionIter struct {
 func (it *unionIter) Next() (pattern.Binding, bool) {
 	for {
 		if it.cur == nil {
-			if it.i >= len(it.children) {
+			if it.i >= len(it.children) || ctxDone(it.ctx) {
 				return nil, false
 			}
-			it.cur = it.children[it.i].Open(it.g)
+			it.cur = it.children[it.i].Open(it.ctx, it.g)
 			it.i++
 		}
 		mu, ok := it.cur.Next()

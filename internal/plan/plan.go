@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -266,8 +267,18 @@ func estimateRows(st *statsCtx, tp pattern.TriplePattern, base float64, bound ma
 // every join — runs against one point-in-time snapshot: concurrent writers
 // can never tear a join mid-flight, and long scans never block them.
 func Execute(g rdf.Source, gp pattern.GraphPattern) []pattern.Binding {
+	out, _ := ExecuteCtx(context.Background(), g, gp)
+	return out
+}
+
+// ExecuteCtx is Execute under a request context: the plan's operators poll
+// ctx and stop producing rows once it is canceled. On cancellation the
+// partial rows drained so far are returned alongside ctx.Err(), so callers
+// can distinguish a truncated result from a complete one.
+func ExecuteCtx(ctx context.Context, g rdf.Source, gp pattern.GraphPattern) ([]pattern.Binding, error) {
 	src := rdf.Freeze(g)
-	return Drain(Plan(src, gp).Open(src))
+	out := Drain(Plan(src, gp).Open(ctx, src))
+	return out, ctx.Err()
 }
 
 // Ask reports whether the pattern has at least one solution, stopping at
@@ -278,7 +289,7 @@ func Ask(g rdf.Source, gp pattern.GraphPattern) bool {
 	src := rdf.Freeze(g)
 	n := Plan(src, gp)
 	disableFanout(n)
-	it := n.Open(src)
+	it := n.Open(context.Background(), src)
 	defer it.Close()
 	_, ok := it.Next()
 	return ok
@@ -313,17 +324,17 @@ func disableFanout(n Node) {
 // ExecuteQuery computes Q_D (certain-answer semantics: tuples containing
 // blank nodes are dropped) through the planner.
 func ExecuteQuery(g rdf.Source, q pattern.Query) *pattern.TupleSet {
-	return executeQuery(rdf.Freeze(g), q, false)
+	return executeQuery(context.Background(), rdf.Freeze(g), q, false)
 }
 
 // ExecuteQueryStar computes Q*_D (blank nodes included) through the planner.
 func ExecuteQueryStar(g rdf.Source, q pattern.Query) *pattern.TupleSet {
-	return executeQuery(rdf.Freeze(g), q, true)
+	return executeQuery(context.Background(), rdf.Freeze(g), q, true)
 }
 
-func executeQuery(g rdf.Source, q pattern.Query, star bool) *pattern.TupleSet {
+func executeQuery(ctx context.Context, g rdf.Source, q pattern.Query, star bool) *pattern.TupleSet {
 	out := pattern.NewTupleSet()
-	it := Plan(g, q.GP).Open(g)
+	it := Plan(g, q.GP).Open(ctx, g)
 	defer it.Close()
 	for {
 		mu, more := it.Next()
@@ -409,7 +420,7 @@ func HashJoinBindings(left, right []pattern.Binding) []pattern.Binding {
 		Right:  &Bindings{Rows: right, Label: "build"},
 		Shared: pattern.SharedVars(left[0], right[0]),
 	}
-	return Drain(j.Open(nil))
+	return Drain(j.Open(context.Background(), nil))
 }
 
 // init installs the planner as pattern.Eval's evaluator, making

@@ -1,6 +1,7 @@
 package plan_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -378,7 +379,7 @@ func TestUnionPlanFormat(t *testing.T) {
 		t.Errorf("format mismatch:\ngot:\n%swant:\n%s", got, want)
 	}
 	// both branches bind the same ?x, so the outer Distinct merges them
-	if rows := plan.Drain(n.Open(g)); len(rows) != 1 {
+	if rows := plan.Drain(n.Open(context.Background(), g)); len(rows) != 1 {
 		t.Errorf("union rows = %d, want 1", len(rows))
 	}
 }
@@ -395,8 +396,8 @@ func TestUnionNode(t *testing.T) {
 		&plan.IndexScan{TP: pattern.TP(pattern.V("x"), pattern.C(p), pattern.V("y"))},
 		&plan.IndexScan{TP: pattern.TP(pattern.V("x"), pattern.C(q), pattern.V("y"))},
 	}
-	seq := plan.Drain((&plan.Union{Children: children}).Open(g))
-	par := plan.Drain((&plan.Union{Children: children, Parallel: true}).Open(g))
+	seq := plan.Drain((&plan.Union{Children: children}).Open(context.Background(), g))
+	par := plan.Drain((&plan.Union{Children: children, Parallel: true}).Open(context.Background(), g))
 	if len(seq) != 2 || len(par) != 2 {
 		t.Fatalf("union sizes: seq=%d par=%d, want 2", len(seq), len(par))
 	}
@@ -428,7 +429,7 @@ func TestFilterProjectDistinct(t *testing.T) {
 		},
 		Cols: []string{"y"},
 	}}
-	rows := plan.Drain(n.Open(g))
+	rows := plan.Drain(n.Open(context.Background(), g))
 	if len(rows) != 1 {
 		t.Fatalf("distinct projected rows = %d, want 1: %v", len(rows), rows)
 	}
@@ -489,7 +490,7 @@ func TestParallelBuildEquivalent(t *testing.T) {
 			Right:         &plan.IndexScan{TP: pattern.TP(pattern.V("s"), pattern.V("p"), pattern.C(hub)), Fanout: g.ShardCount()},
 			ParallelBuild: parallel,
 		}
-		return plan.Drain(j.Open(g))
+		return plan.Drain(j.Open(context.Background(), g))
 	}
 	seq, par := build(false), build(true)
 	if len(par) != 4*5000 {

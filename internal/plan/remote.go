@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,19 +34,21 @@ type RemoteScan struct {
 	// requests.
 	Window int
 	// Fetch retrieves the pattern's merged extension from the candidate
-	// peers; nil yields no rows (an EXPLAIN-only plan).
-	Fetch func(pattern.TriplePattern) []pattern.Binding
+	// peers; nil yields no rows (an EXPLAIN-only plan). The context is the
+	// one the node was opened under — sub-queries issued by the fetch
+	// inherit the request's deadline and stop early on cancellation.
+	Fetch func(ctx context.Context, tp pattern.TriplePattern) []pattern.Binding
 }
 
 // Vars implements Node.
 func (s *RemoteScan) Vars() []string { return s.TP.Vars() }
 
 // Open implements Node.
-func (s *RemoteScan) Open(rdf.Source) Iterator {
+func (s *RemoteScan) Open(ctx context.Context, _ rdf.Source) Iterator {
 	if s.Fetch == nil {
 		return &sliceIter{}
 	}
-	return &sliceIter{rows: s.Fetch(s.TP)}
+	return &sliceIter{rows: s.Fetch(ctx, s.TP)}
 }
 
 func (s *RemoteScan) format(b *strings.Builder, depth int) {

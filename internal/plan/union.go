@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -52,13 +53,14 @@ func Fanout(n int, task func(int)) {
 // deterministic: TupleSet membership is order-free and branch results are
 // combined in branch order. With star, tuples may contain blank nodes.
 func UnionQueries(g rdf.Source, qs []pattern.Query, star bool) *pattern.TupleSet {
+	ctx := context.Background()
 	src := rdf.Freeze(g)
 	if len(qs) == 1 {
-		return executeQuery(src, qs[0], star)
+		return executeQuery(ctx, src, qs[0], star)
 	}
 	sets := make([]*pattern.TupleSet, len(qs))
 	Fanout(len(qs), func(i int) {
-		sets[i] = executeQuery(src, qs[i], star)
+		sets[i] = executeQuery(ctx, src, qs[i], star)
 	})
 	out := pattern.NewTupleSet()
 	for _, s := range sets {

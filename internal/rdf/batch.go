@@ -93,6 +93,66 @@ type commitShard struct {
 	changed      bool
 }
 
+// commitScratch is the working set of one commit whose size is O(ops) +
+// O(shard-count). It is pooled per graph: the delta chase commits many
+// tiny batches, and without pooling every one of them paid a fresh
+// O(shard-count) set of allocations regardless of how few shards it
+// actually touched.
+type commitScratch struct {
+	ids     []tripleID
+	skip    []bool
+	effect  []int8
+	spFlag  []bool
+	subOps  [][]int32
+	predOps [][]int32
+	touched []int
+	cs      []commitShard
+}
+
+// sized returns s resized to n, reusing capacity when possible. The
+// returned slice may hold stale data; callers clear what they read before
+// writing.
+func sized[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// getScratch returns a scratch sized for nOps ops over nsh shards with the
+// op-indexed state zeroed and per-shard op lists emptied.
+func (g *Graph) getScratch(nOps, nsh int) *commitScratch {
+	sc, _ := g.scratch.Get().(*commitScratch)
+	if sc == nil {
+		sc = &commitScratch{}
+	}
+	sc.ids = sized(sc.ids, nOps)
+	sc.skip = sized(sc.skip, nOps)
+	sc.effect = sized(sc.effect, nOps)
+	sc.spFlag = sized(sc.spFlag, nOps)
+	clear(sc.skip)
+	clear(sc.effect)
+	clear(sc.spFlag)
+	sc.subOps = sized(sc.subOps, nsh)
+	sc.predOps = sized(sc.predOps, nsh)
+	sc.touched = sc.touched[:0]
+	sc.cs = sized(sc.cs, nsh)
+	return sc
+}
+
+// putScratch returns a scratch to the pool. The commitShard entries are
+// zeroed so the pool never pins published shard states or builder pools
+// between commits, and the per-shard op lists of the shards this commit
+// touched are truncated (untouched entries are already empty).
+func (g *Graph) putScratch(sc *commitScratch) {
+	for _, si := range sc.touched {
+		sc.subOps[si] = sc.subOps[si][:0]
+		sc.predOps[si] = sc.predOps[si][:0]
+	}
+	clear(sc.cs)
+	g.scratch.Put(sc)
+}
+
 func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 	g := b.g
 	ops, del := b.ops, b.del
@@ -107,19 +167,22 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 		isDel = func(i int) bool { return del[i] }
 	}
 
+	nsh := len(g.shards)
+	sc := g.getScratch(len(ops), nsh)
+	defer g.putScratch(sc)
+
 	// Resolve the dictionary first (its stripes have their own locks):
 	// insertions intern, removals only look up — a removal of unknown
 	// terms is a no-op and must not grow the dictionary.
-	ids := make([]tripleID, len(ops))
-	skip := make([]bool, len(ops))
+	ids := sc.ids
+	skip := sc.skip
 	g.dict.internOps(ops, isDel, ids, skip)
 
 	// Group op indexes by owning shard, preserving op order: the subject
 	// partition (spo/osp) and the predicate partition (pos/pred) of an op
 	// may live in different shards.
-	nsh := len(g.shards)
-	subOps := make([][]int32, nsh)
-	predOps := make([][]int32, nsh)
+	subOps := sc.subOps
+	predOps := sc.predOps
 	for k := range ops {
 		if skip[k] {
 			continue
@@ -129,12 +192,13 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 		subOps[si] = append(subOps[si], int32(k))
 		predOps[pi] = append(predOps[pi], int32(k))
 	}
-	var touched []int
+	touched := sc.touched
 	for i := 0; i < nsh; i++ {
-		if subOps[i] != nil || predOps[i] != nil {
+		if len(subOps[i]) > 0 || len(predOps[i]) > 0 {
 			touched = append(touched, i)
 		}
 	}
+	sc.touched = touched // putScratch truncates these shards' op lists
 	if len(touched) == 0 {
 		return 0, nil
 	}
@@ -143,7 +207,7 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 	// all writers share) and hold the whole set until publication: the
 	// transient builds derive from the states loaded here, and a
 	// concurrent writer publishing in between would be clobbered.
-	cs := make([]commitShard, nsh)
+	cs := sc.cs
 	for _, si := range touched {
 		sh := g.shards[si]
 		sh.mu.Lock()
@@ -156,8 +220,8 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 	// effect records what each op did (+1 added, -1 removed, 0 no-op);
 	// spFlag whether it created/dropped its (s, p) bucket — computed in
 	// the subject phase, consumed by the predicate phase's statistics.
-	effect := make([]int8, len(ops))
-	spFlag := make([]bool, len(ops))
+	effect := sc.effect
+	spFlag := sc.spFlag
 
 	parallel := len(ops) >= parallelAddThreshold && len(touched) > 1
 

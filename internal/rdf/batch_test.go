@@ -424,3 +424,59 @@ func TestRemoveRacesAddRefcount(t *testing.T) {
 		t.Fatalf("stats did not net out: %+v", st)
 	}
 }
+
+// TestCommitScratchPooling pins the pooled commit working set: a released
+// scratch comes back on the next acquisition with its op-indexed state
+// zeroed and its per-shard op lists empty, so no state leaks between
+// commits, and steady-state commits stop allocating the O(shard-count)
+// slices afresh.
+func TestCommitScratchPooling(t *testing.T) {
+	g := NewGraphSharded(4)
+	sc := g.getScratch(8, 4)
+	// dirty it the way a commit does
+	sc.skip[3] = true
+	sc.effect[5] = 1
+	sc.spFlag[0] = true
+	sc.subOps[2] = append(sc.subOps[2], 7)
+	sc.predOps[2] = append(sc.predOps[2], 9)
+	sc.touched = append(sc.touched, 2)
+	sc.cs[1].changed = true
+	g.putScratch(sc)
+
+	got := g.getScratch(8, 4)
+	if got != sc {
+		t.Fatal("pool did not return the released scratch")
+	}
+	for i := 0; i < 8; i++ {
+		if got.skip[i] || got.effect[i] != 0 || got.spFlag[i] {
+			t.Fatalf("op-indexed state not cleared at %d: skip=%v effect=%d spFlag=%v",
+				i, got.skip[i], got.effect[i], got.spFlag[i])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if len(got.subOps[i]) != 0 || len(got.predOps[i]) != 0 {
+			t.Fatalf("shard %d op lists not emptied: sub=%d pred=%d",
+				i, len(got.subOps[i]), len(got.predOps[i]))
+		}
+		if got.cs[i].changed || got.cs[i].base != nil {
+			t.Fatalf("shard %d commitShard not zeroed", i)
+		}
+	}
+	if len(got.touched) != 0 {
+		t.Fatalf("touched not reset: %v", got.touched)
+	}
+	g.putScratch(got)
+
+	// end to end: interleaved tiny commits reuse the scratch and net out
+	for i := 0; i < 50; i++ {
+		b := g.NewBatch()
+		b.Add(tr(fmt.Sprintf("ps%d", i), "pp", "po"))
+		b.Remove(tr(fmt.Sprintf("ps%d", i), "pp", "po"))
+		if eff := b.Commit(); eff != 2 {
+			t.Fatalf("commit %d: %d effective ops, want 2", i, eff)
+		}
+	}
+	if g.Len() != 0 {
+		t.Fatalf("len = %d after paired add/remove commits, want 0", g.Len())
+	}
+}

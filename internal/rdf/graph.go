@@ -52,6 +52,11 @@ type Graph struct {
 	distinctO atomic.Int64
 
 	objects objTable
+
+	// scratch pools commitScratch values across Batch commits, so the
+	// delta chase's many tiny batches stop paying O(shard-count)
+	// allocations per commit (batch.go).
+	scratch sync.Pool
 }
 
 // shard is one partition of the graph's indexes. Writers lock mu, derive

@@ -1,0 +1,30 @@
+package rdf
+
+// Scrape-time accessors for the observability layer. Everything here reads
+// already-published atomics or per-shard state pointers, so a metrics
+// scrape never takes a lock and never perturbs readers or writers; nothing
+// in this file is called on the read or write hot paths.
+
+// ShardLen returns the number of triples in shard i's currently published
+// state (0 for an out-of-range index).
+func (g *Graph) ShardLen(i int) int {
+	if i < 0 || i >= len(g.shards) {
+		return 0
+	}
+	return g.shards[i].state.Load().triples
+}
+
+// FreeListReuses reports how many trie nodes writers have served from the
+// per-shard free lists instead of allocating, summed over all shards and
+// node pools. The ratio of this to write volume is the recycling
+// effectiveness of the transient-builder write path.
+func (g *Graph) FreeListReuses() int64 {
+	var n int64
+	for _, sh := range g.shards {
+		n += sh.rec.idx.reuses.Load()
+		n += sh.rec.pos.reuses.Load()
+		n += sh.rec.pairs.reuses.Load()
+		n += sh.rec.set.reuses.Load()
+	}
+	return n
+}

@@ -60,6 +60,10 @@ const poolFreeMax = 1024
 // the one commit worker assigned to the shard).
 type nodePool[V any] struct {
 	free []*tnode[V]
+	// reuses counts nodes served from the free list instead of the heap.
+	// Writers bump it under the shard mutex; metrics scrapes read it
+	// lock-free, hence the atomic.
+	reuses atomic.Int64
 }
 
 func (p *nodePool[V]) node(owner uint64) *tnode[V] {
@@ -67,6 +71,7 @@ func (p *nodePool[V]) node(owner uint64) *tnode[V] {
 		n := p.free[l-1]
 		p.free = p.free[:l-1]
 		n.owner = owner
+		p.reuses.Add(1)
 		return n
 	}
 	n := &tnode[V]{owner: owner}

@@ -108,6 +108,15 @@ func (c *Combined) Answer(q pattern.Query, opts Options) (*pattern.TupleSet, *Re
 	return out, res, nil
 }
 
+// ExpandInto adds to out every tuple obtained by replacing each component
+// of t with the members of its equivalence class — Answer's final
+// de-canonicalisation step, exposed for callers that run the canonical
+// evaluation themselves (EXPLAIN ANALYZE instruments the plan and needs to
+// expand the drained rows afterwards).
+func (c *Combined) ExpandInto(t pattern.Tuple, out *pattern.TupleSet) {
+	c.expand(t, 0, make(pattern.Tuple, len(t)), out)
+}
+
 func (c *Combined) expand(t pattern.Tuple, i int, acc pattern.Tuple, out *pattern.TupleSet) {
 	if i == len(t) {
 		cp := make(pattern.Tuple, len(acc))

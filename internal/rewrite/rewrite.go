@@ -171,6 +171,39 @@ func evalDisjunct(g *rdf.Graph, d Disjunct, out *pattern.TupleSet) {
 	}
 }
 
+// UCQPlan builds the rewriting's evaluation as one operator tree over src:
+// a parallel Union of per-disjunct plans, each splicing the disjunct's
+// bound answer constants back in (Extend) and applying the certain-answer
+// δ·π — Evaluate, expressed as plan operators. The root Distinct's output
+// cardinality equals Evaluate's, which makes the tree suitable for EXPLAIN
+// ANALYZE via plan.ExplainAnalyzeNode.
+func (r *Result) UCQPlan(src rdf.Source) plan.Node {
+	children := make([]plan.Node, len(r.Disjuncts))
+	for i, d := range r.Disjuncts {
+		children[i] = disjunctNode(src, d)
+	}
+	return &plan.Distinct{Child: &plan.Union{Children: children, Parallel: true}}
+}
+
+// disjunctNode is the operator form of evalDisjunct.
+func disjunctNode(src rdf.Source, d Disjunct) plan.Node {
+	var root plan.Node = plan.Plan(src, d.Query.GP)
+	if len(d.Bound) > 0 {
+		root = &plan.Extend{Child: root, Bound: d.Bound}
+	}
+	free := d.Query.Free
+	certain := &plan.Filter{Child: root, Pred: func(mu pattern.Binding) bool {
+		for _, f := range free {
+			t, ok := mu[f]
+			if !ok || t.IsBlank() {
+				return false
+			}
+		}
+		return true
+	}, Label: "certain"}
+	return &plan.Distinct{Child: &plan.Project{Child: certain, Cols: free}}
+}
+
 // Ask evaluates a boolean rewriting over a database. Each disjunct's plan
 // streams, so evaluation stops at the first row of the first satisfiable
 // branch.

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,8 +30,22 @@ type Result struct {
 // alternative and optional — evaluates against one point-in-time snapshot
 // and concurrent bulk loads can neither stall nor tear it.
 func (q *Query) Eval(g rdf.Source) *Result {
+	res, _ := q.EvalCtx(context.Background(), g)
+	return res
+}
+
+// EvalCtx is Eval under a request context: plan iterators poll ctx and stop
+// producing tuples once the deadline passes or the caller cancels. A
+// canceled evaluation returns the (possibly truncated) result built so far
+// together with ctx.Err(), so servers can drop it and report the timeout.
+func (q *Query) EvalCtx(ctx context.Context, g rdf.Source) (*Result, error) {
 	g = rdf.Freeze(g)
-	sols := evalExpr(g, q.Where)
+	sols := evalExpr(ctx, g, q.Where)
+	res := q.assemble(sols)
+	return res, ctx.Err()
+}
+
+func (q *Query) assemble(sols []pattern.Binding) *Result {
 	if q.Form == FormAsk {
 		return &Result{Form: FormAsk, True: len(sols) > 0}
 	}
@@ -57,20 +72,21 @@ func (q *Query) Eval(g rdf.Source) *Result {
 
 // evalExpr returns the solution mappings of the expression. BGPs run
 // through the streaming planner, joins between sub-expressions through the
-// algebra's hash join, and FILTER through its σ operator.
-func evalExpr(g rdf.Source, e Expr) []pattern.Binding {
+// algebra's hash join, and FILTER through its σ operator. Cancellation
+// truncates the streams; EvalCtx surfaces ctx.Err() to the caller.
+func evalExpr(ctx context.Context, g rdf.Source, e Expr) []pattern.Binding {
 	switch x := e.(type) {
 	case *Group:
-		sols := plan.Execute(g, x.BGP)
+		sols, _ := plan.ExecuteCtx(ctx, g, x.BGP)
 		for _, child := range x.Children {
 			if opt, ok := child.(*Optional); ok {
-				sols = leftJoin(sols, evalExpr(g, opt.Inner))
+				sols = leftJoin(sols, evalExpr(ctx, g, opt.Inner))
 				continue
 			}
 			if len(sols) == 0 {
 				return nil
 			}
-			sols = plan.HashJoinBindings(sols, evalExpr(g, child))
+			sols = plan.HashJoinBindings(sols, evalExpr(ctx, g, child))
 		}
 		if len(x.Filters) > 0 {
 			filters := x.Filters
@@ -86,7 +102,7 @@ func evalExpr(g rdf.Source, e Expr) []pattern.Binding {
 				},
 				Label: "FILTER",
 			}
-			sols = plan.Drain(f.Open(g))
+			sols = plan.Drain(f.Open(ctx, g))
 		}
 		return sols
 	case *Union:
@@ -94,7 +110,7 @@ func evalExpr(g rdf.Source, e Expr) []pattern.Binding {
 		// alternative order keeps the bag deterministic
 		results := make([][]pattern.Binding, len(x.Alternatives))
 		plan.Fanout(len(x.Alternatives), func(i int) {
-			results[i] = evalExpr(g, x.Alternatives[i])
+			results[i] = evalExpr(ctx, g, x.Alternatives[i])
 		})
 		var out []pattern.Binding
 		for _, r := range results {
@@ -104,7 +120,7 @@ func evalExpr(g rdf.Source, e Expr) []pattern.Binding {
 	case *Optional:
 		// a bare OPTIONAL at the top level behaves like its inner pattern
 		// left-joined with the empty solution
-		return leftJoin([]pattern.Binding{{}}, evalExpr(g, x.Inner))
+		return leftJoin([]pattern.Binding{{}}, evalExpr(ctx, g, x.Inner))
 	default:
 		return nil
 	}

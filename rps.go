@@ -53,6 +53,29 @@
 // internal/plan's package documentation for the operator algebra and the
 // cost model.
 //
+// Execution is observable and interruptible. Every plan iterator carries a
+// context.Context: per-request deadlines and cancellation propagate from
+// rpsd's handlers (and rpsquery's -query-timeout) down through the
+// operator tree and across the wire into federated sub-queries, so an
+// abandoned query stops producing tuples instead of running to
+// completion. EXPLAIN ANALYZE (plan.Instrument, rpsquery -analyze)
+// executes the query with every operator wrapped in a stats shell and
+// renders the tree annotated with actual rows, Next calls, inclusive wall
+// time and hash-join build sizes — the root operator's count is the answer
+// cardinality. Runtime metrics live in internal/obs, a dependency-free
+// registry of atomic counters, gauges and power-of-two-bucket histograms
+// (zero locks and zero allocations on the hot paths) with Prometheus text
+// exposition: the store publishes per-peer triple counts, epochs,
+// intern-table sizes and free-list reuse, the chase its rounds, GMA
+// firings and batch sizes, the federation mediator its remote calls,
+// cache hits and in-flight peaks, and rpsd its per-endpoint request
+// counts, error counts and latency histograms. rpsd serves /metrics and
+// net/http/pprof, logs queries slower than -slow-query, and shuts down
+// gracefully (draining in-flight requests) on SIGINT/SIGTERM; rpsbench's
+// JSON report includes a closed-loop load benchmark (qps and latency
+// percentiles under a concurrent write storm) so serving capacity is part
+// of the per-PR performance trajectory.
+//
 // The triple store itself (package internal/rdf) is sharded and safe for
 // concurrent use: SPO/OSP indexes are subject-hash partitioned and POS is
 // predicate-hash partitioned, with a striped concurrent intern table
