@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/qcache"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// cacheResult is the answer-cache sweep of the closed-loop load benchmark:
+// the same repeated-query read workload driven three times against one
+// served store — cache off (every request evaluates), cache on under a
+// write storm (cold: each lookup revalidates against a moved epoch vector
+// and recomputes), and cache on against a quiet store (hot: each request
+// is a lookup plus the HTTP round trip).
+type cacheResult struct {
+	Workers    int     `json:"workers"`
+	Triples    int     `json:"triples"`
+	OffQPS     float64 `json:"offQps"`
+	ColdQPS    float64 `json:"coldQps"`
+	HotQPS     float64 `json:"hotQps"`
+	HotSpeedup float64 `json:"hotSpeedupVsOff"`
+	HotHits    int64   `json:"hotHits"`
+	ColdStale  int64   `json:"coldStaleDrops"`
+	Collapsed  int64   `json:"collapsedFlights"`
+}
+
+// cacheQueryText is the sweep's repeated query: a full store scan that
+// projects onto the predicate vocabulary. Evaluation walks every triple
+// while the answer (and its JSON encoding) stays tiny, so the measured gap
+// between the phases is the evaluation the cache saves, not serialization.
+const cacheQueryText = `SELECT DISTINCT ?p WHERE { ?x ?p ?y }`
+
+// runCacheSweep pads Figure 1's source3 with synthetic triples (so one
+// evaluation costs real work), serves it over HTTP, and measures the three
+// phases.
+func runCacheSweep(quick bool) (*cacheResult, error) {
+	phase := 1500 * time.Millisecond
+	size := 100000
+	if quick {
+		phase = 250 * time.Millisecond
+		size = 20000
+	}
+	sys := workload.Figure1System()
+	var target *core.Peer
+	for _, p := range sys.Peers() {
+		if p.Name() == "source3" {
+			target = p
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("cachesweep: figure1 system has no source3 peer")
+	}
+	g := target.Data()
+	pad := make([]rdf.Triple, size)
+	for i := range pad {
+		pad[i] = rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://sweep/s%d", i%(size/4+1))),
+			P: rdf.IRI(fmt.Sprintf("http://sweep/p%d", i%16)),
+			O: rdf.IRI(fmt.Sprintf("http://sweep/o%d", i)),
+		}
+	}
+	g.AddAll(pad)
+	srv := httptest.NewServer(peer.NewHTTPService(target))
+	defer srv.Close()
+	defer sparql.SetAnswerCache(nil)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+
+	// drive runs the closed-loop workers for one phase and returns qps.
+	drive := func() (float64, error) {
+		var n, errs atomic.Int64
+		deadline := time.Now().Add(phase)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := &peer.HTTPClient{Client: srv.Client()}
+				for time.Now().Before(deadline) {
+					res, err := c.Query(srv.URL, cacheQueryText)
+					if err != nil || len(res.Rows) == 0 {
+						errs.Add(1)
+						continue
+					}
+					n.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n.Load() == 0 {
+			return 0, fmt.Errorf("cachesweep: no successful requests in %s (%d errors)", phase, errs.Load())
+		}
+		return float64(n.Load()) / phase.Seconds(), nil
+	}
+
+	// storm toggles synthetic triples against the served store so every
+	// commit bumps the epoch and invalidates the resident answers.
+	storm := func() (stop func()) {
+		var halt atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; !halt.Load(); i++ {
+				t := rdf.Triple{
+					S: rdf.IRI(fmt.Sprintf("http://sweep/ws%d", i%1024)),
+					P: rdf.IRI("http://sweep/wp"),
+					O: rdf.IRI(fmt.Sprintf("http://sweep/wo%d", i)),
+				}
+				if !g.Add(t) {
+					g.Remove(t)
+				}
+			}
+		}()
+		return func() { halt.Store(true); <-done }
+	}
+
+	res := &cacheResult{Workers: workers, Triples: g.Len()}
+
+	// phase 1: cache off
+	sparql.SetAnswerCache(nil)
+	off, err := drive()
+	if err != nil {
+		return nil, err
+	}
+	res.OffQPS = off
+
+	// phase 2: cache on, write storm — constant epoch movement keeps the
+	// cache cold; correctness (not speed) is what the cache must preserve
+	cold := qcache.New(qcache.DefaultBudget)
+	sparql.SetAnswerCache(cold.Layer("sparql"))
+	stopStorm := storm()
+	coldQPS, err := drive()
+	stopStorm()
+	if err != nil {
+		return nil, err
+	}
+	res.ColdQPS = coldQPS
+	res.ColdStale = cold.Stats().StaleDrops
+
+	// phase 3: cache on, quiet store — after the first evaluation every
+	// request is a lookup
+	hot := qcache.New(qcache.DefaultBudget)
+	sparql.SetAnswerCache(hot.Layer("sparql"))
+	hotQPS, err := drive()
+	if err != nil {
+		return nil, err
+	}
+	s := hot.Stats()
+	res.HotQPS = hotQPS
+	res.HotHits = s.Hits
+	res.Collapsed = s.Collapsed + cold.Stats().Collapsed
+	if off > 0 {
+		res.HotSpeedup = hotQPS / off
+	}
+	return res, nil
+}

@@ -31,7 +31,10 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/federation"
+	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/workload"
 )
 
@@ -45,12 +48,20 @@ func main() {
 		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the federated mediator (0 = library default; bind join only)")
 		fedAdaptive = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
 		jsonPath    = flag.String("json", "", "also write machine-readable results (tables + store microbenchmarks) to this file")
+		rcache      = flag.Bool("result-cache", false, "run the experiments with the answer cache installed (the -json cache sweep measures on/off either way)")
+		rcacheMB    = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
 	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
+	}
+	if *rcache {
+		qc := qcache.New(int64(*rcacheMB) << 20)
+		plan.SetAnswerCache(qc.Layer("plan"))
+		sparql.SetAnswerCache(qc.Layer("sparql"))
+		fed.AnswerCache = qc
 	}
 	if err := run(os.Stdout, *which, *quick, fed, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "rpsbench:", err)

@@ -29,6 +29,9 @@ type benchReport struct {
 	// Load is the closed-loop HTTP benchmark: qps and latency percentiles
 	// against a served endpoint under a concurrent write storm (load.go).
 	Load *loadResult `json:"load,omitempty"`
+	// ResultCache is the answer-cache off/cold/hot sweep over the same
+	// closed-loop harness (cachesweep.go).
+	ResultCache *cacheResult `json:"resultCache,omitempty"`
 }
 
 // microBenchmarkEntry is one testing.Benchmark result.
@@ -55,6 +58,11 @@ func writeJSONReport(path string, quick bool, tables []*experiments.Table) error
 		return err
 	}
 	rep.Load = load
+	sweep, err := runCacheSweep(quick)
+	if err != nil {
+		return err
+	}
+	rep.ResultCache = sweep
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

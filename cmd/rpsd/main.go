@@ -51,6 +51,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/peer"
+	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
@@ -105,6 +107,8 @@ func main() {
 		fedAdaptive  = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request evaluation deadline (0 = none); timed-out requests answer 503")
 		slowQuery    = flag.Duration("slow-query", time.Second, "log requests slower than this (0 = disabled)")
+		resultCache  = flag.Bool("result-cache", true, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing of identical in-flight queries")
+		resultCacheMB = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
 	)
 	flag.Parse()
 	if *systemPath == "" {
@@ -115,6 +119,12 @@ func main() {
 	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
+	}
+	if *resultCache {
+		qc := qcache.New(int64(*resultCacheMB) << 20)
+		plan.SetAnswerCache(qc.Layer("plan"))
+		sparql.SetAnswerCache(qc.Layer("sparql"))
+		fed.AnswerCache = qc
 	}
 	ops := opsConfig{QueryTimeout: *queryTimeout, SlowQuery: *slowQuery}
 	mux, n, err := buildMux(*systemPath, fed, ops)

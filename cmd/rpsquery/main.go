@@ -44,6 +44,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/peer"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/rdf"
 	"repro/internal/rewrite"
 	"repro/internal/simnet"
@@ -67,12 +68,20 @@ func main() {
 		fedPar     = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (federation mode)")
 		fedBatch   = flag.Int("fed-batch", 0, "bind-join probe batch size (0 = library default; federation mode)")
 		fedAdapt   = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (federation mode)")
+		rcache     = flag.Bool("result-cache", false, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing")
+		rcacheMB   = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
 	fed := federation.Options{Serial: !*fedPar, BatchSize: *fedBatch, Adaptive: *fedAdapt}
 	if *join == "bind" {
 		fed.Join = federation.BindJoin
+	}
+	if *rcache {
+		qc := qcache.New(int64(*rcacheMB) << 20)
+		plan.SetAnswerCache(qc.Layer("plan"))
+		sparql.SetAnswerCache(qc.Layer("sparql"))
+		fed.AnswerCache = qc
 	}
 	fed.Rewrite.MaxDepth = *maxDepth
 	ctx := context.Background()

@@ -43,6 +43,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/peer"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/rdf"
 	"repro/internal/rewrite"
 	"repro/internal/sparql"
@@ -93,6 +94,13 @@ type Options struct {
 	// smaller probes that overlap inside the in-flight window. BatchSize
 	// acts as the ceiling. Metrics.AdaptiveResizes counts the size changes.
 	Adaptive bool
+	// AnswerCache, when non-nil, upgrades the per-query fetch cache to a
+	// shared epoch-keyed answer cache: remote extensions and probe results
+	// survive across query executions and are re-validated at lookup
+	// against the vector of peer graph versions, so a cached extension is
+	// served only until some peer's epoch moves. Requires the mediator's
+	// System (peer versions come from it); ignored otherwise.
+	AnswerCache *qcache.Cache
 }
 
 func (o Options) batchSize() int {
@@ -175,6 +183,7 @@ type Engine struct {
 	batch  BatchClient   // client, when it supports batched messages
 	cc     ContextClient // client, when it supports per-request contexts
 	opts   Options
+	acache *qcache.Layer // shared answer cache for remote fetches, nil when off
 }
 
 // New creates an engine over a system (the mediator's knowledge of schemas
@@ -182,7 +191,30 @@ type Engine struct {
 func New(sys *core.System, reg *peer.Registry, client Client, opts Options) *Engine {
 	bc, _ := client.(BatchClient)
 	cc, _ := client.(ContextClient)
-	return &Engine{sys: sys, reg: reg, client: client, batch: bc, cc: cc, opts: opts}
+	e := &Engine{sys: sys, reg: reg, client: client, batch: bc, cc: cc, opts: opts}
+	if opts.AnswerCache != nil && sys != nil {
+		e.acache = opts.AnswerCache.Layer("federation")
+	}
+	return e
+}
+
+// epochVector reads the current version of every peer graph, in the
+// system's stable peer order. It is captured once per query execution
+// (before any fetch): cached fetch results are stamped with it and served
+// only to executions observing the identical vector, so a peer write
+// invalidates every dependent entry at its next lookup.
+func (e *Engine) epochVector() []uint64 {
+	if e.acache == nil || e.sys == nil {
+		return nil
+	}
+	peers := e.sys.Peers()
+	v := make([]uint64, len(peers))
+	for i, p := range peers {
+		if g := p.Data(); g != nil {
+			v[i] = g.Version()
+		}
+	}
+	return v
 }
 
 // Answer computes the certain answers of q by rewriting and federated

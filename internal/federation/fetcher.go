@@ -26,6 +26,10 @@ type fetcher struct {
 	batch    int
 	serial   bool
 	adaptive bool
+	// epochs is the peer-version vector captured at fetcher creation; when
+	// the engine has a shared answer cache, every fetch result is stamped
+	// with it (and served from the cache only at the identical vector).
+	epochs []uint64
 
 	mu        sync.Mutex
 	cache     map[string]*fetchEntry
@@ -62,6 +66,7 @@ func newFetcher(e *Engine) *fetcher {
 		slots:    make(map[string]chan struct{}),
 		sources:  make(map[string]bool),
 		rtt:      make(map[string]time.Duration),
+		epochs:   e.epochVector(),
 	}
 	f.lastBatch = make(map[string]int)
 	return f
@@ -156,9 +161,52 @@ func (f *fetcher) cached(key string, compute func() ([]pattern.Binding, error)) 
 	ent := &fetchEntry{done: make(chan struct{})}
 	f.cache[key] = ent
 	f.mu.Unlock()
-	ent.rows, ent.err = compute()
+	ent.rows, ent.err = f.sharedCached(key, compute)
 	close(ent.done)
 	return ent.rows, ent.err
+}
+
+// sharedCached consults the engine-wide epoch-keyed answer cache around a
+// fetch, so identical sub-queries recur for free across query executions
+// until some peer's epoch moves. Without a shared cache (or without an
+// epoch vector) it degrades to the plain compute.
+func (f *fetcher) sharedCached(key string, compute func() ([]pattern.Binding, error)) ([]pattern.Binding, error) {
+	l := f.eng.acache
+	if l == nil || f.epochs == nil {
+		return compute()
+	}
+	v, shared, err := l.Do(key, f.epochs, func() (any, int64, error) {
+		rows, err := compute()
+		if err != nil {
+			return nil, 0, err
+		}
+		return rows, bindingsBytes(rows), nil
+	})
+	if err != nil {
+		if shared {
+			// collapsed onto another execution's flight that failed under its
+			// own context or peer set; retry privately under ours
+			return compute()
+		}
+		return nil, err
+	}
+	if shared {
+		f.mu.Lock()
+		f.cacheHits++
+		f.mu.Unlock()
+	}
+	rows, _ := v.([]pattern.Binding)
+	return rows, nil
+}
+
+// bindingsBytes estimates the resident cost of a fetched extension: one
+// map header plus a term-sized slot per bound variable per row.
+func bindingsBytes(rows []pattern.Binding) int64 {
+	n := int64(96)
+	for _, mu := range rows {
+		n += int64(len(mu))*64 + 48
+	}
+	return n
 }
 
 // query sends one query text to one source within its in-flight window,
@@ -485,6 +533,21 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 		texts[i], varsOf[i] = text, vars
 	}
 
+	// consult the engine-wide epoch-keyed cache first: extensions fetched
+	// by earlier query executions are reused until some peer's epoch moves
+	sharedHit := make([]bool, len(gp))
+	if l := f.eng.acache; l != nil && f.epochs != nil {
+		for i := range gp {
+			if skip[i] {
+				continue
+			}
+			if v, ok := l.Get(texts[i], f.epochs); ok {
+				sharedHit[i] = true
+				out[i], _ = v.([]pattern.Binding)
+			}
+		}
+	}
+
 	// classify each pattern under the cache lock: already cached (or in
 	// flight elsewhere), duplicate of another pattern in this body, or a
 	// fresh fetch this call leads
@@ -495,6 +558,10 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 	f.mu.Lock()
 	for i, tp := range gp {
 		if skip[i] {
+			continue
+		}
+		if sharedHit[i] {
+			f.cacheHits++
 			continue
 		}
 		if ent, ok := f.cache[texts[i]]; ok {
@@ -577,10 +644,14 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 		}
 	}
 
-	// publish each job's merged extension (or error) to its cache entry
+	// publish each job's merged extension (or error) to its cache entry,
+	// and successful fetches to the engine-wide cache for later executions
 	for _, j := range jobs {
 		if j.err == nil {
 			j.entry.rows = mergeBindings(j.perSrc, j.vars)
+			if l := f.eng.acache; l != nil && f.epochs != nil {
+				l.Put(j.text, f.epochs, j.entry.rows, bindingsBytes(j.entry.rows))
+			}
 		}
 		j.entry.err = j.err
 		close(j.entry.done)
@@ -591,6 +662,8 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 		var ent *fetchEntry
 		switch {
 		case skip[i]:
+			continue
+		case sharedHit[i]:
 			continue
 		case waits[i] != nil:
 			ent = waits[i]

@@ -55,7 +55,7 @@ func instrument(n Node) *statsNode {
 		c := *x
 		return &statsNode{inner: &c}
 	case *IndexNestedLoopJoin:
-		return &statsNode{inner: &IndexNestedLoopJoin{Left: instrument(x.Left), TP: x.TP, Est: x.Est}}
+		return &statsNode{inner: &IndexNestedLoopJoin{Left: instrument(x.Left), TP: x.TP, Batch: x.Batch, Est: x.Est}}
 	case *HashJoin:
 		right := instrument(x.Right)
 		return &statsNode{
@@ -186,6 +186,7 @@ func ExplainAnalyzeQuery(ctx context.Context, g rdf.Source, q pattern.Query) (st
 	src := rdf.Freeze(g)
 	var b strings.Builder
 	writeEpoch(&b, src)
+	writeAnswerCacheStatus(&b, src, q, false)
 	n, cached := planWithInfo(src, q.GP)
 	if cached {
 		b.WriteString("-- plan: cached (shape hit)\n")
@@ -204,6 +205,11 @@ func ExplainAnalyzeUCQ(ctx context.Context, g rdf.Source, qs []pattern.Query) (s
 	src := rdf.Freeze(g)
 	var b strings.Builder
 	writeEpoch(&b, src)
+	for _, q := range qs {
+		if writeAnswerCacheStatus(&b, src, q, false) {
+			break // one line suffices: some branch answer is resident
+		}
+	}
 	children := make([]Node, len(qs))
 	for i, q := range qs {
 		children[i] = &Distinct{Child: &Project{Child: certainFilter(Plan(src, q.GP), q.Free), Cols: q.Free}}

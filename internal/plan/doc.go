@@ -19,7 +19,10 @@
 //     through rdf.Graph.MatchShard and merge in shard order.
 //   - IndexNestedLoopJoin    ⋈ of a child stream with a triple pattern:
 //     each child binding instantiates the pattern and probes the index.
-//     Only the matches of one instantiated pattern are buffered at a time.
+//     The iterator accumulates child rows in probe batches (Batch, default
+//     64) and probes once per distinct instantiated pattern, so repeated
+//     join keys share one index descent; only one batch's matches are
+//     buffered at a time, and EXPLAIN ANALYZE reports batch=…/probes=….
 //   - HashJoin       ⋈ of two streams on their shared variables: the right
 //     (build) side is hashed once, the left (probe) side streams. Chosen by
 //     the planner when the next pattern shares no variable with the rows
@@ -58,7 +61,12 @@
 // distinct(position) comes from that predicate's own statistics
 // (rdf.Graph.PredStats: distinct subjects and objects of its extension,
 // maintained incrementally in its POS shard); the global distinct counts of
-// rdf.Stats remain the fallback when the predicate is a variable. The
+// rdf.Stats remain the fallback when the predicate is a variable. For a
+// bound object position the distinct count is further corrected for skew
+// by the predicate's heavy-hitter histogram (rdf.Graph.PredTopObjects):
+// the divisor is the effective distinct count T²/Σcᵢ², so predicates whose
+// objects concentrate on a few hub values are not mistaken for uniformly
+// selective probes. The
 // MatchCount numerator is exact — it is read off the index without
 // materialisation — and the denominator approximates per-value fan-out.
 // A pattern that can never match (count 0) is scheduled first so execution

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 	"repro/internal/rdf"
@@ -199,12 +200,23 @@ func (s *IndexScan) format(b *strings.Builder, depth int) {
 
 // IndexNestedLoopJoin joins a child stream with one triple pattern: each
 // child binding instantiates the pattern's bound variables and probes the
-// graph index, emitting the child binding extended by each match.
+// graph index, emitting the child binding extended by each match. With
+// Batch > 1 the iterator accumulates up to Batch child rows per round and
+// probes the index once per distinct instantiated pattern, so child rows
+// that bind the join variables to the same terms share one probe (output
+// order is unchanged: rows still emit in child order).
 type IndexNestedLoopJoin struct {
 	Left Node
 	TP   pattern.TriplePattern
+	// Batch is the probe batch size; 0 or 1 probes per child row (Ask
+	// plans disable batching — they stop at the first row).
+	Batch int
 	// Est is the planner's per-plan output estimate, kept for EXPLAIN.
 	Est float64
+
+	// probes counts index probes issued by this node's iterators; EXPLAIN
+	// ANALYZE shows it next to the actual row counts.
+	probes atomic.Int64
 }
 
 func (j *IndexNestedLoopJoin) Vars() []string {
@@ -212,20 +224,39 @@ func (j *IndexNestedLoopJoin) Vars() []string {
 }
 
 func (j *IndexNestedLoopJoin) Open(ctx context.Context, g rdf.Source) Iterator {
-	return &inljIter{ctx: ctx, g: g, left: j.Left.Open(ctx, g), tp: j.TP}
+	it := &inljIter{ctx: ctx, g: g, left: j.Left.Open(ctx, g), tp: j.TP, batch: j.Batch, probes: &j.probes}
+	if it.batch > 1 {
+		it.matches = make(map[string][]pattern.Binding, it.batch)
+	}
+	return it
 }
 
 type inljIter struct {
-	ctx  context.Context
-	g    rdf.Source
-	left Iterator
-	tp   pattern.TriplePattern
-	cur  pattern.Binding
-	buf  []pattern.Binding
-	i    int
+	ctx    context.Context
+	g      rdf.Source
+	left   Iterator
+	tp     pattern.TriplePattern
+	batch  int
+	probes *atomic.Int64
+
+	// per-row state (batch <= 1)
+	cur pattern.Binding
+	buf []pattern.Binding
+	i   int
+
+	// batched state (batch > 1): child rows in arrival order, each row's
+	// probe key, and the per-key match lists shared by equal-key rows
+	rows    []pattern.Binding
+	keys    []string
+	matches map[string][]pattern.Binding
+	ri, mi  int
+	done    bool
 }
 
 func (it *inljIter) Next() (pattern.Binding, bool) {
+	if it.batch > 1 {
+		return it.nextBatched()
+	}
 	for {
 		if it.i < len(it.buf) {
 			mu := pattern.Union(it.cur, it.buf[it.i])
@@ -237,8 +268,56 @@ func (it *inljIter) Next() (pattern.Binding, bool) {
 			return nil, false
 		}
 		it.cur = lmu
+		it.probes.Add(1)
 		it.buf = appendMatches(it.ctx, it.buf[:0], it.g, it.tp.Apply(lmu))
 		it.i = 0
+	}
+}
+
+func (it *inljIter) nextBatched() (pattern.Binding, bool) {
+	for {
+		for it.ri < len(it.rows) {
+			ms := it.matches[it.keys[it.ri]]
+			if it.mi < len(ms) {
+				mu := pattern.Union(it.rows[it.ri], ms[it.mi])
+				it.mi++
+				return mu, true
+			}
+			it.ri++
+			it.mi = 0
+		}
+		if it.done {
+			return nil, false
+		}
+		it.fill()
+	}
+}
+
+// fill accumulates up to batch child rows and probes the index once per
+// distinct instantiated pattern. Deduplication is per round: the match
+// lists are released between rounds so only one batch is buffered at a
+// time, like the per-row path buffers only one extension.
+func (it *inljIter) fill() {
+	it.rows = it.rows[:0]
+	it.keys = it.keys[:0]
+	it.ri, it.mi = 0, 0
+	for k := range it.matches {
+		delete(it.matches, k)
+	}
+	for len(it.rows) < it.batch {
+		lmu, ok := it.left.Next()
+		if !ok {
+			it.done = true
+			return
+		}
+		inst := it.tp.Apply(lmu)
+		key := inst.String()
+		if _, seen := it.matches[key]; !seen {
+			it.probes.Add(1)
+			it.matches[key] = appendMatches(it.ctx, nil, it.g, inst)
+		}
+		it.rows = append(it.rows, lmu)
+		it.keys = append(it.keys, key)
 	}
 }
 
@@ -250,7 +329,15 @@ func (j *IndexNestedLoopJoin) format(b *strings.Builder, depth int) {
 	for _, v := range j.Left.Vars() {
 		bound[v] = true
 	}
-	fmt.Fprintf(b, "IndexNestedLoopJoin[%s] idx=%s est=%s\n", j.TP, accessPath(j.TP, bound), fmtEst(j.Est))
+	fmt.Fprintf(b, "IndexNestedLoopJoin[%s] idx=%s est=%s", j.TP, accessPath(j.TP, bound), fmtEst(j.Est))
+	if p := j.probes.Load(); p > 0 {
+		k := j.Batch
+		if k < 1 {
+			k = 1
+		}
+		fmt.Fprintf(b, " batch=%d probes=%d", k, p)
+	}
+	b.WriteByte('\n')
 	j.Left.format(b, depth+1)
 }
 

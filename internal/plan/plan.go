@@ -10,6 +10,13 @@ import (
 	"repro/internal/rdf"
 )
 
+// inljProbeBatch is the planner's default probe batch for index nested
+// loop joins: up to this many child rows accumulate per round and rows
+// that instantiate the pattern identically share one index probe. Chain
+// queries and star joins over skewed data repeat instantiations often;
+// the batch turns those repeats into map lookups.
+const inljProbeBatch = 64
+
 // Plan compiles a graph pattern into an operator tree using greedy
 // cost-based join ordering: at each step the remaining pattern with the
 // lowest estimated cardinality (given the variables bound so far) is joined
@@ -88,7 +95,7 @@ func planWithInfo(g rdf.Source, gp pattern.GraphPattern) (Node, bool) {
 		before := snapshot(bound)
 		tp, est := pick()
 		if sharesVar(tp, before) {
-			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
+			root = &IndexNestedLoopJoin{Left: root, TP: tp, Batch: inljProbeBatch, Est: est}
 		} else {
 			root = joinHash(root, leafScan(g, tp, est), accEst, est)
 		}
@@ -135,7 +142,7 @@ func rebuild(g rdf.Source, gp pattern.GraphPattern, ent cacheEntry) Node {
 		tp := gp[ent.order[k]]
 		est := ent.ests[k]
 		if sharesVar(tp, bound) {
-			root = &IndexNestedLoopJoin{Left: root, TP: tp, Est: est}
+			root = &IndexNestedLoopJoin{Left: root, TP: tp, Batch: inljProbeBatch, Est: est}
 		} else {
 			root = joinHash(root, leafScan(g, tp, est), accEst, est)
 		}
@@ -199,6 +206,7 @@ type statsCtx struct {
 	g      rdf.Source
 	global rdf.Stats
 	pred   map[rdf.Term]rdf.PredStats
+	top    map[rdf.Term][]rdf.ObjectCount
 }
 
 func newStatsCtx(g rdf.Source) *statsCtx {
@@ -215,6 +223,60 @@ func (st *statsCtx) predStats(p rdf.Term) (rdf.PredStats, bool) {
 	}
 	st.pred[p] = ps
 	return ps, ok
+}
+
+// predTop returns the predicate's heavy-hitter object histogram, cached
+// per planning call like predStats. Sources without per-value statistics
+// (anything but the store's graphs and snapshots) yield nil, which keeps
+// the estimator on the uniform model.
+func (st *statsCtx) predTop(p rdf.Term) []rdf.ObjectCount {
+	if t, ok := st.top[p]; ok {
+		return t
+	}
+	var t []rdf.ObjectCount
+	if hg, ok := st.g.(interface{ PredTopObjects(rdf.Term) []rdf.ObjectCount }); ok {
+		t = hg.PredTopObjects(p)
+	}
+	if st.top == nil {
+		st.top = make(map[rdf.Term][]rdf.ObjectCount, 4)
+	}
+	st.top[p] = t
+	return t
+}
+
+// effectiveDistinct converts a distinct-object count into the equivalent
+// uniform-domain size implied by the predicate's heavy-hitter histogram:
+// T²/Σcᵢ², the inverse Simpson index, with the unsketched tail spread
+// evenly over the remaining values. Under a uniform distribution this
+// equals the distinct count; under skew it shrinks, so the estimated
+// per-probe fan-out T/D grows toward what probes of a bound object will
+// actually see.
+func effectiveDistinct(triples, distinct float64, top []rdf.ObjectCount) float64 {
+	if len(top) == 0 {
+		return distinct
+	}
+	var sumSq, covered float64
+	for _, oc := range top {
+		c := float64(oc.Count)
+		sumSq += c * c
+		covered += c
+	}
+	if tailVals := distinct - float64(len(top)); tailVals >= 1 {
+		if tail := triples - covered; tail > 0 {
+			sumSq += tail * tail / tailVals
+		}
+	}
+	if sumSq <= 0 {
+		return distinct
+	}
+	eff := triples * triples / sumSq
+	if eff < 1 {
+		eff = 1
+	}
+	if eff > distinct {
+		eff = distinct
+	}
+	return eff
 }
 
 // estimateRows implements the cost model described in the package
@@ -237,7 +299,11 @@ func estimateRows(st *statsCtx, tp pattern.TriplePattern, base float64, bound ma
 				div *= float64(ps.DistinctSubjects)
 			}
 			if oBound && ps.DistinctObjects > 0 {
-				div *= float64(ps.DistinctObjects)
+				// skew-aware: a bound object divides by the effective
+				// distinct count the per-value histogram implies, so a
+				// pattern whose objects concentrate on a few hubs is not
+				// mistaken for a uniformly selective probe
+				div *= effectiveDistinct(float64(ps.Triples), float64(ps.DistinctObjects), st.predTop(tp.P.Term()))
 			}
 			if est := base / div; est > 1 {
 				return est
@@ -287,6 +353,18 @@ func ExecuteCtx(ctx context.Context, g rdf.Source, gp pattern.GraphPattern) ([]p
 // is exactly wrong for a query that needs one row.
 func Ask(g rdf.Source, gp pattern.GraphPattern) bool {
 	src := rdf.Freeze(g)
+	if l := answerLayer.Load(); l != nil {
+		if snap, ok := src.(*rdf.Snapshot); ok {
+			v, _, _ := l.Do(askKey(src, gp), snap.ShardEpochs(nil), func() (any, int64, error) {
+				return askUncached(src, gp), 96, nil
+			})
+			return v.(bool)
+		}
+	}
+	return askUncached(src, gp)
+}
+
+func askUncached(src rdf.Source, gp pattern.GraphPattern) bool {
 	n := Plan(src, gp)
 	disableFanout(n)
 	it := n.Open(context.Background(), src)
@@ -303,6 +381,9 @@ func disableFanout(n Node) {
 	case *IndexScan:
 		x.Fanout = 0
 	case *IndexNestedLoopJoin:
+		// first-row consumers stop early; accumulating a probe batch would
+		// pull and probe child rows whose output is never read
+		x.Batch = 1
 		disableFanout(x.Left)
 	case *HashJoin:
 		x.ParallelBuild = false
@@ -332,7 +413,19 @@ func ExecuteQueryStar(g rdf.Source, q pattern.Query) *pattern.TupleSet {
 	return executeQuery(context.Background(), rdf.Freeze(g), q, true)
 }
 
+// executeQuery serves the query through the answer cache when one is
+// installed and the context cannot be canceled (cancellation truncates
+// results, which must never become resident); otherwise it evaluates.
 func executeQuery(ctx context.Context, g rdf.Source, q pattern.Query, star bool) *pattern.TupleSet {
+	if ctx.Done() == nil {
+		if out, ok := cachedExecuteQuery(g, q, star); ok {
+			return out
+		}
+	}
+	return runQuery(ctx, g, q, star)
+}
+
+func runQuery(ctx context.Context, g rdf.Source, q pattern.Query, star bool) *pattern.TupleSet {
 	out := pattern.NewTupleSet()
 	it := Plan(g, q.GP).Open(ctx, g)
 	defer it.Close()
@@ -386,6 +479,7 @@ func ExplainQuery(g rdf.Source, q pattern.Query) string {
 	src := rdf.Freeze(g)
 	var b strings.Builder
 	writeEpoch(&b, src)
+	writeAnswerCacheStatus(&b, src, q, false)
 	n, cached := planWithInfo(src, q.GP)
 	if cached {
 		b.WriteString("-- plan: cached (shape hit)\n")

@@ -1,0 +1,453 @@
+// Package qcache is the answer cache of the serving layer: a sharded,
+// memory-budgeted map from (normalized query text, source epoch vector) to
+// a materialized answer, with singleflight collapsing of identical
+// in-flight computations.
+//
+// Keying and invalidation. An entry is stored under a normalized query key
+// (the caller renders query shape plus constants; see plan.answerKey and
+// the sparql/federation integrations) and stamped with the epoch vector of
+// the sources it was computed against — one uint64 per source graph, read
+// off rdf.Source.Epoch / Graph.Version. Epochs are NOT part of the hash
+// key: a lookup finds the entry by query text and then re-validates the
+// stored vector against the caller's. Equal vectors are a hit; any
+// mismatch means some source has moved, the stale entry is dropped on the
+// spot and the caller recomputes (becoming the new entry's leader). There
+// are no write-path hooks: a write anywhere bumps its graph's version, and
+// the next lookup of every dependent entry observes the mismatch. This is
+// exact — a cached answer can never be served across a write, because
+// Version advances on every effective write.
+//
+// Singleflight. A lookup that finds an in-flight entry with the same epoch
+// vector blocks on it and shares the leader's result (counted as a
+// collapsed flight): N identical concurrent queries cost one execution. An
+// in-flight entry with a different vector is bypassed — the caller
+// computes privately and caches nothing, so a slow leader on an old epoch
+// can never feed answers to queries that have seen newer data.
+//
+// Admission and eviction. Entries are cost-aware: the caller reports the
+// result's size (cardinality × tuple width for answer sets) and each
+// shard holds a byte budget. A result larger than the per-entry admission
+// cap is never cached — its concurrent duplicates still collapse onto the
+// one flight, it just doesn't stay resident. Within budget, residency is
+// managed by a CLOCK sweep: every hit sets the entry's reference bit, and
+// the evictor gives each referenced entry a second chance before dropping
+// it.
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// DefaultBudget is the byte budget New applies when given a non-positive
+// one.
+const DefaultBudget = 64 << 20
+
+// numShards is the cache's internal shard count (a power of two). Sharding
+// keeps the per-lookup critical section from serialising concurrent query
+// traffic.
+const numShards = 16
+
+// Cache is a sharded answer cache. Construct with New; the zero value is
+// not usable. All methods are safe for concurrent use.
+type Cache struct {
+	shards   [numShards]cshard
+	maxEntry int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	evictions atomic.Int64
+	rejects   atomic.Int64
+	stale     atomic.Int64
+
+	obsEvictions *obs.Counter
+	obsRejects   *obs.Counter
+	obsStale     *obs.Counter
+}
+
+type cshard struct {
+	mu     sync.Mutex
+	m      map[string]*entry
+	ring   []*entry // resident entries, swept by the CLOCK hand
+	hand   int
+	bytes  int64
+	budget int64
+}
+
+// entry is one cache slot. The leader (creator) computes val/err and
+// closes done; collapsed flights wait on done and share the result.
+// epochs is immutable after creation; ref/slot/bytes are guarded by the
+// shard mutex.
+type entry struct {
+	key    string
+	epochs []uint64
+	done   chan struct{}
+	val    any
+	err    error
+	bytes  int64
+	ref    bool
+	slot   int // position in the shard's ring; -1 when not resident
+}
+
+// New creates a cache with the given total byte budget (DefaultBudget when
+// non-positive), split evenly across the internal shards. The per-entry
+// admission cap is a quarter of one shard's budget, so no single answer
+// can monopolise a shard.
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	c := &Cache{maxEntry: budgetBytes / numShards / 4}
+	if c.maxEntry < 1 {
+		c.maxEntry = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+		c.shards[i].budget = budgetBytes / numShards
+	}
+	registerMetrics(c)
+	return c
+}
+
+// Stats is a point-in-time counter snapshot (Bytes and Entries sum the
+// shards under their locks; the counters are cumulative).
+type Stats struct {
+	Hits, Misses, Collapsed int64
+	Evictions, Rejections   int64
+	StaleDrops              int64
+	Bytes, Entries          int64
+}
+
+// Stats returns the cache's cumulative counters and current residency.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Collapsed:  c.collapsed.Load(),
+		Evictions:  c.evictions.Load(),
+		Rejections: c.rejects.Load(),
+		StaleDrops: c.stale.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Bytes += sh.bytes
+		s.Entries += int64(len(sh.ring))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Flush drops every resident and in-flight mapping (in-flight leaders
+// still complete and deliver to their waiters; the result is just not
+// retained). Counters are preserved.
+func (c *Cache) Flush() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]*entry)
+		for j := range sh.ring {
+			sh.ring[j].slot = -1
+			sh.ring[j] = nil
+		}
+		sh.ring = sh.ring[:0]
+		sh.bytes, sh.hand = 0, 0
+		sh.mu.Unlock()
+	}
+}
+
+// Layer returns a handle that namespaces keys and accounts per-layer
+// metrics under the given label ("plan", "sparql", "federation"). A nil
+// Layer is valid and disables caching for its callers.
+func (c *Cache) Layer(name string) *Layer {
+	return &Layer{
+		c:         c,
+		name:      name,
+		hits:      obs.Default.Counter(fmt.Sprintf("qcache_hits_total{layer=%q}", name), "Answer cache hits"),
+		misses:    obs.Default.Counter(fmt.Sprintf("qcache_misses_total{layer=%q}", name), "Answer cache misses"),
+		collapsed: obs.Default.Counter(fmt.Sprintf("qcache_collapsed_total{layer=%q}", name), "In-flight queries collapsed onto another execution"),
+	}
+}
+
+// Layer is one integration point's view of a shared Cache.
+type Layer struct {
+	c         *Cache
+	name      string
+	hits      *obs.Counter
+	misses    *obs.Counter
+	collapsed *obs.Counter
+}
+
+// Do returns the answer for key at the given source epoch vector, running
+// compute at most once across concurrent identical callers. compute
+// returns the value, its approximate resident size in bytes, and an
+// error; errors are never cached. The second result reports whether the
+// answer came from the cache (a revalidated hit or a collapsed flight)
+// rather than this caller's own compute.
+//
+// A nil Layer runs compute directly.
+func (l *Layer) Do(key string, epochs []uint64, compute func() (any, int64, error)) (any, bool, error) {
+	if l == nil || l.c == nil {
+		v, _, err := compute()
+		return v, false, err
+	}
+	c := l.c
+	full := l.name + "\x00" + key
+	sh := &c.shards[shardOf(full)]
+
+	sh.mu.Lock()
+	if ent, ok := sh.m[full]; ok {
+		if isDone(ent) {
+			if epochsEqual(ent.epochs, epochs) {
+				ent.ref = true
+				sh.mu.Unlock()
+				c.hits.Add(1)
+				l.hits.Inc()
+				return ent.val, true, ent.err
+			}
+			// some source epoch moved: drop the stale answer and lead a
+			// fresh flight below
+			c.removeLocked(sh, ent)
+			c.stale.Add(1)
+			c.obsStale.Inc()
+		} else {
+			if epochsEqual(ent.epochs, epochs) {
+				sh.mu.Unlock()
+				c.collapsed.Add(1)
+				l.collapsed.Inc()
+				<-ent.done
+				return ent.val, true, ent.err
+			}
+			// the in-flight leader is computing against different epochs:
+			// compute privately, cache nothing
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			l.misses.Inc()
+			v, _, err := compute()
+			return v, false, err
+		}
+	}
+	ent := &entry{key: full, epochs: append([]uint64(nil), epochs...), done: make(chan struct{}), slot: -1}
+	sh.m[full] = ent
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	l.misses.Inc()
+
+	// Lead the flight. The deferred cleanup covers a panicking compute:
+	// waiters are released with an error instead of blocking forever.
+	published := false
+	defer func() {
+		if published {
+			return
+		}
+		sh.mu.Lock()
+		if sh.m[full] == ent {
+			delete(sh.m, full)
+		}
+		ent.err = fmt.Errorf("qcache: compute for %q aborted", l.name)
+		close(ent.done)
+		sh.mu.Unlock()
+	}()
+	v, size, err := compute()
+
+	sh.mu.Lock()
+	ent.val, ent.err = v, err
+	if sh.m[full] == ent { // not flushed or superseded meanwhile
+		switch {
+		case err != nil:
+			delete(sh.m, full)
+		case size > c.maxEntry || size > sh.budget:
+			// admission control: an oversized result collapses its
+			// concurrent duplicates but is not retained
+			delete(sh.m, full)
+			c.rejects.Add(1)
+			c.obsRejects.Inc()
+		default:
+			ent.bytes = size
+			ent.slot = len(sh.ring)
+			sh.ring = append(sh.ring, ent)
+			sh.bytes += size
+			c.evictOver(sh)
+		}
+	}
+	close(ent.done)
+	published = true
+	sh.mu.Unlock()
+	return v, false, err
+}
+
+// Get returns a resident, epoch-valid answer for key, counting a hit (and
+// setting the entry's reference bit) on success and a miss otherwise. A
+// stale entry found under a moved epoch vector is dropped, exactly as in
+// Do. Get never blocks on in-flight computations: the federation batch
+// path uses it to consult the cache before scheduling round trips it then
+// leads itself, publishing via Put.
+func (l *Layer) Get(key string, epochs []uint64) (any, bool) {
+	if l == nil || l.c == nil {
+		return nil, false
+	}
+	c := l.c
+	full := l.name + "\x00" + key
+	sh := &c.shards[shardOf(full)]
+	sh.mu.Lock()
+	if ent, ok := sh.m[full]; ok && isDone(ent) {
+		if epochsEqual(ent.epochs, epochs) {
+			ent.ref = true
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			l.hits.Inc()
+			return ent.val, true
+		}
+		c.removeLocked(sh, ent)
+		c.stale.Add(1)
+		c.obsStale.Inc()
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	l.misses.Inc()
+	return nil, false
+}
+
+// Put inserts an already computed answer for key at the given epoch
+// vector, subject to the same admission control and eviction as Do. An
+// existing mapping — resident or in flight — is left alone: the flight's
+// own publication wins.
+func (l *Layer) Put(key string, epochs []uint64, val any, size int64) {
+	if l == nil || l.c == nil {
+		return
+	}
+	c := l.c
+	full := l.name + "\x00" + key
+	sh := &c.shards[shardOf(full)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if size > c.maxEntry || size > sh.budget {
+		c.rejects.Add(1)
+		c.obsRejects.Inc()
+		return
+	}
+	if _, ok := sh.m[full]; ok {
+		return
+	}
+	ent := &entry{key: full, epochs: append([]uint64(nil), epochs...), done: closedFlight, val: val, bytes: size, slot: len(sh.ring)}
+	sh.m[full] = ent
+	sh.ring = append(sh.ring, ent)
+	sh.bytes += size
+	c.evictOver(sh)
+}
+
+// closedFlight marks Put-inserted entries as already done.
+var closedFlight = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Peek reports whether a ready entry for key is resident and valid at the
+// given epoch vector, without touching reference bits or counters. Used by
+// EXPLAIN/ANALYZE to annotate answer-cache hits.
+func (l *Layer) Peek(key string, epochs []uint64) bool {
+	if l == nil || l.c == nil {
+		return false
+	}
+	full := l.name + "\x00" + key
+	sh := &l.c.shards[shardOf(full)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent, ok := sh.m[full]
+	return ok && isDone(ent) && epochsEqual(ent.epochs, epochs)
+}
+
+// removeLocked unlinks a resident entry (shard mutex held).
+func (c *Cache) removeLocked(sh *cshard, ent *entry) {
+	delete(sh.m, ent.key)
+	if ent.slot < 0 {
+		return
+	}
+	last := len(sh.ring) - 1
+	sh.ring[ent.slot] = sh.ring[last]
+	sh.ring[ent.slot].slot = ent.slot
+	sh.ring[last] = nil
+	sh.ring = sh.ring[:last]
+	ent.slot = -1
+	sh.bytes -= ent.bytes
+	if sh.hand > last {
+		sh.hand = 0
+	}
+}
+
+// evictOver runs the CLOCK hand until the shard is back under budget
+// (shard mutex held). Referenced entries get a second chance; the sweep
+// terminates because each step either clears a reference bit or evicts.
+func (c *Cache) evictOver(sh *cshard) {
+	for sh.bytes > sh.budget && len(sh.ring) > 0 {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		e := sh.ring[sh.hand]
+		if e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		c.removeLocked(sh, e)
+		c.evictions.Add(1)
+		c.obsEvictions.Inc()
+	}
+}
+
+// isDone reports whether an entry's flight has completed. The channel
+// close is the publication barrier for val/err.
+func isDone(ent *entry) bool {
+	select {
+	case <-ent.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func epochsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardOf hashes a key to a shard index (FNV-1a, folded to the shard
+// count).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (numShards - 1)
+}
+
+// registerMetrics wires the cache-wide families into the process registry.
+// Counters are registered once per name and shared; the gauges re-bind to
+// the newest cache, which is the one serving traffic.
+func registerMetrics(c *Cache) {
+	// Counters register once per name and are shared by every cache in the
+	// process (the per-cache atomics feed Stats); the gauges re-bind to the
+	// newest cache, which is the one serving traffic.
+	c.obsEvictions = obs.Default.Counter("qcache_evictions_total", "Answer cache entries evicted by the CLOCK sweep")
+	c.obsRejects = obs.Default.Counter("qcache_admission_rejects_total", "Oversized results refused residency by admission control")
+	c.obsStale = obs.Default.Counter("qcache_stale_drops_total", "Entries dropped at lookup because a source epoch moved")
+	obs.Default.GaugeFunc("qcache_bytes", "Resident answer cache bytes", func() float64 {
+		return float64(c.Stats().Bytes)
+	})
+	obs.Default.GaugeFunc("qcache_entries", "Resident answer cache entries", func() float64 {
+		return float64(c.Stats().Entries)
+	})
+}

@@ -312,6 +312,9 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 			next.epoch = epoch
 			g.shards[si].state.Store(next)
 		}
+		// size the shard's node free lists from this batch's churn while
+		// the mutex is still held
+		g.shards[si].rec.adapt()
 		g.shards[si].mu.Unlock()
 	}
 

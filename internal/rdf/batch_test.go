@@ -480,3 +480,51 @@ func TestCommitScratchPooling(t *testing.T) {
 		t.Fatalf("len = %d after paired add/remove commits, want 0", g.Len())
 	}
 }
+
+// TestFreeListAdaptiveSizing pins the adaptive bound on the shard node
+// free lists (nodePool.adapt): a batch churny enough to overflow a list
+// doubles its bound — the refused recycles would have been next batch's
+// heap allocations — and a run of small batches shrinks an oversized
+// bound back down, releasing the pinned surplus.
+func TestFreeListAdaptiveSizing(t *testing.T) {
+	g := NewGraphSharded(1)
+	pool := &g.shards[0].rec.set
+	if pool.capMax() != poolFreeMax {
+		t.Fatalf("fresh pool bound = %d, want %d", pool.capMax(), poolFreeMax)
+	}
+
+	// churn far past the default bound: every triple grows a singleton
+	// subtree and the removals hand all of them back
+	b := g.NewBatch()
+	for i := 0; i < 3000; i++ {
+		b.Add(tr(fmt.Sprintf("as%d", i), "p", fmt.Sprintf("ao%d", i)))
+	}
+	for i := 0; i < 3000; i++ {
+		b.Remove(tr(fmt.Sprintf("as%d", i), "p", fmt.Sprintf("ao%d", i)))
+	}
+	b.Commit()
+	grown := pool.capMax()
+	if grown <= poolFreeMax {
+		t.Fatalf("bound after overflowing churn = %d, want > %d", grown, poolFreeMax)
+	}
+
+	// a long run of tiny batches: demand is a handful of nodes, so the
+	// bound must halve per commit down to the floor and trim the list
+	for r := 0; r < 40; r++ {
+		b := g.NewBatch()
+		b.Add(tr("s", "q", fmt.Sprintf("t%d", r)))
+		b.Remove(tr("s", "q", fmt.Sprintf("t%d", r)))
+		b.Commit()
+	}
+	if got := pool.capMax(); got != poolFreeMin {
+		t.Fatalf("bound after tiny-batch run = %d, want %d", got, poolFreeMin)
+	}
+	if len(pool.free) > poolFreeMin {
+		t.Fatalf("free list holds %d nodes, want <= %d after shrink", len(pool.free), poolFreeMin)
+	}
+
+	// the graph itself must be unperturbed by all the churn
+	if g.Len() != 0 {
+		t.Fatalf("len = %d, want 0", g.Len())
+	}
+}

@@ -680,6 +680,46 @@ func predStatsIn(st *shardState, pid id) (PredStats, bool) {
 	}, true
 }
 
+// ObjectCount is one row of PredTopObjects: an object value of a
+// predicate's extension and the number of triples carrying it.
+type ObjectCount struct {
+	Term  Term
+	Count int
+}
+
+// PredTopObjects returns the predicate's heaviest object values, largest
+// first — the per-value refinement of PredStats.DistinctObjects the
+// planner uses to detect skew. The list comes from a small fixed-capacity
+// sketch maintained in the predicate's POS shard (see topObjects): exact
+// while the predicate's extension only grows, approximate after removals.
+// Nil when the predicate is absent or its sketch is empty. O(log n) and
+// lock-free like PredStats.
+func (g *Graph) PredTopObjects(p Term) []ObjectCount {
+	pid, ok := g.lookup(p)
+	if !ok {
+		return nil
+	}
+	return predTopIn(g, g.predicateShard(pid).state.Load(), pid)
+}
+
+func predTopIn(g *Graph, st *shardState, pid id) []ObjectCount {
+	e, ok := st.pos.get(pid)
+	if !ok || e.top.n == 0 {
+		return nil
+	}
+	out := make([]ObjectCount, 0, e.top.n)
+	for i := 0; i < int(e.top.n); i++ {
+		out = append(out, ObjectCount{Term: g.term(e.top.e[i].o), Count: int(e.top.e[i].n)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term.String() < out[j].Term.String()
+	})
+	return out
+}
+
 // MatchCount returns the number of triples matching the pattern without
 // materialising them. Used by the query planner for cardinality estimates.
 // Lock-free like Match.

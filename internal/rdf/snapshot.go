@@ -87,6 +87,20 @@ func (s *Snapshot) ID() uint64 { return s.g.gid }
 // Epoch returns the graph write epoch the snapshot was captured at.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
+// ShardEpochs appends the publication epoch of each captured shard state
+// to dst and returns it. Unlike Epoch — the graph-wide version counter at
+// capture, which a concurrent commit may have advanced before publishing —
+// the vector identifies the captured states exactly: a shard's state is
+// republished only under a fresh, strictly larger epoch stamp, so two
+// snapshots of one graph with equal vectors observe identical indexes.
+// This is the invalidation key of the answer cache (internal/qcache).
+func (s *Snapshot) ShardEpochs(dst []uint64) []uint64 {
+	for _, st := range s.states {
+		dst = append(dst, st.epoch)
+	}
+	return dst
+}
+
 // Len returns the number of triples in the snapshot.
 func (s *Snapshot) Len() int { return s.stats.Triples }
 
@@ -103,6 +117,16 @@ func (s *Snapshot) PredStats(p Term) (PredStats, bool) {
 		return PredStats{}, false
 	}
 	return predStatsIn(s.states[uint32(pid)&s.g.mask], pid)
+}
+
+// PredTopObjects returns the captured heavy-hitter object values of one
+// predicate; see Graph.PredTopObjects.
+func (s *Snapshot) PredTopObjects(p Term) []ObjectCount {
+	pid, ok := s.g.lookup(p)
+	if !ok {
+		return nil
+	}
+	return predTopIn(s.g, s.states[uint32(pid)&s.g.mask], pid)
 }
 
 // Match is Graph.Match over the captured states.

@@ -51,19 +51,40 @@ var ownerTokens atomic.Uint64
 
 func newOwner() uint64 { return ownerTokens.Add(1) }
 
-// poolFreeMax bounds a free list so a huge churning batch cannot pin an
-// unbounded pile of spare nodes.
-const poolFreeMax = 1024
+// poolFreeMax is the starting bound of a free list. The bound adapts to
+// the shard's observed batch churn between poolFreeMin and poolFreeCeil
+// (see nodePool.adapt); the start value doubles as the reset point a
+// fresh pool begins from.
+const (
+	poolFreeMax  = 1024
+	poolFreeMin  = 64
+	poolFreeCeil = 8192
+)
 
 // nodePool recycles the nodes of one tree instantiation for one shard.
 // All access happens with the shard mutex held (by a single writer or by
 // the one commit worker assigned to the shard).
 type nodePool[V any] struct {
 	free []*tnode[V]
+	// max is the current adaptive bound of free (0 = poolFreeMax, so the
+	// zero value needs no constructor). dropped counts recycles refused
+	// because the list was full and served counts nodes handed out, both
+	// since the last adapt; together they tell adapt whether the bound is
+	// too tight or oversized for the shard's batch churn.
+	max     int
+	dropped int
+	served  int
 	// reuses counts nodes served from the free list instead of the heap.
 	// Writers bump it under the shard mutex; metrics scrapes read it
 	// lock-free, hence the atomic.
 	reuses atomic.Int64
+}
+
+func (p *nodePool[V]) capMax() int {
+	if p.max == 0 {
+		return poolFreeMax
+	}
+	return p.max
 }
 
 func (p *nodePool[V]) node(owner uint64) *tnode[V] {
@@ -71,11 +92,45 @@ func (p *nodePool[V]) node(owner uint64) *tnode[V] {
 		n := p.free[l-1]
 		p.free = p.free[:l-1]
 		n.owner = owner
+		p.served++
 		p.reuses.Add(1)
 		return n
 	}
 	n := &tnode[V]{owner: owner}
+	p.served++
 	return n
+}
+
+// adapt resizes the free-list bound from the churn observed since the
+// last call (one batch commit, normally): refused recycles mean the next
+// batch of this size would heap-allocate what this one threw away, so the
+// bound doubles; a bound several times the actual node demand is dead
+// weight pinned forever, so it halves and the surplus is released to the
+// collector. Called with the shard mutex held.
+func (p *nodePool[V]) adapt() {
+	switch {
+	case p.dropped > 0:
+		if next := p.capMax() * 2; next <= poolFreeCeil {
+			p.max = next
+		} else {
+			p.max = poolFreeCeil
+		}
+	case p.served*4 < p.capMax() && p.capMax() > poolFreeMin:
+		next := p.capMax() / 2
+		if next < poolFreeMin {
+			next = poolFreeMin
+		}
+		p.max = next
+		if len(p.free) > next {
+			tail := p.free[next:]
+			for i := range tail {
+				tail[i] = nil
+			}
+			p.free = p.free[:next]
+		}
+	}
+	p.dropped = 0
+	p.served = 0
 }
 
 // tb is the transient builder for one tree instantiation: the owner token
@@ -265,7 +320,11 @@ func (b tb[V]) delNode(n *tnode[V], k id, shift uint) (*tnode[V], bool) {
 // current batch. Anything older may be reachable from a published
 // shardState or a snapshot and must be left for the garbage collector.
 func (b tb[V]) recycleNode(n *tnode[V]) {
-	if n == nil || n.owner != b.owner || len(b.pool.free) >= poolFreeMax {
+	if n == nil || n.owner != b.owner {
+		return
+	}
+	if len(b.pool.free) >= b.pool.capMax() {
+		b.pool.dropped++
 		return
 	}
 	n.dataMap, n.nodeMap, n.owner = 0, 0, 0
@@ -354,6 +413,15 @@ type recycler struct {
 	pos   nodePool[posEntry] // posdex nodes
 	pairs nodePool[iset]     // second-level pair maps
 	set   nodePool[struct{}] // leaf id-sets
+}
+
+// adapt resizes all four free-list bounds from the batch that just
+// committed; see nodePool.adapt. Called with the shard mutex held.
+func (r *recycler) adapt() {
+	r.idx.adapt()
+	r.pos.adapt()
+	r.pairs.adapt()
+	r.set.adapt()
 }
 
 // shardBuilder is a transient view over one shard's tries: one owner token
@@ -456,9 +524,12 @@ func (sb *shardBuilder) posAdd(ix *posdex, p, o, s id, newSP bool) bool {
 		if newSP {
 			e.subjects++
 		}
+		var n uint32
 		sb.pairs.putRoot(&e.pairs, o, func(cs *iset) {
 			sb.set.putRoot(cs, s, func(*struct{}) {})
+			n = uint32(cs.size)
 		})
+		e.top.set(o, n)
 	})
 }
 
@@ -488,6 +559,7 @@ func (sb *shardBuilder) posRemove(ix *posdex, p, o, s id, goneSP bool) bool {
 			sb.pairs.delRoot(&e.pairs, o)
 			sb.set.recycleNode(cs.root)
 		}
+		e.top.set(o, uint32(cs.size-1))
 	})
 	return false
 }

@@ -187,6 +187,62 @@ type posEntry struct {
 	pairs    ipairs
 	triples  int
 	subjects int
+	top      topObjects
+}
+
+// topK is the capacity of the per-predicate heavy-hitter sketch.
+const topK = 8
+
+type objCount struct {
+	o id
+	n uint32
+}
+
+// topObjects is a fixed-capacity heavy-hitter sketch of one predicate's
+// per-object triple counts, embedded by value in posEntry so every write
+// maintains it on an index path it already owns. set records an object's
+// new bucket size: known objects update in place (and leave at zero),
+// unknown objects take a free slot or evict the smallest resident count
+// when theirs is strictly larger. Bucket sizes grow one write at a time,
+// so under pure insertion the sketch holds the true heaviest objects;
+// after removals it is approximate (an evicted object re-enters at its
+// full bucket size on its next insert).
+type topObjects struct {
+	n int8
+	e [topK]objCount
+}
+
+func (t *topObjects) set(o id, count uint32) {
+	for i := 0; i < int(t.n); i++ {
+		if t.e[i].o != o {
+			continue
+		}
+		if count == 0 {
+			t.n--
+			t.e[i] = t.e[t.n]
+			t.e[t.n] = objCount{}
+		} else {
+			t.e[i].n = count
+		}
+		return
+	}
+	if count == 0 {
+		return
+	}
+	if int(t.n) < len(t.e) {
+		t.e[t.n] = objCount{o: o, n: count}
+		t.n++
+		return
+	}
+	min := 0
+	for i := 1; i < len(t.e); i++ {
+		if t.e[i].n < t.e[min].n {
+			min = i
+		}
+	}
+	if count > t.e[min].n {
+		t.e[min] = objCount{o: o, n: count}
+	}
 }
 
 // idxHas reports whether the index holds (a, b, c).

@@ -1,0 +1,87 @@
+package sparql
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/qcache"
+	"repro/internal/rdf"
+)
+
+// The SPARQL answer cache memoises whole request results: EvalCtx consults
+// a shared qcache.Layer keyed on the canonical query text (rendered with
+// the default namespace table, so two spellings of one query under
+// different prefixes share an entry) scoped to the graph identity, and
+// validated against the snapshot's per-shard epoch vector. Cached *Results
+// are shared by reference and treated as immutable by every caller.
+//
+// Cancellation never poisons the cache: a compute that observes ctx.Err()
+// returns it, and the qcache drops errored flights. A caller collapsed
+// onto a flight whose leader was canceled recomputes privately when its
+// own context is still live, so one request's deadline cannot fail
+// another's.
+
+// answerLayer is the process-wide answer-cache layer for SPARQL results;
+// nil (the default) disables caching.
+var answerLayer atomic.Pointer[qcache.Layer]
+
+// SetAnswerCache installs (or, with nil, removes) the answer-cache layer
+// consulted by Eval and EvalCtx.
+func SetAnswerCache(l *qcache.Layer) { answerLayer.Store(l) }
+
+// cacheKey renders the query canonically — prefix-independent, since
+// String() with a nil namespace table falls back to the defaults — scoped
+// to the graph's identity.
+func (q *Query) cacheKey(g rdf.Source) string {
+	qc := *q
+	qc.Ns = nil
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(g.ID(), 10))
+	b.WriteByte('/')
+	b.WriteString(qc.String())
+	return b.String()
+}
+
+// resultBytes estimates the resident cost of a cached result: row count ×
+// projection width at a string-header-sized per-slot cost, plus a floor.
+func resultBytes(res *Result) int64 {
+	width := len(res.Vars)
+	if width < 1 {
+		width = 1
+	}
+	return int64(len(res.Rows))*int64(width)*48 + 96
+}
+
+// evalCached serves EvalCtx through the answer cache. g must already be
+// frozen; returns false when caching is disabled or g is not a snapshot.
+func (q *Query) evalCached(ctx context.Context, g rdf.Source) (*Result, error, bool) {
+	l := answerLayer.Load()
+	if l == nil {
+		return nil, nil, false
+	}
+	snap, ok := g.(*rdf.Snapshot)
+	if !ok {
+		return nil, nil, false
+	}
+	var partial *Result
+	v, _, err := l.Do(q.cacheKey(g), snap.ShardEpochs(nil), func() (any, int64, error) {
+		res, err := q.evalUncached(ctx, g)
+		if err != nil {
+			partial = res // truncated: surface it to our caller, cache nothing
+			return nil, 0, err
+		}
+		return res, resultBytes(res), nil
+	})
+	if err != nil {
+		if ctx.Err() == nil {
+			// Collapsed onto a flight whose leader hit its own deadline; our
+			// context is live, so compute privately.
+			res, err := q.evalUncached(ctx, g)
+			return res, err, true
+		}
+		return partial, err, true
+	}
+	return v.(*Result), nil, true
+}

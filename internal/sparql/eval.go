@@ -40,6 +40,13 @@ func (q *Query) Eval(g rdf.Source) *Result {
 // together with ctx.Err(), so servers can drop it and report the timeout.
 func (q *Query) EvalCtx(ctx context.Context, g rdf.Source) (*Result, error) {
 	g = rdf.Freeze(g)
+	if res, err, ok := q.evalCached(ctx, g); ok {
+		return res, err
+	}
+	return q.evalUncached(ctx, g)
+}
+
+func (q *Query) evalUncached(ctx context.Context, g rdf.Source) (*Result, error) {
 	sols := evalExpr(ctx, g, q.Where)
 	res := q.assemble(sols)
 	return res, ctx.Err()

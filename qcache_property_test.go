@@ -1,0 +1,242 @@
+package rps_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/plan"
+	"repro/internal/qcache"
+	"repro/internal/rdf"
+	"repro/internal/rewrite"
+	"repro/internal/simnet"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// TestAnswerCachePreservesAnswers is the zero-staleness property of the
+// answer cache (internal/qcache): with the cache installed on every layer,
+// each of the five rpsquery answering modes — chase, rewrite, combined,
+// direct, federation — returns exactly the answer set the uncached
+// evaluation returns, while irrelevant writes storm the stored databases,
+// and after a relevant write the cached answer reflects the write (the old
+// cached entry must not survive its epochs).
+func TestAnswerCachePreservesAnswers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is not short")
+	}
+	defer plan.SetAnswerCache(nil)
+	defer sparql.SetAnswerCache(nil)
+
+	property := func(seed int64) bool {
+		return answerCacheRound(t, seed)
+	}
+	cfg := &quick.Config{
+		MaxCount: 3,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// answerCacheRound runs one seeded instance of the property. It reports
+// false (after t.Errorf) on the first violated equivalence.
+func answerCacheRound(t *testing.T, seed int64) bool {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+
+	// Figure 1 system plus a few seed-dependent actors: each extra actor of
+	// Spiderman2002 on source2 gets an age on source3, so the extras flow
+	// through the GMA into the chase/combined/federation answer sets.
+	sys := workload.Figure1System()
+	db2 := func(local string) rdf.Term {
+		return rdf.IRI("http://db2.example.org/" + local)
+	}
+	addActor := func(name string, age int) {
+		actor := db2(name)
+		mustPeerAdd(t, sys.Peer("source2"),
+			rdf.Triple{S: db2("Spiderman2002"), P: workload.Actor, O: actor})
+		mustPeerAdd(t, sys.Peer("source3"),
+			rdf.Triple{S: actor, P: workload.Age, O: rdf.Literal(fmt.Sprint(age))})
+	}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		addActor(fmt.Sprintf("Extra_%d_%d", seed&0xffff, i), 20+r.Intn(60))
+	}
+	q := workload.Example1Query()
+	// Bound the rewriting depth: the library default (64) spends seconds per
+	// FullRewrite on even Figure 1, and the property quantifies over the
+	// cache, not the rewriting bound — any depth must round-trip the cache
+	// exactly.
+	rw := rewrite.Options{MaxDepth: 4}
+
+	// The five rpsquery modes, parameterised over the federation engine so
+	// the cached phase can use an engine that carries the answer cache.
+	modes := []struct {
+		name string
+		eval func(eng *federation.Engine) (*pattern.TupleSet, error)
+	}{
+		{"chase", func(*federation.Engine) (*pattern.TupleSet, error) {
+			u, err := chase.Run(sys, chase.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return u.CertainAnswers(q), nil
+		}},
+		{"rewrite", func(*federation.Engine) (*pattern.TupleSet, error) {
+			rep, err := baseline.FullRewrite(sys, q, rw)
+			return rep.Answers, err
+		}},
+		{"combined", func(*federation.Engine) (*pattern.TupleSet, error) {
+			rep, err := baseline.Combined(sys, q, rw)
+			return rep.Answers, err
+		}},
+		{"direct", func(*federation.Engine) (*pattern.TupleSet, error) {
+			return baseline.NoIntegration(sys, q).Answers, nil
+		}},
+		{"federation", func(eng *federation.Engine) (*pattern.TupleSet, error) {
+			ans, _, err := eng.Answer(q)
+			return ans, err
+		}},
+	}
+	evalAll := func(eng *federation.Engine) (map[string]*pattern.TupleSet, bool) {
+		out := make(map[string]*pattern.TupleSet, len(modes))
+		for _, m := range modes {
+			ans, err := m.eval(eng)
+			if err != nil {
+				t.Errorf("seed %d: mode %s: %v", seed, m.name, err)
+				return nil, false
+			}
+			out[m.name] = ans
+		}
+		return out, true
+	}
+
+	// Uncached baselines.
+	plan.SetAnswerCache(nil)
+	sparql.SetAnswerCache(nil)
+	baseEng := deployMediator(sys, federation.Options{Rewrite: rw})
+	base, ok := evalAll(baseEng)
+	if !ok {
+		return false
+	}
+
+	// Install one cache under every layer.
+	qc := qcache.New(32 << 20)
+	plan.SetAnswerCache(qc.Layer("plan"))
+	sparql.SetAnswerCache(qc.Layer("sparql"))
+	defer plan.SetAnswerCache(nil)
+	defer sparql.SetAnswerCache(nil)
+	cachedEng := deployMediator(sys, federation.Options{Rewrite: rw, AnswerCache: qc})
+
+	// Storm irrelevant writes against source1 while the cached evaluations
+	// run: every toggle bumps shard epochs without ever touching a triple
+	// the query or the mappings can observe, so a cache that validates
+	// epochs correctly keeps answering exactly, hit or miss.
+	g := sys.Peer("source1").Data()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		noiseP := rdf.IRI("http://noise.example.org/p")
+		noiseO := rdf.IRI("http://noise.example.org/o")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nt := rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://noise.example.org/s%d", i%8)),
+				P: noiseP,
+				O: noiseO,
+			}
+			g.Add(nt)
+			g.Remove(nt)
+			// A toggle pair bumps the shard epochs all the invalidation
+			// the property needs; yielding between pairs keeps the storm
+			// from starving the evaluations under GOMAXPROCS=1.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	stormOK := true
+	for round := 0; round < 2 && stormOK; round++ {
+		cached, ok := evalAll(cachedEng)
+		if !ok {
+			stormOK = false
+			break
+		}
+		for _, m := range modes {
+			if !cached[m.name].Equal(base[m.name]) {
+				t.Errorf("seed %d round %d: mode %s: cached answers diverge under write storm\ncached: %v\nuncached: %v",
+					seed, round, m.name, cached[m.name].Sorted(), base[m.name].Sorted())
+				stormOK = false
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !stormOK {
+		return false
+	}
+
+	// A relevant write: a new actor with an age changes the certain answers
+	// of every integration-aware mode. The still-installed cache holds
+	// entries recorded before the write; serving any of them now would be a
+	// stale answer.
+	addActor(fmt.Sprintf("Late_%d", seed&0xffff), 30+r.Intn(40))
+	cachedAfter, ok := evalAll(cachedEng)
+	if !ok {
+		return false
+	}
+
+	plan.SetAnswerCache(nil)
+	sparql.SetAnswerCache(nil)
+	fresh, ok := evalAll(baseEng)
+	if !ok {
+		return false
+	}
+	// Sentinel: the write really changed the answers, so the equality below
+	// is a staleness check, not a tautology.
+	if fresh["chase"].Equal(base["chase"]) {
+		t.Errorf("seed %d: relevant write did not change chase answers; staleness check is vacuous", seed)
+		return false
+	}
+	for _, m := range modes {
+		if !cachedAfter[m.name].Equal(fresh[m.name]) {
+			t.Errorf("seed %d: mode %s: stale answer after relevant write\ncached: %v\nfresh: %v",
+				seed, m.name, cachedAfter[m.name].Sorted(), fresh[m.name].Sorted())
+			return false
+		}
+	}
+	return true
+}
+
+// deployMediator serves the system's peers on an in-process simulated
+// network and returns a federation mediator over them (the shape rpsquery's
+// federation mode and rpsd's /federated endpoint use).
+func deployMediator(sys *core.System, fed federation.Options) *federation.Engine {
+	net := simnet.New()
+	reg := peer.NewRegistry()
+	peer.Deploy(sys, net, reg)
+	net.Register("mediator", nil)
+	return federation.New(sys, reg, peer.NewClient(net, "mediator"), fed)
+}
+
+func mustPeerAdd(t *testing.T, p *core.Peer, tr rdf.Triple) {
+	t.Helper()
+	if err := p.Add(tr); err != nil {
+		t.Fatalf("peer add %v: %v", tr, err)
+	}
+}

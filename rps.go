@@ -76,6 +76,27 @@
 // percentiles under a concurrent write storm) so serving capacity is part
 // of the per-PR performance trajectory.
 //
+// Repeated queries are served from an epoch-keyed answer cache (package
+// internal/qcache): a sharded, memory-budgeted cache keyed on the query
+// text, its constants and the graph's identity, validated against the
+// per-shard epoch vector of the snapshot being read (Snapshot.ShardEpochs),
+// so a hit is provably the answer the uncached evaluation would compute —
+// any effective write to any shard the answer depends on invalidates it.
+// Identical in-flight queries collapse into one evaluation (singleflight),
+// size-based admission control refuses residency to answers that would
+// crowd out a shard, and a CLOCK sweep with second chances evicts cold
+// entries when a shard runs over budget. The cache sits under plan.ExecuteQuery and
+// plan.Ask, under SPARQL evaluation, and under the federation mediator's
+// remote-extension fetches (keyed there by the peers' version vector);
+// rpsd enables it by default (-result-cache, -result-cache-mb), EXPLAIN
+// prints "-- answer cache: hit" for resident answers, /metrics exposes the
+// qcache_ families, and rpsbench sweeps off/cold/hot configurations. The
+// executor underneath batches index nested-loop join probes (repeated join
+// keys share one index descent; EXPLAIN ANALYZE shows batch=…/probes=…),
+// the planner corrects join-order estimates for skew with per-predicate
+// heavy-hitter histograms (Graph.PredTopObjects), and the store's
+// free-list sizes adapt to observed batch churn.
+//
 // The triple store itself (package internal/rdf) is sharded and safe for
 // concurrent use: SPO/OSP indexes are subject-hash partitioned and POS is
 // predicate-hash partitioned, with a striped concurrent intern table
