@@ -32,6 +32,9 @@ type benchReport struct {
 	// ResultCache is the answer-cache off/cold/hot sweep over the same
 	// closed-loop harness (cachesweep.go).
 	ResultCache *cacheResult `json:"resultCache,omitempty"`
+	// Durability is the restart benchmark: cold Turtle parse vs warm
+	// checkpoint recovery vs WAL-tail replay (durability.go).
+	Durability *durabilityResult `json:"durability,omitempty"`
 }
 
 // microBenchmarkEntry is one testing.Benchmark result.
@@ -63,6 +66,11 @@ func writeJSONReport(path string, quick bool, tables []*experiments.Table) error
 		return err
 	}
 	rep.ResultCache = sweep
+	durability, err := runDurabilityBenchmark(quick)
+	if err != nil {
+		return err
+	}
+	rep.Durability = durability
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

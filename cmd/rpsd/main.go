@@ -27,6 +27,18 @@
 //     process. Timed-out requests answer 503.
 //   - -slow-query logs any request slower than the threshold (0 disables).
 //   - SIGINT/SIGTERM drain in-flight requests before the process exits.
+//
+// Durability: with -data-dir set, every peer's store is backed by a
+// write-ahead log plus snapshot checkpoints under <data-dir>/peers/<name>
+// (internal/durable). On a cold start the Turtle data files are parsed and
+// every batch is logged; on a restart the peers recover from their
+// checkpoints and WAL tails instead of re-parsing Turtle, and the peer
+// schemas are re-derived from the recovered data. -fsync picks the
+// commit-path fsync policy (always | interval | never) and
+// -checkpoint-every the number of logged ops between background
+// checkpoints (0 leaves checkpointing to shutdown). Graceful shutdown
+// writes a final checkpoint per peer so the next start replays no WAL.
+// The stores' wal_* and checkpoint_* series appear at /metrics.
 package main
 
 import (
@@ -41,11 +53,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/federation"
 	"repro/internal/mapfile"
 	"repro/internal/obs"
@@ -55,6 +69,7 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/wal"
 )
 
 // opsConfig carries the operational knobs every handler sees.
@@ -109,6 +124,9 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", time.Second, "log requests slower than this (0 = disabled)")
 		resultCache  = flag.Bool("result-cache", true, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing of identical in-flight queries")
 		resultCacheMB = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
+		dataDir      = flag.String("data-dir", "", "durable storage root: per-peer WAL + checkpoints under <dir>/peers/<name>; restarts recover from it instead of re-parsing Turtle (empty = in-memory only)")
+		fsync        = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
+		ckptEvery    = flag.Uint64("checkpoint-every", 10000, "logged ops between background checkpoints with -data-dir (0 = checkpoint only on shutdown)")
 	)
 	flag.Parse()
 	if *systemPath == "" {
@@ -116,6 +134,15 @@ func main() {
 		os.Exit(1)
 	}
 	rdf.SetDefaultShardCount(*shards)
+	var dur durableConfig
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpsd:", err)
+			os.Exit(1)
+		}
+		dur = durableConfig{Dir: *dataDir, Policy: policy, CheckpointEvery: *ckptEvery}
+	}
 	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
@@ -127,7 +154,7 @@ func main() {
 		fed.AnswerCache = qc
 	}
 	ops := opsConfig{QueryTimeout: *queryTimeout, SlowQuery: *slowQuery}
-	mux, n, err := buildMux(*systemPath, fed, ops)
+	mux, n, stores, err := buildMux(*systemPath, fed, ops, dur)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpsd:", err)
 		os.Exit(1)
@@ -140,9 +167,40 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, &http.Server{Handler: mux}, ln); err != nil {
+	err = serve(ctx, &http.Server{Handler: mux}, ln)
+	// After the drain: write each peer's shutdown checkpoint and release
+	// the logs, so the next start recovers from checkpoints alone.
+	if cerr := stores.Close(); cerr != nil {
+		log.Printf("rpsd: closing durable stores: %v", cerr)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// durableConfig carries the -data-dir wiring; the zero value disables
+// durability (peers stay purely in-memory).
+type durableConfig struct {
+	Dir             string
+	Policy          wal.SyncPolicy
+	CheckpointEvery uint64
+}
+
+// peerStores owns the per-peer durable stores of one server instance.
+type peerStores struct {
+	stores []*durable.Store
+}
+
+// Close closes every store — final checkpoint, WAL flush and release —
+// and returns the first error.
+func (ps *peerStores) Close() error {
+	var first error
+	for _, st := range ps.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // serve runs the server on the listener until it fails or ctx is canceled
@@ -249,11 +307,40 @@ type peerInfo struct {
 
 // buildMux mounts every peer of the system file on a fresh mux, plus the
 // /peers index, the /federated mediator, and the operations endpoints
-// (/metrics, /debug/pprof/).
-func buildMux(systemPath string, fed federation.Options, ops opsConfig) (*http.ServeMux, int, error) {
-	sys, _, err := mapfile.Load(systemPath)
+// (/metrics, /debug/pprof/). With a durable config it attaches a
+// WAL-plus-checkpoint store to every peer before its data loads: a peer
+// directory that already holds data recovers from it and skips the Turtle
+// parse; a fresh one logs the Turtle load itself. The returned peerStores
+// must be Closed on shutdown.
+func buildMux(systemPath string, fed federation.Options, ops opsConfig, dur durableConfig) (*http.ServeMux, int, *peerStores, error) {
+	stores := &peerStores{}
+	var loadOpts mapfile.Options
+	if dur.Dir != "" {
+		loadOpts.PreparePeer = func(p *core.Peer) (bool, error) {
+			st, err := durable.Attach(p.Data(), durable.Options{
+				Dir:             filepath.Join(dur.Dir, "peers", p.Name()),
+				Policy:          dur.Policy,
+				CheckpointEvery: dur.CheckpointEvery,
+			})
+			if err != nil {
+				return false, err
+			}
+			stores.stores = append(stores.stores, st)
+			st.RegisterMetrics(obs.Default, p.Name())
+			if st.Recovery().Recovered() {
+				log.Printf("rpsd: peer %s: recovered %d triples at version %d (checkpoint %d + %d replayed commits)",
+					p.Name(), p.Data().Len(), p.Data().Version(),
+					st.Recovery().CheckpointVersion, st.Recovery().Replayed)
+				return true, nil
+			}
+			return false, nil
+		}
+	}
+	sys, _, err := mapfile.LoadWith(systemPath, loadOpts)
 	if err != nil {
-		return nil, 0, err
+		// Peers prepared before the failing line still hold open WALs.
+		_ = stores.Close()
+		return nil, 0, nil, err
 	}
 	mux := http.NewServeMux()
 	var index []peerInfo
@@ -295,7 +382,7 @@ func buildMux(systemPath string, fed federation.Options, ops opsConfig) (*http.S
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux, len(index), nil
+	return mux, len(index), stores, nil
 }
 
 // serveFederated answers a conjunctive SPARQL query with certain answers.

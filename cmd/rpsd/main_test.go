@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/mapfile"
 	"repro/internal/peer"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -19,7 +21,7 @@ func TestBuildMuxServesPeers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, n, err := buildMux(path, federation.Options{}, opsConfig{})
+	mux, n, _, err := buildMux(path, federation.Options{}, opsConfig{}, durableConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestBuildMuxServesPeers(t *testing.T) {
 }
 
 func TestBuildMuxMissingSystem(t *testing.T) {
-	if _, _, err := buildMux("/nonexistent/system.rps", federation.Options{}, opsConfig{}); err == nil {
+	if _, _, _, err := buildMux("/nonexistent/system.rps", federation.Options{}, opsConfig{}, durableConfig{}); err == nil {
 		t.Error("missing system accepted")
 	}
 }
@@ -79,7 +81,7 @@ func TestFederatedEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, _, err := buildMux(path, federation.Options{}, opsConfig{})
+	mux, _, _, err := buildMux(path, federation.Options{}, opsConfig{}, durableConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,5 +125,100 @@ func TestFederatedEndpoint(t *testing.T) {
 	if _, err := c.Query(srv.URL+"/federated",
 		`SELECT ?x WHERE { { ?x ?p ?o } UNION { ?o ?p ?x } }`); err == nil {
 		t.Error("non-conjunctive query accepted")
+	}
+}
+
+// TestBuildMuxDurableRestart drives the full -data-dir lifecycle: a cold
+// start parses Turtle and logs it, a clean shutdown checkpoints, and the
+// restart recovers every peer from disk — same answers, same /peers
+// index, schemas re-derived — with the wal_* and checkpoint_* series on
+// /metrics.
+func TestBuildMuxDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	path, err := mapfile.Save(workload.Figure1System(), workload.FilmNamespaces(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	dur := durableConfig{Dir: dataDir, Policy: wal.SyncAlways, CheckpointEvery: 0}
+
+	query := func(mux http.Handler) ([]peerInfo, int) {
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		resp, err := srv.Client().Get(srv.URL + "/peers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var index []peerInfo
+		if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+			t.Fatal(err)
+		}
+		c := &peer.HTTPClient{Client: srv.Client()}
+		res, err := c.Query(srv.URL+"/peer/source3",
+			`SELECT ?x ?y WHERE { ?x <http://example.org/age> ?y }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return index, len(res.Rows)
+	}
+
+	mux, n, stores, err := buildMux(path, federation.Options{}, opsConfig{}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(stores.stores) != 3 {
+		t.Fatalf("peers = %d, stores = %d", n, len(stores.stores))
+	}
+	for _, st := range stores.stores {
+		if st.Recovery().Recovered() {
+			t.Fatal("cold start reported a recovery")
+		}
+	}
+	coldIndex, coldRows := query(mux)
+	if err := stores.Close(); err != nil {
+		t.Fatalf("shutdown close: %v", err)
+	}
+
+	mux2, _, stores2, err := buildMux(path, federation.Options{}, opsConfig{}, dur)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer stores2.Close()
+	recovered := 0
+	for _, st := range stores2.stores {
+		if st.Recovery().Recovered() {
+			recovered++
+		}
+		if st.Recovery().Replayed != 0 {
+			t.Errorf("clean shutdown should leave no WAL tail, replayed %d", st.Recovery().Replayed)
+		}
+	}
+	if recovered != 3 {
+		t.Fatalf("recovered %d/3 peers", recovered)
+	}
+	warmIndex, warmRows := query(mux2)
+	if warmRows != coldRows {
+		t.Fatalf("rows after restart = %d, want %d", warmRows, coldRows)
+	}
+	for i := range coldIndex {
+		if warmIndex[i] != coldIndex[i] {
+			t.Fatalf("peer index changed across restart:\n  cold %+v\n  warm %+v", coldIndex[i], warmIndex[i])
+		}
+	}
+
+	// the durable series are scrapeable
+	srv := httptest.NewServer(mux2)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, family := range []string{"wal_appends_total", "wal_durable_epoch", "checkpoint_last_version"} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing %s with -data-dir set", family)
+		}
 	}
 }

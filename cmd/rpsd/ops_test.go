@@ -26,7 +26,7 @@ func figure1Mux(t *testing.T, ops opsConfig) *http.ServeMux {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux, _, err := buildMux(path, federation.Options{}, ops)
+	mux, _, _, err := buildMux(path, federation.Options{}, ops, durableConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

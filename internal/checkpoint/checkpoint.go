@@ -1,0 +1,515 @@
+// Package checkpoint writes and restores point-in-time snapshots of a
+// graph as per-shard files. A checkpoint is a directory, ckpt-<version>,
+// holding a TERMS file (the checkpoint's term dictionary: every distinct
+// term, encoded once in the rdf binary codec, its id being its position)
+// and one shard-NNNN file per shard (the shard's triples as uvarint term-id
+// triplets) plus a MANIFEST stamping the snapshot version, each shard's
+// publication epoch, and per-file CRCs and sizes. Dictionary-encoding the
+// shard files is what makes recovery fast: Restore feeds the decoded
+// dictionary and id-triples to rdf.Graph.RestoreBulk, which rebuilds the
+// store without re-hashing or re-interning a single string — the costs
+// that dominate a naive replay of the triples through the write path.
+// Writing walks a rdf.Snapshot — captured lock-free, so writers and
+// readers are never stalled — into a temp directory and renames it into
+// place, so a crash mid-checkpoint leaves only ignorable garbage. Restore
+// validates the newest checkpoint end to end (manifest CRC, the TERMS and
+// every shard file's CRC, size and count) before applying a single
+// triple, falling back to older checkpoints when validation fails.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/vfs"
+)
+
+const (
+	dirPrefix  = "ckpt-"
+	shardMagic = "RPSCKS2\n"
+	termsMagic = "RPSCKT1\n"
+	maniMagic  = "RPSCKM2\n"
+	// flushChunk is the write granularity for shard files.
+	flushChunk = 256 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt classifies validation failures; Restore treats a checkpoint
+// that fails with it as absent and falls back to an older one.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Manifest is the validated metadata of one checkpoint.
+type Manifest struct {
+	// Version is the snapshot's capture epoch (Snapshot.Epoch).
+	Version uint64
+	// TermCount/TermCRC/TermSize validate the TERMS dictionary file.
+	TermCount int
+	TermCRC   uint32
+	TermSize  int64
+	// ShardEpochs[i] is the publication epoch of shard i's captured
+	// state: shard i holds exactly its commits with epoch ≤ ShardEpochs[i].
+	ShardEpochs []uint64
+	// Counts[i] is the number of triples in shard file i.
+	Counts []int
+	// CRCs[i]/Sizes[i] checksum shard file i's id-triple stream.
+	CRCs  []uint32
+	Sizes []int64
+}
+
+// DirName returns the directory name for a checkpoint at version v.
+func DirName(v uint64) string { return fmt.Sprintf("%s%016x", dirPrefix, v) }
+
+func parseDirName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, dirPrefix) {
+		return 0, false
+	}
+	hex := strings.TrimPrefix(name, dirPrefix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Write checkpoints snap under dir as ckpt-<epoch>, returning the
+// directory path. It walks the snapshot without taking any graph lock. If
+// a checkpoint at this version already exists it is left untouched.
+func Write(fs vfs.FS, dir string, snap *rdf.Snapshot) (string, error) {
+	if fs == nil {
+		fs = vfs.OS()
+	}
+	name := DirName(snap.Epoch())
+	final := filepath.Join(dir, name)
+	if _, err := fs.Stat(filepath.Join(final, "MANIFEST")); err == nil {
+		return final, nil
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return "", err
+	}
+	tmp := final + ".tmp"
+	if err := fs.RemoveAll(tmp); err != nil {
+		return "", err
+	}
+	if err := fs.MkdirAll(tmp); err != nil {
+		return "", err
+	}
+	shards := snap.ShardCount()
+	man := Manifest{
+		Version:     snap.Epoch(),
+		ShardEpochs: snap.ShardEpochs(nil),
+		Counts:      make([]int, shards),
+		CRCs:        make([]uint32, shards),
+		Sizes:       make([]int64, shards),
+	}
+	// The dictionary accumulates across the shard files: a term's id is
+	// the order of its first use anywhere in the snapshot, and TERMS is
+	// written once the last shard has claimed its ids.
+	dict := &ckptDict{ids: make(map[rdf.Term]uint32)}
+	for i := 0; i < shards; i++ {
+		count, crc, size, err := writeShard(fs, filepath.Join(tmp, shardFile(i)), snap, i, dict)
+		if err != nil {
+			return "", err
+		}
+		man.Counts[i], man.CRCs[i], man.Sizes[i] = count, crc, size
+	}
+	tc, tcrc, tsize, err := writeTerms(fs, filepath.Join(tmp, "TERMS"), dict)
+	if err != nil {
+		return "", err
+	}
+	man.TermCount, man.TermCRC, man.TermSize = tc, tcrc, tsize
+	if err := writeManifest(fs, filepath.Join(tmp, "MANIFEST"), &man); err != nil {
+		return "", err
+	}
+	if err := fs.SyncDir(tmp); err != nil {
+		return "", err
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+func shardFile(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// ckptDict assigns checkpoint-local term ids in first-use order while the
+// shard files stream out, buffering each distinct term's encoding once.
+type ckptDict struct {
+	ids   map[rdf.Term]uint32
+	terms []byte
+}
+
+func (d *ckptDict) id(t rdf.Term) uint32 {
+	if i, ok := d.ids[t]; ok {
+		return i
+	}
+	i := uint32(len(d.ids))
+	d.ids[t] = i
+	d.terms = rdf.AppendTerm(d.terms, t)
+	return i
+}
+
+func writeShard(fs vfs.FS, path string, snap *rdf.Snapshot, i int, dict *ckptDict) (count int, crc uint32, size int64, err error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := f.Write([]byte(shardMagic)); err != nil {
+		f.Close()
+		return 0, 0, 0, err
+	}
+	buf := make([]byte, 0, flushChunk+4096)
+	crc = 0
+	var werr error
+	flush := func() {
+		if werr != nil || len(buf) == 0 {
+			return
+		}
+		crc = crc32.Update(crc, castagnoli, buf)
+		size += int64(len(buf))
+		_, werr = f.Write(buf)
+		buf = buf[:0]
+	}
+	snap.MatchShard(i, nil, nil, nil, func(t rdf.Triple) bool {
+		buf = binary.AppendUvarint(buf, uint64(dict.id(t.S)))
+		buf = binary.AppendUvarint(buf, uint64(dict.id(t.P)))
+		buf = binary.AppendUvarint(buf, uint64(dict.id(t.O)))
+		count++
+		if len(buf) >= flushChunk {
+			flush()
+		}
+		return werr == nil
+	})
+	flush()
+	if werr != nil {
+		f.Close()
+		return 0, 0, 0, werr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, 0, 0, err
+	}
+	return count, crc, size, f.Close()
+}
+
+// writeTerms writes the accumulated dictionary as the TERMS file.
+func writeTerms(fs vfs.FS, path string, dict *ckptDict) (count int, crc uint32, size int64, err error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := f.Write([]byte(termsMagic)); err != nil {
+		f.Close()
+		return 0, 0, 0, err
+	}
+	if _, err := f.Write(dict.terms); err != nil {
+		f.Close()
+		return 0, 0, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, 0, 0, err
+	}
+	crc = crc32.Checksum(dict.terms, castagnoli)
+	return len(dict.ids), crc, int64(len(dict.terms)), f.Close()
+}
+
+func writeManifest(fs vfs.FS, path string, man *Manifest) error {
+	body := appendManifestBody(nil, man)
+	data := append([]byte(maniMagic), body...)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(body, castagnoli))
+	data = append(data, tail[:]...)
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func appendManifestBody(b []byte, man *Manifest) []byte {
+	b = binary.AppendUvarint(b, man.Version)
+	b = binary.AppendUvarint(b, uint64(man.TermCount))
+	b = binary.LittleEndian.AppendUint32(b, man.TermCRC)
+	b = binary.AppendUvarint(b, uint64(man.TermSize))
+	b = binary.AppendUvarint(b, uint64(len(man.ShardEpochs)))
+	for i := range man.ShardEpochs {
+		b = binary.AppendUvarint(b, man.ShardEpochs[i])
+		b = binary.AppendUvarint(b, uint64(man.Counts[i]))
+		b = binary.LittleEndian.AppendUint32(b, man.CRCs[i])
+		b = binary.AppendUvarint(b, uint64(man.Sizes[i]))
+	}
+	return b
+}
+
+// parseManifest decodes and CRC-verifies a MANIFEST file.
+func parseManifest(data []byte) (*Manifest, error) {
+	if len(data) < len(maniMagic)+4 || string(data[:len(maniMagic)]) != maniMagic {
+		return nil, fmt.Errorf("%w: bad manifest header", ErrCorrupt)
+	}
+	body := data[len(maniMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, fmt.Errorf("%w: manifest crc mismatch", ErrCorrupt)
+	}
+	man := &Manifest{}
+	var n int
+	man.Version, n = binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: manifest version", ErrCorrupt)
+	}
+	body = body[n:]
+	termCount, n := binary.Uvarint(body)
+	if n <= 0 || termCount > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: manifest term count", ErrCorrupt)
+	}
+	man.TermCount = int(termCount)
+	body = body[n:]
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: manifest term crc", ErrCorrupt)
+	}
+	man.TermCRC = binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	termSize, n := binary.Uvarint(body)
+	if n <= 0 || termSize > math.MaxInt64/2 {
+		return nil, fmt.Errorf("%w: manifest term size", ErrCorrupt)
+	}
+	man.TermSize = int64(termSize)
+	body = body[n:]
+	shards, n := binary.Uvarint(body)
+	if n <= 0 || shards == 0 || shards > 1<<16 {
+		return nil, fmt.Errorf("%w: manifest shard count %d", ErrCorrupt, shards)
+	}
+	body = body[n:]
+	for i := uint64(0); i < shards; i++ {
+		epoch, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: shard %d epoch", ErrCorrupt, i)
+		}
+		body = body[n:]
+		count, n := binary.Uvarint(body)
+		if n <= 0 || count > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: shard %d count", ErrCorrupt, i)
+		}
+		body = body[n:]
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: shard %d crc", ErrCorrupt, i)
+		}
+		crc := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		size, n := binary.Uvarint(body)
+		if n <= 0 || size > math.MaxInt64/2 {
+			return nil, fmt.Errorf("%w: shard %d size", ErrCorrupt, i)
+		}
+		body = body[n:]
+		man.ShardEpochs = append(man.ShardEpochs, epoch)
+		man.Counts = append(man.Counts, int(count))
+		man.CRCs = append(man.CRCs, crc)
+		man.Sizes = append(man.Sizes, int64(size))
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrCorrupt, len(body))
+	}
+	return man, nil
+}
+
+// decodeShard validates a shard file against its manifest entry and
+// appends its id-triples to dst. termCount bounds the ids a triple may
+// reference; anything outside the manifest's dictionary is corruption.
+func decodeShard(data []byte, count int, crc uint32, size int64, termCount int, dst []rdf.IDTriple) ([]rdf.IDTriple, error) {
+	if len(data) < len(shardMagic) || string(data[:len(shardMagic)]) != shardMagic {
+		return nil, fmt.Errorf("%w: bad shard header", ErrCorrupt)
+	}
+	body := data[len(shardMagic):]
+	if int64(len(body)) != size {
+		return nil, fmt.Errorf("%w: shard size %d, manifest says %d", ErrCorrupt, len(body), size)
+	}
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: shard crc mismatch", ErrCorrupt)
+	}
+	decoded := 0
+	var ids [3]uint64
+	for len(body) > 0 {
+		for j := range ids {
+			v, n := binary.Uvarint(body)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: truncated shard triple", ErrCorrupt)
+			}
+			if v >= uint64(termCount) {
+				return nil, fmt.Errorf("%w: term id %d outside dictionary of %d", ErrCorrupt, v, termCount)
+			}
+			ids[j] = v
+			body = body[n:]
+		}
+		dst = append(dst, rdf.IDTriple{S: uint32(ids[0]), P: uint32(ids[1]), O: uint32(ids[2])})
+		decoded++
+	}
+	if decoded != count {
+		return nil, fmt.Errorf("%w: shard holds %d triples, manifest says %d", ErrCorrupt, decoded, count)
+	}
+	return dst, nil
+}
+
+// List returns the versions of the checkpoint directories under dir,
+// ascending. A missing dir is an empty list.
+func List(fs vfs.FS, dir string) ([]uint64, error) {
+	if fs == nil {
+		fs = vfs.OS()
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		if _, serr := fs.Stat(dir); serr != nil {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var vs []uint64
+	for _, n := range names {
+		if v, ok := parseDirName(n); ok {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs, nil
+}
+
+// Restore finds the newest fully valid checkpoint under dir, loads its
+// triples into g (which must be empty and unshared) and returns its
+// manifest. Validation is complete before the first triple is applied; a
+// checkpoint failing validation is skipped in favour of the next older
+// one. Returns (nil, nil) when no usable checkpoint exists.
+func Restore(fs vfs.FS, dir string, g *rdf.Graph) (*Manifest, error) {
+	if fs == nil {
+		fs = vfs.OS()
+	}
+	vs, err := List(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		man, terms, triples, err := load(fs, filepath.Join(dir, DirName(vs[i])))
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				continue
+			}
+			return nil, err
+		}
+		if err := g.RestoreBulk(terms, triples); err != nil {
+			// RestoreBulk validates before touching the graph, so a failure
+			// — an id out of range, a typing violation the writer could
+			// never have produced — leaves g empty and is one more shape of
+			// corruption: fall back to the next older checkpoint.
+			continue
+		}
+		g.RestoreVersion(man.Version)
+		return man, nil
+	}
+	return nil, nil
+}
+
+func load(fs vfs.FS, ckptDir string) (*Manifest, []rdf.Term, []rdf.IDTriple, error) {
+	data, err := fs.ReadFile(filepath.Join(ckptDir, "MANIFEST"))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	man, err := parseManifest(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tdata, err := fs.ReadFile(filepath.Join(ckptDir, "TERMS"))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(tdata) < len(termsMagic) || string(tdata[:len(termsMagic)]) != termsMagic {
+		return nil, nil, nil, fmt.Errorf("%w: bad terms header", ErrCorrupt)
+	}
+	tbody := tdata[len(termsMagic):]
+	if int64(len(tbody)) != man.TermSize {
+		return nil, nil, nil, fmt.Errorf("%w: terms size %d, manifest says %d", ErrCorrupt, len(tbody), man.TermSize)
+	}
+	if crc32.Checksum(tbody, castagnoli) != man.TermCRC {
+		return nil, nil, nil, fmt.Errorf("%w: terms crc mismatch", ErrCorrupt)
+	}
+	terms, err := rdf.DecodeTermsShared(tbody, man.TermCount)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	total := 0
+	for _, c := range man.Counts {
+		total += c
+	}
+	triples := make([]rdf.IDTriple, 0, total)
+	for i := range man.Counts {
+		data, err := fs.ReadFile(filepath.Join(ckptDir, shardFile(i)))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		triples, err = decodeShard(data, man.Counts[i], man.CRCs[i], man.Sizes[i], man.TermCount, triples)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return man, terms, triples, nil
+}
+
+// GC deletes all but the newest keep checkpoints (and any leftover .tmp
+// directories), returning how many it removed.
+func GC(fs vfs.FS, dir string, keep int) (int, error) {
+	if fs == nil {
+		fs = vfs.OS()
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, nil
+	}
+	removed := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, dirPrefix) && strings.HasSuffix(n, ".tmp") {
+			if err := fs.RemoveAll(filepath.Join(dir, n)); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	vs, err := List(fs, dir)
+	if err != nil {
+		return removed, err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	for i := 0; i < len(vs)-keep; i++ {
+		if err := fs.RemoveAll(filepath.Join(dir, DirName(vs[i]))); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := fs.SyncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

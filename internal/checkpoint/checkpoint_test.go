@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/vfs"
+)
+
+func testGraph(t *testing.T, shards, n int, seed int64) *rdf.Graph {
+	t.Helper()
+	g := rdf.NewGraphSharded(shards)
+	rng := rand.New(rand.NewSource(seed))
+	b := g.NewBatch()
+	for i := 0; i < n; i++ {
+		b.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://e/s%d", rng.Intn(n/2+1))),
+			P: rdf.IRI(fmt.Sprintf("http://e/p%d", rng.Intn(7))),
+			O: rdf.Literal(fmt.Sprintf("v%d", i)),
+		})
+	}
+	b.Commit()
+	// some removals so checkpointed state is not a pure insert history
+	b = g.NewBatch()
+	g.ForEach(func(tr rdf.Triple) bool {
+		if rng.Intn(5) == 0 {
+			b.Remove(tr)
+		}
+		return true
+	})
+	b.Commit()
+	return g
+}
+
+func graphsEqual(a, b *rdf.Graph) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	eq := true
+	a.ForEach(func(t rdf.Triple) bool {
+		if !b.Has(t) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		dir := t.TempDir()
+		g := testGraph(t, shards, 500, int64(shards))
+		snap := g.Snapshot()
+		path, err := Write(nil, dir, snap)
+		if err != nil {
+			t.Fatalf("shards=%d write: %v", shards, err)
+		}
+		if filepath.Base(path) != DirName(snap.Epoch()) {
+			t.Fatalf("checkpoint dir %q", path)
+		}
+		// restore into the same shard count
+		g2 := rdf.NewGraphSharded(shards)
+		man, err := Restore(nil, dir, g2)
+		if err != nil || man == nil {
+			t.Fatalf("restore: %v (manifest %v)", err, man)
+		}
+		if man.Version != snap.Epoch() {
+			t.Fatalf("manifest version %d, want %d", man.Version, snap.Epoch())
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatalf("shards=%d: restored graph differs", shards)
+		}
+		if g2.Version() != snap.Epoch() {
+			t.Fatalf("restored version %d, want %d", g2.Version(), snap.Epoch())
+		}
+		if g2.Stats() != g.Stats() {
+			t.Fatalf("restored stats %+v != %+v", g2.Stats(), g.Stats())
+		}
+		// restore into a different shard count still yields the same graph
+		g3 := rdf.NewGraphSharded(3)
+		if _, err := Restore(nil, dir, g3); err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, g3) {
+			t.Fatal("cross-shard-count restore differs")
+		}
+	}
+}
+
+func TestCheckpointIdempotentWrite(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 4, 100, 1)
+	snap := g.Snapshot()
+	p1, err := Write(nil, dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Write(nil, dir, snap)
+	if err != nil || p1 != p2 {
+		t.Fatalf("rewrite: %v (%q vs %q)", err, p1, p2)
+	}
+	vs, err := List(nil, dir)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("list: %v %v", vs, err)
+	}
+}
+
+// TestCheckpointCorruptionFallsBack flips bytes in the newest checkpoint
+// and asserts Restore lands on the older valid one instead — never on
+// corrupt data, never with an error.
+func TestCheckpointCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	g1 := testGraph(t, 4, 200, 2)
+	if _, err := Write(nil, dir, g1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	g2 := testGraph(t, 4, 300, 3)
+	// make g2 strictly newer by writing under a larger epoch
+	for g2.Version() <= g1.Version() {
+		g2.Add(rdf.Triple{S: rdf.IRI("http://e/x"), P: rdf.IRI("http://e/p"), O: rdf.Literal(fmt.Sprint(g2.Version()))})
+	}
+	newest, err := Write(nil, dir, g2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []string{"MANIFEST", "shard-0001", "TERMS"} {
+		path := filepath.Join(newest, victim)
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), orig...)
+		mut[len(mut)/2] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g := rdf.NewGraphSharded(4)
+		man, err := Restore(nil, dir, g)
+		if err != nil || man == nil {
+			t.Fatalf("corrupt %s: restore %v (%v)", victim, err, man)
+		}
+		if man.Version != g1.Snapshot().Epoch() || !graphsEqual(g1, g) {
+			t.Fatalf("corrupt %s: did not fall back to older checkpoint", victim)
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// truncated shard file (size mismatch) must also fall back
+	path := filepath.Join(newest, "shard-0000")
+	orig, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, orig[:len(orig)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := rdf.NewGraphSharded(4)
+	man, err := Restore(nil, dir, g)
+	if err != nil || man == nil || !graphsEqual(g1, g) {
+		t.Fatalf("truncated shard: %v %v", err, man)
+	}
+}
+
+func TestCheckpointRestoreEmptyDir(t *testing.T) {
+	g := rdf.NewGraph()
+	man, err := Restore(nil, filepath.Join(t.TempDir(), "absent"), g)
+	if err != nil || man != nil {
+		t.Fatalf("restore from nothing: %v %v", man, err)
+	}
+	if g.Len() != 0 {
+		t.Fatal("graph not empty")
+	}
+}
+
+func TestCheckpointGC(t *testing.T) {
+	dir := t.TempDir()
+	g := rdf.NewGraph()
+	for i := 0; i < 4; i++ {
+		g.Add(rdf.Triple{S: rdf.IRI(fmt.Sprintf("http://e/s%d", i)), P: rdf.IRI("http://e/p"), O: rdf.Literal("v")})
+		if _, err := Write(nil, dir, g.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a stale tmp dir from a "crashed" writer
+	if err := os.MkdirAll(filepath.Join(dir, DirName(9999)+".tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := GC(vfs.OS(), dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 { // 2 old checkpoints + 1 tmp
+		t.Fatalf("removed %d", removed)
+	}
+	vs, _ := List(nil, dir)
+	if len(vs) != 2 {
+		t.Fatalf("kept %d", len(vs))
+	}
+	// the newest survivor still restores
+	g2 := rdf.NewGraph()
+	man, err := Restore(nil, dir, g2)
+	if err != nil || man == nil || !graphsEqual(g, g2) {
+		t.Fatalf("post-GC restore: %v %v", man, err)
+	}
+}

@@ -133,6 +133,22 @@ func (p *Peer) Load(g *rdf.Graph) error {
 	return err
 }
 
+// AdoptDataSchema extends the schema with every IRI mentioned by the
+// stored data, exactly as loading the same triples through Add or Load
+// would have. Recovery paths (internal/durable restoring a checkpoint and
+// WAL directly into the peer's graph) bypass the admission step, so they
+// call this once afterwards to re-derive the schema; Section 2.2's
+// invariant — the schema is the set of IRIs the peer adopted — holds
+// again when it returns.
+func (p *Peer) AdoptDataSchema() {
+	p.data.ForEach(func(t rdf.Triple) bool {
+		for _, x := range t.Terms() {
+			p.schema.Add(x)
+		}
+		return true
+	})
+}
+
 // GraphMappingAssertion is an expression Q ⤳ Q′ between graph pattern
 // queries of the same arity over the schemas of two peers (Section 2.2).
 // The semantics (Definition 2, item 2) requires Q_I ⊆ Q′_I in every

@@ -1,0 +1,245 @@
+package durable
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failfs"
+	"repro/internal/rdf"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// stormState records the world after one committed batch: the graph
+// version, the model contents, and whether the commit was acknowledged
+// before the injected power cut (pre-cut acks are durability promises).
+type stormState struct {
+	version uint64
+	model   map[rdf.Triple]bool
+	gone    []rdf.Triple
+	preCut  bool
+}
+
+func stormTriple(k, j int) rdf.Triple {
+	return rdf.Triple{
+		S: rdf.IRI(fmt.Sprintf("http://e/s%d", (k*7+j)%41)),
+		P: rdf.IRI(fmt.Sprintf("http://e/p%d", j%6)),
+		O: rdf.Literal(fmt.Sprintf("k%d-j%d", k, j)),
+	}
+}
+
+// runStorm replays the deterministic write storm against a store whose
+// filesystem loses every byte past cut (cut < 0: no cut), interleaving
+// synchronous checkpoints, and returns the per-batch states plus the
+// total bytes the uncut run writes.
+func runStorm(t *testing.T, dir string, shards int, cut int64) ([]stormState, int64) {
+	t.Helper()
+	ffs := failfs.New(vfs.OS())
+	g := rdf.NewGraphSharded(shards)
+	st, err := Attach(g, Options{Dir: dir, FS: ffs, Policy: wal.SyncAlways, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if cut >= 0 {
+		ffs.CutAfter(cut)
+	}
+	model := map[rdf.Triple]bool{}
+	var gone []rdf.Triple
+	var states []stormState
+	rng := rand.New(rand.NewSource(int64(shards) * 101))
+	var present []rdf.Triple
+	for k := 0; k < 30; k++ {
+		b := g.NewBatch()
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			tt := stormTriple(k, j)
+			b.Add(tt)
+			if !model[tt] {
+				model[tt] = true
+				present = append(present, tt)
+			}
+		}
+		if len(present) > 3 && rng.Intn(2) == 0 {
+			victim := present[rng.Intn(len(present))]
+			if model[victim] {
+				b.Remove(victim)
+				delete(model, victim)
+				gone = append(gone, victim)
+			}
+		}
+		if _, err := b.CommitErr(); err != nil {
+			t.Fatalf("batch %d: %v", k, err)
+		}
+		snap := map[rdf.Triple]bool{}
+		for tt := range model {
+			snap[tt] = true
+		}
+		states = append(states, stormState{
+			version: g.Version(),
+			model:   snap,
+			gone:    append([]rdf.Triple(nil), gone...),
+			preCut:  !ffs.Cut(),
+		})
+		if k%7 == 6 {
+			// Synchronous checkpoint: exercises torn checkpoint files and
+			// WAL retirement under the cut. Errors are tolerated — a real
+			// process keeps running when a checkpoint fails.
+			_ = st.Checkpoint()
+		}
+	}
+	// Crash: the store is abandoned without Close.
+	return states, ffs.BytesWritten()
+}
+
+// TestCrashInjectionRecoversPrefix is the central durability property:
+// cut the byte stream at an arbitrary offset, recover from what survived,
+// and the graph must equal exactly one of the committed batch states —
+// never a torn mixture — and at least the last state acknowledged before
+// the cut (fsync=always means a returned commit survived). Checked across
+// every read surface at shard counts 1, 4 and 16.
+func TestCrashInjectionRecoversPrefix(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, total := runStorm(t, t.TempDir(), shards, -1)
+			trials := 10
+			if testing.Short() {
+				trials = 3
+			}
+			rng := rand.New(rand.NewSource(int64(shards)*13 + 5))
+			for trial := 0; trial < trials; trial++ {
+				cut := rng.Int63n(total + 1)
+				dir := t.TempDir()
+				states, _ := runStorm(t, dir, shards, cut)
+				verifyRecovered(t, dir, shards, states, cut)
+				// Recovery into a different shard count sees the same data.
+				if trial == 0 {
+					verifyRecovered(t, dir, 2*shards, states, cut)
+				}
+			}
+		})
+	}
+}
+
+func verifyRecovered(t *testing.T, dir string, shards int, states []stormState, cut int64) {
+	t.Helper()
+	g := rdf.NewGraphSharded(shards)
+	st, err := Attach(g, Options{Dir: dir, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("cut %d: recovery attach: %v", cut, err)
+	}
+	defer st.Close()
+	v := g.Version()
+	// Find the committed state matching the recovered version; version 0
+	// (nothing survived) recovers the empty graph.
+	var at *stormState
+	if v != 0 {
+		for i := range states {
+			if states[i].version == v {
+				at = &states[i]
+				break
+			}
+		}
+		if at == nil {
+			t.Fatalf("cut %d: recovered version %d is not a commit boundary", cut, v)
+		}
+	}
+	var floor uint64
+	for i := range states {
+		if states[i].preCut {
+			floor = states[i].version
+		}
+	}
+	if v < floor {
+		t.Fatalf("cut %d: recovered version %d below durable floor %d", cut, v, floor)
+	}
+	if at == nil {
+		if g.Len() != 0 {
+			t.Fatalf("cut %d: version 0 but %d triples", cut, g.Len())
+		}
+		return
+	}
+	checkSurfaces(t, g, at.model, at.gone)
+}
+
+// TestCrashInjectionConcurrentAtomicity storms the store from concurrent
+// writers while the cut lands mid-flight, then checks recovery preserved
+// batch atomicity: for every batch, either all of its triples are present
+// or none, with per-writer prefix order, and Version equals the triple
+// count (the storm is add-only, disjoint). Run with -race in CI.
+func TestCrashInjectionConcurrentAtomicity(t *testing.T) {
+	const writers, batches, perBatch = 4, 25, 5
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := failfs.New(vfs.OS())
+			g := rdf.NewGraphSharded(shards)
+			st, err := Attach(g, Options{Dir: dir, FS: ffs, Policy: wal.SyncAlways, SegmentBytes: 4096,
+				CheckpointEvery: 100, CheckpointPoll: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = st // abandoned at the crash point, never closed
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for k := 0; k < batches; k++ {
+						if w == 1 && k == 4 {
+							// arm the cut from inside the storm
+							ffs.CutAfter(int64(3000 + 101*shards))
+						}
+						b := g.NewBatch()
+						for j := 0; j < perBatch; j++ {
+							b.Add(atomTriple(w, k, j))
+						}
+						b.Commit()
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Crash without Close; recover from the real filesystem.
+			g2 := rdf.NewGraphSharded(shards)
+			st2, err := Attach(g2, Options{Dir: dir, Policy: wal.SyncAlways})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer st2.Close()
+			if uint64(g2.Len()) != g2.Version() {
+				t.Fatalf("add-only storm: Len %d != Version %d", g2.Len(), g2.Version())
+			}
+			for w := 0; w < writers; w++ {
+				lastFull := -1
+				for k := 0; k < batches; k++ {
+					n := 0
+					for j := 0; j < perBatch; j++ {
+						if g2.Has(atomTriple(w, k, j)) {
+							n++
+						}
+					}
+					if n != 0 && n != perBatch {
+						t.Fatalf("writer %d batch %d recovered partially: %d/%d", w, k, n, perBatch)
+					}
+					if n == perBatch {
+						if k != lastFull+1 {
+							t.Fatalf("writer %d: batch %d present but %d missing", w, k, lastFull+1)
+						}
+						lastFull = k
+					}
+				}
+			}
+		})
+	}
+}
+
+func atomTriple(w, k, j int) rdf.Triple {
+	return rdf.Triple{
+		S: rdf.IRI(fmt.Sprintf("http://e/w%d/k%d", w, k)),
+		P: rdf.IRI(fmt.Sprintf("http://e/p%d", j)),
+		O: rdf.Literal(fmt.Sprintf("%d-%d-%d", w, k, j)),
+	}
+}

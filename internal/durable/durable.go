@@ -1,0 +1,363 @@
+// Package durable glues the WAL and checkpoints into one store behind a
+// graph. Attach recovers the graph from disk — newest valid checkpoint
+// first, then the WAL tail replayed through the ordinary batch write path
+// into the exact same epochs — wires the graph's rdf.Persistence hook to
+// the WAL, and (optionally) runs a background checkpointer that snapshots
+// the graph lock-free every CheckpointEvery effective ops, garbage-collects
+// old checkpoints and retires WAL segments the new checkpoint covers.
+//
+// Crash safety model: a commit is acknowledged only after the WAL made it
+// durable per the fsync policy, so after a crash the recovered graph is
+// exactly a prefix of the acknowledged commit sequence (pinned by the
+// crash-injection tests in this package). Checkpoints are pure
+// acceleration: they never extend past the WAL's durable state the graph
+// could not have replayed, and a torn checkpoint falls back to an older
+// one plus a longer replay.
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Options configures Attach.
+type Options struct {
+	// Dir is the store's root; wal/ and checkpoint/ live under it.
+	Dir string
+	// FS is the filesystem to write through; nil means the real one.
+	FS vfs.FS
+	// Policy is the WAL fsync policy.
+	Policy wal.SyncPolicy
+	// SyncInterval is the background WAL flush period (relaxed policies).
+	SyncInterval time.Duration
+	// SegmentBytes is the WAL rotation threshold; 0 means 64MB.
+	SegmentBytes int64
+	// CheckpointEvery runs a background checkpoint after this many
+	// effective ops since the last one; 0 disables the background
+	// checkpointer (Checkpoint can still be called directly).
+	CheckpointEvery uint64
+	// CheckpointPoll is how often the background checkpointer looks at
+	// the op counter; 0 means 1s.
+	CheckpointPoll time.Duration
+	// Keep is how many checkpoints to retain; 0 means 2.
+	Keep int
+}
+
+// RecoveryInfo reports what Attach found on disk.
+type RecoveryInfo struct {
+	// CheckpointVersion is the restored checkpoint's version, 0 if none.
+	CheckpointVersion uint64
+	// WAL is the log scan summary.
+	WAL wal.Recovery
+	// Replayed is the number of WAL records applied on top of the
+	// checkpoint (records the checkpoint already covered are skipped).
+	Replayed int
+}
+
+// Recovered reports whether any durable state was found.
+func (r RecoveryInfo) Recovered() bool {
+	return r.CheckpointVersion > 0 || r.WAL.Records > 0
+}
+
+// HasData reports whether dir holds any durable state worth recovering —
+// the cheap pre-Attach check rpsd uses to decide whether the Turtle data
+// files still need parsing.
+func HasData(fs vfs.FS, dir string) bool {
+	if fs == nil {
+		fs = vfs.OS()
+	}
+	if vs, err := checkpoint.List(fs, filepath.Join(dir, "checkpoint")); err == nil && len(vs) > 0 {
+		return true
+	}
+	names, err := fs.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		return false
+	}
+	for _, n := range names {
+		if len(n) > 8 && n[:4] == "wal-" {
+			return true
+		}
+	}
+	return false
+}
+
+// Store is a graph's durability engine: it implements rdf.Persistence by
+// delegating to the WAL and owns the background checkpointer.
+type Store struct {
+	g    *rdf.Graph
+	w    *wal.WAL
+	fs   vfs.FS
+	opts Options
+
+	ckptDir string
+	rec     RecoveryInfo
+
+	// ops counts effective ops logged since Attach; opsSince since the
+	// last checkpoint (the background trigger).
+	ops      atomic.Uint64
+	opsSince atomic.Uint64
+
+	ckptMu     sync.Mutex // one checkpoint at a time
+	lastCkpt   atomic.Uint64
+	ckptWrites atomic.Uint64
+	ckptFails  atomic.Uint64
+	ckptLastUS atomic.Int64
+
+	done   chan struct{}
+	loopWG sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Attach recovers g from opts.Dir and wires it for durable writes. g must
+// be empty and not yet shared; after Attach returns it is fully recovered
+// and every subsequent commit is logged. The caller must Close the store
+// to flush, checkpoint and release the log.
+func Attach(g *rdf.Graph, opts Options) (*Store, error) {
+	if opts.FS == nil {
+		opts.FS = vfs.OS()
+	}
+	if opts.CheckpointPoll <= 0 {
+		opts.CheckpointPoll = time.Second
+	}
+	if opts.Keep <= 0 {
+		opts.Keep = 2
+	}
+	fs := opts.FS
+	ckptDir := filepath.Join(opts.Dir, "checkpoint")
+	// Recovery is a bounded allocation burst — the checkpoint's dictionary
+	// and trie nodes, nearly all of which survive — so concurrent GC cycles
+	// mid-restore only re-scan the half-built store. Holding GC off for the
+	// window trades a transient heap overshoot for a markedly faster
+	// restart; the deferred reset re-enables it before steady state.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	man, err := checkpoint.Restore(fs, ckptDir, g)
+	if err != nil {
+		return nil, fmt.Errorf("durable: restore checkpoint: %w", err)
+	}
+	// Shard i of the checkpoint holds exactly its commits with epoch ≤
+	// ShardEpochs[i]; records at or below the minimum are fully covered
+	// everywhere and can be skipped. Later records re-apply as no-ops
+	// where the checkpoint already has them (set semantics) and as real
+	// writes where it does not, converging on the logged state.
+	minCovered := uint64(0)
+	ckptVersion := uint64(0)
+	if man != nil {
+		ckptVersion = man.Version
+		minCovered = man.ShardEpochs[0]
+		for _, e := range man.ShardEpochs[1:] {
+			if e < minCovered {
+				minCovered = e
+			}
+		}
+	}
+	replayed := 0
+	w, walRec, err := wal.Open(wal.Options{
+		Dir:          filepath.Join(opts.Dir, "wal"),
+		FS:           fs,
+		Policy:       opts.Policy,
+		Interval:     opts.SyncInterval,
+		SegmentBytes: opts.SegmentBytes,
+	}, func(rec rdf.CommitRecord) error {
+		if rec.Epoch <= minCovered {
+			return nil
+		}
+		b := g.NewBatch()
+		for _, op := range rec.Ops {
+			if op.Del {
+				b.Remove(op.T)
+			} else {
+				b.Add(op.T)
+			}
+		}
+		b.Commit()
+		g.RestoreVersion(rec.Epoch)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	target := ckptVersion
+	if walRec.LastEpoch > target {
+		target = walRec.LastEpoch
+	}
+	g.RestoreVersion(target)
+	s := &Store{
+		g:       g,
+		w:       w,
+		fs:      fs,
+		opts:    opts,
+		ckptDir: ckptDir,
+		rec:     RecoveryInfo{CheckpointVersion: ckptVersion, WAL: *walRec, Replayed: replayed},
+	}
+	s.lastCkpt.Store(ckptVersion)
+	g.SetPersistence(s)
+	if opts.CheckpointEvery > 0 {
+		s.done = make(chan struct{})
+		s.loopWG.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// Recovery reports what Attach found.
+func (s *Store) Recovery() RecoveryInfo { return s.rec }
+
+// LogCommit implements rdf.Persistence: buffer the record in the WAL.
+// Called by the graph pre-publication under its locks — Append only
+// buffers, so no commit ever blocks on I/O here.
+func (s *Store) LogCommit(rec rdf.CommitRecord) (uint64, error) {
+	tok, err := s.w.Append(rec)
+	if err != nil {
+		return 0, err
+	}
+	s.ops.Add(uint64(len(rec.Ops)))
+	s.opsSince.Add(uint64(len(rec.Ops)))
+	return tok, nil
+}
+
+// WaitDurable implements rdf.Persistence: group-commit the record per the
+// fsync policy.
+func (s *Store) WaitDurable(token uint64) error { return s.w.WaitDurable(token) }
+
+func (s *Store) checkpointLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.opts.CheckpointPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			if s.opsSince.Load() >= s.opts.CheckpointEvery {
+				_ = s.Checkpoint()
+			}
+		}
+	}
+}
+
+// Checkpoint snapshots the graph (lock-free — writers and readers keep
+// running), writes it as a new checkpoint, prunes old checkpoints and
+// retires every WAL segment whose records the new checkpoint fully
+// covers. No-op if nothing committed since the last checkpoint.
+func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	// The floor is read before the snapshot: every logged commit at or
+	// below it has fully published, so the snapshot provably contains it
+	// and its WAL records are safe to retire once the checkpoint lands.
+	floor := s.g.PublishedFloor()
+	snap := s.g.Snapshot()
+	if snap.Epoch() == s.lastCkpt.Load() {
+		return nil
+	}
+	// Every commit the snapshot contains was logged before it published;
+	// sync the WAL before the checkpoint becomes visible so no recoverable
+	// checkpoint can ever hold state whose log record was lost — the
+	// rename below happens-after this sync on disk.
+	if err := s.w.Sync(); err != nil {
+		s.ckptFails.Add(1)
+		return err
+	}
+	start := time.Now()
+	if _, err := checkpoint.Write(s.fs, s.ckptDir, snap); err != nil {
+		s.ckptFails.Add(1)
+		return err
+	}
+	s.ckptWrites.Add(1)
+	s.ckptLastUS.Store(time.Since(start).Microseconds())
+	s.lastCkpt.Store(snap.Epoch())
+	s.opsSince.Store(0)
+	if _, err := checkpoint.GC(s.fs, s.ckptDir, s.opts.Keep); err != nil {
+		return err
+	}
+	if err := s.w.Rotate(); err != nil {
+		return err
+	}
+	_, err := s.w.Retire(floor)
+	return err
+}
+
+// LastCheckpointVersion returns the version of the newest on-disk
+// checkpoint, 0 if none.
+func (s *Store) LastCheckpointVersion() uint64 { return s.lastCkpt.Load() }
+
+// WALStats snapshots the log's counters.
+func (s *Store) WALStats() wal.Stats { return s.w.Stats() }
+
+// Sync forces every buffered WAL record to disk regardless of the fsync
+// policy — the explicit durability point for relaxed policies (benchmarks
+// and tests simulating a crash after a known-durable prefix).
+func (s *Store) Sync() error { return s.w.Sync() }
+
+// RegisterMetrics exposes the store's wal_* and checkpoint_* families on
+// r, labelled with the owning peer.
+func (s *Store) RegisterMetrics(r *obs.Registry, peer string) {
+	lbl := func(name string) string { return name + `{peer="` + peer + `"}` }
+	r.GaugeFunc(lbl("wal_appends_total"), "records appended to the write-ahead log", func() float64 {
+		return float64(s.w.Stats().Appends)
+	})
+	r.GaugeFunc(lbl("wal_appended_bytes_total"), "bytes appended to the write-ahead log", func() float64 {
+		return float64(s.w.Stats().AppendedBytes)
+	})
+	r.GaugeFunc(lbl("wal_syncs_total"), "fsyncs issued by the write-ahead log", func() float64 {
+		return float64(s.w.Stats().Syncs)
+	})
+	r.GaugeFunc(lbl("wal_segments"), "live WAL segment files", func() float64 {
+		return float64(s.w.Stats().Segments)
+	})
+	r.GaugeFunc(lbl("wal_retired_segments_total"), "WAL segments retired by checkpoints", func() float64 {
+		return float64(s.w.Stats().Retired)
+	})
+	r.GaugeFunc(lbl("wal_last_epoch"), "epoch of the last appended record", func() float64 {
+		return float64(s.w.Stats().LastEpoch)
+	})
+	r.GaugeFunc(lbl("wal_durable_epoch"), "fsynced epoch watermark", func() float64 {
+		return float64(s.w.Stats().DurableEpoch)
+	})
+	r.GaugeFunc(lbl("checkpoint_last_version"), "version of the newest checkpoint", func() float64 {
+		return float64(s.lastCkpt.Load())
+	})
+	r.GaugeFunc(lbl("checkpoint_writes_total"), "checkpoints written", func() float64 {
+		return float64(s.ckptWrites.Load())
+	})
+	r.GaugeFunc(lbl("checkpoint_failures_total"), "checkpoint writes that failed", func() float64 {
+		return float64(s.ckptFails.Load())
+	})
+	r.GaugeFunc(lbl("checkpoint_last_duration_us"), "duration of the last checkpoint write", func() float64 {
+		return float64(s.ckptLastUS.Load())
+	})
+	r.GaugeFunc(lbl("checkpoint_pending_ops"), "effective ops since the last checkpoint", func() float64 {
+		return float64(s.opsSince.Load())
+	})
+}
+
+// Close stops the background checkpointer, takes a final checkpoint (a
+// graceful shutdown restarts from the snapshot, not a long replay) and
+// closes the WAL. Idempotent.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		if s.done != nil {
+			close(s.done)
+			s.loopWG.Wait()
+		}
+		err := s.Checkpoint()
+		if cerr := s.w.Close(); err == nil {
+			err = cerr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}

@@ -1,0 +1,238 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/wal"
+)
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.IRI("http://e/" + s), P: rdf.IRI("http://e/" + p), O: rdf.Literal(o)}
+}
+
+// checkSurfaces asserts the recovered graph exposes exactly `want` (and
+// none of `gone`) across every read surface: Len, Has, Match, MatchShard,
+// MatchCount, ForEach, the snapshot surface, Stats and PredStats.
+func checkSurfaces(t testing.TB, g *rdf.Graph, want map[rdf.Triple]bool, gone []rdf.Triple) {
+	t.Helper()
+	if g.Len() != len(want) {
+		t.Fatalf("Len %d, want %d", g.Len(), len(want))
+	}
+	for tt := range want {
+		if !g.Has(tt) {
+			t.Fatalf("Has(%v) = false", tt)
+		}
+	}
+	for _, tt := range gone {
+		if !want[tt] && g.Has(tt) {
+			t.Fatalf("Has(%v) = true for removed triple", tt)
+		}
+	}
+	seen := map[rdf.Triple]int{}
+	g.Match(nil, nil, nil, func(tt rdf.Triple) bool { seen[tt]++; return true })
+	if len(seen) != len(want) {
+		t.Fatalf("Match yields %d, want %d", len(seen), len(want))
+	}
+	for tt, n := range seen {
+		if n != 1 || !want[tt] {
+			t.Fatalf("Match emitted %v ×%d", tt, n)
+		}
+	}
+	snap := g.Snapshot()
+	shardSeen := map[rdf.Triple]int{}
+	for i := 0; i < snap.ShardCount(); i++ {
+		g.MatchShard(i, nil, nil, nil, func(tt rdf.Triple) bool { shardSeen[tt]++; return true })
+	}
+	for tt, n := range shardSeen {
+		if n != 1 || !want[tt] {
+			t.Fatalf("MatchShard union emitted %v ×%d", tt, n)
+		}
+	}
+	if len(shardSeen) != len(want) {
+		t.Fatalf("MatchShard union %d, want %d", len(shardSeen), len(want))
+	}
+	if n := g.MatchCount(nil, nil, nil); n != len(want) {
+		t.Fatalf("MatchCount %d, want %d", n, len(want))
+	}
+	n := 0
+	g.ForEach(func(rdf.Triple) bool { n++; return true })
+	if n != len(want) {
+		t.Fatalf("ForEach %d, want %d", n, len(want))
+	}
+	if snap.Len() != len(want) {
+		t.Fatalf("snapshot Len %d, want %d", snap.Len(), len(want))
+	}
+	for tt := range want {
+		if !snap.Has(tt) {
+			t.Fatalf("snapshot Has(%v) = false", tt)
+		}
+	}
+	// Stats must match a recount of the model.
+	subs, preds, objs := map[rdf.Term]bool{}, map[rdf.Term]bool{}, map[rdf.Term]bool{}
+	perPred := map[rdf.Term]*struct {
+		n    int
+		s, o map[rdf.Term]bool
+	}{}
+	for tt := range want {
+		subs[tt.S], preds[tt.P], objs[tt.O] = true, true, true
+		ps := perPred[tt.P]
+		if ps == nil {
+			ps = &struct {
+				n    int
+				s, o map[rdf.Term]bool
+			}{s: map[rdf.Term]bool{}, o: map[rdf.Term]bool{}}
+			perPred[tt.P] = ps
+		}
+		ps.n++
+		ps.s[tt.S], ps.o[tt.O] = true, true
+	}
+	st := g.Stats()
+	if st.Triples != len(want) || st.DistinctSubjects != len(subs) ||
+		st.DistinctPredicates != len(preds) || st.DistinctObjects != len(objs) {
+		t.Fatalf("Stats %+v vs recount {%d %d %d %d}", st, len(want), len(subs), len(preds), len(objs))
+	}
+	for p, ps := range perPred {
+		got, ok := g.PredStats(p)
+		if !ok || got.Triples != ps.n || got.DistinctSubjects != len(ps.s) || got.DistinctObjects != len(ps.o) {
+			t.Fatalf("PredStats(%v) = %+v/%v, want {%d %d %d}", p, got, ok, ps.n, len(ps.s), len(ps.o))
+		}
+	}
+}
+
+func TestDurableRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	g := rdf.NewGraphSharded(4)
+	st, err := Attach(g, Options{Dir: dir, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovery().Recovered() {
+		t.Fatal("fresh dir claims recovery")
+	}
+	want := map[rdf.Triple]bool{}
+	b := g.NewBatch()
+	for i := 0; i < 200; i++ {
+		tt := tr(fmt.Sprintf("s%d", i%37), fmt.Sprintf("p%d", i%5), fmt.Sprintf("v%d", i))
+		b.Add(tt)
+		want[tt] = true
+	}
+	b.Commit()
+	var gone []rdf.Triple
+	b = g.NewBatch()
+	i := 0
+	for tt := range want {
+		if i%4 == 0 {
+			b.Remove(tt)
+			gone = append(gone, tt)
+		}
+		i++
+	}
+	b.Commit()
+	for _, tt := range gone {
+		delete(want, tt)
+	}
+	version := g.Version()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !HasData(nil, dir) {
+		t.Fatal("HasData false after writes")
+	}
+	// Warm restart: Close checkpointed, so recovery restores the snapshot
+	// and replays an empty tail.
+	g2 := rdf.NewGraphSharded(4)
+	st2, err := Attach(g2, Options{Dir: dir, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ri := st2.Recovery()
+	if !ri.Recovered() || ri.CheckpointVersion != version {
+		t.Fatalf("recovery info %+v, want checkpoint at %d", ri, version)
+	}
+	if g2.Version() != version {
+		t.Fatalf("recovered version %d, want %d", g2.Version(), version)
+	}
+	checkSurfaces(t, g2, want, gone)
+	// Writes keep flowing after recovery, with epochs continuing.
+	extra := tr("post", "p", "restart")
+	if !g2.Add(extra) {
+		t.Fatal("add after recovery failed")
+	}
+	if g2.Version() != version+1 {
+		t.Fatalf("version after post-recovery add: %d", g2.Version())
+	}
+	if err := g2.PersistenceError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableCheckpointRetiresWAL(t *testing.T) {
+	dir := t.TempDir()
+	g := rdf.NewGraphSharded(4)
+	st, err := Attach(g, Options{Dir: dir, Policy: wal.SyncAlways, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		g.Add(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("v%d", i)))
+	}
+	pre := st.WALStats()
+	if pre.Segments < 2 {
+		t.Fatalf("want rotation before checkpoint, got %d segments", pre.Segments)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	post := st.WALStats()
+	if post.Retired == 0 || post.Segments >= pre.Segments {
+		t.Fatalf("checkpoint retired nothing: pre %+v post %+v", pre, post)
+	}
+	if st.LastCheckpointVersion() != g.Version() {
+		t.Fatalf("checkpoint version %d, graph %d", st.LastCheckpointVersion(), g.Version())
+	}
+	// Idempotent: nothing new committed, second checkpoint is a no-op.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := rdf.NewGraphSharded(4)
+	st2, err := Attach(g2, Options{Dir: dir, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if g2.Len() != g.Len() || g2.Version() != g.Version() {
+		t.Fatalf("post-retire recovery: len %d/%d version %d/%d", g2.Len(), g.Len(), g2.Version(), g.Version())
+	}
+}
+
+func TestDurableBackgroundCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	g := rdf.NewGraphSharded(2)
+	st, err := Attach(g, Options{
+		Dir: dir, Policy: wal.SyncAlways,
+		CheckpointEvery: 50, CheckpointPoll: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		g.Add(tr(fmt.Sprintf("s%d", i), "p", "v"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.LastCheckpointVersion() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/wal"
+)
+
+// The kill harness re-executes this test binary as a writer child
+// (TestCrashChild below, gated on RPS_CRASH_CHILD), SIGKILLs it at a
+// random point mid-storm, and recovers the directory in-process. The
+// child's schedule is deterministic, so the parent can reconstruct the
+// exact state any acknowledged version implies.
+
+func childBatchSize(k int) int { return 1 + k%5 }
+
+func childTriple(k, j int) rdf.Triple {
+	return rdf.Triple{
+		S: rdf.IRI(fmt.Sprintf("http://e/child/s%d", k)),
+		P: rdf.IRI(fmt.Sprintf("http://e/child/p%d", j%3)),
+		O: rdf.Literal(fmt.Sprintf("%d-%d", k, j)),
+	}
+}
+
+// childVersionAfter returns the graph version after batch k (add-only
+// disjoint schedule: version advances by the batch size).
+func childVersionAfter(k int) uint64 {
+	v := uint64(0)
+	for i := 0; i <= k; i++ {
+		v += uint64(childBatchSize(i))
+	}
+	return v
+}
+
+func TestCrashChild(t *testing.T) {
+	if os.Getenv("RPS_CRASH_CHILD") != "1" {
+		t.Skip("crash-harness child; run via TestCrashKillRecovery")
+	}
+	dir := os.Getenv("RPS_CRASH_DIR")
+	g := rdf.NewGraphSharded(4)
+	st, err := Attach(g, Options{
+		Dir: dir, Policy: wal.SyncAlways, SegmentBytes: 4096,
+		CheckpointEvery: 64, CheckpointPoll: 5 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Printf("child-error attach: %v\n", err)
+		return
+	}
+	defer st.Close() // unreachable on kill; keeps a clean exit clean
+	for k := 0; ; k++ {
+		b := g.NewBatch()
+		for j := 0; j < childBatchSize(k); j++ {
+			b.Add(childTriple(k, j))
+		}
+		if _, err := b.CommitErr(); err != nil {
+			fmt.Printf("child-error commit %d: %v\n", k, err)
+			return
+		}
+		// The commit is durable (fsync=always): acknowledge it. A crash
+		// from here on must preserve it.
+		fmt.Printf("ack %d\n", g.Version())
+	}
+}
+
+func TestCrashKillRecovery(t *testing.T) {
+	if os.Getenv("RPS_CRASH_CHILD") == "1" {
+		t.Skip("child process")
+	}
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		dir := t.TempDir()
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCrashChild$")
+		cmd.Env = append(os.Environ(), "RPS_CRASH_CHILD=1", "RPS_CRASH_DIR="+dir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		killAfter := 5 + rng.Intn(60)
+		lastAck := uint64(0)
+		acks := 0
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "child-error") {
+				t.Fatalf("trial %d: %s", trial, line)
+			}
+			if v, ok := strings.CutPrefix(line, "ack "); ok {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					t.Fatalf("bad ack line %q", line)
+				}
+				lastAck = n
+				if acks++; acks >= killAfter {
+					break
+				}
+			}
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		_ = cmd.Wait() // expected: killed
+		if acks == 0 {
+			t.Fatalf("trial %d: child produced no acks", trial)
+		}
+
+		g := rdf.NewGraphSharded(4)
+		st, err := Attach(g, Options{Dir: dir, Policy: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("trial %d: recovery: %v", trial, err)
+		}
+		v := g.Version()
+		if v < lastAck {
+			t.Fatalf("trial %d: recovered version %d < last acknowledged %d", trial, v, lastAck)
+		}
+		// v must be a batch boundary of the deterministic schedule; find
+		// its k and rebuild the expected contents.
+		k, boundary := -1, uint64(0)
+		for i := 0; boundary < v; i++ {
+			boundary = childVersionAfter(i)
+			k = i
+		}
+		if boundary != v {
+			t.Fatalf("trial %d: recovered version %d is not a batch boundary", trial, v)
+		}
+		want := map[rdf.Triple]bool{}
+		for i := 0; i <= k; i++ {
+			for j := 0; j < childBatchSize(i); j++ {
+				want[childTriple(i, j)] = true
+			}
+		}
+		checkSurfaces(t, g, want, nil)
+		if err := st.Close(); err != nil {
+			t.Fatalf("trial %d: close after recovery: %v", trial, err)
+		}
+	}
+}

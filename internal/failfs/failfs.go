@@ -1,0 +1,173 @@
+// Package failfs is the crash-injection filesystem behind the durability
+// tests: a vfs.FS wrapper that models power loss at a byte offset. Every
+// operation before the cut passes through to the wrapped filesystem;
+// once the cumulative written-byte budget is exhausted, writes are
+// silently discarded (reported as fully successful, like a drive that
+// acknowledged into a cache that never flushed), a write straddling the
+// cut lands only its prefix, and metadata operations — create, rename,
+// remove, sync — become lying no-ops. Reads always pass through, so a
+// recovery run over the same directory sees exactly the bytes a real
+// crash at that offset would have left.
+package failfs
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// FS wraps an inner filesystem with a write budget. The zero budget means
+// "no cut": everything passes through until CutAfter arms one.
+type FS struct {
+	inner vfs.FS
+
+	mu      sync.Mutex
+	armed   bool
+	budget  int64 // bytes remaining before the cut
+	cut     bool  // budget exhausted
+	written int64 // total bytes actually written through
+}
+
+// New wraps inner; no cut is armed.
+func New(inner vfs.FS) *FS { return &FS{inner: inner} }
+
+// CutAfter arms the cut: after n more bytes of writes, everything is
+// silently dropped.
+func (f *FS) CutAfter(n int64) {
+	f.mu.Lock()
+	f.armed, f.budget, f.cut = true, n, n <= 0
+	f.mu.Unlock()
+}
+
+// Cut reports whether the cut has happened.
+func (f *FS) Cut() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut
+}
+
+// BytesWritten returns the total bytes written through to the inner
+// filesystem (bytes dropped past the cut are not counted).
+func (f *FS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// consume takes up to n bytes of budget, returning how many may really be
+// written. Crossing zero flips the FS into the cut state.
+func (f *FS) consume(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cut {
+		return 0
+	}
+	allowed := n
+	if f.armed && int64(n) > f.budget {
+		allowed = int(f.budget)
+		f.cut = true
+	}
+	if f.armed {
+		f.budget -= int64(allowed)
+	}
+	f.written += int64(allowed)
+	return allowed
+}
+
+type failFile struct {
+	fs    *FS
+	inner vfs.File
+}
+
+func (w *failFile) Write(p []byte) (int, error) {
+	allowed := w.fs.consume(len(p))
+	if allowed > 0 {
+		if _, err := w.inner.Write(p[:allowed]); err != nil {
+			return 0, err
+		}
+	}
+	// Report full success whatever landed — the write is in a cache the
+	// power loss will destroy.
+	return len(p), nil
+}
+
+func (w *failFile) Sync() error {
+	if w.fs.Cut() {
+		return nil // lies: the sync "succeeded" into the void
+	}
+	return w.inner.Sync()
+}
+
+func (w *failFile) Close() error { return w.inner.Close() }
+
+type nullFile struct{}
+
+func (nullFile) Write(p []byte) (int, error) { return len(p), nil }
+func (nullFile) Sync() error                 { return nil }
+func (nullFile) Close() error                { return nil }
+
+func (f *FS) Create(name string) (vfs.File, error) {
+	if f.Cut() {
+		return nullFile{}, nil
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Append(name string) (vfs.File, error) {
+	if f.Cut() {
+		return nullFile{}, nil
+	}
+	inner, err := f.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
+
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *FS) MkdirAll(dir string) error {
+	if f.Cut() {
+		return nil
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	if f.Cut() {
+		return nil
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FS) Remove(name string) error {
+	if f.Cut() {
+		return nil
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) RemoveAll(name string) error {
+	if f.Cut() {
+		return nil
+	}
+	return f.inner.RemoveAll(name)
+}
+
+func (f *FS) Stat(name string) (int64, error) { return f.inner.Stat(name) }
+
+func (f *FS) SyncDir(dir string) error {
+	if f.Cut() {
+		return nil
+	}
+	return f.inner.SyncDir(dir)
+}

@@ -34,11 +34,28 @@ import (
 	"repro/internal/turtle"
 )
 
+// Options customises Load's behaviour for callers that manage peer
+// storage themselves (cmd/rpsd wiring durable stores under the graphs).
+type Options struct {
+	// PreparePeer, when non-nil, runs for every peer directive right after
+	// the peer is created and before its Turtle data file is read. It is
+	// the durability attachment point: cmd/rpsd attaches a WAL-plus-
+	// checkpoint store to the peer's graph here, so a subsequent Turtle
+	// load is logged — or, when the store recovered previous data, returns
+	// skipData=true and the data file is not read at all (the recovered
+	// graph already holds its contents). On skipData the peer's schema is
+	// re-derived from the recovered data (core.Peer.AdoptDataSchema), so
+	// mapping and schema directives that follow see the same schema a
+	// fresh load would have produced. An error aborts the load.
+	PreparePeer func(p *core.Peer) (skipData bool, err error)
+}
+
 // pendingLoad is one peer data file queued for parallel reading and
 // parsing. The namespace table is snapshotted at the peer's line, so
 // prefix directives keep their line-ordered semantics.
 type pendingLoad struct {
 	name, path string
+	peer       *core.Peer
 	lineNo     int
 	ns         *rdf.Namespaces
 	g          *rdf.Graph
@@ -94,6 +111,11 @@ func loadPeerGraphs(pending []*pendingLoad) {
 // (gma, schema, eq, sameas) still sees all previously declared peers fully
 // loaded, in declaration order.
 func Load(path string) (*core.System, *rdf.Namespaces, error) {
+	return LoadWith(path, Options{})
+}
+
+// LoadWith is Load with Options; see Options.PreparePeer.
+func LoadWith(path string, opts Options) (*core.System, *rdf.Namespaces, error) {
 	text, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapfile: %w", err)
@@ -113,7 +135,7 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 			if pl.err != nil {
 				return fmt.Errorf("mapfile: %s:%d: peer %s: %v", path, pl.lineNo, pl.name, pl.err)
 			}
-			if err := sys.AddPeer(pl.name).Load(pl.g); err != nil {
+			if err := pl.peer.Load(pl.g); err != nil {
 				return fmt.Errorf("mapfile: %s:%d: peer %s: %v", path, pl.lineNo, pl.name, err)
 			}
 		}
@@ -146,8 +168,22 @@ func Load(path string) (*core.System, *rdf.Namespaces, error) {
 			if !filepath.IsAbs(dataPath) {
 				dataPath = filepath.Join(dir, dataPath)
 			}
+			p := sys.AddPeer(name)
+			if opts.PreparePeer != nil {
+				skip, err := opts.PreparePeer(p)
+				if err != nil {
+					return nil, nil, errf("peer %s: %v", name, err)
+				}
+				if skip {
+					// The caller's storage already holds this peer's data
+					// (e.g. recovered from a checkpoint + WAL); re-derive
+					// the schema from it instead of re-reading the file.
+					p.AdoptDataSchema()
+					continue
+				}
+			}
 			pending = append(pending, &pendingLoad{
-				name: name, path: dataPath, lineNo: lineNo + 1, ns: ns.Clone(),
+				name: name, path: dataPath, peer: p, lineNo: lineNo + 1, ns: ns.Clone(),
 			})
 		case "gma":
 			if err := flush(); err != nil {

@@ -65,10 +65,22 @@ func (b *Batch) Len() int { return len(b.ops) }
 
 // Commit applies the batch and returns the number of effective writes
 // (insertions of absent triples plus removals of present ones). The batch
-// is reset for reuse.
+// is reset for reuse. On a graph with a Persistence hook, a logging
+// failure aborts the commit (0 effective writes, nothing published) and
+// is retrievable via CommitErr or Graph.PersistenceError.
 func (b *Batch) Commit() int {
-	n, _ := b.commit(false)
+	n, _, _ := b.commit(false)
 	return n
+}
+
+// CommitErr is Commit surfacing the persistence outcome: a LogCommit
+// failure (commit aborted, nothing published) or a WaitDurable failure
+// (commit published but durability unknown). Callers that acknowledge
+// writes to clients — rpsd, the crash harness — use this form; graphs
+// without a Persistence hook never return an error.
+func (b *Batch) CommitErr() (int, error) {
+	n, _, err := b.commit(false)
+	return n, err
 }
 
 // CommitAdded is Commit returning the triples whose insertion took effect,
@@ -76,7 +88,7 @@ func (b *Batch) Commit() int {
 // triple added and later removed by the same batch is still reported: the
 // add took effect when it applied.
 func (b *Batch) CommitAdded() []Triple {
-	_, added := b.commit(true)
+	_, added, _ := b.commit(true)
 	return added
 }
 
@@ -153,11 +165,11 @@ func (g *Graph) putScratch(sc *commitScratch) {
 	g.scratch.Put(sc)
 }
 
-func (b *Batch) commit(wantAdded bool) (int, []Triple) {
+func (b *Batch) commit(wantAdded bool) (int, []Triple, error) {
 	g := b.g
 	ops, del := b.ops, b.del
 	if len(ops) == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	b.ops, b.del = nil, nil
 	// isDel stays nil for add-only batches, letting the dictionary phase
@@ -200,7 +212,7 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 	}
 	sc.touched = touched // putScratch truncates these shards' op lists
 	if len(touched) == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 
 	// Lock every touched shard in ascending index order (the discipline
@@ -295,14 +307,47 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 		for _, si := range touched {
 			g.shards[si].mu.Unlock()
 		}
-		return 0, nil
+		return 0, nil, nil
 	}
 
-	// Freeze and publish: one version advance for the whole batch (sized
-	// by its effective op count), one atomic store per changed shard. This
-	// is the instant the batch becomes visible; each shard flips from
-	// none-of-the-batch to all-of-the-batch in a single store.
-	epoch := g.version.Add(uint64(nAdd + nDel))
+	// Log first, then publish: with a Persistence hook attached, the
+	// batch's effective ops append to the log — under persistMu, paired
+	// with the epoch assignment, so log order is epoch order — before any
+	// shard state becomes visible. A refused append aborts the whole
+	// commit: the transient states are simply dropped, nothing published,
+	// the version untouched.
+	box := g.persist.Load()
+	var epoch, token uint64
+	if box != nil {
+		rec := CommitRecord{Ops: make([]Op, 0, nAdd+nDel)}
+		for k, e := range effect {
+			if e != 0 {
+				rec.Ops = append(rec.Ops, Op{Del: e < 0, T: ops[k]})
+			}
+		}
+		g.persistMu.Lock()
+		epoch = g.version.Load() + uint64(nAdd+nDel)
+		rec.Epoch = epoch
+		var logErr error
+		token, logErr = box.p.LogCommit(rec)
+		if logErr != nil {
+			g.persistMu.Unlock()
+			for _, si := range touched {
+				g.shards[si].mu.Unlock()
+			}
+			g.setPersistErr(logErr)
+			return 0, nil, logErr
+		}
+		g.version.Store(epoch)
+		g.inflight[epoch] = struct{}{}
+		g.persistMu.Unlock()
+	} else {
+		// Freeze and publish: one version advance for the whole batch
+		// (sized by its effective op count), one atomic store per changed
+		// shard. This is the instant the batch becomes visible; each shard
+		// flips from none-of-the-batch to all-of-the-batch in one store.
+		epoch = g.version.Add(uint64(nAdd + nDel))
+	}
 	for _, si := range touched {
 		st := &cs[si]
 		if st.changed {
@@ -317,6 +362,7 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 		g.shards[si].rec.adapt()
 		g.shards[si].mu.Unlock()
 	}
+	g.publishDone(box, epoch)
 
 	g.size.Add(int64(nAdd - nDel))
 	var dS, dP, dO int64
@@ -355,7 +401,16 @@ func (b *Batch) commit(wantAdded bool) (int, []Triple) {
 			}
 		}
 	}
-	return nAdd + nDel, added
+	// The durability wait runs outside every lock: under fsync policies
+	// that group-commit, many concurrent batches collapse into one fsync
+	// here; under relaxed policies it returns immediately.
+	var err error
+	if box != nil {
+		if err = box.p.WaitDurable(token); err != nil {
+			g.setPersistErr(err)
+		}
+	}
+	return nAdd + nDel, added, err
 }
 
 // fanOut runs fn(shard) for every touched shard, in parallel when the

@@ -432,18 +432,25 @@ func TestRemoveRacesAddRefcount(t *testing.T) {
 // slices afresh.
 func TestCommitScratchPooling(t *testing.T) {
 	g := NewGraphSharded(4)
-	sc := g.getScratch(8, 4)
-	// dirty it the way a commit does
-	sc.skip[3] = true
-	sc.effect[5] = 1
-	sc.spFlag[0] = true
-	sc.subOps[2] = append(sc.subOps[2], 7)
-	sc.predOps[2] = append(sc.predOps[2], 9)
-	sc.touched = append(sc.touched, 2)
-	sc.cs[1].changed = true
-	g.putScratch(sc)
-
-	got := g.getScratch(8, 4)
+	// Under the race detector sync.Pool deliberately drops a fraction of
+	// Puts, so one put/get round can miss; retry until the released scratch
+	// comes back (the odds of sustained misses are negligible).
+	var sc, got *commitScratch
+	for attempt := 0; attempt < 64; attempt++ {
+		sc = g.getScratch(8, 4)
+		// dirty it the way a commit does
+		sc.skip[3] = true
+		sc.effect[5] = 1
+		sc.spFlag[0] = true
+		sc.subOps[2] = append(sc.subOps[2], 7)
+		sc.predOps[2] = append(sc.predOps[2], 9)
+		sc.touched = append(sc.touched, 2)
+		sc.cs[1].changed = true
+		g.putScratch(sc)
+		if got = g.getScratch(8, 4); got == sc {
+			break
+		}
+	}
 	if got != sc {
 		t.Fatal("pool did not return the released scratch")
 	}

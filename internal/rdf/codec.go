@@ -1,0 +1,270 @@
+package rdf
+
+// Binary codec for terms, triples and commit records — the on-disk
+// vocabulary shared by the write-ahead log (internal/wal) and the snapshot
+// checkpoints (internal/checkpoint). The encoding is self-delimiting and
+// validated on decode: every decoder returns an error (never panics, never
+// silently misreads) on truncated, bit-flipped or otherwise malformed
+// input, which is what lets the recovery path treat "decode error" as
+// "torn tail" with confidence. Framing integrity (lengths, checksums) is
+// the storage layers' job; this codec owns the payloads.
+//
+// Term encoding: one tag byte — the low two bits are the Kind, bit 2 marks
+// a datatype suffix, bit 3 a language-tag suffix — followed by the
+// uvarint-length-prefixed value string and, per the tag bits, the datatype
+// or language string. Triples are the three terms in S, P, O order. A
+// commit record is its epoch, its op count, then each op as a flag byte
+// (0 add, 1 remove) and a triple.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCodec wraps every decode failure of this codec, so storage layers can
+// distinguish corrupt payloads from I/O errors with errors.Is.
+var ErrCodec = errors.New("rdf: corrupt encoding")
+
+const (
+	tagKindMask  = 0b0011
+	tagDatatype  = 0b0100
+	tagLang      = 0b1000
+	tagKnownBits = 0b1111
+)
+
+// maxDecodeString bounds one decoded string so a corrupt length prefix
+// cannot drive an enormous allocation before the real bytes run out.
+const maxDecodeString = 1 << 28
+
+// AppendTerm appends the binary encoding of t to dst and returns the
+// extended slice. Zero (invalid) terms are encodable — kind bits 0 — so
+// round-tripping is total, but decoders of triple positions reject them
+// through Triple.Valid checks at the record layer.
+func AppendTerm(dst []byte, t Term) []byte {
+	tag := byte(t.kind) & tagKindMask
+	if t.datatype != "" {
+		tag |= tagDatatype
+	}
+	if t.lang != "" {
+		tag |= tagLang
+	}
+	dst = append(dst, tag)
+	dst = appendString(dst, t.value)
+	if t.datatype != "" {
+		dst = appendString(dst, t.datatype)
+	}
+	if t.lang != "" {
+		dst = appendString(dst, t.lang)
+	}
+	return dst
+}
+
+// DecodeTerm decodes one term from the front of b, returning the term and
+// the remaining bytes.
+func DecodeTerm(b []byte) (Term, []byte, error) {
+	return decodeTermSeq(b)
+}
+
+// DecodeTermsShared decodes exactly count consecutive terms spanning all
+// of data. The decoded terms' strings are substrings of ONE copy of data
+// rather than per-field allocations — the shape checkpoint recovery
+// wants, where every decoded term is retained in the dictionary anyway
+// and the per-term garbage of the naive path is pure GC pressure.
+func DecodeTermsShared(data []byte, count int) ([]Term, error) {
+	s := string(data)
+	terms := make([]Term, 0, count)
+	for len(s) > 0 {
+		t, rest, err := decodeTermSeq(s)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		s = rest
+	}
+	if len(terms) != count {
+		return nil, fmt.Errorf("%w: %d terms, expected %d", ErrCodec, len(terms), count)
+	}
+	return terms, nil
+}
+
+// decodeTermSeq is DecodeTerm generic over the input sequence: for []byte
+// every string field is copied out (the input buffer is transient); for
+// string the fields are substrings sharing the input's backing array.
+func decodeTermSeq[T ~string | ~[]byte](b T) (Term, T, error) {
+	var zero T
+	if len(b) == 0 {
+		return Term{}, zero, fmt.Errorf("%w: truncated term tag", ErrCodec)
+	}
+	tag := b[0]
+	b = b[1:]
+	if tag&^byte(tagKnownBits) != 0 {
+		return Term{}, zero, fmt.Errorf("%w: unknown term tag bits %#x", ErrCodec, tag)
+	}
+	kind := Kind(tag & tagKindMask)
+	if kind > KindLiteral {
+		return Term{}, zero, fmt.Errorf("%w: invalid term kind %d", ErrCodec, kind)
+	}
+	if kind != KindLiteral && tag&(tagDatatype|tagLang) != 0 {
+		return Term{}, zero, fmt.Errorf("%w: datatype/lang bits on non-literal term", ErrCodec)
+	}
+	if tag&tagDatatype != 0 && tag&tagLang != 0 {
+		return Term{}, zero, fmt.Errorf("%w: term with both datatype and language tag", ErrCodec)
+	}
+	var t Term
+	t.kind = kind
+	var err error
+	if t.value, b, err = decodeStringSeq(b); err != nil {
+		return Term{}, zero, err
+	}
+	if tag&tagDatatype != 0 {
+		if t.datatype, b, err = decodeStringSeq(b); err != nil {
+			return Term{}, zero, err
+		}
+		if t.datatype == "" || t.datatype == XSDString {
+			// TypedLiteral would never have encoded these as a datatype
+			// suffix; accepting them would let two encodings decode to
+			// equal terms and break round-trip identity.
+			return Term{}, zero, fmt.Errorf("%w: non-canonical datatype suffix", ErrCodec)
+		}
+	}
+	if tag&tagLang != 0 {
+		if t.lang, b, err = decodeStringSeq(b); err != nil {
+			return Term{}, zero, err
+		}
+		if t.lang == "" {
+			return Term{}, zero, fmt.Errorf("%w: empty language tag", ErrCodec)
+		}
+	}
+	return t, b, nil
+}
+
+// AppendTriple appends the binary encoding of t to dst.
+func AppendTriple(dst []byte, t Triple) []byte {
+	dst = AppendTerm(dst, t.S)
+	dst = AppendTerm(dst, t.P)
+	return AppendTerm(dst, t.O)
+}
+
+// DecodeTriple decodes one triple from the front of b, returning the
+// triple and the remaining bytes. The triple must satisfy the RDF typing
+// discipline (Triple.Valid); storage layers never hold anything else, so a
+// violation means corruption.
+func DecodeTriple(b []byte) (Triple, []byte, error) {
+	var t Triple
+	var err error
+	if t.S, b, err = DecodeTerm(b); err != nil {
+		return Triple{}, nil, err
+	}
+	if t.P, b, err = DecodeTerm(b); err != nil {
+		return Triple{}, nil, err
+	}
+	if t.O, b, err = DecodeTerm(b); err != nil {
+		return Triple{}, nil, err
+	}
+	if !t.Valid() {
+		return Triple{}, nil, fmt.Errorf("%w: triple violates RDF typing", ErrCodec)
+	}
+	return t, b, nil
+}
+
+// AppendBinary appends the binary encoding of the record to dst.
+func (r CommitRecord) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, r.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Ops)))
+	for _, op := range r.Ops {
+		flag := byte(0)
+		if op.Del {
+			flag = 1
+		}
+		dst = append(dst, flag)
+		dst = AppendTriple(dst, op.T)
+	}
+	return dst
+}
+
+// DecodeCommitRecord decodes a full record payload. The whole buffer must
+// be consumed: trailing bytes mean the framing length lied, which is
+// corruption.
+func DecodeCommitRecord(b []byte) (CommitRecord, error) {
+	var r CommitRecord
+	var n int
+	if r.Epoch, n = binary.Uvarint(b); n <= 0 {
+		return CommitRecord{}, fmt.Errorf("%w: bad record epoch", ErrCodec)
+	}
+	b = b[n:]
+	nops, n := binary.Uvarint(b)
+	if n <= 0 {
+		return CommitRecord{}, fmt.Errorf("%w: bad record op count", ErrCodec)
+	}
+	b = b[n:]
+	// Each op is at least a flag byte and three 2-byte terms; a count that
+	// could not fit in the remaining bytes is rejected before it can size
+	// an allocation.
+	if nops > uint64(len(b)/7)+1 || nops > math.MaxInt32 {
+		return CommitRecord{}, fmt.Errorf("%w: op count %d exceeds payload", ErrCodec, nops)
+	}
+	r.Ops = make([]Op, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		if len(b) == 0 {
+			return CommitRecord{}, fmt.Errorf("%w: truncated op flag", ErrCodec)
+		}
+		flag := b[0]
+		if flag > 1 {
+			return CommitRecord{}, fmt.Errorf("%w: unknown op flag %d", ErrCodec, flag)
+		}
+		b = b[1:]
+		t, rest, err := DecodeTriple(b)
+		if err != nil {
+			return CommitRecord{}, err
+		}
+		b = rest
+		r.Ops = append(r.Ops, Op{Del: flag == 1, T: t})
+	}
+	if len(b) != 0 {
+		return CommitRecord{}, fmt.Errorf("%w: %d trailing bytes after record", ErrCodec, len(b))
+	}
+	return r, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeStringSeq reads one length-prefixed string. For a []byte input
+// the result is a fresh copy; for a string input it is a shared substring.
+func decodeStringSeq[T ~string | ~[]byte](b T) (string, T, error) {
+	var zero T
+	n, w := uvarintSeq(b)
+	if w <= 0 {
+		return "", zero, fmt.Errorf("%w: bad string length", ErrCodec)
+	}
+	b = b[w:]
+	if n > maxDecodeString || n > uint64(len(b)) {
+		return "", zero, fmt.Errorf("%w: string length %d exceeds payload", ErrCodec, n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// uvarintSeq is binary.Uvarint over string or []byte.
+func uvarintSeq[T ~string | ~[]byte](b T) (uint64, int) {
+	var x uint64
+	var s uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if i == 10 {
+			return 0, -(i + 1) // overflow
+		}
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, -(i + 1) // overflow
+			}
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

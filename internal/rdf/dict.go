@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -361,6 +362,48 @@ func (tt *termTable) append(t Term) id {
 	blocks[n>>termBlockShift][n&termBlockMask] = t
 	tt.n.Store(n + 1)
 	return id(n)
+}
+
+// bulkLoad installs terms as ids 0..len(terms)-1 in one pass — the
+// recovery twin of len(terms) intern calls. The table must be empty. The
+// id blocks and every stripe's published map are built privately and
+// installed at the end, so a failed load (duplicate term — corruption,
+// since checkpoints write each term once) leaves the table untouched.
+// The loaded table is in the all-hits-lock-free steady state: no stripe
+// has a pending delta.
+func (tt *termTable) bulkLoad(terms []Term) error {
+	if tt.n.Load() != 0 {
+		return fmt.Errorf("rdf: bulk term load into a non-empty dictionary")
+	}
+	nb := (len(terms) + termBlockSize - 1) >> termBlockShift
+	blocks := make([]*termBlock, nb)
+	for i := range blocks {
+		blocks[i] = new(termBlock)
+	}
+	perStripe := len(terms)/termStripes + 1
+	var maps [termStripes]map[Term]id
+	for i, t := range terms {
+		blocks[i>>termBlockShift][i&termBlockMask] = t
+		si := hashTerm(t) & (termStripes - 1)
+		m := maps[si]
+		if m == nil {
+			m = make(map[Term]id, perStripe)
+			maps[si] = m
+		}
+		if _, dup := m[t]; dup {
+			return fmt.Errorf("rdf: duplicate term in bulk load")
+		}
+		m[t] = id(i)
+	}
+	for si := range maps {
+		if maps[si] != nil {
+			m := maps[si]
+			tt.stripes[si].read.Store(&m)
+		}
+	}
+	tt.blocks.Store(&blocks)
+	tt.n.Store(uint32(len(terms)))
+	return nil
 }
 
 // term resolves an interned id. Lock-free; the id must have been obtained

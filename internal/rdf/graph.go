@@ -57,6 +57,19 @@ type Graph struct {
 	// delta chase's many tiny batches stop paying O(shard-count)
 	// allocations per commit (batch.go).
 	scratch sync.Pool
+
+	// persist is the optional durability hook (persist.go). When attached,
+	// every effective write appends a CommitRecord before publishing;
+	// persistMu serialises (epoch assignment, append) pairs so the log's
+	// record order is the epoch order, and persistErr latches the first
+	// logging failure. All three are write-path only — no reader touches
+	// them.
+	persist    atomic.Pointer[persistBox]
+	persistMu  sync.Mutex
+	persistErr atomic.Pointer[errBox]
+	// inflight tracks logged-but-not-yet-published epochs (guarded by
+	// persistMu); PublishedFloor derives the WAL retirement bound from it.
+	inflight map[uint64]struct{}
 }
 
 // shard is one partition of the graph's indexes. Writers lock mu, derive
@@ -310,7 +323,11 @@ func (g *Graph) Add(t Triple) bool {
 	}
 	newP := pb.posAdd(&np.pos, p, o, s, newSP)
 
-	epoch := g.version.Add(1)
+	epoch, token, box, ok := g.logSingle(false, t)
+	if !ok { // the WAL refused the record: abort before anything publishes
+		g.unlockPair(si, pi)
+		return false
+	}
 	ns.epoch = epoch
 	if ph == sh {
 		sh.state.Store(ns)
@@ -323,6 +340,8 @@ func (g *Graph) Add(t Triple) bool {
 		sh.state.Store(ns)
 	}
 	g.unlockPair(si, pi)
+	g.publishDone(box, epoch)
+	g.awaitSingle(box, token)
 
 	g.size.Add(1)
 	if newS {
@@ -388,7 +407,11 @@ func (g *Graph) Remove(t Triple) bool {
 	}
 	goneP := pb.posRemove(&np.pos, p, o, s, goneSP)
 
-	epoch := g.version.Add(1)
+	epoch, token, box, ok := g.logSingle(true, t)
+	if !ok {
+		g.unlockPair(si, pi)
+		return false
+	}
 	ns.epoch = epoch
 	if ph == sh {
 		sh.state.Store(ns)
@@ -398,6 +421,8 @@ func (g *Graph) Remove(t Triple) bool {
 		ph.state.Store(np)
 	}
 	g.unlockPair(si, pi)
+	g.publishDone(box, epoch)
+	g.awaitSingle(box, token)
 
 	g.size.Add(-1)
 	if goneS {
@@ -634,7 +659,14 @@ type Stats struct {
 	DistinctObjects    int
 }
 
-// Stats returns the graph's cardinality statistics.
+// Stats returns the graph's cardinality statistics. The counters are
+// maintained incrementally and applied after a commit publishes, so under
+// concurrent writers a reading may trail (or, relative to an earlier
+// snapshot, lead) the published state by up to the in-flight commits'
+// effective ops — batch-scale skew, never more (pinned by
+// TestStatsSkewBoundedDuringCommits). At quiescence the counters are
+// exact (TestStatsExactAtQuiescence), which is what lets recovery trust
+// them after replay.
 func (g *Graph) Stats() Stats {
 	return Stats{
 		Triples:            g.Len(),

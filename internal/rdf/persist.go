@@ -1,0 +1,174 @@
+package rdf
+
+// Op is one effective write of a committed batch: an insertion of a
+// previously absent triple or a removal of a previously present one.
+// No-op writes (duplicate adds, removals of absent triples) never appear
+// in a CommitRecord — replaying the record reproduces exactly the state
+// transition the commit made.
+type Op struct {
+	// Del marks a removal; false is an insertion.
+	Del bool
+	// T is the triple written.
+	T Triple
+}
+
+// CommitRecord describes one committed write as the durability layer sees
+// it: the effective ops in application order and the graph write epoch
+// after the commit. Records are handed to the Persistence hook in strictly
+// increasing epoch order (the graph serialises epoch assignment and
+// LogCommit under one mutex whenever a hook is attached), so a log of
+// records replays into the exact same epochs: after applying a record, the
+// graph's version is exactly rec.Epoch.
+type CommitRecord struct {
+	// Epoch is the graph version after this commit: the version before it
+	// plus len(Ops).
+	Epoch uint64
+	// Ops are the effective writes in application order.
+	Ops []Op
+}
+
+// Persistence is the durability hook a Graph calls on its write path. The
+// write-ahead log (internal/wal, wired by internal/durable) is the real
+// implementation; tests substitute stubs.
+//
+// LogCommit is called before the commit's shard states are published,
+// while the writer still holds its shard locks and the graph's persistence
+// mutex: implementations must only buffer (an append to an in-memory
+// segment buffer), never block on I/O, and must preserve call order —
+// the call order is the epoch order, and replay depends on it. If
+// LogCommit returns an error the commit is aborted: nothing is published,
+// the graph's version does not advance, and the error is recorded sticky
+// on the graph (PersistenceError).
+//
+// WaitDurable is called after the commit published and every lock was
+// released, with the token LogCommit returned. It blocks until the record
+// is durable per the configured fsync policy (for relaxed policies it
+// returns immediately). A WaitDurable error means durability of an
+// already-published commit is unknown; it is returned to CommitErr callers
+// and recorded sticky.
+//
+// The hook is write-path only: no read, scan, snapshot or stats path ever
+// calls it, which is what keeps the read surface lock-free and
+// allocation-free with persistence enabled (pinned by
+// TestReadPathTakesNoLocks and the snapshot-read benchmarks).
+type Persistence interface {
+	LogCommit(rec CommitRecord) (token uint64, err error)
+	WaitDurable(token uint64) error
+}
+
+// persistBox wraps the interface value so it can live in an
+// atomic.Pointer (attachment races attach-then-write sequences in tests).
+type persistBox struct{ p Persistence }
+
+// SetPersistence attaches the durability hook (nil detaches). Attach
+// before concurrent writers start — typically right after recovery, before
+// the graph is shared — so no in-flight commit straddles the transition.
+func (g *Graph) SetPersistence(p Persistence) {
+	if p == nil {
+		g.persist.Store(nil)
+		return
+	}
+	g.persistMu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[uint64]struct{})
+	}
+	g.persistMu.Unlock()
+	g.persist.Store(&persistBox{p: p})
+}
+
+// publishDone marks a logged commit as fully published: every shard state
+// carrying it has been stored. From here on, any snapshot captures it.
+func (g *Graph) publishDone(box *persistBox, epoch uint64) {
+	if box == nil {
+		return
+	}
+	g.persistMu.Lock()
+	delete(g.inflight, epoch)
+	g.persistMu.Unlock()
+}
+
+// PublishedFloor returns the highest epoch E such that every logged
+// commit with epoch ≤ E has fully published its shard states. A snapshot
+// captured after this call therefore contains every such commit — it is
+// the sound bound for retiring WAL records behind a checkpoint. Only
+// meaningful while a Persistence hook is attached.
+func (g *Graph) PublishedFloor() uint64 {
+	g.persistMu.Lock()
+	defer g.persistMu.Unlock()
+	if len(g.inflight) == 0 {
+		return g.version.Load()
+	}
+	min := uint64(0)
+	for e := range g.inflight {
+		if min == 0 || e < min {
+			min = e
+		}
+	}
+	return min - 1
+}
+
+// PersistenceError returns the first error the persistence hook reported
+// on this graph's write path, or nil. Once set it never clears: a store
+// whose log failed must not be trusted to be durable again.
+func (g *Graph) PersistenceError() error {
+	if e := g.persistErr.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+type errBox struct{ err error }
+
+func (g *Graph) setPersistErr(err error) {
+	g.persistErr.CompareAndSwap(nil, &errBox{err: err})
+}
+
+// RestoreVersion fast-forwards the graph's write epoch to v — the recovery
+// path's final step, so epochs keep strictly increasing across restarts
+// and a replayed graph reports exactly the Version the crashed process
+// had committed. It never moves the version backwards, and it must only
+// be called while no writers are running (internal/durable calls it
+// before the graph is shared).
+func (g *Graph) RestoreVersion(v uint64) {
+	for {
+		cur := g.version.Load()
+		if v <= cur || g.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// logSingle is the single-write half of the write path's persistence step:
+// called with the writer's shard locks held, before publication. It
+// assigns the write's epoch — serialised with every other logging writer
+// so the log's epoch order is the commit order — and appends the record.
+// ok=false aborts the write (nothing may be published). When no hook is
+// attached it degenerates to the plain epoch bump.
+func (g *Graph) logSingle(del bool, t Triple) (epoch, token uint64, box *persistBox, ok bool) {
+	box = g.persist.Load()
+	if box == nil {
+		return g.version.Add(1), 0, nil, true
+	}
+	g.persistMu.Lock()
+	epoch = g.version.Load() + 1
+	token, err := box.p.LogCommit(CommitRecord{Epoch: epoch, Ops: []Op{{Del: del, T: t}}})
+	if err != nil {
+		g.persistMu.Unlock()
+		g.setPersistErr(err)
+		return 0, 0, nil, false
+	}
+	g.version.Store(epoch)
+	g.inflight[epoch] = struct{}{}
+	g.persistMu.Unlock()
+	return epoch, token, box, true
+}
+
+// awaitSingle completes a single write's durability wait outside all locks.
+func (g *Graph) awaitSingle(box *persistBox, token uint64) {
+	if box == nil {
+		return
+	}
+	if err := box.p.WaitDurable(token); err != nil {
+		g.setPersistErr(err)
+	}
+}

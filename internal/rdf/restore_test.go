@@ -1,0 +1,200 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// restoreFixture builds the same logical graph twice: once through the
+// batch write path (the reference) and once through RestoreBulk from a
+// checkpoint-shaped term list + id-triples (the fast path under test).
+func restoreFixture(t *testing.T, shards, n int, seed int64) (ref, bulk *Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	triples := make([]Triple, 0, n)
+	for i := 0; i < n; i++ {
+		var o Term
+		switch rng.Intn(4) {
+		case 0:
+			o = Literal(fmt.Sprintf("v%d", rng.Intn(n/2+1)))
+		case 1:
+			o = LangLiteral(fmt.Sprintf("v%d", i), "en")
+		case 2:
+			o = Blank(fmt.Sprintf("b%d", rng.Intn(16)))
+		default:
+			o = IRI(fmt.Sprintf("http://e/o%d", rng.Intn(n/3+1)))
+		}
+		triples = append(triples, Triple{
+			S: IRI(fmt.Sprintf("http://e/s%d", rng.Intn(n/2+1))),
+			P: IRI(fmt.Sprintf("http://e/p%d", rng.Intn(9))),
+			O: o,
+		})
+	}
+
+	ref = NewGraphSharded(shards)
+	ref.AddAll(triples)
+
+	// Dictionary-encode the triple list the way a checkpoint writer does:
+	// ids in first-use order, duplicates included in the id-triple stream.
+	ids := make(map[Term]uint32)
+	var terms []Term
+	intern := func(x Term) uint32 {
+		if i, ok := ids[x]; ok {
+			return i
+		}
+		i := uint32(len(terms))
+		ids[x] = i
+		terms = append(terms, x)
+		return i
+	}
+	idts := make([]IDTriple, len(triples))
+	for i, tr := range triples {
+		idts[i] = IDTriple{S: intern(tr.S), P: intern(tr.P), O: intern(tr.O)}
+	}
+	bulk = NewGraphSharded(shards)
+	if err := bulk.RestoreBulk(terms, idts); err != nil {
+		t.Fatalf("RestoreBulk: %v", err)
+	}
+	return ref, bulk
+}
+
+// TestRestoreBulkEquivalence pins RestoreBulk's contract: the graph it
+// builds is indistinguishable from one loaded through the batch write
+// path — same triples on every read surface, same statistics, same
+// effective version.
+func TestRestoreBulkEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		ref, bulk := restoreFixture(t, shards, 600, int64(shards)*7+1)
+
+		if bulk.Len() != ref.Len() {
+			t.Fatalf("shards=%d: len %d != %d", shards, bulk.Len(), ref.Len())
+		}
+		if bulk.Version() != ref.Version() {
+			t.Fatalf("shards=%d: version %d != %d", shards, bulk.Version(), ref.Version())
+		}
+		if bulk.Stats() != ref.Stats() {
+			t.Fatalf("shards=%d: stats %+v != %+v", shards, bulk.Stats(), ref.Stats())
+		}
+
+		// ForEach / Has
+		ref.ForEach(func(tr Triple) bool {
+			if !bulk.Has(tr) {
+				t.Fatalf("shards=%d: missing %v", shards, tr)
+			}
+			return true
+		})
+		bulk.ForEach(func(tr Triple) bool {
+			if !ref.Has(tr) {
+				t.Fatalf("shards=%d: extra %v", shards, tr)
+			}
+			return true
+		})
+
+		// Match over every bound/unbound pattern on a sample of triples,
+		// plus MatchCount and per-predicate statistics.
+		sample := ref.Triples()
+		for i := 0; i < len(sample); i += 37 {
+			tr := sample[i]
+			for _, pat := range [][3]*Term{
+				{&tr.S, nil, nil}, {nil, &tr.P, nil}, {nil, nil, &tr.O},
+				{&tr.S, &tr.P, nil}, {nil, &tr.P, &tr.O}, {&tr.S, nil, &tr.O},
+				{&tr.S, &tr.P, &tr.O},
+			} {
+				want := collectMatch(ref, pat[0], pat[1], pat[2])
+				got := collectMatch(bulk, pat[0], pat[1], pat[2])
+				if !sameTriples(want, got) {
+					t.Fatalf("shards=%d: Match(%v,%v,%v) differs: %d vs %d rows",
+						shards, pat[0], pat[1], pat[2], len(want), len(got))
+				}
+				if ref.MatchCount(pat[0], pat[1], pat[2]) != bulk.MatchCount(pat[0], pat[1], pat[2]) {
+					t.Fatalf("shards=%d: MatchCount differs for pattern", shards)
+				}
+			}
+			wantPS, wok := ref.PredStats(tr.P)
+			gotPS, gok := bulk.PredStats(tr.P)
+			if wok != gok || wantPS != gotPS {
+				t.Fatalf("shards=%d: PredStats(%v) %v/%v != %v/%v", shards, tr.P, gotPS, gok, wantPS, wok)
+			}
+		}
+
+		// Snapshot surface and sorted projection
+		if bulk.Snapshot().Epoch() != ref.Snapshot().Epoch() {
+			t.Fatalf("shards=%d: snapshot epochs differ", shards)
+		}
+		if !sameTriples(ref.Triples(), bulk.Triples()) {
+			t.Fatalf("shards=%d: Triples() differ", shards)
+		}
+
+		// The restored graph is a normal live graph: writes keep working.
+		extra := Triple{S: IRI("http://e/post"), P: IRI("http://e/p0"), O: Literal("post")}
+		if !bulk.Add(extra) || !bulk.Has(extra) {
+			t.Fatalf("shards=%d: restored graph rejects writes", shards)
+		}
+	}
+}
+
+func collectMatch(g *Graph, s, p, o *Term) []Triple {
+	var out []Triple
+	g.Match(s, p, o, func(t Triple) bool { out = append(out, t); return true })
+	return out
+}
+
+func sameTriples(a, b []Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(t Triple) string { return t.String() }
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i], bs[i] = key(a[i]), key(b[i])
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRestoreBulkValidation pins the no-mutation-on-error contract the
+// checkpoint fallback depends on: a bad id or an ill-typed triple is
+// rejected before the graph or its dictionary is touched.
+func TestRestoreBulkValidation(t *testing.T) {
+	terms := []Term{IRI("http://e/s"), IRI("http://e/p"), Literal("v")}
+	for _, bad := range []IDTriple{
+		{S: 3, P: 1, O: 2}, // id out of range
+		{S: 2, P: 1, O: 0}, // literal subject
+		{S: 0, P: 2, O: 1}, // literal predicate
+	} {
+		g := NewGraph()
+		if err := g.RestoreBulk(terms, []IDTriple{{S: 0, P: 1, O: 2}, bad}); err == nil {
+			t.Fatalf("RestoreBulk accepted %+v", bad)
+		}
+		if g.Len() != 0 || g.Version() != 0 {
+			t.Fatalf("failed RestoreBulk mutated the graph: len=%d version=%d", g.Len(), g.Version())
+		}
+		// still usable as an empty graph afterwards
+		if err := g.RestoreBulk(terms, []IDTriple{{S: 0, P: 1, O: 2}}); err != nil {
+			t.Fatalf("clean retry: %v", err)
+		}
+		if g.Len() != 1 {
+			t.Fatalf("retry len %d", g.Len())
+		}
+	}
+	// non-empty graph refused
+	g := NewGraph()
+	g.Add(Triple{S: IRI("http://e/s"), P: IRI("http://e/p"), O: Literal("x")})
+	if err := g.RestoreBulk(terms, nil); err == nil {
+		t.Fatal("RestoreBulk accepted a non-empty graph")
+	}
+	// duplicate terms in the dictionary refused
+	g2 := NewGraph()
+	if err := g2.RestoreBulk([]Term{IRI("http://e/s"), IRI("http://e/s")}, nil); err == nil {
+		t.Fatal("bulkLoad accepted duplicate terms")
+	}
+}

@@ -1,6 +1,11 @@
 package rdf
 
-import "testing"
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
 
 func TestStats(t *testing.T) {
 	g := NewGraph()
@@ -56,5 +61,132 @@ func TestPredStats(t *testing.T) {
 	g.Remove(Triple{S: s3, P: q, O: o1})
 	if _, ok := g.PredStats(q); ok {
 		t.Fatal("PredStats of fully removed predicate should report false")
+	}
+}
+
+// recountStats recomputes Stats from scratch by iterating the graph — the
+// oracle for the incrementally maintained counters.
+func recountStats(g *Graph) Stats {
+	subs, preds, objs := map[Term]struct{}{}, map[Term]struct{}{}, map[Term]struct{}{}
+	n := 0
+	g.ForEach(func(t Triple) bool {
+		n++
+		subs[t.S] = struct{}{}
+		preds[t.P] = struct{}{}
+		objs[t.O] = struct{}{}
+		return true
+	})
+	return Stats{Triples: n, DistinctSubjects: len(subs), DistinctPredicates: len(preds), DistinctObjects: len(objs)}
+}
+
+// TestStatsExactAtQuiescence pins the half of the Stats contract the
+// recovery path relies on: once no commit is in flight the counters are
+// *exact*, not approximate — after arbitrary interleaved batch storms
+// (including removals and cross-batch duplicates), Stats must equal a full
+// recount at every shard count. A recovered graph rebuilds its stats
+// through the same batch machinery, so this is what makes checkpoint+WAL
+// recovery's statistics trustworthy.
+func TestStatsExactAtQuiescence(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		g := NewGraphSharded(shards)
+		rng := rand.New(rand.NewSource(int64(77 + shards)))
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(w*1000 + shards)))
+				for i := 0; i < 60; i++ {
+					b := g.NewBatch()
+					for j := 0; j < r.Intn(40); j++ {
+						if r.Intn(4) == 0 {
+							b.Remove(randTriple(r))
+						} else {
+							b.Add(randTriple(r))
+						}
+					}
+					b.Commit()
+				}
+			}(w)
+		}
+		wg.Wait()
+		// a few single-write ops on top of the batch storm
+		for i := 0; i < 50; i++ {
+			if rng.Intn(3) == 0 {
+				g.Remove(randTriple(rng))
+			} else {
+				g.Add(randTriple(rng))
+			}
+		}
+		if got, want := g.Stats(), recountStats(g); got != want {
+			t.Fatalf("shards=%d: quiescent Stats %+v != recount %+v", shards, got, want)
+		}
+	}
+}
+
+// TestStatsSkewBoundedDuringCommits pins the other half: while commits are
+// in flight the counters may trail publication by at most the in-flight
+// batches' effective ops — the "batch-scale counter skew" documented on
+// Stats. A reader cannot capture a snapshot and Stats atomically, so the
+// observable bound sandwiches the pair between two Version reads: the
+// graph's length can drift by at most v2−v1 effective ops across the
+// window, and with W writers of ≤ B effective ops each the counters trail
+// by at most W·B more, giving |Stats.Triples − Snapshot.Len| ≤ (v2−v1) +
+// W·B for every observation.
+func TestStatsSkewBoundedDuringCommits(t *testing.T) {
+	const writers, maxBatch = 4, 32
+	g := NewGraphSharded(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := g.NewBatch()
+				for j := 0; j < maxBatch; j++ {
+					if r.Intn(5) == 0 {
+						b.Remove(randTriple(r))
+					} else {
+						b.Add(randTriple(r))
+					}
+				}
+				b.Commit()
+			}
+		}(w)
+	}
+	deadline := time.After(500 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+		}
+		v1 := g.Version()
+		snap := g.Snapshot()
+		st := g.Stats()
+		v2 := g.Version()
+		diff := st.Triples - snap.Len()
+		if diff < 0 {
+			diff = -diff
+		}
+		bound := int(v2-v1) + writers*maxBatch
+		if diff > bound {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("stats skew %d exceeds bound %d (window %d ops; stats %+v, snapshot len %d)",
+				diff, bound, v2-v1, st, snap.Len())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got, want := g.Stats(), recountStats(g); got != want {
+		t.Fatalf("quiescent Stats %+v != recount %+v", got, want)
 	}
 }

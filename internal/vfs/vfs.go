@@ -1,0 +1,111 @@
+// Package vfs is the thin filesystem seam the durability layer writes
+// through. internal/wal and internal/checkpoint perform every byte of I/O
+// via an FS so the crash-injection harness (internal/failfs) can model
+// power loss — silently dropping or truncating writes past a cut point —
+// without patching the OS or the packages under test. Production code uses
+// OS(), which maps one-to-one onto the os package.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File the durability layer needs. Write may be
+// buffered by the OS; Sync makes everything written so far durable.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts the filesystem operations the WAL and checkpoint writers
+// perform. Paths are plain OS paths; implementations that inject faults
+// wrap the real filesystem rather than simulating one, so readers always
+// see exactly what a crashed process would have left on disk.
+type FS interface {
+	// Create truncates or creates the named file for writing.
+	Create(name string) (File, error)
+	// Append opens the named file for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the names of the entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file or empty directory.
+	Remove(name string) error
+	// RemoveAll deletes name and anything under it.
+	RemoveAll(name string) error
+	// Stat reports whether name exists and its size.
+	Stat(name string) (size int64, err error)
+	// SyncDir fsyncs the directory itself so renames and creates within
+	// it are durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS: a direct mapping onto the os package.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) RemoveAll(name string) error { return os.RemoveAll(name) }
+
+func (osFS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

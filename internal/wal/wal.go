@@ -1,0 +1,636 @@
+// Package wal is the segmented, checksummed write-ahead log behind the
+// graph's durability hook. Commits arrive as rdf.CommitRecord values in
+// strictly increasing epoch order (the graph serialises epoch assignment
+// with Append); each is framed as [u32 len][u32 crc32c][payload] and
+// appended to the active segment file, wal-<firstEpoch>.seg. Append only
+// buffers — it is called while the committing writer still holds its shard
+// locks — and WaitDurable performs the group commit: under the "always"
+// policy one waiter becomes the flush leader, writes and fsyncs every
+// record buffered so far, and wakes the rest; under "interval" and "never"
+// a background goroutine flushes (and, for "interval", fsyncs) on a timer
+// and WaitDurable returns immediately.
+//
+// Open replays every surviving record through a callback, validating CRCs
+// and strict epoch monotonicity, truncating the log at the first torn or
+// corrupt record (and discarding any later segments, which cannot be
+// ordered after a tear). Sealed segments whose records a checkpoint has
+// made redundant are deleted by Retire.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/vfs"
+)
+
+// magic opens every segment file; a file without it is not a segment.
+const magic = "RPSWAL1\n"
+
+// maxRecordBytes bounds a single record's payload so a corrupt length
+// field cannot make the scanner allocate or skip wildly.
+const maxRecordBytes = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// errTorn classifies scan failures that mean "the log ends here": torn
+// writes, CRC mismatches, epoch regressions. Recovery truncates at the
+// failure offset instead of failing the open.
+var errTorn = errors.New("wal: torn or corrupt record")
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before WaitDurable returns (group commit).
+	SyncAlways SyncPolicy = iota
+	// SyncEvery fsyncs on a background interval; WaitDurable is free.
+	SyncEvery
+	// SyncNever never fsyncs on the commit path (only on rotation and
+	// Close); WaitDurable is free.
+	SyncNever
+)
+
+// ParsePolicy maps the rpsd -fsync flag values onto a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncEvery, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir holds the segment files; created if missing.
+	Dir string
+	// FS is the filesystem to write through; nil means the real one.
+	FS vfs.FS
+	// Policy is the fsync policy; zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the background flush period for SyncEvery and
+	// SyncNever; 0 means 50ms.
+	Interval time.Duration
+	// SegmentBytes is the rotation threshold; 0 means 64MB.
+	SegmentBytes int64
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Segments scanned (including a truncated final one).
+	Segments int
+	// Records replayed.
+	Records int
+	// LastEpoch of the final replayed record; 0 if none.
+	LastEpoch uint64
+	// TruncatedBytes dropped from a torn tail.
+	TruncatedBytes int64
+	// DroppedSegments deleted because they followed a torn record.
+	DroppedSegments int
+}
+
+type sealedSeg struct {
+	name string
+	last uint64 // highest epoch in the segment
+}
+
+// WAL is an open write-ahead log. Append/WaitDurable are safe for
+// concurrent use; the graph additionally serialises Append calls.
+type WAL struct {
+	opts Options
+	fs   vfs.FS
+
+	// mu protects the append buffer — the only state Append touches, so
+	// the commit path never blocks on I/O.
+	mu           sync.Mutex
+	buf          []byte
+	bufFirst     uint64 // epoch of first buffered record
+	bufLast      uint64 // epoch of last buffered record
+	lastAppended uint64
+	closed       bool
+	failed       error // sticky first I/O failure
+
+	// ioMu protects the segment files; held across writes and fsyncs.
+	ioMu      sync.Mutex
+	seg       vfs.File
+	segName   string
+	segSize   int64
+	segLast   uint64
+	sealed    []sealedSeg
+	flushedTo uint64 // last epoch written through to the OS
+
+	// durable is the group-commit watermark: every record with epoch ≤
+	// durable has been fsynced.
+	durable atomic.Uint64
+
+	// syncMu/syncCond elect the group-commit flush leader.
+	syncMu  sync.Mutex
+	syncC   *sync.Cond
+	syncing bool
+
+	done       chan struct{}
+	tickerDone chan struct{}
+
+	appends     atomic.Uint64
+	appendBytes atomic.Uint64
+	syncs       atomic.Uint64
+	rotations   atomic.Uint64
+	retired     atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the WAL's counters for /metrics.
+type Stats struct {
+	Appends       uint64
+	AppendedBytes uint64
+	Syncs         uint64
+	Rotations     uint64
+	Retired       uint64
+	Segments      int // sealed + active segment files on disk
+	LastEpoch     uint64
+	DurableEpoch  uint64
+}
+
+// Open scans the segments under opts.Dir in epoch order, replays every
+// valid record through replay, truncates the log at the first torn or
+// corrupt record, and returns a WAL ready for appends (new records go to a
+// fresh segment). A non-nil replay error aborts the open.
+func Open(opts Options, replay func(rdf.CommitRecord) error) (*WAL, *Recovery, error) {
+	if opts.FS == nil {
+		opts.FS = vfs.OS()
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, nil, err
+	}
+	names, err := fs.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var segs []string
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			segs = append(segs, n)
+		}
+	}
+	rec := &Recovery{}
+	w := &WAL{opts: opts, fs: fs}
+	w.syncC = sync.NewCond(&w.syncMu)
+	prev := uint64(0)
+	for i, name := range segs {
+		path := filepath.Join(opts.Dir, name)
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		nameEpoch, _ := parseSegName(name)
+		validLen, last, n, scanErr := scanSegment(data, prev, nameEpoch, replay)
+		rec.Segments++
+		rec.Records += n
+		if last > 0 {
+			prev = last
+		}
+		if scanErr != nil {
+			if !errors.Is(scanErr, errTorn) {
+				return nil, nil, scanErr
+			}
+			// The log ends at the tear: truncate this segment to its
+			// valid prefix and drop everything after it.
+			rec.TruncatedBytes += int64(len(data) - validLen)
+			if validLen <= len(magic) {
+				if err := fs.Remove(path); err != nil {
+					return nil, nil, err
+				}
+				rec.Segments--
+			} else {
+				if err := rewriteTruncated(fs, path, data[:validLen]); err != nil {
+					return nil, nil, err
+				}
+				w.sealed = append(w.sealed, sealedSeg{name: name, last: last})
+			}
+			for _, later := range segs[i+1:] {
+				if err := fs.Remove(filepath.Join(opts.Dir, later)); err != nil {
+					return nil, nil, err
+				}
+				rec.DroppedSegments++
+			}
+			if err := fs.SyncDir(opts.Dir); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+		segLast := last
+		if n == 0 {
+			segLast = nameEpoch // empty segment: safe to retire at its name epoch
+		}
+		w.sealed = append(w.sealed, sealedSeg{name: name, last: segLast})
+	}
+	rec.LastEpoch = prev
+	w.lastAppended = prev
+	w.flushedTo = prev
+	w.durable.Store(prev)
+	if opts.Policy != SyncAlways {
+		w.done = make(chan struct{})
+		w.tickerDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, rec, nil
+}
+
+func (w *WAL) flushLoop() {
+	defer close(w.tickerDone)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			_ = w.flush(w.opts.Policy == SyncEvery)
+		}
+	}
+}
+
+// Append buffers one commit record. It never performs I/O — the caller
+// holds the graph's shard locks — and returns the record's epoch as the
+// durability token for WaitDurable. Epochs must be strictly increasing.
+func (w *WAL) Append(rec rdf.CommitRecord) (uint64, error) {
+	payload := rec.AppendBinary(nil)
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return 0, err
+	}
+	if rec.Epoch <= w.lastAppended {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: epoch %d not after %d", rec.Epoch, w.lastAppended)
+	}
+	if len(w.buf) == 0 {
+		w.bufFirst = rec.Epoch
+	}
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.bufLast = rec.Epoch
+	w.lastAppended = rec.Epoch
+	w.mu.Unlock()
+	w.appends.Add(1)
+	w.appendBytes.Add(uint64(len(payload) + 8))
+	return rec.Epoch, nil
+}
+
+// WaitDurable blocks until the record identified by token is durable under
+// the configured policy. For SyncAlways it drives the group commit; for
+// the relaxed policies it returns immediately.
+func (w *WAL) WaitDurable(token uint64) error {
+	if w.opts.Policy != SyncAlways || w.durable.Load() >= token {
+		return nil
+	}
+	w.syncMu.Lock()
+	for w.durable.Load() < token {
+		if w.syncing {
+			w.syncC.Wait()
+			continue
+		}
+		w.syncing = true
+		w.syncMu.Unlock()
+		err := w.flush(true)
+		w.syncMu.Lock()
+		w.syncing = false
+		w.syncC.Broadcast()
+		if err != nil {
+			w.syncMu.Unlock()
+			return err
+		}
+	}
+	w.syncMu.Unlock()
+	return nil
+}
+
+// Sync forces everything appended so far onto disk regardless of policy.
+func (w *WAL) Sync() error { return w.flush(true) }
+
+func (w *WAL) flush(sync bool) error {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	return w.flushLocked(sync)
+}
+
+// flushLocked drains the append buffer into the active segment (rotating
+// first if it is over the threshold) and optionally fsyncs. ioMu held.
+func (w *WAL) flushLocked(sync bool) error {
+	w.mu.Lock()
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return err
+	}
+	buf, first, last := w.buf, w.bufFirst, w.bufLast
+	w.buf, w.bufFirst, w.bufLast = nil, 0, 0
+	w.mu.Unlock()
+	if len(buf) > 0 {
+		if err := w.writeChunk(buf, first, last); err != nil {
+			w.fail(err)
+			return err
+		}
+		w.flushedTo = last
+	}
+	if sync && w.seg != nil {
+		if err := w.seg.Sync(); err != nil {
+			w.fail(err)
+			return err
+		}
+		w.syncs.Add(1)
+	}
+	if sync {
+		w.advanceDurable(w.flushedTo)
+	}
+	return nil
+}
+
+func (w *WAL) writeChunk(buf []byte, first, last uint64) error {
+	if w.seg != nil && w.segSize >= w.opts.SegmentBytes {
+		if err := w.sealLocked(); err != nil {
+			return err
+		}
+	}
+	if w.seg == nil {
+		name := fmt.Sprintf("wal-%016x.seg", first)
+		f, err := w.fs.Create(filepath.Join(w.opts.Dir, name))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.fs.SyncDir(w.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+		w.seg, w.segName, w.segSize = f, name, int64(len(magic))
+		w.rotations.Add(1)
+	}
+	if _, err := w.seg.Write(buf); err != nil {
+		return err
+	}
+	w.segSize += int64(len(buf))
+	w.segLast = last
+	return nil
+}
+
+// sealLocked syncs, closes and retires-to-sealed the active segment. A
+// sealed segment is always fully durable, whatever the policy — rotation
+// is rare and Retire depends on sealed segments being complete.
+func (w *WAL) sealLocked() error {
+	if err := w.seg.Sync(); err != nil {
+		return err
+	}
+	w.syncs.Add(1)
+	if err := w.seg.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, sealedSeg{name: w.segName, last: w.segLast})
+	w.advanceDurable(w.segLast)
+	w.seg, w.segName, w.segSize, w.segLast = nil, "", 0, 0
+	return nil
+}
+
+func (w *WAL) advanceDurable(v uint64) {
+	for {
+		cur := w.durable.Load()
+		if v <= cur || w.durable.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (w *WAL) fail(err error) {
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.mu.Unlock()
+}
+
+// Rotate seals the active segment (flushing and fsyncing it first) so a
+// subsequent Retire can delete it once a checkpoint covers its records.
+func (w *WAL) Rotate() error {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if err := w.flushLocked(true); err != nil {
+		return err
+	}
+	if w.seg == nil {
+		return nil
+	}
+	return w.sealLocked()
+}
+
+// Retire deletes sealed segments whose records all have epoch ≤ upToEpoch
+// — i.e. segments a checkpoint at upToEpoch has made redundant. The
+// active segment is never touched; call Rotate first to seal it.
+func (w *WAL) Retire(upToEpoch uint64) (removed int, err error) {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if err == nil && s.last <= upToEpoch {
+			if rerr := w.fs.Remove(filepath.Join(w.opts.Dir, s.name)); rerr != nil {
+				err = rerr
+				kept = append(kept, s)
+				continue
+			}
+			removed++
+			w.retired.Add(1)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+	if removed > 0 {
+		if serr := w.fs.SyncDir(w.opts.Dir); err == nil {
+			err = serr
+		}
+	}
+	return removed, err
+}
+
+// LastEpoch returns the epoch of the last appended (or recovered) record.
+func (w *WAL) LastEpoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastAppended
+}
+
+// DurableEpoch returns the fsynced watermark.
+func (w *WAL) DurableEpoch() uint64 { return w.durable.Load() }
+
+// Stats snapshots the WAL's counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	last := w.lastAppended
+	w.mu.Unlock()
+	w.ioMu.Lock()
+	segs := len(w.sealed)
+	if w.seg != nil {
+		segs++
+	}
+	w.ioMu.Unlock()
+	return Stats{
+		Appends:       w.appends.Load(),
+		AppendedBytes: w.appendBytes.Load(),
+		Syncs:         w.syncs.Load(),
+		Rotations:     w.rotations.Load(),
+		Retired:       w.retired.Load(),
+		Segments:      segs,
+		LastEpoch:     last,
+		DurableEpoch:  w.durable.Load(),
+	}
+}
+
+// Close flushes and fsyncs everything buffered (whatever the policy — a
+// graceful shutdown is durable) and closes the active segment. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.done != nil {
+		close(w.done)
+		<-w.tickerDone
+	}
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	err := w.flushLocked(true)
+	if w.seg != nil {
+		if cerr := w.seg.Close(); err == nil {
+			err = cerr
+		}
+		w.seg = nil
+	}
+	return err
+}
+
+// parseSegName extracts the first-epoch stamp from wal-<16 hex>.seg.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// rewriteTruncated atomically replaces path with its valid prefix via a
+// temp file and rename, so a crash during recovery cannot lose the prefix.
+func rewriteTruncated(fs vfs.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+// scanSegment validates data as one segment and streams its records
+// through emit. prevEpoch is the last epoch of the preceding segment;
+// expectFirst is the epoch stamped in the file name, which the first
+// record must match. It returns the byte length of the valid prefix, the
+// last replayed epoch, the record count, and an error: one wrapping
+// errTorn if the segment ends in a torn or corrupt record (recovery
+// truncates there), or emit's error verbatim (recovery aborts).
+func scanSegment(data []byte, prevEpoch, expectFirst uint64, emit func(rdf.CommitRecord) error) (validLen int, lastEpoch uint64, n int, err error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return 0, 0, 0, fmt.Errorf("%w: bad segment header", errTorn)
+	}
+	off := len(magic)
+	last := prevEpoch
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return off, last, n, fmt.Errorf("%w: partial record header", errTorn)
+		}
+		plen := binary.LittleEndian.Uint32(data[off : off+4])
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen == 0 || plen > maxRecordBytes {
+			return off, last, n, fmt.Errorf("%w: record length %d", errTorn, plen)
+		}
+		if uint64(len(data)-off-8) < uint64(plen) {
+			return off, last, n, fmt.Errorf("%w: partial record payload", errTorn)
+		}
+		payload := data[off+8 : off+8+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return off, last, n, fmt.Errorf("%w: crc mismatch", errTorn)
+		}
+		rec, derr := rdf.DecodeCommitRecord(payload)
+		if derr != nil {
+			return off, last, n, fmt.Errorf("%w: %v", errTorn, derr)
+		}
+		if rec.Epoch <= last {
+			return off, last, n, fmt.Errorf("%w: epoch %d not after %d", errTorn, rec.Epoch, last)
+		}
+		if n == 0 && expectFirst != 0 && rec.Epoch != expectFirst {
+			return off, last, n, fmt.Errorf("%w: first epoch %d does not match segment name %d", errTorn, rec.Epoch, expectFirst)
+		}
+		if emit != nil {
+			if eerr := emit(rec); eerr != nil {
+				return off, last, n, eerr
+			}
+		}
+		last = rec.Epoch
+		n++
+		off += 8 + int(plen)
+	}
+	return off, last, n, nil
+}

@@ -124,6 +124,29 @@
 // counters). NewGraphSharded fixes the shard count explicitly; the rpsd,
 // rpsquery and rpsbench commands expose it as -shards.
 //
+// The store is durable. A write-ahead log (package internal/wal) and
+// snapshot checkpoints (package internal/checkpoint) sit under the graph
+// through the rdf.Persistence hook: every committed batch is appended to a
+// segmented, checksummed log before its shard states publish and
+// group-committed per the fsync policy, and a background loop periodically
+// walks a lock-free Snapshot into a checkpoint directory — the term
+// dictionary once, each shard's triples as compact id streams — then
+// retires the log segments the checkpoint covers. Recovery (package
+// internal/durable) loads the newest checkpoint that validates end to end
+// (falling back to older ones on corruption), bulk-loads it through
+// rdf.Graph.RestoreBulk without re-interning a single string, replays the
+// WAL tail, and truncates torn tails — so a peer restarts warm several
+// times faster than re-parsing its Turtle sources, and a kill -9 at any
+// byte loses nothing past the last group commit (proven by a
+// crash-injection harness: internal/failfs cuts writes mid-stream,
+// internal/durable's kill tests recover real SIGKILLed processes, and fuzz
+// targets drive the WAL and checkpoint decoders). rpsd turns it on with
+// -data-dir (tuning: -fsync always|interval|never, -checkpoint-every),
+// checkpoints on graceful shutdown, skips Turtle re-parsing on a warm
+// start, and exposes the wal_* and checkpoint_* metric families at
+// /metrics; rpsbench's JSON report measures cold-parse vs warm-restart vs
+// WAL-tail recovery.
+//
 // Quick start:
 //
 //	sys := rps.NewSystem()
