@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/pattern"
+	"repro/internal/peer"
+	"repro/internal/rdf"
+	"repro/internal/simnet"
+)
+
+// fedFaultsResult is the federation fault-tolerance benchmark's report:
+// closed-loop mediator throughput and latency percentiles over a simulated
+// network with 0%, 10% and 30% of the peers unhealthy (flaky primaries with
+// inflated latency), with hedged requests off and on. Every peer is a
+// 3-replica set, so the retry/failover/hedge paths — not the failures —
+// determine the tail.
+type fedFaultsResult struct {
+	Peers     int                `json:"peers"`
+	Replicas  int                `json:"replicas"`
+	Workers   int                `json:"workers"`
+	Scenarios []fedFaultScenario `json:"scenarios"`
+}
+
+// fedFaultScenario is one (unhealthy fraction, hedging) cell.
+type fedFaultScenario struct {
+	UnhealthyPct int     `json:"unhealthyPct"`
+	Hedge        bool    `json:"hedge"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	QPS          float64 `json:"qps"`
+	P50us        int64   `json:"p50us"`
+	P99us        int64   `json:"p99us"`
+	Retries      int     `json:"retries"`
+	Failovers    int     `json:"failovers"`
+	Hedges       int     `json:"hedges"`
+	HedgeWins    int     `json:"hedgeWins"`
+}
+
+// fedFaultsSystem is the E7-style rename fan: peer i holds facts under
+// predicate Pi and maps it into peer0's P0, so the mediator's UCQ has one
+// disjunct (and one remote sub-query) per peer.
+func fedFaultsSystem(k, factsPerPeer int) (*core.System, pattern.Query, error) {
+	sys := core.NewSystem()
+	preds := make([]rdf.Term, k)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("http://bench/P%d", i))
+	}
+	for i := 0; i < k; i++ {
+		p := sys.AddPeer(fmt.Sprintf("peer%d", i))
+		for j := 0; j < factsPerPeer; j++ {
+			err := p.Add(rdf.Triple{
+				S: rdf.IRI(fmt.Sprintf("http://bench/s%d_%d", i, j)),
+				P: preds[i],
+				O: rdf.IRI(fmt.Sprintf("http://bench/o%d_%d", i, j)),
+			})
+			if err != nil {
+				return nil, pattern.Query{}, err
+			}
+		}
+	}
+	for i := 1; i < k; i++ {
+		m := core.GraphMappingAssertion{
+			From: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[i]), pattern.V("y"))}),
+			To: pattern.MustQuery([]string{"x", "y"},
+				pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y"))}),
+			SrcPeer: fmt.Sprintf("peer%d", i),
+			DstPeer: "peer0",
+		}
+		if err := sys.AddMapping(m); err != nil {
+			return nil, pattern.Query{}, err
+		}
+	}
+	q := pattern.MustQuery([]string{"x", "y"},
+		pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(preds[0]), pattern.V("y"))})
+	return sys, q, nil
+}
+
+// runFedFaultsBenchmark measures the mediator under injected faults. Each
+// scenario deploys a fresh replica-set network, marks the configured
+// fraction of primaries unhealthy (30% flaky, +5ms latency), and drives
+// closed-loop workers for the scenario duration; a query that errors or
+// returns the wrong cardinality counts as a failure.
+func runFedFaultsBenchmark(quick bool) (*fedFaultsResult, error) {
+	const (
+		peers    = 10
+		replicas = 3
+		facts    = 5
+	)
+	duration := time.Second
+	if quick {
+		duration = 150 * time.Millisecond
+	}
+	sys, q, err := fedFaultsSystem(peers, facts)
+	if err != nil {
+		return nil, err
+	}
+	wantRows := peers * facts
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	res := &fedFaultsResult{Peers: peers, Replicas: replicas, Workers: workers}
+
+	for _, unhealthyPct := range []int{0, 10, 30} {
+		for _, hedge := range []bool{false, true} {
+			net := simnet.New(simnet.WithRealDelay())
+			reg := peer.NewRegistry()
+			peer.DeployReplicated(sys, net, reg, replicas)
+			net.Register("mediator", nil)
+			unhealthy := peers * unhealthyPct / 100
+			for i := 0; i < unhealthy; i++ {
+				addr := fmt.Sprintf("peer:peer%d", i)
+				net.SetFlaky(addr, 0.3)
+				net.SetNodeLatency(addr, 5*time.Millisecond, time.Millisecond)
+			}
+			eng := federation.New(sys, reg, peer.NewClient(net, "mediator"), federation.Options{
+				Hedge:      hedge,
+				HedgeAfter: 2 * time.Millisecond,
+				Retry:      federation.RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond},
+			})
+
+			latencies := make([][]int64, workers)
+			var requests, errs atomic.Int64
+			var lastMetrics atomic.Pointer[federation.Metrics]
+			deadline := time.Now().Add(duration)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for time.Now().Before(deadline) {
+						start := time.Now()
+						got, m, err := eng.Answer(q)
+						lat := time.Since(start).Microseconds()
+						requests.Add(1)
+						if err != nil || got.Len() != wantRows {
+							errs.Add(1)
+							continue
+						}
+						lastMetrics.Store(m)
+						latencies[w] = append(latencies[w], lat)
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var all []int64
+			for _, ls := range latencies {
+				all = append(all, ls...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			pct := func(p float64) int64 {
+				if len(all) == 0 {
+					return 0
+				}
+				return all[int(p*float64(len(all)-1))]
+			}
+			sc := fedFaultScenario{
+				UnhealthyPct: unhealthyPct,
+				Hedge:        hedge,
+				Requests:     requests.Load(),
+				Errors:       errs.Load(),
+				QPS:          float64(len(all)) / duration.Seconds(),
+				P50us:        pct(0.50),
+				P99us:        pct(0.99),
+			}
+			// per-query metrics accumulate per fetcher; the last successful
+			// query's snapshot is a representative sample of the fault work
+			// one answer required, not a per-run total
+			if m := lastMetrics.Load(); m != nil {
+				sc.Retries = m.Retries
+				sc.Failovers = m.Failovers
+				sc.Hedges = m.Hedges
+				sc.HedgeWins = m.HedgeWins
+			}
+			if len(all) == 0 {
+				return nil, fmt.Errorf("fedfaults: no successful queries at %d%% unhealthy (hedge=%v): %d errors",
+					unhealthyPct, hedge, errs.Load())
+			}
+			res.Scenarios = append(res.Scenarios, sc)
+		}
+	}
+	return res, nil
+}

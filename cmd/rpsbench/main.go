@@ -10,8 +10,11 @@
 // With -json, the selected experiment tables are additionally written as a
 // JSON document together with a fixed suite of store microbenchmarks
 // (ns/op, allocs/op — including the snapshot-read-under-writes contention
-// probes), so the performance trajectory of the repository is recorded as
-// an artifact (CI uploads BENCH_PR4.json from the bench-smoke job).
+// probes), the closed-loop load/cache/durability harnesses, and the
+// federation fault-tolerance benchmark (mediator qps and p99 at 0/10/30%
+// unhealthy peers, hedging off and on, over 3-replica sets), so the
+// performance trajectory of the repository is recorded as an artifact
+// (CI uploads BENCH_PR9.json from the bench-smoke job).
 //
 // Experiments: e1 (Listing 1), e2 (Listing 2), e3 (Theorem 1 chase
 // scaling), e4 (Proposition 2 rewriting strategies), e5 (Proposition 3
@@ -47,13 +50,21 @@ func main() {
 		fedJoin     = flag.String("fed-join", "hash", "federated join strategy: hash | bind (E7)")
 		fedBatch    = flag.Int("fed-batch", 0, "bind-join probe batch size for the federated mediator (0 = library default; bind join only)")
 		fedAdaptive = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
+		fedRetries  = flag.Int("fed-retries", 3, "max attempts per federated sub-query in E7/a4 (1 = no retries)")
+		fedHedge    = flag.Bool("fed-hedge", false, "hedge slow federated sub-queries against replicas in E7/a4")
 		jsonPath    = flag.String("json", "", "also write machine-readable results (tables + store microbenchmarks) to this file")
 		rcache      = flag.Bool("result-cache", false, "run the experiments with the answer cache installed (the -json cache sweep measures on/off either way)")
 		rcacheMB    = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
-	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
+	fed := federation.Options{
+		Serial:    !*fedParallel,
+		BatchSize: *fedBatch,
+		Adaptive:  *fedAdaptive,
+		Retry:     federation.RetryPolicy{MaxAttempts: *fedRetries},
+		Hedge:     *fedHedge,
+	}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
 	}

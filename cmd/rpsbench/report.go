@@ -35,6 +35,10 @@ type benchReport struct {
 	// Durability is the restart benchmark: cold Turtle parse vs warm
 	// checkpoint recovery vs WAL-tail replay (durability.go).
 	Durability *durabilityResult `json:"durability,omitempty"`
+	// FederationFaults is the fault-tolerance benchmark: mediator qps and
+	// latency percentiles at 0/10/30% unhealthy peers, hedging off and on,
+	// over 3-replica sets (fedfaults.go).
+	FederationFaults *fedFaultsResult `json:"federationFaults,omitempty"`
 }
 
 // microBenchmarkEntry is one testing.Benchmark result.
@@ -71,6 +75,11 @@ func writeJSONReport(path string, quick bool, tables []*experiments.Table) error
 		return err
 	}
 	rep.Durability = durability
+	faults, err := runFedFaultsBenchmark(quick)
+	if err != nil {
+		return err
+	}
+	rep.FederationFaults = faults
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -28,6 +28,16 @@
 //   - -slow-query logs any request slower than the threshold (0 disables).
 //   - SIGINT/SIGTERM drain in-flight requests before the process exits.
 //
+// Fault tolerance on /federated: -fed-retries bounds the attempts per
+// sub-query (transient failures retry with exponential backoff and fail
+// over across replica endpoints when the registry holds them), -fed-hedge
+// races slow sub-queries against a replica, and -fed-partial opts the
+// mediator into graceful degradation — when a source stays unreachable
+// after retries its contribution is skipped, the response carries the
+// partial certain-answer subset, and the X-RPS-Partial header names the
+// skipped sources. The federation_retry_*, federation_hedge_* and
+// federation_breaker_* series appear at /metrics.
+//
 // Durability: with -data-dir set, every peer's store is backed by a
 // write-ahead log plus snapshot checkpoints under <data-dir>/peers/<name>
 // (internal/durable). On a cold start the Turtle data files are parsed and
@@ -55,6 +65,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -120,6 +131,9 @@ func main() {
 		fedJoin      = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
 		fedBatch     = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
 		fedAdaptive  = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
+		fedRetries   = flag.Int("fed-retries", 3, "max attempts per federated sub-query (retries with exponential backoff on transient failures; 1 = no retries)")
+		fedHedge     = flag.Bool("fed-hedge", false, "hedge slow federated sub-queries against a replica endpoint when the registry holds replicas")
+		fedPartial   = flag.Bool("fed-partial", false, "degrade gracefully on /federated: skip sources that stay unreachable after retries and answer the partial certain-answer subset (reported in the X-RPS-Partial header) instead of failing")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request evaluation deadline (0 = none); timed-out requests answer 503")
 		slowQuery    = flag.Duration("slow-query", time.Second, "log requests slower than this (0 = disabled)")
 		resultCache  = flag.Bool("result-cache", true, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing of identical in-flight queries")
@@ -143,7 +157,14 @@ func main() {
 		}
 		dur = durableConfig{Dir: *dataDir, Policy: policy, CheckpointEvery: *ckptEvery}
 	}
-	fed := federation.Options{Serial: !*fedParallel, BatchSize: *fedBatch, Adaptive: *fedAdaptive}
+	fed := federation.Options{
+		Serial:    !*fedParallel,
+		BatchSize: *fedBatch,
+		Adaptive:  *fedAdaptive,
+		Retry:     federation.RetryPolicy{MaxAttempts: *fedRetries},
+		Hedge:     *fedHedge,
+		Partial:   *fedPartial,
+	}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
 	}
@@ -405,7 +426,7 @@ func serveFederated(w http.ResponseWriter, r *http.Request, eng *federation.Engi
 			http.StatusBadRequest)
 		return
 	}
-	answers, _, err := eng.AnswerCtx(r.Context(), q)
+	answers, m, err := eng.AnswerCtx(r.Context(), q)
 	if err != nil {
 		status := http.StatusBadGateway
 		if r.Context().Err() != nil {
@@ -413,6 +434,16 @@ func serveFederated(w http.ResponseWriter, r *http.Request, eng *federation.Engi
 		}
 		http.Error(w, err.Error(), status)
 		return
+	}
+	// under -fed-partial a degraded answer still succeeds; the header names
+	// the sources whose contributions are missing so clients can tell a
+	// complete answer from a subset
+	if m != nil && m.Partial {
+		skipped := make([]string, len(m.SkippedSources))
+		for i, s := range m.SkippedSources {
+			skipped[i] = s.Source
+		}
+		w.Header().Set("X-RPS-Partial", strings.Join(skipped, ","))
 	}
 	res := &sparql.Result{Form: sparql.FormSelect, Vars: q.Free}
 	if q.IsBoolean() {

@@ -12,7 +12,11 @@
 // federation (deploy the system's peers on an in-process simulated network
 // and answer through the Section 5 mediator — parallel UCQ disjuncts and
 // batched bind-join probes by default; tune with -fed-parallel, -fed-batch
-// and -join).
+// and -join). Federation mode is fault-tolerant: -fed-retries bounds the
+// attempts per sub-query, -fed-replicas deploys each peer as a replica set
+// (failover targets), -fed-hedge races slow sub-queries against a replica,
+// and -fed-partial degrades to the partial certain-answer subset (reported
+// as "-- partial: …" lines) when a source stays down after retries.
 //
 // With -explain the query is not answered; instead the streaming execution
 // plan (internal/plan) of each conjunctive body the strategy would run is
@@ -68,12 +72,24 @@ func main() {
 		fedPar     = flag.Bool("fed-parallel", true, "evaluate federated UCQ disjuncts in parallel (federation mode)")
 		fedBatch   = flag.Int("fed-batch", 0, "bind-join probe batch size (0 = library default; federation mode)")
 		fedAdapt   = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (federation mode)")
+		fedRetries = flag.Int("fed-retries", 3, "max attempts per federated sub-query (transient failures retry with exponential backoff; 1 = no retries)")
+		fedHedge   = flag.Bool("fed-hedge", false, "hedge slow federated sub-queries against a replica endpoint (federation mode)")
+		fedPartial = flag.Bool("fed-partial", false, "degrade gracefully: skip sources unreachable after retries and answer the partial subset, reporting the skipped sources (federation mode)")
+		fedReplica = flag.Int("fed-replicas", 1, "replica endpoints per peer on the simulated network (federation mode)")
 		rcache     = flag.Bool("result-cache", false, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing")
 		rcacheMB   = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
-	fed := federation.Options{Serial: !*fedPar, BatchSize: *fedBatch, Adaptive: *fedAdapt}
+	fed := federation.Options{
+		Serial:    !*fedPar,
+		BatchSize: *fedBatch,
+		Adaptive:  *fedAdapt,
+		Retry:     federation.RetryPolicy{MaxAttempts: *fedRetries},
+		Hedge:     *fedHedge,
+		Partial:   *fedPartial,
+	}
+	fedReplicas = *fedReplica
 	if *join == "bind" {
 		fed.Join = federation.BindJoin
 	}
@@ -201,6 +217,9 @@ func run(w io.Writer, systemPath, queryText, queryFile, mode string, stats, noRe
 			fm.Disjuncts, fm.RemoteCalls, fm.Batches, fm.RowsFetched, fm.SourcesContacted, fm.CacheHits, fm.InFlightMax)
 		if fm.RewriteTruncated {
 			extra += " (rewriting truncated; answers may be incomplete)"
+		}
+		for _, line := range fm.PartialSummary() {
+			extra += "\n" + line
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
@@ -364,6 +383,11 @@ func runAnalyze(ctx context.Context, w io.Writer, systemPath, queryText, queryFi
 		if err := p.Err(); err != nil {
 			return err
 		}
+		// under Options.Partial, sources skipped after exhausted retries
+		// annotate the analyzed plan with their completeness report
+		for _, line := range p.Metrics().PartialSummary() {
+			fmt.Fprintln(w, line)
+		}
 		fmt.Fprintf(w, "-- answers: %d\n", rows)
 		return ctx.Err()
 	default:
@@ -394,13 +418,19 @@ func truncateUnionBranches(s string, maxBranch int) string {
 		fmt.Sprintf("\n    … %d more branches elided …\n", branches)
 }
 
+// fedReplicas is the -fed-replicas setting: how many endpoints serve each
+// peer on the simulated network (1 = just the primary).
+var fedReplicas = 1
+
 // deployFederation serves the system's peers on an in-process simulated
 // network and returns the mediator over them — the Section 5 architecture
-// in one process, like rpsd's /federated endpoint but without HTTP.
+// in one process, like rpsd's /federated endpoint but without HTTP. With
+// -fed-replicas > 1 every peer is deployed as a replica set, so the
+// mediator's failover and hedging paths have alternates to route to.
 func deployFederation(sys *core.System, fed federation.Options) (*federation.Engine, *simnet.Network) {
 	net := simnet.New()
 	reg := peer.NewRegistry()
-	peer.Deploy(sys, net, reg)
+	peer.DeployReplicated(sys, net, reg, fedReplicas)
 	net.Register("mediator", nil)
 	return federation.New(sys, reg, peer.NewClient(net, "mediator"), fed), net
 }

@@ -31,12 +31,48 @@
 // source fan-out, probe batch size, and in-flight window) under a parallel
 // Union — both executable and EXPLAINable (rpsquery -mode federation
 // -explain).
+//
+// # Fault tolerance
+//
+// The mediator does not assume every peer answers every sub-query. Every
+// peer call — extension fetch, bind-join probe batch, batched protocol
+// message — runs under a retry loop (Options.Retry): transient failures
+// (unreachable nodes, mid-stream death, transport errors, HTTP 5xx,
+// per-attempt deadlines — peer.Retryable) are retried with doubling,
+// jittered backoff, while terminal failures (malformed queries, HTTP 4xx,
+// cancellation) return immediately. Each registry entry is treated as a
+// replica set (PeerGroup: the primary address plus Entry.Replicas), and
+// attempts after a failure prefer endpoints not yet tried, so a dead
+// primary fails over to its replicas within one logical call.
+//
+// Endpoint health is tracked for the lifetime of the engine: consecutive
+// transient failures open a per-endpoint circuit breaker
+// (Options.BreakerThreshold) that rejects calls for a cooldown and then
+// admits a single half-open probe; while some endpoint of a group is
+// healthy, calls route around the open circuits, and when every endpoint
+// is open the call fails fast (ErrCircuitOpen). The same health table
+// carries a whole-call latency EWMA per endpoint, which drives hedging
+// (Options.Hedge): if the primary attempt has not answered within 2× its
+// typical latency, a duplicate attempt is issued against a replica, the
+// first success wins, and the loser is canceled — tail latency protection
+// against slow-but-alive peers.
+//
+// When a source stays unreachable after the full attempt budget, the
+// mediator normally fails closed (certain answers must draw on every
+// relevant source). Options.Partial opts into graceful degradation
+// instead: the exhausted source contributes nothing, the query completes,
+// and the answer is tagged as the correct subset it is — Metrics.Partial,
+// Metrics.SkippedSources (with the per-source error), a partial=[…] mark
+// on the RemoteScan plan leaves, and "-- partial: peer X unavailable"
+// lines in EXPLAIN ANALYZE. Partial results never enter the shared answer
+// cache.
 package federation
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -101,6 +137,34 @@ type Options struct {
 	// served only until some peer's epoch moves. Requires the mediator's
 	// System (peer versions come from it); ignored otherwise.
 	AnswerCache *qcache.Cache
+	// Retry bounds the retry loop around every peer call; the zero value
+	// retries transient failures up to DefaultMaxAttempts times with
+	// doubling, jittered backoff. Set MaxAttempts to 1 to restore the
+	// fail-on-first-error mediator.
+	Retry RetryPolicy
+	// Hedge enables hedged requests: when a source has replicas and the
+	// current attempt has not answered within the hedge delay, a duplicate
+	// attempt races against a replica and the first success wins (the
+	// loser is canceled). Off by default — hedging trades duplicate work
+	// for tail latency.
+	Hedge bool
+	// HedgeAfter overrides the hedge delay (0 = adaptive: 2× the
+	// endpoint's whole-call latency EWMA, DefaultHedgeDelay before any
+	// observation).
+	HedgeAfter time.Duration
+	// BreakerThreshold is the number of consecutive transient failures
+	// that opens an endpoint's circuit breaker (0 disables the breaker:
+	// every endpoint is always admitted, the historical behaviour).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// admitting a half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Partial opts into graceful degradation: when a source is exhausted
+	// after retries (transient errors only — terminal errors still fail
+	// the query), the mediator returns the certain answers computable from
+	// the remaining sources, tagged via Metrics.Partial and
+	// Metrics.SkippedSources, instead of failing closed.
+	Partial bool
 }
 
 func (o Options) batchSize() int {
@@ -147,6 +211,45 @@ type Metrics struct {
 	// a probe batch size different from the previous one (Options.Adaptive
 	// only).
 	AdaptiveResizes int
+	// Retries counts attempts after the first for failed peer calls.
+	Retries int
+	// Failovers counts attempts routed to a different endpoint of a
+	// source's replica set than the previous attempt.
+	Failovers int
+	// Hedges counts hedged (duplicate) attempts launched; HedgeWins counts
+	// the hedges whose duplicate answered first.
+	Hedges    int
+	HedgeWins int
+	// BreakerFastFails counts logical calls rejected without touching the
+	// network because every endpoint of the group had an open circuit.
+	BreakerFastFails int
+	// Partial reports a degraded answer: some source was skipped after
+	// exhausting its attempt budget (Options.Partial only). The answer is
+	// the correct subset of the certain answers computable without the
+	// skipped sources.
+	Partial bool
+	// SkippedSources is the completeness report of a partial answer: which
+	// sources contributed nothing, and why, in source-name order.
+	SkippedSources []SkippedSource
+}
+
+// SkippedSource is one entry of a partial answer's completeness report.
+type SkippedSource struct {
+	// Source is the logical peer name.
+	Source string
+	// Err summarises the post-retry error that exhausted the source.
+	Err string
+}
+
+// PartialSummary renders the completeness report as EXPLAIN ANALYZE
+// comment lines ("-- partial: peer X unavailable (…)"); empty for complete
+// answers.
+func (m *Metrics) PartialSummary() []string {
+	out := make([]string, 0, len(m.SkippedSources))
+	for _, s := range m.SkippedSources {
+		out = append(out, fmt.Sprintf("-- partial: peer %s unavailable (%s)", s.Source, s.Err))
+	}
+	return out
 }
 
 // Client abstracts how the mediator reaches a peer's SPARQL service: the
@@ -184,6 +287,10 @@ type Engine struct {
 	cc     ContextClient // client, when it supports per-request contexts
 	opts   Options
 	acache *qcache.Layer // shared answer cache for remote fetches, nil when off
+	// health is the engine-lifetime endpoint health table: breaker state,
+	// consecutive-failure counts, and whole-call latency EWMAs survive
+	// across query executions, so one query's failures protect the next.
+	health *healthRegistry
 }
 
 // New creates an engine over a system (the mediator's knowledge of schemas
@@ -192,6 +299,7 @@ func New(sys *core.System, reg *peer.Registry, client Client, opts Options) *Eng
 	bc, _ := client.(BatchClient)
 	cc, _ := client.(ContextClient)
 	e := &Engine{sys: sys, reg: reg, client: client, batch: bc, cc: cc, opts: opts}
+	e.health = newHealthRegistry(opts.BreakerThreshold, opts.BreakerCooldown)
 	if opts.AnswerCache != nil && sys != nil {
 		e.acache = opts.AnswerCache.Layer("federation")
 	}
@@ -250,7 +358,11 @@ func (e *Engine) AnswerWithTGDs(q pattern.Query, sigma []rewrite.TripleTGD) (*pa
 // tuples in disjunct order. All disjuncts share one fetcher, so identical
 // sub-queries hit the cache no matter which disjunct issued them first; on
 // failure the error of the lowest-indexed failing disjunct is returned, so
-// parallel runs report errors deterministically.
+// parallel runs report errors deterministically. The rule applies to
+// post-retry errors: a disjunct's error surfaces only after its peer calls
+// exhausted their attempt budget (wrapped with the attempt count, %w chain
+// intact), so the winning error is as stable under retries as without
+// them.
 func (e *Engine) answerUCQ(ctx context.Context, res *rewrite.Result) (*pattern.TupleSet, *Metrics, error) {
 	f := newFetcher(e)
 	n := len(res.Disjuncts)
@@ -307,6 +419,19 @@ var (
 	obsResizes   = obs.Default.Counter("rps_fed_adaptive_resizes_total", "Adaptive probe batch size changes")
 	obsInFlight  = obs.Default.Gauge("rps_fed_in_flight_peak", "Peak concurrently outstanding remote requests of any query")
 	obsDisjuncts = obs.Default.Histogram("rps_fed_disjuncts", "UCQ size per federated query (power-of-two buckets)")
+
+	// Fault-tolerance families. Registered at package init so the families
+	// scrape (at zero) even before the first fault.
+	obsRetryAttempts  = obs.Default.Counter("federation_retry_attempts_total", "Peer-call attempts after the first (retries)")
+	obsRetryExhausted = obs.Default.Counter("federation_retry_exhausted_total", "Peer calls that failed after the full attempt budget")
+	obsFailovers      = obs.Default.Counter("federation_retry_failovers_total", "Attempts routed to a different replica endpoint after a failure")
+	obsHedgeLaunched  = obs.Default.Counter("federation_hedge_launched_total", "Hedged (duplicate) attempts launched against replicas")
+	obsHedgeWins      = obs.Default.Counter("federation_hedge_wins_total", "Hedged attempts whose duplicate answered first")
+	obsBreakerOpens   = obs.Default.Counter("federation_breaker_opens_total", "Endpoint circuit breakers opened (incl. failed half-open probes)")
+	obsBreakerProbes  = obs.Default.Counter("federation_breaker_halfopen_probes_total", "Half-open recovery probes admitted through an open circuit")
+	obsBreakerReject  = obs.Default.Counter("federation_breaker_fastfail_total", "Logical calls failed fast because every replica endpoint was circuit-open")
+	obsPartial        = obs.Default.Counter("federation_partial_answers_total", "Degraded (partial) federated answers returned under Options.Partial")
+	obsSkipped        = obs.Default.Counter("federation_skipped_sources_total", "Sources skipped after exhausting their attempt budget")
 )
 
 func publishMetrics(m *Metrics) {
@@ -318,6 +443,10 @@ func publishMetrics(m *Metrics) {
 	obsResizes.Add(int64(m.AdaptiveResizes))
 	obsInFlight.SetMax(int64(m.InFlightMax))
 	obsDisjuncts.Observe(int64(m.Disjuncts))
+	if m.Partial {
+		obsPartial.Inc()
+	}
+	obsSkipped.Add(int64(len(m.SkippedSources)))
 }
 
 // evalDistributed evaluates one conjunctive body across the peers.

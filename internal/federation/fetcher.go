@@ -2,7 +2,6 @@ package federation
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -21,11 +20,15 @@ import (
 // in-flight windows, and the execution metrics. All methods are safe for
 // concurrent use by the parallel disjunct executor.
 type fetcher struct {
-	eng      *Engine
-	window   int
-	batch    int
-	serial   bool
-	adaptive bool
+	eng        *Engine
+	window     int
+	batch      int
+	serial     bool
+	adaptive   bool
+	policy     RetryPolicy
+	hedge      bool
+	hedgeAfter time.Duration
+	partial    bool
 	// epochs is the peer-version vector captured at fetcher creation; when
 	// the engine has a shared answer cache, every fetch result is stamped
 	// with it (and served from the cache only at the identical vector).
@@ -37,6 +40,7 @@ type fetcher struct {
 	sources   map[string]bool
 	rtt       map[string]time.Duration // per-peer EWMA of per-binding probe service time
 	lastBatch map[string]int           // last adaptive batch size per candidate-source set
+	skipped   map[string]string        // sources exhausted under Options.Partial → error summary
 	resizes   int
 	calls     int
 	batches   int
@@ -44,6 +48,11 @@ type fetcher struct {
 	cacheHits int
 	inFlight  int
 	flightMax int
+	retries   int
+	failovers int
+	hedges    int
+	hedgeWins int
+	fastFails int
 	err       error
 }
 
@@ -57,16 +66,21 @@ type fetchEntry struct {
 
 func newFetcher(e *Engine) *fetcher {
 	f := &fetcher{
-		eng:      e,
-		window:   e.opts.window(),
-		batch:    e.opts.batchSize(),
-		serial:   e.opts.Serial,
-		adaptive: e.opts.Adaptive,
-		cache:    make(map[string]*fetchEntry),
-		slots:    make(map[string]chan struct{}),
-		sources:  make(map[string]bool),
-		rtt:      make(map[string]time.Duration),
-		epochs:   e.epochVector(),
+		eng:        e,
+		window:     e.opts.window(),
+		batch:      e.opts.batchSize(),
+		serial:     e.opts.Serial,
+		adaptive:   e.opts.Adaptive,
+		policy:     e.opts.Retry,
+		hedge:      e.opts.Hedge,
+		hedgeAfter: e.opts.HedgeAfter,
+		partial:    e.opts.Partial,
+		cache:      make(map[string]*fetchEntry),
+		slots:      make(map[string]chan struct{}),
+		sources:    make(map[string]bool),
+		rtt:        make(map[string]time.Duration),
+		skipped:    make(map[string]string),
+		epochs:     e.epochVector(),
 	}
 	f.lastBatch = make(map[string]int)
 	return f
@@ -90,7 +104,7 @@ func (f *fetcher) fanout(n int, task func(int)) {
 func (f *fetcher) snapshot(res *rewrite.Result) *Metrics {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return &Metrics{
+	m := &Metrics{
 		Disjuncts:        res.Size(),
 		RewriteTruncated: res.Truncated,
 		RemoteCalls:      f.calls,
@@ -100,7 +114,97 @@ func (f *fetcher) snapshot(res *rewrite.Result) *Metrics {
 		CacheHits:        f.cacheHits,
 		InFlightMax:      f.flightMax,
 		AdaptiveResizes:  f.resizes,
+		Retries:          f.retries,
+		Failovers:        f.failovers,
+		Hedges:           f.hedges,
+		HedgeWins:        f.hedgeWins,
+		BreakerFastFails: f.fastFails,
+		Partial:          len(f.skipped) > 0,
 	}
+	for name, msg := range f.skipped {
+		m.SkippedSources = append(m.SkippedSources, SkippedSource{Source: name, Err: msg})
+	}
+	sort.Slice(m.SkippedSources, func(i, j int) bool {
+		return m.SkippedSources[i].Source < m.SkippedSources[j].Source
+	})
+	return m
+}
+
+// Per-event counters of the fault-tolerance layer: each feeds both the
+// query's Metrics snapshot and the process-wide obs family (events are
+// interesting even when the query is later canceled, so they publish at
+// event time rather than through publishMetrics).
+func (f *fetcher) countRetry() {
+	f.mu.Lock()
+	f.retries++
+	f.mu.Unlock()
+	obsRetryAttempts.Inc()
+}
+
+func (f *fetcher) countFailover() {
+	f.mu.Lock()
+	f.failovers++
+	f.mu.Unlock()
+	obsFailovers.Inc()
+}
+
+func (f *fetcher) countHedge() {
+	f.mu.Lock()
+	f.hedges++
+	f.mu.Unlock()
+	obsHedgeLaunched.Inc()
+}
+
+func (f *fetcher) countHedgeWin() {
+	f.mu.Lock()
+	f.hedgeWins++
+	f.mu.Unlock()
+	obsHedgeWins.Inc()
+}
+
+func (f *fetcher) countFastFail() {
+	f.mu.Lock()
+	f.fastFails++
+	f.mu.Unlock()
+	obsBreakerReject.Inc()
+}
+
+// skipSource records a source exhausted under Options.Partial: it
+// contributes zero rows and the answer is tagged partial. Only the first
+// error per source is kept.
+func (f *fetcher) skipSource(src peer.Entry, err error) {
+	f.mu.Lock()
+	if _, ok := f.skipped[src.Name]; !ok {
+		f.skipped[src.Name] = err.Error()
+	}
+	f.mu.Unlock()
+}
+
+// anySkipped reports whether this execution has skipped any source so far.
+// The shared answer cache consults it conservatively: nothing fetched
+// during a degraded execution is published (a skip elsewhere in the query
+// cannot have leaked into an unrelated extension, but proving that per key
+// is not worth the risk of caching an incomplete merge).
+func (f *fetcher) anySkipped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.skipped) > 0
+}
+
+// skippedNames returns the skipped source names, sorted (the RemoteScan
+// partial annotation).
+func (f *fetcher) skippedNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.skipped) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(f.skipped))
+	for name := range f.skipped {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // recordErr keeps the first out-of-band error (used by plan execution,
@@ -149,7 +253,11 @@ func (f *fetcher) acquire(addr string) func() {
 // cached returns the rows for key, computing them at most once across all
 // concurrent callers: the first caller runs compute, everyone else waits
 // and shares (and counts a cache hit, whether the entry was done or still
-// in flight).
+// in flight). Failures do not stick: a failed flight is removed from the
+// cache before its waiters are released, so callers arriving after the
+// failure lead a fresh attempt instead of inheriting a stale error —
+// already-parked waiters still share the failure (they collapsed onto that
+// flight while it was the live one).
 func (f *fetcher) cached(key string, compute func() ([]pattern.Binding, error)) ([]pattern.Binding, error) {
 	f.mu.Lock()
 	if ent, ok := f.cache[key]; ok {
@@ -162,6 +270,13 @@ func (f *fetcher) cached(key string, compute func() ([]pattern.Binding, error)) 
 	f.cache[key] = ent
 	f.mu.Unlock()
 	ent.rows, ent.err = f.sharedCached(key, compute)
+	if ent.err != nil {
+		f.mu.Lock()
+		if f.cache[key] == ent {
+			delete(f.cache, key)
+		}
+		f.mu.Unlock()
+	}
 	close(ent.done)
 	return ent.rows, ent.err
 }
@@ -174,6 +289,24 @@ func (f *fetcher) sharedCached(key string, compute func() ([]pattern.Binding, er
 	l := f.eng.acache
 	if l == nil || f.epochs == nil {
 		return compute()
+	}
+	if f.partial {
+		// degraded executions must not publish: a merge that silently
+		// skipped a source is not the extension later executions may
+		// reuse. Consume complete cached entries, compute privately, and
+		// publish only when this execution has skipped nothing.
+		if v, ok := l.Get(key, f.epochs); ok {
+			f.mu.Lock()
+			f.cacheHits++
+			f.mu.Unlock()
+			rows, _ := v.([]pattern.Binding)
+			return rows, nil
+		}
+		rows, err := compute()
+		if err == nil && !f.anySkipped() {
+			l.Put(key, f.epochs, rows, bindingsBytes(rows))
+		}
+		return rows, err
 	}
 	v, shared, err := l.Do(key, f.epochs, func() (any, int64, error) {
 		rows, err := compute()
@@ -209,62 +342,79 @@ func bindingsBytes(rows []pattern.Binding) int64 {
 	return n
 }
 
-// query sends one query text to one source within its in-flight window,
-// accounting the message. bindings is the probe batch size the query
-// carries (0: not a bind-join probe); probes feed the peer's service-time
-// EWMA, and multi-binding probes count as batches. The request inherits
-// ctx when the client supports it (ContextClient); either way a canceled
+// query sends one query text to one source, accounting the message.
+// bindings is the probe batch size the query carries (0: not a bind-join
+// probe); probes feed the peer's service-time EWMA, and multi-binding
+// probes count as batches. The call runs under the fetcher's retry policy
+// (callRetry): transient failures are retried with backoff across the
+// source's replica set, hedged when Options.Hedge. Each attempt takes an
+// in-flight slot of the endpoint it lands on; the request inherits ctx
+// when the client supports it (ContextClient), and either way a canceled
 // context stops the fetch before the message is sent.
 func (f *fetcher) query(ctx context.Context, src peer.Entry, queryText string, bindings int) (*sparql.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	release := f.acquire(src.Addr)
-	start := time.Now()
-	var res *sparql.Result
-	var err error
-	if f.eng.cc != nil {
-		res, err = f.eng.cc.QueryContext(ctx, src.Addr, queryText)
-	} else {
-		res, err = f.eng.client.Query(src.Addr, queryText)
-	}
-	if bindings > 0 {
-		f.observeProbe(src.Addr, time.Since(start), bindings)
-	}
-	release()
-	if err != nil {
-		return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
-	}
-	f.mu.Lock()
-	f.calls++
-	if bindings > 1 {
-		f.batches++
-	}
-	f.sources[src.Name] = true
-	f.mu.Unlock()
-	return res, nil
+	return callRetry(f, ctx, src, func(actx context.Context, addr string) (*sparql.Result, error) {
+		if err := actx.Err(); err != nil {
+			return nil, err
+		}
+		release := f.acquire(addr)
+		start := time.Now()
+		var res *sparql.Result
+		var err error
+		if f.eng.cc != nil {
+			res, err = f.eng.cc.QueryContext(actx, addr, queryText)
+		} else {
+			res, err = f.eng.client.Query(addr, queryText)
+		}
+		if bindings > 0 && err == nil {
+			f.observeProbe(addr, time.Since(start), bindings)
+		}
+		release()
+		if err != nil {
+			return nil, err
+		}
+		// accounted inside the attempt, not after callRetry: a hedged
+		// loser that completed at the peer cost a real message and must
+		// keep RemoteCalls aligned with the network's own call count
+		f.mu.Lock()
+		f.calls++
+		if bindings > 1 {
+			f.batches++
+		}
+		f.sources[src.Name] = true
+		f.mu.Unlock()
+		return res, nil
+	})
 }
 
-// queryBatch ships several query texts to one source as a single message.
-// The caller guarantees the engine's client supports batching. Batched
-// messages have no context variant; a canceled context stops the call
-// before the message is sent.
+// queryBatch ships several query texts to one source as a single message,
+// under the same retry/failover/hedging loop as query. The caller
+// guarantees the engine's client supports batching. Batched messages have
+// no context variant; a canceled context stops each attempt before its
+// message is sent.
 func (f *fetcher) queryBatch(ctx context.Context, src peer.Entry, texts []string) ([]*sparql.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	release := f.acquire(src.Addr)
-	rs, err := f.eng.batch.QueryBatch(src.Addr, texts)
-	release()
-	if err != nil {
-		return nil, fmt.Errorf("federation: source %s: %w", src.Name, err)
-	}
-	f.mu.Lock()
-	f.calls++
-	f.batches++
-	f.sources[src.Name] = true
-	f.mu.Unlock()
-	return rs, nil
+	return callRetry(f, ctx, src, func(actx context.Context, addr string) ([]*sparql.Result, error) {
+		if err := actx.Err(); err != nil {
+			return nil, err
+		}
+		release := f.acquire(addr)
+		rs, err := f.eng.batch.QueryBatch(addr, texts)
+		release()
+		if err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.calls++
+		f.batches++
+		f.sources[src.Name] = true
+		f.mu.Unlock()
+		return rs, nil
+	})
 }
 
 // resultBindings turns a peer's result into solution mappings over vars,
@@ -347,12 +497,20 @@ func (f *fetcher) fetchPattern(ctx context.Context, tp pattern.TriplePattern) ([
 // fetchMerged sends one query text to every candidate source concurrently
 // and merges the per-source bindings in source order. bindings is the
 // probe batch size the query carries (0 for plain extension fetches).
+// Under Options.Partial, a source whose post-retry error is transient is
+// skipped — it contributes zero rows and is recorded in the completeness
+// report — instead of failing the fetch; terminal errors (and errors under
+// an already-dead context) still propagate.
 func (f *fetcher) fetchMerged(ctx context.Context, candidates []peer.Entry, queryText string, vars []string, bindings int) ([]pattern.Binding, error) {
 	perSrc := make([][]pattern.Binding, len(candidates))
 	errs := make([]error, len(candidates))
 	f.fanout(len(candidates), func(i int) {
 		res, err := f.query(ctx, candidates[i], queryText, bindings)
 		if err != nil {
+			if f.partial && ctx.Err() == nil && retryable(err) {
+				f.skipSource(candidates[i], err)
+				return
+			}
 			errs[i] = err
 			return
 		}
@@ -627,6 +785,13 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 			}
 		}
 		if err != nil {
+			if f.partial && ctx.Err() == nil && retryable(err) {
+				// the whole source is exhausted: every pattern it should
+				// have answered loses its contribution (slots stay empty)
+				// and the answer is tagged partial
+				f.skipSource(c.src, err)
+				return
+			}
 			callErrs[ci] = err
 			return
 		}
@@ -645,13 +810,24 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 	}
 
 	// publish each job's merged extension (or error) to its cache entry,
-	// and successful fetches to the engine-wide cache for later executions
+	// and successful complete fetches to the engine-wide cache for later
+	// executions (a degraded execution publishes nothing — see
+	// sharedCached). Failed entries are removed before their waiters wake,
+	// so later callers lead a fresh attempt instead of inheriting the
+	// stale error.
+	anySkipped := f.anySkipped()
 	for _, j := range jobs {
 		if j.err == nil {
 			j.entry.rows = mergeBindings(j.perSrc, j.vars)
-			if l := f.eng.acache; l != nil && f.epochs != nil {
+			if l := f.eng.acache; l != nil && f.epochs != nil && !anySkipped {
 				l.Put(j.text, f.epochs, j.entry.rows, bindingsBytes(j.entry.rows))
 			}
+		} else {
+			f.mu.Lock()
+			if f.cache[j.text] == j.entry {
+				delete(f.cache, j.text)
+			}
+			f.mu.Unlock()
 		}
 		j.entry.err = j.err
 		close(j.entry.done)

@@ -1,0 +1,205 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/peer"
+)
+
+// PeerGroup is a replica set: one logical source served by N
+// interchangeable endpoints. The mediator routes each attempt at the group,
+// not at a fixed address — retries and hedges may land on any endpoint —
+// and because every endpoint serves the same peer database, answers are
+// identical regardless of which endpoint produced them.
+type PeerGroup struct {
+	// Name is the logical source (the registry entry's peer name).
+	Name string
+	// Endpoints lists the addresses in failover preference order: the
+	// primary first, replicas after.
+	Endpoints []string
+}
+
+// groupOf builds the replica set of a registry entry.
+func groupOf(src peer.Entry) PeerGroup {
+	return PeerGroup{Name: src.Name, Endpoints: src.Endpoints()}
+}
+
+// ErrCircuitOpen is wrapped into the error returned when every endpoint of
+// a source's replica set has an open circuit breaker: the call fails fast
+// instead of burning attempts against endpoints known to be down.
+var ErrCircuitOpen = errors.New("federation: circuit open")
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// endpointHealth tracks one endpoint across query executions: consecutive
+// transient failures (feeding the breaker), the breaker state machine, and
+// a whole-call latency EWMA (feeding the hedge delay). Fields are guarded
+// by the owning registry's mutex.
+type endpointHealth struct {
+	fails    int
+	state    breakerState
+	openedAt time.Time
+	probing  bool
+	ewma     time.Duration
+	lastErr  error
+}
+
+// healthRegistry is the engine-lifetime health table of every endpoint the
+// mediator has talked to. With threshold <= 0 the breaker is disabled and
+// the registry only tracks latency (for hedging) and last errors.
+type healthRegistry struct {
+	mu        sync.Mutex
+	eps       map[string]*endpointHealth
+	threshold int
+	cooldown  time.Duration
+}
+
+func newHealthRegistry(threshold int, cooldown time.Duration) *healthRegistry {
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &healthRegistry{eps: make(map[string]*endpointHealth), threshold: threshold, cooldown: cooldown}
+}
+
+func (h *healthRegistry) get(addr string) *endpointHealth {
+	st, ok := h.eps[addr]
+	if !ok {
+		st = &endpointHealth{}
+		h.eps[addr] = st
+	}
+	return st
+}
+
+// admitLocked decides whether addr may receive a call right now, advancing
+// the breaker: closed endpoints always admit; open endpoints admit exactly
+// one half-open probe once the cooldown has elapsed.
+func (h *healthRegistry) admitLocked(st *endpointHealth) bool {
+	if h.threshold <= 0 || st.state == bkClosed {
+		return true
+	}
+	if st.state == bkOpen && !st.probing && time.Since(st.openedAt) >= h.cooldown {
+		st.state = bkHalfOpen
+		st.probing = true
+		obsBreakerProbes.Inc()
+		return true
+	}
+	return false
+}
+
+// pick chooses the endpoint for the next attempt: the first admitted
+// endpoint not yet tried this call, falling back to already-tried endpoints
+// (a full failover cycle), and reporting !ok only when every endpoint's
+// circuit is open — the caller then fails fast with downError.
+func (h *healthRegistry) pick(g PeerGroup, tried map[string]bool) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for pass := 0; pass < 2; pass++ {
+		for _, ep := range g.Endpoints {
+			if pass == 0 && tried[ep] {
+				continue
+			}
+			if h.admitLocked(h.get(ep)) {
+				return ep, true
+			}
+		}
+		if len(tried) == 0 {
+			break
+		}
+	}
+	return "", false
+}
+
+// alternate returns a healthy (closed-circuit) endpoint other than primary
+// for a hedged attempt; half-open endpoints are skipped so hedges never
+// consume the single recovery probe.
+func (h *healthRegistry) alternate(g PeerGroup, primary string) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ep := range g.Endpoints {
+		if ep == primary {
+			continue
+		}
+		if st := h.get(ep); h.threshold <= 0 || st.state == bkClosed {
+			return ep, true
+		}
+	}
+	return "", false
+}
+
+// success records a completed call: the failure streak resets, an open or
+// probing circuit closes, and the whole-call latency folds into the
+// endpoint's EWMA (α = 0.3, like the probe-size EWMA).
+func (h *healthRegistry) success(addr string, d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.get(addr)
+	st.fails = 0
+	st.probing = false
+	st.state = bkClosed
+	if st.ewma == 0 {
+		st.ewma = d
+	} else {
+		st.ewma = (3*d + 7*st.ewma) / 10
+	}
+}
+
+// failure records a transient call failure. At threshold consecutive
+// failures the endpoint's circuit opens; a failed half-open probe re-opens
+// it immediately. Terminal errors (malformed queries, cancellation) must
+// not be recorded — they say nothing about the endpoint's health.
+func (h *healthRegistry) failure(addr string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.get(addr)
+	st.fails++
+	st.lastErr = err
+	if h.threshold <= 0 {
+		return
+	}
+	switch {
+	case st.state == bkHalfOpen:
+		st.state = bkOpen
+		st.openedAt = time.Now()
+		st.probing = false
+		obsBreakerOpens.Inc()
+	case st.state == bkClosed && st.fails >= h.threshold:
+		st.state = bkOpen
+		st.openedAt = time.Now()
+		obsBreakerOpens.Inc()
+	}
+}
+
+// latency returns the endpoint's whole-call EWMA (0 if unobserved).
+func (h *healthRegistry) latency(addr string) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.get(addr).ewma
+}
+
+// downError describes a group whose every endpoint is circuit-open, wrapping
+// the most recent endpoint error so errors.Is chains (e.g.
+// simnet.ErrUnreachable) survive through the fast-fail path.
+func (h *healthRegistry) downError(g PeerGroup) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var last error
+	for _, ep := range g.Endpoints {
+		if st := h.eps[ep]; st != nil && st.lastErr != nil {
+			last = st.lastErr
+		}
+	}
+	if last == nil {
+		return fmt.Errorf("%w on all %d endpoints", ErrCircuitOpen, len(g.Endpoints))
+	}
+	return fmt.Errorf("%w on all %d endpoints: %w", ErrCircuitOpen, len(g.Endpoints), last)
+}

@@ -101,10 +101,11 @@ func (e *Engine) disjunctPlan(f *fetcher, d rewrite.Disjunct) plan.Node {
 	}
 	leaf := func(tp pattern.TriplePattern, probe bool) *plan.RemoteScan {
 		s := &plan.RemoteScan{
-			TP:      tp,
-			Sources: len(e.reg.SelectSources(patternIRIs(tp))),
-			Window:  e.opts.window(),
-			Fetch:   fetch,
+			TP:       tp,
+			Sources:  len(e.reg.SelectSources(patternIRIs(tp))),
+			Window:   e.opts.window(),
+			Fetch:    fetch,
+			Degraded: f.skippedNames,
 		}
 		if probe && e.opts.Join == BindJoin {
 			s.Batch = e.opts.batchSize()

@@ -191,7 +191,22 @@ func (c *HTTPClient) post(ctx context.Context, endpoint, contentType, body strin
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("peer: endpoint %s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(out)))
+		return nil, &StatusError{Endpoint: endpoint, Code: resp.StatusCode, Status: resp.Status, Body: strings.TrimSpace(string(out))}
 	}
 	return out, nil
+}
+
+// StatusError is a non-200 answer from a SPARQL endpoint, typed so callers
+// can classify it: 5xx answers are transient (the endpoint is overloaded or
+// mid-restart — retryable, see Retryable), 4xx answers are terminal (the
+// query itself is rejected; retrying resends the same malformed query).
+type StatusError struct {
+	Endpoint string
+	Code     int
+	Status   string
+	Body     string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("peer: endpoint %s: %s: %s", e.Endpoint, e.Status, e.Body)
 }

@@ -163,10 +163,24 @@ func (c *Client) QueryBatch(addr string, queries []string) ([]*sparql.Result, er
 type Entry struct {
 	Name string
 	Addr string
+	// Replicas are additional addresses serving the same logical peer, in
+	// preference order after Addr. The federation mediator treats
+	// {Addr, Replicas...} as one replica set: any endpoint can answer any
+	// sub-query for the peer, so failed or slow endpoints can be retried,
+	// hedged, or failed over without losing answers.
+	Replicas []string
 	// Schema is the peer's schema, used for source selection: a triple
 	// pattern can only match at peers whose schema contains all of the
 	// pattern's IRIs.
 	Schema *core.Schema
+}
+
+// Endpoints returns the entry's full replica set: Addr first, then the
+// replicas, in failover preference order.
+func (e Entry) Endpoints() []string {
+	out := make([]string, 0, 1+len(e.Replicas))
+	out = append(out, e.Addr)
+	return append(out, e.Replicas...)
 }
 
 // Registry is the super-peer routing table: it knows every peer's address
@@ -237,14 +251,41 @@ func (r *Registry) SelectSources(iris []rdf.Term) []Entry {
 	return out
 }
 
+// AddReplica records an additional address for a registered peer. Unknown
+// names are ignored.
+func (r *Registry) AddReplica(name, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return
+	}
+	e.Replicas = append(append([]string(nil), e.Replicas...), addr)
+	r.entries[name] = e
+}
+
 // Deploy registers a node for every peer of the system on the network with
 // addresses "peer:<name>", populates the registry, and returns the nodes.
 func Deploy(sys *core.System, net *simnet.Network, reg *Registry) []*Node {
+	return DeployReplicated(sys, net, reg, 1)
+}
+
+// DeployReplicated is Deploy with a replica set per peer: each peer is
+// served by `replicas` interchangeable nodes — the primary at
+// "peer:<name>" plus replicas at "peer:<name>@r1", "peer:<name>@r2", … —
+// all registered under one registry entry, so the mediator can fail over
+// or hedge between them. replicas < 1 is treated as 1.
+func DeployReplicated(sys *core.System, net *simnet.Network, reg *Registry, replicas int) []*Node {
 	var out []*Node
 	for _, p := range sys.Peers() {
 		n := NewNode(p, net, "peer:"+p.Name())
 		reg.AddNode(n)
 		out = append(out, n)
+		for i := 1; i < replicas; i++ {
+			rn := NewNode(p, net, fmt.Sprintf("peer:%s@r%d", p.Name(), i))
+			reg.AddReplica(p.Name(), rn.Addr())
+			out = append(out, rn)
+		}
 	}
 	return out
 }

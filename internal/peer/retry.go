@@ -1,0 +1,113 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/sparql"
+)
+
+// Retryable classifies a peer-call error as transient (a retry against the
+// same or a replica endpoint may succeed) or terminal (retrying resends the
+// same doomed request). The classification is shared by both transports:
+//
+//   - unreachable simulated nodes (simnet.ErrUnreachable), including
+//     mid-stream death and flaky drops, are transient;
+//   - network-level failures (net.Error: refused connections, resets,
+//     transport timeouts) are transient;
+//   - HTTP 5xx answers (StatusError) are transient, 4xx terminal;
+//   - a deadline is transient (the next attempt gets a fresh per-attempt
+//     budget) but cancellation is terminal — the caller gave up;
+//   - truncated response bodies (io.EOF mid-decode) are transient;
+//   - everything else — above all parse/evaluation errors for malformed
+//     queries — is terminal: only known-transient failures are retried.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, simnet.ErrUnreachable) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// QueryClient is the minimal query surface RetryClient wraps: both Client
+// (simnet) and HTTPClient satisfy it.
+type QueryClient interface {
+	Query(addr, queryText string) (*sparql.Result, error)
+}
+
+// RetryClient decorates a QueryClient with bounded retries: transient
+// failures (per Retryable) are retried up to Attempts times with doubling
+// backoff, terminal failures return immediately. It serves non-federation
+// callers — scripts, tests, simple clients over either transport; the
+// federation mediator has its own retry loop (with failover, hedging, and
+// circuit breakers) and does not stack on this wrapper.
+type RetryClient struct {
+	Inner QueryClient
+	// Attempts is the total number of tries (0 or 1 = no retries).
+	Attempts int
+	// Backoff is the delay before the second attempt, doubling each retry
+	// (0 = 2ms).
+	Backoff time.Duration
+}
+
+// Query forwards to the inner client, retrying transient failures.
+func (c *RetryClient) Query(addr, queryText string) (*sparql.Result, error) {
+	return c.QueryContext(context.Background(), addr, queryText)
+}
+
+// QueryContext is Query under a context: the backoff sleeps are
+// interruptible and no attempt starts after ctx is done. When the inner
+// client supports contexts (ContextQueryClient), attempts inherit ctx.
+func (c *RetryClient) QueryContext(ctx context.Context, addr, queryText string) (*sparql.Result, error) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	var res *sparql.Result
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return nil, err
+			}
+			return nil, cerr
+		}
+		if cc, ok := c.Inner.(ContextQueryClient); ok {
+			res, err = cc.QueryContext(ctx, addr, queryText)
+		} else {
+			res, err = c.Inner.Query(addr, queryText)
+		}
+		if err == nil || !Retryable(err) || attempt >= c.Attempts {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// ContextQueryClient is a QueryClient whose requests can carry a context.
+type ContextQueryClient interface {
+	QueryClient
+	QueryContext(ctx context.Context, addr, queryText string) (*sparql.Result, error)
+}

@@ -38,6 +38,11 @@ type RemoteScan struct {
 	// one the node was opened under — sub-queries issued by the fetch
 	// inherit the request's deadline and stop early on cancellation.
 	Fetch func(ctx context.Context, tp pattern.TriplePattern) []pattern.Binding
+	// Degraded, when non-nil, reports the sources skipped so far under the
+	// mediator's partial-answer degradation; a non-empty report renders as
+	// a partial=[…] annotation, so EXPLAIN ANALYZE shows which leaves may
+	// be missing contributions.
+	Degraded func() []string
 }
 
 // Vars implements Node.
@@ -59,6 +64,11 @@ func (s *RemoteScan) format(b *strings.Builder, depth int) {
 	}
 	if s.Window > 0 {
 		fmt.Fprintf(b, " window=%d", s.Window)
+	}
+	if s.Degraded != nil {
+		if skipped := s.Degraded(); len(skipped) > 0 {
+			fmt.Fprintf(b, " partial=%v", skipped)
+		}
 	}
 	b.WriteByte('\n')
 }

@@ -7,7 +7,9 @@
 //
 // The latency model is injectable per peer (SetNodeLatency: base delay plus
 // deterministic jitter drawn from a seeded source), nodes can be killed
-// mid-stream (FailAfter: serve n more calls, then become unreachable), and
+// mid-stream (FailAfter: serve n more calls, then become unreachable), taken
+// down transiently (HealAfter: reject n calls, then recover) or made flaky
+// (SetFlaky: each call fails with probability p), and
 // the fabric tracks concurrently outstanding calls (Stats.MaxInFlight,
 // NodeMaxInFlight) — together these make the mediator's concurrency
 // observable and testable: a parallel federation run shows MaxInFlight > 1
@@ -64,13 +66,20 @@ type Stats struct {
 }
 
 // nodeShape is the injectable per-node behaviour: extra latency, jitter,
-// and a mid-stream death countdown.
+// a mid-stream death countdown, a transient-outage heal countdown, and a
+// flaky-call probability.
 type nodeShape struct {
 	latency time.Duration
 	jitter  time.Duration
 	// failAfter counts down the calls the node will still serve; when it
 	// reaches zero the node goes down. -1 disables the countdown.
 	failAfter int
+	// healAfter counts down the calls a down node will still reject; when
+	// it reaches zero the node heals. 0 disables the countdown.
+	healAfter int
+	// flaky is the probability in [0, 1] that a call to the node fails as
+	// unreachable even though the node is up.
+	flaky float64
 }
 
 // Network is an in-process message fabric.
@@ -152,6 +161,33 @@ func (n *Network) FailAfter(addr string, calls int) {
 	n.shapeLocked(addr).failAfter = calls
 }
 
+// HealAfter marks addr down now and heals it automatically after it has
+// rejected n more calls — a transient outage whose length is measured in
+// traffic rather than wall time, so tests of retry/failover loops stay
+// deterministic under concurrency. n <= 0 just fails the node.
+func (n *Network) HealAfter(addr string, rejected int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[addr] = true
+	if rejected < 0 {
+		rejected = 0
+	}
+	n.shapeLocked(addr).healAfter = rejected
+}
+
+// SetFlaky makes each call to addr fail as unreachable with probability p
+// (drawn from the network's seeded source, so runs are reproducible). A
+// flaky failure is transient: the node stays up and the next call may
+// succeed. p <= 0 disables flakiness.
+func (n *Network) SetFlaky(addr string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	n.shapeLocked(addr).flaky = p
+}
+
 func (n *Network) shapeLocked(addr string) *nodeShape {
 	sh, ok := n.shapes[addr]
 	if !ok {
@@ -192,13 +228,17 @@ func (n *Network) Fail(addr string) {
 	n.down[addr] = true
 }
 
-// Heal restores a failed node and disarms any FailAfter countdown.
+// Heal restores a failed node and disarms every injected fault: the
+// FailAfter countdown, the HealAfter countdown, and flakiness. Injected
+// latency is a property of the link, not a fault, and stays.
 func (n *Network) Heal(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.down, addr)
 	if sh, ok := n.shapes[addr]; ok {
 		sh.failAfter = -1
+		sh.healAfter = 0
+		sh.flaky = 0
 	}
 }
 
@@ -221,6 +261,14 @@ func (n *Network) Call(from, to string, req Message) (Message, error) {
 	n.mu.Lock()
 	h, ok := n.nodes[to]
 	if !ok || n.down[to] || n.down[from] {
+		if sh := n.shapes[to]; sh != nil && n.down[to] && sh.healAfter > 0 {
+			// transient outage: this rejection consumes one tick of the
+			// HealAfter countdown; at zero the node serves the NEXT call
+			sh.healAfter--
+			if sh.healAfter == 0 {
+				delete(n.down, to)
+			}
+		}
 		n.stats.Failures++
 		n.mu.Unlock()
 		return Message{}, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
@@ -235,6 +283,11 @@ func (n *Network) Call(from, to string, req Message) (Message, error) {
 		}
 		if sh.failAfter > 0 {
 			sh.failAfter--
+		}
+		if sh.flaky > 0 && n.rng.Float64() < sh.flaky {
+			n.stats.Failures++
+			n.mu.Unlock()
+			return Message{}, fmt.Errorf("%w: %s -> %s (flaky)", ErrUnreachable, from, to)
 		}
 		node = sh.latency
 		if sh.jitter > 0 {

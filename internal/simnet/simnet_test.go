@@ -248,3 +248,74 @@ func TestConcurrentCalls(t *testing.T) {
 		t.Errorf("calls = %d, want %d", st.Calls, 8*perClient)
 	}
 }
+
+// HealAfter: the node rejects exactly n calls, then serves again — a
+// transient outage measured in traffic, not wall time.
+func TestHealAfter(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	n.HealAfter("b", 3)
+	for i := 0; i < 3; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "t"}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("rejected call %d: err = %v", i, err)
+		}
+	}
+	if _, err := n.Call("a", "b", Message{Type: "t"}); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	st := n.Stats()
+	if st.Failures != 3 || st.Calls != 1 {
+		t.Errorf("stats = %+v, want 3 failures and 1 call", st)
+	}
+}
+
+// HealAfter with n <= 0 just fails the node (Heal restores it manually).
+func TestHealAfterZeroStaysDown(t *testing.T) {
+	n := New()
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	n.HealAfter("b", 0)
+	for i := 0; i < 3; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "t"}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	n.Heal("b")
+	if _, err := n.Call("a", "b", Message{Type: "t"}); err != nil {
+		t.Fatalf("call after Heal: %v", err)
+	}
+}
+
+// SetFlaky drops roughly the configured fraction of calls, from the seeded
+// source (reproducible), and Heal disarms it.
+func TestSetFlaky(t *testing.T) {
+	n := New(WithJitterSeed(42))
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+
+	n.SetFlaky("b", 1)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "t"}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("flaky p=1 call %d: err = %v", i, err)
+		}
+	}
+
+	n.SetFlaky("b", 0.5)
+	failed := 0
+	for i := 0; i < 200; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "t"}); err != nil {
+			failed++
+		}
+	}
+	if failed < 60 || failed > 140 {
+		t.Errorf("flaky p=0.5: %d/200 calls failed", failed)
+	}
+
+	n.Heal("b")
+	for i := 0; i < 5; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "t"}); err != nil {
+			t.Fatalf("call after Heal: %v", err)
+		}
+	}
+}

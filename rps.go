@@ -40,6 +40,30 @@
 // (rpsquery -mode federation -explain; tune with -fed-parallel and
 // -fed-batch on rpsd, rpsquery and rpsbench).
 //
+// Federation is fault-tolerant. Every sub-query runs under a retry policy
+// (FederationOptions.Retry): transient failures — unreachable peers,
+// mid-stream deaths, per-attempt timeouts — retry with exponential backoff
+// and jitter, while terminal errors (malformed queries) fail immediately;
+// the post-retry error keeps its cause chain (errors.Is still classifies
+// it) with the attempt count recorded. Sources may be replica sets
+// (DeployReplicatedPeers, Registry.AddReplica): retries fail over across
+// endpoints, a per-endpoint circuit breaker (BreakerThreshold /
+// BreakerCooldown) stops hammering dead replicas and re-probes them
+// half-open after a cooldown, and hedged requests (Hedge / HedgeAfter)
+// race a sub-query that outlives the source's latency EWMA against a
+// replica, first answer wins. When every endpoint of a source is gone,
+// FederationOptions.Partial opts into graceful degradation: the mediator
+// skips the source, answers the partial certain-answer subset, and reports
+// the skipped sources (FederationMetrics.SkippedSources, rendered as
+// "-- partial: …" lines by EXPLAIN ANALYZE and the X-RPS-Partial header by
+// rpsd); without it the query fails closed. The simulated network injects
+// all of these faults (Fail, FailAfter, HealAfter, SetFlaky), rpsd/rpsquery
+// expose the knobs as -fed-retries, -fed-hedge, -fed-partial (and
+// rpsquery -fed-replicas), the federation_retry_*, federation_hedge_* and
+// federation_breaker_* metric families land at /metrics, and rpsbench's
+// JSON report measures mediator qps and tail latency at 0/10/30% unhealthy
+// peers with hedging off and on.
+//
 // Underneath all three strategies and the federated engine sits a single
 // streaming, cost-based query planner and executor (package internal/plan):
 // graph patterns compile into relational-algebra operator trees — index
@@ -373,7 +397,21 @@ type (
 	FederationOptions = federation.Options
 	// FederationMetrics describes one federated execution.
 	FederationMetrics = federation.Metrics
+	// FederationRetryPolicy bounds per-sub-query attempts, backoff and
+	// per-attempt timeouts.
+	FederationRetryPolicy = federation.RetryPolicy
+	// PeerGroup is one source's replica set: the endpoints serving
+	// identical data that retries fail over across.
+	PeerGroup = federation.PeerGroup
+	// SkippedSource names one source omitted from a partial answer.
+	SkippedSource = federation.SkippedSource
+	// RetryClient wraps any peer query client with bounded retries.
+	RetryClient = peer.RetryClient
 )
+
+// ErrCircuitOpen marks sub-query errors fast-failed by an open circuit
+// breaker (all of a source's endpoints over the failure threshold).
+var ErrCircuitOpen = federation.ErrCircuitOpen
 
 // Federation constructors.
 var (
@@ -383,6 +421,9 @@ var (
 	NewRegistry = peer.NewRegistry
 	// DeployPeers registers a node per peer on a network.
 	DeployPeers = peer.Deploy
+	// DeployReplicatedPeers registers a replica set per peer on a network,
+	// so the mediator's failover and hedging have alternates to route to.
+	DeployReplicatedPeers = peer.DeployReplicated
 	// NewPeerClient returns a network SPARQL client.
 	NewPeerClient = peer.NewClient
 	// NewFederation builds the mediator engine.
