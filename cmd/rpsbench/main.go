@@ -71,6 +71,7 @@ func main() {
 	if *rcache {
 		qc := qcache.New(int64(*rcacheMB) << 20)
 		plan.SetAnswerCache(qc.Layer("plan"))
+		plan.SetNegativeAskCache(qcache.NewNegCache(4096))
 		sparql.SetAnswerCache(qc.Layer("sparql"))
 		fed.AnswerCache = qc
 	}

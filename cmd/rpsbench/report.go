@@ -39,6 +39,10 @@ type benchReport struct {
 	// latency percentiles at 0/10/30% unhealthy peers, hedging off and on,
 	// over 3-replica sets (fedfaults.go).
 	FederationFaults *fedFaultsResult `json:"federationFaults,omitempty"`
+	// FederationStreaming is the streaming wire protocol benchmark: wire
+	// and peer-side cost per (mode × probe batch) cell, plus the
+	// first-row latency comparison on a slow network (fedstreaming.go).
+	FederationStreaming *fedStreamingResult `json:"federationStreaming,omitempty"`
 }
 
 // microBenchmarkEntry is one testing.Benchmark result.
@@ -80,6 +84,11 @@ func writeJSONReport(path string, quick bool, tables []*experiments.Table) error
 		return err
 	}
 	rep.FederationFaults = faults
+	streaming, err := runFedStreamingBenchmark(quick)
+	if err != nil {
+		return err
+	}
+	rep.FederationStreaming = streaming
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -124,23 +124,25 @@ func (c localClient) QueryContext(ctx context.Context, addr, queryText string) (
 
 func main() {
 	var (
-		systemPath   = flag.String("system", "", "path to the system.rps file (required)")
-		listen       = flag.String("listen", ":8080", "listen address")
-		shards       = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
-		fedParallel  = flag.Bool("fed-parallel", true, "evaluate the /federated endpoint's UCQ disjuncts in parallel")
-		fedJoin      = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
-		fedBatch     = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
-		fedAdaptive  = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
-		fedRetries   = flag.Int("fed-retries", 3, "max attempts per federated sub-query (retries with exponential backoff on transient failures; 1 = no retries)")
-		fedHedge     = flag.Bool("fed-hedge", false, "hedge slow federated sub-queries against a replica endpoint when the registry holds replicas")
-		fedPartial   = flag.Bool("fed-partial", false, "degrade gracefully on /federated: skip sources that stay unreachable after retries and answer the partial certain-answer subset (reported in the X-RPS-Partial header) instead of failing")
-		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request evaluation deadline (0 = none); timed-out requests answer 503")
-		slowQuery    = flag.Duration("slow-query", time.Second, "log requests slower than this (0 = disabled)")
-		resultCache  = flag.Bool("result-cache", true, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing of identical in-flight queries")
+		systemPath    = flag.String("system", "", "path to the system.rps file (required)")
+		listen        = flag.String("listen", ":8080", "listen address")
+		shards        = flag.Int("shards", 0, "graph store shard count (0 = one per CPU); higher values reduce lock contention under concurrent load")
+		fedParallel   = flag.Bool("fed-parallel", true, "evaluate the /federated endpoint's UCQ disjuncts in parallel")
+		fedJoin       = flag.String("fed-join", "hash", "federated join strategy for /federated: hash | bind")
+		fedBatch      = flag.Int("fed-batch", 0, "bind-join probe batch size for the /federated mediator (0 = library default; bind join only)")
+		fedAdaptive   = flag.Bool("fed-adaptive", false, "size bind-join probe batches adaptively from per-peer RTT EWMAs (-fed-batch is the cap)")
+		fedRetries    = flag.Int("fed-retries", 3, "max attempts per federated sub-query (retries with exponential backoff on transient failures; 1 = no retries)")
+		fedHedge      = flag.Bool("fed-hedge", false, "hedge slow federated sub-queries against a replica endpoint when the registry holds replicas")
+		fedPartial    = flag.Bool("fed-partial", false, "degrade gracefully on /federated: skip sources that stay unreachable after retries and answer the partial certain-answer subset (reported in the X-RPS-Partial header) instead of failing")
+		fedOneShot    = flag.Bool("fed-oneshot", false, "force the one-shot wire encoding for federated sub-queries instead of chunked streaming")
+		fedUnion      = flag.Bool("fed-union-probes", false, "render bind-join probes as the legacy UNION of filtered patterns instead of a native VALUES block")
+		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "per-request evaluation deadline (0 = none); timed-out requests answer 503")
+		slowQuery     = flag.Duration("slow-query", time.Second, "log requests slower than this (0 = disabled)")
+		resultCache   = flag.Bool("result-cache", true, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing of identical in-flight queries")
 		resultCacheMB = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
-		dataDir      = flag.String("data-dir", "", "durable storage root: per-peer WAL + checkpoints under <dir>/peers/<name>; restarts recover from it instead of re-parsing Turtle (empty = in-memory only)")
-		fsync        = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
-		ckptEvery    = flag.Uint64("checkpoint-every", 10000, "logged ops between background checkpoints with -data-dir (0 = checkpoint only on shutdown)")
+		dataDir       = flag.String("data-dir", "", "durable storage root: per-peer WAL + checkpoints under <dir>/peers/<name>; restarts recover from it instead of re-parsing Turtle (empty = in-memory only)")
+		fsync         = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
+		ckptEvery     = flag.Uint64("checkpoint-every", 10000, "logged ops between background checkpoints with -data-dir (0 = checkpoint only on shutdown)")
 	)
 	flag.Parse()
 	if *systemPath == "" {
@@ -158,12 +160,14 @@ func main() {
 		dur = durableConfig{Dir: *dataDir, Policy: policy, CheckpointEvery: *ckptEvery}
 	}
 	fed := federation.Options{
-		Serial:    !*fedParallel,
-		BatchSize: *fedBatch,
-		Adaptive:  *fedAdaptive,
-		Retry:     federation.RetryPolicy{MaxAttempts: *fedRetries},
-		Hedge:     *fedHedge,
-		Partial:   *fedPartial,
+		Serial:      !*fedParallel,
+		BatchSize:   *fedBatch,
+		Adaptive:    *fedAdaptive,
+		Retry:       federation.RetryPolicy{MaxAttempts: *fedRetries},
+		Hedge:       *fedHedge,
+		Partial:     *fedPartial,
+		OneShot:     *fedOneShot,
+		UnionProbes: *fedUnion,
 	}
 	if *fedJoin == "bind" {
 		fed.Join = federation.BindJoin
@@ -171,6 +175,7 @@ func main() {
 	if *resultCache {
 		qc := qcache.New(int64(*resultCacheMB) << 20)
 		plan.SetAnswerCache(qc.Layer("plan"))
+		plan.SetNegativeAskCache(qcache.NewNegCache(4096))
 		sparql.SetAnswerCache(qc.Layer("sparql"))
 		fed.AnswerCache = qc
 	}

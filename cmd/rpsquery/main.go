@@ -76,18 +76,22 @@ func main() {
 		fedHedge   = flag.Bool("fed-hedge", false, "hedge slow federated sub-queries against a replica endpoint (federation mode)")
 		fedPartial = flag.Bool("fed-partial", false, "degrade gracefully: skip sources unreachable after retries and answer the partial subset, reporting the skipped sources (federation mode)")
 		fedReplica = flag.Int("fed-replicas", 1, "replica endpoints per peer on the simulated network (federation mode)")
+		fedOneShot = flag.Bool("fed-oneshot", false, "force the one-shot wire encoding for federated sub-queries instead of chunked streaming (federation mode)")
+		fedUnion   = flag.Bool("fed-union-probes", false, "render bind-join probes as the legacy UNION of filtered patterns instead of a native VALUES block (federation mode)")
 		rcache     = flag.Bool("result-cache", false, "cache query answers keyed on (query, store epoch vector) with singleflight collapsing")
 		rcacheMB   = flag.Int("result-cache-mb", 64, "answer cache byte budget in MiB")
 	)
 	flag.Parse()
 	rdf.SetDefaultShardCount(*shards)
 	fed := federation.Options{
-		Serial:    !*fedPar,
-		BatchSize: *fedBatch,
-		Adaptive:  *fedAdapt,
-		Retry:     federation.RetryPolicy{MaxAttempts: *fedRetries},
-		Hedge:     *fedHedge,
-		Partial:   *fedPartial,
+		Serial:      !*fedPar,
+		BatchSize:   *fedBatch,
+		Adaptive:    *fedAdapt,
+		Retry:       federation.RetryPolicy{MaxAttempts: *fedRetries},
+		Hedge:       *fedHedge,
+		Partial:     *fedPartial,
+		OneShot:     *fedOneShot,
+		UnionProbes: *fedUnion,
 	}
 	fedReplicas = *fedReplica
 	if *join == "bind" {
@@ -96,6 +100,7 @@ func main() {
 	if *rcache {
 		qc := qcache.New(int64(*rcacheMB) << 20)
 		plan.SetAnswerCache(qc.Layer("plan"))
+		plan.SetNegativeAskCache(qcache.NewNegCache(4096))
 		sparql.SetAnswerCache(qc.Layer("sparql"))
 		fed.AnswerCache = qc
 	}

@@ -20,11 +20,27 @@
 // Two join strategies are provided: HashJoin fetches each triple pattern's
 // full extension — patterns routed to the same source travel in one batched
 // message (peer.MsgSPARQLBatch) — and joins locally, hashing the smaller
-// input; BindJoin ships bindings source-ward in VALUES-style batches: one
-// probe query carries up to Options.BatchSize distinct bindings as a UNION
-// of filtered copies of the pattern, trading more (smaller) messages for
-// less data transfer on selective queries, with far fewer round trips than
-// per-binding probing.
+// input; BindJoin ships bindings source-ward in batches: one probe query
+// carries up to Options.BatchSize distinct bindings as a native VALUES
+// block joined against a single copy of the pattern, so the peer evaluates
+// ONE pattern scan per probe however many bindings it carries (the legacy
+// rendering — a UNION of filtered copies of the pattern, one scan per
+// binding — remains available via Options.UnionProbes), trading more
+// (smaller) messages for less data transfer on selective queries, with far
+// fewer round trips than per-binding probing.
+//
+// # Streaming
+//
+// When the client can stream (StreamClient — peer.Client and
+// peer.HTTPClient both can), sub-query results cross the wire as chunked
+// streams instead of one-shot documents: extension fetches hand rows to
+// downstream joins as chunks arrive (plan.RemoteScan.FetchStream), ASK
+// probes stop the peer's scan at the first row, and canceling the query —
+// or losing a hedged race — closes the stream so the peer abandons the
+// rest of the scan. A stream that dies mid-flight is a transient error
+// like any other: the retry loop restarts the fetch from scratch (results
+// are deduplicated, so a restart never duplicates rows). Options.OneShot
+// forces the one-shot wire for measurement.
 //
 // Engine.Plan exposes the federated side as first-class plan operators:
 // per-disjunct mediator plans with plan.RemoteScan leaves (annotated with
@@ -165,6 +181,17 @@ type Options struct {
 	// the remaining sources, tagged via Metrics.Partial and
 	// Metrics.SkippedSources, instead of failing closed.
 	Partial bool
+	// OneShot forces the one-shot wire encoding even when the client can
+	// stream: every sub-query result is fully materialised at the peer and
+	// shipped in one response. For measurement (rpsbench compares the two)
+	// and as an escape hatch.
+	OneShot bool
+	// UnionProbes restores the legacy bind-join probe rendering — a UNION
+	// of filtered copies of the pattern, one copy per binding — instead of
+	// a native VALUES block joined against a single copy. The peer then
+	// evaluates one pattern scan per binding instead of one per probe. For
+	// measurement.
+	UnionProbes bool
 }
 
 func (o Options) batchSize() int {
@@ -278,6 +305,15 @@ type ContextClient interface {
 	QueryContext(ctx context.Context, addr, queryText string) (*sparql.Result, error)
 }
 
+// StreamClient is a Client that can open a sub-query as a chunked result
+// stream (peer.Client and peer.HTTPClient both can). The mediator prefers
+// it when present: rows reach the joins as chunks arrive, and closing the
+// stream early stops the peer-side scan. Options.OneShot opts back out.
+type StreamClient interface {
+	Client
+	QueryStream(ctx context.Context, addr, queryText string) (*peer.ResultStream, error)
+}
+
 // Engine is the mediator.
 type Engine struct {
 	sys    *core.System
@@ -285,12 +321,16 @@ type Engine struct {
 	client Client
 	batch  BatchClient   // client, when it supports batched messages
 	cc     ContextClient // client, when it supports per-request contexts
+	stream StreamClient  // client, when it can stream results (nil under OneShot)
 	opts   Options
 	acache *qcache.Layer // shared answer cache for remote fetches, nil when off
 	// health is the engine-lifetime endpoint health table: breaker state,
 	// consecutive-failure counts, and whole-call latency EWMAs survive
 	// across query executions, so one query's failures protect the next.
 	health *healthRegistry
+	// tuner learns the adaptive probe service-time target across the
+	// engine's lifetime (Options.Adaptive).
+	tuner *probeTuner
 }
 
 // New creates an engine over a system (the mediator's knowledge of schemas
@@ -298,8 +338,13 @@ type Engine struct {
 func New(sys *core.System, reg *peer.Registry, client Client, opts Options) *Engine {
 	bc, _ := client.(BatchClient)
 	cc, _ := client.(ContextClient)
-	e := &Engine{sys: sys, reg: reg, client: client, batch: bc, cc: cc, opts: opts}
+	var sc StreamClient
+	if !opts.OneShot {
+		sc, _ = client.(StreamClient)
+	}
+	e := &Engine{sys: sys, reg: reg, client: client, batch: bc, cc: cc, stream: sc, opts: opts}
 	e.health = newHealthRegistry(opts.BreakerThreshold, opts.BreakerCooldown)
+	e.tuner = newProbeTuner()
 	if opts.AnswerCache != nil && sys != nil {
 		e.acache = opts.AnswerCache.Layer("federation")
 	}
@@ -550,13 +595,19 @@ func patternIRIs(tp pattern.TriplePattern) []rdf.Term {
 
 // renderPatternQuery renders a triple pattern as a SPARQL query. With no
 // restrictions: a SELECT over the pattern's variables (ASK if fully
-// ground). With restrictions: a VALUES-style probe batch — SELECT DISTINCT
-// over the pattern's variables whose WHERE clause is a UNION with one
-// filtered copy of the pattern per restriction — so a single query ships a
-// whole batch of bind-join bindings and the projection echoes them back for
-// the mediator-side compatibility join. Either way it returns the projected
-// variable order.
-func renderPatternQuery(tp pattern.TriplePattern, restrictions []pattern.Binding) (string, []string, error) {
+// ground). With restrictions: a probe batch — SELECT DISTINCT over the
+// pattern's variables carrying the bind-join bindings, so a single query
+// ships a whole batch and the projection echoes the bindings back for the
+// mediator-side compatibility join.
+//
+// When every restriction binds the same variable set (probe partitions
+// them so — see probe), the batch renders as ONE copy of the pattern
+// joined with a native VALUES block: the peer evaluates one pattern scan
+// per probe, however many bindings it carries. Mixed domains — and
+// unionProbes, the legacy rendering kept for measurement — fall back to a
+// UNION with one filtered copy of the pattern per restriction, one scan
+// per binding. Either way it returns the projected variable order.
+func renderPatternQuery(tp pattern.TriplePattern, restrictions []pattern.Binding, unionProbes bool) (string, []string, error) {
 	vars := tp.Vars()
 	for _, e := range tp.Elems() {
 		if !e.IsVar() && e.Term().IsBlank() {
@@ -568,6 +619,27 @@ func renderPatternQuery(tp pattern.TriplePattern, restrictions []pattern.Binding
 		sq := sparql.FromPatternQuery(pq, nil)
 		if len(vars) == 0 {
 			sq.Form = sparql.FormAsk
+		}
+		return sq.String(), vars, nil
+	}
+	if !unionProbes && pattern.UniformDomain(restrictions) {
+		names := restrictionDomain(restrictions[0])
+		rows := make([]pattern.Tuple, len(restrictions))
+		for i, r := range restrictions {
+			row := make(pattern.Tuple, len(names))
+			for j, v := range names {
+				row[j] = r[v]
+			}
+			rows[i] = row
+		}
+		sq := &sparql.Query{
+			Form:     sparql.FormSelect,
+			Distinct: true,
+			Vars:     vars,
+			Where: &sparql.Group{
+				BGP:      pattern.GraphPattern{tp},
+				Children: []sparql.Expr{&sparql.Values{Names: names, Rows: rows}},
+			},
 		}
 		return sq.String(), vars, nil
 	}
@@ -588,6 +660,16 @@ func renderPatternQuery(tp pattern.TriplePattern, restrictions []pattern.Binding
 		sq.Where = &sparql.Union{Alternatives: groups}
 	}
 	return sq.String(), vars, nil
+}
+
+// restrictionDomain returns a restriction's bound variables, sorted.
+func restrictionDomain(r pattern.Binding) []string {
+	out := make([]string, 0, len(r))
+	for v := range r {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // restrictionsOf projects the accumulated bindings onto the pattern's

@@ -351,6 +351,16 @@ func bindingsBytes(rows []pattern.Binding) int64 {
 // in-flight slot of the endpoint it lands on; the request inherits ctx
 // when the client supports it (ContextClient), and either way a canceled
 // context stops the fetch before the message is sent.
+//
+// With a streaming client the result crosses the wire as a chunked stream,
+// opened and fully drained inside the attempt: an ASK stops the peer's
+// scan at the first row, a stream that dies mid-flight is a transient
+// error the retry loop restarts from scratch (the one-shot semantics of
+// this method make the restart invisible), and a hedged loser's canceled
+// context abandons its stream mid-flight. A streamed fetch still counts as
+// ONE RemoteCalls message however many chunk pulls it took — RemoteCalls
+// counts logical sub-queries; the per-chunk round trips show up in the
+// network's own call statistics.
 func (f *fetcher) query(ctx context.Context, src peer.Entry, queryText string, bindings int) (*sparql.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -363,9 +373,16 @@ func (f *fetcher) query(ctx context.Context, src peer.Entry, queryText string, b
 		start := time.Now()
 		var res *sparql.Result
 		var err error
-		if f.eng.cc != nil {
+		switch {
+		case f.eng.stream != nil:
+			var rs *peer.ResultStream
+			rs, err = f.eng.stream.QueryStream(actx, addr, queryText)
+			if err == nil {
+				res, err = rs.Result()
+			}
+		case f.eng.cc != nil:
 			res, err = f.eng.cc.QueryContext(actx, addr, queryText)
-		} else {
+		default:
 			res, err = f.eng.client.Query(addr, queryText)
 		}
 		if bindings > 0 && err == nil {
@@ -485,7 +502,7 @@ func (f *fetcher) fetchPattern(ctx context.Context, tp pattern.TriplePattern) ([
 	if !tp.P.IsVar() && !tp.P.Term().IsIRI() {
 		return nil, nil
 	}
-	queryText, vars, err := renderPatternQuery(tp, nil)
+	queryText, vars, err := renderPatternQuery(tp, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -526,7 +543,8 @@ func (f *fetcher) fetchMerged(ctx context.Context, candidates []peer.Entry, quer
 
 // observeProbe folds one observed probe round trip, normalised to the
 // number of bindings it carried, into the peer's per-binding service-time
-// EWMA (α = 0.3: responsive to shifts, stable against jitter).
+// EWMA (α = 0.3: responsive to shifts, stable against jitter), and feeds
+// the engine's throughput tuner.
 func (f *fetcher) observeProbe(addr string, d time.Duration, bindings int) {
 	per := d / time.Duration(bindings)
 	f.mu.Lock()
@@ -536,20 +554,14 @@ func (f *fetcher) observeProbe(addr string, d time.Duration, bindings int) {
 		f.rtt[addr] = per
 	}
 	f.mu.Unlock()
+	f.eng.tuner.observe(bindings, d)
 }
 
-// adaptiveProbeTarget is the service time one probe round trip should stay
-// near. The sizer solves size ≈ target / perBindingEWMA: a slow-link peer
-// whose per-binding share is dominated by the wire earns ever larger
-// batches (amortising the trip shrinks the per-binding share, growing the
-// next batch), while a peer whose per-binding evaluation is expensive gets
-// smaller batches, so probes stay short enough to overlap inside the
-// per-peer in-flight window instead of serialising into one long call.
-const adaptiveProbeTarget = 25 * time.Millisecond
-
 // probeBatchSize returns the number of bindings the next probe query ships.
-// Fixed at f.batch unless Options.Adaptive, in which case it targets
-// adaptiveProbeTarget using the worst per-binding EWMA among the pattern's
+// Fixed at f.batch unless Options.Adaptive, in which case it targets the
+// probe service time the engine's throughput tuner currently recommends
+// (a hill-climbing controller replacing the old fixed 25ms target — see
+// probeTuner) using the worst per-binding EWMA among the pattern's
 // candidate sources, clamped to [1, f.batch] (an unobserved peer starts at
 // the cap, exactly like the fixed mediator). Size changes are tracked per
 // candidate-source set — concurrent disjuncts probing different peers
@@ -559,6 +571,7 @@ func (f *fetcher) probeBatchSize(tp pattern.TriplePattern) int {
 	if !f.adaptive {
 		return f.batch
 	}
+	target := f.eng.tuner.targetNow()
 	sources := f.eng.reg.SelectSources(patternIRIs(tp))
 	var key strings.Builder
 	f.mu.Lock()
@@ -573,7 +586,7 @@ func (f *fetcher) probeBatchSize(tp pattern.TriplePattern) int {
 	}
 	size := f.batch
 	if worst > 0 {
-		size = int(adaptiveProbeTarget / worst)
+		size = int(target / worst)
 		if size < 1 {
 			size = 1
 		}
@@ -597,9 +610,13 @@ func (f *fetcher) probeBatchSize(tp pattern.TriplePattern) int {
 // in batches per probe query — of fixed size f.batch, or sized by the
 // per-peer round-trip EWMA under Options.Adaptive — the batch queries run
 // concurrently (each source's traffic bounded by its in-flight window), and
-// the per-batch rows merge in batch order. When some binding restricts
-// nothing (or the pattern is ground), the full extension subsumes every
-// probe and a plain fetch answers.
+// the per-batch rows merge in batch order. Restrictions are partitioned by
+// bound-variable domain before chunking, so every chunk is uniform and
+// renders as a native VALUES block (one pattern scan at the peer) rather
+// than falling back to the per-binding UNION rendering — a pure
+// performance refinement: renderPatternQuery stays correct on mixed
+// domains. When some binding restricts nothing (or the pattern is ground),
+// the full extension subsumes every probe and a plain fetch answers.
 func (f *fetcher) probe(ctx context.Context, tp pattern.TriplePattern, acc []pattern.Binding) ([]pattern.Binding, error) {
 	vars := tp.Vars()
 	if len(vars) == 0 {
@@ -611,9 +628,11 @@ func (f *fetcher) probe(ctx context.Context, tp pattern.TriplePattern, acc []pat
 	}
 	batch := f.probeBatchSize(tp)
 	var chunks [][]pattern.Binding
-	for start := 0; start < len(restrictions); start += batch {
-		end := min(start+batch, len(restrictions))
-		chunks = append(chunks, restrictions[start:end])
+	for _, part := range partitionByDomain(restrictions) {
+		for start := 0; start < len(part); start += batch {
+			end := min(start+batch, len(part))
+			chunks = append(chunks, part[start:end])
+		}
 	}
 	perChunk := make([][]pattern.Binding, len(chunks))
 	errs := make([]error, len(chunks))
@@ -628,10 +647,30 @@ func (f *fetcher) probe(ctx context.Context, tp pattern.TriplePattern, acc []pat
 	return mergeBindings(perChunk, vars), nil
 }
 
+// partitionByDomain groups restrictions by their bound-variable set
+// (names only — pattern.DomainKey would key on the values too),
+// preserving first-seen order of both the groups and their members.
+func partitionByDomain(restrictions []pattern.Binding) [][]pattern.Binding {
+	index := make(map[string]int)
+	var out [][]pattern.Binding
+	for _, r := range restrictions {
+		names := restrictionDomain(r)
+		k := strings.Join(names, "\x00")
+		i, ok := index[k]
+		if !ok {
+			i = len(out)
+			index[k] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], r)
+	}
+	return out
+}
+
 // probeChunk sends one batch of restrictions as a single probe query,
 // through the shared cache (identical probes recur across disjuncts).
 func (f *fetcher) probeChunk(ctx context.Context, tp pattern.TriplePattern, restrictions []pattern.Binding) ([]pattern.Binding, error) {
-	queryText, vars, err := renderPatternQuery(tp, restrictions)
+	queryText, vars, err := renderPatternQuery(tp, restrictions, f.eng.opts.UnionProbes)
 	if err != nil {
 		return nil, err
 	}
@@ -684,7 +723,7 @@ func (f *fetcher) fetchExtensions(ctx context.Context, gp pattern.GraphPattern) 
 			skip[i] = true
 			continue
 		}
-		text, vars, err := renderPatternQuery(tp, nil)
+		text, vars, err := renderPatternQuery(tp, nil, false)
 		if err != nil {
 			return nil, err
 		}

@@ -418,9 +418,9 @@ func TestFederatedPlanExplainAndExecute(t *testing.T) {
 	s := pq.Explain()
 	for _, want := range []string{
 		"federated UCQ of 1 disjuncts, parallel mediator",
-		"Union[parallel branches=1]",
-		"RemoteScan[?x <http://e/p> ?y] sources=1 window=2",
-		"RemoteScan[?y <http://e/q> ?z] sources=1 batch=8 window=2",
+		"Union[parallel stream branches=1]",
+		"RemoteScan[?x <http://e/p> ?y] sources=1 stream window=2",
+		"RemoteScan[?y <http://e/q> ?z] sources=1 stream batch=8 window=2",
 		"HashJoin[on y]",
 	} {
 		if !strings.Contains(s, want) {
@@ -484,24 +484,29 @@ func adaptiveChainSystem(t testing.TB, n int) (*core.System, pattern.Query) {
 }
 
 // TestAdaptiveBatchSizing verifies the RTT-driven probe batch sizer against
-// simnet's injectable latency. The assertions follow from a guaranteed
-// bound, so they hold on any machine: the first probe to the slow peer
-// ships all 600 bindings in one ceiling-sized batch and takes at least the
-// injected 30ms, so the recorded per-binding service time is at least
-// 30ms/600 = 50µs and the next batch is sized at most 25ms/50µs = 500 —
-// a resize away from the 1024 ceiling, splitting the last hop into at
-// least two probes (peer-side evaluation cost only shrinks batches
-// further). A zero-latency control run pins that adaptivity never changes
-// answers.
+// simnet's injectable latency (real sleeps, so the observed wall time
+// includes it — with the native VALUES probe rendering a batch is one
+// cheap pattern scan at the peer, so latency is what there is to observe).
+// The assertions follow from a guaranteed bound, so they hold on any
+// machine: the first probe to the slow peer ships all 600 bindings in one
+// ceiling-sized batch and takes at least the injected 30ms, so the
+// recorded per-binding service time is at least 30ms/600 = 50µs and the
+// next batch is sized at most 25ms/50µs = 500 — a resize away from the
+// 1024 ceiling, splitting the last hop into at least two probes
+// (round-trip and evaluation cost only shrink batches further). A
+// zero-latency control run pins that adaptivity never changes answers.
 func TestAdaptiveBatchSizing(t *testing.T) {
 	const n = 600
 	const ceiling = 1024
 	run := func(latency time.Duration, adaptive bool) (*pattern.TupleSet, *federation.Metrics) {
 		t.Helper()
 		sys, q := adaptiveChainSystem(t, n)
-		net := simnet.New()
+		var net *simnet.Network
 		if latency > 0 {
+			net = simnet.New(simnet.WithRealDelay())
 			net.SetNodeLatency("peer:bulk", latency, 0)
+		} else {
+			net = simnet.New()
 		}
 		eng := deployOn(sys, net, federation.Options{Join: federation.BindJoin, BatchSize: ceiling, Adaptive: adaptive})
 		got, m, err := eng.Answer(q)

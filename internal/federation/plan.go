@@ -65,7 +65,10 @@ func (e *Engine) Plan(q pattern.Query) (*PlannedQuery, error) {
 	for i, d := range res.Disjuncts {
 		children[i] = e.disjunctPlan(f, d)
 	}
-	root := &plan.Distinct{Child: &plan.Union{Children: children, Parallel: !e.opts.Serial}}
+	// with a streaming client, the disjunct union merges rows as branches
+	// produce them — the first answer surfaces at the fastest branch's
+	// speed, and closing the plan reaches into every branch's remote scans
+	root := &plan.Distinct{Child: &plan.Union{Children: children, Parallel: !e.opts.Serial, Stream: e.stream != nil}}
 	return &PlannedQuery{Root: root, Rewriting: res, f: f}, nil
 }
 
@@ -106,6 +109,11 @@ func (e *Engine) disjunctPlan(f *fetcher, d rewrite.Disjunct) plan.Node {
 			Window:   e.opts.window(),
 			Fetch:    fetch,
 			Degraded: f.skippedNames,
+		}
+		if e.stream != nil {
+			// rows reach the joins as remote chunks arrive; closing the
+			// plan iterator closes the remote streams (early termination)
+			s.FetchStream = f.streamPattern
 		}
 		if probe && e.opts.Join == BindJoin {
 			s.Batch = e.opts.batchSize()

@@ -2,12 +2,15 @@ package peer
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pattern"
 	"repro/internal/sparql"
 )
 
@@ -22,10 +25,16 @@ const maxQueryBody = 1 << 20
 // the prototype architecture in Section 5.
 type HTTPService struct {
 	peer *core.Peer
+
+	rowsProduced atomic.Int64
 }
 
 // NewHTTPService wraps a peer.
 func NewHTTPService(p *core.Peer) *HTTPService { return &HTTPService{peer: p} }
+
+// RowsProduced reports how many solution rows this service's evaluator has
+// produced across every request, streamed and one-shot alike.
+func (s *HTTPService) RowsProduced() int64 { return s.rowsProduced.Load() }
 
 // ServeHTTP implements http.Handler. A POST with the batch content type
 // (peer.BatchContentType) carries a JSON array of query texts and returns a
@@ -48,11 +57,16 @@ func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if strings.Contains(r.Header.Get("Accept"), StreamContentType) {
+		s.serveStream(w, r, q)
+		return
+	}
 	res, err := q.EvalCtx(r.Context(), s.peer.Data())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	s.rowsProduced.Add(int64(res.Len()))
 	payload, err := EncodeResult(res)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -60,6 +74,73 @@ func (s *HTTPService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	_, _ = w.Write(payload)
+}
+
+// serveStream answers with the chunked NDJSON frame protocol: a head frame,
+// row-chunk frames flushed as the scan produces them, and a trailer frame.
+// Evaluation runs under the request context, so a client that closes the
+// response body mid-stream cancels the scan — early termination crosses the
+// HTTP transport. (Old clients never reach here: they do not send the
+// Accept header. Old servers ignore the header and answer one-shot; the
+// client falls back on the content type.)
+func (s *HTTPService) serveStream(w http.ResponseWriter, r *http.Request, q *sparql.Query) {
+	rs, err := q.EvalStream(r.Context(), s.peer.Data())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer rs.Close()
+	w.Header().Set("Content-Type", StreamContentType)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(fr streamFrame) bool {
+		if err := enc.Encode(fr); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if rs.Form == sparql.FormAsk {
+		if rs.True {
+			s.rowsProduced.Add(1)
+		}
+		emit(streamFrame{Head: true, Ask: true, True: rs.True, Done: true, Produced: rs.Produced()})
+		return
+	}
+	if !emit(streamFrame{Head: true, Vars: rs.Vars}) {
+		return
+	}
+	for {
+		chunk := make([]pattern.Tuple, 0, StreamChunk)
+		for len(chunk) < StreamChunk {
+			row, ok := rs.Next()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, row)
+		}
+		s.rowsProduced.Add(int64(len(chunk)))
+		if len(chunk) > 0 {
+			rows, err := encodeRows(chunk)
+			if err != nil {
+				emit(streamFrame{Done: true, Produced: rs.Produced(), Error: err.Error()})
+				return
+			}
+			if !emit(streamFrame{Rows: rows}) {
+				return
+			}
+		}
+		if len(chunk) < StreamChunk {
+			break
+		}
+	}
+	if err := r.Context().Err(); err != nil {
+		emit(streamFrame{Done: true, Produced: rs.Produced(), Error: err.Error()})
+		return
+	}
+	emit(streamFrame{Done: true, Produced: rs.Produced()})
 }
 
 func (s *HTTPService) serveBatch(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +250,77 @@ func (c *HTTPClient) QueryBatch(endpoint string, queries []string) ([]*sparql.Re
 		return nil, fmt.Errorf("peer: batch response has %d results for %d queries", len(rs), len(queries))
 	}
 	return rs, nil
+}
+
+// QueryStream POSTs the query asking for the chunked stream encoding
+// (Accept: StreamContentType) and returns a pull iterator over the rows.
+// A server that predates the stream protocol ignores the Accept header and
+// answers with the one-shot document; the client detects the content type
+// and wraps the materialised result as an already-finished stream, so
+// callers never need to know which generation the peer runs. Closing the
+// stream early closes the response body, which cancels the server's
+// request context and stops the remote scan.
+func (c *HTTPClient) QueryStream(ctx context.Context, endpoint, queryText string) (*ResultStream, error) {
+	hc := c.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, strings.NewReader(queryText))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/sparql-query")
+	req.Header.Set("Accept", StreamContentType)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, &StatusError{Endpoint: endpoint, Code: resp.StatusCode, Status: resp.Status, Body: strings.TrimSpace(string(out))}
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), StreamContentType) {
+		// one-shot fallback: the peer does not speak the stream protocol
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		res, err := DecodeResult(out)
+		if err != nil {
+			return nil, err
+		}
+		return oneShotStream(res), nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	var head streamFrame
+	if err := dec.Decode(&head); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("peer: bad stream frame: %w", err)
+	}
+	s := &ResultStream{vars: head.Vars, ask: head.Ask, askTrue: head.True}
+	if err := s.ingest(&head); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	if s.finished {
+		resp.Body.Close()
+		return s, nil
+	}
+	s.pull = func() (*streamFrame, error) {
+		var fr streamFrame
+		if err := dec.Decode(&fr); err != nil {
+			resp.Body.Close()
+			return nil, err // io.EOF / ErrUnexpectedEOF classify as transient
+		}
+		if fr.Done {
+			resp.Body.Close()
+		}
+		return &fr, nil
+	}
+	s.closefn = func() { resp.Body.Close() }
+	return s, nil
 }
 
 func (c *HTTPClient) post(ctx context.Context, endpoint, contentType, body string) ([]byte, error) {

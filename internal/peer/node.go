@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/rdf"
@@ -23,8 +24,13 @@ type Node struct {
 	peer *core.Peer
 	net  *simnet.Network
 
-	mu      sync.RWMutex
-	queries int
+	mu        sync.RWMutex
+	queries   int
+	streams   map[string]*serverStream
+	streamQ   []string // stream ids, oldest first, for capacity eviction
+	streamSeq int
+
+	rowsProduced atomic.Int64
 }
 
 // NewNode registers a service for p at addr on the network.
@@ -76,6 +82,13 @@ func (n *Node) handle(from string, req simnet.Message) (simnet.Message, error) {
 			return simnet.Message{}, err
 		}
 		return simnet.Message{Type: MsgSPARQLBatch, Payload: payload}, nil
+	case MsgSPARQLStreamOpen:
+		return n.handleStreamOpen(string(req.Payload))
+	case MsgSPARQLStreamNext:
+		return n.handleStreamNext(string(req.Payload))
+	case MsgSPARQLStreamClose:
+		n.dropStream(string(req.Payload))
+		return simnet.Message{Type: MsgSPARQLStreamClose}, nil
 	default:
 		return simnet.Message{}, fmt.Errorf("peer %s: unsupported message type %q", n.name, req.Type)
 	}
@@ -90,7 +103,11 @@ func (n *Node) Answer(queryText string) (*sparql.Result, error) {
 	n.mu.Lock()
 	n.queries++
 	n.mu.Unlock()
-	return q.Eval(n.peer.Data()), nil
+	res := q.Eval(n.peer.Data())
+	// count one-shot rows as produced too, so stream-vs-one-shot cost
+	// comparisons read off the same counter
+	n.rowsProduced.Add(int64(res.Len()))
+	return res, nil
 }
 
 // AnswerBatch evaluates several query texts, one result per query. Each

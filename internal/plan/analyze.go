@@ -75,7 +75,7 @@ func instrument(n Node) *statsNode {
 		for i, c := range x.Children {
 			children[i] = instrument(c)
 		}
-		return &statsNode{inner: &Union{Children: children, Parallel: x.Parallel}}
+		return &statsNode{inner: &Union{Children: children, Parallel: x.Parallel, Stream: x.Stream}}
 	default:
 		// leaves with no Node children (Bindings, Unit, RemoteScan) and any
 		// future operator: wrap as-is

@@ -33,6 +33,16 @@ var answerLayer atomic.Pointer[qcache.Layer]
 // consulted by ExecuteQuery, ExecuteQueryStar and Ask.
 func SetAnswerCache(l *qcache.Layer) { answerLayer.Store(l) }
 
+// negAskCache is the process-wide negative-ASK cache: Ask consults it
+// before anything else (a resident key under the exact epoch vector means
+// "provably no solution") and stores every freshly computed false verdict.
+// nil (the default) disables it.
+var negAskCache atomic.Pointer[qcache.NegCache]
+
+// SetNegativeAskCache installs (or, with nil, removes) the negative-answer
+// cache consulted by Ask.
+func SetNegativeAskCache(c *qcache.NegCache) { negAskCache.Store(c) }
+
 // answerKey renders the exact query — graph identity, projection, star
 // flag, and every pattern with its constants — as the cache key. Epochs are
 // deliberately not part of the key: the qcache validates the stored epoch

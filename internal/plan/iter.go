@@ -735,9 +735,17 @@ func (Unit) format(b *strings.Builder, depth int) {
 // order; the parallel form drains every child concurrently across a
 // GOMAXPROCS-bounded worker pool and then replays the buffered branch
 // results in child order, so output order is deterministic either way.
+//
+// The streaming parallel form (Stream, only meaningful with Parallel) gives
+// up the deterministic replay order: children still run concurrently, but
+// their rows are merged into the output as they arrive, so the first row
+// surfaces at the speed of the fastest branch instead of the slowest — the
+// shape that lets remote scans below the union stream end to end. Closing
+// the iterator cancels the branches mid-flight.
 type Union struct {
 	Children []Node
 	Parallel bool
+	Stream   bool
 }
 
 func (u *Union) Vars() []string {
@@ -751,6 +759,29 @@ func (u *Union) Vars() []string {
 func (u *Union) Open(ctx context.Context, g rdf.Source) Iterator {
 	if !u.Parallel {
 		return &unionIter{ctx: ctx, g: g, children: u.Children}
+	}
+	if u.Stream {
+		ictx, cancel := context.WithCancel(ctx)
+		ch := make(chan pattern.Binding)
+		go func() {
+			defer close(ch)
+			Fanout(len(u.Children), func(i int) {
+				it := u.Children[i].Open(ictx, g)
+				defer it.Close()
+				for {
+					mu, ok := it.Next()
+					if !ok {
+						return
+					}
+					select {
+					case ch <- mu:
+					case <-ictx.Done():
+						return
+					}
+				}
+			})
+		}()
+		return &chanUnionIter{ch: ch, cancel: cancel}
 	}
 	bufs := make([][]pattern.Binding, len(u.Children))
 	Fanout(len(u.Children), func(i int) {
@@ -796,9 +827,37 @@ func (it *unionIter) Close() {
 	}
 }
 
+// chanUnionIter merges the streaming parallel union's branch rows as they
+// arrive. Close cancels the branches and drains the merge channel so the
+// branch workers observe the cancellation instead of blocking on a send.
+type chanUnionIter struct {
+	ch     <-chan pattern.Binding
+	cancel context.CancelFunc
+	closed bool
+}
+
+func (it *chanUnionIter) Next() (pattern.Binding, bool) {
+	mu, ok := <-it.ch
+	return mu, ok
+}
+
+func (it *chanUnionIter) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.cancel()
+	go func() {
+		for range it.ch {
+		}
+	}()
+}
+
 func (u *Union) format(b *strings.Builder, depth int) {
 	indent(b, depth)
-	if u.Parallel {
+	if u.Parallel && u.Stream {
+		fmt.Fprintf(b, "Union[parallel stream branches=%d]\n", len(u.Children))
+	} else if u.Parallel {
 		fmt.Fprintf(b, "Union[parallel branches=%d]\n", len(u.Children))
 	} else {
 		fmt.Fprintf(b, "Union[branches=%d]\n", len(u.Children))

@@ -353,15 +353,34 @@ func ExecuteCtx(ctx context.Context, g rdf.Source, gp pattern.GraphPattern) ([]p
 // is exactly wrong for a query that needs one row.
 func Ask(g rdf.Source, gp pattern.GraphPattern) bool {
 	src := rdf.Freeze(g)
-	if l := answerLayer.Load(); l != nil {
-		if snap, ok := src.(*rdf.Snapshot); ok {
+	snap, isSnap := src.(*rdf.Snapshot)
+	// negative verdicts first: an exhaustive "nothing matches" scan is the
+	// expensive case, and presence under the exact epoch vector IS the
+	// answer — no value to validate, no singleflight to coordinate
+	var negKey string
+	var negEpochs []uint64
+	if nc := negAskCache.Load(); nc != nil && isSnap {
+		negKey = askKey(src, gp)
+		negEpochs = snap.ShardEpochs(nil)
+		if nc.Hit(negKey, negEpochs) {
+			return false
+		}
+	}
+	ans := func() bool {
+		if l := answerLayer.Load(); l != nil && isSnap {
 			v, _, _ := l.Do(askKey(src, gp), snap.ShardEpochs(nil), func() (any, int64, error) {
 				return askUncached(src, gp), 96, nil
 			})
 			return v.(bool)
 		}
+		return askUncached(src, gp)
+	}()
+	if !ans && negKey != "" {
+		if nc := negAskCache.Load(); nc != nil {
+			nc.Store(negKey, negEpochs)
+		}
 	}
-	return askUncached(src, gp)
+	return ans
 }
 
 func askUncached(src rdf.Source, gp pattern.GraphPattern) bool {

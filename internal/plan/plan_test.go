@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/pattern"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/rdf"
 )
 
@@ -298,6 +299,39 @@ func TestAskStopsEarlyAndAgrees(t *testing.T) {
 	miss := pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(rdf.IRI("http://e/none")), pattern.V("y"))}
 	if plan.Ask(g, miss) {
 		t.Error("Ask = true on unsatisfiable pattern")
+	}
+}
+
+// TestNegativeAskCache pins the Ask fast path: a computed false verdict is
+// stored, served from residency on the next identical probe, and dropped
+// the moment a write moves the snapshot's epoch vector (the verdict may
+// have flipped to true).
+func TestNegativeAskCache(t *testing.T) {
+	nc := qcache.NewNegCache(16)
+	plan.SetNegativeAskCache(nc)
+	defer plan.SetNegativeAskCache(nil)
+
+	g := rdf.NewGraph()
+	p := rdf.IRI("http://e/p")
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s"), P: p, O: rdf.Literal("v")})
+	none := rdf.IRI("http://e/none")
+	miss := pattern.GraphPattern{pattern.TP(pattern.V("x"), pattern.C(none), pattern.V("y"))}
+
+	if plan.Ask(g, miss) {
+		t.Fatal("Ask = true on unsatisfiable pattern")
+	}
+	if nc.Len() != 1 {
+		t.Fatalf("negative verdict not stored: Len = %d", nc.Len())
+	}
+	if plan.Ask(g, miss) { // served by the cache: same verdict
+		t.Fatal("cached Ask = true")
+	}
+
+	// the write moves the epoch vector, so the stale false must be dropped
+	// and the fresh scan must see the new triple
+	g.Add(rdf.Triple{S: rdf.IRI("http://e/s2"), P: none, O: rdf.Literal("w")})
+	if !plan.Ask(g, miss) {
+		t.Fatal("Ask = false after the matching triple was added")
 	}
 }
 

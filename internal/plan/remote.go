@@ -17,10 +17,14 @@ import (
 // candidates, the bind-join probe batch size, and the per-peer in-flight
 // window.
 //
-// Opening the node materialises the pattern's merged remote extension; the
-// rows stream from an in-memory buffer like Bindings. Network errors have
-// no Iterator channel — Fetch implementations record them out of band (the
-// mediator's fetcher keeps the first error and Fetch returns no rows).
+// With FetchStream set, opening the node returns a live iterator over the
+// remote result stream: rows reach downstream joins as chunks arrive from
+// the peers, and closing the iterator (cancellation, LIMIT) closes the
+// remote streams so the peers stop producing. Otherwise Fetch materialises
+// the pattern's merged remote extension up front and the rows stream from
+// an in-memory buffer like Bindings. Network errors have no Iterator
+// channel — fetch implementations record them out of band (the mediator's
+// fetcher keeps the first error and the fetch yields no further rows).
 type RemoteScan struct {
 	TP pattern.TriplePattern
 	// Sources is the number of candidate peers the registry routes the
@@ -38,6 +42,10 @@ type RemoteScan struct {
 	// one the node was opened under — sub-queries issued by the fetch
 	// inherit the request's deadline and stop early on cancellation.
 	Fetch func(ctx context.Context, tp pattern.TriplePattern) []pattern.Binding
+	// FetchStream, when non-nil, is preferred over Fetch: it opens an
+	// incremental iterator over the pattern's merged remote extension, so
+	// downstream operators start on the first chunk instead of the last.
+	FetchStream func(ctx context.Context, tp pattern.TriplePattern) Iterator
 	// Degraded, when non-nil, reports the sources skipped so far under the
 	// mediator's partial-answer degradation; a non-empty report renders as
 	// a partial=[…] annotation, so EXPLAIN ANALYZE shows which leaves may
@@ -50,6 +58,9 @@ func (s *RemoteScan) Vars() []string { return s.TP.Vars() }
 
 // Open implements Node.
 func (s *RemoteScan) Open(ctx context.Context, _ rdf.Source) Iterator {
+	if s.FetchStream != nil {
+		return s.FetchStream(ctx, s.TP)
+	}
 	if s.Fetch == nil {
 		return &sliceIter{}
 	}
@@ -59,6 +70,9 @@ func (s *RemoteScan) Open(ctx context.Context, _ rdf.Source) Iterator {
 func (s *RemoteScan) format(b *strings.Builder, depth int) {
 	indent(b, depth)
 	fmt.Fprintf(b, "RemoteScan[%s] sources=%d", s.TP, s.Sources)
+	if s.FetchStream != nil {
+		b.WriteString(" stream")
+	}
 	if s.Batch > 0 {
 		fmt.Fprintf(b, " batch=%d", s.Batch)
 	}

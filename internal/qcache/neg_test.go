@@ -1,0 +1,82 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNegCacheHitMiss(t *testing.T) {
+	c := NewNegCache(8)
+	ep := []uint64{1, 2, 3}
+	if c.Hit("k", ep) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store("k", ep)
+	if !c.Hit("k", ep) {
+		t.Fatal("stored verdict not resident")
+	}
+	if c.Hit("other", ep) {
+		t.Fatal("hit on unstored key")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestNegCacheEpochStaleness(t *testing.T) {
+	c := NewNegCache(8)
+	c.Store("k", []uint64{1, 2, 3})
+	// a moved shard epoch may have flipped the verdict: drop, report miss
+	if c.Hit("k", []uint64{1, 9, 3}) {
+		t.Fatal("hit under a moved epoch vector")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not dropped: Len = %d", c.Len())
+	}
+	// the stale drop is permanent until re-stored, even at the old vector
+	if c.Hit("k", []uint64{1, 2, 3}) {
+		t.Fatal("dropped entry still resident")
+	}
+	// a different vector LENGTH (resharding) is stale too
+	c.Store("k", []uint64{1, 2, 3})
+	if c.Hit("k", []uint64{1, 2}) {
+		t.Fatal("hit across vector lengths")
+	}
+}
+
+func TestNegCacheStoreCopiesEpochs(t *testing.T) {
+	c := NewNegCache(8)
+	ep := []uint64{7}
+	c.Store("k", ep)
+	ep[0] = 8 // caller reuses its slice; the cache must hold a copy
+	if !c.Hit("k", []uint64{7}) {
+		t.Fatal("cache aliased the caller's epoch slice")
+	}
+}
+
+func TestNegCacheEviction(t *testing.T) {
+	c := NewNegCache(4)
+	ep := []uint64{1}
+	for i := 0; i < 6; i++ {
+		c.Store(fmt.Sprintf("k%d", i), ep)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want cap 4", c.Len())
+	}
+	// oldest two evicted, newest four resident
+	for i := 0; i < 2; i++ {
+		if c.Hit(fmt.Sprintf("k%d", i), ep) {
+			t.Fatalf("k%d survived eviction", i)
+		}
+	}
+	for i := 2; i < 6; i++ {
+		if !c.Hit(fmt.Sprintf("k%d", i), ep) {
+			t.Fatalf("k%d evicted out of order", i)
+		}
+	}
+	// re-storing a resident key must not grow the cache
+	c.Store("k5", ep)
+	if c.Len() != 4 {
+		t.Fatalf("Len after re-store = %d, want 4", c.Len())
+	}
+}

@@ -60,7 +60,7 @@ func (c Cond) String() string {
 	return fmt.Sprintf("FILTER(%s %s %s)", c.Left, op, c.Right)
 }
 
-// Expr is a graph pattern expression: a Group or a Union.
+// Expr is a graph pattern expression: a Group, Union, Optional, or Values.
 type Expr interface {
 	// Vars returns all variables mentioned, sorted.
 	Vars() []string
@@ -108,6 +108,44 @@ func (o *Optional) exprNode() {}
 // Vars implements Expr.
 func (o *Optional) Vars() []string { return o.Inner.Vars() }
 
+// Values is an inline-bindings block (SPARQL 1.1 VALUES): a literal
+// relation over the declared variables, joined into the enclosing group.
+// The federation mediator ships bind-join probe batches as one pattern plus
+// one Values block, so the peer evaluates the pattern once and probes the
+// binding set instead of re-evaluating a filtered copy per binding.
+type Values struct {
+	// Names is the declared variable list, in declaration order.
+	Names []string
+	// Rows holds one tuple per binding, aligned with Names; a zero Term is
+	// UNDEF (the variable stays unbound in that row).
+	Rows []pattern.Tuple
+}
+
+func (v *Values) exprNode() {}
+
+// Vars implements Expr.
+func (v *Values) Vars() []string {
+	out := append([]string(nil), v.Names...)
+	sort.Strings(out)
+	return out
+}
+
+// Bindings materialises the rows as solution mappings (UNDEF slots are
+// simply absent).
+func (v *Values) Bindings() []pattern.Binding {
+	out := make([]pattern.Binding, len(v.Rows))
+	for i, row := range v.Rows {
+		mu := make(pattern.Binding, len(v.Names))
+		for j, name := range v.Names {
+			if j < len(row) && !row[j].IsZero() {
+				mu[name] = row[j]
+			}
+		}
+		out[i] = mu
+	}
+	return out
+}
+
 // Union is a disjunction of group graph patterns.
 type Union struct {
 	Alternatives []Expr
@@ -141,6 +179,11 @@ type Query struct {
 	Vars []string
 	// Where is the query pattern.
 	Where Expr
+	// Limit caps the number of solutions returned when > 0 (SELECT only).
+	// Remote evaluation stops producing once the cap is reached — over the
+	// streaming wire protocol the peer observes the closed stream and
+	// abandons the rest of the scan.
+	Limit int
 	// Ns carries the prologue's prefix bindings (plus any preloaded ones),
 	// used when serialising the query back to text.
 	Ns *rdf.Namespaces
@@ -246,6 +289,9 @@ func (q *Query) String() string {
 		b.WriteString("WHERE ")
 	}
 	writeExpr(&b, q.Where, ns, 0)
+	if q.Form == FormSelect && q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
 	return b.String()
 }
 
@@ -285,6 +331,30 @@ func writeExpr(b *strings.Builder, e Expr, ns *rdf.Namespaces, depth int) {
 	case *Optional:
 		b.WriteString("OPTIONAL ")
 		writeExpr(b, x.Inner, ns, depth+1)
+	case *Values:
+		b.WriteString("VALUES (")
+		for i, name := range x.Names {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString("?" + name)
+		}
+		b.WriteString(") { ")
+		for _, row := range x.Rows {
+			b.WriteString("(")
+			for j := range x.Names {
+				if j > 0 {
+					b.WriteString(" ")
+				}
+				if j >= len(row) || row[j].IsZero() {
+					b.WriteString("UNDEF")
+				} else {
+					b.WriteString(renderElem(pattern.C(row[j]), ns))
+				}
+			}
+			b.WriteString(") ")
+		}
+		b.WriteString("}")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 	"repro/internal/plan"
@@ -74,6 +75,9 @@ func (q *Query) assemble(sols []pattern.Binding) *Result {
 		res.Rows = append(res.Rows, row)
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Compare(res.Rows[j]) < 0 })
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
 	return res
 }
 
@@ -84,6 +88,9 @@ func (q *Query) assemble(sols []pattern.Binding) *Result {
 func evalExpr(ctx context.Context, g rdf.Source, e Expr) []pattern.Binding {
 	switch x := e.(type) {
 	case *Group:
+		if len(x.BGP) > 0 {
+			patternScans.Add(1)
+		}
 		sols, _ := plan.ExecuteCtx(ctx, g, x.BGP)
 		for _, child := range x.Children {
 			if opt, ok := child.(*Optional); ok {
@@ -128,10 +135,21 @@ func evalExpr(ctx context.Context, g rdf.Source, e Expr) []pattern.Binding {
 		// a bare OPTIONAL at the top level behaves like its inner pattern
 		// left-joined with the empty solution
 		return leftJoin([]pattern.Binding{{}}, evalExpr(ctx, g, x.Inner))
+	case *Values:
+		return x.Bindings()
 	default:
 		return nil
 	}
 }
+
+// patternScans counts basic-graph-pattern evaluations — one per Group BGP
+// run through the planner, whatever the transport. The federation tests pin
+// the VALUES probe rendering with it: a probe batch of N bindings is one
+// pattern scan, where the legacy UNION-of-filtered-copies rendering is N.
+var patternScans atomic.Int64
+
+// PatternScans reports the process-wide number of BGP evaluations.
+func PatternScans() int64 { return patternScans.Load() }
 
 // leftJoin implements SPARQL's OPTIONAL: every left solution survives,
 // extended by each compatible right solution when any exists.
@@ -259,6 +277,8 @@ func flattenExpr(e Expr) ([]pattern.GraphPattern, error) {
 		return out, nil
 	case *Optional:
 		return nil, fmt.Errorf("sparql: OPTIONAL is outside the UCQ fragment")
+	case *Values:
+		return nil, fmt.Errorf("sparql: VALUES is outside the UCQ fragment")
 	default:
 		return nil, fmt.Errorf("sparql: unsupported expression type %T", e)
 	}

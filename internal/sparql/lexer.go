@@ -16,14 +16,14 @@ import (
 type tokKind int
 
 const (
-	tEOF tokKind = iota
-	tKeyword // SELECT ASK WHERE DISTINCT UNION FILTER PREFIX a true false
-	tVar     // ?x or $x (text excludes the sigil)
-	tIRI     // <...> (text is the IRI)
-	tPName   // prefix:local
-	tLiteral // "..." (text is unescaped)
-	tLangTag // @en
-	tDTCaret // ^^
+	tEOF     tokKind = iota
+	tKeyword         // SELECT ASK WHERE DISTINCT UNION FILTER PREFIX a true false
+	tVar             // ?x or $x (text excludes the sigil)
+	tIRI             // <...> (text is the IRI)
+	tPName           // prefix:local
+	tLiteral         // "..." (text is unescaped)
+	tLangTag         // @en
+	tDTCaret         // ^^
 	tNumber
 	tLBrace
 	tRBrace
@@ -149,7 +149,7 @@ var keywords = map[string]bool{
 	"SELECT": true, "ASK": true, "WHERE": true, "DISTINCT": true,
 	"UNION": true, "FILTER": true, "PREFIX": true, "BASE": true,
 	"A": true, "TRUE": true, "FALSE": true, "REDUCED": true,
-	"OPTIONAL": true,
+	"OPTIONAL": true, "VALUES": true, "UNDEF": true, "LIMIT": true,
 }
 
 func (l *lexer) next() (tok, error) {

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/pattern"
 	"repro/internal/rdf"
@@ -153,6 +154,22 @@ func (p *Parser) parseSelect() (*Query, error) {
 		return nil, err
 	}
 	q.Where = where
+	if p.tok.kind == tKeyword && p.tok.text == "LIMIT" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tNumber {
+			return nil, p.errorf("expected a number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", p.tok.text)
+		}
+		q.Limit = n
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
 	// validate projection against pattern variables
 	if !q.Star {
 		inScope := make(map[string]struct{})
@@ -223,6 +240,17 @@ func (p *Parser) parseGroup() (Expr, error) {
 				return nil, err
 			}
 			g.Children = append(g.Children, &Optional{Inner: inner})
+			if p.tok.kind == tDot {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		case p.tok.kind == tKeyword && p.tok.text == "VALUES":
+			vals, err := p.parseValues()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, vals)
 			if p.tok.kind == tDot {
 				if err := p.next(); err != nil {
 					return nil, err
@@ -310,6 +338,68 @@ func (p *Parser) parseFilter() (Cond, error) {
 		return Cond{}, err
 	}
 	return Cond{Left: left, Right: right, Neq: neq}, nil
+}
+
+// parseValues parses "VALUES ( var* ) { ( dataBlockValue* )* }" where each
+// row's arity matches the declared variable list and UNDEF leaves a slot
+// unbound. Only constants (and UNDEF) are allowed inside rows.
+func (p *Parser) parseValues() (*Values, error) {
+	if err := p.next(); err != nil { // consume VALUES
+		return nil, err
+	}
+	if err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	v := &Values{}
+	for p.tok.kind == tVar {
+		v.Names = append(v.Names, p.tok.text)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if len(v.Names) == 0 {
+		return nil, p.errorf("VALUES needs at least one variable")
+	}
+	if err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tLParen {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		row := make(pattern.Tuple, 0, len(v.Names))
+		for p.tok.kind != tRParen {
+			if p.tok.kind == tKeyword && p.tok.text == "UNDEF" {
+				row = append(row, rdf.Term{})
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			elem, err := p.parseElem()
+			if err != nil {
+				return nil, err
+			}
+			if elem.IsVar() {
+				return nil, p.errorf("variable inside a VALUES row (use UNDEF for an unbound slot)")
+			}
+			row = append(row, elem.Term())
+		}
+		if err := p.next(); err != nil { // consume ')'
+			return nil, err
+		}
+		if len(row) != len(v.Names) {
+			return nil, p.errorf("VALUES row has %d values for %d variables", len(row), len(v.Names))
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	if err := p.expect(tRBrace); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // parseTriplesSameSubject parses "subject predObjList" with ';' and ','.

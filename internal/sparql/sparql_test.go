@@ -197,16 +197,16 @@ func TestParseAKeyword(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		``,
-		`SELECT ?x`,                                   // missing where
-		`SELECT WHERE { ?x ?p ?o }`,                   // missing projection
-		`SELECT ?zzz WHERE { ?x ?p ?o }`,              // projected var not in scope
-		`CONSTRUCT { ?x ?p ?o } WHERE { ?x ?p ?o }`,   // unsupported form
-		`SELECT ?x WHERE { ?x ?p }`,                   // incomplete triple
-		`SELECT ?x WHERE { "lit" ?p ?x }`,             // literal subject
-		`SELECT ?x WHERE { ?x "lit" ?y }`,             // literal predicate
-		`SELECT ?x WHERE { ?x foo:p ?y }`,             // unbound prefix
-		`ASK { ?x ?p ?o`,                              // unterminated group
-		`SELECT ?x WHERE { ?x ?p ?o } trailing`,       // trailing tokens
+		`SELECT ?x`,                      // missing where
+		`SELECT WHERE { ?x ?p ?o }`,      // missing projection
+		`SELECT ?zzz WHERE { ?x ?p ?o }`, // projected var not in scope
+		`CONSTRUCT { ?x ?p ?o } WHERE { ?x ?p ?o }`,     // unsupported form
+		`SELECT ?x WHERE { ?x ?p }`,                     // incomplete triple
+		`SELECT ?x WHERE { "lit" ?p ?x }`,               // literal subject
+		`SELECT ?x WHERE { ?x "lit" ?y }`,               // literal predicate
+		`SELECT ?x WHERE { ?x foo:p ?y }`,               // unbound prefix
+		`ASK { ?x ?p ?o`,                                // unterminated group
+		`SELECT ?x WHERE { ?x ?p ?o } trailing`,         // trailing tokens
 		`SELECT ?x WHERE { ?x ?p ?o . FILTER(?x < 3) }`, // unsupported operator
 	}
 	for _, in := range bad {

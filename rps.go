@@ -30,15 +30,24 @@
 // evaluate in parallel (the planner's Union pushed below the mediator, so
 // federated disjuncts overlap network latency), identical sub-queries
 // coalesce in a shared singleflight fetch cache, per-peer in-flight windows
-// bound the load one peer sees, and bind joins ship bindings in VALUES-style
-// batches — one probe query carries a whole batch of bindings as a UNION of
-// filtered copies of the pattern, and sub-queries bound for the same source
-// travel in one batched message (the peer protocol's sparql-batch
-// operation, also served over HTTP). Federated plans are first-class:
-// EXPLAIN shows per-disjunct mediator plans with RemoteScan leaves
-// annotated with source fan-out, probe batch size, and in-flight window
-// (rpsquery -mode federation -explain; tune with -fed-parallel and
-// -fed-batch on rpsd, rpsquery and rpsbench).
+// bound the load one peer sees, and bind joins ship bindings as native
+// SPARQL VALUES blocks — one probe query carries a whole batch of bindings
+// joined against a single copy of the pattern, so the peer pays ONE pattern
+// scan per batch instead of one per binding (the legacy UNION-of-filtered-
+// copies rendering survives behind -fed-union-probes for measurement), and
+// sub-queries bound for the same source travel in one batched message (the
+// peer protocol's sparql-batch operation, also served over HTTP). The wire
+// is streamed: peers answer sub-queries as chunked row streams (pulled on
+// demand over the simulated network, NDJSON frames over HTTP), the
+// mediator's joins and the parallel disjunct union consume rows as chunks
+// arrive, and closing a plan early — ASK satisfied, LIMIT reached, a
+// canceled query — closes the remote streams so peers stop scanning.
+// Old peers that only speak the one-shot document interoperate through
+// version negotiation (-fed-oneshot forces that encoding). Federated plans
+// are first-class: EXPLAIN shows per-disjunct mediator plans with
+// RemoteScan leaves annotated with source fan-out, probe batch size, and
+// in-flight window (rpsquery -mode federation -explain; tune with
+// -fed-parallel and -fed-batch on rpsd, rpsquery and rpsbench).
 //
 // Federation is fault-tolerant. Every sub-query runs under a retry policy
 // (FederationOptions.Retry): transient failures — unreachable peers,
